@@ -1,0 +1,499 @@
+//! Probability distributions: normal, lognormal, exponential.
+//!
+//! Each distribution offers `pdf` / `cdf` / `quantile` / `sample` plus a
+//! moment-based `fit` constructor. The retention simulator uses:
+//!
+//! * [`Normal`] — per-cell failure CDF vs. refresh interval (paper Fig. 6a),
+//! * [`LogNormal`] — per-cell CDF spread σ (Fig. 6b) and the weak-cell
+//!   retention-time tail (Hamamoto-style),
+//! * [`Exponential`] — memoryless VRT state dwell times (paper §2.3.1).
+
+use crate::special::{phi, phi_inv};
+use crate::{AnalysisError, Result};
+use rand::Rng;
+
+/// Normal (Gaussian) distribution `N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with mean `mu` and standard deviation
+    /// `sigma`.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if `sigma` is not a
+    /// positive finite number or `mu` is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        if !mu.is_finite() {
+            return Err(AnalysisError::InvalidParameter {
+                name: "mu",
+                reason: "must be finite",
+            });
+        }
+        if !(sigma.is_finite() && sigma > 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "sigma",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Mean of the distribution.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * core::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        phi((x - self.mu) / self.sigma)
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * phi_inv(p)
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mu + self.sigma * standard_normal(rng)
+    }
+
+    /// Fits a normal by the sample mean and (population) standard deviation.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InsufficientData`] for fewer than 2 points,
+    /// or [`AnalysisError::InvalidParameter`] if the data has zero variance.
+    pub fn fit(data: &[f64]) -> Result<Self> {
+        if data.len() < 2 {
+            return Err(AnalysisError::InsufficientData {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Normal::new(mean, var.sqrt())
+    }
+}
+
+/// Draws one standard-normal sample via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        let u2: f64 = rng.random();
+        if u1 > 0.0 {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * core::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Lognormal distribution: `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    log: Normal,
+}
+
+impl LogNormal {
+    /// Creates a lognormal whose *logarithm* has mean `mu` and standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    /// Same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Result<Self> {
+        Ok(Self {
+            log: Normal::new(mu, sigma)?,
+        })
+    }
+
+    /// Creates a lognormal from its **median** and the standard deviation of
+    /// its logarithm. The median parameterization is the natural one for
+    /// retention-time tails ("median cell retains for X seconds").
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if `median <= 0` or
+    /// `sigma_log` is not positive.
+    pub fn from_median(median: f64, sigma_log: f64) -> Result<Self> {
+        if !(median.is_finite() && median > 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "median",
+                reason: "must be positive and finite",
+            });
+        }
+        Self::new(median.ln(), sigma_log)
+    }
+
+    /// Mean of `ln X`.
+    pub fn mu(&self) -> f64 {
+        self.log.mu()
+    }
+
+    /// Standard deviation of `ln X`.
+    pub fn sigma(&self) -> f64 {
+        self.log.sigma()
+    }
+
+    /// Median of the distribution (`e^mu`).
+    pub fn median(&self) -> f64 {
+        self.log.mu().exp()
+    }
+
+    /// Probability density at `x` (0 for `x <= 0`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.log.pdf(x.ln()) / x
+    }
+
+    /// Cumulative distribution function at `x` (0 for `x <= 0`).
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        self.log.cdf(x.ln())
+    }
+
+    /// Quantile at probability `p ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `(0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.log.quantile(p).exp()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.log.sample(rng).exp()
+    }
+
+    /// Fits a lognormal by the mean/std of the log of the data.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if any point is
+    /// non-positive, or the errors of [`Normal::fit`].
+    pub fn fit(data: &[f64]) -> Result<Self> {
+        if data.iter().any(|&x| x <= 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "data",
+                reason: "lognormal data must be strictly positive",
+            });
+        }
+        let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+        Ok(Self {
+            log: Normal::fit(&logs)?,
+        })
+    }
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+///
+/// Models the memoryless dwell times of VRT retention states
+/// (paper §2.3.1: "based on a memoryless random process").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if `lambda` is not a
+    /// positive finite number.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "lambda",
+                reason: "must be positive and finite",
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Creates an exponential distribution from its mean (`1/lambda`).
+    ///
+    /// # Errors
+    /// Same conditions as [`Exponential::new`].
+    pub fn from_mean(mean: f64) -> Result<Self> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "mean",
+                reason: "must be positive and finite",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// Rate parameter `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean (`1/lambda`).
+    pub fn mean(&self) -> f64 {
+        1.0 / self.lambda
+    }
+
+    /// Probability density at `x` (0 for `x < 0`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.lambda * (-self.lambda * x).exp()
+        }
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.lambda * x).exp()
+        }
+    }
+
+    /// Quantile at probability `p ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile domain is [0,1), got {p}");
+        -(1.0 - p).ln() / self.lambda
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // Guard u == 1.0 which would give ln(0).
+        self.quantile(u.min(1.0 - 1e-16))
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Models VRT new-failure arrival counts over a profiling window
+/// (paper §5.3: steady-state failure accumulation is well described by a
+/// constant rate, i.e. Poisson arrivals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda >= 0`.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if `lambda` is negative
+    /// or not finite.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "lambda",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// Mean (= variance) of the distribution.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    ///
+    /// Uses Knuth's product method for small `lambda` and a
+    /// normal approximation (rounded, clamped at 0) for `lambda > 30`,
+    /// which is accurate to well under the Monte-Carlo noise of the
+    /// experiments that use it.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda > 30.0 {
+            let x = self.lambda + self.lambda.sqrt() * standard_normal(rng);
+            return x.round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            let u: f64 = rng.random();
+            p *= u;
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn normal_pdf_integrates_to_one() {
+        let n = Normal::new(1.0, 2.0).unwrap();
+        let mut total = 0.0;
+        let dx = 0.01;
+        let mut x = -20.0;
+        while x < 22.0 {
+            total += n.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((total - 1.0).abs() < 1e-4, "integral = {total}");
+    }
+
+    #[test]
+    fn normal_cdf_quantile_roundtrip() {
+        let n = Normal::new(-3.0, 0.5).unwrap();
+        for &p in &[0.001, 0.1, 0.5, 0.9, 0.999] {
+            assert!((n.cdf(n.quantile(p)) - p).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn normal_sampling_moments() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let fit = Normal::fit(&samples).unwrap();
+        assert!((fit.mu() - 5.0).abs() < 0.05, "mu = {}", fit.mu());
+        assert!((fit.sigma() - 2.0).abs() < 0.05, "sigma = {}", fit.sigma());
+    }
+
+    #[test]
+    fn normal_fit_needs_two_points() {
+        assert!(matches!(
+            Normal::fit(&[1.0]),
+            Err(AnalysisError::InsufficientData { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn lognormal_median_parameterization() {
+        let ln = LogNormal::from_median(0.1, 0.8).unwrap();
+        assert!((ln.median() - 0.1).abs() < 1e-12);
+        assert!((ln.cdf(0.1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_rejects_nonpositive_median() {
+        assert!(LogNormal::from_median(0.0, 1.0).is_err());
+        assert!(LogNormal::from_median(-2.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_cdf_zero_below_zero() {
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(ln.cdf(-1.0), 0.0);
+        assert_eq!(ln.cdf(0.0), 0.0);
+        assert_eq!(ln.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters() {
+        let ln = LogNormal::new(0.5, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..50_000).map(|_| ln.sample(&mut rng)).collect();
+        let fit = LogNormal::fit(&samples).unwrap();
+        assert!((fit.mu() - 0.5).abs() < 0.01);
+        assert!((fit.sigma() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn lognormal_fit_rejects_nonpositive_data() {
+        assert!(LogNormal::fit(&[1.0, -2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_and_memoryless_cdf() {
+        let e = Exponential::from_mean(4.0).unwrap();
+        assert!((e.mean() - 4.0).abs() < 1e-12);
+        assert!((e.cdf(4.0) - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+        // quantile roundtrip
+        for &p in &[0.0, 0.3, 0.9, 0.999] {
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exponential_sampling_mean() {
+        let e = Exponential::from_mean(2.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean: f64 = (0..50_000).map(|_| e.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((mean - 2.5).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_always_zero() {
+        let p = Poisson::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(p.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let p = Poisson::new(2.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean: f64 =
+            (0..50_000).map(|_| p.sample(&mut rng) as f64).sum::<f64>() / 50_000.0;
+        assert!((mean - 2.5).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean_and_variance() {
+        let p = Poisson::new(200.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let samples: Vec<f64> = (0..20_000).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean = {mean}");
+        assert!((var - 200.0).abs() < 10.0, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_rejects_negative_lambda() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn exponential_rejects_bad_lambda() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::from_mean(0.0).is_err());
+    }
+}

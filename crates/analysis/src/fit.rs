@@ -1,0 +1,189 @@
+//! Least-squares fitting: linear regression and power-law (`y = a·x^b`) fits.
+//!
+//! The paper fits the steady-state VRT failure-accumulation rate vs. refresh
+//! interval with power laws of the form `y = a·x^b` (Fig. 4). We implement
+//! the standard log–log linearization.
+
+use crate::{AnalysisError, Result};
+
+/// Ordinary least-squares line `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (R²) of the fit.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits a straight line to `(x, y)` pairs by ordinary least squares.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InsufficientData`] for fewer than 2 points
+    /// and [`AnalysisError::InvalidParameter`] if all `x` are identical.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(AnalysisError::InsufficientData {
+                needed: 2,
+                got: points.len(),
+            });
+        }
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let mx = sx / n;
+        let my = sy / n;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        if sxx == 0.0 {
+            return Err(AnalysisError::InvalidParameter {
+                name: "x",
+                reason: "all x values identical; slope undefined",
+            });
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| {
+                let r = p.1 - (intercept + slope * p.0);
+                r * r
+            })
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(Self {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Power-law fit `y = a·x^b`, obtained by linear regression in log–log space.
+///
+/// This is the model class the paper uses for VRT failure-accumulation rates
+/// (Fig. 4: "well-fitting polynomial regressions of the form y = a * x^b").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Multiplier `a`.
+    pub a: f64,
+    /// Exponent `b`.
+    pub b: f64,
+    /// R² of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Fits `y = a·x^b` to strictly positive `(x, y)` pairs.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if any coordinate is
+    /// non-positive, plus the errors of [`LinearFit::fit`].
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self> {
+        if points.iter().any(|&(x, y)| x <= 0.0 || y <= 0.0) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "points",
+                reason: "power-law fit requires strictly positive x and y",
+            });
+        }
+        let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+        let lin = LinearFit::fit(&logs)?;
+        Ok(Self {
+            a: lin.intercept.exp(),
+            b: lin.slope,
+            r_squared: lin.r_squared,
+        })
+    }
+
+    /// Evaluates the fitted power law at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x <= 0`.
+    pub fn eval(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "power law defined for x > 0, got {x}");
+        self.a * x.powf(self.b)
+    }
+}
+
+impl core::fmt::Display for PowerLawFit {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "y = {:.4e} * x^{:.3}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 3.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.eval(100.0) - 203.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_rejects_degenerate_x() {
+        let pts = [(1.0, 2.0), (1.0, 3.0)];
+        assert!(LinearFit::fit(&pts).is_err());
+    }
+
+    #[test]
+    fn linear_fit_needs_two_points() {
+        assert!(LinearFit::fit(&[(0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn linear_fit_noisy_r_squared_below_one() {
+        let pts = [(0.0, 0.0), (1.0, 1.5), (2.0, 1.8), (3.0, 3.3)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.8);
+    }
+
+    #[test]
+    fn power_law_exact_recovery() {
+        // y = 0.5 * x^1.7
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = i as f64 * 0.25;
+                (x, 0.5 * x.powf(1.7))
+            })
+            .collect();
+        let fit = PowerLawFit::fit(&pts).unwrap();
+        assert!((fit.a - 0.5).abs() < 1e-9, "a = {}", fit.a);
+        assert!((fit.b - 1.7).abs() < 1e-9, "b = {}", fit.b);
+        assert!((fit.eval(3.0) - 0.5 * 3.0_f64.powf(1.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_rejects_nonpositive() {
+        assert!(PowerLawFit::fit(&[(1.0, 1.0), (0.0, 2.0)]).is_err());
+        assert!(PowerLawFit::fit(&[(1.0, -1.0), (2.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn power_law_display_mentions_exponent() {
+        let fit = PowerLawFit {
+            a: 1.5,
+            b: 2.0,
+            r_squared: 1.0,
+        };
+        assert!(fit.to_string().contains("x^2.000"));
+    }
+}

@@ -1,0 +1,207 @@
+//! 2-D evaluation grids for contour-style experiments.
+//!
+//! The paper's Figs. 9 and 10 plot coverage / false-positive-rate / runtime
+//! contours over a (Δ refresh-interval, Δ temperature) plane. [`Grid2`]
+//! holds such a sampled surface and can extract iso-contour threshold
+//! crossings along each row, which is how the figure harnesses print the
+//! contour series.
+
+use crate::{AnalysisError, Result};
+
+/// A dense 2-D grid of `f64` values sampled at explicit x/y coordinates.
+///
+/// Values are stored row-major: `z[y_index][x_index]` flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid2 {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    z: Vec<f64>,
+}
+
+impl Grid2 {
+    /// Creates a grid with the given axis coordinates, initialized to 0.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InsufficientData`] if either axis is empty.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(AnalysisError::InsufficientData {
+                needed: 1,
+                got: 0,
+            });
+        }
+        let z = vec![0.0; xs.len() * ys.len()];
+        Ok(Self { xs, ys, z })
+    }
+
+    /// X-axis coordinates.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Y-axis coordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// True if the grid has no points (cannot happen for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+
+    fn idx(&self, xi: usize, yi: usize) -> usize {
+        assert!(xi < self.xs.len(), "x index {xi} out of bounds");
+        assert!(yi < self.ys.len(), "y index {yi} out of bounds");
+        yi * self.xs.len() + xi
+    }
+
+    /// Value at `(xi, yi)`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    pub fn get(&self, xi: usize, yi: usize) -> f64 {
+        self.z[self.idx(xi, yi)]
+    }
+
+    /// Sets the value at `(xi, yi)`.
+    ///
+    /// # Panics
+    /// Panics if either index is out of bounds.
+    pub fn set(&mut self, xi: usize, yi: usize, v: f64) {
+        let i = self.idx(xi, yi);
+        self.z[i] = v;
+    }
+
+    /// Fills the grid by evaluating `f(x, y)` at every point.
+    pub fn fill<F: FnMut(f64, f64) -> f64>(&mut self, mut f: F) {
+        for yi in 0..self.ys.len() {
+            for xi in 0..self.xs.len() {
+                let v = f(self.xs[xi], self.ys[yi]);
+                let i = self.idx(xi, yi);
+                self.z[i] = v;
+            }
+        }
+    }
+
+    /// For each row (fixed y), returns the interpolated x at which the row
+    /// first crosses `level` going left→right, or `None` if it never does.
+    /// This extracts one iso-contour from a monotone-ish surface, matching
+    /// how the paper's contour labels are read off Figs. 9/10.
+    pub fn contour_crossings(&self, level: f64) -> Vec<Option<f64>> {
+        let mut out = Vec::with_capacity(self.ys.len());
+        for yi in 0..self.ys.len() {
+            let mut found = None;
+            for xi in 1..self.xs.len() {
+                let a = self.get(xi - 1, yi);
+                let b = self.get(xi, yi);
+                if (a < level && b >= level) || (a > level && b <= level) {
+                    let t = if (b - a).abs() < 1e-300 {
+                        0.0
+                    } else {
+                        (level - a) / (b - a)
+                    };
+                    found = Some(self.xs[xi - 1] + t * (self.xs[xi] - self.xs[xi - 1]));
+                    break;
+                }
+            }
+            out.push(found);
+        }
+        out
+    }
+
+    /// Iterates over `(x, y, z)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.ys.iter().enumerate().flat_map(move |(yi, &y)| {
+            self.xs
+                .iter()
+                .enumerate()
+                .map(move |(xi, &x)| (x, y, self.get(xi, yi)))
+        })
+    }
+}
+
+/// Builds `n` evenly spaced values from `lo` to `hi` inclusive.
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace needs at least 2 points");
+    let step = (hi - lo) / (n - 1) as f64;
+    (0..n).map(|i| lo + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_set_get_roundtrip() {
+        let mut g = Grid2::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0]).unwrap();
+        g.set(2, 1, 5.0);
+        assert_eq!(g.get(2, 1), 5.0);
+        assert_eq!(g.get(0, 0), 0.0);
+        assert_eq!(g.len(), 6);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn grid_rejects_empty_axes() {
+        assert!(Grid2::new(vec![], vec![1.0]).is_err());
+        assert!(Grid2::new(vec![1.0], vec![]).is_err());
+    }
+
+    #[test]
+    fn grid_fill_applies_function() {
+        let mut g = Grid2::new(linspace(0.0, 2.0, 3), linspace(0.0, 1.0, 2)).unwrap();
+        g.fill(|x, y| x + 10.0 * y);
+        assert_eq!(g.get(1, 0), 1.0);
+        assert_eq!(g.get(2, 1), 12.0);
+    }
+
+    #[test]
+    fn contour_crossings_interpolate() {
+        let mut g = Grid2::new(linspace(0.0, 10.0, 11), vec![0.0]).unwrap();
+        g.fill(|x, _| x * x);
+        // z crosses 25 exactly at x = 5
+        let c = g.contour_crossings(25.0);
+        assert_eq!(c.len(), 1);
+        let x = c[0].unwrap();
+        assert!((x - 5.0).abs() < 0.3, "x = {x}");
+    }
+
+    #[test]
+    fn contour_missing_when_never_crossed() {
+        let mut g = Grid2::new(linspace(0.0, 1.0, 5), vec![0.0]).unwrap();
+        g.fill(|_, _| 0.0);
+        assert_eq!(g.contour_crossings(0.5), vec![None]);
+    }
+
+    #[test]
+    fn iter_visits_all_points() {
+        let mut g = Grid2::new(vec![0.0, 1.0], vec![0.0, 1.0]).unwrap();
+        g.fill(|x, y| x + y);
+        let pts: Vec<(f64, f64, f64)> = g.iter().collect();
+        assert_eq!(pts.len(), 4);
+        assert!(pts.contains(&(1.0, 1.0, 2.0)));
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let v = linspace(-1.0, 1.0, 5);
+        assert_eq!(v[0], -1.0);
+        assert_eq!(v[4], 1.0);
+        assert_eq!(v.len(), 5);
+        assert!((v[1] - -0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn linspace_rejects_single_point() {
+        linspace(0.0, 1.0, 1);
+    }
+}

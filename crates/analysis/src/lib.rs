@@ -1,0 +1,99 @@
+//! Statistics substrate for the REAPER reproduction.
+//!
+//! The REAPER paper leans on a small set of statistical machinery:
+//!
+//! * per-cell retention-failure probabilities modeled as **normal CDFs**
+//!   (paper §5.5, Fig. 6a),
+//! * per-cell CDF spreads and DRAM leakage components modeled as
+//!   **lognormal** distributions (Fig. 6b, [Li+ 2011]),
+//! * **power-law fits** `y = a·x^b` of VRT failure-accumulation rates
+//!   (Fig. 4),
+//! * **binomial tail sums** for the ECC uncorrectable-bit-error-rate model
+//!   (Eqs. 2–6, Table 1),
+//! * box-plot summaries of workload distributions (Fig. 13).
+//!
+//! This crate implements all of that from first principles so the math stays
+//! auditable against the paper's equations, and so the workspace needs no
+//! statistics dependency beyond [`rand`].
+//!
+//! # Example
+//!
+//! ```
+//! use reaper_analysis::dist::Normal;
+//!
+//! // A cell whose retention CDF is centered at 1.5s with 100ms spread fails
+//! // a 1.6s retention trial ~84% of the time.
+//! let cell = Normal::new(1.5, 0.1).unwrap();
+//! let p = cell.cdf(1.6);
+//! assert!((p - 0.8413).abs() < 1e-3);
+//! ```
+
+pub mod dist;
+pub mod fit;
+pub mod grid;
+pub mod special;
+pub mod stats;
+
+pub use dist::{Exponential, LogNormal, Normal, Poisson};
+pub use fit::{LinearFit, PowerLawFit};
+pub use grid::Grid2;
+pub use stats::{Histogram, Summary};
+
+/// Error type for invalid statistical parameters or degenerate inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// A distribution parameter was out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An operation needed more data points than were supplied.
+    InsufficientData {
+        /// How many points the operation needs.
+        needed: usize,
+        /// How many points it got.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AnalysisError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            AnalysisError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed} points, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Convenient result alias used across this crate.
+pub type Result<T> = core::result::Result<T, AnalysisError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = AnalysisError::InvalidParameter {
+            name: "sigma",
+            reason: "must be positive",
+        };
+        assert!(e.to_string().contains("sigma"));
+        let e = AnalysisError::InsufficientData { needed: 2, got: 0 };
+        assert!(e.to_string().contains("needed 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnalysisError>();
+    }
+}

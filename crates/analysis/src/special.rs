@@ -1,0 +1,284 @@
+//! Special functions: error function, its inverse, log-gamma, and log-binomial
+//! coefficients.
+//!
+//! These are the building blocks for the normal/lognormal distributions used
+//! by the retention model (paper §5.5) and for the binomial ECC failure model
+//! (paper Eqs. 2–6).
+
+/// Error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun 7.1.26
+/// refined with the Winitzki-style rational form used by Numerical Recipes).
+///
+/// # Example
+/// ```
+/// let e = reaper_analysis::special::erf(1.0);
+/// assert!((e - 0.8427007).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Uses the Chebyshev-fitted expansion from Numerical Recipes (`erfcc`),
+/// which keeps relative error below ~1.2e-7 everywhere and is well behaved
+/// in the deep tails needed by the UBER model (RBER down to 1e-15).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 2.0 / (2.0 + z);
+    let ty = 4.0 * t - 2.0;
+
+    // Chebyshev coefficients for erfc on t ∈ [0, 1].
+    const COF: [f64; 28] = [
+        -1.3026537197817094,
+        6.419_697_923_564_902e-1,
+        1.9476473204185836e-2,
+        -9.561_514_786_808_63e-3,
+        -9.46595344482036e-4,
+        3.66839497852761e-4,
+        4.2523324806907e-5,
+        -2.0278578112534e-5,
+        -1.624290004647e-6,
+        1.303655835580e-6,
+        1.5626441722e-8,
+        -8.5238095915e-8,
+        6.529054439e-9,
+        5.059343495e-9,
+        -9.91364156e-10,
+        -2.27365122e-10,
+        9.6467911e-11,
+        2.394038e-12,
+        -6.886027e-12,
+        8.94487e-13,
+        3.13092e-13,
+        -1.12708e-13,
+        3.81e-16,
+        7.106e-15,
+        -1.523e-15,
+        -9.4e-17,
+        1.21e-16,
+        -2.8e-17,
+    ];
+
+    let mut d = 0.0_f64;
+    let mut dd = 0.0_f64;
+    for &c in COF.iter().rev().take(COF.len() - 1) {
+        let tmp = d;
+        d = ty * d - dd + c;
+        dd = tmp;
+    }
+    let ans = t * (-z * z + 0.5 * (COF[0] + ty * d) - dd).exp();
+
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Inverse of [`erfc`]: returns `x` such that `erfc(x) = p` for `p ∈ (0, 2)`.
+///
+/// Implemented by one Newton refinement pass over an initial rational
+/// approximation; accurate to ~1e-9 over the full domain.
+///
+/// # Panics
+/// Panics if `p <= 0` or `p >= 2` (the function value is unbounded there).
+pub fn inverse_erfc(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 2.0, "inverse_erfc domain is (0, 2), got {p}");
+    if (p - 1.0).abs() < 1e-300 {
+        return 0.0;
+    }
+    let pp = if p < 1.0 { p } else { 2.0 - p };
+    let t = (-2.0 * (pp / 2.0).ln()).sqrt();
+    // Initial guess (Numerical Recipes).
+    let mut x = -core::f64::consts::FRAC_1_SQRT_2
+        * ((2.30753 + t * 0.27061) / (1.0 + t * (0.99229 + t * 0.04481)) - t);
+    // Two Newton steps: d/dx erfc(x) = -2/sqrt(pi) * exp(-x^2).
+    for _ in 0..2 {
+        let err = erfc(x) - pp;
+        x += err / (2.0 / core::f64::consts::PI.sqrt() * (-x * x).exp());
+    }
+    if p < 1.0 {
+        x
+    } else {
+        -x
+    }
+}
+
+/// Inverse error function: returns `x` such that `erf(x) = p` for `p ∈ (-1, 1)`.
+///
+/// # Panics
+/// Panics if `p <= -1` or `p >= 1`.
+pub fn inverse_erf(p: f64) -> f64 {
+    assert!(p > -1.0 && p < 1.0, "inverse_erf domain is (-1, 1), got {p}");
+    inverse_erfc(1.0 - p)
+}
+
+/// Natural log of the gamma function, `ln Γ(x)` for `x > 0` (Lanczos).
+///
+/// # Panics
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: [f64; 6] = [
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000000000190015_f64;
+    for &g in &G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.5066282746310005 * ser / x).ln()
+}
+
+/// `ln C(n, k)` — natural log of the binomial coefficient.
+///
+/// Needed for the ECC UBER model (paper Eq. 5/6) where `C(w, n)` with
+/// `w = 72` overflows naive factorial arithmetic but is trivial in log space.
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n, got k={k} n={n}");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Standard normal CDF `Φ(x)`.
+///
+/// # Example
+/// ```
+/// let p = reaper_analysis::special::phi(0.0);
+/// assert!((p - 0.5).abs() < 1e-12);
+/// ```
+pub fn phi(x: f64) -> f64 {
+    0.5 * erfc(-x * core::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Standard normal quantile `Φ⁻¹(p)` for `p ∈ (0, 1)`.
+///
+/// # Panics
+/// Panics if `p <= 0` or `p >= 1`.
+pub fn phi_inv(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "phi_inv domain is (0, 1), got {p}");
+    -core::f64::consts::SQRT_2 * inverse_erfc(2.0 * p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(close(erf(0.0), 0.0, 1e-12));
+        assert!(close(erf(0.5), 0.5204998778, 1e-7));
+        assert!(close(erf(1.0), 0.8427007929, 1e-7));
+        assert!(close(erf(2.0), 0.9953222650, 1e-7));
+        assert!(close(erf(-1.0), -0.8427007929, 1e-7));
+    }
+
+    #[test]
+    fn erfc_deep_tail_is_positive_and_tiny() {
+        let v = erfc(6.0);
+        assert!(v > 0.0);
+        assert!(v < 1e-15);
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for &x in &[0.1, 0.7, 1.3, 2.9] {
+            assert!(close(erf(x), -erf(-x), 1e-12));
+        }
+    }
+
+    #[test]
+    fn inverse_erfc_round_trips() {
+        for &x in &[-2.0, -1.0, -0.3, 0.0, 0.2, 1.0, 2.5] {
+            let p = erfc(x);
+            assert!(close(inverse_erfc(p), x, 1e-6), "x={x}");
+        }
+    }
+
+    #[test]
+    fn inverse_erf_round_trips() {
+        for &p in &[-0.9, -0.5, 0.0, 0.3, 0.99] {
+            assert!(close(erf(inverse_erf(p)), p, 1e-9), "p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse_erfc domain")]
+    fn inverse_erfc_rejects_out_of_domain() {
+        inverse_erfc(2.5);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0_f64;
+        for n in 1..15_u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-9),
+                "n={n}: {} vs {}",
+                ln_gamma(n as f64),
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        assert!(close(
+            ln_gamma(0.5),
+            core::f64::consts::PI.sqrt().ln(),
+            1e-10
+        ));
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!(close(ln_choose(5, 2), 10.0_f64.ln(), 1e-10));
+        assert!(close(ln_choose(10, 5), 252.0_f64.ln(), 1e-10));
+        assert!(close(ln_choose(72, 2), 2556.0_f64.ln(), 1e-9));
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+
+    #[test]
+    fn ln_choose_symmetry() {
+        for k in 0..=64 {
+            assert!(close(ln_choose(64, k), ln_choose(64, 64 - k), 1e-9));
+        }
+    }
+
+    #[test]
+    fn phi_and_quantile_round_trip() {
+        for &p in &[1e-6, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0 - 1e-6] {
+            let x = phi_inv(p);
+            assert!(close(phi(x), p, 1e-8), "p={p}");
+        }
+    }
+
+    #[test]
+    fn phi_standard_values() {
+        assert!(close(phi(1.0), 0.8413447461, 1e-7));
+        assert!(close(phi(-1.96), 0.0249978951, 1e-7));
+    }
+}

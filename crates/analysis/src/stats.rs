@@ -1,0 +1,326 @@
+//! Descriptive statistics: summaries, percentiles, and histograms.
+//!
+//! The paper reports box plots (Fig. 13: 25th–75th percentile boxes with
+//! whiskers, median, and mean) and histograms (Fig. 6b: per-cell σ). This
+//! module provides both.
+
+use crate::{AnalysisError, Result};
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+/// Population variance of a slice. Returns `None` for an empty slice.
+pub fn variance(data: &[f64]) -> Option<f64> {
+    let m = mean(data)?;
+    Some(data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64)
+}
+
+/// Population standard deviation of a slice. Returns `None` for an empty
+/// slice.
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Linearly interpolated percentile of **sorted** data, `p ∈ [0, 100]`.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]` or `sorted` is empty.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p), "percentile p must be in [0,100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Five-number box-plot summary plus the mean, as drawn in the paper's
+/// Fig. 13 (box = 25th–75th percentile, whiskers = range, orange line =
+/// median, black line = mean).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum of the data (lower whisker).
+    pub min: f64,
+    /// 25th percentile (box bottom).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 75th percentile (box top).
+    pub q3: f64,
+    /// Maximum of the data (upper whisker).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes the summary of `data`.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InsufficientData`] for an empty slice.
+    pub fn of(data: &[f64]) -> Result<Self> {
+        if data.is_empty() {
+            return Err(AnalysisError::InsufficientData { needed: 1, got: 0 });
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary data"));
+        Ok(Self {
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 25.0),
+            median: percentile_sorted(&sorted, 50.0),
+            q3: percentile_sorted(&sorted, 75.0),
+            max: *sorted.last().expect("nonempty"),
+            mean: mean(data).expect("nonempty"),
+            count: data.len(),
+        })
+    }
+
+    /// Interquartile range (`q3 - q1`).
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "min {:.4} | q1 {:.4} | med {:.4} | q3 {:.4} | max {:.4} | mean {:.4} (n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.count
+        )
+    }
+}
+
+/// Kolmogorov–Smirnov statistic of **sorted** data against a reference CDF:
+/// `sup |F_empirical(x) − F(x)|`.
+///
+/// Used to quantify the paper's Fig. 6a claim that per-cell failure CDFs
+/// are normal: the normalized empirical CDF should sit within a small KS
+/// distance of Φ.
+///
+/// # Panics
+/// Panics if `sorted` is empty.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> f64 {
+    assert!(!sorted.is_empty(), "KS statistic of empty data");
+    let n = sorted.len() as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((f - hi).abs());
+    }
+    d
+}
+
+/// Fixed-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the edge bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi)`.
+    ///
+    /// # Errors
+    /// Returns [`AnalysisError::InvalidParameter`] if `bins == 0` or
+    /// `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(AnalysisError::InvalidParameter {
+                name: "bins",
+                reason: "must be nonzero",
+            });
+        }
+        if hi <= lo {
+            return Err(AnalysisError::InvalidParameter {
+                name: "hi",
+                reason: "must be greater than lo",
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        })
+    }
+
+    /// Adds one observation; out-of-range values land in the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let idx = if x < self.lo {
+            0
+        } else if x >= self.hi {
+            bins - 1
+        } else {
+            (((x - self.lo) / (self.hi - self.lo)) * bins as f64) as usize
+        };
+        self.counts[idx.min(bins - 1)] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation in `data`.
+    pub fn add_all<I: IntoIterator<Item = f64>>(&mut self, data: I) {
+        for x in data {
+            self.add(x);
+        }
+    }
+
+    /// Raw per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * w
+    }
+
+    /// Fraction of observations in bin `i` (0 if the histogram is empty).
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Iterates over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.counts.len()).map(move |i| (self.bin_center(i), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_basics() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(variance(&[2.0, 4.0]), Some(1.0));
+        assert_eq!(std_dev(&[2.0, 4.0]), Some(1.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile_sorted(&data, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&data, 100.0), 4.0);
+        assert_eq!(percentile_sorted(&data, 50.0), 2.5);
+        assert_eq!(percentile_sorted(&data, 25.0), 1.75);
+    }
+
+    #[test]
+    fn percentile_single_point() {
+        assert_eq!(percentile_sorted(&[7.0], 33.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.iqr(), 2.0);
+    }
+
+    #[test]
+    fn summary_empty_errors() {
+        assert!(Summary::of(&[]).is_err());
+    }
+
+    #[test]
+    fn summary_display_nonempty() {
+        let s = Summary::of(&[1.0, 2.0]).unwrap();
+        assert!(s.to_string().contains("med"));
+    }
+
+    #[test]
+    fn ks_statistic_detects_fit_quality() {
+        use crate::special::phi;
+        // Samples from a standard normal (via quantiles) fit Φ tightly...
+        let n = 500;
+        let samples: Vec<f64> = (1..=n)
+            .map(|i| crate::special::phi_inv(i as f64 / (n + 1) as f64))
+            .collect();
+        let d_good = ks_statistic(&samples, phi);
+        assert!(d_good < 0.02, "good fit KS {d_good}");
+        // ...and badly mismatch a shifted CDF.
+        let d_bad = ks_statistic(&samples, |x| phi(x - 2.0));
+        assert!(d_bad > 0.5, "bad fit KS {d_bad}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ks_statistic_rejects_empty() {
+        ks_statistic(&[], |_| 0.5);
+    }
+
+    #[test]
+    fn histogram_binning_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add_all([0.5, 1.5, 9.9, -5.0, 20.0]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 2); // 0.5 and clamped -5.0
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 2); // 9.9 and clamped 20.0
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.fraction(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_params() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn histogram_iter_pairs() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add(1.5);
+        let pairs: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[1], (1.5, 1));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the statistics substrate.
+
+use proptest::prelude::*;
+use reaper_analysis::dist::{Exponential, LogNormal, Normal, Poisson};
+use reaper_analysis::fit::{LinearFit, PowerLawFit};
+use reaper_analysis::special::{erf, erfc, ln_choose, phi, phi_inv};
+use reaper_analysis::stats::{percentile_sorted, Summary};
+
+proptest! {
+    #[test]
+    fn erf_bounded_and_odd(x in -6.0..6.0f64) {
+        let e = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&e));
+        prop_assert!((e + erf(-x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erfc_complements_erf(x in -6.0..6.0f64) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phi_is_monotone(a in -8.0..8.0f64, b in -8.0..8.0f64) {
+        prop_assume!(a < b);
+        prop_assert!(phi(a) <= phi(b));
+    }
+
+    #[test]
+    fn phi_inv_round_trip(p in 1e-6..0.999999f64) {
+        prop_assert!((phi(phi_inv(p)) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ln_choose_pascal_identity(n in 2u64..60, k in 1u64..59) {
+        prop_assume!(k < n);
+        // C(n,k) = C(n-1,k-1) + C(n-1,k)
+        let lhs = ln_choose(n, k);
+        let a = ln_choose(n - 1, k - 1);
+        let b = ln_choose(n - 1, k);
+        let rhs = (a.exp() + b.exp()).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-6, "n={n} k={k}: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn normal_cdf_monotone_and_quantile_inverts(
+        mu in -100.0..100.0f64,
+        sigma in 0.01..50.0f64,
+        p in 0.001..0.999f64,
+    ) {
+        let n = Normal::new(mu, sigma).unwrap();
+        let x = n.quantile(p);
+        prop_assert!((n.cdf(x) - p).abs() < 1e-6);
+        prop_assert!(n.cdf(x + sigma) > p);
+    }
+
+    #[test]
+    fn lognormal_support_is_positive(mu in -3.0..3.0f64, sigma in 0.05..2.0f64, p in 0.001..0.999f64) {
+        let ln = LogNormal::new(mu, sigma).unwrap();
+        prop_assert!(ln.quantile(p) > 0.0);
+        prop_assert_eq!(ln.cdf(0.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_is_memoryless(mean in 0.1..100.0f64, s in 0.1..5.0f64, t in 0.1..5.0f64) {
+        let e = Exponential::from_mean(mean).unwrap();
+        // P(X > s+t) = P(X > s) P(X > t)
+        let lhs = 1.0 - e.cdf(s + t);
+        let rhs = (1.0 - e.cdf(s)) * (1.0 - e.cdf(t));
+        prop_assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn poisson_samples_are_finite(lambda in 0.0..500.0f64, seed: u64) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let p = Poisson::new(lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = p.sample(&mut rng);
+        // Crude 12-sigma tail bound: samples stay near lambda.
+        prop_assert!((x as f64) < lambda + 12.0 * lambda.sqrt() + 20.0);
+    }
+
+    #[test]
+    fn linear_fit_recovers_any_line(
+        slope in -100.0..100.0f64,
+        intercept in -100.0..100.0f64,
+    ) {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, intercept + slope * i as f64)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn power_law_fit_recovers_exponent(a in 0.01..100.0f64, b in -3.0..5.0f64) {
+        let pts: Vec<(f64, f64)> = (1..12)
+            .map(|i| {
+                let x = i as f64 * 0.5;
+                (x, a * x.powf(b))
+            })
+            .collect();
+        let fit = PowerLawFit::fit(&pts).unwrap();
+        prop_assert!((fit.b - b).abs() < 1e-6, "b {} vs {}", fit.b, b);
+    }
+
+    #[test]
+    fn summary_orders_quartiles(data in proptest::collection::vec(-1e6..1e6f64, 1..200)) {
+        let s = Summary::of(&data).unwrap();
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert_eq!(s.count, data.len());
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_p(
+        data in proptest::collection::vec(-1e3..1e3f64, 2..100),
+        p1 in 0.0..100.0f64,
+        p2 in 0.0..100.0f64,
+    ) {
+        prop_assume!(p1 <= p2);
+        let mut sorted = data;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(percentile_sorted(&sorted, p1) <= percentile_sorted(&sorted, p2));
+    }
+}

@@ -1,0 +1,19 @@
+//! Criterion benchmarks wrapping each figure/table harness at Quick scale —
+//! one bench per table and figure of the paper, so `cargo bench` exercises
+//! every experiment end to end and tracks its regeneration cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use reaper_bench::{all_experiments, Scale};
+
+fn bench_every_figure_and_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_quick");
+    group.sample_size(10);
+    for (name, runner) in all_experiments() {
+        group.bench_function(name, |b| b.iter(|| runner(Scale::Quick)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_every_figure_and_table);
+criterion_main!(benches);

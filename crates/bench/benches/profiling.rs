@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the core profiling algorithms: brute-force vs.
+//! reach profiling (simulated-runtime-per-coverage is reported by the
+//! figure harnesses; these benches measure host compute cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use reaper_core::conditions::{ReachConditions, TargetConditions};
+use reaper_core::profiler::{PatternSet, Profiler};
+use reaper_dram_model::{Celsius, DataPattern, Ms, Vendor};
+use reaper_retention::{RetentionConfig, SimulatedChip};
+use reaper_softmc::TestHarness;
+
+fn chip() -> SimulatedChip {
+    SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 32),
+        7,
+    )
+}
+
+fn bench_retention_trial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retention_trial");
+    for &interval in &[512.0, 1024.0, 2048.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interval as u64),
+            &interval,
+            |b, &interval| {
+                let mut chip = chip();
+                let temp = Celsius::new(60.0);
+                b.iter(|| {
+                    chip.retention_trial(
+                        DataPattern::checkerboard(),
+                        Ms::new(interval),
+                        temp,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_profilers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler_run");
+    group.sample_size(10);
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    for (name, reach) in [
+        ("brute_force", ReachConditions::brute_force()),
+        ("reach_250ms", ReachConditions::paper_headline()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || TestHarness::new(chip(), Celsius::new(45.0), 1),
+                |mut harness| {
+                    Profiler::reach(target, reach, 2, PatternSet::Standard).run(&mut harness)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_chip_synthesis(c: &mut Criterion) {
+    c.bench_function("chip_synthesis_1_32_capacity", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            SimulatedChip::new(
+                RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 32),
+                seed,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_retention_trial,
+    bench_profilers,
+    bench_chip_synthesis
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the substrate crates: SECDED codec, Bloom
+//! filters, the memory-system simulator, and workload generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use reaper_dram_model::Ms;
+use reaper_memsim::{simulate, SimConfig};
+use reaper_mitigation::bloom::BloomFilter;
+use reaper_mitigation::secded::Secded;
+use reaper_workloads::{BenchmarkProfile, WorkloadMix};
+
+fn bench_secded(c: &mut Criterion) {
+    c.bench_function("secded_encode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            Secded::encode(x)
+        })
+    });
+    c.bench_function("secded_decode_corrupted", |b| {
+        let cw = Secded::encode(0xDEAD_BEEF_1234_5678);
+        let mut pos = 0u32;
+        b.iter(|| {
+            pos = (pos + 1) % 72;
+            Secded::decode(cw.flip(pos))
+        })
+    });
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    c.bench_function("bloom_insert_contains", |b| {
+        let mut f = BloomFilter::with_capacity(10_000, 0.001);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            f.insert(k);
+            f.contains(k) & !f.contains(k + 1_000_000_000)
+        })
+    });
+}
+
+fn bench_memsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim_4core_10k_instr");
+    group.sample_size(10);
+    for &(name, refresh) in &[("refresh_64ms", Some(64.0)), ("no_refresh", None)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &refresh, |b, &r| {
+            let mixes = WorkloadMix::random_mixes(1, 4, 512, 1);
+            let cfg = SimConfig::lpddr4_3200(64, r.map(Ms::new));
+            b.iter(|| simulate(&cfg, mixes[0].traces(), 10_000))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_generation_mcf_4096", |b| {
+        let mcf = BenchmarkProfile::spec2006()
+            .iter()
+            .find(|p| p.name == "mcf")
+            .expect("mcf profile");
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mcf.generate_trace(4096, seed)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_secded,
+    bench_bloom,
+    bench_memsim,
+    bench_trace_generation
+);
+criterion_main!(benches);

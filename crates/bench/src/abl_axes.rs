@@ -1,0 +1,95 @@
+//! Ablation — reach axis: interval vs. temperature.
+//!
+//! §5.5/Fig. 8 argue the two reach knobs are interchangeable (at 45 °C,
+//! ~1 s of interval ≙ ~10 °C). This ablation profiles with an
+//! interval-only reach and with its temperature-equivalent reach (computed
+//! from the chip's own Eq. 1 coefficient) and compares the three metrics.
+
+use reaper_core::tradeoff::{ExploreOptions, GroundTruth, TradeoffAnalysis};
+use reaper_core::TargetConditions;
+use reaper_dram_model::{Celsius, Ms, Vendor};
+
+use crate::table::{fmt_pct, Scale, Table};
+use crate::util::representative_chip;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Ablation — interval-reach vs. temperature-reach at matched failure-count inflation",
+        &["reach", "coverage", "FPR", "speedup"],
+    );
+
+    let chip = representative_chip(scale);
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+
+    // Matched pairs: a ΔT whose Eq.-1 count scale e^{kΔT} equals the
+    // interval inflation ((t+Δi)/t)^β. For Vendor B (k = 0.20, β = 2.5),
+    // +250ms on 1024ms inflates counts by 1.72x ⇒ ΔT = ln(1.72)/0.20 ≈ 2.7°C.
+    let delta_i = Ms::new(250.0);
+    let k = Vendor::B.temperature_coefficient();
+    let beta = chip.config().ber_exponent;
+    let inflation = ((target.interval + delta_i) / target.interval).powf(beta);
+    let delta_t = inflation.ln() / k;
+
+    let opts = ExploreOptions {
+        profile_iterations: scale.pick(8, 16),
+        ground_truth: GroundTruth::Empirical {
+            iterations: scale.pick(16, 32),
+        },
+        coverage_goal: 0.9,
+        max_runtime_iterations: scale.pick(48, 96),
+        seed: 0xA7E5,
+    };
+    let analysis = TradeoffAnalysis::explore(
+        &chip,
+        target,
+        &[Ms::ZERO, delta_i],
+        &[0.0, delta_t],
+        opts,
+    );
+
+    let labels = [
+        ("brute force", 0usize),
+        ("interval-only (+250ms)", 1),
+        (&*format!("temp-only (+{delta_t:.1}°C)"), 2),
+    ];
+    for (label, idx) in labels {
+        let p = &analysis.points[idx];
+        table.push_row(vec![
+            label.to_string(),
+            fmt_pct(p.coverage),
+            fmt_pct(p.false_positive_rate),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    table.note(format!(
+        "matched inflation {:.2}x; §5.5: manipulating either knob achieves the same effect",
+        inflation
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse::<f64>().unwrap() / 100.0
+    }
+
+    #[test]
+    fn matched_reaches_behave_equivalently() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 3);
+        let cov_i = pct(&t.rows[1][1]);
+        let cov_t = pct(&t.rows[2][1]);
+        let fpr_i = pct(&t.rows[1][2]);
+        let fpr_t = pct(&t.rows[2][2]);
+        // Both reaches beat brute force on coverage.
+        let cov_bf = pct(&t.rows[0][1]);
+        assert!(cov_i > cov_bf - 0.01 && cov_t > cov_bf - 0.01);
+        // Matched-inflation pairs land close on both metrics.
+        assert!((cov_i - cov_t).abs() < 0.03, "coverage {cov_i} vs {cov_t}");
+        assert!((fpr_i - fpr_t).abs() < 0.15, "FPR {fpr_i} vs {fpr_t}");
+    }
+}

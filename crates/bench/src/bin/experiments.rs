@@ -1,0 +1,61 @@
+//! Experiment runner: regenerates any or all of the paper's tables and
+//! figures.
+//!
+//! ```text
+//! experiments [--full] [name...]
+//! experiments all                # every experiment at quick scale
+//! experiments --full fig09 fig13
+//! experiments --list
+//! ```
+
+use std::process::ExitCode;
+
+use reaper_bench::{all_experiments, Scale};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut names: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = Scale::Full,
+            "--quick" => scale = Scale::Quick,
+            "--list" => {
+                for (name, _) in all_experiments() {
+                    println!("{name}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: experiments [--full] <name...|all>   (see --list)");
+        return ExitCode::FAILURE;
+    }
+
+    let registry = all_experiments();
+    let selected: Vec<_> = if names.iter().any(|n| n == "all") {
+        registry
+    } else {
+        let mut picked = Vec::new();
+        for name in &names {
+            match registry.iter().find(|(n, _)| n == name) {
+                Some(&entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown experiment `{name}` (see --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+
+    for (name, runner) in selected {
+        let start = std::time::Instant::now();
+        let table = runner(scale);
+        println!("{table}");
+        println!("  [{name} completed in {:.1?} at {scale:?} scale]\n", start.elapsed());
+    }
+    ExitCode::SUCCESS
+}

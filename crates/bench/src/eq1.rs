@@ -1,0 +1,76 @@
+//! Eq. 1 — per-vendor exponential temperature dependence of the retention
+//! failure rate: `R_A ∝ e^{0.22ΔT}`, `R_B ∝ e^{0.20ΔT}`, `R_C ∝ e^{0.26ΔT}`.
+//!
+//! Methodology: profile each vendor's chips at 1024 ms across the chamber's
+//! ambient range and fit `ln(failures)` against temperature.
+
+use reaper_analysis::fit::LinearFit;
+use reaper_dram_model::{Celsius, Ms, Vendor};
+
+use crate::table::{fmt_f, Scale, Table};
+use crate::util::{profile_union, study_population};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Eq. 1 — temperature dependence of retention failure rate",
+        &["vendor", "fitted k (/°C)", "paper k", "R² (ln-linear)"],
+    );
+
+    let temps = [40.0, 45.0, 50.0, 55.0];
+    let iterations = scale.pick(2, 4);
+    let mut pop = study_population(scale);
+    let chips_per_vendor = scale.pick(3, 8);
+
+    for vendor in Vendor::ALL {
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        for &t in &temps {
+            let mut total = 0usize;
+            let mut used = 0usize;
+            for chip in pop.chips_of_mut(vendor).take(chips_per_vendor) {
+                let profile = profile_union(
+                    chip,
+                    Ms::new(1024.0),
+                    Celsius::new(t),
+                    iterations,
+                );
+                total += profile.len();
+                used += 1;
+            }
+            if total > 0 && used > 0 {
+                points.push((t, (total as f64).ln()));
+            }
+        }
+        let fit = LinearFit::fit(&points).expect("enough temperature points");
+        table.push_row(vec![
+            vendor.to_string(),
+            fmt_f(fit.slope),
+            fmt_f(vendor.temperature_coefficient()),
+            fmt_f(fit.r_squared),
+        ]);
+    }
+    table.note("paper: ~10x failure-rate increase per 10°C (k ≈ 0.20–0.26)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fitted_coefficients_match_eq1() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            let fitted: f64 = row[1].parse().unwrap();
+            let paper: f64 = row[2].parse().unwrap();
+            assert!(
+                (fitted - paper).abs() < 0.08,
+                "{}: fitted {fitted} vs paper {paper}",
+                row[0]
+            );
+            let r2: f64 = row[3].parse().unwrap();
+            assert!(r2 > 0.9, "{}: R² {r2}", row[0]);
+        }
+    }
+}

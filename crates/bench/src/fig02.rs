@@ -1,0 +1,90 @@
+//! Fig. 2 — retention failure rates (BER) vs. refresh interval, with
+//! failures classified against lower intervals as *unique* (never seen at a
+//! lower interval), *repeat* (seen lower and here), and *non-repeat* (seen
+//! lower but not here).
+//!
+//! Reproduces Observation 1: most cells failing at an interval fail again
+//! at higher intervals (repeat ≫ non-repeat).
+
+use std::collections::HashSet;
+
+use reaper_dram_model::{Celsius, Ms};
+
+use crate::table::{fmt_f, Scale, Table};
+use crate::util::{profile_union, study_population};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 2 — BER vs. refresh interval (unique / repeat / non-repeat), 45°C",
+        &[
+            "interval",
+            "unique BER",
+            "repeat BER",
+            "non-repeat BER",
+            "total BER",
+        ],
+    );
+
+    let intervals = [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0];
+    let iterations = scale.pick(2, 4);
+    let ambient = Celsius::new(45.0);
+    let mut pop = study_population(scale);
+
+    // Per interval: (unique, repeat, nonrepeat) cell counts summed over
+    // chips, with per-chip classification against all lower intervals.
+    let mut sums = vec![(0u64, 0u64, 0u64); intervals.len()];
+    let mut represented_bits = 0u64;
+
+    for chip in pop.chips_mut() {
+        represented_bits += chip.config().represented_bits;
+        let mut seen_lower: HashSet<u64> = HashSet::new();
+        for (ii, &interval) in intervals.iter().enumerate() {
+            let profile = profile_union(chip, Ms::new(interval), ambient, iterations);
+            let here: HashSet<u64> = profile.iter().collect();
+            let repeat = here.intersection(&seen_lower).count() as u64;
+            let unique = here.len() as u64 - repeat;
+            let nonrepeat = seen_lower.difference(&here).count() as u64;
+            sums[ii].0 += unique;
+            sums[ii].1 += repeat;
+            sums[ii].2 += nonrepeat;
+            seen_lower.extend(here);
+        }
+    }
+
+    for (ii, &interval) in intervals.iter().enumerate() {
+        let (u, r, n) = sums[ii];
+        let ber = |c: u64| c as f64 / represented_bits as f64;
+        table.push_row(vec![
+            Ms::new(interval).to_string(),
+            fmt_f(ber(u)),
+            fmt_f(ber(r)),
+            fmt_f(ber(n)),
+            fmt_f(ber(u + r)),
+        ]);
+    }
+    table.note("paper: total BER grows polynomially; repeat dominates non-repeat (Obs. 1)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ber_grows_and_repeats_dominate() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 7);
+        let total = |row: &Vec<String>| row[4].parse::<f64>().unwrap();
+        let at_512 = total(&t.rows[3]);
+        let at_4096 = total(&t.rows[6]);
+        assert!(at_4096 > 10.0 * at_512, "{at_512} -> {at_4096}");
+        // At high intervals, repeat >> non-repeat (Observation 1).
+        let repeat: f64 = t.rows[6][2].parse().unwrap();
+        let nonrepeat: f64 = t.rows[6][3].parse().unwrap();
+        assert!(repeat > 3.0 * nonrepeat.max(1e-12));
+        // Total BER at 1024ms is in the calibrated ballpark (≈1.4e-7).
+        let at_1024 = total(&t.rows[4]);
+        assert!((3e-8..6e-7).contains(&at_1024), "BER(1024ms) = {at_1024}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Fig. 3 — brute-force failure discovery over six days at 2048 ms / 45 °C
+//! on the representative chip: cumulative, per-iteration unique, and
+//! per-iteration repeat counts.
+//!
+//! Reproduces the two-phase shape: a base-set discovery knee (~10 hours in
+//! the paper) followed by steady-state VRT accumulation (~1 new cell per
+//! 20 seconds at these conditions).
+
+use reaper_core::profiler::{PatternSet, Profiler};
+use reaper_core::TargetConditions;
+use reaper_dram_model::{Celsius, Ms};
+
+use crate::table::{fmt_f, Scale, Table};
+use crate::util::{harness_for, representative_chip};
+
+/// Wall-clock seconds per profiling iteration in the paper's campaign
+/// (6 days / 800 iterations).
+const SECS_PER_ITERATION: f64 = 6.0 * 86_400.0 / 800.0;
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 3 — brute-force discovery over time, 2048ms @ 45°C (Vendor B chip)",
+        &["hours", "iteration", "cumulative", "unique/iter", "repeat/iter"],
+    );
+
+    let iterations = scale.pick(80u32, 800u32);
+    let report_every = scale.pick(8u32, 50u32);
+    let chip = representative_chip(scale);
+    let mut harness = harness_for(&chip, Celsius::new(45.0), 3);
+    let target = TargetConditions::new(Ms::new(2048.0), Celsius::new(45.0));
+    let profiler = Profiler::brute_force(target, 1, PatternSet::Standard);
+
+    let mut cumulative = reaper_core::FailureProfile::new();
+    let mut stats_log: Vec<(f64, usize, usize, usize)> = Vec::new();
+    for it in 0..iterations {
+        // Pad each iteration to the paper's campaign cadence so VRT
+        // arrivals accrue on the real-time axis.
+        let run = profiler.run(&mut harness);
+        let iter_time = run.runtime.as_secs();
+        if iter_time < SECS_PER_ITERATION {
+            harness.idle(Ms::from_secs(SECS_PER_ITERATION - iter_time));
+        }
+        let mut unique = 0usize;
+        let mut repeat = 0usize;
+        for cell in run.profile.iter() {
+            if cumulative.insert(cell) {
+                unique += 1;
+            } else {
+                repeat += 1;
+            }
+        }
+        let hours = (it + 1) as f64 * SECS_PER_ITERATION / 3600.0;
+        stats_log.push((hours, cumulative.len(), unique, repeat));
+    }
+
+    for (i, &(hours, cum, unique, repeat)) in stats_log.iter().enumerate() {
+        if (i + 1) % report_every as usize == 0 || i == 0 {
+            table.push_row(vec![
+                fmt_f(hours),
+                (i + 1).to_string(),
+                cum.to_string(),
+                unique.to_string(),
+                repeat.to_string(),
+            ]);
+        }
+    }
+
+    // Steady-state accumulation rate over the second half of the campaign.
+    let half = stats_log.len() / 2;
+    let (h0, c0, ..) = stats_log[half];
+    let (h1, c1, ..) = *stats_log.last().expect("nonempty");
+    let rate_per_hour = (c1 - c0) as f64 / (h1 - h0);
+    table.note(format!(
+        "steady-state accumulation: {:.1} cells/hour (paper: ~180 cells/hour ≙ 1 cell / 20 s at full 2GB capacity; \
+         this chip represents 1/{} of that)",
+        rate_per_hour,
+        (2.0 * (1u64 << 30) as f64 * 8.0 / chip.config().represented_bits as f64) as u64
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovery_has_knee_then_steady_accumulation() {
+        let t = run(Scale::Quick);
+        assert!(t.rows.len() >= 5);
+        let cum: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // Nondecreasing cumulative counts.
+        for w in cum.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // The first reported iteration already finds most of the base set:
+        // late-campaign cumulative must not be a large multiple of it.
+        let first = cum[0].max(1.0);
+        let last = *cum.last().unwrap();
+        assert!(last < first * 3.0, "first {first}, last {last}");
+        assert!(last > first, "VRT accumulation must add cells");
+    }
+}

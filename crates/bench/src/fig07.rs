@@ -1,0 +1,79 @@
+//! Fig. 7 — distributions of the per-cell normal-CDF parameters (μ, σ)
+//! across temperatures: both distributions shift left (smaller) as
+//! temperature rises.
+//!
+//! Methodology: fit each cell's CDF at 40 °C, then re-fit the *same cells*
+//! at higher temperatures and compare the parameter distributions.
+
+use std::collections::HashMap;
+
+use reaper_analysis::stats;
+use reaper_dram_model::Celsius;
+
+use crate::table::{fmt_f, Scale, Table};
+use crate::util::{estimate_cell_fit_map, representative_chip, CellFit};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 7 — per-cell (μ, σ) distributions vs. ambient temperature (same cells tracked)",
+        &["ambient", "cells", "mean μ (s)", "median μ (s)", "mean σ (ms)", "median σ (ms)"],
+    );
+
+    let chip = representative_chip(scale);
+    let steps = scale.pick(24usize, 36usize);
+    let trials = scale.pick(6u64, 12u64);
+    let intervals: Vec<f64> = (0..steps).map(|i| 0.2 + i as f64 * 0.16).collect();
+
+    let temps = [40.0, 45.0, 50.0, 55.0];
+    let maps: Vec<HashMap<u64, CellFit>> = temps
+        .iter()
+        .map(|&a| estimate_cell_fit_map(&chip, Celsius::new(a), &intervals, trials))
+        .collect();
+
+    // Cells fitted at every temperature — the trackable subset.
+    let common: Vec<u64> = maps[0]
+        .keys()
+        .filter(|c| maps.iter().all(|m| m.contains_key(c)))
+        .copied()
+        .collect();
+    assert!(!common.is_empty(), "no common cells across temperatures");
+
+    for (mi, &ambient) in temps.iter().enumerate() {
+        let mut mus: Vec<f64> = common.iter().map(|c| maps[mi][c].mu).collect();
+        let mut sigmas: Vec<f64> = common.iter().map(|c| maps[mi][c].sigma * 1e3).collect();
+        mus.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        sigmas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        table.push_row(vec![
+            format!("{ambient}°C"),
+            common.len().to_string(),
+            fmt_f(stats::mean(&mus).expect("nonempty")),
+            fmt_f(stats::percentile_sorted(&mus, 50.0)),
+            fmt_f(stats::mean(&sigmas).expect("nonempty")),
+            fmt_f(stats::percentile_sorted(&sigmas, 50.0)),
+        ]);
+    }
+    table.note("paper: both distributions shift left with increasing temperature");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_shift_left_with_temperature() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        let mu_means: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(
+            *mu_means.last().unwrap() < mu_means[0],
+            "mean μ must shrink with temperature: {mu_means:?}"
+        );
+        let sig_means: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(
+            *sig_means.last().unwrap() < sig_means[0] * 1.05,
+            "mean σ should not grow with temperature: {sig_means:?}"
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 8 — the combined failure distribution of all characterized cells
+//! vs. refresh interval, across temperatures: at higher temperature or
+//! longer interval the typical cell is more likely to fail, and the two
+//! knobs are interchangeable (≈1 s of interval ≙ ≈10 °C at these
+//! conditions).
+//!
+//! Methodology: combine the per-cell normal fits of the cells tracked
+//! across every temperature ("combining the normal distributions of
+//! individual cell failures from a representative chip").
+
+use std::collections::HashMap;
+
+use reaper_analysis::stats;
+use reaper_dram_model::Celsius;
+
+use crate::table::{fmt_f, Scale, Table};
+use crate::util::{estimate_cell_fit_map, representative_chip, CellFit};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 8 — combined failure distribution (mean μ ± combined σ) vs. temperature",
+        &["ambient", "combined mean (s)", "combined sd (s)", "mean-shift vs 40°C (s)"],
+    );
+
+    let chip = representative_chip(scale);
+    let steps = scale.pick(24usize, 36usize);
+    let trials = scale.pick(6u64, 12u64);
+    let intervals: Vec<f64> = (0..steps).map(|i| 0.2 + i as f64 * 0.16).collect();
+
+    let temps = [40.0, 45.0, 50.0, 55.0];
+    let maps: Vec<HashMap<u64, CellFit>> = temps
+        .iter()
+        .map(|&a| estimate_cell_fit_map(&chip, Celsius::new(a), &intervals, trials))
+        .collect();
+    let common: Vec<u64> = maps[0]
+        .keys()
+        .filter(|c| maps.iter().all(|m| m.contains_key(c)))
+        .copied()
+        .collect();
+    assert!(!common.is_empty(), "no common cells across temperatures");
+
+    let mut means = Vec::new();
+    for (mi, &ambient) in temps.iter().enumerate() {
+        let mus: Vec<f64> = common.iter().map(|c| maps[mi][c].mu).collect();
+        let mean = stats::mean(&mus).expect("nonempty");
+        let sd = stats::std_dev(&mus).expect("nonempty");
+        means.push(mean);
+        table.push_row(vec![
+            format!("{ambient}°C"),
+            fmt_f(mean),
+            fmt_f(sd),
+            fmt_f(means[0] - mean),
+        ]);
+    }
+
+    // Interval-per-degree equivalence over the measured span.
+    let span = temps.last().unwrap() - temps[0];
+    let shift = means[0] - means.last().unwrap();
+    table.note(format!(
+        "equivalence: {:.2} s of interval per 10°C over {}–{}°C (paper: ~1 s ≙ 10°C at 45°C)",
+        shift / span * 10.0,
+        temps[0],
+        temps.last().unwrap()
+    ));
+    table.note(format!("{} cells tracked across all temperatures", common.len()));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_distribution_shifts_with_temperature() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 4);
+        let means: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(
+            *means.last().unwrap() < means[0],
+            "combined mean must drop with heat: {means:?}"
+        );
+        assert!(t.notes[0].contains("equivalence"));
+    }
+}

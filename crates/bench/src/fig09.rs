@@ -1,0 +1,83 @@
+//! Fig. 9 — coverage (top) and false positive rate (bottom) as functions of
+//! the reach conditions (Δ refresh interval × Δ temperature), for the
+//! representative chip at a 1024 ms / 45 °C target.
+
+use reaper_core::tradeoff::{ExploreOptions, GroundTruth, TradeoffAnalysis};
+use reaper_core::TargetConditions;
+use reaper_dram_model::{Celsius, Ms};
+
+use crate::table::{fmt_pct, Scale, Table};
+use crate::util::representative_chip;
+
+/// Shared exploration used by Figs. 9 and 10.
+pub fn explore(scale: Scale) -> TradeoffAnalysis {
+    let chip = representative_chip(scale);
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    let deltas_i: Vec<Ms> = scale
+        .pick(vec![0.0, 125.0, 250.0, 500.0], vec![0.0, 125.0, 250.0, 375.0, 500.0, 750.0, 1000.0])
+        .into_iter()
+        .map(Ms::new)
+        .collect();
+    let deltas_t: Vec<f64> = scale.pick(vec![0.0, 5.0], vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    let opts = ExploreOptions {
+        profile_iterations: scale.pick(8, 16),
+        ground_truth: GroundTruth::Empirical {
+            iterations: scale.pick(16, 32),
+        },
+        coverage_goal: 0.9,
+        max_runtime_iterations: scale.pick(48, 96),
+        seed: 0x0F19,
+    };
+    TradeoffAnalysis::explore(&chip, target, &deltas_i, &deltas_t, opts)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let analysis = explore(scale);
+    let mut table = Table::new(
+        "Fig. 9 — coverage and false positive rate vs. reach conditions (target 1024ms @ 45°C)",
+        &["Δtemp (°C)", "Δinterval", "coverage", "false positive rate"],
+    );
+    for p in &analysis.points {
+        table.push_row(vec![
+            format!("{:+.1}", p.reach.delta_temp),
+            format!("{:+}", p.reach.delta_interval),
+            fmt_pct(p.coverage),
+            fmt_pct(p.false_positive_rate),
+        ]);
+    }
+    table.note(format!(
+        "ground truth: {} cells (empirical union at target)",
+        analysis.ground_truth_size
+    ));
+    table.note("paper: raising either knob raises coverage AND false positives (direct tradeoff)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse::<f64>().unwrap() / 100.0
+    }
+
+    #[test]
+    fn coverage_and_fpr_rise_along_both_axes() {
+        let t = run(Scale::Quick);
+        // Quick grid: 4 interval deltas x 2 temp deltas, row-major by temp.
+        assert_eq!(t.rows.len(), 8);
+        let cov: Vec<f64> = t.rows.iter().map(|r| pct(&r[2])).collect();
+        let fpr: Vec<f64> = t.rows.iter().map(|r| pct(&r[3])).collect();
+        // Within the 0°C row: +500ms beats brute force on coverage and FPR
+        // rises.
+        assert!(cov[3] >= cov[0] - 0.01, "coverage {:?}", &cov[..4]);
+        assert!(fpr[3] > fpr[0], "fpr {:?}", &fpr[..4]);
+        // Temperature axis: (+0ms, +5°C) also raises both.
+        assert!(cov[4] >= cov[0] - 0.01);
+        assert!(fpr[4] > fpr[0]);
+        // Headline vicinity: +250ms achieves >97% coverage with FPR < 60%.
+        assert!(cov[2] > 0.97, "+250ms coverage {}", cov[2]);
+        assert!(fpr[2] < 0.60, "+250ms fpr {}", fpr[2]);
+    }
+}

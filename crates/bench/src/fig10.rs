@@ -1,0 +1,47 @@
+//! Fig. 10 — profiling runtime (normalized to brute force) vs. reach
+//! conditions: iterations to 90 % coverage of the target ground truth,
+//! converted to time by the Eq. 9 cost model.
+
+use crate::fig09;
+use crate::table::{fmt_f, Scale, Table};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let analysis = fig09::explore(scale);
+    let mut table = Table::new(
+        "Fig. 10 — relative profiling runtime vs. reach conditions (90% coverage goal)",
+        &["Δtemp (°C)", "Δinterval", "iterations", "patterns", "runtime vs brute force", "speedup"],
+    );
+    for p in &analysis.points {
+        table.push_row(vec![
+            format!("{:+.1}", p.reach.delta_temp),
+            format!("{:+}", p.reach.delta_interval),
+            format!("{}{}", p.iterations_to_goal, if p.met_goal { "" } else { "*" }),
+            p.patterns_to_goal.to_string(),
+            fmt_f(p.runtime_rel),
+            format!("{:.2}x", p.speedup()),
+        ]);
+    }
+    table.note("* goal not met within the iteration cap");
+    table.note("paper: aggressive reach conditions yield large speedups at the cost of false positives");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reach_is_faster_than_brute_force() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.rows.len(), 8);
+        let rel: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        // Brute force row normalizes to 1.0.
+        assert!((rel[0] - 1.0).abs() < 1e-9);
+        // Larger interval reach is faster (fewer iterations dominate the
+        // slightly longer per-iteration wait).
+        assert!(rel[3] < 1.0, "+500ms rel {}", rel[3]);
+        // Temperature reach alone is also faster than brute force.
+        assert!(rel[4] <= 1.0 + 1e-9, "+5C rel {}", rel[4]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fig. 11 — fraction of total system time spent profiling vs. online
+//! profiling interval, for brute-force profiling and REAPER (2.5×), across
+//! chip sizes (Eq. 9 with 16 iterations, 6 data patterns, profiling at
+//! 1024 ms).
+
+use reaper_core::overhead::{OverheadModel, PAPER_CHIP_SIZES_GBIT};
+use reaper_dram_model::Ms;
+
+use crate::table::{fmt_pct, Scale, Table};
+
+/// REAPER's measured runtime speedup over brute force (§6.1.2).
+pub const REAPER_SPEEDUP: f64 = 2.5;
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 11 — system time spent profiling vs. online profiling interval (1024ms, 16 iters, 6 DPs)",
+        &["chip size", "online interval (h)", "brute force", "REAPER (2.5x)"],
+    );
+    for &gbit in &PAPER_CHIP_SIZES_GBIT {
+        let model = OverheadModel::paper_fig11(Ms::new(1024.0), gbit);
+        for &hours in &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
+            let online = Ms::from_hours(hours);
+            table.push_row(vec![
+                format!("{gbit}Gb"),
+                format!("{hours}"),
+                fmt_pct(model.time_fraction(online)),
+                fmt_pct(model.time_fraction_with_speedup(online, REAPER_SPEEDUP)),
+            ]);
+        }
+    }
+    table.note("paper anchor: 64Gb @ 4h = 22.7% brute force, 9.1% REAPER");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse::<f64>().unwrap() / 100.0
+    }
+
+    #[test]
+    fn matches_paper_anchor_point() {
+        let t = run(Scale::Quick);
+        // 64Gb rows are the last 7; 4h is the third entry.
+        let row = t
+            .rows
+            .iter()
+            .find(|r| r[0] == "64Gb" && r[1] == "4")
+            .expect("64Gb @ 4h row");
+        assert!((pct(&row[2]) - 0.227).abs() < 0.02, "brute {}", row[2]);
+        assert!((pct(&row[3]) - 0.091).abs() < 0.01, "reaper {}", row[3]);
+    }
+
+    #[test]
+    fn overhead_shrinks_with_online_interval_and_grows_with_size() {
+        let t = run(Scale::Quick);
+        let frac = |size: &str, hours: &str| {
+            pct(&t.rows.iter().find(|r| r[0] == size && r[1] == hours).unwrap()[2])
+        };
+        assert!(frac("8Gb", "1") > frac("8Gb", "64"));
+        assert!(frac("64Gb", "4") > frac("8Gb", "4"));
+        // REAPER always beats brute force.
+        for r in &t.rows {
+            assert!(pct(&r[3]) <= pct(&r[2]));
+        }
+    }
+}

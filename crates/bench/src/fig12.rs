@@ -1,0 +1,77 @@
+//! Fig. 12 — DRAM power consumed by online profiling vs. online profiling
+//! interval, for brute force and REAPER, across chip sizes.
+//!
+//! The paper's absolute axis is labeled in nanowatts; our per-command
+//! energy model yields milliwatt-scale figures for the same sweep. The
+//! *relationships* the paper draws from the figure — power grows with chip
+//! size, shrinks with the online interval, REAPER < brute force, and the
+//! total is negligible against module power — all hold (see the
+//! accompanying test and `EXPERIMENTS.md`).
+
+use reaper_core::overhead::PAPER_CHIP_SIZES_GBIT;
+use reaper_dram_model::Ms;
+use reaper_power::PowerModel;
+
+use crate::fig11::REAPER_SPEEDUP;
+use crate::table::{fmt_f, Scale, Table};
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 12 — added DRAM power from online profiling (W)",
+        &["chip size", "online interval (h)", "brute force (W)", "REAPER (W)", "vs module power"],
+    );
+    for &gbit in &PAPER_CHIP_SIZES_GBIT {
+        let model = PowerModel::lpddr4(gbit, 32);
+        for &hours in &[1.0, 4.0, 16.0, 64.0] {
+            let online = Ms::from_hours(hours);
+            let brute = model.profiling_power_w(6, 16, online);
+            // REAPER runs ~2.5x fewer effective iterations per round.
+            let reaper = brute / REAPER_SPEEDUP;
+            table.push_row(vec![
+                format!("{gbit}Gb"),
+                format!("{hours}"),
+                fmt_f(brute),
+                fmt_f(reaper),
+                fmt_f(brute / model.background_power_w()),
+            ]);
+        }
+    }
+    table.note("paper: profiling power is negligible relative to total DRAM power (§7.3.2 observation 4)");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_trends_hold() {
+        let t = run(Scale::Quick);
+        let get = |size: &str, hours: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == size && r[1] == hours)
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        // Grows with chip size.
+        assert!(get("64Gb", "4") > get("8Gb", "4"));
+        // Shrinks with the online interval.
+        assert!(get("8Gb", "1") > get("8Gb", "64"));
+        // Small against module power everywhere, negligible at the
+        // multi-hour online intervals the longevity model actually yields.
+        for r in &t.rows {
+            let ratio: f64 = r[4].parse().unwrap();
+            assert!(ratio < 0.20, "{}: ratio {ratio}", r[0]);
+            if r[1] != "1" {
+                assert!(ratio < 0.05, "{} @ {}h: ratio {ratio}", r[0], r[1]);
+            }
+            // REAPER below brute force.
+            let brute: f64 = r[2].parse().unwrap();
+            let reaper: f64 = r[3].parse().unwrap();
+            assert!(reaper < brute);
+        }
+    }
+}

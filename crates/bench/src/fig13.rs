@@ -1,0 +1,217 @@
+//! Fig. 13 — end-to-end system performance improvement (top) and DRAM
+//! power reduction (bottom) vs. refresh interval, for online brute-force
+//! profiling, REAPER, and ideal (zero-overhead) profiling, across chip
+//! sizes and 20 heterogeneous 4-core workload mixes.
+//!
+//! Pipeline per (chip size, refresh interval):
+//! 1. ideal gains: weighted-speedup improvement over the 64 ms baseline,
+//!    from the cycle-level memory-system simulator;
+//! 2. online profiling frequency: profile longevity `T = N/A` (Eq. 7, full
+//!    coverage as the paper assumes) with a SECDED ECC budget;
+//! 3. profiling overhead: Eq. 9 round time over `T` (REAPER at its 2.5×
+//!    speedup), applied via Eq. 8;
+//! 4. power: command-level DRAM power from the same simulations.
+
+use std::collections::HashMap;
+
+use reaper_core::ecc::EccStrength;
+use reaper_core::longevity::LongevityModel;
+use reaper_core::overhead::{module_bytes, OverheadModel};
+use reaper_core::TargetConditions;
+use reaper_dram_model::{Celsius, Ms, Vendor};
+use reaper_memsim::{simulate, weighted_speedup, SimConfig};
+use reaper_power::PowerModel;
+use reaper_retention::RetentionConfig;
+use reaper_workloads::WorkloadMix;
+
+use crate::fig11::REAPER_SPEEDUP;
+use crate::table::{fmt_pct, Scale, Table};
+
+/// Refresh intervals on the x-axis (`None` = refresh disabled).
+fn intervals(scale: Scale) -> Vec<Option<f64>> {
+    match scale {
+        Scale::Quick => vec![Some(128.0), Some(512.0), Some(1024.0), Some(1280.0), None],
+        Scale::Full => vec![
+            Some(128.0),
+            Some(256.0),
+            Some(512.0),
+            Some(768.0),
+            Some(1024.0),
+            Some(1280.0),
+            Some(1536.0),
+            None,
+        ],
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Fig. 13 — end-to-end performance improvement & DRAM power reduction vs. refresh interval",
+        &[
+            "chip", "interval", "brute mean", "brute max", "REAPER mean", "REAPER max",
+            "ideal mean", "ideal max", "power reduction",
+        ],
+    );
+
+    let sizes: Vec<u32> = scale.pick(vec![8, 64], vec![8, 16, 32, 64]);
+    // Simulations must span many tREFI periods at the longest refresh
+    // interval (tREFI(512ms) = 100k memory cycles) for refresh sampling;
+    // memory-bound mixes run at low IPC, so 100k+ instructions suffice.
+    let mixes = WorkloadMix::random_mixes(
+        scale.pick(4, 20),
+        4,
+        scale.pick(1024, 2048),
+        0xF13,
+    );
+    let instructions = scale.pick(100_000, 250_000) as u64;
+    let retention = RetentionConfig::for_vendor(Vendor::B);
+    let ecc = EccStrength::secded();
+
+    for &gbit in &sizes {
+        // Alone-IPC denominators at the 64 ms baseline config.
+        let base_cfg = SimConfig::lpddr4_3200(gbit, Some(Ms::new(64.0)));
+        let mut alone: HashMap<&'static str, f64> = HashMap::new();
+        for mix in &mixes {
+            for (name, trace) in mix.names().iter().zip(mix.traces()) {
+                alone.entry(name).or_insert_with(|| {
+                    simulate(&base_cfg, std::slice::from_ref(trace), instructions).ipc[0]
+                });
+            }
+        }
+        let ws_of = |cfg: &SimConfig, mix: &WorkloadMix| {
+            let r = simulate(cfg, mix.traces(), instructions);
+            let alones: Vec<f64> = mix.names().iter().map(|n| alone[n]).collect();
+            (weighted_speedup(&r.ipc, &alones), r)
+        };
+
+        // Baseline WS and power per mix.
+        let power_model = PowerModel::lpddr4(gbit, 32);
+        let baseline: Vec<(f64, f64)> = mixes
+            .iter()
+            .map(|m| {
+                let (ws, r) = ws_of(&base_cfg, m);
+                let p = power_model.breakdown(&r.stats, r.elapsed_secs()).total_w();
+                (ws, p)
+            })
+            .collect();
+
+        for &interval in &intervals(scale) {
+            let cfg = SimConfig::lpddr4_3200(gbit, interval.map(Ms::new));
+            // Profiling overhead fractions for this operating point.
+            let (frac_brute, frac_reaper) = match interval {
+                None => (f64::NAN, f64::NAN), // no failing set: no profiling shown
+                Some(t) => {
+                    let target = TargetConditions::new(Ms::new(t), Celsius::new(45.0));
+                    let longevity = LongevityModel::for_system(
+                        ecc,
+                        module_bytes(gbit),
+                        1e-15,
+                        &retention,
+                        target,
+                        1.0, // paper: full coverage assumed for longevity
+                    )
+                    .longevity()
+                    .expect("full coverage keeps the profile viable");
+                    let round = OverheadModel::new(Ms::new(t), 6, 16, module_bytes(gbit));
+                    let brute = round.time_fraction(longevity);
+                    (brute, (brute / REAPER_SPEEDUP).min(1.0))
+                }
+            };
+
+            let mut ideal_gains = Vec::new();
+            let mut power_reductions = Vec::new();
+            for (mix, &(ws_base, p_base)) in mixes.iter().zip(&baseline) {
+                let (ws, r) = ws_of(&cfg, mix);
+                ideal_gains.push(ws / ws_base - 1.0);
+                let p = power_model.breakdown(&r.stats, r.elapsed_secs()).total_w();
+                power_reductions.push(1.0 - p / p_base);
+            }
+            let apply = |g: f64, frac: f64| {
+                if frac.is_nan() {
+                    g
+                } else {
+                    (1.0 + g) * (1.0 - frac) - 1.0
+                }
+            };
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            let max = |v: &[f64]| v.iter().copied().fold(f64::MIN, f64::max);
+
+            let brute: Vec<f64> = ideal_gains.iter().map(|&g| apply(g, frac_brute)).collect();
+            let reaper: Vec<f64> = ideal_gains.iter().map(|&g| apply(g, frac_reaper)).collect();
+
+            table.push_row(vec![
+                format!("{gbit}Gb"),
+                interval.map_or("no ref".to_string(), |t| Ms::new(t).to_string()),
+                fmt_pct(mean(&brute)),
+                fmt_pct(max(&brute)),
+                fmt_pct(mean(&reaper)),
+                fmt_pct(max(&reaper)),
+                fmt_pct(mean(&ideal_gains)),
+                fmt_pct(max(&ideal_gains)),
+                fmt_pct(mean(&power_reductions)),
+            ]);
+
+            // §7.3.2 composition estimate: ArchShield costs ~1% system
+            // performance (its paper's Section 5.1); REAPER + ArchShield =
+            // REAPER minus that cost.
+            if gbit == 64 && interval == Some(1024.0) {
+                table.note(format!(
+                    "§7.3.2 composition (64Gb @ 1024ms): REAPER+ArchShield ≈ {} mean / {} max \
+                     (paper: 12.5% mean, 23.7% max); brute+ArchShield ≈ {}",
+                    fmt_pct(mean(&reaper) - 0.01),
+                    fmt_pct(max(&reaper) - 0.01),
+                    fmt_pct(mean(&brute) - 0.01),
+                ));
+            }
+        }
+    }
+    table.note("paper anchors (64Gb): 512ms REAPER ≈ +16.3% mean perf, no-ref ≈ +18.8%; brute force degrades (-5.4%) at 1280ms while REAPER stays positive");
+    table.note("profiling adds negligible DRAM power (Fig. 12), so power reduction is shown once per operating point");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(s: &str) -> f64 {
+        s.trim_end_matches('%').parse::<f64>().unwrap() / 100.0
+    }
+
+    #[test]
+    fn fig13_shape_holds() {
+        let t = run(Scale::Quick);
+        let row = |chip: &str, interval: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == chip && r[1] == interval)
+                .unwrap_or_else(|| panic!("row {chip}/{interval}"))
+        };
+
+        // Ideal gains grow with refresh interval for 64Gb chips.
+        let ideal_512 = pct(&row("64Gb", "512.0ms")[6]);
+        let ideal_128 = pct(&row("64Gb", "128.0ms")[6]);
+        let ideal_noref = pct(&row("64Gb", "no ref")[6]);
+        assert!(ideal_512 > ideal_128, "{ideal_128} -> {ideal_512}");
+        assert!(ideal_noref >= ideal_512, "{ideal_512} -> {ideal_noref}");
+        assert!(ideal_noref > 0.05, "no-ref gain {ideal_noref}");
+
+        // 64Gb gains exceed 8Gb gains (bigger tRFC).
+        assert!(pct(&row("64Gb", "no ref")[6]) > pct(&row("8Gb", "no ref")[6]));
+
+        // At 1280ms, brute force loses most of the benefit while REAPER
+        // retains more (the paper's headline crossover).
+        let brute_1280 = pct(&row("64Gb", "1.280s")[2]);
+        let reaper_1280 = pct(&row("64Gb", "1.280s")[4]);
+        let ideal_1280 = pct(&row("64Gb", "1.280s")[6]);
+        assert!(reaper_1280 > brute_1280, "{brute_1280} vs {reaper_1280}");
+        assert!(ideal_1280 > reaper_1280);
+
+        // Power reduction grows with interval and is large for 64Gb.
+        let p_512 = pct(&row("64Gb", "512.0ms")[8]);
+        let p_noref = pct(&row("64Gb", "no ref")[8]);
+        assert!(p_noref >= p_512);
+        assert!(p_noref > 0.15, "no-ref power reduction {p_noref}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Experiment harnesses that regenerate **every table and figure** of the
+//! REAPER paper's evaluation (see `DESIGN.md` §4 for the experiment index
+//! and `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! Each `figNN`/`tableN` module exposes a `run(Scale) -> Table` function;
+//! the `experiments` binary prints any or all of them:
+//!
+//! ```text
+//! cargo run --release -p reaper-bench --bin experiments -- all
+//! cargo run --release -p reaper-bench --bin experiments -- fig09 --full
+//! ```
+
+pub mod abl_axes;
+pub mod abl_patterns;
+pub mod abl_refresh_mode;
+pub mod abl_scrubbing;
+pub mod eq1;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod headline;
+pub mod longevity_example;
+pub mod table;
+pub mod table1;
+pub mod util;
+
+pub use table::{Scale, Table};
+
+/// An experiment entry: its registry name and runner.
+pub type Experiment = (&'static str, fn(Scale) -> Table);
+
+/// All experiment names, in paper order, with the function that runs each.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("eq1", eq1::run as fn(Scale) -> Table),
+        ("fig02", fig02::run),
+        ("fig03", fig03::run),
+        ("fig04", fig04::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("table1", table1::run),
+        ("headline", headline::run),
+        ("longevity", longevity_example::run),
+        ("abl_patterns", abl_patterns::run),
+        ("abl_axes", abl_axes::run),
+        ("abl_refresh_mode", abl_refresh_mode::run),
+        ("abl_scrubbing", abl_scrubbing::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        // 13 figures (2-13 + eq1) + table1 + headline + longevity +
+        // 4 ablations/demonstrations.
+        assert_eq!(names.len(), 20);
+        assert!(names.contains(&"abl_patterns"));
+        assert!(names.contains(&"fig09"));
+        assert!(names.contains(&"table1"));
+        // unique
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+}

@@ -1,0 +1,66 @@
+//! §6.2.3 worked example — profile longevity for 2 GB DRAM with SECDED at a
+//! 1024 ms / 45 °C target and 99 % coverage: `T = (N − C)/A ≈ 2.3 days`.
+
+use reaper_core::ecc::EccStrength;
+use reaper_core::longevity::LongevityModel;
+use reaper_core::TargetConditions;
+use reaper_dram_model::{Celsius, Ms, Vendor};
+use reaper_retention::RetentionConfig;
+
+use crate::table::{fmt_f, Scale, Table};
+
+/// Runs the experiment.
+pub fn run(_scale: Scale) -> Table {
+    let mut table = Table::new(
+        "§6.2.3 — profile longevity worked example (2GB, SECDED, 99% coverage)",
+        &["target interval", "N (tolerable)", "C (missed)", "A (cells/h)", "longevity"],
+    );
+    let retention = RetentionConfig::for_vendor(Vendor::B);
+    for &(interval, coverage) in &[
+        (512.0, 0.99),
+        (1024.0, 0.99),
+        (1280.0, 0.99),
+        (1024.0, 1.0),
+    ] {
+        let target = TargetConditions::new(Ms::new(interval), Celsius::new(45.0));
+        let model = LongevityModel::for_system(
+            EccStrength::secded(),
+            2 << 30,
+            1e-15,
+            &retention,
+            target,
+            coverage,
+        );
+        let longevity = model
+            .longevity()
+            .map_or("not viable".to_string(), |t| format!("{:.2} days", t.as_days()));
+        table.push_row(vec![
+            format!("{} (cov {:.0}%)", Ms::new(interval), coverage * 100.0),
+            fmt_f(model.tolerable_failures),
+            fmt_f(model.missed_failures),
+            fmt_f(model.accumulation_per_hour),
+            longevity,
+        ]);
+    }
+    table.note("paper: N=65, C≈25, A=0.73/h ⇒ T ≈ 2.3 days at 1024ms/45°C with 99% coverage");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_is_days_scale() {
+        let t = run(Scale::Quick);
+        let row_1024 = &t.rows[1];
+        let days: f64 = row_1024[4].split(' ').next().unwrap().parse().unwrap();
+        // Paper: 2.3 days; our SECDED budget (N≈91 vs 65) gives ~3.7 days —
+        // same scale, same conclusion (reprofiling every few days).
+        assert!((1.0..8.0).contains(&days), "T = {days} days");
+        // Longevity shrinks sharply at 1280ms vs 512ms.
+        let d512: f64 = t.rows[0][4].split(' ').next().unwrap().parse().unwrap();
+        let d1280: f64 = t.rows[2][4].split(' ').next().unwrap().parse().unwrap();
+        assert!(d512 > 20.0 * d1280, "{d512} vs {d1280}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Tabular experiment output and run-scale selection.
+
+/// How much work an experiment run should do.
+///
+/// `Quick` keeps each experiment in the seconds range (used by tests and
+/// Criterion benches); `Full` approaches the paper's methodology (368-chip
+/// populations, 800-iteration campaigns, 20 workload mixes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Reduced populations and iteration counts; same code paths.
+    #[default]
+    Quick,
+    /// Paper-scale parameters.
+    Full,
+}
+
+impl Scale {
+    /// Picks `q` under `Quick` and `f` under `Full`.
+    pub fn pick<T>(self, q: T, f: T) -> T {
+        match self {
+            Scale::Quick => q,
+            Scale::Full => f,
+        }
+    }
+}
+
+/// A printable experiment result: a title, column headers, and string rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Experiment title (figure/table reference plus description).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows; each must match `columns` in length.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (assumptions, paper comparison points).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and columns.
+    pub fn new<S: Into<String>>(title: S, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length does not match the column count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line printed under the table.
+    pub fn note<S: Into<String>>(&mut self, s: S) {
+        self.notes.push(s.into());
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "{}", line.join("  "))?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt_f(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e4 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+        assert_eq!(Scale::default(), Scale::Quick);
+    }
+
+    #[test]
+    fn table_builds_and_renders() {
+        let mut t = Table::new("Test", &["a", "bb"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let s = t.to_string();
+        assert!(s.contains("## Test"));
+        assert!(s.contains("bb"));
+        assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(1.5), "1.500");
+        assert_eq!(fmt_f(1.43e-7), "1.430e-7");
+        assert_eq!(fmt_pct(0.5), "50.00%");
+    }
+}

@@ -1,0 +1,192 @@
+//! Shared helpers for the experiment harnesses.
+
+use reaper_analysis::special::phi;
+use reaper_core::FailureProfile;
+use reaper_dram_model::{Celsius, DataPattern, Ms, Vendor};
+use reaper_retention::{ChipPopulation, RetentionConfig, SimulatedChip};
+use reaper_softmc::TestHarness;
+
+use crate::table::Scale;
+
+/// DRAM-temperature offset (the chamber holds DRAM 15 °C above ambient).
+pub fn dram_temp(ambient: Celsius) -> Celsius {
+    ambient + reaper_softmc::thermal::DRAM_OFFSET
+}
+
+/// The "representative chip from Vendor B" the paper's Figs. 3, 6–10 use.
+pub fn representative_chip(scale: Scale) -> SimulatedChip {
+    let div = scale.pick(16, 2);
+    SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, div),
+        B_CHIP_SEED,
+    )
+}
+
+/// Seed for the representative chip (fixed so all figures see the same
+/// device, as in the paper).
+const B_CHIP_SEED: u64 = 0xBC417;
+
+/// A chip population standing in for the 368-chip study.
+pub fn study_population(scale: Scale) -> ChipPopulation {
+    match scale {
+        Scale::Quick => ChipPopulation::sample_study(9, 368),
+        Scale::Full => ChipPopulation::paper_study(8, 368),
+    }
+}
+
+/// Union of `iterations` standard-set profiling iterations driven directly
+/// on the chip (no harness time accounting) at the given conditions.
+pub fn profile_union(
+    chip: &mut SimulatedChip,
+    interval: Ms,
+    ambient: Celsius,
+    iterations: u64,
+) -> FailureProfile {
+    let temp = dram_temp(ambient);
+    let mut profile = FailureProfile::new();
+    for it in 0..iterations {
+        for p in DataPattern::standard_set(it) {
+            profile.extend(chip.retention_trial(p, interval, temp).into_vec());
+        }
+    }
+    profile
+}
+
+/// Builds a harness around a chip clone at the given ambient.
+pub fn harness_for(chip: &SimulatedChip, ambient: Celsius, seed: u64) -> TestHarness {
+    TestHarness::new(chip.clone(), ambient, seed)
+}
+
+/// Empirically fitted per-cell failure-CDF parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellFit {
+    /// Interval (seconds) at which the cell fails 50 % of trials.
+    pub mu: f64,
+    /// CDF spread (seconds), estimated from the 16th–84th percentile span.
+    pub sigma: f64,
+    /// Normalized skew of the empirical CDF:
+    /// `((t84 − t50) − (t50 − t16)) / σ`. A normal CDF (the paper's
+    /// Fig. 6a claim) has asymmetry ≈ 0.
+    pub asymmetry: f64,
+}
+
+/// Empirically estimates per-cell failure-CDF parameters (paper §5.5,
+/// Figs. 6–8 methodology): run `trials` trials per interval grid point with
+/// the random pattern and its inverse, count per-cell failures, and fit
+/// each cell's empirical CDF by interpolating its 16/50/84 % crossings.
+///
+/// Only cells whose CDF is fully resolved inside the grid are returned.
+pub fn estimate_cell_fits(
+    chip: &SimulatedChip,
+    ambient: Celsius,
+    intervals_s: &[f64],
+    trials: u64,
+) -> Vec<CellFit> {
+    estimate_cell_fit_map(chip, ambient, intervals_s, trials)
+        .into_values()
+        .collect()
+}
+
+/// Like [`estimate_cell_fits`] but keyed by cell index, so callers can
+/// track the *same* cells across conditions (Fig. 7's methodology).
+pub fn estimate_cell_fit_map(
+    chip: &SimulatedChip,
+    ambient: Celsius,
+    intervals_s: &[f64],
+    trials: u64,
+) -> std::collections::HashMap<u64, CellFit> {
+    use std::collections::HashMap;
+    let temp = dram_temp(ambient);
+    let mut chip = chip.clone();
+    // fail_counts[cell] = count per interval index.
+    let mut fail_counts: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (ii, &t) in intervals_s.iter().enumerate() {
+        for trial in 0..trials {
+            let p = if trial % 2 == 0 {
+                DataPattern::random(trial)
+            } else {
+                DataPattern::random(trial - 1).inverse()
+            };
+            let outcome = chip.retention_trial(p, Ms::from_secs(t), temp);
+            for &cell in outcome.failures() {
+                fail_counts
+                    .entry(cell)
+                    .or_insert_with(|| vec![0; intervals_s.len()])[ii] += 1;
+            }
+        }
+    }
+
+    let crossing = |fracs: &[f64], level: f64| -> Option<f64> {
+        for i in 1..fracs.len() {
+            if fracs[i - 1] < level && fracs[i] >= level {
+                let t0 = intervals_s[i - 1];
+                let t1 = intervals_s[i];
+                let f0 = fracs[i - 1];
+                let f1 = fracs[i];
+                let w = if f1 > f0 { (level - f0) / (f1 - f0) } else { 0.0 };
+                return Some(t0 + w * (t1 - t0));
+            }
+        }
+        None
+    };
+
+    let mut fits = HashMap::new();
+    for (&cell, counts) in &fail_counts {
+        // Trials per point: each interval saw `trials` trials, but polarity
+        // gating means a cell is only exposed on ~half of them.
+        let max_count = *counts.iter().max().expect("nonempty grid") as f64;
+        if max_count < trials as f64 * 0.35 {
+            continue; // CDF never saturates inside the grid
+        }
+        let fracs: Vec<f64> = counts.iter().map(|&c| c as f64 / max_count).collect();
+        let (Some(t16), Some(t50), Some(t84)) = (
+            crossing(&fracs, 0.16),
+            crossing(&fracs, 0.50),
+            crossing(&fracs, 0.84),
+        ) else {
+            continue;
+        };
+        let sigma = ((t84 - t16) / 2.0).max(1e-4);
+        let asymmetry = ((t84 - t50) - (t50 - t16)) / sigma;
+        fits.insert(cell, CellFit { mu: t50, sigma, asymmetry });
+    }
+    fits
+}
+
+/// Theoretical normal CDF value, exposed for shape checks in experiments.
+pub fn normal_cdf(z: f64) -> f64 {
+    phi(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_chip_is_vendor_b() {
+        let chip = representative_chip(Scale::Quick);
+        assert_eq!(chip.config().vendor, Vendor::B);
+    }
+
+    #[test]
+    fn profile_union_grows_with_iterations() {
+        let mut chip = representative_chip(Scale::Quick);
+        let one = profile_union(&mut chip, Ms::new(2048.0), Celsius::new(45.0), 1).len();
+        let mut chip = representative_chip(Scale::Quick);
+        let four = profile_union(&mut chip, Ms::new(2048.0), Celsius::new(45.0), 4).len();
+        assert!(four >= one);
+        assert!(one > 0);
+    }
+
+    #[test]
+    fn cell_fits_recover_sane_parameters() {
+        let chip = representative_chip(Scale::Quick);
+        let intervals: Vec<f64> = (1..=30).map(|i| 0.1 + i as f64 * 0.13).collect();
+        let fits = estimate_cell_fits(&chip, Celsius::new(45.0), &intervals, 8);
+        assert!(!fits.is_empty(), "no cells fitted");
+        for f in &fits {
+            assert!(f.mu > 0.0 && f.mu < 4.5, "mu {}", f.mu);
+            assert!(f.sigma > 0.0 && f.sigma < 1.0, "sigma {}", f.sigma);
+        }
+    }
+}

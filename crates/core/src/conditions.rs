@@ -1,0 +1,183 @@
+//! Target and reach operating conditions.
+//!
+//! A *target condition* is the (refresh interval, ambient temperature) the
+//! system wants to run DRAM at; a *reach condition* is the more aggressive
+//! (longer interval and/or hotter) point the profiler tests at (§6).
+
+use reaper_dram_model::{Celsius, Ms};
+
+/// The conditions the system will actually operate at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TargetConditions {
+    /// Target refresh interval.
+    pub interval: Ms,
+    /// Target ambient temperature.
+    pub ambient: Celsius,
+}
+
+impl TargetConditions {
+    /// Creates target conditions.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive.
+    pub fn new(interval: Ms, ambient: Celsius) -> Self {
+        assert!(interval.is_positive(), "target interval must be positive");
+        Self { interval, ambient }
+    }
+
+    /// The paper's most-discussed operating point: 1024 ms at 45 °C.
+    pub fn paper_example() -> Self {
+        Self::new(Ms::new(1024.0), Celsius::new(45.0))
+    }
+
+    /// The DRAM temperature corresponding to this ambient (the test
+    /// infrastructure holds DRAM 15 °C above ambient, §4). Ground-truth
+    /// queries against the retention simulator must use this temperature.
+    pub fn dram_temp(&self) -> Celsius {
+        self.ambient + reaper_softmc::thermal::DRAM_OFFSET
+    }
+}
+
+impl core::fmt::Display for TargetConditions {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "target({} @ {})", self.interval, self.ambient)
+    }
+}
+
+/// The offset from target conditions at which profiling runs.
+///
+/// `(0ms, 0°C)` reduces reach profiling to brute-force profiling at the
+/// target conditions (the paper's baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ReachConditions {
+    /// Extra refresh interval beyond the target.
+    pub delta_interval: Ms,
+    /// Extra ambient temperature beyond the target (degrees).
+    pub delta_temp: f64,
+}
+
+impl ReachConditions {
+    /// Creates a reach offset.
+    ///
+    /// # Panics
+    /// Panics if either delta is negative — profiling *below* target
+    /// conditions cannot reach the target failure population.
+    pub fn new(delta_interval: Ms, delta_temp: f64) -> Self {
+        assert!(
+            delta_interval.as_ms() >= 0.0,
+            "reach interval offset must be non-negative"
+        );
+        assert!(delta_temp >= 0.0, "reach temperature offset must be non-negative");
+        Self {
+            delta_interval,
+            delta_temp,
+        }
+    }
+
+    /// Brute-force profiling: zero offsets.
+    pub fn brute_force() -> Self {
+        Self::default()
+    }
+
+    /// Interval-only reach (the paper's REAPER implementation: "for
+    /// simplicity, we assume that temperature is not adjustable", §7.1).
+    pub fn interval_offset(delta: Ms) -> Self {
+        Self::new(delta, 0.0)
+    }
+
+    /// Temperature-only reach.
+    pub fn temp_offset(delta: f64) -> Self {
+        Self::new(Ms::ZERO, delta)
+    }
+
+    /// The paper's headline configuration: +250 ms, no temperature change
+    /// (§6.1.2: 99 % coverage, <50 % FPR, 2.5× speedup).
+    pub fn paper_headline() -> Self {
+        Self::interval_offset(Ms::new(250.0))
+    }
+
+    /// True if this is the degenerate brute-force point.
+    pub fn is_brute_force(&self) -> bool {
+        self.delta_interval == Ms::ZERO && self.delta_temp == 0.0
+    }
+
+    /// The absolute profiling conditions for a given target.
+    pub fn apply_to(&self, target: TargetConditions) -> (Ms, Celsius) {
+        (
+            target.interval + self.delta_interval,
+            target.ambient + self.delta_temp,
+        )
+    }
+}
+
+impl core::fmt::Display for ReachConditions {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "reach(+{}, +{:.1}°C)", self.delta_interval, self.delta_temp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_offsets() {
+        let t = TargetConditions::paper_example();
+        let r = ReachConditions::new(Ms::new(250.0), 5.0);
+        let (i, a) = r.apply_to(t);
+        assert_eq!(i, Ms::new(1274.0));
+        assert_eq!(a, Celsius::new(50.0));
+    }
+
+    #[test]
+    fn dram_temp_is_ambient_plus_offset() {
+        let t = TargetConditions::paper_example();
+        assert_eq!(t.dram_temp(), Celsius::new(60.0));
+    }
+
+    #[test]
+    fn brute_force_is_identity() {
+        let t = TargetConditions::paper_example();
+        let r = ReachConditions::brute_force();
+        assert!(r.is_brute_force());
+        assert_eq!(r.apply_to(t), (t.interval, t.ambient));
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(
+            ReachConditions::paper_headline(),
+            ReachConditions::interval_offset(Ms::new(250.0))
+        );
+        let r = ReachConditions::temp_offset(10.0);
+        assert_eq!(r.delta_interval, Ms::ZERO);
+        assert_eq!(r.delta_temp, 10.0);
+        assert!(!r.is_brute_force());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_interval_offset() {
+        ReachConditions::new(Ms::new(-1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_temp_offset() {
+        ReachConditions::new(Ms::ZERO, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn target_rejects_zero_interval() {
+        TargetConditions::new(Ms::ZERO, Celsius::new(45.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = TargetConditions::paper_example();
+        assert!(t.to_string().contains("1.024s"));
+        let r = ReachConditions::new(Ms::new(250.0), 5.0);
+        assert!(r.to_string().contains("+5.0°C"));
+    }
+}

@@ -1,0 +1,276 @@
+//! The ECC failure model: UBER as a function of RBER (paper Eqs. 2–6) and
+//! the tolerable-RBER analysis of Table 1.
+//!
+//! `UBER = (1/w) Σ_{n=k+1}^{w} C(w,n) Rⁿ (1−R)^{w−n}` — the probability of
+//! an uncorrectable (>k-bit) error in a `w`-bit ECC word, normalized per
+//! bit, assuming independent, randomly distributed retention failures
+//! (shown valid by prior work the paper cites).
+
+use reaper_analysis::special::ln_choose;
+
+/// Standard UBER targets from the paper (§6.2.2).
+pub mod uber_targets {
+    /// Consumer-grade target: 10⁻¹⁵.
+    pub const CONSUMER: f64 = 1e-15;
+    /// Enterprise-grade target: 10⁻¹⁷.
+    pub const ENTERPRISE: f64 = 1e-17;
+}
+
+/// An ECC configuration: a `word_bits`-bit code word able to correct up to
+/// `correctable` bit errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EccStrength {
+    word_bits: u32,
+    correctable: u32,
+}
+
+impl EccStrength {
+    /// Creates an ECC strength.
+    ///
+    /// # Panics
+    /// Panics if `word_bits == 0` or `correctable >= word_bits`.
+    pub fn new(word_bits: u32, correctable: u32) -> Self {
+        assert!(word_bits > 0, "ECC word must be nonempty");
+        assert!(
+            correctable < word_bits,
+            "cannot correct as many bits as the word holds"
+        );
+        Self {
+            word_bits,
+            correctable,
+        }
+    }
+
+    /// No ECC: a bare 64-bit data word, any single error is uncorrectable
+    /// (paper Eq. 4, k = 0).
+    pub fn none() -> Self {
+        Self::new(64, 0)
+    }
+
+    /// SECDED: single-error-correcting code over a 64-bit data word with 8
+    /// check bits (72,64) — paper Eq. 4, k = 1.
+    pub fn secded() -> Self {
+        Self::new(72, 1)
+    }
+
+    /// 2-bit-correcting ECC over a 64-bit data word (80,64 assumed, k = 2).
+    pub fn ecc2() -> Self {
+        Self::new(80, 2)
+    }
+
+    /// The three strengths of Table 1, in column order.
+    pub fn table1_strengths() -> [EccStrength; 3] {
+        [Self::none(), Self::secded(), Self::ecc2()]
+    }
+
+    /// ECC word size in bits.
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Number of correctable errors per word (`k`).
+    pub fn correctable(&self) -> u32 {
+        self.correctable
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self.correctable {
+            0 => "No ECC".to_string(),
+            1 => "SECDED".to_string(),
+            k => format!("ECC-{k}"),
+        }
+    }
+
+    /// Uncorrectable bit error rate at raw bit error rate `rber`
+    /// (paper Eq. 6).
+    ///
+    /// Computed in log space; for small `rber` the `n = k+1` term dominates
+    /// and the sum is evaluated until terms vanish.
+    ///
+    /// # Panics
+    /// Panics if `rber` is outside `[0, 1]`.
+    pub fn uber(&self, rber: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&rber), "RBER must be a probability");
+        if rber == 0.0 {
+            return 0.0;
+        }
+        if rber == 1.0 {
+            return 1.0 / self.word_bits as f64;
+        }
+        let w = self.word_bits as u64;
+        let ln_r = rber.ln();
+        let ln_q = (1.0 - rber).ln_1p_neg();
+        let mut total = 0.0_f64;
+        for n in (self.correctable as u64 + 1)..=w {
+            let ln_term = ln_choose(w, n) + n as f64 * ln_r + (w - n) as f64 * ln_q;
+            let term = ln_term.exp();
+            total += term;
+            // Terms decay geometrically by ~rber per step; stop when
+            // negligible.
+            if term < total * 1e-18 {
+                break;
+            }
+        }
+        total / self.word_bits as f64
+    }
+
+    /// The largest RBER whose UBER stays at or below `uber_target`
+    /// (the "Tolerable RBER" rows of Table 1). Solved by bisection on the
+    /// monotone `uber` function.
+    ///
+    /// # Panics
+    /// Panics if `uber_target` is outside `(0, 1)`.
+    pub fn tolerable_rber(&self, uber_target: f64) -> f64 {
+        assert!(
+            uber_target > 0.0 && uber_target < 1.0,
+            "UBER target must be in (0, 1)"
+        );
+        let mut lo = 0.0_f64;
+        let mut hi = 1.0_f64;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.uber(mid) <= uber_target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Number of tolerable raw bit errors in a DRAM of `dram_bytes` bytes at
+    /// the tolerable RBER for `uber_target` (the lower block of Table 1).
+    pub fn tolerable_bit_errors(&self, dram_bytes: u64, uber_target: f64) -> f64 {
+        self.tolerable_rber(uber_target) * (dram_bytes as f64 * 8.0)
+    }
+}
+
+impl core::fmt::Display for EccStrength {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} (w={}, k={})", self.label(), self.word_bits, self.correctable)
+    }
+}
+
+/// `ln(1 - e^x)`-style helper: extension trait computing `ln(q)` for
+/// `q = 1 - rber` accurately when `rber` is tiny.
+trait Ln1pNeg {
+    fn ln_1p_neg(self) -> f64;
+}
+
+impl Ln1pNeg for f64 {
+    /// For `self = 1 - r`, computes `ln(self)` via `ln_1p(-r)` when `r` is
+    /// small enough to lose precision in `1 - r`.
+    fn ln_1p_neg(self) -> f64 {
+        // self is (1 - rber); recover rber and use ln_1p for accuracy.
+        let r = 1.0 - self;
+        (-r).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_ecc_uber_is_roughly_rber() {
+        let e = EccStrength::none();
+        for &r in &[1e-15, 1e-12, 1e-9] {
+            let u = e.uber(r);
+            assert!((u / r - 1.0).abs() < 1e-6, "r={r} u={u}");
+        }
+    }
+
+    #[test]
+    fn table1_tolerable_rber_shape() {
+        // Paper Table 1 (UBER 1e-15): No ECC 1.0e-15, SECDED 3.8e-9,
+        // ECC-2 6.9e-7. With the (72,64)/(80,64) word sizes of Eq. 4 the
+        // values are the same order of magnitude; the orders must match.
+        let none = EccStrength::none().tolerable_rber(1e-15);
+        let secded = EccStrength::secded().tolerable_rber(1e-15);
+        let ecc2 = EccStrength::ecc2().tolerable_rber(1e-15);
+        assert!((none / 1e-15 - 1.0).abs() < 1e-3, "none {none}");
+        assert!((1e-9..1e-8).contains(&secded), "secded {secded}");
+        assert!((1e-7..1e-5).contains(&ecc2), "ecc2 {ecc2}");
+        assert!(none < secded && secded < ecc2);
+    }
+
+    #[test]
+    fn secded_tolerable_rber_close_to_paper() {
+        // (72,64) SECDED: UBER = (1/72) C(72,2) R² ⇒ R = sqrt(72e-15/2556)
+        let secded = EccStrength::secded().tolerable_rber(1e-15);
+        let analytic = (1e-15 * 72.0 / 2556.0_f64).sqrt();
+        assert!((secded / analytic - 1.0).abs() < 1e-3, "{secded} vs {analytic}");
+    }
+
+    #[test]
+    fn uber_is_monotone_in_rber() {
+        let e = EccStrength::secded();
+        let mut prev = 0.0;
+        for i in 1..12 {
+            let r = 10f64.powi(-i);
+            let u = e.uber(r);
+            if prev > 0.0 {
+                assert!(u < prev, "uber({r}) = {u} not < {prev}");
+            }
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn stronger_ecc_lower_uber() {
+        let r = 1e-6;
+        let u0 = EccStrength::none().uber(r);
+        let u1 = EccStrength::secded().uber(r);
+        let u2 = EccStrength::ecc2().uber(r);
+        assert!(u0 > u1 && u1 > u2);
+    }
+
+    #[test]
+    fn uber_edge_cases() {
+        let e = EccStrength::secded();
+        assert_eq!(e.uber(0.0), 0.0);
+        assert!(e.uber(1.0) > 0.0);
+    }
+
+    #[test]
+    fn tolerable_bit_errors_match_table1_shape() {
+        // Paper: 2GB + SECDED tolerates ~65 errors (§6.2.3 uses N = 65).
+        let n = EccStrength::secded().tolerable_bit_errors(2 * (1 << 30), 1e-15);
+        assert!((20.0..200.0).contains(&n), "n = {n}");
+        // No-ECC 512MB: 4.3e-6 errors.
+        let n = EccStrength::none().tolerable_bit_errors(512 * (1 << 20), 1e-15);
+        assert!((n / 4.3e-6 - 1.0).abs() < 0.05, "n = {n}");
+    }
+
+    #[test]
+    fn bit_errors_scale_linearly_with_capacity() {
+        let e = EccStrength::secded();
+        let n1 = e.tolerable_bit_errors(1 << 30, 1e-15);
+        let n8 = e.tolerable_bit_errors(8 << 30, 1e-15);
+        assert!((n8 / n1 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enterprise_target_is_stricter() {
+        let e = EccStrength::secded();
+        assert!(
+            e.tolerable_rber(uber_targets::ENTERPRISE) < e.tolerable_rber(uber_targets::CONSUMER)
+        );
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(EccStrength::none().label(), "No ECC");
+        assert_eq!(EccStrength::secded().label(), "SECDED");
+        assert_eq!(EccStrength::ecc2().label(), "ECC-2");
+        assert!(EccStrength::secded().to_string().contains("w=72"));
+        assert_eq!(EccStrength::table1_strengths().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot correct")]
+    fn rejects_degenerate_strength() {
+        EccStrength::new(8, 8);
+    }
+}

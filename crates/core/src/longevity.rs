@@ -1,0 +1,203 @@
+//! Profile longevity: how long a retention profile stays valid (paper
+//! §6.2.3, Eq. 7).
+//!
+//! `T = (N − C) / A` where `N` is the tolerable number of failures (from the
+//! ECC budget, Table 1), `C` the failures missed by imperfect coverage, and
+//! `A` the VRT new-failure accumulation rate (Fig. 4).
+
+use reaper_dram_model::{Celsius, Ms};
+use reaper_retention::RetentionConfig;
+
+use crate::conditions::TargetConditions;
+use crate::ecc::EccStrength;
+
+/// Inputs to the Eq. 7 longevity model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongevityModel {
+    /// Tolerable number of raw failures `N` (ECC budget).
+    pub tolerable_failures: f64,
+    /// Failures missed by profiling, `C = (1 − coverage) · |failing set|`.
+    pub missed_failures: f64,
+    /// New-failure accumulation rate `A` in cells/hour.
+    pub accumulation_per_hour: f64,
+}
+
+impl LongevityModel {
+    /// Time before reprofiling is required: `T = (N − C)/A`.
+    ///
+    /// Returns `None` if the profile is dead on arrival (`C ≥ N`) — the
+    /// missed failures already exceed the ECC budget.
+    ///
+    /// # Panics
+    /// Panics if `accumulation_per_hour` is not positive.
+    pub fn longevity(&self) -> Option<Ms> {
+        assert!(
+            self.accumulation_per_hour > 0.0,
+            "accumulation rate must be positive"
+        );
+        let headroom = self.tolerable_failures - self.missed_failures;
+        if headroom <= 0.0 {
+            return None;
+        }
+        Some(Ms::from_hours(headroom / self.accumulation_per_hour))
+    }
+
+    /// Builds the model for a target operating point from first principles:
+    /// the ECC budget for `dram_bytes` at `uber_target`, the expected
+    /// failing-cell count and VRT accumulation rate from the (calibrated)
+    /// retention model, and a profiling `coverage`.
+    ///
+    /// This is exactly the §6.2.3 worked example when called with 2 GB,
+    /// SECDED, 1024 ms @ 45 °C ambient, and 99 % coverage.
+    ///
+    /// # Panics
+    /// Panics if `coverage` is outside `[0, 1]`.
+    pub fn for_system(
+        ecc: EccStrength,
+        dram_bytes: u64,
+        uber_target: f64,
+        retention: &RetentionConfig,
+        target: TargetConditions,
+        coverage: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&coverage), "coverage must be in [0,1]");
+        let tolerable = ecc.tolerable_bit_errors(dram_bytes, uber_target);
+        let dram_temp = target.dram_temp();
+        let capacity_scale =
+            (dram_bytes as f64 * 8.0) / retention.represented_bits as f64;
+        let failing =
+            retention.ber_at(target.interval.as_secs()) * dram_bytes as f64 * 8.0
+                * temp_count_scale(retention, dram_temp);
+        let accumulation = retention
+            .vrt_arrival_rate_per_hour(target.interval.as_secs(), dram_temp)
+            * capacity_scale;
+        Self {
+            tolerable_failures: tolerable,
+            missed_failures: (1.0 - coverage) * failing,
+            accumulation_per_hour: accumulation,
+        }
+    }
+}
+
+/// Eq. 1 count-scale factor for a DRAM temperature relative to the
+/// calibration reference.
+fn temp_count_scale(cfg: &RetentionConfig, dram_temp: Celsius) -> f64 {
+    cfg.vendor.failure_rate_scale(dram_temp - cfg.ref_temp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reaper_dram_model::Vendor;
+
+    #[test]
+    fn paper_worked_example_2_3_days() {
+        // §6.2.3: 2GB, SECDED (N = 65), 1024ms @ 45°C, 99% coverage,
+        // 2464 failures ⇒ C ≈ 25, A = 0.73/hour ⇒ T ≈ 2.3 days.
+        let m = LongevityModel {
+            tolerable_failures: 65.0,
+            missed_failures: 25.0,
+            accumulation_per_hour: 0.73,
+        };
+        let t = m.longevity().unwrap();
+        assert!((t.as_days() - 2.28).abs() < 0.1, "T = {} days", t.as_days());
+    }
+
+    #[test]
+    fn for_system_reproduces_worked_example() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let m = LongevityModel::for_system(
+            EccStrength::secded(),
+            2 * (1 << 30),
+            1e-15,
+            &cfg,
+            TargetConditions::paper_example(),
+            0.99,
+        );
+        // N ≈ 65 in the paper (its Table 1 numbers imply a 136-bit ECC word;
+        // our (72,64) SECDED gives N ≈ 91 — same order, same conclusions).
+        assert!((50.0..110.0).contains(&m.tolerable_failures), "N = {}", m.tolerable_failures);
+        assert!((m.missed_failures - 24.6).abs() < 3.0, "C = {}", m.missed_failures);
+        assert!((m.accumulation_per_hour - 0.73).abs() < 0.05, "A = {}", m.accumulation_per_hour);
+        let t = m.longevity().unwrap();
+        assert!((1.0..5.0).contains(&t.as_days()), "T = {} days", t.as_days());
+    }
+
+    #[test]
+    fn dead_on_arrival_when_coverage_too_low() {
+        let m = LongevityModel {
+            tolerable_failures: 65.0,
+            missed_failures: 100.0,
+            accumulation_per_hour: 0.73,
+        };
+        assert_eq!(m.longevity(), None);
+    }
+
+    #[test]
+    fn longevity_shrinks_at_longer_intervals() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let t1 = LongevityModel::for_system(
+            EccStrength::ecc2(),
+            2 * (1 << 30),
+            1e-15,
+            &cfg,
+            TargetConditions::new(Ms::new(512.0), Celsius::new(45.0)),
+            1.0,
+        )
+        .longevity()
+        .unwrap();
+        let t2 = LongevityModel::for_system(
+            EccStrength::ecc2(),
+            2 * (1 << 30),
+            1e-15,
+            &cfg,
+            TargetConditions::new(Ms::new(1536.0), Celsius::new(45.0)),
+            1.0,
+        )
+        .longevity()
+        .unwrap();
+        assert!(
+            t2.as_hours() < t1.as_hours() / 10.0,
+            "t1 = {}h, t2 = {}h",
+            t1.as_hours(),
+            t2.as_hours()
+        );
+    }
+
+    #[test]
+    fn hotter_targets_shorten_longevity() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let cool = LongevityModel::for_system(
+            EccStrength::ecc2(),
+            2 * (1 << 30),
+            1e-15,
+            &cfg,
+            TargetConditions::new(Ms::new(512.0), Celsius::new(40.0)),
+            1.0,
+        )
+        .longevity()
+        .unwrap();
+        let hot = LongevityModel::for_system(
+            EccStrength::ecc2(),
+            2 * (1 << 30),
+            1e-15,
+            &cfg,
+            TargetConditions::new(Ms::new(512.0), Celsius::new(50.0)),
+            1.0,
+        )
+        .longevity()
+        .unwrap();
+        assert!(hot < cool);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_accumulation() {
+        LongevityModel {
+            tolerable_failures: 1.0,
+            missed_failures: 0.0,
+            accumulation_per_hour: 0.0,
+        }
+        .longevity();
+    }
+}

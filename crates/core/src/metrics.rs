@@ -1,0 +1,149 @@
+//! The paper's three key profiling metrics: **coverage**, **false positive
+//! rate**, and **runtime** (§1, §6.1).
+
+use reaper_dram_model::Ms;
+
+use crate::profile::FailureProfile;
+
+/// Coverage / false-positive evaluation of a profile against a ground-truth
+/// failing set.
+///
+/// * *Coverage* = found ∩ truth / |truth| — "the ratio of the number of
+///   failing cells discovered by the profiling mechanism to the number of
+///   all possible failing cells at the target refresh interval".
+/// * *False positive rate* = |found \ truth| / |found| — the fraction of the
+///   profile that "fails during profiling but never during actual operation
+///   at the target refresh interval".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileMetrics {
+    /// Fraction of the ground truth the profile covers, in `[0, 1]`.
+    pub coverage: f64,
+    /// Fraction of the profile that is not in the ground truth, in `[0, 1]`.
+    pub false_positive_rate: f64,
+    /// |found ∩ truth|.
+    pub true_positives: usize,
+    /// |found \ truth|.
+    pub false_positives: usize,
+    /// |truth \ found| — failures the profile misses.
+    pub missed: usize,
+    /// Profiling runtime, if the caller supplied one.
+    pub runtime: Option<Ms>,
+}
+
+impl ProfileMetrics {
+    /// Evaluates `found` against `truth`.
+    ///
+    /// Degenerate cases: an empty truth set yields coverage 1.0 (there was
+    /// nothing to find); an empty found set yields FPR 0.0.
+    pub fn evaluate(found: &FailureProfile, truth: &FailureProfile) -> Self {
+        let true_positives = found.intersection_count(truth);
+        let false_positives = found.len() - true_positives;
+        let missed = truth.len() - true_positives;
+        let coverage = if truth.is_empty() {
+            1.0
+        } else {
+            true_positives as f64 / truth.len() as f64
+        };
+        let false_positive_rate = if found.is_empty() {
+            0.0
+        } else {
+            false_positives as f64 / found.len() as f64
+        };
+        Self {
+            coverage,
+            false_positive_rate,
+            true_positives,
+            false_positives,
+            missed,
+            runtime: None,
+        }
+    }
+
+    /// Attaches a profiling runtime to the metrics.
+    pub fn with_runtime(mut self, runtime: Ms) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Number of cells the profile identified in total.
+    pub fn found(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+}
+
+impl core::fmt::Display for ProfileMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "coverage {:.2}% | FPR {:.2}% | TP {} FP {} missed {}",
+            self.coverage * 100.0,
+            self.false_positive_rate * 100.0,
+            self.true_positives,
+            self.false_positives,
+            self.missed
+        )?;
+        if let Some(rt) = self.runtime {
+            write!(f, " | runtime {rt}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_profile() {
+        let truth = FailureProfile::from_cells([1, 2, 3]);
+        let m = ProfileMetrics::evaluate(&truth, &truth);
+        assert_eq!(m.coverage, 1.0);
+        assert_eq!(m.false_positive_rate, 0.0);
+        assert_eq!(m.true_positives, 3);
+        assert_eq!(m.missed, 0);
+        assert_eq!(m.found(), 3);
+    }
+
+    #[test]
+    fn partial_coverage_with_false_positives() {
+        let truth = FailureProfile::from_cells([1, 2, 3, 4]);
+        let found = FailureProfile::from_cells([3, 4, 5, 6]);
+        let m = ProfileMetrics::evaluate(&found, &truth);
+        assert_eq!(m.coverage, 0.5);
+        assert_eq!(m.false_positive_rate, 0.5);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_positives, 2);
+        assert_eq!(m.missed, 2);
+    }
+
+    #[test]
+    fn empty_truth_is_full_coverage() {
+        let m = ProfileMetrics::evaluate(
+            &FailureProfile::from_cells([1]),
+            &FailureProfile::new(),
+        );
+        assert_eq!(m.coverage, 1.0);
+        assert_eq!(m.false_positive_rate, 1.0);
+    }
+
+    #[test]
+    fn empty_found_is_zero_fpr() {
+        let m = ProfileMetrics::evaluate(
+            &FailureProfile::new(),
+            &FailureProfile::from_cells([1, 2]),
+        );
+        assert_eq!(m.coverage, 0.0);
+        assert_eq!(m.false_positive_rate, 0.0);
+        assert_eq!(m.missed, 2);
+    }
+
+    #[test]
+    fn runtime_attachment_and_display() {
+        let truth = FailureProfile::from_cells([1]);
+        let m = ProfileMetrics::evaluate(&truth, &truth).with_runtime(Ms::new(1500.0));
+        assert_eq!(m.runtime, Some(Ms::new(1500.0)));
+        let s = m.to_string();
+        assert!(s.contains("coverage 100.00%"));
+        assert!(s.contains("runtime 1.500s"));
+    }
+}

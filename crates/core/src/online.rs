@@ -1,0 +1,226 @@
+//! The online profiling controller: REAPER as a long-running system
+//! service (paper §7.1).
+//!
+//! "REAPER implements reach profiling in firmware running directly in the
+//! memory controller. Each time the set of retention failures must be
+//! updated, profiling is initiated by gaining exclusive access to DRAM."
+//! This module packages that loop: it owns the reach configuration,
+//! schedules rounds on the Eq. 7 longevity cadence, and accounts the
+//! cumulative overhead the system pays.
+
+use reaper_dram_model::Ms;
+use reaper_softmc::TestHarness;
+
+use crate::conditions::{ReachConditions, TargetConditions};
+use crate::longevity::LongevityModel;
+use crate::profile::FailureProfile;
+use crate::profiler::{PatternSet, Profiler, ProfilingRun};
+
+/// Configuration of the online controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineConfig {
+    /// The operating point the system runs at.
+    pub target: TargetConditions,
+    /// Reach offsets each round profiles at.
+    pub reach: ReachConditions,
+    /// Iterations per round.
+    pub iterations: u32,
+    /// Pattern set per iteration.
+    pub patterns: PatternSet,
+    /// Longevity inputs (N, C, A) fixing the reprofiling cadence.
+    pub longevity: LongevityModel,
+}
+
+/// Outcome of one controller round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundReport {
+    /// Round number (1-based).
+    pub round: u64,
+    /// The round's profiling result.
+    pub run: ProfilingRun,
+    /// Cells newly added to the working profile this round.
+    pub newly_found: usize,
+    /// Cells in the previous profile not re-observed this round (VRT
+    /// departures and low-probability stragglers).
+    pub not_reobserved: usize,
+    /// When the next round is due.
+    pub next_due: Ms,
+}
+
+/// A long-running online profiling controller.
+#[derive(Debug, Clone)]
+pub struct OnlineController {
+    config: OnlineConfig,
+    profile: FailureProfile,
+    rounds: u64,
+    profiling_time: Ms,
+    next_due: Ms,
+    cadence: Ms,
+}
+
+impl OnlineController {
+    /// Creates a controller; the first round is due immediately.
+    ///
+    /// # Panics
+    /// Panics if the longevity model is not viable (missed failures exceed
+    /// the ECC budget) — such a system must not extend its refresh interval.
+    pub fn new(config: OnlineConfig) -> Self {
+        let cadence = config
+            .longevity
+            .longevity()
+            .expect("longevity model must be viable for online operation");
+        Self {
+            config,
+            profile: FailureProfile::new(),
+            rounds: 0,
+            profiling_time: Ms::ZERO,
+            next_due: Ms::ZERO,
+            cadence,
+        }
+    }
+
+    /// The reprofiling cadence (Eq. 7 longevity).
+    pub fn cadence(&self) -> Ms {
+        self.cadence
+    }
+
+    /// Whether a round is due at harness time `now`.
+    pub fn is_due(&self, now: Ms) -> bool {
+        now >= self.next_due
+    }
+
+    /// The current working failure profile.
+    pub fn profile(&self) -> &FailureProfile {
+        &self.profile
+    }
+
+    /// Rounds executed.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total simulated time spent profiling.
+    pub fn profiling_time(&self) -> Ms {
+        self.profiling_time
+    }
+
+    /// Fraction of harness-elapsed time spent profiling so far (the Eq. 8
+    /// overhead the system actually paid).
+    pub fn overhead_fraction(&self, harness: &TestHarness) -> f64 {
+        let elapsed = harness.elapsed();
+        if elapsed.is_positive() {
+            self.profiling_time / elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Runs one profiling round now (regardless of due time), replaces the
+    /// working profile, and schedules the next round one cadence after the
+    /// round's completion.
+    pub fn run_round(&mut self, harness: &mut TestHarness) -> RoundReport {
+        let profiler = Profiler::reach(
+            self.config.target,
+            self.config.reach,
+            self.config.iterations,
+            self.config.patterns.clone(),
+        );
+        let run = profiler.run(harness);
+        self.rounds += 1;
+        self.profiling_time += run.runtime;
+
+        let newly_found = run.profile.difference_count(&self.profile);
+        let not_reobserved = self.profile.difference_count(&run.profile);
+        self.profile = run.profile.clone();
+        self.next_due = harness.elapsed() + self.cadence;
+
+        RoundReport {
+            round: self.rounds,
+            run,
+            newly_found,
+            not_reobserved,
+            next_due: self.next_due,
+        }
+    }
+
+    /// Convenience driver: idles the harness to the next due time, then
+    /// runs the round. Models the steady-state service loop.
+    pub fn idle_and_run(&mut self, harness: &mut TestHarness) -> RoundReport {
+        let now = harness.elapsed();
+        if self.next_due > now {
+            harness.idle(self.next_due - now);
+        }
+        self.run_round(harness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reaper_dram_model::{Celsius, Vendor};
+    use reaper_retention::{RetentionConfig, SimulatedChip};
+
+    fn controller_and_harness() -> (OnlineController, TestHarness) {
+        let retention = RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16);
+        let chip = SimulatedChip::new(retention.clone(), 0x041);
+        let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+        let harness = TestHarness::new(chip, target.ambient, 3);
+        let longevity = LongevityModel::for_system(
+            crate::ecc::EccStrength::secded(),
+            retention.represented_bits / 8,
+            1e-15,
+            &retention,
+            target,
+            0.99,
+        );
+        let controller = OnlineController::new(OnlineConfig {
+            target,
+            reach: ReachConditions::paper_headline(),
+            iterations: 3,
+            patterns: PatternSet::Standard,
+            longevity,
+        });
+        (controller, harness)
+    }
+
+    #[test]
+    fn rounds_follow_the_cadence() {
+        let (mut c, mut h) = controller_and_harness();
+        assert!(c.is_due(h.elapsed()));
+        let r1 = c.idle_and_run(&mut h);
+        assert_eq!(r1.round, 1);
+        assert!(!c.is_due(h.elapsed()));
+        assert_eq!(r1.next_due, h.elapsed() + c.cadence());
+        let r2 = c.idle_and_run(&mut h);
+        assert_eq!(r2.round, 2);
+        assert!(h.elapsed() >= r1.next_due);
+        assert!(!c.profile().is_empty());
+    }
+
+    #[test]
+    fn overhead_fraction_tracks_round_cost_over_cadence() {
+        let (mut c, mut h) = controller_and_harness();
+        for _ in 0..3 {
+            let _ = c.idle_and_run(&mut h);
+        }
+        let frac = c.overhead_fraction(&h);
+        // Round time ~ 36 patterns * 1.5s ≈ 55s vs multi-day cadence.
+        assert!(frac > 0.0);
+        assert!(frac < 0.01, "overhead {frac}");
+        assert!(c.profiling_time().is_positive());
+        assert_eq!(c.rounds(), 3);
+    }
+
+    #[test]
+    fn profile_churn_is_reported() {
+        let (mut c, mut h) = controller_and_harness();
+        let _ = c.idle_and_run(&mut h);
+        let r2 = c.idle_and_run(&mut h);
+        // Across a multi-day idle, VRT arrivals and probabilistic stragglers
+        // produce churn in at least one direction.
+        assert!(
+            r2.newly_found > 0 || r2.not_reobserved > 0,
+            "expected profile churn: {r2:?}"
+        );
+    }
+}

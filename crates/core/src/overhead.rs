@@ -1,0 +1,192 @@
+//! End-to-end profiling overhead model (paper §7.2–7.3, Eqs. 8–9).
+//!
+//! `T_profile = (T_REFI + T_wr + T_rd) · N_dp · N_it` (Eq. 9), with the
+//! read/write pass time measured at 125 ms per direction for 2 GB and scaled
+//! linearly with module capacity (§7.3.1 footnote). System throughput under
+//! online profiling follows `IPC_real = IPC_ideal · (1 − overhead)` (Eq. 8),
+//! pessimistically assuming a full system pause during profiling.
+
+use reaper_dram_model::Ms;
+
+/// Measured pass time per direction for the characterized 2 GB module.
+const PASS_MS_PER_2GB: f64 = 125.0;
+const BYTES_2GB: f64 = 2.0 * (1u64 << 30) as f64;
+
+/// The Eq. 9 profiling-round runtime model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Refresh interval used while profiling (`T_REFI` in Eq. 9) — the
+    /// target interval for brute force, target + reach offset for REAPER.
+    pub profiling_interval: Ms,
+    /// Data patterns per iteration (`N_dp`; the paper's §7.3.1 examples use
+    /// 6).
+    pub patterns: u32,
+    /// Profiling iterations per round (`N_it`).
+    pub iterations: u32,
+    /// Total module capacity in bytes (32 chips × chip density in the
+    /// paper's sweep).
+    pub module_bytes: u64,
+}
+
+impl OverheadModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    /// Panics if any count is zero or the interval is not positive.
+    pub fn new(profiling_interval: Ms, patterns: u32, iterations: u32, module_bytes: u64) -> Self {
+        assert!(profiling_interval.is_positive(), "interval must be positive");
+        assert!(patterns > 0, "need at least one pattern");
+        assert!(iterations > 0, "need at least one iteration");
+        assert!(module_bytes > 0, "module must be nonempty");
+        Self {
+            profiling_interval,
+            patterns,
+            iterations,
+            module_bytes,
+        }
+    }
+
+    /// The paper's Fig. 11/12 configuration: 16 iterations, 6 data patterns,
+    /// a module of 32 chips of `chip_gbit` each, profiling at `interval`.
+    pub fn paper_fig11(interval: Ms, chip_gbit: u32) -> Self {
+        Self::new(interval, 6, 16, module_bytes(chip_gbit))
+    }
+
+    /// Time to write or read one full pass over the module (each direction).
+    pub fn pass_time_each(&self) -> Ms {
+        Ms::new(PASS_MS_PER_2GB * self.module_bytes as f64 / BYTES_2GB)
+    }
+
+    /// One full profiling round, Eq. 9:
+    /// `(T_REFI + T_wr + T_rd) · N_dp · N_it`.
+    pub fn round_time(&self) -> Ms {
+        (self.profiling_interval + self.pass_time_each() * 2.0)
+            * (self.patterns as f64 * self.iterations as f64)
+    }
+
+    /// The same round under reach profiling's runtime speedup (the paper
+    /// plots REAPER at its measured 2.5× over brute force).
+    pub fn round_time_with_speedup(&self, speedup: f64) -> Ms {
+        assert!(speedup > 0.0, "speedup must be positive");
+        self.round_time() / speedup
+    }
+
+    /// Fraction of total system time spent profiling when a round runs every
+    /// `online_interval` (Fig. 11's y-axis), clamped to 1.
+    ///
+    /// # Panics
+    /// Panics if `online_interval` is not positive.
+    pub fn time_fraction(&self, online_interval: Ms) -> f64 {
+        assert!(online_interval.is_positive(), "online interval must be positive");
+        (self.round_time() / online_interval).min(1.0)
+    }
+
+    /// Like [`OverheadModel::time_fraction`] with a runtime speedup applied
+    /// (REAPER's bars in Fig. 11).
+    pub fn time_fraction_with_speedup(&self, online_interval: Ms, speedup: f64) -> f64 {
+        (self.round_time_with_speedup(speedup) / online_interval).min(1.0)
+    }
+}
+
+/// Eq. 8: real system throughput under a profiling overhead fraction.
+///
+/// # Panics
+/// Panics if `overhead_fraction` is outside `[0, 1]`.
+pub fn ipc_with_overhead(ipc_ideal: f64, overhead_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&overhead_fraction),
+        "overhead fraction must be in [0, 1]"
+    );
+    ipc_ideal * (1.0 - overhead_fraction)
+}
+
+/// Module capacity in bytes for the paper's 32-chip modules of `chip_gbit`
+/// chips.
+pub fn module_bytes(chip_gbit: u32) -> u64 {
+    32 * ((chip_gbit as u64) << 30) / 8
+}
+
+/// The chip densities swept in Figs. 11–13.
+pub const PAPER_CHIP_SIZES_GBIT: [u32; 4] = [8, 16, 32, 64];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_3_minutes() {
+        // §7.3.1: 32 × 8Gb chips, tREFI = 1024ms, Ndp = 6, Nit = 6
+        // ⇒ T_profile ≈ 3.01 minutes.
+        let m = OverheadModel::new(Ms::new(1024.0), 6, 6, module_bytes(8));
+        let minutes = m.round_time().as_secs() / 60.0;
+        assert!((minutes - 3.01).abs() < 0.05, "T = {minutes} min");
+    }
+
+    #[test]
+    fn paper_example_64gb_chips() {
+        // §7.3.1: 32 × 64Gb ⇒ ≈ 19.8 minutes.
+        let m = OverheadModel::new(Ms::new(1024.0), 6, 6, module_bytes(64));
+        let minutes = m.round_time().as_secs() / 60.0;
+        assert!((minutes - 19.8).abs() < 0.3, "T = {minutes} min");
+    }
+
+    #[test]
+    fn fig11_brute_force_point() {
+        // §7.3.1: 4-hour profiling interval, 64Gb chips ⇒ 22.7% with brute
+        // force, 9.1% with REAPER (2.5×).
+        let m = OverheadModel::paper_fig11(Ms::new(1024.0), 64);
+        let brute = m.time_fraction(Ms::from_hours(4.0));
+        assert!((brute - 0.227).abs() < 0.02, "brute {brute}");
+        let reaper = m.time_fraction_with_speedup(Ms::from_hours(4.0), 2.5);
+        assert!((reaper - 0.091).abs() < 0.01, "reaper {reaper}");
+    }
+
+    #[test]
+    fn pass_time_scales_with_module() {
+        let m8 = OverheadModel::paper_fig11(Ms::new(1024.0), 8);
+        // 32 x 8Gb = 32GB = 16 x 2GB ⇒ 2s per direction.
+        assert_eq!(m8.pass_time_each(), Ms::from_secs(2.0));
+        let m64 = OverheadModel::paper_fig11(Ms::new(1024.0), 64);
+        assert_eq!(m64.pass_time_each(), Ms::from_secs(16.0));
+    }
+
+    #[test]
+    fn fraction_clamps_at_one() {
+        let m = OverheadModel::paper_fig11(Ms::new(4096.0), 64);
+        assert_eq!(m.time_fraction(Ms::from_secs(1.0)), 1.0);
+    }
+
+    #[test]
+    fn speedup_divides_round_time() {
+        let m = OverheadModel::paper_fig11(Ms::new(1024.0), 8);
+        let full = m.round_time();
+        let fast = m.round_time_with_speedup(2.5);
+        assert!((full / fast - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq8_ipc_model() {
+        assert_eq!(ipc_with_overhead(2.0, 0.25), 1.5);
+        assert_eq!(ipc_with_overhead(2.0, 0.0), 2.0);
+        assert_eq!(ipc_with_overhead(2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead fraction")]
+    fn eq8_rejects_bad_fraction() {
+        ipc_with_overhead(1.0, 1.5);
+    }
+
+    #[test]
+    fn module_bytes_math() {
+        assert_eq!(module_bytes(8), 32 * (1u64 << 30)); // 32 GB
+        assert_eq!(module_bytes(64), 256 * (1u64 << 30)); // 256 GB
+        assert_eq!(PAPER_CHIP_SIZES_GBIT, [8, 16, 32, 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pattern")]
+    fn rejects_zero_patterns() {
+        OverheadModel::new(Ms::new(64.0), 0, 1, 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Failure profiles: sets of failing-cell addresses with the set algebra
+//! the paper's metrics need.
+
+use std::collections::BTreeSet;
+
+/// A retention-failure profile: the set of (linear) cell addresses observed
+/// or predicted to fail at some conditions.
+///
+/// Backed by a [`BTreeSet`] so iteration is ordered and set algebra is
+/// straightforward; profile sizes are thousands-to-millions of cells, far
+/// below the full address space.
+///
+/// # Example
+/// ```
+/// use reaper_core::FailureProfile;
+///
+/// let mut p = FailureProfile::new();
+/// p.insert(42);
+/// p.extend([7, 42, 99]);
+/// assert_eq!(p.len(), 3);
+/// assert!(p.contains(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FailureProfile {
+    cells: BTreeSet<u64>,
+}
+
+impl FailureProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a profile from any collection of cell addresses.
+    pub fn from_cells<I: IntoIterator<Item = u64>>(cells: I) -> Self {
+        Self {
+            cells: cells.into_iter().collect(),
+        }
+    }
+
+    /// Number of cells in the profile.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether `cell` is in the profile.
+    pub fn contains(&self, cell: u64) -> bool {
+        self.cells.contains(&cell)
+    }
+
+    /// Inserts one cell; returns true if it was new.
+    pub fn insert(&mut self, cell: u64) -> bool {
+        self.cells.insert(cell)
+    }
+
+    /// Merges `other` into `self`.
+    pub fn union_with(&mut self, other: &FailureProfile) {
+        self.cells.extend(other.cells.iter().copied());
+    }
+
+    /// Number of cells present in both profiles.
+    pub fn intersection_count(&self, other: &FailureProfile) -> usize {
+        if self.len() <= other.len() {
+            self.cells.iter().filter(|c| other.contains(**c)).count()
+        } else {
+            other.cells.iter().filter(|c| self.contains(**c)).count()
+        }
+    }
+
+    /// Number of cells in `self` but not in `other`.
+    pub fn difference_count(&self, other: &FailureProfile) -> usize {
+        self.len() - self.intersection_count(other)
+    }
+
+    /// Iterates over the cell addresses in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cells.iter().copied()
+    }
+}
+
+impl Extend<u64> for FailureProfile {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.cells.extend(iter);
+    }
+}
+
+impl FromIterator<u64> for FailureProfile {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::from_cells(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a FailureProfile {
+    type Item = &'a u64;
+    type IntoIter = std::collections::btree_set::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.cells.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut p = FailureProfile::new();
+        assert!(p.insert(1));
+        assert!(!p.insert(1));
+        p.extend([2, 2, 3]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = FailureProfile::from_cells([1, 2, 3, 4]);
+        let b = FailureProfile::from_cells([3, 4, 5]);
+        assert_eq!(a.intersection_count(&b), 2);
+        assert_eq!(b.intersection_count(&a), 2);
+        assert_eq!(a.difference_count(&b), 2);
+        assert_eq!(b.difference_count(&a), 1);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 5);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let p = FailureProfile::from_cells([9, 1, 5]);
+        let v: Vec<u64> = p.iter().collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        let r: Vec<u64> = (&p).into_iter().copied().collect();
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let p: FailureProfile = (0..10u64).filter(|x| x % 2 == 0).collect();
+        assert_eq!(p.len(), 5);
+        assert!(p.contains(8));
+        assert!(!p.contains(7));
+    }
+}

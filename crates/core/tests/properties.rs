@@ -1,0 +1,130 @@
+//! Property-based tests of the REAPER core: metric identities, ECC model
+//! monotonicity, longevity algebra, and overhead-model linearity.
+
+use proptest::prelude::*;
+use reaper_core::ecc::EccStrength;
+use reaper_core::longevity::LongevityModel;
+use reaper_core::metrics::ProfileMetrics;
+use reaper_core::overhead::{ipc_with_overhead, OverheadModel};
+use reaper_core::profile::FailureProfile;
+use reaper_dram_model::Ms;
+
+proptest! {
+    #[test]
+    fn metric_identities_hold(
+        found in proptest::collection::btree_set(0u64..500, 0..100),
+        truth in proptest::collection::btree_set(0u64..500, 0..100),
+    ) {
+        let f = FailureProfile::from_cells(found.iter().copied());
+        let t = FailureProfile::from_cells(truth.iter().copied());
+        let m = ProfileMetrics::evaluate(&f, &t);
+        prop_assert_eq!(m.true_positives + m.false_positives, f.len());
+        prop_assert_eq!(m.true_positives + m.missed, t.len());
+        prop_assert!((0.0..=1.0).contains(&m.coverage));
+        prop_assert!((0.0..=1.0).contains(&m.false_positive_rate));
+        if !t.is_empty() {
+            let cov = m.true_positives as f64 / t.len() as f64;
+            prop_assert!((m.coverage - cov).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn growing_the_profile_never_lowers_coverage(
+        base in proptest::collection::btree_set(0u64..300, 0..60),
+        extra in proptest::collection::btree_set(0u64..300, 0..60),
+        truth in proptest::collection::btree_set(0u64..300, 1..60),
+    ) {
+        let t = FailureProfile::from_cells(truth.iter().copied());
+        let small = FailureProfile::from_cells(base.iter().copied());
+        let mut big = small.clone();
+        big.extend(extra.iter().copied());
+        let m_small = ProfileMetrics::evaluate(&small, &t);
+        let m_big = ProfileMetrics::evaluate(&big, &t);
+        prop_assert!(m_big.coverage >= m_small.coverage);
+    }
+
+    #[test]
+    fn uber_is_monotone_in_rber(
+        k in 0u32..3,
+        r1 in 1e-12..1e-3f64,
+        factor in 1.01..100.0f64,
+    ) {
+        let ecc = EccStrength::new(64 + 8 * k, k);
+        let r2 = (r1 * factor).min(1.0);
+        prop_assert!(ecc.uber(r1) <= ecc.uber(r2));
+    }
+
+    #[test]
+    fn stronger_ecc_never_hurts(r in 1e-10..1e-2f64) {
+        let weaker = EccStrength::new(72, 1);
+        let stronger = EccStrength::new(72, 2);
+        prop_assert!(stronger.uber(r) <= weaker.uber(r));
+    }
+
+    #[test]
+    fn tolerable_rber_inverts_uber(k in 0u32..3, exp in -16.0..-6.0f64) {
+        let target = 10f64.powf(exp);
+        let ecc = EccStrength::new(64 + 8 * k, k);
+        let r = ecc.tolerable_rber(target);
+        prop_assert!(ecc.uber(r) <= target * (1.0 + 1e-6));
+        // Slightly above the bound must violate it.
+        prop_assert!(ecc.uber((r * 1.01).min(1.0)) >= target * 0.98);
+    }
+
+    #[test]
+    fn longevity_scales_inversely_with_accumulation(
+        n in 10.0..1e5f64,
+        c_frac in 0.0..0.9f64,
+        a in 0.01..100.0f64,
+        scale in 1.1..10.0f64,
+    ) {
+        let m1 = LongevityModel {
+            tolerable_failures: n,
+            missed_failures: n * c_frac,
+            accumulation_per_hour: a,
+        };
+        let m2 = LongevityModel { accumulation_per_hour: a * scale, ..m1 };
+        let t1 = m1.longevity().unwrap();
+        let t2 = m2.longevity().unwrap();
+        prop_assert!((t1.as_hours() / t2.as_hours() - scale).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn eq9_round_time_is_linear_in_counts(
+        interval in 1.0..5000.0f64,
+        patterns in 1u32..16,
+        iterations in 1u32..64,
+        gbit_idx in 0usize..4,
+    ) {
+        let gbit = [8u32, 16, 32, 64][gbit_idx];
+        let bytes = reaper_core::overhead::module_bytes(gbit);
+        let one = OverheadModel::new(Ms::new(interval), 1, 1, bytes).round_time();
+        let many = OverheadModel::new(Ms::new(interval), patterns, iterations, bytes).round_time();
+        let expected = one.as_ms() * patterns as f64 * iterations as f64;
+        prop_assert!((many.as_ms() - expected).abs() < 1e-6 * expected);
+    }
+
+    #[test]
+    fn eq8_is_contractive(ipc in 0.0..100.0f64, frac in 0.0..1.0f64) {
+        let real = ipc_with_overhead(ipc, frac);
+        prop_assert!(real <= ipc);
+        prop_assert!(real >= 0.0);
+    }
+
+    #[test]
+    fn profile_set_algebra(
+        a in proptest::collection::btree_set(0u64..200, 0..50),
+        b in proptest::collection::btree_set(0u64..200, 0..50),
+    ) {
+        let pa = FailureProfile::from_cells(a.iter().copied());
+        let pb = FailureProfile::from_cells(b.iter().copied());
+        // |A| = |A∩B| + |A\B|
+        prop_assert_eq!(pa.len(), pa.intersection_count(&pb) + pa.difference_count(&pb));
+        // Union size = |A| + |B| - |A∩B|
+        let mut u = pa.clone();
+        u.union_with(&pb);
+        prop_assert_eq!(u.len(), pa.len() + pb.len() - pa.intersection_count(&pb));
+        // Symmetry of intersection.
+        prop_assert_eq!(pa.intersection_count(&pb), pb.intersection_count(&pa));
+    }
+}

@@ -1,0 +1,270 @@
+//! DRAM chip and module geometry, and cell addressing.
+//!
+//! Matches the paper's evaluated configuration (Table 2): LPDDR4 with 8
+//! banks/rank, 32K–256K rows per bank, 2 KB row buffer, and modules of 32
+//! chips with per-chip densities from 8 Gb to 64 Gb (§7.3).
+
+/// Geometry of a single DRAM chip.
+///
+/// Density = `banks * rows_per_bank * row_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChipGeometry {
+    banks: u32,
+    rows_per_bank: u32,
+    row_bits: u32,
+}
+
+impl ChipGeometry {
+    /// Creates a geometry from explicit dimensions.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(banks: u32, rows_per_bank: u32, row_bits: u32) -> Self {
+        assert!(banks > 0, "banks must be nonzero");
+        assert!(rows_per_bank > 0, "rows_per_bank must be nonzero");
+        assert!(row_bits > 0, "row_bits must be nonzero");
+        Self {
+            banks,
+            rows_per_bank,
+            row_bits,
+        }
+    }
+
+    /// An LPDDR4 chip of the given density in gigabits.
+    ///
+    /// Uses the paper's Table 2 shape: 8 banks, a 2 KB (16 Kb) row buffer,
+    /// and 32K–256K rows/bank depending on density. Supported densities:
+    /// 8, 16, 32, 64 Gb.
+    ///
+    /// # Errors
+    /// Returns `Err` with the unsupported density otherwise.
+    pub fn lpddr4_gb(density_gbit: u32) -> Result<Self, UnsupportedDensity> {
+        let rows_per_bank = match density_gbit {
+            8 => 64 * 1024,
+            16 => 128 * 1024,
+            32 => 256 * 1024,
+            64 => 512 * 1024,
+            other => return Err(UnsupportedDensity(other)),
+        };
+        // 8 banks * rows * 16 Kb row = density.
+        Ok(Self::new(8, rows_per_bank, 16 * 1024))
+    }
+
+    /// A small geometry for fast unit tests and Monte-Carlo population
+    /// studies: 8 banks × 1024 rows × 8192 bits = 64 Mb.
+    pub fn small() -> Self {
+        Self::new(8, 1024, 8 * 1024)
+    }
+
+    /// Number of banks.
+    pub fn banks(self) -> u32 {
+        self.banks
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(self) -> u32 {
+        self.rows_per_bank
+    }
+
+    /// Bits per row (row-buffer size in bits).
+    pub fn row_bits(self) -> u32 {
+        self.row_bits
+    }
+
+    /// Total rows in the chip.
+    pub fn total_rows(self) -> u64 {
+        self.banks as u64 * self.rows_per_bank as u64
+    }
+
+    /// Total cell count (= density in bits).
+    pub fn density_bits(self) -> u64 {
+        self.total_rows() * self.row_bits as u64
+    }
+
+    /// Density in gigabits (rounded down).
+    pub fn density_gbit(self) -> u64 {
+        self.density_bits() >> 30
+    }
+
+    /// Converts a dense linear cell index into a [`CellAddr`].
+    ///
+    /// # Panics
+    /// Panics if `index >= density_bits()`.
+    pub fn cell_at(self, index: u64) -> CellAddr {
+        assert!(
+            index < self.density_bits(),
+            "cell index {index} out of range for {} bits",
+            self.density_bits()
+        );
+        let col = (index % self.row_bits as u64) as u32;
+        let row_linear = index / self.row_bits as u64;
+        let row = (row_linear % self.rows_per_bank as u64) as u32;
+        let bank = (row_linear / self.rows_per_bank as u64) as u32;
+        CellAddr { bank, row, col }
+    }
+
+    /// Converts a [`CellAddr`] back into its dense linear index.
+    ///
+    /// # Panics
+    /// Panics if the address is outside this geometry.
+    pub fn linear_index(self, addr: CellAddr) -> u64 {
+        assert!(addr.bank < self.banks, "bank out of range");
+        assert!(addr.row < self.rows_per_bank, "row out of range");
+        assert!(addr.col < self.row_bits, "col out of range");
+        ((addr.bank as u64 * self.rows_per_bank as u64) + addr.row as u64) * self.row_bits as u64
+            + addr.col as u64
+    }
+}
+
+/// Error returned by [`ChipGeometry::lpddr4_gb`] for densities outside the
+/// paper's 8–64 Gb sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedDensity(pub u32);
+
+impl core::fmt::Display for UnsupportedDensity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unsupported LPDDR4 density: {} Gb (supported: 8, 16, 32, 64)", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedDensity {}
+
+/// Physical coordinates of one DRAM cell within a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellAddr {
+    /// Bank index.
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+    /// Column (bit) index within the row.
+    pub col: u32,
+}
+
+impl core::fmt::Display for CellAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "b{}r{}c{}", self.bank, self.row, self.col)
+    }
+}
+
+/// Geometry of a DRAM module: `chips` identical chips.
+///
+/// The paper's §7 evaluation uses modules of 32 chips of 8–64 Gb each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModuleGeometry {
+    chip: ChipGeometry,
+    chips: u32,
+}
+
+impl ModuleGeometry {
+    /// Creates a module of `chips` chips with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if `chips == 0`.
+    pub fn new(chip: ChipGeometry, chips: u32) -> Self {
+        assert!(chips > 0, "module needs at least one chip");
+        Self { chip, chips }
+    }
+
+    /// Geometry of each chip.
+    pub fn chip(self) -> ChipGeometry {
+        self.chip
+    }
+
+    /// Number of chips in the module.
+    pub fn chips(self) -> u32 {
+        self.chips
+    }
+
+    /// Total module capacity in bits.
+    pub fn capacity_bits(self) -> u64 {
+        self.chip.density_bits() * self.chips as u64
+    }
+
+    /// Total module capacity in bytes.
+    pub fn capacity_bytes(self) -> u64 {
+        self.capacity_bits() / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr4_densities() {
+        for gb in [8u32, 16, 32, 64] {
+            let g = ChipGeometry::lpddr4_gb(gb).unwrap();
+            assert_eq!(g.density_gbit(), gb as u64, "density {gb}");
+            assert_eq!(g.banks(), 8);
+            assert_eq!(g.row_bits(), 16 * 1024); // 2KB row buffer
+        }
+        assert!(ChipGeometry::lpddr4_gb(12).is_err());
+        let err = ChipGeometry::lpddr4_gb(3).unwrap_err();
+        assert!(err.to_string().contains("3 Gb"));
+    }
+
+    #[test]
+    fn rows_per_bank_in_table2_range() {
+        // Table 2: 32K-256K rows/bank. Our 64Gb stretch uses 512K (the
+        // paper's table tops at 256K rows for the configurations simulated).
+        let g8 = ChipGeometry::lpddr4_gb(8).unwrap();
+        assert!(g8.rows_per_bank() >= 32 * 1024);
+        let g32 = ChipGeometry::lpddr4_gb(32).unwrap();
+        assert_eq!(g32.rows_per_bank(), 256 * 1024);
+    }
+
+    #[test]
+    fn small_geometry_is_64mbit() {
+        assert_eq!(ChipGeometry::small().density_bits(), 64 << 20);
+    }
+
+    #[test]
+    fn cell_addressing_roundtrip() {
+        let g = ChipGeometry::small();
+        for &idx in &[0u64, 1, 8191, 8192, 12_345_678, g.density_bits() - 1] {
+            let addr = g.cell_at(idx);
+            assert_eq!(g.linear_index(addr), idx, "idx {idx}");
+        }
+    }
+
+    #[test]
+    fn cell_at_decomposition() {
+        let g = ChipGeometry::new(2, 4, 8);
+        // index 0 -> bank0 row0 col0
+        assert_eq!(g.cell_at(0), CellAddr { bank: 0, row: 0, col: 0 });
+        // one full row later
+        assert_eq!(g.cell_at(8), CellAddr { bank: 0, row: 1, col: 0 });
+        // one full bank later (4 rows * 8 cols = 32)
+        assert_eq!(g.cell_at(32), CellAddr { bank: 1, row: 0, col: 0 });
+        assert_eq!(g.cell_at(63), CellAddr { bank: 1, row: 3, col: 7 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_at_rejects_overflow() {
+        let g = ChipGeometry::new(1, 1, 8);
+        g.cell_at(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn linear_index_validates() {
+        let g = ChipGeometry::new(1, 1, 8);
+        g.linear_index(CellAddr { bank: 0, row: 5, col: 0 });
+    }
+
+    #[test]
+    fn module_capacity() {
+        // Paper §7: 32 chips of 8Gb = 32GB module.
+        let m = ModuleGeometry::new(ChipGeometry::lpddr4_gb(8).unwrap(), 32);
+        assert_eq!(m.capacity_bytes(), 32 * (8u64 << 30) / 8);
+        assert_eq!(m.chips(), 32);
+        assert_eq!(m.chip().density_gbit(), 8);
+    }
+
+    #[test]
+    fn cell_addr_display() {
+        let a = CellAddr { bank: 1, row: 2, col: 3 };
+        assert_eq!(a.to_string(), "b1r2c3");
+    }
+}

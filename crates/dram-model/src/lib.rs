@@ -1,0 +1,43 @@
+//! Shared DRAM modeling vocabulary for the REAPER reproduction.
+//!
+//! This crate defines the types every other crate speaks in:
+//!
+//! * physical units — [`Ms`] (milliseconds) and [`Celsius`] newtypes with the
+//!   arithmetic the tradeoff analysis needs,
+//! * the three anonymized DRAM [`Vendor`]s and their published temperature
+//!   coefficients (paper Eq. 1),
+//! * DRAM [`geometry`] (banks / rows / columns, chip densities from 8 Gb to
+//!   64 Gb, modules of 32 chips as in the paper's §7 evaluation),
+//! * cell addressing ([`CellAddr`]) with dense linear indices,
+//! * the retention-test [`DataPattern`]s the paper profiles with (solid,
+//!   checkerboard, row/column stripes, walking 1s/0s, random, and inverses —
+//!   §3.2).
+//!
+//! # Example
+//!
+//! ```
+//! use reaper_dram_model::{ChipGeometry, DataPattern, Ms, Vendor};
+//!
+//! let geom = ChipGeometry::lpddr4_gb(8).unwrap();
+//! assert_eq!(geom.density_bits(), 8 << 30);
+//!
+//! let target = Ms::new(1024.0);
+//! let reach = target + Ms::new(250.0); // the paper's headline reach offset
+//! assert_eq!(reach, Ms::new(1274.0));
+//!
+//! // Vendor A's failure rate scales as e^{0.22 ΔT} (Eq. 1).
+//! assert!((Vendor::A.temperature_coefficient() - 0.22).abs() < 1e-12);
+//!
+//! let dp = DataPattern::checkerboard();
+//! assert_ne!(dp.bit_at(0, 0), dp.bit_at(0, 1));
+//! ```
+
+pub mod geometry;
+pub mod pattern;
+pub mod units;
+pub mod vendor;
+
+pub use geometry::{CellAddr, ChipGeometry, ModuleGeometry};
+pub use pattern::{DataPattern, PatternFamily};
+pub use units::{Celsius, Ms};
+pub use vendor::Vendor;

@@ -1,0 +1,297 @@
+//! Physical-unit newtypes: milliseconds and degrees Celsius.
+//!
+//! The reach-profiling tradeoff space is a plane of (Δ refresh interval,
+//! Δ temperature); keeping both quantities in distinct newtypes prevents the
+//! classic "was that seconds or milliseconds?" class of bug throughout the
+//! workspace (C-NEWTYPE).
+
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A span of time in milliseconds.
+///
+/// Used for refresh intervals (`tREFI` sweeps from 64 ms to 4096 ms in the
+/// paper), profiling runtimes, and profile longevity.
+///
+/// # Example
+/// ```
+/// use reaper_dram_model::Ms;
+/// let t = Ms::new(64.0) * 16.0;
+/// assert_eq!(t, Ms::new(1024.0));
+/// assert!((t.as_secs() - 1.024).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ms(f64);
+
+impl Ms {
+    /// Zero milliseconds.
+    pub const ZERO: Ms = Ms(0.0);
+
+    /// Creates a duration of `ms` milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `ms` is NaN.
+    pub fn new(ms: f64) -> Self {
+        assert!(!ms.is_nan(), "Ms cannot be NaN");
+        Ms(ms)
+    }
+
+    /// Creates a duration from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        Ms::new(secs * 1e3)
+    }
+
+    /// Creates a duration from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        Ms::new(hours * 3_600_000.0)
+    }
+
+    /// Creates a duration from days.
+    pub fn from_days(days: f64) -> Self {
+        Ms::from_hours(days * 24.0)
+    }
+
+    /// The value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The value in hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3_600_000.0
+    }
+
+    /// The value in days.
+    pub fn as_days(self) -> f64 {
+        self.as_hours() / 24.0
+    }
+
+    /// True if the duration is greater than zero.
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// Clamps negative durations to zero.
+    pub fn max_zero(self) -> Self {
+        Ms(self.0.max(0.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Ms) -> Ms {
+        Ms(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Ms) -> Ms {
+        Ms(self.0.max(other.0))
+    }
+}
+
+impl Add for Ms {
+    type Output = Ms;
+    fn add(self, rhs: Ms) -> Ms {
+        Ms(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ms {
+    fn add_assign(&mut self, rhs: Ms) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ms {
+    type Output = Ms;
+    fn sub(self, rhs: Ms) -> Ms {
+        Ms(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ms {
+    fn sub_assign(&mut self, rhs: Ms) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Ms {
+    type Output = Ms;
+    fn mul(self, rhs: f64) -> Ms {
+        Ms(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Ms {
+    type Output = Ms;
+    fn div(self, rhs: f64) -> Ms {
+        Ms(self.0 / rhs)
+    }
+}
+
+impl Div<Ms> for Ms {
+    /// Ratio of two durations (dimensionless).
+    type Output = f64;
+    fn div(self, rhs: Ms) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Ms {
+    type Output = Ms;
+    fn neg(self) -> Ms {
+        Ms(-self.0)
+    }
+}
+
+impl core::fmt::Display for Ms {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0.abs() >= 1e3 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else {
+            write!(f, "{:.1}ms", self.0)
+        }
+    }
+}
+
+/// A temperature in degrees Celsius.
+///
+/// The paper's characterization spans 40–55 °C ambient with the DRAM held
+/// 15 °C above ambient; reach profiling manipulates ΔT relative to a target.
+///
+/// # Example
+/// ```
+/// use reaper_dram_model::Celsius;
+/// let target = Celsius::new(45.0);
+/// let reach = target + 5.0;
+/// assert_eq!(reach.degrees(), 50.0);
+/// assert_eq!(reach - target, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a temperature of `deg` degrees Celsius.
+    ///
+    /// # Panics
+    /// Panics if `deg` is NaN.
+    pub fn new(deg: f64) -> Self {
+        assert!(!deg.is_nan(), "Celsius cannot be NaN");
+        Celsius(deg)
+    }
+
+    /// The temperature in degrees Celsius.
+    pub fn degrees(self) -> f64 {
+        self.0
+    }
+
+    /// Clamps the temperature to the inclusive range `[lo, hi]`.
+    pub fn clamp(self, lo: Celsius, hi: Celsius) -> Celsius {
+        Celsius(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl Add<f64> for Celsius {
+    type Output = Celsius;
+    fn add(self, delta: f64) -> Celsius {
+        Celsius(self.0 + delta)
+    }
+}
+
+impl Sub<f64> for Celsius {
+    type Output = Celsius;
+    fn sub(self, delta: f64) -> Celsius {
+        Celsius(self.0 - delta)
+    }
+}
+
+impl Sub for Celsius {
+    /// Temperature difference in degrees.
+    type Output = f64;
+    fn sub(self, rhs: Celsius) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl core::fmt::Display for Celsius {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.2}°C", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_constructors_and_conversions() {
+        assert_eq!(Ms::from_secs(1.5).as_ms(), 1500.0);
+        assert_eq!(Ms::from_hours(2.0).as_secs(), 7200.0);
+        assert_eq!(Ms::from_days(1.0).as_hours(), 24.0);
+        assert!((Ms::new(2304.0).as_days() - 2304.0 / 86_400_000.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn ms_arithmetic() {
+        let a = Ms::new(100.0);
+        let b = Ms::new(50.0);
+        assert_eq!(a + b, Ms::new(150.0));
+        assert_eq!(a - b, Ms::new(50.0));
+        assert_eq!(a * 2.0, Ms::new(200.0));
+        assert_eq!(a / 4.0, Ms::new(25.0));
+        assert_eq!(a / b, 2.0);
+        assert_eq!(-a, Ms::new(-100.0));
+        let mut c = a;
+        c += b;
+        c -= Ms::new(25.0);
+        assert_eq!(c, Ms::new(125.0));
+    }
+
+    #[test]
+    fn ms_ordering_and_clamps() {
+        assert!(Ms::new(64.0) < Ms::new(128.0));
+        assert!(Ms::new(-5.0).max_zero() == Ms::ZERO);
+        assert!(Ms::new(5.0).is_positive());
+        assert!(!Ms::ZERO.is_positive());
+        assert_eq!(Ms::new(3.0).min(Ms::new(4.0)), Ms::new(3.0));
+        assert_eq!(Ms::new(3.0).max(Ms::new(4.0)), Ms::new(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn ms_rejects_nan() {
+        Ms::new(f64::NAN);
+    }
+
+    #[test]
+    fn ms_display_switches_units() {
+        assert_eq!(Ms::new(64.0).to_string(), "64.0ms");
+        assert_eq!(Ms::new(2048.0).to_string(), "2.048s");
+    }
+
+    #[test]
+    fn celsius_arithmetic_and_display() {
+        let t = Celsius::new(45.0);
+        assert_eq!((t + 10.0).degrees(), 55.0);
+        assert_eq!((t - 5.0).degrees(), 40.0);
+        assert_eq!(Celsius::new(55.0) - t, 10.0);
+        assert_eq!(t.to_string(), "45.00°C");
+    }
+
+    #[test]
+    fn celsius_clamp() {
+        let lo = Celsius::new(40.0);
+        let hi = Celsius::new(55.0);
+        assert_eq!(Celsius::new(60.0).clamp(lo, hi), hi);
+        assert_eq!(Celsius::new(30.0).clamp(lo, hi), lo);
+        assert_eq!(Celsius::new(45.0).clamp(lo, hi), Celsius::new(45.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn celsius_rejects_nan() {
+        Celsius::new(f64::NAN);
+    }
+}

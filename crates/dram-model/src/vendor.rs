@@ -1,0 +1,96 @@
+//! The three anonymized LPDDR4 DRAM vendors of the paper's 368-chip study.
+//!
+//! The paper publishes per-vendor temperature scaling coefficients (Eq. 1)
+//! and per-vendor VRT failure-accumulation power-law fits (Fig. 4); the
+//! coefficients live here, the physics that consumes them lives in
+//! `reaper-retention`.
+
+/// A DRAM vendor, anonymized as in the paper ("Vendor A/B/C").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// Vendor A — temperature coefficient 0.22 /°C.
+    A,
+    /// Vendor B — temperature coefficient 0.20 /°C. The paper's
+    /// "representative chip" figures (3, 6–10) use a Vendor B part.
+    B,
+    /// Vendor C — temperature coefficient 0.26 /°C.
+    C,
+}
+
+impl Vendor {
+    /// All three vendors, in order.
+    pub const ALL: [Vendor; 3] = [Vendor::A, Vendor::B, Vendor::C];
+
+    /// Exponential temperature coefficient `k` in `R ∝ e^{k·ΔT}` (paper
+    /// Eq. 1). Roughly a 10× failure-rate increase per 10 °C.
+    ///
+    /// # Example
+    /// ```
+    /// use reaper_dram_model::Vendor;
+    /// // 10°C at Vendor C scales failures by e^{2.6} ≈ 13.5x.
+    /// let scale = (Vendor::C.temperature_coefficient() * 10.0_f64).exp();
+    /// assert!(scale > 10.0 && scale < 14.0);
+    /// ```
+    pub fn temperature_coefficient(self) -> f64 {
+        match self {
+            Vendor::A => 0.22,
+            Vendor::B => 0.20,
+            Vendor::C => 0.26,
+        }
+    }
+
+    /// Failure-rate scale factor for an ambient temperature change of
+    /// `delta_t` degrees (Eq. 1: `R ∝ e^{k ΔT}`).
+    pub fn failure_rate_scale(self, delta_t: f64) -> f64 {
+        (self.temperature_coefficient() * delta_t).exp()
+    }
+
+    /// Short display name ("A", "B", "C").
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::A => "A",
+            Vendor::B => "B",
+            Vendor::C => "C",
+        }
+    }
+}
+
+impl core::fmt::Display for Vendor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Vendor {}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coefficients_match_eq1() {
+        assert_eq!(Vendor::A.temperature_coefficient(), 0.22);
+        assert_eq!(Vendor::B.temperature_coefficient(), 0.20);
+        assert_eq!(Vendor::C.temperature_coefficient(), 0.26);
+    }
+
+    #[test]
+    fn ten_degrees_is_about_a_decade() {
+        // Paper: "approximately ... a factor of 10 for every 10°C".
+        for v in Vendor::ALL {
+            let scale = v.failure_rate_scale(10.0);
+            assert!((7.0..14.0).contains(&scale), "{v}: {scale}");
+        }
+    }
+
+    #[test]
+    fn negative_delta_shrinks_rate() {
+        assert!(Vendor::B.failure_rate_scale(-5.0) < 1.0);
+        assert_eq!(Vendor::B.failure_rate_scale(0.0), 1.0);
+    }
+
+    #[test]
+    fn display_and_ordering() {
+        assert_eq!(Vendor::B.to_string(), "Vendor B");
+        assert!(Vendor::A < Vendor::B && Vendor::B < Vendor::C);
+        assert_eq!(Vendor::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests of geometry, units, and data patterns.
+
+use proptest::prelude::*;
+use reaper_dram_model::{CellAddr, ChipGeometry, DataPattern, Ms, Vendor};
+
+proptest! {
+    #[test]
+    fn cell_index_roundtrip_any_geometry(
+        banks in 1u32..16,
+        rows in 1u32..2048,
+        cols_pow in 3u32..12,
+        idx_frac in 0.0..1.0f64,
+    ) {
+        let g = ChipGeometry::new(banks, rows, 1 << cols_pow);
+        let idx = ((g.density_bits() - 1) as f64 * idx_frac) as u64;
+        let addr = g.cell_at(idx);
+        prop_assert_eq!(g.linear_index(addr), idx);
+        prop_assert!(addr.bank < banks);
+        prop_assert!(addr.row < rows);
+        prop_assert!(addr.col < (1 << cols_pow));
+    }
+
+    #[test]
+    fn linear_index_is_injective(
+        a_bank in 0u32..4, a_row in 0u32..64, a_col in 0u32..64,
+        b_bank in 0u32..4, b_row in 0u32..64, b_col in 0u32..64,
+    ) {
+        let g = ChipGeometry::new(4, 64, 64);
+        let a = CellAddr { bank: a_bank, row: a_row, col: a_col };
+        let b = CellAddr { bank: b_bank, row: b_row, col: b_col };
+        prop_assume!(a != b);
+        prop_assert_ne!(g.linear_index(a), g.linear_index(b));
+    }
+
+    #[test]
+    fn every_pattern_inverse_flips_every_bit(
+        row in 0u64..10_000,
+        col in 0u32..10_000,
+        iteration in 0u64..100,
+    ) {
+        for p in DataPattern::standard_set(iteration) {
+            prop_assert_eq!(p.inverse().bit_at(row, col), !p.bit_at(row, col));
+            prop_assert_eq!(p.inverse().inverse(), p);
+        }
+    }
+
+    #[test]
+    fn ms_arithmetic_is_consistent(a in -1e9..1e9f64, b in -1e9..1e9f64) {
+        let (x, y) = (Ms::new(a), Ms::new(b));
+        prop_assert!(((x + y).as_ms() - (a + b)).abs() < 1e-6);
+        prop_assert!(((x - y).as_ms() - (a - b)).abs() < 1e-6);
+        prop_assert!((x.max(y)).as_ms() >= (x.min(y)).as_ms());
+        prop_assert!((Ms::from_secs(a / 1e3).as_ms() - a).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vendor_scaling_composes(dt1 in -10.0..10.0f64, dt2 in -10.0..10.0f64) {
+        for v in Vendor::ALL {
+            let lhs = v.failure_rate_scale(dt1 + dt2);
+            let rhs = v.failure_rate_scale(dt1) * v.failure_rate_scale(dt2);
+            prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.max(1.0));
+        }
+    }
+
+    #[test]
+    fn random_pattern_is_pure(seed: u64, row in 0u64..1_000_000, col in 0u32..16_384) {
+        let p = DataPattern::random(seed);
+        prop_assert_eq!(p.bit_at(row, col), p.bit_at(row, col));
+    }
+}

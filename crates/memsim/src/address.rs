@@ -1,0 +1,206 @@
+//! Physical-address → DRAM-coordinate mapping.
+//!
+//! The trace generators emit (bank, row) directly; real memory controllers
+//! derive them from physical addresses. This module provides the two
+//! classic interleavings plus XOR bank hashing, so address-level traces
+//! (e.g. from an external simulator) can drive [`crate::simulate`] via
+//! [`AccessTrace::new`](crate::AccessTrace::new).
+
+/// How physical address bits map onto (bank, row, column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interleave {
+    /// Row : Bank : Column — consecutive cache lines fill a row before
+    /// switching banks (maximizes row locality for streaming).
+    #[default]
+    RowBankCol,
+    /// Row : Column : Bank — consecutive cache lines round-robin across
+    /// banks (maximizes bank-level parallelism).
+    RowColBank,
+}
+
+/// An address mapper for a fixed DRAM organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapper {
+    banks: u32,
+    rows: u32,
+    cols: u32,
+    line_bytes: u32,
+    interleave: Interleave,
+    xor_hash: bool,
+}
+
+/// Decomposed DRAM coordinates of a physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MappedAddress {
+    /// Target bank.
+    pub bank: u8,
+    /// Target row.
+    pub row: u32,
+    /// Column (cache-line index within the row).
+    pub col: u32,
+}
+
+impl AddressMapper {
+    /// Creates a mapper for `banks × rows × cols` cache lines of
+    /// `line_bytes` each.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero, not a power of two, or `banks > 256`.
+    pub fn new(banks: u32, rows: u32, cols: u32, line_bytes: u32, interleave: Interleave) -> Self {
+        for (name, v) in [("banks", banks), ("rows", rows), ("cols", cols), ("line_bytes", line_bytes)] {
+            assert!(v > 0 && v.is_power_of_two(), "{name} must be a nonzero power of two");
+        }
+        assert!(banks <= 256, "bank index must fit u8");
+        Self {
+            banks,
+            rows,
+            cols,
+            line_bytes,
+            interleave,
+            xor_hash: false,
+        }
+    }
+
+    /// The paper's Table 2 organization: 8 banks, 2 KB rows (32 cache
+    /// lines), 64 K rows, 64-byte lines, bank-interleaved.
+    pub fn lpddr4_default() -> Self {
+        Self::new(8, 64 * 1024, 32, 64, Interleave::RowColBank)
+    }
+
+    /// Enables XOR bank hashing (`bank ^= low row bits`), the standard
+    /// trick to spread row-conflict-heavy strides across banks.
+    pub fn with_xor_hash(mut self) -> Self {
+        self.xor_hash = true;
+        self
+    }
+
+    /// Total bytes the mapper covers.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.banks as u64 * self.rows as u64 * self.cols as u64 * self.line_bytes as u64
+    }
+
+    /// Maps a physical byte address (wrapped into capacity).
+    pub fn map(&self, addr: u64) -> MappedAddress {
+        let line = (addr / self.line_bytes as u64)
+            % (self.banks as u64 * self.rows as u64 * self.cols as u64);
+        let (bank, row, col) = match self.interleave {
+            Interleave::RowBankCol => {
+                let col = line % self.cols as u64;
+                let bank = (line / self.cols as u64) % self.banks as u64;
+                let row = line / (self.cols as u64 * self.banks as u64);
+                (bank, row, col)
+            }
+            Interleave::RowColBank => {
+                let bank = line % self.banks as u64;
+                let col = (line / self.banks as u64) % self.cols as u64;
+                let row = line / (self.banks as u64 * self.cols as u64);
+                (bank, row, col)
+            }
+        };
+        let bank = if self.xor_hash {
+            (bank ^ (row % self.banks as u64)) % self.banks as u64
+        } else {
+            bank
+        };
+        MappedAddress {
+            bank: bank as u8,
+            row: row as u32,
+            col: col as u32,
+        }
+    }
+
+    /// Inverse of [`AddressMapper::map`] for unhashed mappers: the base
+    /// byte address of the mapped line.
+    ///
+    /// # Panics
+    /// Panics if XOR hashing is enabled (not invertible per-field here) or
+    /// coordinates are out of range.
+    pub fn unmap(&self, m: MappedAddress) -> u64 {
+        assert!(!self.xor_hash, "unmap not supported with XOR hashing");
+        assert!((m.bank as u32) < self.banks, "bank out of range");
+        assert!(m.row < self.rows, "row out of range");
+        assert!(m.col < self.cols, "col out of range");
+        let line = match self.interleave {
+            Interleave::RowBankCol => {
+                (m.row as u64 * self.banks as u64 + m.bank as u64) * self.cols as u64
+                    + m.col as u64
+            }
+            Interleave::RowColBank => {
+                (m.row as u64 * self.cols as u64 + m.col as u64) * self.banks as u64
+                    + m.bank as u64
+            }
+        };
+        line * self.line_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_lines_round_robin_banks_under_col_bank() {
+        let m = AddressMapper::lpddr4_default();
+        let banks: Vec<u8> = (0..8u64).map(|i| m.map(i * 64).bank).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        // Same row across the stride.
+        assert_eq!(m.map(0).row, m.map(7 * 64).row);
+    }
+
+    #[test]
+    fn sequential_lines_stay_in_bank_under_bank_col() {
+        let m = AddressMapper::new(8, 1024, 32, 64, Interleave::RowBankCol);
+        for i in 0..32u64 {
+            assert_eq!(m.map(i * 64).bank, 0, "line {i}");
+            assert_eq!(m.map(i * 64).row, 0);
+        }
+        assert_eq!(m.map(32 * 64).bank, 1);
+    }
+
+    #[test]
+    fn map_unmap_roundtrip() {
+        for interleave in [Interleave::RowBankCol, Interleave::RowColBank] {
+            let m = AddressMapper::new(8, 256, 32, 64, interleave);
+            for addr in (0..m.capacity_bytes()).step_by(64 * 977) {
+                let mapped = m.map(addr);
+                assert_eq!(m.unmap(mapped), addr, "{interleave:?} addr {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_hash_spreads_same_column_strides() {
+        let plain = AddressMapper::new(8, 1024, 32, 64, Interleave::RowColBank);
+        let hashed = plain.with_xor_hash();
+        // A row-sized stride hits the same bank unhashed...
+        let stride = 8 * 32 * 64u64;
+        let plain_banks: std::collections::HashSet<u8> =
+            (0..8u64).map(|i| plain.map(i * stride).bank).collect();
+        assert_eq!(plain_banks.len(), 1);
+        // ...and spreads across banks with hashing.
+        let hashed_banks: std::collections::HashSet<u8> =
+            (0..8u64).map(|i| hashed.map(i * stride).bank).collect();
+        assert!(hashed_banks.len() >= 4, "{hashed_banks:?}");
+    }
+
+    #[test]
+    fn capacity_and_wrapping() {
+        let m = AddressMapper::new(2, 4, 8, 64, Interleave::RowBankCol);
+        assert_eq!(m.capacity_bytes(), 2 * 4 * 8 * 64);
+        // Addresses beyond capacity wrap.
+        assert_eq!(m.map(0), m.map(m.capacity_bytes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        AddressMapper::new(3, 4, 8, 64, Interleave::RowBankCol);
+    }
+
+    #[test]
+    #[should_panic(expected = "XOR hashing")]
+    fn unmap_rejects_hashed() {
+        let m = AddressMapper::lpddr4_default().with_xor_hash();
+        m.unmap(MappedAddress { bank: 0, row: 0, col: 0 });
+    }
+}

@@ -1,0 +1,84 @@
+//! Cycle-level LPDDR4 memory-system simulator — the reproduction's
+//! substitute for Ramulator (paper §7.2, Table 2).
+//!
+//! Simulates the paper's evaluated system: 4 cores (3-wide issue, 128-entry
+//! instruction window, 8 MSHRs/core), a memory controller with 64-entry
+//! read/write queues and FR-FCFS scheduling, and an LPDDR4-3200 rank of 8
+//! banks with JEDEC timing, all-bank refresh whose `tRFC` scales with chip
+//! density, and a configurable refresh interval.
+//!
+//! The model is deliberately at the fidelity Fig. 13 needs: performance
+//! deltas across refresh intervals come from bank unavailability during
+//! refresh (`tRFC` every `tREFI`), bandwidth contention, and row-buffer
+//! locality — all of which are modeled per cycle. Command counts are
+//! reported for the `reaper-power` DRAM power model.
+//!
+//! # Example
+//!
+//! ```
+//! use reaper_memsim::{simulate, AccessTrace, SimConfig};
+//! use reaper_dram_model::Ms;
+//!
+//! // A trivially memory-light trace: one access every 200 instructions.
+//! let trace = AccessTrace::synthetic_uniform(200, 1000, 7);
+//! let cfg = SimConfig::lpddr4_3200(8, Some(Ms::new(64.0)));
+//! let result = simulate(&cfg, &[trace], 50_000);
+//! assert!(result.ipc[0] > 0.5);
+//! ```
+
+pub mod address;
+pub mod config;
+pub mod controller;
+pub mod cpu;
+pub mod sim;
+pub mod timing;
+pub mod trace;
+
+pub use address::{AddressMapper, Interleave, MappedAddress};
+pub use config::{RefreshMode, RowPolicy, SimConfig};
+pub use sim::{simulate, CommandStats, SimResult};
+pub use timing::LpddrTimings;
+pub use trace::{Access, AccessTrace};
+
+/// Weighted speedup (paper §7.2, [Snavely & Tullsen ASPLOS'00]):
+/// `Σ IPC_shared_i / IPC_alone_i`.
+///
+/// # Panics
+/// Panics if the slices differ in length, are empty, or any alone-IPC is
+/// not positive.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core count mismatch");
+    assert!(!shared.is_empty(), "need at least one core");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_identity() {
+        let ipc = [1.0, 2.0, 0.5];
+        assert!((weighted_speedup(&ipc, &ipc) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_degradation() {
+        let shared = [0.5, 1.0];
+        let alone = [1.0, 2.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn weighted_speedup_length_mismatch() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! LPDDR4-3200 timing parameters.
+//!
+//! Clocked at 1600 MHz (DDR 3200 MT/s); all parameters are in memory-clock
+//! cycles. Values follow JEDEC LPDDR4 (the paper's Table 2 device) with
+//! `tRFCab` scaling by chip density — the lever that makes refresh hurt
+//! large chips more (paper §7.3.2).
+
+/// LPDDR4 timing set, in memory-controller clock cycles @ 1600 MHz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LpddrTimings {
+    /// ACT to internal read/write delay (tRCD).
+    pub t_rcd: u32,
+    /// Precharge time (tRP).
+    pub t_rp: u32,
+    /// Row active minimum (tRAS).
+    pub t_ras: u32,
+    /// Read latency (tCL/RL).
+    pub t_cl: u32,
+    /// Write latency (WL).
+    pub t_wl: u32,
+    /// Data burst occupancy on the bus (BL16 on a x16 channel).
+    pub t_bl: u32,
+    /// Column-to-column delay (tCCD).
+    pub t_ccd: u32,
+    /// All-bank refresh cycle time (tRFCab) — density dependent.
+    pub t_rfc_ab: u32,
+    /// Per-bank refresh cycle time (tRFCpb) — roughly half of tRFCab
+    /// (JEDEC LPDDR4: 140 ns vs 280 ns at 8 Gb).
+    pub t_rfc_pb: u32,
+    /// Write recovery (tWR).
+    pub t_wr: u32,
+}
+
+/// Memory clock frequency in Hz (LPDDR4-3200: 1600 MHz).
+pub const CLOCK_HZ: f64 = 1.6e9;
+
+/// Number of all-bank refresh commands covering the array per refresh
+/// window (JEDEC: 8192).
+pub const REFRESHES_PER_WINDOW: u64 = 8192;
+
+impl LpddrTimings {
+    /// LPDDR4-3200 timings for a chip of `density_gbit` (8–64 Gb).
+    ///
+    /// `tRFCab`: JEDEC specifies 280 ns @ 8 Gb and 380 ns @ 16 Gb; the
+    /// 32/64 Gb points extrapolate the historical trend the paper's refresh
+    /// argument rests on (§1: refresh "scales unfavorably").
+    ///
+    /// # Panics
+    /// Panics for unsupported densities (not one of 8, 16, 32, 64).
+    pub fn lpddr4_3200(density_gbit: u32) -> Self {
+        let t_rfc_ns: f64 = match density_gbit {
+            8 => 280.0,
+            16 => 380.0,
+            32 => 660.0,
+            64 => 1250.0,
+            other => panic!("unsupported LPDDR4 density: {other} Gb"),
+        };
+        Self {
+            t_rcd: 29,
+            t_rp: 34,
+            t_ras: 67,
+            t_cl: 28,
+            t_wl: 14,
+            t_bl: 8,
+            t_ccd: 8,
+            t_rfc_ab: ns_to_cycles(t_rfc_ns),
+            t_rfc_pb: ns_to_cycles(t_rfc_ns * 0.5),
+            t_wr: 29,
+        }
+    }
+
+    /// Row-cycle time `tRC = tRAS + tRP`.
+    pub fn t_rc(&self) -> u32 {
+        self.t_ras + self.t_rp
+    }
+
+    /// Cycles between all-bank refresh commands for a refresh window of
+    /// `window_ms` milliseconds (`tREFI = window / 8192`).
+    ///
+    /// # Panics
+    /// Panics if `window_ms` is not positive.
+    pub fn t_refi_cycles(&self, window_ms: f64) -> u64 {
+        assert!(window_ms > 0.0, "refresh window must be positive");
+        ((window_ms / 1e3) * CLOCK_HZ / REFRESHES_PER_WINDOW as f64) as u64
+    }
+
+    /// Fraction of time a rank is blocked by refresh at the given window:
+    /// `tRFC / tREFI` — the first-order refresh penalty.
+    pub fn refresh_blocked_fraction(&self, window_ms: f64) -> f64 {
+        self.t_rfc_ab as f64 / self.t_refi_cycles(window_ms) as f64
+    }
+}
+
+/// Converts nanoseconds to (rounded-up) memory-clock cycles, with a small
+/// tolerance so exact multiples do not round up from float error.
+pub fn ns_to_cycles(ns: f64) -> u32 {
+    (ns * 1e-9 * CLOCK_HZ - 1e-6).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_have_growing_trfc() {
+        let mut prev = 0;
+        for gb in [8, 16, 32, 64] {
+            let t = LpddrTimings::lpddr4_3200(gb);
+            assert!(t.t_rfc_ab > prev, "{gb} Gb");
+            prev = t.t_rfc_ab;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn rejects_odd_density() {
+        LpddrTimings::lpddr4_3200(12);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        // 1600 MHz: 1 cycle = 0.625ns
+        assert_eq!(ns_to_cycles(0.625), 1);
+        assert_eq!(ns_to_cycles(280.0), 448);
+    }
+
+    #[test]
+    fn trefi_at_default_window() {
+        let t = LpddrTimings::lpddr4_3200(8);
+        // 64ms / 8192 = 7.8125us = 12500 cycles
+        assert_eq!(t.t_refi_cycles(64.0), 12_500);
+    }
+
+    #[test]
+    fn refresh_penalty_shape_matches_paper() {
+        // At the default 64ms window, a 64Gb chip spends far more time
+        // refreshing than an 8Gb chip; extending the window to 1024ms
+        // shrinks both dramatically.
+        let small = LpddrTimings::lpddr4_3200(8);
+        let large = LpddrTimings::lpddr4_3200(64);
+        let small64 = small.refresh_blocked_fraction(64.0);
+        let large64 = large.refresh_blocked_fraction(64.0);
+        assert!(large64 > 3.0 * small64);
+        assert!((0.10..0.25).contains(&large64), "large64 = {large64}");
+        assert!(large.refresh_blocked_fraction(1024.0) < large64 / 10.0);
+    }
+
+    #[test]
+    fn per_bank_rfc_is_half_of_all_bank() {
+        let t = LpddrTimings::lpddr4_3200(16);
+        assert_eq!(t.t_rfc_pb, t.t_rfc_ab / 2);
+    }
+
+    #[test]
+    fn trc_is_sum() {
+        let t = LpddrTimings::lpddr4_3200(8);
+        assert_eq!(t.t_rc(), t.t_ras + t.t_rp);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests of the memory-system simulator.
+
+use proptest::prelude::*;
+use reaper_dram_model::Ms;
+use reaper_memsim::{simulate, Access, AccessTrace, SimConfig};
+
+fn any_trace(max_len: usize) -> impl Strategy<Value = AccessTrace> {
+    proptest::collection::vec(
+        (0u32..200, 0u8..8, 0u32..1000, any::<bool>()).prop_map(|(gap, bank, row, is_write)| {
+            Access {
+                gap,
+                bank,
+                row,
+                is_write,
+            }
+        }),
+        1..max_len,
+    )
+    .prop_map(AccessTrace::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ipc_never_exceeds_issue_width(trace in any_trace(64)) {
+        let cfg = SimConfig::lpddr4_3200(8, Some(Ms::new(64.0)));
+        let r = simulate(&cfg, &[trace], 5_000);
+        prop_assert!(r.ipc[0] <= cfg.issue_width as f64 + 1e-9);
+        prop_assert!(r.ipc[0] > 0.0);
+    }
+
+    #[test]
+    fn command_stats_are_internally_consistent(trace in any_trace(64)) {
+        let cfg = SimConfig::lpddr4_3200(16, Some(Ms::new(64.0)));
+        let r = simulate(&cfg, &[trace], 5_000);
+        let s = r.stats;
+        prop_assert_eq!(s.row_hits + s.row_misses, s.reads + s.writes);
+        prop_assert_eq!(s.activates, s.row_misses);
+    }
+
+    #[test]
+    fn disabling_refresh_never_hurts(trace in any_trace(48)) {
+        let with_ref = simulate(
+            &SimConfig::lpddr4_3200(64, Some(Ms::new(64.0))),
+            std::slice::from_ref(&trace),
+            8_000,
+        );
+        let no_ref = simulate(
+            &SimConfig::lpddr4_3200(64, None),
+            std::slice::from_ref(&trace),
+            8_000,
+        );
+        prop_assert!(no_ref.ipc[0] >= with_ref.ipc[0] * 0.999);
+        prop_assert_eq!(no_ref.stats.refreshes, 0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(trace in any_trace(48)) {
+        let cfg = SimConfig::lpddr4_3200(8, Some(Ms::new(128.0)));
+        let a = simulate(&cfg, std::slice::from_ref(&trace), 4_000);
+        let b = simulate(&cfg, std::slice::from_ref(&trace), 4_000);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_bus_bandwidth_bounds_command_throughput(trace in any_trace(32)) {
+        // Each burst occupies the shared bus for tBL cycles, so total
+        // column accesses can never exceed cycles / tBL. (Note per-core IPC
+        // may *rise* with a co-runner — FR-FCFS lets cores share row
+        // activations constructively — so no per-core monotonicity holds.)
+        let cfg = SimConfig::lpddr4_3200(8, None);
+        let r = simulate(&cfg, &[trace.clone(), trace], 4_000);
+        let bursts = r.stats.reads + r.stats.writes;
+        let capacity = r.cycles / cfg.timings.t_bl as u64 + 1;
+        prop_assert!(bursts <= capacity, "{bursts} bursts in {} cycles", r.cycles);
+    }
+}

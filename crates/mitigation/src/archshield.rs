@@ -1,0 +1,205 @@
+//! ArchShield-style fault remapping (paper §7.1.1; ArchShield
+//! [Nair+ ISCA'13]).
+//!
+//! ArchShield reserves a fraction of DRAM (4 % in the paper) as a
+//! *FaultMap* plus replication area. The memory controller checks every
+//! access against the set of known-faulty word addresses; faulty words are
+//! serviced from their replicated copies. REAPER's role is to keep the
+//! FaultMap populated with fresh profiling results.
+
+use std::collections::HashMap;
+
+use reaper_core::FailureProfile;
+
+/// Word granularity of fault tracking (64-bit words, matching the paper's
+/// ECC word payload).
+pub const WORD_BITS: u64 = 64;
+
+/// ArchShield configuration: total words and the reserved-fraction budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchShield {
+    total_words: u64,
+    reserved_fraction: f64,
+}
+
+/// Error returned when a profile needs more replicated entries than the
+/// reserved region can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityExceeded {
+    /// Faulty words the profile requires.
+    pub required: u64,
+    /// Entries the reserved region can hold.
+    pub available: u64,
+}
+
+impl core::fmt::Display for CapacityExceeded {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "fault map capacity exceeded: need {} entries, have {}",
+            self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for CapacityExceeded {}
+
+impl ArchShield {
+    /// Creates an ArchShield over `total_words` 64-bit words, reserving
+    /// `reserved_fraction` of capacity for the FaultMap and replicas (the
+    /// paper uses 0.04).
+    ///
+    /// # Errors
+    /// Returns `Err` if `total_words == 0` or the fraction is outside
+    /// (0, 0.5].
+    pub fn new(total_words: u64, reserved_fraction: f64) -> Result<Self, &'static str> {
+        if total_words == 0 {
+            return Err("total_words must be nonzero");
+        }
+        if !(reserved_fraction > 0.0 && reserved_fraction <= 0.5) {
+            return Err("reserved_fraction must be in (0, 0.5]");
+        }
+        Ok(Self {
+            total_words,
+            reserved_fraction,
+        })
+    }
+
+    /// Words available for replicated entries.
+    pub fn replica_capacity(&self) -> u64 {
+        (self.total_words as f64 * self.reserved_fraction) as u64
+    }
+
+    /// Usable (non-reserved) words exposed to the system.
+    pub fn usable_words(&self) -> u64 {
+        self.total_words - self.replica_capacity()
+    }
+
+    /// Installs a failure profile, producing a queryable fault map.
+    ///
+    /// Each failing *cell* marks its containing 64-bit word faulty; each
+    /// faulty word consumes one replica entry.
+    ///
+    /// # Errors
+    /// Returns [`CapacityExceeded`] if the profile's faulty-word count
+    /// exceeds the reserved capacity — the signal that the target refresh
+    /// interval (or the profiler's false-positive rate) is too aggressive
+    /// for this mitigation mechanism (§6.3).
+    pub fn with_profile(
+        &self,
+        profile: &FailureProfile,
+    ) -> Result<InstalledFaultMap, CapacityExceeded> {
+        let mut map = HashMap::new();
+        let replica_base = self.usable_words();
+        for cell in profile.iter() {
+            let word = cell / WORD_BITS;
+            let next = replica_base + map.len() as u64;
+            map.entry(word).or_insert(next);
+        }
+        let required = map.len() as u64;
+        let available = self.replica_capacity();
+        if required > available {
+            return Err(CapacityExceeded {
+                required,
+                available,
+            });
+        }
+        Ok(InstalledFaultMap {
+            shield: *self,
+            map,
+        })
+    }
+}
+
+/// A populated FaultMap ready to translate accesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstalledFaultMap {
+    shield: ArchShield,
+    map: HashMap<u64, u64>,
+}
+
+impl InstalledFaultMap {
+    /// Whether `word` is known-faulty (and therefore remapped).
+    pub fn is_remapped(&self, word: u64) -> bool {
+        self.map.contains_key(&word)
+    }
+
+    /// Translates a word access: faulty words go to their replica in the
+    /// reserved region, healthy words pass through.
+    pub fn translate(&self, word: u64) -> u64 {
+        self.map.get(&word).copied().unwrap_or(word)
+    }
+
+    /// Number of remapped words.
+    pub fn fault_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Fraction of the replica capacity in use — the paper's "more work for
+    /// the mitigation mechanism" cost of false positives, made measurable.
+    pub fn occupancy(&self) -> f64 {
+        self.map.len() as f64 / self.shield.replica_capacity() as f64
+    }
+
+    /// The shield configuration this map was installed on.
+    pub fn shield(&self) -> ArchShield {
+        self.shield
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_split() {
+        let s = ArchShield::new(1000, 0.04).unwrap();
+        assert_eq!(s.replica_capacity(), 40);
+        assert_eq!(s.usable_words(), 960);
+    }
+
+    #[test]
+    fn remaps_only_faulty_words() {
+        let s = ArchShield::new(1 << 20, 0.04).unwrap();
+        // Cells 0..64 share word 0; cell 128 is word 2.
+        let profile = FailureProfile::from_cells([0, 63, 128]);
+        let m = s.with_profile(&profile).unwrap();
+        assert_eq!(m.fault_count(), 2);
+        assert!(m.is_remapped(0));
+        assert!(!m.is_remapped(1));
+        assert!(m.is_remapped(2));
+        // Healthy word passes through; faulty words land in the reserved
+        // region.
+        assert_eq!(m.translate(1), 1);
+        assert!(m.translate(0) >= s.usable_words());
+        assert!(m.translate(2) >= s.usable_words());
+        assert_ne!(m.translate(0), m.translate(2));
+    }
+
+    #[test]
+    fn occupancy_reflects_load() {
+        let s = ArchShield::new(6400, 0.25).unwrap(); // 1600 replicas
+        let profile: FailureProfile = (0..400u64).map(|i| i * WORD_BITS).collect();
+        let m = s.with_profile(&profile).unwrap();
+        assert_eq!(m.fault_count(), 400);
+        assert!((m.occupancy() - 0.25).abs() < 1e-9);
+        assert_eq!(m.shield(), s);
+    }
+
+    #[test]
+    fn capacity_exceeded_error() {
+        let s = ArchShield::new(1000, 0.01).unwrap(); // 10 replicas
+        let profile: FailureProfile = (0..20u64).map(|i| i * WORD_BITS).collect();
+        let err = s.with_profile(&profile).unwrap_err();
+        assert_eq!(err.required, 20);
+        assert_eq!(err.available, 10);
+        assert!(err.to_string().contains("capacity exceeded"));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(ArchShield::new(0, 0.04).is_err());
+        assert!(ArchShield::new(10, 0.0).is_err());
+        assert!(ArchShield::new(10, 0.6).is_err());
+    }
+}

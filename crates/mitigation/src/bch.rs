@@ -1,0 +1,351 @@
+//! A real 2-error-correcting BCH codec — the bit-level realization of the
+//! "ECC-2" column of the paper's Table 1.
+//!
+//! Construction: BCH(127, 113, t=2) over GF(2⁷), shortened to protect a
+//! 64-bit data word (78-bit codeword = 64 data + 14 parity). Encoding is
+//! systematic (polynomial division by the degree-14 generator
+//! `g(x) = m₁(x)·m₃(x)`); decoding computes the syndromes `S₁ = r(α)`,
+//! `S₃ = r(α³)` and solves the (closed-form for t=2) error locator.
+
+/// GF(2⁷) arithmetic tables over the primitive polynomial x⁷ + x³ + 1.
+#[derive(Debug, Clone)]
+struct Gf128 {
+    exp: [u8; 254],
+    log: [u8; 128],
+}
+
+/// Field order minus one (number of nonzero elements).
+const N: usize = 127;
+/// Primitive polynomial x⁷ + x³ + 1 (0b1000_1001).
+const PRIM: u16 = 0x89;
+
+impl Gf128 {
+    fn new() -> Self {
+        let mut exp = [0u8; 254];
+        let mut log = [0u8; 128];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(N) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x80 != 0 {
+                x ^= PRIM;
+            }
+        }
+        for i in N..2 * N {
+            exp[i] = exp[i - N];
+        }
+        Self { exp, log }
+    }
+
+    fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[(self.log[a as usize] as usize + self.log[b as usize] as usize) % N]
+        }
+    }
+
+    fn inv(&self, a: u8) -> u8 {
+        debug_assert!(a != 0, "inverse of zero");
+        self.exp[(N - self.log[a as usize] as usize) % N]
+    }
+
+    fn pow_alpha(&self, e: usize) -> u8 {
+        self.exp[e % N]
+    }
+}
+
+/// Codeword length after shortening: 64 data + 14 parity bits.
+pub const CODE_BITS: u32 = 78;
+/// Parity bits.
+pub const PARITY_BITS: u32 = 14;
+
+/// Generator polynomial g(x) = m₁(x)·m₃(x) of BCH(127,113,t=2) over
+/// x⁷+x³+1: m₁ = x⁷+x³+1, m₃ = x⁷+x³+x²+x+1.
+/// Product, degree 14 (bit i = coefficient of xⁱ):
+const GENERATOR: u32 = compute_generator();
+
+const fn compute_generator() -> u32 {
+    // carry-less multiply of the two minimal polynomials
+    let m1: u32 = 0b1000_1001; // x^7 + x^3 + 1
+    let m3: u32 = 0b1000_1111; // x^7 + x^3 + x^2 + x + 1
+    let mut acc: u32 = 0;
+    let mut i = 0;
+    while i < 8 {
+        if (m1 >> i) & 1 == 1 {
+            acc ^= m3 << i;
+        }
+        i += 1;
+    }
+    acc
+}
+
+/// A 78-bit BCH codeword (low bits of a `u128`): bit 0..14 parity,
+/// bit 14..78 data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BchCodeword(u128);
+
+impl BchCodeword {
+    /// Raw bits (low 78 significant).
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Flips bit `pos` — error injection.
+    ///
+    /// # Panics
+    /// Panics if `pos >= 78`.
+    pub fn flip(self, pos: u32) -> Self {
+        assert!(pos < CODE_BITS, "bit position out of range");
+        Self(self.0 ^ (1u128 << pos))
+    }
+}
+
+/// Decode result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BchOutcome {
+    /// No error detected.
+    Clean(u64),
+    /// `1` or `2` bit errors corrected.
+    Corrected(u64, u32),
+    /// More errors than the code can correct (detected).
+    Uncorrectable,
+}
+
+impl BchOutcome {
+    /// The decoded payload, if readable.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            BchOutcome::Clean(d) | BchOutcome::Corrected(d, _) => Some(d),
+            BchOutcome::Uncorrectable => None,
+        }
+    }
+}
+
+/// The BCH(127,113,t=2) codec shortened to 64 data bits.
+#[derive(Debug, Clone)]
+pub struct Bch2 {
+    gf: Gf128,
+}
+
+impl Default for Bch2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bch2 {
+    /// Builds the codec (precomputes the field tables).
+    pub fn new() -> Self {
+        Self { gf: Gf128::new() }
+    }
+
+    /// Encodes 64 data bits into a 78-bit systematic codeword.
+    pub fn encode(&self, data: u64) -> BchCodeword {
+        // c(x) = x^14 d(x) + (x^14 d(x) mod g(x))
+        let shifted = (data as u128) << PARITY_BITS;
+        let parity = Self::poly_mod(shifted);
+        BchCodeword(shifted | parity as u128)
+    }
+
+    /// Remainder of `value` (bit i = coeff of xⁱ) modulo the generator.
+    fn poly_mod(value: u128) -> u32 {
+        let mut rem = value;
+        let g = GENERATOR as u128;
+        let gdeg = PARITY_BITS;
+        while rem != 0 {
+            let bit = 127 - rem.leading_zeros();
+            if bit < gdeg {
+                break;
+            }
+            rem ^= g << (bit - gdeg);
+        }
+        rem as u32
+    }
+
+    /// Evaluates the received word at α^j.
+    fn syndrome(&self, word: u128, j: usize) -> u8 {
+        let mut s = 0u8;
+        for pos in 0..CODE_BITS as usize {
+            if (word >> pos) & 1 == 1 {
+                s ^= self.gf.pow_alpha(pos * j);
+            }
+        }
+        s
+    }
+
+    fn extract(word: u128) -> u64 {
+        (word >> PARITY_BITS) as u64
+    }
+
+    /// Decodes a possibly corrupted codeword: corrects up to 2 bit errors,
+    /// detects (most) heavier corruption.
+    pub fn decode(&self, cw: BchCodeword) -> BchOutcome {
+        let word = cw.0;
+        let s1 = self.syndrome(word, 1);
+        let s3 = self.syndrome(word, 3);
+        if s1 == 0 && s3 == 0 {
+            return BchOutcome::Clean(Self::extract(word));
+        }
+        if s1 != 0 {
+            // Single-error hypothesis: S3 == S1³ and the position is in
+            // range.
+            let s1_cubed = self.gf.mul(self.gf.mul(s1, s1), s1);
+            if s3 == s1_cubed {
+                let pos = self.gf.log[s1 as usize] as u32;
+                if pos < CODE_BITS {
+                    return BchOutcome::Corrected(Self::extract(word ^ (1u128 << pos)), 1);
+                }
+                return BchOutcome::Uncorrectable;
+            }
+            // Double-error: σ(x) = 1 + S₁x + ((S₃+S₁³)/S₁)x², roots x=α^{-i}.
+            let c2 = self.gf.mul(s3 ^ s1_cubed, self.gf.inv(s1));
+            let mut roots = Vec::with_capacity(2);
+            for i in 0..CODE_BITS as usize {
+                // test x = α^{-i}
+                let x = self.gf.pow_alpha(N - i % N);
+                let sigma =
+                    1 ^ self.gf.mul(s1, x) ^ self.gf.mul(c2, self.gf.mul(x, x));
+                if sigma == 0 {
+                    roots.push(i as u32);
+                    if roots.len() == 2 {
+                        break;
+                    }
+                }
+            }
+            if roots.len() == 2 {
+                let fixed = word ^ (1u128 << roots[0]) ^ (1u128 << roots[1]);
+                // Accept only if the correction fully clears the syndromes.
+                if self.syndrome(fixed, 1) == 0 && self.syndrome(fixed, 3) == 0 {
+                    return BchOutcome::Corrected(Self::extract(fixed), 2);
+                }
+            }
+        }
+        // s1 == 0 with s3 != 0 is always ≥3 errors for this code.
+        BchOutcome::Uncorrectable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generator_has_degree_14_and_correct_ends() {
+        assert_eq!(31 - GENERATOR.leading_zeros(), 14);
+        assert_eq!(GENERATOR & 1, 1); // constant term
+    }
+
+    #[test]
+    fn generator_annihilates_alpha_and_alpha_cubed() {
+        // g(α) = g(α³) = 0 — the defining property of the t=2 BCH code.
+        let gf = Gf128::new();
+        for j in [1usize, 3] {
+            let mut acc = 0u8;
+            for i in 0..=14usize {
+                if (GENERATOR >> i) & 1 == 1 {
+                    acc ^= gf.pow_alpha(i * j);
+                }
+            }
+            assert_eq!(acc, 0, "g(α^{j}) != 0");
+        }
+    }
+
+    #[test]
+    fn roundtrip_basic_values() {
+        let bch = Bch2::new();
+        for &d in &[0u64, 1, u64::MAX, 0xDEAD_BEEF_0BAD_F00D] {
+            assert_eq!(bch.decode(bch.encode(d)), BchOutcome::Clean(d), "{d:#x}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let bch = Bch2::new();
+        let data = 0x0123_4567_89AB_CDEFu64;
+        let cw = bch.encode(data);
+        for pos in 0..CODE_BITS {
+            match bch.decode(cw.flip(pos)) {
+                BchOutcome::Corrected(d, n) => {
+                    assert_eq!(d, data, "flip {pos}");
+                    assert_eq!(n, 1);
+                }
+                other => panic!("flip {pos}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_corrected() {
+        let bch = Bch2::new();
+        let data = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let cw = bch.encode(data);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                match bch.decode(cw.flip(a).flip(b)) {
+                    BchOutcome::Corrected(d, n) => {
+                        assert_eq!(d, data, "flips {a},{b}");
+                        assert_eq!(n, 2);
+                    }
+                    other => panic!("flips {a},{b}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_errors_never_decode_clean_with_wrong_data() {
+        let bch = Bch2::new();
+        let data = 0x1111_2222_3333_4444u64;
+        let cw = bch.encode(data);
+        let mut miscorrected = 0u32;
+        let mut detected = 0u32;
+        // Sample of triples (exhaustive is 76k — sample deterministically).
+        for a in (0..CODE_BITS).step_by(7) {
+            for b in ((a + 1)..CODE_BITS).step_by(5) {
+                for c in ((b + 1)..CODE_BITS).step_by(3) {
+                    match bch.decode(cw.flip(a).flip(b).flip(c)) {
+                        BchOutcome::Clean(d) => {
+                            assert_eq!(d, data, "silent corruption at {a},{b},{c}")
+                        }
+                        BchOutcome::Corrected(d, _) => {
+                            if d != data {
+                                miscorrected += 1;
+                            }
+                        }
+                        BchOutcome::Uncorrectable => detected += 1,
+                    }
+                }
+            }
+        }
+        // Beyond design distance the code may miscorrect, but a healthy
+        // decoder detects a substantial share of triples.
+        assert!(detected > 0, "no triple detected (mis {miscorrected})");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data: u64) {
+            let bch = Bch2::new();
+            prop_assert_eq!(bch.decode(bch.encode(data)), BchOutcome::Clean(data));
+        }
+
+        #[test]
+        fn prop_two_errors_corrected(data: u64, a in 0u32..78, b in 0u32..78) {
+            prop_assume!(a != b);
+            let bch = Bch2::new();
+            let cw = bch.encode(data).flip(a).flip(b);
+            prop_assert_eq!(bch.decode(cw).data(), Some(data));
+        }
+
+        #[test]
+        fn prop_codeword_distance_at_least_5(a: u64, b: u64) {
+            prop_assume!(a != b);
+            let bch = Bch2::new();
+            let d = (bch.encode(a).bits() ^ bch.encode(b).bits()).count_ones();
+            prop_assert!(d >= 5, "distance {d}");
+        }
+    }
+}

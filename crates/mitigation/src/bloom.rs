@@ -1,0 +1,151 @@
+//! A simple Bloom filter, as used by RAIDR to store weak-row bins
+//! compactly (paper §3.1; RAIDR [Liu+ ISCA'12] stores its retention bins in
+//! Bloom filters so membership tests never miss a weak row).
+
+/// A fixed-size Bloom filter over `u64` keys with `k` hash functions.
+///
+/// Guarantees no false negatives; the false-positive probability is the
+/// classic `(1 − e^{−kn/m})^k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    hashes: u32,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits and `hashes` hash functions.
+    ///
+    /// # Panics
+    /// Panics if `num_bits == 0` or `hashes == 0`.
+    pub fn new(num_bits: u64, hashes: u32) -> Self {
+        assert!(num_bits > 0, "filter must have at least one bit");
+        assert!(hashes > 0, "filter needs at least one hash");
+        Self {
+            bits: vec![0; num_bits.div_ceil(64) as usize],
+            num_bits,
+            hashes,
+            inserted: 0,
+        }
+    }
+
+    /// Sizes a filter for `expected_items` at roughly `target_fpr` false
+    /// positives, using the standard `m = −n ln p / (ln 2)²`,
+    /// `k = (m/n) ln 2` formulas.
+    ///
+    /// # Panics
+    /// Panics if `expected_items == 0` or `target_fpr` is outside (0, 1).
+    pub fn with_capacity(expected_items: usize, target_fpr: f64) -> Self {
+        assert!(expected_items > 0, "expected_items must be nonzero");
+        assert!(
+            target_fpr > 0.0 && target_fpr < 1.0,
+            "target_fpr must be in (0, 1)"
+        );
+        let n = expected_items as f64;
+        let ln2 = core::f64::consts::LN_2;
+        let m = (-n * target_fpr.ln() / (ln2 * ln2)).ceil().max(64.0);
+        let k = ((m / n) * ln2).round().clamp(1.0, 16.0);
+        Self::new(m as u64, k as u32)
+    }
+
+    fn hash(&self, key: u64, i: u32) -> u64 {
+        // Double hashing: h1 + i*h2 over two splitmix-derived hashes.
+        let h1 = splitmix64(key);
+        let h2 = splitmix64(key ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        h1.wrapping_add((i as u64).wrapping_mul(h2)) % self.num_bits
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        for i in 0..self.hashes {
+            let b = self.hash(key, i);
+            self.bits[(b / 64) as usize] |= 1u64 << (b % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests membership: false means *definitely not present*; true means
+    /// present or a false positive.
+    pub fn contains(&self, key: u64) -> bool {
+        (0..self.hashes).all(|i| {
+            let b = self.hash(key, i);
+            self.bits[(b / 64) as usize] & (1u64 << (b % 64)) != 0
+        })
+    }
+
+    /// Number of keys inserted so far.
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Size of the filter in bits.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Expected false-positive rate at the current load:
+    /// `(1 − e^{−kn/m})^k`.
+    pub fn expected_fpr(&self) -> f64 {
+        let k = self.hashes as f64;
+        let n = self.inserted as f64;
+        let m = self.num_bits as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for k in 0..1000u64 {
+            f.insert(k * 7919);
+        }
+        for k in 0..1000u64 {
+            assert!(f.contains(k * 7919), "lost key {k}");
+        }
+        assert_eq!(f.inserted(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_near_target() {
+        let mut f = BloomFilter::with_capacity(1000, 0.01);
+        for k in 0..1000u64 {
+            f.insert(k);
+        }
+        let fp = (1_000_000..1_100_000u64).filter(|&k| f.contains(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.03, "observed FPR {rate}");
+        assert!(f.expected_fpr() < 0.02);
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(1024, 4);
+        assert!(!f.contains(42));
+        assert_eq!(f.expected_fpr(), 0.0);
+        assert_eq!(f.num_bits(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_zero_bits() {
+        BloomFilter::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_fpr")]
+    fn rejects_bad_fpr() {
+        BloomFilter::with_capacity(10, 1.5);
+    }
+}

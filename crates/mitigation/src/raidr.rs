@@ -1,0 +1,220 @@
+//! RAIDR-style multirate refresh (paper §7.1.2; RAIDR [Liu+ ISCA'12]).
+//!
+//! RAIDR bins DRAM rows by the retention class of their weakest cell and
+//! refreshes each bin at its own rate: weak rows at the default 64 ms,
+//! most rows at a multiple of it. The weak bins are stored in Bloom filters
+//! (no false negatives ⇒ never under-refresh; false positives merely
+//! over-refresh a few rows). REAPER keeps the bins current by re-profiling.
+
+use reaper_core::FailureProfile;
+use reaper_dram_model::{ChipGeometry, Ms};
+
+use crate::bloom::BloomFilter;
+
+/// A retention bin: rows whose weakest cell requires `interval` refresh.
+#[derive(Debug, Clone)]
+struct Bin {
+    interval: Ms,
+    filter: BloomFilter,
+}
+
+/// A RAIDR-style multirate refresh controller.
+///
+/// Built from per-interval failure profiles: a row lands in the fastest bin
+/// whose interval it *fails beyond* — i.e. a row with a cell failing at
+/// 256 ms must be refreshed at 128 ms or faster.
+#[derive(Debug, Clone)]
+pub struct Raidr {
+    geometry: ChipGeometry,
+    /// Bins sorted fastest (shortest interval) first; the last is the
+    /// default bin holding all unlisted rows.
+    bins: Vec<Bin>,
+    default_interval: Ms,
+}
+
+impl Raidr {
+    /// Builds the controller from `(interval, profile)` pairs: `profile`
+    /// holds the cells observed to fail at `interval`. Rows containing a
+    /// cell failing at interval `t` are assigned refresh interval `t/2`
+    /// (the next-faster power-of-two bin, mirroring RAIDR's 64/128/256 ms
+    /// scheme). Rows in no profile refresh at `default_interval`.
+    ///
+    /// # Panics
+    /// Panics if `profiles` is empty or intervals are not strictly
+    /// increasing.
+    pub fn build(
+        geometry: ChipGeometry,
+        profiles: &[(Ms, &FailureProfile)],
+        default_interval: Ms,
+    ) -> Self {
+        assert!(!profiles.is_empty(), "need at least one profile");
+        for w in profiles.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "profile intervals must be strictly increasing"
+            );
+        }
+        let row_bits = geometry.row_bits() as u64;
+        let mut assigned = std::collections::HashSet::new();
+        let mut bins = Vec::new();
+        for (interval, profile) in profiles {
+            let mut filter =
+                BloomFilter::with_capacity(profile.len().max(1), 0.001);
+            let mut any = false;
+            for cell in profile.iter() {
+                let row = cell / row_bits;
+                if assigned.insert(row) {
+                    filter.insert(row);
+                    any = true;
+                }
+            }
+            let _ = any;
+            bins.push(Bin {
+                interval: *interval / 2.0,
+                filter,
+            });
+        }
+        Self {
+            geometry,
+            bins,
+            default_interval,
+        }
+    }
+
+    /// The refresh interval assigned to `row` (global row index).
+    pub fn refresh_interval_for_row(&self, row: u64) -> Ms {
+        for bin in &self.bins {
+            if bin.filter.contains(row) {
+                return bin.interval;
+            }
+        }
+        self.default_interval
+    }
+
+    /// Number of retention bins (excluding the default).
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Rows recorded in bin `i` (insertions, not Bloom estimates).
+    ///
+    /// # Panics
+    /// Panics if `i >= bin_count()`.
+    pub fn bin_rows(&self, i: usize) -> usize {
+        self.bins[i].filter.inserted()
+    }
+
+    /// Refresh operations per second across the whole chip under this
+    /// binning. Weak rows refresh at their bin rate; everything else at the
+    /// default rate.
+    pub fn refreshes_per_second(&self) -> f64 {
+        let total_rows = self.geometry.total_rows() as f64;
+        let binned: f64 = self.bins.iter().map(|b| b.filter.inserted() as f64).sum();
+        let mut rate = (total_rows - binned) / self.default_interval.as_secs();
+        for bin in &self.bins {
+            rate += bin.filter.inserted() as f64 / bin.interval.as_secs();
+        }
+        rate
+    }
+
+    /// Fraction of refresh operations saved versus refreshing every row at
+    /// the JEDEC 64 ms baseline — RAIDR's headline benefit, which REAPER's
+    /// online profiles keep safe to claim.
+    pub fn refresh_savings_vs_64ms(&self) -> f64 {
+        let baseline = self.geometry.total_rows() as f64 / Ms::new(64.0).as_secs();
+        1.0 - self.refreshes_per_second() / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> ChipGeometry {
+        ChipGeometry::small()
+    }
+
+    fn cell_in_row(geometry: ChipGeometry, row: u64, col: u64) -> u64 {
+        row * geometry.row_bits() as u64 + col
+    }
+
+    #[test]
+    fn rows_land_in_correct_bins() {
+        let g = geometry();
+        let p128 = FailureProfile::from_cells([cell_in_row(g, 10, 3)]);
+        let p256 = FailureProfile::from_cells([cell_in_row(g, 20, 5)]);
+        let raidr = Raidr::build(
+            g,
+            &[(Ms::new(128.0), &p128), (Ms::new(256.0), &p256)],
+            Ms::new(1024.0),
+        );
+        assert_eq!(raidr.bin_count(), 2);
+        // Row 10 fails at 128ms -> refresh at 64ms.
+        assert_eq!(raidr.refresh_interval_for_row(10), Ms::new(64.0));
+        // Row 20 fails at 256ms -> refresh at 128ms.
+        assert_eq!(raidr.refresh_interval_for_row(20), Ms::new(128.0));
+        // Other rows use the default.
+        assert_eq!(raidr.refresh_interval_for_row(99), Ms::new(1024.0));
+    }
+
+    #[test]
+    fn weakest_bin_wins_for_multi_interval_rows() {
+        let g = geometry();
+        // Same row fails at both 128ms and 256ms — must stay in the fast bin.
+        let p128 = FailureProfile::from_cells([cell_in_row(g, 7, 0)]);
+        let p256 = FailureProfile::from_cells([cell_in_row(g, 7, 1)]);
+        let raidr = Raidr::build(
+            g,
+            &[(Ms::new(128.0), &p128), (Ms::new(256.0), &p256)],
+            Ms::new(1024.0),
+        );
+        assert_eq!(raidr.refresh_interval_for_row(7), Ms::new(64.0));
+        assert_eq!(raidr.bin_rows(0), 1);
+        assert_eq!(raidr.bin_rows(1), 0);
+    }
+
+    #[test]
+    fn refresh_savings_scale_with_default_interval() {
+        let g = geometry();
+        let p = FailureProfile::from_cells([cell_in_row(g, 1, 0)]);
+        let slow = Raidr::build(g, &[(Ms::new(128.0), &p)], Ms::new(1024.0));
+        // Nearly every row refreshes 16x less often: ~93.7% savings.
+        let savings = slow.refresh_savings_vs_64ms();
+        assert!((0.90..0.95).contains(&savings), "savings {savings}");
+        let fast = Raidr::build(g, &[(Ms::new(128.0), &p)], Ms::new(256.0));
+        assert!(fast.refresh_savings_vs_64ms() < savings);
+    }
+
+    #[test]
+    fn never_under_refreshes() {
+        // Bloom filters can only over-assign rows to faster bins; every row
+        // with a known failure must get an interval no longer than half its
+        // failing interval.
+        let g = geometry();
+        let cells: Vec<u64> = (0..200).map(|i| cell_in_row(g, i * 3, i)).collect();
+        let p = FailureProfile::from_cells(cells.iter().copied());
+        let raidr = Raidr::build(g, &[(Ms::new(512.0), &p)], Ms::new(2048.0));
+        for &c in &cells {
+            let row = c / g.row_bits() as u64;
+            assert!(raidr.refresh_interval_for_row(row) <= Ms::new(256.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_intervals() {
+        let g = geometry();
+        let p = FailureProfile::new();
+        Raidr::build(
+            g,
+            &[(Ms::new(256.0), &p), (Ms::new(128.0), &p)],
+            Ms::new(1024.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one profile")]
+    fn rejects_empty_profiles() {
+        Raidr::build(geometry(), &[], Ms::new(1024.0));
+    }
+}

@@ -1,0 +1,166 @@
+//! Row map-out: the simple mitigation the paper's introduction sketches —
+//! "the DRAM memory controller maps addresses with failing cells out of the
+//! system address space", backed by spare rows.
+
+use std::collections::HashMap;
+
+use reaper_core::FailureProfile;
+use reaper_dram_model::ChipGeometry;
+
+/// A row remapper with a fixed pool of spare rows.
+///
+/// Rows containing any profiled failing cell are redirected to spares; the
+/// mechanism is intolerant of high false-positive rates (each false positive
+/// burns a whole spare row), which is exactly the §6.1.2 scenario where a
+/// low-FPR reach point must be chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowRemapper {
+    geometry: ChipGeometry,
+    spare_rows: u64,
+    map: HashMap<u64, u64>,
+}
+
+/// Error returned when the profile needs more spares than exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfSpares {
+    /// Rows that needed remapping.
+    pub required: u64,
+    /// Spare rows available.
+    pub available: u64,
+}
+
+impl core::fmt::Display for OutOfSpares {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "out of spare rows: need {}, have {}",
+            self.required, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfSpares {}
+
+impl RowRemapper {
+    /// Creates a remapper with `spare_rows` spares. Spare row IDs are
+    /// allocated past the end of the normal row space.
+    ///
+    /// # Panics
+    /// Panics if `spare_rows == 0`.
+    pub fn new(geometry: ChipGeometry, spare_rows: u64) -> Self {
+        assert!(spare_rows > 0, "need at least one spare row");
+        Self {
+            geometry,
+            spare_rows,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Installs a profile, replacing any previous mapping.
+    ///
+    /// # Errors
+    /// Returns [`OutOfSpares`] (leaving the previous mapping intact) if the
+    /// profile touches more rows than there are spares.
+    pub fn install_profile(&mut self, profile: &FailureProfile) -> Result<(), OutOfSpares> {
+        let row_bits = self.geometry.row_bits() as u64;
+        let mut rows: Vec<u64> = profile.iter().map(|c| c / row_bits).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        if rows.len() as u64 > self.spare_rows {
+            return Err(OutOfSpares {
+                required: rows.len() as u64,
+                available: self.spare_rows,
+            });
+        }
+        let base = self.geometry.total_rows();
+        self.map = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, row)| (row, base + i as u64))
+            .collect();
+        Ok(())
+    }
+
+    /// Translates a row access through the map.
+    pub fn translate(&self, row: u64) -> u64 {
+        self.map.get(&row).copied().unwrap_or(row)
+    }
+
+    /// Whether `row` is mapped out.
+    pub fn is_mapped_out(&self, row: u64) -> bool {
+        self.map.contains_key(&row)
+    }
+
+    /// Rows currently mapped out.
+    pub fn mapped_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Fraction of spares consumed.
+    pub fn spare_occupancy(&self) -> f64 {
+        self.map.len() as f64 / self.spare_rows as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> ChipGeometry {
+        ChipGeometry::small()
+    }
+
+    #[test]
+    fn remaps_failing_rows_to_spares() {
+        let g = geometry();
+        let mut r = RowRemapper::new(g, 16);
+        let row_bits = g.row_bits() as u64;
+        let profile = FailureProfile::from_cells([5 * row_bits + 1, 5 * row_bits + 2, 9 * row_bits]);
+        r.install_profile(&profile).unwrap();
+        assert_eq!(r.mapped_count(), 2);
+        assert!(r.is_mapped_out(5));
+        assert!(r.is_mapped_out(9));
+        assert!(!r.is_mapped_out(6));
+        assert!(r.translate(5) >= g.total_rows());
+        assert_eq!(r.translate(6), 6);
+        assert_ne!(r.translate(5), r.translate(9));
+        assert_eq!(r.spare_occupancy(), 2.0 / 16.0);
+    }
+
+    #[test]
+    fn out_of_spares_preserves_previous_map() {
+        let g = geometry();
+        let mut r = RowRemapper::new(g, 2);
+        let row_bits = g.row_bits() as u64;
+        r.install_profile(&FailureProfile::from_cells([row_bits]))
+            .unwrap();
+        assert!(r.is_mapped_out(1));
+        let too_big: FailureProfile = (0..5u64).map(|i| i * row_bits).collect();
+        let err = r.install_profile(&too_big).unwrap_err();
+        assert_eq!(err.required, 5);
+        assert_eq!(err.available, 2);
+        assert!(err.to_string().contains("out of spare rows"));
+        // Previous mapping intact.
+        assert!(r.is_mapped_out(1));
+        assert_eq!(r.mapped_count(), 1);
+    }
+
+    #[test]
+    fn reinstall_replaces_map() {
+        let g = geometry();
+        let mut r = RowRemapper::new(g, 4);
+        let row_bits = g.row_bits() as u64;
+        r.install_profile(&FailureProfile::from_cells([row_bits]))
+            .unwrap();
+        r.install_profile(&FailureProfile::from_cells([3 * row_bits]))
+            .unwrap();
+        assert!(!r.is_mapped_out(1));
+        assert!(r.is_mapped_out(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one spare")]
+    fn rejects_zero_spares() {
+        RowRemapper::new(geometry(), 0);
+    }
+}

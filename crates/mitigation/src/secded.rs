@@ -1,0 +1,280 @@
+//! SECDED (72,64) Hamming codec.
+//!
+//! Single-Error-Correcting, Double-Error-Detecting code over a 64-bit data
+//! word: 7 Hamming parity bits plus one overall parity bit (the classic
+//! extended Hamming construction). This is the `k = 1` ECC the paper's
+//! Eq. 4 and Table 1 analyze, implemented at the bit level so mitigation
+//! experiments can inject real errors.
+//!
+//! Layout: codeword bit positions are numbered 1..=72. Positions that are
+//! powers of two (1, 2, 4, 8, 16, 32, 64) hold Hamming parity; position 0
+//! (stored separately as bit 72 here, conceptually "position 0") holds the
+//! overall parity; the remaining 64 positions hold data bits in ascending
+//! order.
+
+/// A 72-bit SECDED codeword (64 data + 7 Hamming + 1 overall parity),
+/// stored in the low 72 bits of a `u128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Codeword(u128);
+
+impl Codeword {
+    /// Raw codeword bits (low 72 bits significant).
+    pub fn bits(self) -> u128 {
+        self.0
+    }
+
+    /// Creates a codeword from raw bits.
+    ///
+    /// # Panics
+    /// Panics if bits above the low 72 are set.
+    pub fn from_bits(bits: u128) -> Self {
+        assert!(bits >> 72 == 0, "codeword is 72 bits");
+        Self(bits)
+    }
+
+    /// Flips bit `pos` (0..72) — error injection.
+    ///
+    /// # Panics
+    /// Panics if `pos >= 72`.
+    pub fn flip(self, pos: u32) -> Self {
+        assert!(pos < 72, "bit position out of range");
+        Self(self.0 ^ (1u128 << pos))
+    }
+}
+
+/// The result of decoding a possibly-corrupted codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// No error detected; payload returned.
+    Clean(u64),
+    /// A single-bit error was corrected; payload returned along with the
+    /// corrected codeword bit position (0..72).
+    Corrected(u64, u32),
+    /// An uncorrectable (≥2-bit) error was detected.
+    Uncorrectable,
+}
+
+impl DecodeOutcome {
+    /// The decoded data, if the word was readable.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            DecodeOutcome::Clean(d) | DecodeOutcome::Corrected(d, _) => Some(d),
+            DecodeOutcome::Uncorrectable => None,
+        }
+    }
+}
+
+/// The SECDED (72,64) codec. Stateless; all methods are associated
+/// functions on a unit struct for discoverability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Secded;
+
+/// Bit index (0-based within our u128) used for the overall parity bit.
+const OVERALL_PARITY_BIT: u32 = 71;
+
+impl Secded {
+    /// Number of data bits per codeword.
+    pub const DATA_BITS: u32 = 64;
+    /// Total codeword bits.
+    pub const CODE_BITS: u32 = 72;
+
+    /// Returns true if `pos` (1-based Hamming position, 1..=71) is a Hamming
+    /// parity position.
+    fn is_parity_pos(pos: u32) -> bool {
+        pos.is_power_of_two()
+    }
+
+    /// Encodes 64 data bits into a 72-bit codeword.
+    ///
+    /// # Example
+    /// ```
+    /// use reaper_mitigation::secded::{DecodeOutcome, Secded};
+    /// let cw = Secded::encode(0xDEAD_BEEF_0BAD_F00D);
+    /// assert_eq!(Secded::decode(cw), DecodeOutcome::Clean(0xDEAD_BEEF_0BAD_F00D));
+    /// ```
+    pub fn encode(data: u64) -> Codeword {
+        // Place data bits into Hamming positions 1..=71, skipping powers of
+        // two. Our storage bit i (0-based) holds Hamming position i+1 for
+        // i in 0..71, and the overall parity at storage bit 71.
+        let mut word: u128 = 0;
+        let mut data_idx = 0u32;
+        for pos in 1..=71u32 {
+            if Self::is_parity_pos(pos) {
+                continue;
+            }
+            if (data >> data_idx) & 1 == 1 {
+                word |= 1u128 << (pos - 1);
+            }
+            data_idx += 1;
+        }
+        debug_assert_eq!(data_idx, 64);
+
+        // Hamming parity bits: parity over all positions with that bit set.
+        for p in [1u32, 2, 4, 8, 16, 32, 64] {
+            let mut parity = 0u32;
+            for pos in 1..=71u32 {
+                if pos & p != 0 && (word >> (pos - 1)) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                word |= 1u128 << (p - 1);
+            }
+        }
+
+        // Overall parity over the 71 Hamming-position bits.
+        if (word.count_ones() & 1) == 1 {
+            word |= 1u128 << OVERALL_PARITY_BIT;
+        }
+        Codeword(word)
+    }
+
+    /// Decodes a codeword, correcting a single-bit error and detecting
+    /// double-bit errors.
+    pub fn decode(cw: Codeword) -> DecodeOutcome {
+        let word = cw.0;
+        // Syndrome: XOR of Hamming positions of set bits.
+        let mut syndrome = 0u32;
+        for pos in 1..=71u32 {
+            if (word >> (pos - 1)) & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        let overall = (word.count_ones() & 1) == 1; // parity of all 72 bits
+
+        match (syndrome, overall) {
+            // No syndrome, even overall parity: clean.
+            (0, false) => DecodeOutcome::Clean(Self::extract(word)),
+            // No syndrome but odd parity: the overall parity bit itself
+            // flipped — correct it (data unaffected).
+            (0, true) => DecodeOutcome::Corrected(Self::extract(word), OVERALL_PARITY_BIT),
+            // Syndrome with odd overall parity: single-bit error at the
+            // syndrome position — correct it.
+            (s, true) if s <= 71 => {
+                let fixed = word ^ (1u128 << (s - 1));
+                DecodeOutcome::Corrected(Self::extract(fixed), s - 1)
+            }
+            // Syndrome with even overall parity: two bits flipped.
+            _ => DecodeOutcome::Uncorrectable,
+        }
+    }
+
+    /// Extracts the 64 data bits from (corrected) codeword bits.
+    fn extract(word: u128) -> u64 {
+        let mut data = 0u64;
+        let mut data_idx = 0u32;
+        for pos in 1..=71u32 {
+            if Self::is_parity_pos(pos) {
+                continue;
+            }
+            if (word >> (pos - 1)) & 1 == 1 {
+                data |= 1u64 << data_idx;
+            }
+            data_idx += 1;
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_basic_values() {
+        for &d in &[0u64, 1, u64::MAX, 0xDEAD_BEEF, 0x8000_0000_0000_0001] {
+            let cw = Secded::encode(d);
+            assert_eq!(Secded::decode(cw), DecodeOutcome::Clean(d), "data {d:#x}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        let data = 0xA5A5_5A5A_0123_4567u64;
+        let cw = Secded::encode(data);
+        for pos in 0..72u32 {
+            let corrupted = cw.flip(pos);
+            match Secded::decode(corrupted) {
+                DecodeOutcome::Corrected(d, p) => {
+                    assert_eq!(d, data, "flip at {pos}");
+                    assert_eq!(p, pos, "reported position");
+                }
+                other => panic!("flip at {pos}: got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        let data = 0x0F0F_F0F0_AAAA_5555u64;
+        let cw = Secded::encode(data);
+        // Exhaustive over all 72*71/2 = 2556 pairs.
+        for a in 0..72u32 {
+            for b in (a + 1)..72u32 {
+                let corrupted = cw.flip(a).flip(b);
+                assert_eq!(
+                    Secded::decode(corrupted),
+                    DecodeOutcome::Uncorrectable,
+                    "flips at {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_outcome_data_accessor() {
+        assert_eq!(DecodeOutcome::Clean(5).data(), Some(5));
+        assert_eq!(DecodeOutcome::Corrected(5, 1).data(), Some(5));
+        assert_eq!(DecodeOutcome::Uncorrectable.data(), None);
+    }
+
+    #[test]
+    fn codeword_bits_roundtrip() {
+        let cw = Secded::encode(42);
+        let rebuilt = Codeword::from_bits(cw.bits());
+        assert_eq!(cw, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "72 bits")]
+    fn from_bits_rejects_wide_values() {
+        Codeword::from_bits(1u128 << 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_rejects_out_of_range() {
+        Secded::encode(0).flip(72);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(data: u64) {
+            let cw = Secded::encode(data);
+            prop_assert_eq!(Secded::decode(cw), DecodeOutcome::Clean(data));
+        }
+
+        #[test]
+        fn prop_single_error_corrected(data: u64, pos in 0u32..72) {
+            let cw = Secded::encode(data).flip(pos);
+            prop_assert_eq!(Secded::decode(cw).data(), Some(data));
+        }
+
+        #[test]
+        fn prop_double_error_detected(data: u64, a in 0u32..72, b in 0u32..72) {
+            prop_assume!(a != b);
+            let cw = Secded::encode(data).flip(a).flip(b);
+            prop_assert_eq!(Secded::decode(cw), DecodeOutcome::Uncorrectable);
+        }
+
+        #[test]
+        fn prop_codewords_differ_in_at_least_4_bits(a: u64, b: u64) {
+            // SECDED minimum distance is 4.
+            prop_assume!(a != b);
+            let ca = Secded::encode(a).bits();
+            let cb = Secded::encode(b).bits();
+            prop_assert!((ca ^ cb).count_ones() >= 4);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the mitigation mechanisms.
+
+use proptest::prelude::*;
+use reaper_core::FailureProfile;
+use reaper_dram_model::{ChipGeometry, Ms};
+use reaper_mitigation::archshield::ArchShield;
+use reaper_mitigation::bloom::BloomFilter;
+use reaper_mitigation::raidr::Raidr;
+use reaper_mitigation::rowmap::RowRemapper;
+
+proptest! {
+    #[test]
+    fn bloom_has_no_false_negatives(
+        keys in proptest::collection::hash_set(any::<u64>(), 1..500),
+        bits in 64u64..8192,
+        hashes in 1u32..8,
+    ) {
+        let mut f = BloomFilter::new(bits, hashes);
+        for &k in &keys {
+            f.insert(k);
+        }
+        for &k in &keys {
+            prop_assert!(f.contains(k));
+        }
+        prop_assert_eq!(f.inserted(), keys.len());
+    }
+
+    #[test]
+    fn archshield_translate_is_stable_and_disjoint(
+        cells in proptest::collection::btree_set(0u64..(1 << 20), 1..64),
+    ) {
+        let shield = ArchShield::new(1 << 16, 0.04).unwrap();
+        let profile = FailureProfile::from_cells(cells.iter().copied());
+        let map = shield.with_profile(&profile).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &cell in &cells {
+            let word = cell / 64;
+            let t = map.translate(word);
+            prop_assert!(t >= shield.usable_words(), "replica in usable space");
+            prop_assert_eq!(t, map.translate(word), "translation must be stable");
+            seen.insert((word, t));
+        }
+        // Distinct faulty words get distinct replicas.
+        let words: std::collections::HashSet<u64> = seen.iter().map(|&(w, _)| w).collect();
+        let replicas: std::collections::HashSet<u64> = seen.iter().map(|&(_, r)| r).collect();
+        prop_assert_eq!(words.len(), replicas.len());
+    }
+
+    #[test]
+    fn rowmap_translations_are_injective(
+        cells in proptest::collection::btree_set(0u64..(64 << 20), 1..64),
+    ) {
+        let g = ChipGeometry::small();
+        let mut r = RowRemapper::new(g, 4096);
+        let profile = FailureProfile::from_cells(cells.iter().copied());
+        r.install_profile(&profile).unwrap();
+        let mut targets = std::collections::HashSet::new();
+        for row in 0..200u64 {
+            let t = r.translate(row);
+            prop_assert!(targets.insert(t), "two rows map to {t}");
+            if r.is_mapped_out(row) {
+                prop_assert!(t >= g.total_rows());
+            } else {
+                prop_assert_eq!(t, row);
+            }
+        }
+    }
+
+    #[test]
+    fn raidr_assigns_every_profiled_row_a_fast_bin(
+        cells in proptest::collection::btree_set(0u64..(64 << 20), 1..128),
+    ) {
+        let g = ChipGeometry::small();
+        let profile = FailureProfile::from_cells(cells.iter().copied());
+        let raidr = Raidr::build(g, &[(Ms::new(512.0), &profile)], Ms::new(2048.0));
+        for cell in profile.iter() {
+            let row = cell / g.row_bits() as u64;
+            prop_assert!(raidr.refresh_interval_for_row(row) <= Ms::new(256.0));
+        }
+        // Savings stay within physical bounds.
+        let s = raidr.refresh_savings_vs_64ms();
+        prop_assert!((0.0..1.0).contains(&s));
+    }
+}

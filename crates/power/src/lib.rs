@@ -1,0 +1,296 @@
+//! LPDDR4 DRAM power model — the reproduction's DRAMPower substitute
+//! (paper §7.2: "we use DRAMPower to evaluate DRAM power consumption").
+//!
+//! Energy is accounted per command (activate, read burst, write burst,
+//! all-bank refresh) plus a constant background term, with refresh energy
+//! scaling linearly with chip density. Constants are calibrated so the
+//! headline refresh-power facts hold: refresh approaches ~40–50 % of total
+//! DRAM power for 64 Gb chips at the default 64 ms interval (paper §1,
+//! Fig. 13 bottom) and becomes negligible at multi-second intervals.
+//!
+//! # Example
+//!
+//! ```
+//! use reaper_power::PowerModel;
+//! use reaper_dram_model::Ms;
+//!
+//! let model = PowerModel::lpddr4(64, 32);
+//! let at_64ms = model.refresh_power_w(Some(Ms::new(64.0)));
+//! let at_1024ms = model.refresh_power_w(Some(Ms::new(1024.0)));
+//! assert!(at_64ms > 10.0 * at_1024ms);
+//! assert_eq!(model.refresh_power_w(None), 0.0);
+//! ```
+
+use reaper_dram_model::Ms;
+use reaper_memsim::timing::REFRESHES_PER_WINDOW;
+use reaper_memsim::CommandStats;
+
+/// Energy per row activation+precharge pair (J).
+const E_ACT_J: f64 = 1.2e-9;
+/// Energy per 64-byte read burst (J).
+const E_RD_J: f64 = 1.0e-9;
+/// Energy per 64-byte write burst (J).
+const E_WR_J: f64 = 1.1e-9;
+/// Energy per all-bank refresh command for an 8 Gb chip (J); scales
+/// linearly with density.
+const E_REF_8GB_J: f64 = 80.0e-9;
+/// Background (standby + peripheral) power per chip (W).
+const P_BG_CHIP_W: f64 = 0.060;
+
+/// Power breakdown of a DRAM module over an execution window, in watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Standby/background power.
+    pub background_w: f64,
+    /// Activation/precharge power.
+    pub activate_w: f64,
+    /// Read burst power.
+    pub read_w: f64,
+    /// Write burst power.
+    pub write_w: f64,
+    /// Refresh power.
+    pub refresh_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    pub fn total_w(&self) -> f64 {
+        self.background_w + self.activate_w + self.read_w + self.write_w + self.refresh_w
+    }
+
+    /// Fraction of total power spent on refresh.
+    pub fn refresh_fraction(&self) -> f64 {
+        let t = self.total_w();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.refresh_w / t
+        }
+    }
+}
+
+/// An LPDDR4 module power model: `chips` chips of `chip_gbit` density.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerModel {
+    chip_gbit: u32,
+    chips: u32,
+}
+
+impl PowerModel {
+    /// Creates a model for a module of `chips` × `chip_gbit` chips (the
+    /// paper's §7 modules are 32 chips of 8–64 Gb).
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn lpddr4(chip_gbit: u32, chips: u32) -> Self {
+        assert!(chip_gbit > 0, "chip density must be nonzero");
+        assert!(chips > 0, "module needs chips");
+        Self { chip_gbit, chips }
+    }
+
+    /// Chip density in gigabits.
+    pub fn chip_gbit(&self) -> u32 {
+        self.chip_gbit
+    }
+
+    /// Module capacity in bytes.
+    pub fn module_bytes(&self) -> u64 {
+        self.chips as u64 * ((self.chip_gbit as u64) << 30) / 8
+    }
+
+    /// Energy of one all-bank refresh command across the module (J).
+    pub fn refresh_energy_j(&self) -> f64 {
+        E_REF_8GB_J * (self.chip_gbit as f64 / 8.0) * self.chips as f64
+    }
+
+    /// Background power of the module (W).
+    pub fn background_power_w(&self) -> f64 {
+        P_BG_CHIP_W * self.chips as f64
+    }
+
+    /// Steady-state refresh power at a refresh window (`None` = refresh
+    /// disabled): `E_ref · 8192 / window`.
+    pub fn refresh_power_w(&self, window: Option<Ms>) -> f64 {
+        match window {
+            None => 0.0,
+            Some(w) => {
+                assert!(w.is_positive(), "refresh window must be positive");
+                self.refresh_energy_j() * REFRESHES_PER_WINDOW as f64 / w.as_secs()
+            }
+        }
+    }
+
+    /// Full power breakdown from simulated command counts over
+    /// `elapsed_secs` of execution.
+    ///
+    /// # Panics
+    /// Panics if `elapsed_secs` is not positive.
+    pub fn breakdown(&self, stats: &CommandStats, elapsed_secs: f64) -> PowerBreakdown {
+        assert!(elapsed_secs > 0.0, "elapsed time must be positive");
+        // The memory-system simulator models one chip-width channel; scale
+        // command energy to the module (all chips in a rank act together on
+        // a module-wide access in this organization).
+        PowerBreakdown {
+            background_w: self.background_power_w(),
+            activate_w: stats.activates as f64 * E_ACT_J * self.chips as f64 / elapsed_secs,
+            read_w: stats.reads as f64 * E_RD_J * self.chips as f64 / elapsed_secs,
+            write_w: stats.writes as f64 * E_WR_J * self.chips as f64 / elapsed_secs,
+            refresh_w: (stats.refreshes as f64
+                + stats.per_bank_refreshes as f64 / 8.0)
+                * self.refresh_energy_j()
+                / elapsed_secs,
+        }
+    }
+
+    /// Energy of one profiling round (Fig. 12's numerator): each of
+    /// `patterns × iterations` passes writes the whole module and reads it
+    /// back (row activations plus bursts); refresh is disabled during the
+    /// retention wait, so only pass energy counts.
+    pub fn profiling_round_energy_j(&self, patterns: u32, iterations: u32) -> f64 {
+        let bursts_per_pass = self.module_bytes() as f64 / 64.0;
+        let rows_per_pass = self.module_bytes() as f64 / 2048.0; // 2KB rows
+        let pass_energy =
+            rows_per_pass * E_ACT_J * 2.0 + bursts_per_pass * (E_RD_J + E_WR_J);
+        pass_energy * patterns as f64 * iterations as f64
+    }
+
+    /// Average added power from online profiling every `online_interval`
+    /// (Fig. 12's y-axis): round energy divided by the online interval.
+    ///
+    /// # Panics
+    /// Panics if `online_interval` is not positive.
+    pub fn profiling_power_w(
+        &self,
+        patterns: u32,
+        iterations: u32,
+        online_interval: Ms,
+    ) -> f64 {
+        assert!(online_interval.is_positive(), "online interval must be positive");
+        self.profiling_round_energy_j(patterns, iterations) / online_interval.as_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_power_scales_with_density_and_interval() {
+        let small = PowerModel::lpddr4(8, 32);
+        let large = PowerModel::lpddr4(64, 32);
+        let w = Some(Ms::new(64.0));
+        assert!((large.refresh_power_w(w) / small.refresh_power_w(w) - 8.0).abs() < 1e-9);
+        assert!(
+            (small.refresh_power_w(Some(Ms::new(64.0)))
+                / small.refresh_power_w(Some(Ms::new(1024.0)))
+                - 16.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn refresh_is_major_fraction_for_64gb_at_default() {
+        // Paper §1: refresh consumes up to ~50% of DRAM power; Fig. 13:
+        // eliminating refresh on 64Gb chips saves ~41% on average.
+        let model = PowerModel::lpddr4(64, 32);
+        let stats = CommandStats {
+            activates: 1000,
+            reads: 4000,
+            writes: 1000,
+            refreshes: 128, // 1ms at 7.8125us tREFI
+            per_bank_refreshes: 0,
+            row_hits: 4000,
+            row_misses: 1000,
+        };
+        let b = model.breakdown(&stats, 1e-3);
+        let frac = b.refresh_fraction();
+        assert!((0.30..0.60).contains(&frac), "refresh fraction {frac}");
+    }
+
+    #[test]
+    fn refresh_is_minor_for_8gb() {
+        let model = PowerModel::lpddr4(8, 32);
+        let stats = CommandStats {
+            activates: 1000,
+            reads: 4000,
+            writes: 1000,
+            refreshes: 128,
+            per_bank_refreshes: 0,
+            row_hits: 0,
+            row_misses: 0,
+        };
+        let frac = model.breakdown(&stats, 1e-3).refresh_fraction();
+        assert!(frac < 0.25, "refresh fraction {frac}");
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let model = PowerModel::lpddr4(16, 32);
+        let stats = CommandStats {
+            activates: 10,
+            reads: 20,
+            writes: 5,
+            refreshes: 2,
+            per_bank_refreshes: 0,
+            row_hits: 15,
+            row_misses: 10,
+        };
+        let b = model.breakdown(&stats, 1e-4);
+        let sum = b.background_w + b.activate_w + b.read_w + b.write_w + b.refresh_w;
+        assert!((b.total_w() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_stats_is_background_only() {
+        let model = PowerModel::lpddr4(8, 32);
+        let b = model.breakdown(&CommandStats::default(), 1.0);
+        assert_eq!(b.total_w(), model.background_power_w());
+        assert_eq!(b.refresh_fraction(), 0.0);
+    }
+
+    #[test]
+    fn profiling_power_scales_as_fig12() {
+        // Fig. 12: profiling power grows with chip size and shrinks with
+        // the online profiling interval.
+        let small = PowerModel::lpddr4(8, 32);
+        let large = PowerModel::lpddr4(64, 32);
+        let p_small = small.profiling_power_w(6, 16, Ms::from_hours(4.0));
+        let p_large = large.profiling_power_w(6, 16, Ms::from_hours(4.0));
+        assert!((p_large / p_small - 8.0).abs() < 1e-9);
+        let p_rare = large.profiling_power_w(6, 16, Ms::from_hours(64.0));
+        assert!((p_large / p_rare - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiling_power_is_small_vs_module_power() {
+        // §7.3.2 observation 4: profiling adds negligible DRAM power.
+        let model = PowerModel::lpddr4(64, 32);
+        let p = model.profiling_power_w(6, 16, Ms::from_hours(4.0));
+        assert!(
+            p < 0.05 * model.background_power_w(),
+            "profiling {p} W vs background {} W",
+            model.background_power_w()
+        );
+    }
+
+    #[test]
+    fn fewer_iterations_less_energy() {
+        // REAPER's 2.5x fewer iterations translate directly to energy.
+        let model = PowerModel::lpddr4(8, 32);
+        let brute = model.profiling_round_energy_j(6, 16);
+        let reaper = model.profiling_round_energy_j(6, 6);
+        assert!(reaper < brute / 2.0);
+    }
+
+    #[test]
+    fn module_bytes_math() {
+        assert_eq!(PowerModel::lpddr4(8, 32).module_bytes(), 32 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn breakdown_rejects_zero_time() {
+        PowerModel::lpddr4(8, 32).breakdown(&CommandStats::default(), 0.0);
+    }
+}

@@ -1,0 +1,622 @@
+//! The simulated DRAM chip: weak-cell population synthesis and retention
+//! trials.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use reaper_analysis::dist::{Exponential, LogNormal, Poisson};
+use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
+
+use crate::cell::WeakCell;
+use crate::config::RetentionConfig;
+use crate::vrt::{ArrivalCell, TwoStateVrt};
+
+/// Hard clamp on per-cell σ (seconds) so candidate windowing stays tight.
+/// Fig. 6b: the overwhelming majority of cells sit well under 200 ms.
+const SIGMA_CAP_SECS: f64 = 0.35;
+
+/// Smallest materialized base retention μ (seconds). Cells below this would
+/// fail within the JEDEC 64 ms interval and are factory-repaired in real
+/// devices.
+const MU_MIN_SECS: f64 = 0.05;
+
+/// Z-score window outside which a trial outcome is treated as certain
+/// (|z| > 4 ⇒ p < 3.2e-5 or > 1 − 3.2e-5).
+const Z_CUTOFF: f64 = 4.0;
+
+/// The set of cells that failed one retention trial, as sorted dense linear
+/// indices into the chip's geometry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrialOutcome {
+    failures: Vec<u64>,
+}
+
+impl TrialOutcome {
+    fn from_unsorted(mut v: Vec<u64>) -> Self {
+        v.sort_unstable();
+        v.dedup();
+        Self { failures: v }
+    }
+
+    /// Number of failing cells.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// True if no cell failed.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The failing cell indices, sorted ascending.
+    pub fn failures(&self) -> &[u64] {
+        &self.failures
+    }
+
+    /// Whether `index` failed in this trial (binary search).
+    pub fn contains(&self, index: u64) -> bool {
+        self.failures.binary_search(&index).is_ok()
+    }
+
+    /// Consumes the outcome, returning the sorted index vector.
+    pub fn into_vec(self) -> Vec<u64> {
+        self.failures
+    }
+}
+
+impl<'a> IntoIterator for &'a TrialOutcome {
+    type Item = &'a u64;
+    type IntoIter = core::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.failures.iter()
+    }
+}
+
+/// A simulated LPDDR4 chip with a synthetic weak-cell population.
+///
+/// Deterministic in `(config, seed)`. Wall-clock time is explicit: the test
+/// harness advances it via [`SimulatedChip::advance`], and VRT processes
+/// (state flips, new-failure arrivals) are evaluated lazily against it.
+#[derive(Debug, Clone)]
+pub struct SimulatedChip {
+    cfg: RetentionConfig,
+    /// Weak cells sorted ascending by `sort_key` = worst-case effective μ at
+    /// the reference temperature.
+    cells: Vec<WeakCell>,
+    /// Sort keys parallel to `cells`.
+    sort_keys: Vec<f64>,
+    /// Two-state processes for base cells with `vrt_index`.
+    base_vrt: Vec<TwoStateVrt>,
+    /// VRT-arrived failing cells (paper §5.3 steady-state accumulation).
+    arrivals: Vec<ArrivalCell>,
+    used: HashSet<u64>,
+    now_ms: f64,
+    last_arrival_ms: f64,
+    rng: StdRng,
+}
+
+impl SimulatedChip {
+    /// Synthesizes a chip from `cfg`, deterministically in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`RetentionConfig::validate`].
+    pub fn new(cfg: RetentionConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid retention config");
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let n_cells = Poisson::new(cfg.expected_weak_cells())
+            .expect("valid lambda")
+            .sample(&mut rng) as usize;
+
+        let sigma_dist = LogNormal::from_median(cfg.sigma_median_secs, cfg.sigma_log_sd)
+            .expect("valid sigma lognormal");
+
+        let density = cfg.geometry.density_bits();
+        let mut used = HashSet::with_capacity(n_cells * 2);
+        let mut cells = Vec::with_capacity(n_cells);
+        let mut base_vrt = Vec::new();
+
+        let u_min = (MU_MIN_SECS / cfg.mu_max_secs).powf(cfg.ber_exponent);
+        for _ in 0..n_cells {
+            let index = loop {
+                let idx = rng.random_range(0..density);
+                if used.insert(idx) {
+                    break idx;
+                }
+            };
+            // Inverse-CDF sample of the t^β tail on [MU_MIN, mu_max].
+            let u: f64 = u_min + rng.random::<f64>() * (1.0 - u_min);
+            let mu0 = cfg.mu_max_secs * u.powf(1.0 / cfg.ber_exponent);
+            let sigma0 = sigma_dist.sample(&mut rng).min(SIGMA_CAP_SECS);
+            let vrt_index = if rng.random::<f64>() < cfg.vrt_fraction {
+                let cycle_ms = cfg.vrt_dwell_hours * 3.6e6;
+                base_vrt.push(TwoStateVrt::new(
+                    (cycle_ms * cfg.vrt_low_duty).max(1.0),
+                    (cycle_ms * (1.0 - cfg.vrt_low_duty)).max(1.0),
+                    0.0,
+                ));
+                Some((base_vrt.len() - 1) as u32)
+            } else {
+                None
+            };
+            cells.push(WeakCell {
+                index,
+                mu0: mu0 as f32,
+                sigma0: sigma0 as f32,
+                vulnerable_bit: rng.random(),
+                dpd_strength: (rng.random::<f64>() * cfg.dpd_max_strength) as f32,
+                dpd_signature: rng.random_range(0..16u8),
+                vrt_index,
+            });
+        }
+
+        let mut chip = Self {
+            sort_keys: Vec::new(),
+            cells,
+            base_vrt,
+            arrivals: Vec::new(),
+            used,
+            now_ms: 0.0,
+            last_arrival_ms: 0.0,
+            rng,
+            cfg,
+        };
+        chip.rebuild_sort();
+        chip
+    }
+
+    fn sort_key_of(cfg: &RetentionConfig, cell: &WeakCell) -> f64 {
+        let vrt_factor = if cell.vrt_index.is_some() {
+            cfg.vrt_low_mu_factor
+        } else {
+            1.0
+        };
+        cell.mu0 as f64 * (1.0 - cell.dpd_strength as f64) * vrt_factor
+    }
+
+    fn rebuild_sort(&mut self) {
+        let cfg = self.cfg.clone();
+        self.cells
+            .sort_by(|a, b| {
+                Self::sort_key_of(&cfg, a)
+                    .partial_cmp(&Self::sort_key_of(&cfg, b))
+                    .expect("finite keys")
+            });
+        self.sort_keys = self
+            .cells
+            .iter()
+            .map(|c| Self::sort_key_of(&cfg, c))
+            .collect();
+    }
+
+    /// The chip's configuration.
+    pub fn config(&self) -> &RetentionConfig {
+        &self.cfg
+    }
+
+    /// The modeled geometry.
+    pub fn geometry(&self) -> ChipGeometry {
+        self.cfg.geometry
+    }
+
+    /// All materialized base weak cells (unspecified order).
+    pub fn cells(&self) -> &[WeakCell] {
+        &self.cells
+    }
+
+    /// Number of currently active VRT-arrival cells.
+    pub fn arrival_count(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Current simulated wall-clock time.
+    pub fn now(&self) -> Ms {
+        Ms::new(self.now_ms)
+    }
+
+    /// Advances the simulated wall clock by `dt`.
+    ///
+    /// # Panics
+    /// Panics if `dt` is negative.
+    pub fn advance(&mut self, dt: Ms) {
+        assert!(dt.as_ms() >= 0.0, "cannot advance time backwards");
+        self.now_ms += dt.as_ms();
+    }
+
+    /// Converts a failing-cell BER: `count / represented_bits`.
+    pub fn ber_of_count(&self, count: usize) -> f64 {
+        count as f64 / self.cfg.represented_bits as f64
+    }
+
+    /// Performs one retention trial: the chip holds `pattern` with refresh
+    /// disabled for `interval` at DRAM temperature `temp`, then reports the
+    /// cells whose read-back differs from the written data.
+    ///
+    /// The simulated clock is *not* advanced; the test harness
+    /// (`reaper-softmc`) owns time accounting. VRT arrivals are drawn for
+    /// the wall-clock span since the last trial.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive.
+    pub fn retention_trial(
+        &mut self,
+        pattern: DataPattern,
+        interval: Ms,
+        temp: Celsius,
+    ) -> TrialOutcome {
+        assert!(interval.is_positive(), "retention interval must be positive");
+        let t = interval.as_secs();
+        self.process_arrivals(t, temp);
+
+        let ms_scale = self.cfg.mu_temp_scale(temp);
+        let ss_scale = self.cfg.sigma_temp_scale(temp);
+        let geometry = self.cfg.geometry;
+
+        // Candidate window: cells whose best-case (lowest) effective μ can
+        // come within Z_CUTOFF·σ_cap of the trial interval.
+        let cut = (t + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
+        let end = self.sort_keys.partition_point(|&k| k < cut);
+
+        let mut failures = Vec::new();
+        let cfg = &self.cfg;
+        let base_vrt = &mut self.base_vrt;
+        let rng = &mut self.rng;
+        let now_ms = self.now_ms;
+
+        for cell in &self.cells[..end] {
+            if cell.stored_bit(pattern, geometry) != cell.vulnerable_bit {
+                continue;
+            }
+            let vrt_factor = match cell.vrt_index {
+                Some(i) if base_vrt[i as usize].observe(now_ms, rng) => cfg.vrt_low_mu_factor,
+                _ => 1.0,
+            };
+            let stress = cell.stress_under(pattern, geometry);
+            let mu = cell.effective_mu(ms_scale, stress, vrt_factor);
+            let sigma = cell.sigma0 as f64 * ss_scale;
+            let z = (t - mu) / sigma;
+            if z < -Z_CUTOFF {
+                continue;
+            }
+            if z > Z_CUTOFF || rng.random::<f64>() < reaper_analysis::special::phi(z) {
+                failures.push(cell.index);
+            }
+        }
+
+        // VRT-arrival cells: freshly arrived cells fail (that is their
+        // arrival event); established ones fail while in their low state.
+        for a in &mut self.arrivals {
+            if !a.is_active(now_ms) {
+                continue;
+            }
+            if a.fresh {
+                a.fresh = false;
+                a.vrt.force_state(true, now_ms);
+                failures.push(a.cell.index);
+                continue;
+            }
+            if a.vrt.observe(now_ms, rng) {
+                let mu = a.cell.effective_mu(ms_scale, 1.0, 1.0);
+                let sigma = a.cell.sigma0 as f64 * ss_scale;
+                let z = (t - mu) / sigma;
+                if z > Z_CUTOFF || (z > -Z_CUTOFF && rng.random::<f64>() < reaper_analysis::special::phi(z))
+                {
+                    failures.push(a.cell.index);
+                }
+            }
+        }
+
+        TrialOutcome::from_unsorted(failures)
+    }
+
+    /// Draws Poisson VRT arrivals for the wall-clock span since the last
+    /// check and retires expired ones.
+    fn process_arrivals(&mut self, t_secs: f64, temp: Celsius) {
+        let elapsed_hours = (self.now_ms - self.last_arrival_ms) / 3.6e6;
+        self.last_arrival_ms = self.now_ms;
+        if elapsed_hours <= 0.0 {
+            self.arrivals.retain(|a| a.is_active(self.now_ms));
+            return;
+        }
+        let rate = self.cfg.vrt_arrival_rate_per_hour(t_secs, temp);
+        let n = Poisson::new(rate * elapsed_hours)
+            .expect("valid lambda")
+            .sample(&mut self.rng);
+
+        let sigma_dist = LogNormal::from_median(self.cfg.sigma_median_secs, self.cfg.sigma_log_sd)
+            .expect("valid sigma lognormal");
+        let lifetime = Exponential::from_mean(self.cfg.vrt_lifetime_hours * 3.6e6)
+            .expect("valid lifetime");
+        let density = self.cfg.geometry.density_bits();
+        let ms_scale = self.cfg.mu_temp_scale(temp);
+
+        for _ in 0..n {
+            let index = loop {
+                let idx = self.rng.random_range(0..density);
+                if self.used.insert(idx) {
+                    break idx;
+                }
+            };
+            // The arrival's low-state μ lies comfortably inside the failing
+            // range of the interval that exposed it (at trial temperature).
+            let frac = 0.55 + 0.35 * self.rng.random::<f64>();
+            let mu0 = (t_secs * frac) / ms_scale;
+            let cycle_ms = self.cfg.vrt_dwell_hours * 3.6e6;
+            self.arrivals.push(ArrivalCell {
+                cell: WeakCell {
+                    index,
+                    mu0: mu0 as f32,
+                    sigma0: sigma_dist.sample(&mut self.rng).min(SIGMA_CAP_SECS) as f32,
+                    vulnerable_bit: self.rng.random(),
+                    dpd_strength: 0.0,
+                    dpd_signature: 0,
+                    vrt_index: None,
+                },
+                expires_at_ms: self.now_ms + lifetime.sample(&mut self.rng),
+                arrived_at_ms: self.now_ms,
+                vrt: TwoStateVrt::new(
+                    (cycle_ms * self.cfg.vrt_low_duty).max(1.0),
+                    (cycle_ms * (1.0 - self.cfg.vrt_low_duty)).max(1.0),
+                    self.now_ms,
+                ),
+                fresh: true,
+            });
+        }
+        self.arrivals.retain(|a| a.is_active(self.now_ms));
+    }
+
+    /// Analytic ground truth: all cells whose *worst-case* single-trial
+    /// failure probability at `(interval, temp)` is at least `min_prob` —
+    /// i.e. "all possible failing cells at the target conditions" in the
+    /// paper's coverage definition (§1), with a probability floor.
+    ///
+    /// Includes currently-active VRT arrivals (their retention state is in
+    /// the failing range right now).
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive or `min_prob` is outside (0, 1].
+    pub fn failing_set_worst_case(
+        &self,
+        interval: Ms,
+        temp: Celsius,
+        min_prob: f64,
+    ) -> Vec<u64> {
+        assert!(interval.is_positive(), "interval must be positive");
+        assert!(
+            min_prob > 0.0 && min_prob <= 1.0,
+            "min_prob must be in (0, 1]"
+        );
+        let t = interval.as_secs();
+        let ms_scale = self.cfg.mu_temp_scale(temp);
+        let ss_scale = self.cfg.sigma_temp_scale(temp);
+
+        let cut = (t + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
+        let end = self.sort_keys.partition_point(|&k| k < cut);
+
+        let mut out: Vec<u64> = self.cells[..end]
+            .iter()
+            .filter(|c| {
+                let vrt_factor = if c.vrt_index.is_some() {
+                    self.cfg.vrt_low_mu_factor
+                } else {
+                    1.0
+                };
+                c.worst_case_fail_probability(t, ms_scale, ss_scale, vrt_factor) >= min_prob
+            })
+            .map(|c| c.index)
+            .collect();
+
+        for a in &self.arrivals {
+            if a.is_active(self.now_ms)
+                && a.cell.worst_case_fail_probability(t, ms_scale, ss_scale, 1.0) >= min_prob
+            {
+                out.push(a.cell.index);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reaper_dram_model::Vendor;
+
+    fn quick_cfg() -> RetentionConfig {
+        // 1/8 capacity for fast tests.
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 8)
+    }
+
+    fn trial_union(
+        chip: &mut SimulatedChip,
+        interval: Ms,
+        temp: Celsius,
+        iterations: u64,
+    ) -> HashSet<u64> {
+        let mut set = HashSet::new();
+        for it in 0..iterations {
+            for p in DataPattern::standard_set(it) {
+                set.extend(chip.retention_trial(p, interval, temp).into_vec());
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn chip_is_deterministic_in_seed() {
+        let a = SimulatedChip::new(quick_cfg(), 7);
+        let b = SimulatedChip::new(quick_cfg(), 7);
+        assert_eq!(a.cells().len(), b.cells().len());
+        assert_eq!(a.cells(), b.cells());
+        let c = SimulatedChip::new(quick_cfg(), 8);
+        assert_ne!(a.cells(), c.cells());
+    }
+
+    #[test]
+    fn population_size_tracks_expectation() {
+        let cfg = quick_cfg();
+        let expected = cfg.expected_weak_cells();
+        let chip = SimulatedChip::new(cfg, 1);
+        let n = chip.cells().len() as f64;
+        assert!(
+            (n - expected).abs() < 5.0 * expected.sqrt().max(1.0),
+            "n = {n}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn trials_are_reproducible_for_same_seed_and_history() {
+        let mut a = SimulatedChip::new(quick_cfg(), 3);
+        let mut b = SimulatedChip::new(quick_cfg(), 3);
+        let p = DataPattern::checkerboard();
+        let out_a = a.retention_trial(p, Ms::new(1024.0), Celsius::new(60.0));
+        let out_b = b.retention_trial(p, Ms::new(1024.0), Celsius::new(60.0));
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn failure_count_scales_with_interval() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 5);
+        let t45 = Celsius::new(60.0);
+        let n_512 = trial_union(&mut chip, Ms::new(512.0), t45, 4).len();
+        let n_2048 = trial_union(&mut chip, Ms::new(2048.0), t45, 4).len();
+        assert!(
+            n_2048 as f64 > 5.0 * n_512.max(1) as f64,
+            "512ms: {n_512}, 2048ms: {n_2048}"
+        );
+    }
+
+    #[test]
+    fn failure_count_scales_with_temperature() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 6);
+        let n_cool = trial_union(&mut chip, Ms::new(1024.0), Celsius::new(60.0), 4).len();
+        let n_hot = trial_union(&mut chip, Ms::new(1024.0), Celsius::new(70.0), 4).len();
+        // Eq. 1: +10°C ≈ e^{2.0} ≈ 7.4x for Vendor B.
+        let ratio = n_hot as f64 / n_cool.max(1) as f64;
+        assert!((3.0..15.0).contains(&ratio), "cool {n_cool}, hot {n_hot}");
+    }
+
+    #[test]
+    fn observation1_higher_interval_superset_statistically() {
+        // Cells found at an interval are (overwhelmingly) found again at a
+        // longer interval.
+        let mut chip = SimulatedChip::new(quick_cfg(), 9);
+        let t45 = Celsius::new(60.0);
+        let low = trial_union(&mut chip, Ms::new(1024.0), t45, 8);
+        let high = trial_union(&mut chip, Ms::new(1536.0), t45, 8);
+        let repeat = low.intersection(&high).count();
+        let frac = repeat as f64 / low.len().max(1) as f64;
+        assert!(frac > 0.90, "repeat fraction {frac} ({repeat}/{})", low.len());
+    }
+
+    #[test]
+    fn ground_truth_is_covered_by_exhaustive_profiling() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 10);
+        let t45 = Celsius::new(60.0);
+        let interval = Ms::new(1024.0);
+        let gt: HashSet<u64> = chip
+            .failing_set_worst_case(interval, t45, 0.5)
+            .into_iter()
+            .collect();
+        // Profiling *above* target must find essentially all p>=0.5 cells.
+        let found = trial_union(&mut chip, Ms::new(1536.0), t45, 16);
+        let covered = gt.iter().filter(|i| found.contains(i)).count();
+        let cov = covered as f64 / gt.len().max(1) as f64;
+        assert!(cov > 0.98, "coverage {cov} ({covered}/{})", gt.len());
+    }
+
+    #[test]
+    fn vrt_arrivals_accumulate_over_time() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 11);
+        let t45 = Celsius::new(60.0);
+        let interval = Ms::new(2048.0);
+        // Simulate 20 hours of elapsed time in ten 2-hour steps.
+        let mut total_arrivals = 0;
+        for _ in 0..10 {
+            chip.advance(Ms::from_hours(2.0));
+            let _ = chip.retention_trial(DataPattern::random(1), interval, t45);
+            total_arrivals = chip.arrival_count();
+        }
+        // Vendor B at 2048ms: ~180 cells/hr at full capacity, 1/8 here ≈
+        // 22/hr ⇒ ~450 over 20h (minus departures).
+        assert!(
+            total_arrivals > 100,
+            "expected substantial VRT arrivals, got {total_arrivals}"
+        );
+    }
+
+    #[test]
+    fn no_time_elapsed_no_arrivals() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 12);
+        let _ = chip.retention_trial(
+            DataPattern::random(1),
+            Ms::new(2048.0),
+            Celsius::new(60.0),
+        );
+        assert_eq!(chip.arrival_count(), 0);
+    }
+
+    #[test]
+    fn trial_outcome_api() {
+        let out = TrialOutcome::from_unsorted(vec![5, 1, 3, 3]);
+        assert_eq!(out.len(), 3);
+        assert!(!out.is_empty());
+        assert!(out.contains(3));
+        assert!(!out.contains(2));
+        assert_eq!(out.failures(), &[1, 3, 5]);
+        let v: Vec<u64> = (&out).into_iter().copied().collect();
+        assert_eq!(v, vec![1, 3, 5]);
+        assert_eq!(out.into_vec(), vec![1, 3, 5]);
+        assert!(TrialOutcome::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn trial_rejects_zero_interval() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 13);
+        chip.retention_trial(DataPattern::solid0(), Ms::ZERO, Celsius::new(60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn advance_rejects_negative() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 14);
+        chip.advance(Ms::new(-1.0));
+    }
+
+    #[test]
+    fn ber_of_count_uses_represented_bits() {
+        let chip = SimulatedChip::new(quick_cfg(), 15);
+        let bits = chip.config().represented_bits;
+        assert!((chip.ber_of_count(bits as usize) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pattern_polarity_matters() {
+        // solid0 and solid1 each expose only one polarity of cells; together
+        // with the full standard set, both halves appear.
+        let mut chip = SimulatedChip::new(quick_cfg(), 16);
+        let t45 = Celsius::new(60.0);
+        let interval = Ms::new(3000.0);
+        let s0: HashSet<u64> = (0..4)
+            .flat_map(|_| {
+                chip.retention_trial(DataPattern::solid0(), interval, t45)
+                    .into_vec()
+            })
+            .collect();
+        let s1: HashSet<u64> = (0..4)
+            .flat_map(|_| {
+                chip.retention_trial(DataPattern::solid1(), interval, t45)
+                    .into_vec()
+            })
+            .collect();
+        assert!(!s0.is_empty() && !s1.is_empty());
+        let overlap = s0.intersection(&s1).count();
+        // Polarity-disjoint by construction.
+        assert_eq!(overlap, 0, "s0 {} s1 {} overlap {overlap}", s0.len(), s1.len());
+    }
+}

@@ -1,0 +1,317 @@
+//! Calibration parameters for a simulated chip.
+//!
+//! Every constant here traces to a number published in the paper; see the
+//! field docs and `DESIGN.md` §5.
+
+use reaper_dram_model::{Celsius, ChipGeometry, Vendor};
+
+/// Full parameterization of one simulated chip's retention behavior.
+///
+/// Construct via [`RetentionConfig::for_vendor`] and adjust fields through
+/// the builder-style `with_*` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionConfig {
+    /// DRAM vendor; selects the Eq. 1 temperature coefficient and the Fig. 4
+    /// VRT accumulation fit.
+    pub vendor: Vendor,
+    /// Geometry used for cell addresses. Defaults to
+    /// [`ChipGeometry::small`] (64 Mb of modeled address space).
+    pub geometry: ChipGeometry,
+    /// Number of bits of real DRAM this simulated chip *represents* for
+    /// failure-count purposes. Defaults to 2 GB (the paper's characterized
+    /// module size), so absolute failure counts match the paper even though
+    /// the modeled address space is smaller.
+    pub represented_bits: u64,
+    /// Reference **DRAM** temperature for the base parameters. The paper
+    /// characterizes at 45 °C *ambient* with the DRAM held 15 °C above
+    /// ambient (§4), so the reference DRAM temperature is 60 °C. All trial
+    /// temperatures passed to the simulator are DRAM temperatures; ambient
+    /// deltas equal DRAM deltas because the offset is constant.
+    pub ref_temp: Celsius,
+    /// Bit error rate at a 1024 ms refresh interval at `ref_temp`
+    /// (paper §6.2.3: 2464 failures / 2 GB ⇒ ≈1.43e-7).
+    pub ber_at_1024ms: f64,
+    /// Exponent β of the retention-time tail: `BER(t) ∝ t^β` (slope of
+    /// Fig. 2 on log-log axes).
+    pub ber_exponent: f64,
+    /// Largest base retention μ (seconds, at `ref_temp`) materialized in the
+    /// weak-cell population. Trials beyond roughly `mu_max·e^{-αΔT}` minus
+    /// DPD headroom would undercount failures; [`RetentionConfig::validate`]
+    /// guards the default sweeps.
+    pub mu_max_secs: f64,
+    /// Median of the lognormal per-cell CDF spread σ (seconds, at
+    /// `ref_temp`). Fig. 6b: majority of cells under 200 ms at 40 °C.
+    pub sigma_median_secs: f64,
+    /// Log-standard-deviation of the per-cell σ lognormal.
+    pub sigma_log_sd: f64,
+    /// Fraction of weak cells exhibiting two-state VRT behavior
+    /// (paper Fig. 6 footnote: ~2 % at those conditions).
+    pub vrt_fraction: f64,
+    /// VRT new-failure accumulation rate at 1024 ms, in cells/hour per
+    /// `represented_bits` (paper §6.2.3: A = 0.73 cells/hour for 2 GB).
+    pub vrt_rate_at_1024ms_per_hour: f64,
+    /// Exponent b of the accumulation power law `A(t) = a·t^b` (Fig. 4).
+    /// Implied by Fig. 3 (≈180 cells/hour at 2048 ms) vs. §6.2.3
+    /// (0.73 cells/hour at 1024 ms): b ≈ 7.9.
+    pub vrt_rate_exponent: f64,
+    /// Mean active lifetime (hours) of a VRT-arrived failing cell before its
+    /// retention state migrates back out of the failing range. Keeps the
+    /// per-iteration failing-set size stable (Fig. 3: accumulation rate ≈
+    /// departure rate).
+    pub vrt_lifetime_hours: f64,
+    /// Duty cycle: probability a VRT cell is in its low-retention state
+    /// during a given trial.
+    pub vrt_low_duty: f64,
+    /// Maximum fractional μ reduction from data-pattern coupling (per-cell
+    /// strength is sampled uniformly in `[0, dpd_max_strength]`).
+    pub dpd_max_strength: f64,
+    /// Fractional μ reduction of a base-population VRT cell's low state.
+    pub vrt_low_mu_factor: f64,
+    /// Mean dwell (hours) of base-population VRT cells in each state.
+    pub vrt_dwell_hours: f64,
+}
+
+impl RetentionConfig {
+    /// Paper-calibrated defaults for `vendor`.
+    ///
+    /// The three vendors differ in temperature coefficient (Eq. 1), BER
+    /// magnitude/tail slope (Fig. 2 shows vendor spread), and VRT
+    /// accumulation fit (Fig. 4).
+    pub fn for_vendor(vendor: Vendor) -> Self {
+        let (ber_at_1024ms, ber_exponent, vrt_rate, vrt_exp) = match vendor {
+            Vendor::A => (1.15e-7, 2.40, 0.60, 7.6),
+            Vendor::B => (1.43e-7, 2.50, 0.73, 7.9),
+            Vendor::C => (1.80e-7, 2.60, 1.00, 8.2),
+        };
+        Self {
+            vendor,
+            geometry: ChipGeometry::small(),
+            represented_bits: 2 * (1u64 << 30) * 8, // 2 GB
+            ref_temp: Celsius::new(60.0),
+            ber_at_1024ms,
+            ber_exponent,
+            mu_max_secs: 4.5,
+            sigma_median_secs: 0.060,
+            sigma_log_sd: 0.60,
+            vrt_fraction: 0.02,
+            vrt_rate_at_1024ms_per_hour: vrt_rate,
+            vrt_rate_exponent: vrt_exp,
+            vrt_lifetime_hours: 12.0,
+            vrt_low_duty: 0.10,
+            dpd_max_strength: 0.25,
+            vrt_low_mu_factor: 0.70,
+            vrt_dwell_hours: 2.0,
+        }
+    }
+
+    /// Scales the represented capacity (and thus all failure counts) by
+    /// `num / den`. Used to build cheap chips for 368-chip population
+    /// sweeps and to model 8–64 Gb chips in the §7 evaluation.
+    pub fn with_capacity_scale(mut self, num: u64, den: u64) -> Self {
+        assert!(den > 0, "capacity scale denominator must be nonzero");
+        self.represented_bits = self.represented_bits * num / den;
+        self
+    }
+
+    /// Sets the represented capacity in bits directly.
+    pub fn with_represented_bits(mut self, bits: u64) -> Self {
+        self.represented_bits = bits;
+        self
+    }
+
+    /// Sets the maximum materialized base retention μ in seconds.
+    pub fn with_mu_max_secs(mut self, secs: f64) -> Self {
+        self.mu_max_secs = secs;
+        self
+    }
+
+    /// Sets the modeled address-space geometry.
+    pub fn with_geometry(mut self, geometry: ChipGeometry) -> Self {
+        self.geometry = geometry;
+        self
+    }
+
+    /// Exponential μ-shift coefficient α (per °C), derived so the *count*
+    /// of failing cells scales as Eq. 1: with tail `N(<t) ∝ t^β` and
+    /// `μ(T) = μ·e^{−αΔT}`, the count scale is `e^{αβΔT}`, so
+    /// `α = k_vendor / β`.
+    pub fn temp_mu_alpha(&self) -> f64 {
+        self.vendor.temperature_coefficient() / self.ber_exponent
+    }
+
+    /// μ scale factor for DRAM temperature `t` relative to `ref_temp`.
+    pub fn mu_temp_scale(&self, t: Celsius) -> f64 {
+        (-self.temp_mu_alpha() * (t - self.ref_temp)).exp()
+    }
+
+    /// σ scale factor for temperature `t`: spreads narrow slightly faster
+    /// than means shift (Fig. 7 shows both distributions moving left, the σ
+    /// distribution tightening).
+    pub fn sigma_temp_scale(&self, t: Celsius) -> f64 {
+        (-1.2 * self.temp_mu_alpha() * (t - self.ref_temp)).exp()
+    }
+
+    /// Bit error rate at refresh interval `t_secs` (seconds) at `ref_temp`:
+    /// `BER(t) = BER₁₀₂₄ · (t / 1.024 s)^β`.
+    pub fn ber_at(&self, t_secs: f64) -> f64 {
+        assert!(t_secs > 0.0, "interval must be positive");
+        self.ber_at_1024ms * (t_secs / 1.024).powf(self.ber_exponent)
+    }
+
+    /// Expected number of weak cells materialized for this chip
+    /// (`represented_bits · BER(mu_max)`).
+    pub fn expected_weak_cells(&self) -> f64 {
+        self.represented_bits as f64 * self.ber_at(self.mu_max_secs)
+    }
+
+    /// VRT new-failure arrival rate (cells/hour, scaled to
+    /// `represented_bits`) at refresh interval `t_secs` seconds:
+    /// `A(t) = A₁₀₂₄ · (t/1.024)^b`, further scaled by the Eq. 1 temperature
+    /// factor.
+    pub fn vrt_arrival_rate_per_hour(&self, t_secs: f64, temp: Celsius) -> f64 {
+        assert!(t_secs > 0.0, "interval must be positive");
+        let base = self.vrt_rate_at_1024ms_per_hour
+            * (t_secs / 1.024).powf(self.vrt_rate_exponent)
+            * (self.represented_bits as f64 / (2.0 * (1u64 << 30) as f64 * 8.0));
+        base * self.vendor.failure_rate_scale(temp - self.ref_temp)
+    }
+
+    /// Checks internal consistency (positive rates, sane fractions).
+    ///
+    /// # Errors
+    /// Returns a static description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.ber_at_1024ms <= 0.0 {
+            return Err("ber_at_1024ms must be positive");
+        }
+        if self.ber_exponent <= 0.0 {
+            return Err("ber_exponent must be positive");
+        }
+        if self.mu_max_secs <= 0.0 {
+            return Err("mu_max_secs must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.vrt_fraction) {
+            return Err("vrt_fraction must be in [0,1]");
+        }
+        if !(0.0..=1.0).contains(&self.vrt_low_duty) {
+            return Err("vrt_low_duty must be in [0,1]");
+        }
+        if !(0.0..1.0).contains(&self.dpd_max_strength) {
+            return Err("dpd_max_strength must be in [0,1)");
+        }
+        if self.sigma_median_secs <= 0.0 || self.sigma_log_sd <= 0.0 {
+            return Err("sigma parameters must be positive");
+        }
+        if self.represented_bits == 0 {
+            return Err("represented_bits must be nonzero");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reaper_dram_model::Ms;
+
+    #[test]
+    fn defaults_validate_for_all_vendors() {
+        for v in Vendor::ALL {
+            RetentionConfig::for_vendor(v).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn ber_calibration_matches_paper_example() {
+        // §6.2.3: 2464 failures at 1024ms in 2GB at 45°C.
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let expected = cfg.represented_bits as f64 * cfg.ber_at(1.024);
+        assert!(
+            (expected - 2464.0).abs() / 2464.0 < 0.05,
+            "expected ≈2464 failures, got {expected}"
+        );
+    }
+
+    #[test]
+    fn ber_grows_polynomially() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let r = cfg.ber_at(2.048) / cfg.ber_at(1.024);
+        assert!((r - 2f64.powf(2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temp_scaling_matches_eq1() {
+        // Count scaling must be e^{k ΔT}: with tail t^β, the μ shift e^{-αΔT}
+        // inflates counts by e^{αβΔT} = e^{kΔT}.
+        for v in Vendor::ALL {
+            let cfg = RetentionConfig::for_vendor(v);
+            let alpha_beta = cfg.temp_mu_alpha() * cfg.ber_exponent;
+            assert!(
+                (alpha_beta - v.temperature_coefficient()).abs() < 1e-12,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn mu_temp_scale_shrinks_with_heat() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        assert!(cfg.mu_temp_scale(Celsius::new(70.0)) < 1.0);
+        assert!(cfg.mu_temp_scale(Celsius::new(55.0)) > 1.0);
+        assert_eq!(cfg.mu_temp_scale(Celsius::new(60.0)), 1.0);
+        assert!(cfg.sigma_temp_scale(Celsius::new(70.0)) < cfg.mu_temp_scale(Celsius::new(70.0)));
+    }
+
+    #[test]
+    fn vrt_rate_matches_section_623() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let a = cfg.vrt_arrival_rate_per_hour(1.024, Celsius::new(60.0));
+        assert!((a - 0.73).abs() < 1e-9, "A(1024ms) = {a}");
+    }
+
+    #[test]
+    fn vrt_rate_at_2048ms_is_near_fig3() {
+        // Fig. 3: ~1 new cell every 20 s = 180 cells/hour at 2048ms.
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let a = cfg.vrt_arrival_rate_per_hour(2.048, Celsius::new(60.0));
+        assert!((100.0..260.0).contains(&a), "A(2048ms) = {a}");
+    }
+
+    #[test]
+    fn vrt_rate_scales_with_capacity_and_temp() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 2);
+        let a = cfg.vrt_arrival_rate_per_hour(1.024, Celsius::new(60.0));
+        assert!((a - 0.365).abs() < 1e-9);
+        let hot = cfg.vrt_arrival_rate_per_hour(1.024, Celsius::new(70.0));
+        assert!((hot / a - (2.0_f64).exp()).abs() < 1e-9); // e^{0.20 * 10}
+    }
+
+    #[test]
+    fn expected_weak_cells_reasonable() {
+        let cfg = RetentionConfig::for_vendor(Vendor::B);
+        let n = cfg.expected_weak_cells();
+        // 2464 * (4.5/1.024)^2.5 ≈ 100k
+        assert!((50_000.0..200_000.0).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_fields() {
+        let mut cfg = RetentionConfig::for_vendor(Vendor::A);
+        cfg.vrt_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RetentionConfig::for_vendor(Vendor::A);
+        cfg.ber_at_1024ms = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RetentionConfig::for_vendor(Vendor::A);
+        cfg.dpd_max_strength = 1.0;
+        assert!(cfg.validate().is_err());
+        let cfg = RetentionConfig::for_vendor(Vendor::A).with_represented_bits(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn ms_type_interops() {
+        // sanity: the config speaks seconds; Ms conversion is lossless.
+        assert_eq!(Ms::new(1024.0).as_secs(), 1.024);
+    }
+}

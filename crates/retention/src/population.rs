@@ -1,0 +1,171 @@
+//! Chip populations: the simulated counterpart of the paper's 368-chip,
+//! three-vendor study.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reaper_dram_model::Vendor;
+
+use crate::chip::SimulatedChip;
+use crate::config::RetentionConfig;
+
+/// A population of simulated chips spanning the three vendors.
+///
+/// # Example
+/// ```
+/// use reaper_retention::ChipPopulation;
+///
+/// // A small, fast population (not the full 368-chip study).
+/// let pop = ChipPopulation::sample_study(9, 42);
+/// assert_eq!(pop.len(), 9);
+/// assert_eq!(pop.chips_of(reaper_dram_model::Vendor::A).count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct ChipPopulation {
+    chips: Vec<SimulatedChip>,
+}
+
+impl ChipPopulation {
+    /// Builds a population from explicit per-vendor counts, using
+    /// paper-calibrated configs modified by `tweak`.
+    ///
+    /// Chip-to-chip variation: each chip's BER magnitude and tail exponent
+    /// are jittered (±20 % and ±0.1 respectively) so the population spreads
+    /// like Fig. 4's error bars.
+    pub fn with_counts<F>(counts: [(Vendor, usize); 3], seed: u64, mut tweak: F) -> Self
+    where
+        F: FnMut(RetentionConfig) -> RetentionConfig,
+    {
+        let mut seeder = StdRng::seed_from_u64(seed);
+        let mut chips = Vec::new();
+        for (vendor, count) in counts {
+            for _ in 0..count {
+                let mut cfg = tweak(RetentionConfig::for_vendor(vendor));
+                let jitter_ber: f64 = 0.8 + 0.4 * seeder.random::<f64>();
+                let jitter_exp: f64 = (seeder.random::<f64>() - 0.5) * 0.2;
+                cfg.ber_at_1024ms *= jitter_ber;
+                cfg.ber_exponent += jitter_exp;
+                let chip_seed: u64 = seeder.random();
+                chips.push(SimulatedChip::new(cfg, chip_seed));
+            }
+        }
+        Self { chips }
+    }
+
+    /// The full 368-chip study: 124 Vendor A, 124 Vendor B, 120 Vendor C,
+    /// with capacity scaled down by `capacity_div` to keep sweeps fast
+    /// (BER and rates are intensive quantities, invariant to this scale).
+    pub fn paper_study(capacity_div: u64, seed: u64) -> Self {
+        Self::with_counts(
+            [(Vendor::A, 124), (Vendor::B, 124), (Vendor::C, 120)],
+            seed,
+            |cfg| cfg.with_capacity_scale(1, capacity_div),
+        )
+    }
+
+    /// A reduced population of `n` chips (rounded up to a multiple of 3),
+    /// split evenly across vendors, at 1/16 capacity. Intended for tests
+    /// and quick experiment modes.
+    pub fn sample_study(n: usize, seed: u64) -> Self {
+        let per = n.div_ceil(3);
+        let pop = Self::with_counts(
+            [(Vendor::A, per), (Vendor::B, per), (Vendor::C, per)],
+            seed,
+            |cfg| cfg.with_capacity_scale(1, 16),
+        );
+        Self {
+            chips: pop.chips.into_iter().take(per * 3).collect(),
+        }
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// True if the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Immutable view of all chips.
+    pub fn chips(&self) -> &[SimulatedChip] {
+        &self.chips
+    }
+
+    /// Mutable view of all chips (trials need `&mut`).
+    pub fn chips_mut(&mut self) -> &mut [SimulatedChip] {
+        &mut self.chips
+    }
+
+    /// Iterates over chips of one vendor.
+    pub fn chips_of(&self, vendor: Vendor) -> impl Iterator<Item = &SimulatedChip> {
+        self.chips
+            .iter()
+            .filter(move |c| c.config().vendor == vendor)
+    }
+
+    /// Mutably iterates over chips of one vendor.
+    pub fn chips_of_mut(&mut self, vendor: Vendor) -> impl Iterator<Item = &mut SimulatedChip> {
+        self.chips
+            .iter_mut()
+            .filter(move |c| c.config().vendor == vendor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_study_is_368_chips() {
+        // Build at tiny capacity so this test stays fast.
+        let pop = ChipPopulation::paper_study(256, 1);
+        assert_eq!(pop.len(), 368);
+        assert_eq!(pop.chips_of(Vendor::A).count(), 124);
+        assert_eq!(pop.chips_of(Vendor::B).count(), 124);
+        assert_eq!(pop.chips_of(Vendor::C).count(), 120);
+        assert!(!pop.is_empty());
+    }
+
+    #[test]
+    fn sample_study_splits_evenly() {
+        let pop = ChipPopulation::sample_study(10, 2);
+        // rounded up to 12
+        assert_eq!(pop.len(), 12);
+        for v in Vendor::ALL {
+            assert_eq!(pop.chips_of(v).count(), 4);
+        }
+    }
+
+    #[test]
+    fn chips_vary_within_a_vendor() {
+        let pop = ChipPopulation::sample_study(6, 3);
+        let bers: Vec<f64> = pop
+            .chips_of(Vendor::B)
+            .map(|c| c.config().ber_at_1024ms)
+            .collect();
+        assert!(bers.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-12));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ChipPopulation::sample_study(3, 7);
+        let b = ChipPopulation::sample_study(3, 7);
+        for (ca, cb) in a.chips().iter().zip(b.chips()) {
+            assert_eq!(ca.cells(), cb.cells());
+        }
+    }
+
+    #[test]
+    fn chips_mut_allows_trials() {
+        use reaper_dram_model::{Celsius, DataPattern, Ms};
+        let mut pop = ChipPopulation::sample_study(3, 8);
+        for chip in pop.chips_mut() {
+            let _ = chip.retention_trial(
+                DataPattern::checkerboard(),
+                Ms::new(1024.0),
+                Celsius::new(45.0),
+            );
+        }
+    }
+}

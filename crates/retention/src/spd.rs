@@ -1,0 +1,167 @@
+//! SPD-style retention characterization records (paper §6.3).
+//!
+//! "It would be reasonable for vendors to provide this data in the on-DIMM
+//! serial presence detect (SPD)." This module defines that record: the
+//! handful of fitted parameters a reach-profiling system needs to plan its
+//! conditions, with a compact text encoding (SPD payloads are tiny) and a
+//! lossless round trip back into a simulator configuration.
+
+use reaper_dram_model::Vendor;
+
+use crate::config::RetentionConfig;
+
+/// The retention data sheet of one chip — what §6.3 wishes lived in SPD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpdRecord {
+    /// Vendor identity.
+    pub vendor: Vendor,
+    /// BER at 1024 ms at the reference conditions.
+    pub ber_at_1024ms: f64,
+    /// BER power-law exponent β.
+    pub ber_exponent: f64,
+    /// Eq. 1 temperature coefficient k (per °C).
+    pub temp_coefficient: f64,
+    /// VRT accumulation rate at 1024 ms (cells/hour per 2 GB).
+    pub vrt_rate_at_1024ms: f64,
+    /// VRT accumulation exponent b.
+    pub vrt_exponent: f64,
+}
+
+/// Errors from decoding an SPD record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpdError {
+    /// A required field was absent.
+    MissingField(&'static str),
+    /// A field failed to parse.
+    BadValue(&'static str),
+    /// The vendor code was not A/B/C.
+    UnknownVendor(String),
+}
+
+impl core::fmt::Display for SpdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpdError::MissingField(k) => write!(f, "missing SPD field `{k}`"),
+            SpdError::BadValue(k) => write!(f, "unparseable SPD field `{k}`"),
+            SpdError::UnknownVendor(v) => write!(f, "unknown vendor code `{v}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpdError {}
+
+impl SpdRecord {
+    /// Extracts the record from a simulator configuration (what a vendor's
+    /// production characterization would measure on real silicon).
+    pub fn from_config(cfg: &RetentionConfig) -> Self {
+        Self {
+            vendor: cfg.vendor,
+            ber_at_1024ms: cfg.ber_at_1024ms,
+            ber_exponent: cfg.ber_exponent,
+            temp_coefficient: cfg.vendor.temperature_coefficient(),
+            vrt_rate_at_1024ms: cfg.vrt_rate_at_1024ms_per_hour,
+            vrt_exponent: cfg.vrt_rate_exponent,
+        }
+    }
+
+    /// Encodes the record as a compact `key=value` block.
+    pub fn encode(&self) -> String {
+        format!(
+            "REAPER-SPD v1\nvendor={}\nber1024={:e}\nber_exp={}\ntemp_k={}\nvrt_rate={}\nvrt_exp={}\n",
+            self.vendor.name(),
+            self.ber_at_1024ms,
+            self.ber_exponent,
+            self.temp_coefficient,
+            self.vrt_rate_at_1024ms,
+            self.vrt_exponent,
+        )
+    }
+
+    /// Decodes a record previously produced by [`SpdRecord::encode`].
+    ///
+    /// # Errors
+    /// Returns [`SpdError`] for missing/corrupt fields or unknown vendors.
+    pub fn decode(text: &str) -> Result<Self, SpdError> {
+        let get = |key: &'static str| -> Result<String, SpdError> {
+            text.lines()
+                .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+                .map(str::to_string)
+                .ok_or(SpdError::MissingField(key))
+        };
+        let vendor = match get("vendor")?.as_str() {
+            "A" => Vendor::A,
+            "B" => Vendor::B,
+            "C" => Vendor::C,
+            other => return Err(SpdError::UnknownVendor(other.to_string())),
+        };
+        let parse = |key: &'static str, raw: String| -> Result<f64, SpdError> {
+            raw.parse().map_err(|_| SpdError::BadValue(key))
+        };
+        Ok(Self {
+            vendor,
+            ber_at_1024ms: parse("ber1024", get("ber1024")?)?,
+            ber_exponent: parse("ber_exp", get("ber_exp")?)?,
+            temp_coefficient: parse("temp_k", get("temp_k")?)?,
+            vrt_rate_at_1024ms: parse("vrt_rate", get("vrt_rate")?)?,
+            vrt_exponent: parse("vrt_exp", get("vrt_exp")?)?,
+        })
+    }
+
+    /// Builds a simulator configuration from the record (vendor defaults
+    /// for the unobservable micro-parameters, record values for the
+    /// macroscopic fits).
+    pub fn to_config(&self) -> RetentionConfig {
+        let mut cfg = RetentionConfig::for_vendor(self.vendor);
+        cfg.ber_at_1024ms = self.ber_at_1024ms;
+        cfg.ber_exponent = self.ber_exponent;
+        cfg.vrt_rate_at_1024ms_per_hour = self.vrt_rate_at_1024ms;
+        cfg.vrt_rate_exponent = self.vrt_exponent;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for v in Vendor::ALL {
+            let cfg = RetentionConfig::for_vendor(v);
+            let rec = SpdRecord::from_config(&cfg);
+            let decoded = SpdRecord::decode(&rec.encode()).unwrap();
+            assert_eq!(rec, decoded, "{v}");
+        }
+    }
+
+    #[test]
+    fn to_config_preserves_macroscopic_fits() {
+        let mut cfg = RetentionConfig::for_vendor(Vendor::C);
+        cfg.ber_at_1024ms = 3.3e-7;
+        cfg.ber_exponent = 2.71;
+        let rec = SpdRecord::from_config(&cfg);
+        let rebuilt = SpdRecord::decode(&rec.encode()).unwrap().to_config();
+        assert_eq!(rebuilt.ber_at_1024ms, 3.3e-7);
+        assert_eq!(rebuilt.ber_exponent, 2.71);
+        assert_eq!(rebuilt.vendor, Vendor::C);
+        rebuilt.validate().unwrap();
+    }
+
+    #[test]
+    fn decode_errors_are_specific() {
+        assert_eq!(
+            SpdRecord::decode("vendor=B\n"),
+            Err(SpdError::MissingField("ber1024"))
+        );
+        let good = SpdRecord::from_config(&RetentionConfig::for_vendor(Vendor::A)).encode();
+        let corrupt = good.replace("vendor=A", "vendor=Z");
+        assert_eq!(
+            SpdRecord::decode(&corrupt),
+            Err(SpdError::UnknownVendor("Z".to_string()))
+        );
+        let corrupt = good.replace("ber_exp=2.4", "ber_exp=fish");
+        assert_eq!(SpdRecord::decode(&corrupt), Err(SpdError::BadValue("ber_exp")));
+        // Error display.
+        assert!(SpdError::MissingField("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,191 @@
+//! Variable-retention-time (VRT) machinery.
+//!
+//! The paper characterizes VRT as *ubiquitous and unpredictable*: a cell's
+//! retention time alternates between states with memoryless dwell times
+//! (§2.3.1), producing (1) trial-to-trial inconsistency among known weak
+//! cells and (2) a steady stream of *brand-new* failing cells that keeps the
+//! failure profile decaying (§5.3, Figs. 3–4). Both effects are modeled
+//! here:
+//!
+//! * [`TwoStateVrt`] — a continuous-time two-state Markov chain, advanced
+//!   lazily with the closed-form transition probability, attached to ~2 % of
+//!   base weak cells,
+//! * [`ArrivalCell`] — a newly-arrived VRT failing cell (Poisson arrivals,
+//!   rate `A(t) = a·t^b` per Fig. 4) with a finite active lifetime so the
+//!   failing-set size stays stable (Fig. 3: accumulation ≈ departure).
+
+use crate::cell::WeakCell;
+use rand::Rng;
+
+/// A continuous-time two-state retention process: the cell dwells in a
+/// *high*-retention state and a *low*-retention state with exponential dwell
+/// times; the low state multiplies the cell's μ by a factor < 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoStateVrt {
+    /// True if the cell is currently in the low-retention state.
+    in_low: bool,
+    /// Wall-clock time (ms) of the last state observation.
+    last_update_ms: f64,
+    /// Mean dwell time in the low state (ms).
+    dwell_low_ms: f64,
+    /// Mean dwell time in the high state (ms).
+    dwell_high_ms: f64,
+}
+
+impl TwoStateVrt {
+    /// Creates a process with the given mean dwell times, starting in the
+    /// high state at time `now_ms`.
+    ///
+    /// # Panics
+    /// Panics if either dwell time is not positive.
+    pub fn new(dwell_low_ms: f64, dwell_high_ms: f64, now_ms: f64) -> Self {
+        assert!(dwell_low_ms > 0.0, "dwell_low_ms must be positive");
+        assert!(dwell_high_ms > 0.0, "dwell_high_ms must be positive");
+        Self {
+            in_low: false,
+            last_update_ms: now_ms,
+            dwell_low_ms,
+            dwell_high_ms,
+        }
+    }
+
+    /// Stationary probability of being in the low state.
+    pub fn duty_low(&self) -> f64 {
+        self.dwell_low_ms / (self.dwell_low_ms + self.dwell_high_ms)
+    }
+
+    /// Observes the state at wall-clock `now_ms`, advancing the chain with
+    /// the exact two-state transition law:
+    /// `P(low at t+Δ) = π_L + (s − π_L)·e^{−(λ₁+λ₂)Δ}` where `s` is the
+    /// current indicator and `π_L` the stationary low probability.
+    ///
+    /// Returns whether the cell is in the low-retention state now.
+    pub fn observe<R: Rng + ?Sized>(&mut self, now_ms: f64, rng: &mut R) -> bool {
+        let dt = (now_ms - self.last_update_ms).max(0.0);
+        if dt > 0.0 {
+            let rate = 1.0 / self.dwell_low_ms + 1.0 / self.dwell_high_ms;
+            let pi_low = self.duty_low();
+            let s = if self.in_low { 1.0 } else { 0.0 };
+            let p_low = pi_low + (s - pi_low) * (-rate * dt).exp();
+            self.in_low = rng.random::<f64>() < p_low;
+            self.last_update_ms = now_ms;
+        }
+        self.in_low
+    }
+
+    /// Forces the state (used when an arrival is first observed failing).
+    pub fn force_state(&mut self, in_low: bool, now_ms: f64) {
+        self.in_low = in_low;
+        self.last_update_ms = now_ms;
+    }
+}
+
+/// A newly-arrived VRT failing cell (paper §5.3's "steady-state
+/// accumulation" population).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalCell {
+    /// The cell's retention phenotype while active. Its `mu0` sits in the
+    /// failing range of the interval that spawned it.
+    pub cell: WeakCell,
+    /// Wall-clock ms at which the cell's retention state migrates back out
+    /// of the failing range (departure process).
+    pub expires_at_ms: f64,
+    /// Wall-clock ms of arrival.
+    pub arrived_at_ms: f64,
+    /// Duty-cycling process for post-arrival trials.
+    pub vrt: TwoStateVrt,
+    /// True until the first trial observes (and thereby "discovers") it.
+    pub fresh: bool,
+}
+
+impl ArrivalCell {
+    /// Whether the cell is still in its active (failing-capable) lifetime.
+    pub fn is_active(&self, now_ms: f64) -> bool {
+        now_ms < self.expires_at_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn duty_cycle_matches_dwell_ratio() {
+        let v = TwoStateVrt::new(100.0, 900.0, 0.0);
+        assert!((v.duty_low() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_horizon_observation_reaches_stationarity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lows = 0;
+        let n = 20_000;
+        for i in 0..n {
+            let mut v = TwoStateVrt::new(100.0, 900.0, 0.0);
+            // observe far beyond mixing time
+            if v.observe(1e9 + i as f64, &mut rng) {
+                lows += 1;
+            }
+        }
+        let frac = lows as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "low fraction {frac}");
+    }
+
+    #[test]
+    fn zero_elapsed_time_is_stable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = TwoStateVrt::new(10.0, 10.0, 5.0);
+        v.force_state(true, 5.0);
+        // No time elapsed: state must not change regardless of RNG.
+        for _ in 0..100 {
+            assert!(v.observe(5.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn short_horizon_tends_to_persist() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // dwell times of 1 hour; observe after 1ms: should essentially
+        // always stay in the current state.
+        let mut stays = 0;
+        for _ in 0..1000 {
+            let mut v = TwoStateVrt::new(3.6e6, 3.6e6, 0.0);
+            v.force_state(true, 0.0);
+            if v.observe(1.0, &mut rng) {
+                stays += 1;
+            }
+        }
+        assert!(stays > 990, "stays = {stays}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dwell_low_ms")]
+    fn rejects_nonpositive_dwell() {
+        TwoStateVrt::new(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn arrival_activity_window() {
+        let cell = WeakCell {
+            index: 0,
+            mu0: 1.0,
+            sigma0: 0.05,
+            vulnerable_bit: false,
+            dpd_strength: 0.0,
+            dpd_signature: 0,
+            vrt_index: None,
+        };
+        let a = ArrivalCell {
+            cell,
+            expires_at_ms: 100.0,
+            arrived_at_ms: 0.0,
+            vrt: TwoStateVrt::new(1.0, 9.0, 0.0),
+            fresh: true,
+        };
+        assert!(a.is_active(50.0));
+        assert!(!a.is_active(100.0));
+        assert!(!a.is_active(150.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the retention physics invariants the paper's
+//! observations rest on.
+
+use proptest::prelude::*;
+use reaper_dram_model::{Celsius, DataPattern, Ms, Vendor};
+use reaper_retention::{RetentionConfig, SimulatedChip, WeakCell};
+
+fn any_cell() -> impl Strategy<Value = WeakCell> {
+    (
+        0u64..1_000_000,
+        0.1f32..4.0,
+        0.01f32..0.3,
+        any::<bool>(),
+        0.0f32..0.25,
+        0u8..16,
+    )
+        .prop_map(|(index, mu0, sigma0, vulnerable_bit, dpd_strength, dpd_signature)| WeakCell {
+            index,
+            mu0,
+            sigma0,
+            vulnerable_bit,
+            dpd_strength,
+            dpd_signature,
+            vrt_index: None,
+        })
+}
+
+proptest! {
+    #[test]
+    fn fail_probability_is_monotone_in_interval(cell in any_cell(), t1 in 0.1..4.0f64, t2 in 0.1..4.0f64) {
+        prop_assume!(t1 < t2);
+        let p1 = cell.fail_probability(t1, 1.0, 1.0, 0.5, 1.0);
+        let p2 = cell.fail_probability(t2, 1.0, 1.0, 0.5, 1.0);
+        prop_assert!(p2 >= p1, "p({t1})={p1} > p({t2})={p2}");
+    }
+
+    #[test]
+    fn fail_probability_is_monotone_in_stress(cell in any_cell(), s1 in 0.0..1.0f64, s2 in 0.0..1.0f64, t in 0.5..3.0f64) {
+        prop_assume!(s1 < s2);
+        let p1 = cell.fail_probability(t, 1.0, 1.0, s1, 1.0);
+        let p2 = cell.fail_probability(t, 1.0, 1.0, s2, 1.0);
+        prop_assert!(p2 >= p1 - 1e-12);
+    }
+
+    #[test]
+    fn hotter_is_never_safer(cell in any_cell(), t in 0.5..3.0f64, scale in 0.3..1.0f64) {
+        // mu_temp_scale < 1 models heating; probability must not drop.
+        let cold = cell.fail_probability(t, 1.0, 1.0, 0.5, 1.0);
+        let hot = cell.fail_probability(t, scale, 1.0, 0.5, 1.0);
+        prop_assert!(hot >= cold - 1e-12);
+    }
+
+    #[test]
+    fn worst_case_bounds_every_configuration(
+        cell in any_cell(),
+        t in 0.2..4.0f64,
+        stress in 0.0..1.0f64,
+    ) {
+        let any = cell.fail_probability(t, 1.0, 1.0, stress, 1.0);
+        let worst = cell.worst_case_fail_probability(t, 1.0, 1.0, 1.0);
+        prop_assert!(any <= worst + 1e-12);
+    }
+
+    #[test]
+    fn probabilities_are_probabilities(cell in any_cell(), t in 0.0..10.0f64) {
+        let p = cell.fail_probability(t, 1.0, 1.0, 1.0, 1.0);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ground_truth_is_monotone_in_interval(seed in 0u64..50) {
+        let chip = SimulatedChip::new(
+            RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 64),
+            seed,
+        );
+        let t60 = Celsius::new(60.0);
+        let small = chip.failing_set_worst_case(Ms::new(1024.0), t60, 0.1);
+        let large = chip.failing_set_worst_case(Ms::new(2048.0), t60, 0.1);
+        for cell in &small {
+            prop_assert!(large.binary_search(cell).is_ok(), "cell {cell} vanished at longer interval");
+        }
+    }
+
+    #[test]
+    fn trial_failures_are_subset_of_analytic_superset(seed in 0u64..50) {
+        // Everything a trial reports must be possible at tiny min_prob.
+        let mut chip = SimulatedChip::new(
+            RetentionConfig::for_vendor(Vendor::A).with_capacity_scale(1, 64),
+            seed,
+        );
+        let t60 = Celsius::new(60.0);
+        let superset = chip.failing_set_worst_case(Ms::new(2048.0), t60, 1e-9);
+        let outcome = chip.retention_trial(DataPattern::random(seed), Ms::new(2048.0), t60);
+        for cell in outcome.failures() {
+            prop_assert!(superset.binary_search(cell).is_ok(), "cell {cell} not in superset");
+        }
+    }
+
+    #[test]
+    fn ground_truth_min_prob_is_antitone(seed in 0u64..50) {
+        let chip = SimulatedChip::new(
+            RetentionConfig::for_vendor(Vendor::C).with_capacity_scale(1, 64),
+            seed,
+        );
+        let t60 = Celsius::new(60.0);
+        let loose = chip.failing_set_worst_case(Ms::new(1536.0), t60, 0.01);
+        let strict = chip.failing_set_worst_case(Ms::new(1536.0), t60, 0.9);
+        prop_assert!(strict.len() <= loose.len());
+        for cell in &strict {
+            prop_assert!(loose.binary_search(cell).is_ok());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The command-level test harness: Algorithm 1's inner loop with honest
+//! time accounting.
+
+use reaper_dram_model::{Celsius, DataPattern, Ms};
+use reaper_retention::{SimulatedChip, TrialOutcome};
+
+use crate::log::{Command, CommandLog};
+use crate::thermal::ThermalChamber;
+
+/// Latency accounting for harness operations.
+///
+/// The paper measures "slightly less than 250 ms" to read/write data to all
+/// DRAM channels and check for errors (§6.1.1), i.e. ≈125 ms per direction
+/// for the characterized 2 GB module; the §7.3.1 overhead model (Eq. 9)
+/// scales this with DRAM size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Time to write one data pattern across the module.
+    pub write_pass: Ms,
+    /// Time to read the module back and compare against the pattern.
+    pub read_pass: Ms,
+}
+
+impl CostModel {
+    /// The paper's measured costs for the characterized 2 GB module.
+    pub fn paper_default() -> Self {
+        Self {
+            write_pass: Ms::new(125.0),
+            read_pass: Ms::new(125.0),
+        }
+    }
+
+    /// Scales the pass costs linearly with module capacity relative to the
+    /// characterized 2 GB module (the paper scales this number "according
+    /// to DRAM size", §7.3.1 footnote).
+    pub fn scaled_to_bytes(module_bytes: u64) -> Self {
+        let scale = module_bytes as f64 / (2.0 * (1u64 << 30) as f64);
+        Self {
+            write_pass: Ms::new(125.0 * scale),
+            read_pass: Ms::new(125.0 * scale),
+        }
+    }
+
+    /// Combined read+write cost of one pattern pass.
+    pub fn pass_cost(&self) -> Ms {
+        self.write_pass + self.read_pass
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A SoftMC-style test harness wrapping one simulated chip inside a thermal
+/// chamber, with a simulated wall clock.
+///
+/// The harness exposes the exact primitive sequence of the paper's
+/// Algorithm 1 — [`write_pattern`](TestHarness::write_pattern),
+/// [`wait_with_refresh_disabled`](TestHarness::wait_with_refresh_disabled),
+/// [`read_and_compare`](TestHarness::read_and_compare) — plus the fused
+/// [`pattern_trial`](TestHarness::pattern_trial) convenience.
+#[derive(Debug, Clone)]
+pub struct TestHarness {
+    chip: SimulatedChip,
+    chamber: ThermalChamber,
+    costs: CostModel,
+    pending_pattern: Option<DataPattern>,
+    pending_wait: Ms,
+    elapsed: Ms,
+    log: CommandLog,
+}
+
+impl TestHarness {
+    /// Creates a harness around `chip`, settles the chamber at
+    /// `ambient` (charging the settling time), deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `ambient` is outside the chamber's reliable range.
+    pub fn new(chip: SimulatedChip, ambient: Celsius, seed: u64) -> Self {
+        Self::with_costs(chip, ambient, seed, CostModel::default())
+    }
+
+    /// Like [`TestHarness::new`] with an explicit cost model.
+    pub fn with_costs(
+        chip: SimulatedChip,
+        ambient: Celsius,
+        seed: u64,
+        costs: CostModel,
+    ) -> Self {
+        let mut chamber = ThermalChamber::new(ambient, seed ^ 0x7EA9);
+        let settle = chamber.settle();
+        let mut harness = Self {
+            chip,
+            chamber,
+            costs,
+            pending_pattern: None,
+            pending_wait: Ms::ZERO,
+            elapsed: Ms::ZERO,
+            log: CommandLog::default(),
+        };
+        harness.charge(settle);
+        harness
+    }
+
+    fn charge(&mut self, dt: Ms) {
+        self.elapsed += dt;
+        self.chip.advance(dt);
+    }
+
+    /// Total simulated wall-clock time consumed so far (profiling runtime).
+    pub fn elapsed(&self) -> Ms {
+        self.elapsed
+    }
+
+    /// The wrapped chip.
+    pub fn chip(&self) -> &SimulatedChip {
+        &self.chip
+    }
+
+    /// Mutable access to the wrapped chip (e.g. for ground-truth queries
+    /// that need `&mut`, or direct trials in tests).
+    pub fn chip_mut(&mut self) -> &mut SimulatedChip {
+        &mut self.chip
+    }
+
+    /// Consumes the harness, returning the chip.
+    pub fn into_chip(self) -> SimulatedChip {
+        self.chip
+    }
+
+    /// The cost model in use.
+    pub fn costs(&self) -> CostModel {
+        self.costs
+    }
+
+    /// The command log — the simulated logic analyzer (paper §4).
+    pub fn command_log(&self) -> &CommandLog {
+        &self.log
+    }
+
+    /// Current DRAM temperature (ambient + 15 °C offset, with jitter).
+    pub fn dram_temperature(&mut self) -> Celsius {
+        self.chamber.dram_temperature()
+    }
+
+    /// Current chamber ambient setpoint.
+    pub fn ambient_setpoint(&self) -> Celsius {
+        self.chamber.setpoint()
+    }
+
+    /// Moves the chamber to a new ambient temperature and waits for it to
+    /// settle, charging the settling time.
+    ///
+    /// # Panics
+    /// Panics if `ambient` is outside the chamber's reliable range.
+    pub fn set_ambient(&mut self, ambient: Celsius) {
+        self.log.record(self.elapsed, Command::SetAmbient(ambient));
+        self.chamber.set_setpoint(ambient);
+        let settle = self.chamber.settle();
+        self.charge(settle);
+    }
+
+    /// Advances simulated wall-clock time without issuing DRAM commands
+    /// (models system idle periods between online profiling rounds).
+    pub fn idle(&mut self, dt: Ms) {
+        self.log.record(self.elapsed, Command::Idle(dt));
+        self.charge(dt);
+    }
+
+    /// Algorithm 1, line 5: writes `pattern` across the module. Charges the
+    /// write-pass cost.
+    pub fn write_pattern(&mut self, pattern: DataPattern) {
+        self.log.record(self.elapsed, Command::WritePattern(pattern));
+        self.charge(self.costs.write_pass);
+        self.pending_pattern = Some(pattern);
+    }
+
+    /// Algorithm 1, lines 6–8: disables refresh, waits `interval`, and
+    /// re-enables refresh. Charges `interval`.
+    ///
+    /// # Panics
+    /// Panics if no pattern has been written, or `interval` is not positive.
+    pub fn wait_with_refresh_disabled(&mut self, interval: Ms) {
+        assert!(
+            self.pending_pattern.is_some(),
+            "write a data pattern before disabling refresh"
+        );
+        assert!(interval.is_positive(), "interval must be positive");
+        self.log.record(self.elapsed, Command::DisableRefresh);
+        self.log.record(self.elapsed, Command::Wait(interval));
+        self.charge(interval);
+        self.log.record(self.elapsed, Command::EnableRefresh);
+        self.pending_wait = interval;
+    }
+
+    /// Algorithm 1, line 9: reads the module back and returns the cells
+    /// whose contents differ from the written pattern. Charges the
+    /// read-pass cost.
+    ///
+    /// # Panics
+    /// Panics if the write/wait sequence was not performed first.
+    pub fn read_and_compare(&mut self) -> TrialOutcome {
+        let pattern = self
+            .pending_pattern
+            .take()
+            .expect("write a data pattern before reading back");
+        let interval = self.pending_wait;
+        assert!(
+            interval.is_positive(),
+            "disable refresh and wait before reading back"
+        );
+        self.pending_wait = Ms::ZERO;
+        self.log.record(self.elapsed, Command::ReadCompare);
+        self.charge(self.costs.read_pass);
+        let temp = self.chamber.dram_temperature();
+        self.chip.retention_trial(pattern, interval, temp)
+    }
+
+    /// Fused write → wait → read-compare cycle for one data pattern:
+    /// exactly one inner-loop step of Algorithm 1. Total charged time is
+    /// `interval + pass_cost`.
+    pub fn pattern_trial(&mut self, pattern: DataPattern, interval: Ms) -> TrialOutcome {
+        self.write_pattern(pattern);
+        self.wait_with_refresh_disabled(interval);
+        self.read_and_compare()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reaper_dram_model::Vendor;
+    use reaper_retention::RetentionConfig;
+
+    fn harness() -> TestHarness {
+        let chip = SimulatedChip::new(
+            RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+            11,
+        );
+        TestHarness::new(chip, Celsius::new(45.0), 11)
+    }
+
+    #[test]
+    fn pattern_trial_charges_interval_plus_pass() {
+        let mut h = harness();
+        let before = h.elapsed();
+        let _ = h.pattern_trial(DataPattern::checkerboard(), Ms::new(1024.0));
+        let dt = h.elapsed() - before;
+        assert_eq!(dt, Ms::new(1024.0) + h.costs().pass_cost());
+    }
+
+    #[test]
+    fn settling_time_is_charged_at_construction() {
+        let h = harness();
+        assert!(h.elapsed().as_secs() > 10.0, "elapsed {}", h.elapsed());
+    }
+
+    #[test]
+    fn primitive_sequence_matches_fused_call() {
+        let mut a = harness();
+        let mut b = harness();
+        let p = DataPattern::row_stripe();
+        let fused = a.pattern_trial(p, Ms::new(2048.0));
+        b.write_pattern(p);
+        b.wait_with_refresh_disabled(Ms::new(2048.0));
+        let manual = b.read_and_compare();
+        assert_eq!(fused, manual);
+        assert_eq!(a.elapsed(), b.elapsed());
+    }
+
+    #[test]
+    #[should_panic(expected = "before disabling refresh")]
+    fn wait_requires_written_pattern() {
+        let mut h = harness();
+        h.wait_with_refresh_disabled(Ms::new(64.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before reading back")]
+    fn read_requires_write() {
+        let mut h = harness();
+        h.read_and_compare();
+    }
+
+    #[test]
+    #[should_panic(expected = "wait before reading back")]
+    fn read_requires_wait() {
+        let mut h = harness();
+        h.write_pattern(DataPattern::solid0());
+        h.read_and_compare();
+    }
+
+    #[test]
+    fn ambient_change_charges_time_and_moves_dram_temp() {
+        let mut h = harness();
+        let before = h.elapsed();
+        h.set_ambient(Celsius::new(55.0));
+        assert!(h.elapsed() > before);
+        let d = h.dram_temperature().degrees();
+        assert!((d - 70.0).abs() < 0.6, "dram temp {d}");
+        assert_eq!(h.ambient_setpoint(), Celsius::new(55.0));
+    }
+
+    #[test]
+    fn idle_advances_chip_clock() {
+        let mut h = harness();
+        let t0 = h.chip().now();
+        h.idle(Ms::from_hours(1.0));
+        assert_eq!(h.chip().now() - t0, Ms::from_hours(1.0));
+    }
+
+    #[test]
+    fn command_log_captures_algorithm1_sequence() {
+        let mut h = harness();
+        let _ = h.pattern_trial(DataPattern::solid0(), Ms::new(512.0));
+        let log = h.command_log();
+        assert!(log.tail_is_algorithm1_trial());
+        assert!(log.timestamps_are_monotone());
+        assert_eq!(log.total_recorded(), 5);
+        h.idle(Ms::new(100.0));
+        assert_eq!(h.command_log().total_recorded(), 6);
+    }
+
+    #[test]
+    fn cost_model_scales_with_capacity() {
+        let c = CostModel::scaled_to_bytes(4 * (1u64 << 30));
+        assert_eq!(c.write_pass, Ms::new(250.0));
+        assert_eq!(c.pass_cost(), Ms::new(500.0));
+        assert_eq!(CostModel::default().pass_cost(), Ms::new(250.0));
+    }
+
+    #[test]
+    fn into_chip_returns_ownership() {
+        let h = harness();
+        let elapsed = h.elapsed();
+        let chip = h.into_chip();
+        assert_eq!(chip.now(), elapsed);
+    }
+}

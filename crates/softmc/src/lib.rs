@@ -1,0 +1,41 @@
+//! SoftMC-style DRAM testing infrastructure, simulated.
+//!
+//! The paper's experiments run on an FPGA memory-controller platform
+//! (SoftMC [Hassan+ HPCA'17]) inside a thermally controlled chamber
+//! (§4: PID-regulated to ±0.25 °C over a reliable 40–55 °C range, with the
+//! DRAM held 15 °C above ambient by a local heater). This crate reproduces
+//! that *test environment* over the simulated chips of `reaper-retention`:
+//!
+//! * [`ThermalChamber`] — a discrete-time PID temperature control loop with
+//!   sensor noise and a DRAM-local offset,
+//! * [`TestHarness`] — the command-level write-pattern / disable-refresh /
+//!   wait / read-compare cycle of the paper's Algorithm 1, with a simulated
+//!   wall clock that charges realistic pass costs (≈250 ms per full-module
+//!   write+read pass, §6.1.1),
+//! * [`CostModel`] — the latency accounting knobs.
+//!
+//! # Example
+//!
+//! ```
+//! use reaper_dram_model::{Celsius, DataPattern, Ms, Vendor};
+//! use reaper_retention::{RetentionConfig, SimulatedChip};
+//! use reaper_softmc::TestHarness;
+//!
+//! let chip = SimulatedChip::new(
+//!     RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+//!     7,
+//! );
+//! let mut harness = TestHarness::new(chip, Celsius::new(45.0), 7);
+//!
+//! // One Algorithm-1 inner step: write, wait with refresh off, read back.
+//! let fails = harness.pattern_trial(DataPattern::checkerboard(), Ms::new(1024.0));
+//! println!("{} failures, elapsed {}", fails.len(), harness.elapsed());
+//! ```
+
+pub mod harness;
+pub mod log;
+pub mod thermal;
+
+pub use harness::{CostModel, TestHarness};
+pub use log::{Command, CommandLog, LogEntry};
+pub use thermal::ThermalChamber;

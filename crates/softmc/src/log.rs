@@ -1,0 +1,178 @@
+//! Command logging — the simulated counterpart of the paper's
+//! logic-analyzer verification ("we verified \[precise control over DRAM
+//! commands\] via a logic analyzer by probing the DRAM command bus", §4).
+//!
+//! The harness records every high-level operation with its simulated
+//! timestamp; tests assert the exact Algorithm-1 sequence was issued.
+
+use reaper_dram_model::{Celsius, DataPattern, Ms};
+use std::collections::VecDeque;
+
+/// One logged harness operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Command {
+    /// A data pattern was written across the module.
+    WritePattern(DataPattern),
+    /// Refresh was disabled.
+    DisableRefresh,
+    /// The harness waited with refresh disabled.
+    Wait(Ms),
+    /// Refresh was re-enabled.
+    EnableRefresh,
+    /// The module was read back and compared.
+    ReadCompare,
+    /// The chamber was moved to a new ambient setpoint.
+    SetAmbient(Celsius),
+    /// The harness idled (no DRAM commands).
+    Idle(Ms),
+}
+
+/// A timestamped command record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogEntry {
+    /// Harness-elapsed time when the command was issued.
+    pub at: Ms,
+    /// The command.
+    pub command: Command,
+}
+
+/// A bounded command log (oldest entries are dropped beyond capacity).
+#[derive(Debug, Clone)]
+pub struct CommandLog {
+    entries: VecDeque<LogEntry>,
+    capacity: usize,
+    total_recorded: u64,
+}
+
+impl CommandLog {
+    /// Creates a log holding up to `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "log capacity must be nonzero");
+        Self {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_recorded: 0,
+        }
+    }
+
+    /// Records a command at the given harness time.
+    pub fn record(&mut self, at: Ms, command: Command) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(LogEntry { at, command });
+        self.total_recorded += 1;
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total commands ever recorded (including dropped ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Clears the retained entries (the running total is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Verifies that the most recent pattern trial followed Algorithm 1's
+    /// command order: write → disable refresh → wait → enable refresh →
+    /// read-compare. Returns false if the tail does not end with a complete
+    /// trial.
+    pub fn tail_is_algorithm1_trial(&self) -> bool {
+        let n = self.entries.len();
+        if n < 5 {
+            return false;
+        }
+        let tail: Vec<&LogEntry> = self.entries.iter().skip(n - 5).collect();
+        matches!(
+            (
+                &tail[0].command,
+                &tail[1].command,
+                &tail[2].command,
+                &tail[3].command,
+                &tail[4].command,
+            ),
+            (
+                Command::WritePattern(_),
+                Command::DisableRefresh,
+                Command::Wait(_),
+                Command::EnableRefresh,
+                Command::ReadCompare,
+            )
+        )
+    }
+
+    /// Timestamps must be nondecreasing — the logic-analyzer sanity check.
+    pub fn timestamps_are_monotone(&self) -> bool {
+        self.entries
+            .iter()
+            .zip(self.entries.iter().skip(1))
+            .all(|(a, b)| a.at <= b.at)
+    }
+}
+
+impl Default for CommandLog {
+    fn default() -> Self {
+        Self::new(65_536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_caps() {
+        let mut log = CommandLog::new(3);
+        for i in 0..5u64 {
+            log.record(Ms::new(i as f64), Command::DisableRefresh);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_recorded(), 5);
+        let first = log.entries().next().unwrap();
+        assert_eq!(first.at, Ms::new(2.0)); // oldest two dropped
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 5);
+    }
+
+    #[test]
+    fn algorithm1_tail_detection() {
+        let mut log = CommandLog::default();
+        assert!(!log.tail_is_algorithm1_trial());
+        log.record(Ms::new(0.0), Command::WritePattern(DataPattern::solid0()));
+        log.record(Ms::new(1.0), Command::DisableRefresh);
+        log.record(Ms::new(1.0), Command::Wait(Ms::new(64.0)));
+        log.record(Ms::new(65.0), Command::EnableRefresh);
+        log.record(Ms::new(65.0), Command::ReadCompare);
+        assert!(log.tail_is_algorithm1_trial());
+        assert!(log.timestamps_are_monotone());
+        log.record(Ms::new(66.0), Command::Idle(Ms::new(5.0)));
+        assert!(!log.tail_is_algorithm1_trial());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        CommandLog::new(0);
+    }
+}

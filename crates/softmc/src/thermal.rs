@@ -1,0 +1,202 @@
+//! PID-controlled thermal chamber model.
+//!
+//! The paper (§4): "ambient temperature is maintained using heaters and fans
+//! controlled via a microcontroller-based PID loop to within an accuracy of
+//! 0.25 °C, with a reliable range of 40 °C to 55 °C. DRAM temperature is
+//! held at 15 °C above ambient using a separate local heating source."
+//!
+//! The chamber is a first-order thermal plant driven by a discrete-time PID
+//! controller with measurement noise; it reproduces both the settling
+//! dynamics (so temperature changes cost simulated time) and the ±0.25 °C
+//! jitter the paper cites as a source of contour noise (§6.1.1 fn. 3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reaper_dram_model::{Celsius, Ms};
+
+/// Lower edge of the chamber's reliable control range.
+pub const CHAMBER_MIN: f64 = 40.0;
+/// Upper edge of the chamber's reliable control range.
+pub const CHAMBER_MAX: f64 = 55.0;
+/// DRAM-local heater offset above ambient.
+pub const DRAM_OFFSET: f64 = 15.0;
+/// Control accuracy the chamber is expected to hold.
+pub const ACCURACY: f64 = 0.25;
+
+/// A PID-regulated thermal chamber with a DRAM-local heater.
+#[derive(Debug, Clone)]
+pub struct ThermalChamber {
+    setpoint: f64,
+    ambient: f64,
+    integral: f64,
+    prev_error: f64,
+    rng: StdRng,
+    // Plant parameters.
+    heater_gain: f64,
+    loss_coeff: f64,
+    env_temp: f64,
+    // PID gains.
+    kp: f64,
+    ki: f64,
+    kd: f64,
+}
+
+impl ThermalChamber {
+    /// Creates a chamber at thermal equilibrium with the lab (25 °C) and a
+    /// setpoint of `setpoint`, deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if `setpoint` is outside the reliable 40–55 °C range.
+    pub fn new(setpoint: Celsius, seed: u64) -> Self {
+        let mut chamber = Self {
+            setpoint: 0.0,
+            ambient: 25.0,
+            integral: 0.0,
+            prev_error: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            heater_gain: 0.8,
+            loss_coeff: 0.02,
+            env_temp: 25.0,
+            kp: 0.6,
+            ki: 0.02,
+            kd: 0.8,
+        };
+        chamber.set_setpoint(setpoint);
+        chamber
+    }
+
+    /// Changes the target ambient temperature.
+    ///
+    /// # Panics
+    /// Panics if `setpoint` is outside the reliable 40–55 °C range.
+    pub fn set_setpoint(&mut self, setpoint: Celsius) {
+        let s = setpoint.degrees();
+        assert!(
+            (CHAMBER_MIN..=CHAMBER_MAX).contains(&s),
+            "setpoint {s}°C outside reliable range {CHAMBER_MIN}–{CHAMBER_MAX}°C"
+        );
+        self.setpoint = s;
+        self.integral = 0.0;
+    }
+
+    /// Current setpoint.
+    pub fn setpoint(&self) -> Celsius {
+        Celsius::new(self.setpoint)
+    }
+
+    /// Current true ambient temperature.
+    pub fn ambient(&self) -> Celsius {
+        Celsius::new(self.ambient)
+    }
+
+    /// DRAM temperature: ambient + 15 °C local-heater offset, with a small
+    /// smoothed jitter from self-heating (±0.1 °C).
+    pub fn dram_temperature(&mut self) -> Celsius {
+        let jitter = (self.rng.random::<f64>() - 0.5) * 0.2;
+        Celsius::new(self.ambient + DRAM_OFFSET + jitter)
+    }
+
+    /// Advances the plant and controller by one 1-second step.
+    pub fn step(&mut self) {
+        // Sensor with ±0.1 °C noise; the loop holds ±0.25 °C overall.
+        let measured = self.ambient + (self.rng.random::<f64>() - 0.5) * 0.2;
+        let error = self.setpoint - measured;
+        self.integral = (self.integral + error).clamp(-50.0, 50.0);
+        let derivative = error - self.prev_error;
+        self.prev_error = error;
+        let power = (self.kp * error + self.ki * self.integral + self.kd * derivative)
+            .clamp(0.0, 1.0);
+        // First-order plant: heater input vs. loss to the environment.
+        self.ambient += self.heater_gain * power - self.loss_coeff * (self.ambient - self.env_temp);
+    }
+
+    /// Runs the control loop until the ambient has been within the chamber's
+    /// ±0.25 °C accuracy band for 30 consecutive seconds. Returns the
+    /// settling time.
+    ///
+    /// # Panics
+    /// Panics if the loop fails to settle within 4 simulated hours (a
+    /// controller-tuning bug, not a runtime condition).
+    pub fn settle(&mut self) -> Ms {
+        let mut in_band = 0u32;
+        for secs in 0..(4 * 3600) {
+            if (self.ambient - self.setpoint).abs() <= ACCURACY {
+                in_band += 1;
+                if in_band >= 30 {
+                    return Ms::from_secs(secs as f64 + 1.0);
+                }
+            } else {
+                in_band = 0;
+            }
+            self.step();
+        }
+        panic!("thermal chamber failed to settle at {}°C", self.setpoint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_within_accuracy_band() {
+        let mut c = ThermalChamber::new(Celsius::new(45.0), 1);
+        let t = c.settle();
+        assert!((c.ambient().degrees() - 45.0).abs() <= ACCURACY + 0.1);
+        assert!(t.as_secs() > 10.0, "settling should take real time: {t}");
+        assert!(t.as_hours() < 1.0, "settling should not take hours: {t}");
+    }
+
+    #[test]
+    fn holds_band_long_term() {
+        let mut c = ThermalChamber::new(Celsius::new(50.0), 2);
+        c.settle();
+        // Run another 10 minutes; must stay within the accuracy band
+        // (allowing brief sensor-noise excursions of 0.1°C).
+        for _ in 0..600 {
+            c.step();
+            let err = (c.ambient().degrees() - 50.0).abs();
+            assert!(err <= ACCURACY + 0.15, "excursion {err}");
+        }
+    }
+
+    #[test]
+    fn dram_temp_is_offset_by_15c() {
+        let mut c = ThermalChamber::new(Celsius::new(45.0), 3);
+        c.settle();
+        let d = c.dram_temperature().degrees();
+        assert!((d - 60.0).abs() < 0.5, "dram temp {d}");
+    }
+
+    #[test]
+    fn setpoint_change_resettles() {
+        let mut c = ThermalChamber::new(Celsius::new(40.0), 4);
+        c.settle();
+        c.set_setpoint(Celsius::new(55.0));
+        let t = c.settle();
+        assert!((c.ambient().degrees() - 55.0).abs() <= ACCURACY + 0.1);
+        assert!(t.as_secs() > 5.0);
+        assert_eq!(c.setpoint(), Celsius::new(55.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside reliable range")]
+    fn rejects_out_of_range_setpoint() {
+        ThermalChamber::new(Celsius::new(60.0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside reliable range")]
+    fn rejects_below_range_setpoint() {
+        let mut c = ThermalChamber::new(Celsius::new(45.0), 6);
+        c.set_setpoint(Celsius::new(30.0));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ThermalChamber::new(Celsius::new(45.0), 9);
+        let mut b = ThermalChamber::new(Celsius::new(45.0), 9);
+        assert_eq!(a.settle(), b.settle());
+        assert_eq!(a.ambient(), b.ambient());
+    }
+}

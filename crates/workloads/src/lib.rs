@@ -1,0 +1,272 @@
+//! SPEC-CPU2006-like synthetic workload generation (paper §7.2).
+//!
+//! The paper evaluates 20 multiprogrammed heterogeneous mixes, each of 4
+//! benchmarks randomly drawn from SPEC CPU2006. We have no SPEC traces, so
+//! this crate generates synthetic access streams parameterized per
+//! benchmark by published memory characteristics — last-level-cache misses
+//! per kilo-instruction (MPKI), row-buffer locality, and write fraction —
+//! which are the properties that determine sensitivity to DRAM refresh.
+//!
+//! # Example
+//!
+//! ```
+//! use reaper_workloads::{BenchmarkProfile, WorkloadMix};
+//!
+//! let mixes = WorkloadMix::paper_mixes(42);
+//! assert_eq!(mixes.len(), 20);
+//! assert_eq!(mixes[0].traces().len(), 4);
+//!
+//! let mcf = BenchmarkProfile::spec2006()
+//!     .iter()
+//!     .find(|p| p.name == "mcf")
+//!     .unwrap();
+//! assert!(mcf.mpki > 20.0);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reaper_memsim::{Access, AccessTrace};
+
+/// Memory-behavior profile of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC CPU2006 component).
+    pub name: &'static str,
+    /// Last-level-cache misses per kilo-instruction.
+    pub mpki: f64,
+    /// Probability a consecutive access to the same bank reuses the open
+    /// row (streaming benchmarks are high, pointer-chasing low).
+    pub row_locality: f64,
+    /// Fraction of misses that are writes (dirty evictions).
+    pub write_fraction: f64,
+    /// Distinct rows the benchmark touches per bank.
+    pub footprint_rows: u32,
+}
+
+impl BenchmarkProfile {
+    /// A representative slice of SPEC CPU2006, spanning memory-bound
+    /// (mcf, lbm, milc, libquantum) through compute-bound (gamess, povray)
+    /// behavior. MPKI magnitudes follow the commonly reported
+    /// characterization literature.
+    pub fn spec2006() -> &'static [BenchmarkProfile] {
+        const PROFILES: &[BenchmarkProfile] = &[
+            BenchmarkProfile { name: "mcf", mpki: 36.0, row_locality: 0.20, write_fraction: 0.25, footprint_rows: 8192 },
+            BenchmarkProfile { name: "lbm", mpki: 22.0, row_locality: 0.75, write_fraction: 0.45, footprint_rows: 4096 },
+            BenchmarkProfile { name: "milc", mpki: 16.0, row_locality: 0.55, write_fraction: 0.30, footprint_rows: 4096 },
+            BenchmarkProfile { name: "libquantum", mpki: 14.0, row_locality: 0.90, write_fraction: 0.20, footprint_rows: 1024 },
+            BenchmarkProfile { name: "soplex", mpki: 12.0, row_locality: 0.45, write_fraction: 0.25, footprint_rows: 4096 },
+            BenchmarkProfile { name: "omnetpp", mpki: 9.0, row_locality: 0.25, write_fraction: 0.30, footprint_rows: 8192 },
+            BenchmarkProfile { name: "leslie3d", mpki: 7.5, row_locality: 0.65, write_fraction: 0.35, footprint_rows: 2048 },
+            BenchmarkProfile { name: "GemsFDTD", mpki: 6.5, row_locality: 0.60, write_fraction: 0.40, footprint_rows: 2048 },
+            BenchmarkProfile { name: "sphinx3", mpki: 5.0, row_locality: 0.50, write_fraction: 0.15, footprint_rows: 2048 },
+            BenchmarkProfile { name: "gcc", mpki: 3.5, row_locality: 0.40, write_fraction: 0.30, footprint_rows: 4096 },
+            BenchmarkProfile { name: "bzip2", mpki: 2.5, row_locality: 0.50, write_fraction: 0.35, footprint_rows: 1024 },
+            BenchmarkProfile { name: "hmmer", mpki: 1.2, row_locality: 0.60, write_fraction: 0.20, footprint_rows: 512 },
+            BenchmarkProfile { name: "h264ref", mpki: 0.8, row_locality: 0.55, write_fraction: 0.25, footprint_rows: 512 },
+            BenchmarkProfile { name: "povray", mpki: 0.1, row_locality: 0.50, write_fraction: 0.20, footprint_rows: 128 },
+            BenchmarkProfile { name: "gamess", mpki: 0.05, row_locality: 0.50, write_fraction: 0.20, footprint_rows: 128 },
+        ];
+        PROFILES
+    }
+
+    /// Mean instructions between misses (`1000 / MPKI`).
+    pub fn mean_gap(&self) -> f64 {
+        1000.0 / self.mpki
+    }
+
+    /// Generates a cyclic access trace of `len` accesses, deterministic in
+    /// `seed`.
+    ///
+    /// Gaps are geometric around [`BenchmarkProfile::mean_gap`]; banks are
+    /// uniform over 8; rows reuse the per-bank open row with probability
+    /// `row_locality`, otherwise jump within the footprint.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn generate_trace(&self, len: usize, seed: u64) -> AccessTrace {
+        assert!(len > 0, "trace length must be nonzero");
+        let mut rng = StdRng::seed_from_u64(seed ^ fxhash(self.name));
+        let mut last_row = [0u32; 8];
+        let p_continue = 1.0 - 1.0 / self.mean_gap().max(1.0);
+        let ln_p = p_continue.ln();
+        let accesses = (0..len)
+            .map(|_| {
+                // Geometric gap with mean mean_gap, sampled by inversion
+                // (O(1) even for compute-bound benchmarks with huge gaps).
+                let gap = if ln_p >= 0.0 {
+                    0u32
+                } else {
+                    let u: f64 = rng.random::<f64>().max(1e-300);
+                    (u.ln() / ln_p).min(100_000.0) as u32
+                };
+                let bank = rng.random_range(0..8u8);
+                let row = if rng.random::<f64>() < self.row_locality {
+                    last_row[bank as usize]
+                } else {
+                    rng.random_range(0..self.footprint_rows)
+                };
+                last_row[bank as usize] = row;
+                Access {
+                    gap,
+                    bank,
+                    row,
+                    is_write: rng.random::<f64>() < self.write_fraction,
+                }
+            })
+            .collect();
+        AccessTrace::new(accesses)
+    }
+}
+
+/// Stable tiny hash for benchmark-name seeding.
+fn fxhash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+/// A 4-benchmark multiprogrammed workload mix.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    names: Vec<&'static str>,
+    traces: Vec<AccessTrace>,
+}
+
+impl WorkloadMix {
+    /// Builds a mix from explicit profiles.
+    ///
+    /// # Panics
+    /// Panics if `profiles` is empty.
+    pub fn from_profiles(profiles: &[BenchmarkProfile], trace_len: usize, seed: u64) -> Self {
+        assert!(!profiles.is_empty(), "mix needs at least one benchmark");
+        Self {
+            names: profiles.iter().map(|p| p.name).collect(),
+            traces: profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.generate_trace(trace_len, seed.wrapping_add(i as u64 * 7919)))
+                .collect(),
+        }
+    }
+
+    /// The paper's evaluation set: 20 mixes of 4 randomly selected SPEC
+    /// benchmarks each (§7.2), deterministic in `seed`.
+    pub fn paper_mixes(seed: u64) -> Vec<WorkloadMix> {
+        Self::random_mixes(20, 4, 2048, seed)
+    }
+
+    /// `n` random mixes of `per_mix` benchmarks with `trace_len` accesses
+    /// per trace.
+    pub fn random_mixes(n: usize, per_mix: usize, trace_len: usize, seed: u64) -> Vec<WorkloadMix> {
+        let all = BenchmarkProfile::spec2006();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let profiles: Vec<BenchmarkProfile> = (0..per_mix)
+                    .map(|_| all[rng.random_range(0..all.len())])
+                    .collect();
+                Self::from_profiles(&profiles, trace_len, seed.wrapping_add(i as u64 * 104_729))
+            })
+            .collect()
+    }
+
+    /// Benchmark names in core order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Traces in core order.
+    pub fn traces(&self) -> &[AccessTrace] {
+        &self.traces
+    }
+
+    /// A display label like `mcf+lbm+gcc+gamess`.
+    pub fn label(&self) -> String {
+        self.names.join("+")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_table_is_heterogeneous() {
+        let profiles = BenchmarkProfile::spec2006();
+        assert!(profiles.len() >= 12);
+        let max = profiles.iter().map(|p| p.mpki).fold(0.0, f64::max);
+        let min = profiles.iter().map(|p| p.mpki).fold(f64::MAX, f64::min);
+        assert!(max / min > 100.0, "MPKI spread {min}..{max}");
+        // Unique names.
+        let mut names: Vec<_> = profiles.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), profiles.len());
+    }
+
+    #[test]
+    fn trace_mean_gap_tracks_mpki() {
+        for p in BenchmarkProfile::spec2006().iter().filter(|p| p.mpki > 1.0) {
+            let t = p.generate_trace(4000, 9);
+            let measured = t.mean_gap();
+            let expected = p.mean_gap();
+            assert!(
+                (measured / expected - 1.0).abs() < 0.25,
+                "{}: measured {measured}, expected {expected}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn trace_row_locality_tracks_profile() {
+        let quantum = BenchmarkProfile::spec2006()
+            .iter()
+            .find(|p| p.name == "libquantum")
+            .unwrap();
+        let mcf = BenchmarkProfile::spec2006()
+            .iter()
+            .find(|p| p.name == "mcf")
+            .unwrap();
+        let tq = quantum.generate_trace(8000, 3);
+        let tm = mcf.generate_trace(8000, 3);
+        assert!(
+            tq.row_locality() > tm.row_locality() + 0.3,
+            "libquantum {} vs mcf {}",
+            tq.row_locality(),
+            tm.row_locality()
+        );
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let p = BenchmarkProfile::spec2006()[0];
+        assert_eq!(p.generate_trace(100, 5), p.generate_trace(100, 5));
+        assert_ne!(p.generate_trace(100, 5), p.generate_trace(100, 6));
+    }
+
+    #[test]
+    fn paper_mixes_shape() {
+        let mixes = WorkloadMix::paper_mixes(1);
+        assert_eq!(mixes.len(), 20);
+        for m in &mixes {
+            assert_eq!(m.traces().len(), 4);
+            assert_eq!(m.names().len(), 4);
+            assert!(m.label().contains('+'));
+        }
+        // Determinism.
+        let again = WorkloadMix::paper_mixes(1);
+        assert_eq!(mixes[3].names(), again[3].names());
+        // Heterogeneity across mixes.
+        let distinct: std::collections::HashSet<String> =
+            mixes.iter().map(|m| m.label()).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one benchmark")]
+    fn empty_mix_rejected() {
+        WorkloadMix::from_profiles(&[], 10, 0);
+    }
+}

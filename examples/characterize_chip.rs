@@ -1,0 +1,55 @@
+//! Characterize a chip from a few sample points and plan reach conditions
+//! analytically — the paper's §6.3 program ("a few sample points around
+//! the tradeoff space could provide enough information"), plus the
+//! SPD-record round trip the paper wishes vendors shipped.
+//!
+//! ```text
+//! cargo run --release --example characterize_chip
+//! ```
+
+use reaper::core::planner::{CharacterizeOptions, ChipCharacterization};
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::retention::{RetentionConfig, SimulatedChip, SpdRecord};
+use reaper::softmc::TestHarness;
+
+fn main() {
+    let cfg = RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 8);
+    let chip = SimulatedChip::new(cfg.clone(), 63);
+    let mut harness = TestHarness::new(chip, Celsius::new(45.0), 63);
+
+    println!("characterizing from a few sample points ...");
+    let c = ChipCharacterization::measure(&mut harness, CharacterizeOptions::default());
+    println!("  samples: {:?}", c.samples);
+    println!("  fitted failure-count law: {}", c.ber_fit);
+    println!(
+        "  fitted temperature coefficient: {:.3}/°C (chip truth: {:.3}/°C)",
+        c.temp_coefficient,
+        Vendor::B.temperature_coefficient()
+    );
+    println!("  characterization runtime: {}", c.runtime);
+
+    let target = Ms::new(1024.0);
+    for max_fpr in [0.25, 0.50, 0.75] {
+        match c.recommend_reach(target, max_fpr) {
+            Some(reach) => println!(
+                "  FPR budget {:>3.0}% → recommend {} (predicted FPR {:.1}%)",
+                max_fpr * 100.0,
+                reach,
+                c.predicted_fpr(target, reach.delta_interval) * 100.0
+            ),
+            None => println!("  FPR budget {:>3.0}% → no viable reach", max_fpr * 100.0),
+        }
+    }
+    println!(
+        "  10°C of reach ≙ {} of interval at this target",
+        c.interval_equivalent_of_temp(target, 10.0)
+    );
+
+    // The vendor-side alternative: ship the fits in SPD (§6.3).
+    let spd = SpdRecord::from_config(&cfg);
+    let encoded = spd.encode();
+    println!("\nSPD record a vendor could ship instead:\n{encoded}");
+    let decoded = SpdRecord::decode(&encoded).expect("well-formed SPD");
+    assert_eq!(decoded, spd);
+    println!("(decodes losslessly back into a planning-ready configuration)");
+}

@@ -1,0 +1,76 @@
+//! End-to-end system evaluation in miniature: how much performance and
+//! DRAM power does an extended refresh interval buy a 4-core system, and
+//! how much of it survives online profiling overhead (brute force vs.
+//! REAPER)? A single-configuration slice of the paper's Fig. 13.
+//!
+//! ```text
+//! cargo run --release --example end_to_end_system
+//! ```
+
+use reaper::core::ecc::EccStrength;
+use reaper::core::longevity::LongevityModel;
+use reaper::core::overhead::{ipc_with_overhead, module_bytes, OverheadModel};
+use reaper::core::TargetConditions;
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::memsim::{simulate, weighted_speedup, SimConfig};
+use reaper::power::PowerModel;
+use reaper::retention::RetentionConfig;
+use reaper::workloads::WorkloadMix;
+
+fn main() {
+    let chip_gbit = 64;
+    let mix = &WorkloadMix::paper_mixes(5)[0];
+    let instructions = 150_000;
+    println!("workload mix: {} on 32 x {chip_gbit}Gb LPDDR4-3200\n", mix.label());
+
+    // Alone-IPC denominators at the 64ms baseline.
+    let base_cfg = SimConfig::lpddr4_3200(chip_gbit, Some(Ms::new(64.0)));
+    let alone: Vec<f64> = mix
+        .traces()
+        .iter()
+        .map(|t| simulate(&base_cfg, std::slice::from_ref(t), instructions).ipc[0])
+        .collect();
+    let base = simulate(&base_cfg, mix.traces(), instructions);
+    let ws_base = weighted_speedup(&base.ipc, &alone);
+    let power_model = PowerModel::lpddr4(chip_gbit, 32);
+    let p_base = power_model.breakdown(&base.stats, base.elapsed_secs()).total_w();
+    println!("baseline 64ms: weighted speedup {ws_base:.3}, DRAM power {p_base:.2} W");
+
+    let retention = RetentionConfig::for_vendor(Vendor::B);
+    println!(
+        "\n{:>9} {:>8} {:>11} {:>11} {:>11} {:>11}",
+        "interval", "ideal", "brute", "REAPER", "power", "reprofile"
+    );
+    for interval in [256.0, 512.0, 1024.0, 1280.0, 1536.0] {
+        let cfg = SimConfig::lpddr4_3200(chip_gbit, Some(Ms::new(interval)));
+        let r = simulate(&cfg, mix.traces(), instructions);
+        let ideal = weighted_speedup(&r.ipc, &alone) / ws_base - 1.0;
+        let p = power_model.breakdown(&r.stats, r.elapsed_secs()).total_w();
+
+        let target = TargetConditions::new(Ms::new(interval), Celsius::new(45.0));
+        let longevity = LongevityModel::for_system(
+            EccStrength::secded(),
+            module_bytes(chip_gbit),
+            1e-15,
+            &retention,
+            target,
+            1.0,
+        )
+        .longevity()
+        .expect("viable at full coverage");
+        let round = OverheadModel::new(Ms::new(interval), 6, 16, module_bytes(chip_gbit));
+        let brute_frac = round.time_fraction(longevity);
+        let reaper_frac = round.time_fraction_with_speedup(longevity, 2.5);
+
+        println!(
+            "{:>9} {:>7.1}% {:>10.1}% {:>10.1}% {:>10.1}% {:>10.1}h",
+            Ms::new(interval).to_string(),
+            ideal * 100.0,
+            (ipc_with_overhead(1.0 + ideal, brute_frac) - 1.0) * 100.0,
+            (ipc_with_overhead(1.0 + ideal, reaper_frac) - 1.0) * 100.0,
+            (1.0 - p / p_base) * 100.0,
+            longevity.as_hours(),
+        );
+    }
+    println!("\n(ideal = zero-overhead profiling; power = DRAM power reduction vs 64ms)");
+}

@@ -1,0 +1,82 @@
+//! Online profiling with a mitigation stack: run a system at an extended
+//! refresh interval for simulated days, reprofiling with REAPER on the
+//! Eq. 7 longevity schedule, feeding each profile into an ArchShield-style
+//! FaultMap, and verifying that SECDED absorbs whatever slips through.
+//!
+//! ```text
+//! cargo run --release --example online_profiling
+//! ```
+
+use reaper::core::conditions::{ReachConditions, TargetConditions};
+use reaper::core::ecc::EccStrength;
+use reaper::core::longevity::LongevityModel;
+use reaper::core::profile::FailureProfile;
+use reaper::core::profiler::{PatternSet, Profiler};
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::mitigation::archshield::ArchShield;
+use reaper::retention::{RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+
+fn main() {
+    let retention = RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 8);
+    let dram_bytes = retention.represented_bits / 8;
+    let chip = SimulatedChip::new(retention.clone(), 31);
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    let ecc = EccStrength::secded();
+
+    // How often must we reprofile? Eq. 7 with 99% coverage.
+    let longevity = LongevityModel::for_system(ecc, dram_bytes, 1e-15, &retention, target, 0.99)
+        .longevity()
+        .expect("profile viable at 99% coverage");
+    println!(
+        "profile longevity at {target}: {:.2} days → reprofiling on that schedule",
+        longevity.as_days()
+    );
+
+    let shield = ArchShield::new(dram_bytes / 8, 0.04).expect("valid ArchShield");
+    let profiler = Profiler::reach(
+        target,
+        ReachConditions::paper_headline(),
+        6,
+        PatternSet::Standard,
+    );
+
+    let mut harness = TestHarness::new(chip, target.ambient, 31);
+    let days = 7.0;
+    let mut round = 0u32;
+    let mut escapes_worst = 0usize;
+    while harness.elapsed().as_days() < days {
+        round += 1;
+        let run = profiler.run(&mut harness);
+        let map = shield
+            .with_profile(&run.profile)
+            .expect("profile fits the FaultMap");
+        // Oracle check: which true failing cells escaped this profile?
+        let truth = FailureProfile::from_cells(harness.chip_mut().failing_set_worst_case(
+            target.interval,
+            target.dram_temp(),
+            0.5,
+        ));
+        let escaped = truth.difference_count(&run.profile);
+        escapes_worst = escapes_worst.max(escaped);
+        println!(
+            "round {round}: profiled {} cells in {:>8}, FaultMap occupancy {:.2}%, escapes {}",
+            run.profile.len(),
+            run.runtime,
+            map.occupancy() * 100.0,
+            escaped,
+        );
+        // Sleep until the next scheduled round.
+        harness.idle(longevity);
+    }
+
+    let budget = ecc.tolerable_bit_errors(dram_bytes, 1e-15);
+    println!(
+        "\nworst-case escapes per round: {escapes_worst}; SECDED budget for this module: {budget:.0} — {}",
+        if (escapes_worst as f64) < budget {
+            "ECC absorbs the misses (paper §6.2)"
+        } else {
+            "budget exceeded: reprofile more often or widen reach"
+        }
+    );
+}

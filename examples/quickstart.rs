@@ -1,0 +1,61 @@
+//! Quickstart: profile a simulated LPDDR4 chip with brute force and with
+//! reach profiling, and compare the paper's three key metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reaper::core::conditions::{ReachConditions, TargetConditions};
+use reaper::core::metrics::ProfileMetrics;
+use reaper::core::profile::FailureProfile;
+use reaper::core::profiler::{PatternSet, Profiler};
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::retention::{RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+
+fn main() {
+    // A simulated 2GB-equivalent Vendor B chip (1/8 capacity for speed).
+    let chip = SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 8),
+        2024,
+    );
+
+    // The system wants to run at 1024ms instead of the default 64ms.
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    println!("target conditions: {target}");
+
+    // Ground truth: the cells that can actually fail at the target
+    // (oracle view into the simulator, for metric computation only).
+    let truth = FailureProfile::from_cells(chip.clone().failing_set_worst_case(
+        target.interval,
+        target.dram_temp(),
+        0.01,
+    ));
+    println!("ground-truth failing cells at target: {}", truth.len());
+
+    // Brute-force profiling: Algorithm 1 at the target conditions.
+    let mut harness = TestHarness::new(chip.clone(), target.ambient, 7);
+    let brute = Profiler::brute_force(target, 8, PatternSet::Standard).run(&mut harness);
+    let brute_metrics = ProfileMetrics::evaluate(&brute.profile, &truth).with_runtime(brute.runtime);
+    println!("\nbrute force (8 iterations):   {brute_metrics}");
+
+    // Reach profiling: the paper's headline +250ms configuration.
+    let mut harness = TestHarness::new(chip, target.ambient, 7);
+    let reach = Profiler::reach(
+        target,
+        ReachConditions::paper_headline(),
+        8,
+        PatternSet::Standard,
+    )
+    .run(&mut harness);
+    let reach_metrics = ProfileMetrics::evaluate(&reach.profile, &truth).with_runtime(reach.runtime);
+    println!("reach +250ms (8 iterations):  {reach_metrics}");
+
+    println!(
+        "\nreach profiling found {} of {} true failures ({:+} false positives) — \
+         the false positives are the price of coverage (paper §6).",
+        reach_metrics.true_positives,
+        truth.len(),
+        reach_metrics.false_positives
+    );
+}

@@ -1,0 +1,64 @@
+//! Explore the coverage / false-positive / runtime tradeoff space around a
+//! target operating point and pick reach conditions under a false-positive
+//! budget — the paper's §6.1 analysis as a library workflow.
+//!
+//! ```text
+//! cargo run --release --example reach_tradeoff
+//! ```
+
+use reaper::core::tradeoff::{ExploreOptions, GroundTruth, TradeoffAnalysis};
+use reaper::core::TargetConditions;
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::retention::{RetentionConfig, SimulatedChip};
+
+fn main() {
+    let chip = SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+        99,
+    );
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+
+    let deltas_interval: Vec<Ms> = [0.0, 125.0, 250.0, 500.0].map(Ms::new).to_vec();
+    let deltas_temp = [0.0, 5.0];
+
+    println!("exploring reach space around {target} ...\n");
+    let analysis = TradeoffAnalysis::explore(
+        &chip,
+        target,
+        &deltas_interval,
+        &deltas_temp,
+        ExploreOptions {
+            profile_iterations: 8,
+            ground_truth: GroundTruth::Empirical { iterations: 16 },
+            coverage_goal: 0.9,
+            max_runtime_iterations: 48,
+            seed: 11,
+        },
+    );
+
+    println!("{:>8} {:>10} {:>10} {:>8} {:>9}", "Δtemp", "Δinterval", "coverage", "FPR", "speedup");
+    for p in &analysis.points {
+        println!(
+            "{:>8} {:>10} {:>9.1}% {:>7.1}% {:>8.2}x",
+            format!("{:+.1}°C", p.reach.delta_temp),
+            format!("{:+}", p.reach.delta_interval),
+            p.coverage * 100.0,
+            p.false_positive_rate * 100.0,
+            p.speedup(),
+        );
+    }
+
+    // §6.1.2: pick the fastest point that keeps FPR tractable.
+    for max_fpr in [0.25, 0.50, 0.90] {
+        match analysis.select(0.95, max_fpr) {
+            Some(p) => println!(
+                "\nbest under FPR ≤ {:.0}%: {} → {:.2}x speedup at {:.1}% coverage",
+                max_fpr * 100.0,
+                p.reach,
+                p.speedup(),
+                p.coverage * 100.0
+            ),
+            None => println!("\nno reach point satisfies FPR ≤ {:.0}%", max_fpr * 100.0),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! **REAPER** — a full Rust reproduction of *"The Reach Profiler (REAPER):
+//! Enabling the Mitigation of DRAM Retention Failures via Profiling at
+//! Aggressive Conditions"* (Patel, Kim, Mutlu — ISCA 2017).
+//!
+//! This façade crate re-exports the whole workspace under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `reaper-core` | reach/brute-force profilers, metrics, ECC UBER model, longevity, overhead models, tradeoff explorer |
+//! | [`retention`] | `reaper-retention` | Monte-Carlo DRAM retention physics (the 368-chip study substitute) |
+//! | [`softmc`] | `reaper-softmc` | SoftMC-style test harness + PID thermal chamber |
+//! | [`dram_model`] | `reaper-dram-model` | geometry, addressing, vendors, units, data patterns |
+//! | [`mitigation`] | `reaper-mitigation` | SECDED codec, ArchShield FaultMap, RAIDR bins, row map-out |
+//! | [`memsim`] | `reaper-memsim` | cycle-level LPDDR4 memory-system simulator |
+//! | [`power`] | `reaper-power` | LPDDR4 DRAM power model |
+//! | [`workloads`] | `reaper-workloads` | SPEC-like synthetic workload mixes |
+//! | [`analysis`] | `reaper-analysis` | distributions, fits, summaries |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reaper::core::conditions::{ReachConditions, TargetConditions};
+//! use reaper::core::profiler::{PatternSet, Profiler};
+//! use reaper::dram_model::{Celsius, Ms, Vendor};
+//! use reaper::retention::{RetentionConfig, SimulatedChip};
+//! use reaper::softmc::TestHarness;
+//!
+//! // A simulated LPDDR4 chip and its test infrastructure.
+//! let chip = SimulatedChip::new(
+//!     RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 32),
+//!     42,
+//! );
+//! let mut harness = TestHarness::new(chip, Celsius::new(45.0), 42);
+//!
+//! // Profile for a 1024ms target by reaching 250ms above it.
+//! let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+//! let run = Profiler::reach(
+//!     target,
+//!     ReachConditions::paper_headline(),
+//!     4,
+//!     PatternSet::Standard,
+//! )
+//! .run(&mut harness);
+//! assert!(!run.profile.is_empty());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure in the paper.
+
+pub use reaper_analysis as analysis;
+pub use reaper_core as core;
+pub use reaper_dram_model as dram_model;
+pub use reaper_memsim as memsim;
+pub use reaper_mitigation as mitigation;
+pub use reaper_power as power;
+pub use reaper_retention as retention;
+pub use reaper_softmc as softmc;
+pub use reaper_workloads as workloads;

@@ -1,0 +1,67 @@
+//! Integration: every stochastic component is deterministic in its seed —
+//! the property that makes the whole reproduction reproducible.
+
+use reaper::core::conditions::{ReachConditions, TargetConditions};
+use reaper::core::profiler::{PatternSet, Profiler};
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::retention::{ChipPopulation, RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+use reaper::workloads::WorkloadMix;
+
+#[test]
+fn full_profiling_runs_are_bit_identical_across_processes_worth_of_state() {
+    let make = || {
+        let chip = SimulatedChip::new(
+            RetentionConfig::for_vendor(Vendor::C).with_capacity_scale(1, 32),
+            0xD5,
+        );
+        let mut harness = TestHarness::new(chip, Celsius::new(45.0), 0xD5);
+        Profiler::reach(
+            TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0)),
+            ReachConditions::new(Ms::new(250.0), 5.0),
+            3,
+            PatternSet::Standard,
+        )
+        .run(&mut harness)
+    };
+    let a = make();
+    let b = make();
+    assert_eq!(a.profile, b.profile);
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.iterations, b.iterations);
+}
+
+#[test]
+fn seeds_change_outcomes() {
+    let run_with = |seed: u64| {
+        let chip = SimulatedChip::new(
+            RetentionConfig::for_vendor(Vendor::A).with_capacity_scale(1, 32),
+            seed,
+        );
+        let mut harness = TestHarness::new(chip, Celsius::new(45.0), seed);
+        Profiler::brute_force(
+            TargetConditions::new(Ms::new(2048.0), Celsius::new(45.0)),
+            2,
+            PatternSet::Standard,
+        )
+        .run(&mut harness)
+        .profile
+    };
+    assert_ne!(run_with(1), run_with(2));
+}
+
+#[test]
+fn populations_and_workloads_are_seed_deterministic() {
+    let p1 = ChipPopulation::sample_study(6, 77);
+    let p2 = ChipPopulation::sample_study(6, 77);
+    for (a, b) in p1.chips().iter().zip(p2.chips()) {
+        assert_eq!(a.cells(), b.cells());
+    }
+
+    let m1 = WorkloadMix::paper_mixes(13);
+    let m2 = WorkloadMix::paper_mixes(13);
+    for (a, b) in m1.iter().zip(&m2) {
+        assert_eq!(a.names(), b.names());
+        assert_eq!(a.traces(), b.traces());
+    }
+}

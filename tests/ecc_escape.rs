@@ -1,0 +1,118 @@
+//! Integration: SECDED absorbs the failures that escape profiling — the
+//! paper's §6.2 argument, executed bit-for-bit through the real codec.
+
+use reaper::core::conditions::{ReachConditions, TargetConditions};
+use reaper::core::ecc::EccStrength;
+use reaper::core::profile::FailureProfile;
+use reaper::core::profiler::{PatternSet, Profiler};
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::mitigation::secded::{DecodeOutcome, Secded};
+use reaper::retention::{RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+
+#[test]
+fn escaped_cells_are_single_bit_correctable_until_they_collide() {
+    let chip = SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+        0xECC,
+    );
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    let truth = FailureProfile::from_cells(chip.clone().failing_set_worst_case(
+        target.interval,
+        target.dram_temp(),
+        0.01,
+    ));
+
+    // A deliberately weak profile (few iterations at target) so escapes
+    // exist.
+    let mut harness = TestHarness::new(chip, target.ambient, 5);
+    let run = Profiler::reach(
+        target,
+        ReachConditions::brute_force(),
+        2,
+        PatternSet::Standard,
+    )
+    .run(&mut harness);
+
+    let escaped: Vec<u64> = truth
+        .iter()
+        .filter(|c| !run.profile.contains(*c))
+        .collect();
+    assert!(!escaped.is_empty(), "expected some escapes from a weak profile");
+
+    // Group escapes by 64-bit data word; SECDED corrects words with one
+    // escaped bit and detects (but cannot correct) multi-bit words.
+    use std::collections::HashMap;
+    let mut words: HashMap<u64, Vec<u32>> = HashMap::new();
+    for cell in &escaped {
+        words.entry(cell / 64).or_default().push((cell % 64) as u32);
+    }
+
+    for bits in words.values() {
+        let data = 0x5AA5_1234_ABCD_EF01u64;
+        let mut cw = Secded::encode(data);
+        // A retention failure flips the stored (data-region) bit; map the
+        // in-word bit position onto a data bit of the codeword by
+        // re-encoding flipped data for single errors, or flipping codeword
+        // bits directly for the general case.
+        for (i, &b) in bits.iter().enumerate() {
+            let _ = i;
+            // Data bit b corresponds to some codeword position; flipping
+            // the data bit pre-encode and comparing is equivalent to a
+            // codeword flip at its position. Flip via data-domain XOR:
+            let flipped_data = data ^ (1u64 << b);
+            let flipped_cw = Secded::encode(flipped_data);
+            let diff = cw.bits() ^ flipped_cw.bits();
+            // Apply only the single data-bit's codeword position (the
+            // lowest differing non-parity bit).
+            let pos = diff.trailing_zeros();
+            cw = cw.flip(pos);
+        }
+        match bits.len() {
+            1 => match Secded::decode(cw) {
+                DecodeOutcome::Corrected(d, _) => assert_eq!(d, data),
+                other => panic!("single escape not corrected: {other:?}"),
+            },
+            _ => {
+                // ≥2 escaped bits in one word: at minimum it must never
+                // silently decode to wrong data as "Clean".
+                match Secded::decode(cw) {
+                    DecodeOutcome::Clean(d) => assert_eq!(d, data, "silent corruption"),
+                    DecodeOutcome::Uncorrectable | DecodeOutcome::Corrected(..) => {}
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tolerable_rber_bounds_actual_escape_rate_at_high_coverage() {
+    // With 99%-coverage reach profiling, the escape BER must sit far below
+    // the ECC-2 tolerable RBER (Table 1) — the §6.2.2 safety argument.
+    let chip = SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+        0xECD,
+    );
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    let truth = FailureProfile::from_cells(chip.clone().failing_set_worst_case(
+        target.interval,
+        target.dram_temp(),
+        0.01,
+    ));
+    let mut harness = TestHarness::new(chip, target.ambient, 6);
+    let run = Profiler::reach(
+        target,
+        ReachConditions::paper_headline(),
+        8,
+        PatternSet::Standard,
+    )
+    .run(&mut harness);
+
+    let escaped = truth.difference_count(&run.profile);
+    let escape_ber = escaped as f64 / harness.chip().config().represented_bits as f64;
+    let budget = EccStrength::ecc2().tolerable_rber(1e-15);
+    assert!(
+        escape_ber < budget,
+        "escape BER {escape_ber:.3e} exceeds ECC-2 budget {budget:.3e}"
+    );
+}

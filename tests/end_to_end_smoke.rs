@@ -1,0 +1,78 @@
+//! Integration: memory-system simulation + power + workloads + overhead
+//! models compose into the Fig. 13 pipeline.
+
+use reaper::core::ecc::EccStrength;
+use reaper::core::longevity::LongevityModel;
+use reaper::core::overhead::{ipc_with_overhead, module_bytes, OverheadModel};
+use reaper::core::TargetConditions;
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::memsim::{simulate, weighted_speedup, SimConfig};
+use reaper::power::PowerModel;
+use reaper::retention::RetentionConfig;
+use reaper::workloads::WorkloadMix;
+
+#[test]
+fn extended_interval_beats_baseline_and_reaper_beats_brute_force() {
+    let chip_gbit = 64;
+    let mix = &WorkloadMix::random_mixes(1, 4, 1024, 9)[0];
+    let instructions = 120_000;
+
+    let base_cfg = SimConfig::lpddr4_3200(chip_gbit, Some(Ms::new(64.0)));
+    let alone: Vec<f64> = mix
+        .traces()
+        .iter()
+        .map(|t| simulate(&base_cfg, std::slice::from_ref(t), instructions).ipc[0])
+        .collect();
+    let base = simulate(&base_cfg, mix.traces(), instructions);
+    let ws_base = weighted_speedup(&base.ipc, &alone);
+
+    let ext_cfg = SimConfig::lpddr4_3200(chip_gbit, Some(Ms::new(1024.0)));
+    let ext = simulate(&ext_cfg, mix.traces(), instructions);
+    let ws_ext = weighted_speedup(&ext.ipc, &alone);
+    let ideal_gain = ws_ext / ws_base - 1.0;
+    assert!(ideal_gain > 0.0, "extended interval must help: {ideal_gain}");
+
+    // Profiling overhead at the Eq. 7 schedule.
+    let retention = RetentionConfig::for_vendor(Vendor::B);
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    let longevity = LongevityModel::for_system(
+        EccStrength::secded(),
+        module_bytes(chip_gbit),
+        1e-15,
+        &retention,
+        target,
+        1.0,
+    )
+    .longevity()
+    .unwrap();
+    let round = OverheadModel::new(Ms::new(1024.0), 6, 16, module_bytes(chip_gbit));
+    let brute = ipc_with_overhead(1.0 + ideal_gain, round.time_fraction(longevity)) - 1.0;
+    let reaper =
+        ipc_with_overhead(1.0 + ideal_gain, round.time_fraction_with_speedup(longevity, 2.5))
+            - 1.0;
+
+    assert!(reaper > brute, "REAPER {reaper} must beat brute {brute}");
+    assert!(reaper <= ideal_gain + 1e-12, "ideal bounds REAPER");
+
+    // Power: refresh reduction shows up in the command-level model.
+    let pm = PowerModel::lpddr4(chip_gbit, 32);
+    let p_base = pm.breakdown(&base.stats, base.elapsed_secs());
+    let p_ext = pm.breakdown(&ext.stats, ext.elapsed_secs());
+    assert!(
+        p_ext.refresh_w < p_base.refresh_w / 4.0,
+        "refresh power must collapse: {} -> {}",
+        p_base.refresh_w,
+        p_ext.refresh_w
+    );
+    assert!(p_ext.total_w() < p_base.total_w());
+}
+
+#[test]
+fn weighted_speedup_uses_all_cores() {
+    let mix = &WorkloadMix::random_mixes(1, 4, 512, 3)[0];
+    let cfg = SimConfig::lpddr4_3200(8, Some(Ms::new(64.0)));
+    let r = simulate(&cfg, mix.traces(), 30_000);
+    assert_eq!(r.ipc.len(), 4);
+    let ws = weighted_speedup(&r.ipc, &r.ipc);
+    assert!((ws - 4.0).abs() < 1e-9);
+}

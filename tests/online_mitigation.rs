@@ -1,0 +1,117 @@
+//! Integration: the §7.1 online controller keeps a mitigation stack
+//! (ArchShield) current across simulated days, and beats a passive
+//! scrubber maintained over the same period.
+
+use reaper::core::conditions::{ReachConditions, TargetConditions};
+use reaper::core::ecc::EccStrength;
+use reaper::core::longevity::LongevityModel;
+use reaper::core::online::{OnlineConfig, OnlineController};
+use reaper::core::profile::FailureProfile;
+use reaper::core::profiler::PatternSet;
+use reaper::dram_model::{Celsius, DataPattern, Ms, Vendor};
+use reaper::mitigation::archshield::ArchShield;
+use reaper::mitigation::scrubber::EccScrubber;
+use reaper::retention::{RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+
+fn setup() -> (RetentionConfig, TargetConditions) {
+    (
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+        TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0)),
+    )
+}
+
+#[test]
+fn controller_keeps_archshield_current_across_days() {
+    let (retention, target) = setup();
+    let chip = SimulatedChip::new(retention.clone(), 0x0411);
+    let mut harness = TestHarness::new(chip, target.ambient, 9);
+    let longevity = LongevityModel::for_system(
+        EccStrength::secded(),
+        retention.represented_bits / 8,
+        1e-15,
+        &retention,
+        target,
+        0.99,
+    );
+    let mut controller = OnlineController::new(OnlineConfig {
+        target,
+        reach: ReachConditions::paper_headline(),
+        iterations: 4,
+        patterns: PatternSet::Standard,
+        longevity,
+    });
+
+    let shield = ArchShield::new(retention.represented_bits / 64, 0.04).unwrap();
+    let mut escapes = Vec::new();
+    for _ in 0..3 {
+        let report = controller.idle_and_run(&mut harness);
+        let map = shield.with_profile(controller.profile()).unwrap();
+        assert!(map.fault_count() > 0);
+        // Every profiled cell's word is covered by the installed map.
+        for cell in report.run.profile.iter().take(200) {
+            assert!(map.is_remapped(cell / 64));
+        }
+        // Oracle escape count at target conditions right after the round.
+        let truth = FailureProfile::from_cells(harness.chip_mut().failing_set_worst_case(
+            target.interval,
+            target.dram_temp(),
+            0.5,
+        ));
+        escapes.push(truth.difference_count(controller.profile()));
+    }
+    // High-probability failures must be almost fully covered right after
+    // each round.
+    for (i, &e) in escapes.iter().enumerate() {
+        assert!(e <= 5, "round {i}: {e} escapes");
+    }
+    // The paid overhead is far below the Fig. 11 danger zone.
+    assert!(controller.overhead_fraction(&harness) < 0.01);
+}
+
+#[test]
+fn active_controller_beats_passive_scrubber_over_same_period() {
+    let (retention, target) = setup();
+    let truth_chip = SimulatedChip::new(retention.clone(), 0x0412);
+    let truth = FailureProfile::from_cells(truth_chip.clone().failing_set_worst_case(
+        target.interval,
+        target.dram_temp(),
+        0.05,
+    ));
+
+    // Active: one controller round.
+    let mut harness = TestHarness::new(truth_chip.clone(), target.ambient, 10);
+    let longevity = LongevityModel::for_system(
+        EccStrength::secded(),
+        retention.represented_bits / 8,
+        1e-15,
+        &retention,
+        target,
+        0.99,
+    );
+    let mut controller = OnlineController::new(OnlineConfig {
+        target,
+        reach: ReachConditions::paper_headline(),
+        iterations: 4,
+        patterns: PatternSet::Standard,
+        longevity,
+    });
+    let _ = controller.run_round(&mut harness);
+    let active_cov =
+        controller.profile().intersection_count(&truth) as f64 / truth.len() as f64;
+
+    // Passive: 48 scrubs of the same chip under fixed application data.
+    let mut chip = truth_chip;
+    let mut scrubber = EccScrubber::new();
+    for _ in 0..48 {
+        let _ = scrubber.scrub(&mut chip, DataPattern::row_stripe(), target.interval, target.dram_temp());
+    }
+    let passive_cov =
+        scrubber.profile().intersection_count(&truth) as f64 / truth.len() as f64;
+
+    assert!(
+        active_cov > passive_cov + 0.25,
+        "active {active_cov:.3} vs passive {passive_cov:.3}"
+    );
+    assert!(active_cov > 0.9, "active coverage {active_cov}");
+}

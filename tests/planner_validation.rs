@@ -1,0 +1,83 @@
+//! Integration: the §6.3 analytic planner's predictions must agree with
+//! the empirical Fig. 9 tradeoff explorer on the same chip.
+
+use reaper::core::planner::{CharacterizeOptions, ChipCharacterization};
+use reaper::core::tradeoff::{ExploreOptions, GroundTruth, TradeoffAnalysis};
+use reaper::core::TargetConditions;
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::retention::{RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+
+#[test]
+fn planner_fpr_prediction_matches_empirical_measurement() {
+    let chip = SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 8),
+        0x91A,
+    );
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+
+    // Analytic prediction from a cheap characterization pass.
+    let mut harness = TestHarness::new(chip.clone(), target.ambient, 1);
+    let c = ChipCharacterization::measure(&mut harness, CharacterizeOptions::default());
+    let predicted = c.predicted_fpr(target.interval, Ms::new(250.0));
+
+    // Empirical measurement via the Fig. 9 machinery.
+    let analysis = TradeoffAnalysis::explore(
+        &chip,
+        target,
+        &[Ms::ZERO, Ms::new(250.0)],
+        &[0.0],
+        ExploreOptions {
+            profile_iterations: 8,
+            ground_truth: GroundTruth::Empirical { iterations: 16 },
+            coverage_goal: 0.9,
+            max_runtime_iterations: 48,
+            seed: 2,
+        },
+    );
+    let measured = analysis.points[1].false_positive_rate;
+
+    assert!(
+        (predicted - measured).abs() < 0.15,
+        "planner predicted FPR {predicted:.3}, explorer measured {measured:.3}"
+    );
+}
+
+#[test]
+fn recommended_reach_stays_within_budget_empirically() {
+    let chip = SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::A).with_capacity_scale(1, 8),
+        0x91B,
+    );
+    let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+
+    let mut harness = TestHarness::new(chip.clone(), target.ambient, 3);
+    let c = ChipCharacterization::measure(&mut harness, CharacterizeOptions::default());
+    let budget = 0.5;
+    let reach = c
+        .recommend_reach(target.interval, budget)
+        .expect("a reach exists under a 50% budget");
+
+    let analysis = TradeoffAnalysis::explore(
+        &chip,
+        target,
+        &[Ms::ZERO, reach.delta_interval],
+        &[0.0],
+        ExploreOptions {
+            profile_iterations: 8,
+            ground_truth: GroundTruth::Empirical { iterations: 16 },
+            coverage_goal: 0.9,
+            max_runtime_iterations: 48,
+            seed: 4,
+        },
+    );
+    let p = &analysis.points[1];
+    // The empirical FPR honors the planner's budget with modest slack
+    // (profiling noise, VRT) and the reach still improves coverage.
+    assert!(
+        p.false_positive_rate < budget + 0.12,
+        "measured FPR {} vs budget {budget}",
+        p.false_positive_rate
+    );
+    assert!(p.coverage > analysis.points[0].coverage - 0.01);
+}

@@ -1,0 +1,143 @@
+//! Integration: the full profiling → mitigation pipeline across crates.
+
+use reaper::core::conditions::{ReachConditions, TargetConditions};
+use reaper::core::metrics::ProfileMetrics;
+use reaper::core::profile::FailureProfile;
+use reaper::core::profiler::{PatternSet, Profiler};
+use reaper::dram_model::{Celsius, Ms, Vendor};
+use reaper::mitigation::archshield::ArchShield;
+use reaper::mitigation::raidr::Raidr;
+use reaper::mitigation::rowmap::RowRemapper;
+use reaper::retention::{RetentionConfig, SimulatedChip};
+use reaper::softmc::TestHarness;
+
+fn chip() -> SimulatedChip {
+    SimulatedChip::new(
+        RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+        0xAB,
+    )
+}
+
+fn target() -> TargetConditions {
+    TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0))
+}
+
+#[test]
+fn reach_profile_feeds_archshield_and_remaps_every_found_word() {
+    let chip = chip();
+    let mut harness = TestHarness::new(chip, target().ambient, 1);
+    let run = Profiler::reach(
+        target(),
+        ReachConditions::paper_headline(),
+        6,
+        PatternSet::Standard,
+    )
+    .run(&mut harness);
+    assert!(!run.profile.is_empty());
+
+    let words = harness.chip().config().geometry.density_bits() / 64;
+    let shield = ArchShield::new(words, 0.04).unwrap();
+    let map = shield.with_profile(&run.profile).unwrap();
+
+    for cell in run.profile.iter() {
+        let word = cell / 64;
+        assert!(map.is_remapped(word), "cell {cell} word {word} not remapped");
+        assert!(map.translate(word) >= shield.usable_words());
+    }
+    assert!(map.occupancy() < 1.0);
+}
+
+#[test]
+fn reach_covers_target_ground_truth_better_than_brute_force() {
+    let chip = chip();
+    let truth = FailureProfile::from_cells(chip.clone().failing_set_worst_case(
+        target().interval,
+        target().dram_temp(),
+        0.02,
+    ));
+    assert!(truth.len() > 50, "ground truth too small: {}", truth.len());
+
+    let mut h1 = TestHarness::new(chip.clone(), target().ambient, 2);
+    let brute = Profiler::brute_force(target(), 6, PatternSet::Standard).run(&mut h1);
+    let m_brute = ProfileMetrics::evaluate(&brute.profile, &truth);
+
+    let mut h2 = TestHarness::new(chip, target().ambient, 2);
+    let reach = Profiler::reach(
+        target(),
+        ReachConditions::paper_headline(),
+        6,
+        PatternSet::Standard,
+    )
+    .run(&mut h2);
+    let m_reach = ProfileMetrics::evaluate(&reach.profile, &truth);
+
+    assert!(
+        m_reach.coverage > m_brute.coverage,
+        "reach {:.3} vs brute {:.3}",
+        m_reach.coverage,
+        m_brute.coverage
+    );
+    assert!(m_reach.coverage > 0.95, "reach coverage {:.3}", m_reach.coverage);
+    assert!(m_reach.false_positive_rate > m_brute.false_positive_rate);
+}
+
+#[test]
+fn raidr_bins_never_under_refresh_profiled_rows() {
+    let chip = chip();
+    let geometry = chip.config().geometry;
+    let mut harness = TestHarness::new(chip, Celsius::new(45.0), 3);
+
+    // Profile at two intervals to build two retention bins.
+    let t_fast = TargetConditions::new(Ms::new(512.0), Celsius::new(45.0));
+    let t_slow = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+    let p_fast = Profiler::brute_force(t_fast, 4, PatternSet::Standard)
+        .run(&mut harness)
+        .profile;
+    let p_slow = Profiler::brute_force(t_slow, 4, PatternSet::Standard)
+        .run(&mut harness)
+        .profile;
+
+    let raidr = Raidr::build(
+        geometry,
+        &[(Ms::new(512.0), &p_fast), (Ms::new(1024.0), &p_slow)],
+        Ms::new(2048.0),
+    );
+    // Every cell found failing at 512ms gets at most a 256ms row interval.
+    for cell in p_fast.iter() {
+        let row = cell / geometry.row_bits() as u64;
+        assert!(raidr.refresh_interval_for_row(row) <= Ms::new(256.0));
+    }
+    // And substantial refresh savings remain vs the 64ms baseline.
+    assert!(raidr.refresh_savings_vs_64ms() > 0.9);
+}
+
+#[test]
+fn row_mapout_consumes_spares_proportionally_to_fpr() {
+    let chip = chip();
+    let geometry = chip.config().geometry;
+    let mut h1 = TestHarness::new(chip.clone(), target().ambient, 4);
+    let brute = Profiler::brute_force(target(), 4, PatternSet::Standard)
+        .run(&mut h1)
+        .profile;
+    let mut h2 = TestHarness::new(chip, target().ambient, 4);
+    let reach = Profiler::reach(
+        target(),
+        ReachConditions::new(Ms::new(750.0), 0.0),
+        4,
+        PatternSet::Standard,
+    )
+    .run(&mut h2)
+    .profile;
+
+    let mut remapper = RowRemapper::new(geometry, geometry.total_rows() / 4);
+    remapper.install_profile(&brute).unwrap();
+    let spares_brute = remapper.mapped_count();
+    remapper.install_profile(&reach).unwrap();
+    let spares_reach = remapper.mapped_count();
+    // Aggressive reach burns more spares — the §6.1.2 cost of false
+    // positives for FPR-intolerant mechanisms.
+    assert!(
+        spares_reach > spares_brute,
+        "brute {spares_brute} vs reach {spares_reach}"
+    );
+}

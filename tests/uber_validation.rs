@@ -1,0 +1,101 @@
+//! Integration: the Eq. 6 analytic UBER model against Monte-Carlo error
+//! injection through the *real* SECDED codec — the analysis, core, and
+//! mitigation crates must agree with each other.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reaper::core::ecc::EccStrength;
+use reaper::mitigation::bch::{Bch2, BchOutcome};
+use reaper::mitigation::secded::{DecodeOutcome, Secded};
+
+#[test]
+fn analytic_uber_matches_monte_carlo_injection() {
+    // At RBER = 6e-3, a 72-bit word sees ≥2 errors often enough to sample.
+    let rber = 6e-3;
+    let ecc = EccStrength::secded();
+    let analytic_word_failure = ecc.uber(rber) * 72.0; // Eq. 2 unnormalized
+
+    let mut rng = StdRng::seed_from_u64(0xECC2);
+    let trials = 200_000u32;
+    let mut uncorrectable = 0u32;
+    let mut miscorrected = 0u32;
+    for t in 0..trials {
+        let data = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut cw = Secded::encode(data);
+        let mut flips = 0;
+        for bit in 0..72u32 {
+            if rng.random::<f64>() < rber {
+                cw = cw.flip(bit);
+                flips += 1;
+            }
+        }
+        match Secded::decode(cw) {
+            DecodeOutcome::Clean(d) | DecodeOutcome::Corrected(d, _) => {
+                if d != data {
+                    // >2 flips can alias to a "correctable" syndrome and
+                    // miscorrect — count as uncorrectable-equivalent.
+                    miscorrected += 1;
+                } else if flips > 1 {
+                    // Correct data back out of ≥2 flips would violate
+                    // SECDED's distance; flag loudly.
+                    panic!("impossible: {flips} flips decoded clean");
+                }
+            }
+            DecodeOutcome::Uncorrectable => uncorrectable += 1,
+        }
+    }
+    let empirical = (uncorrectable + miscorrected) as f64 / trials as f64;
+    assert!(
+        (empirical / analytic_word_failure - 1.0).abs() < 0.10,
+        "empirical word-failure rate {empirical:.5} vs analytic {analytic_word_failure:.5}"
+    );
+}
+
+#[test]
+fn bch2_monte_carlo_matches_analytic_ecc2_model() {
+    // The real BCH(127,113,t=2) codec shortened to 78 bits against the
+    // Eq. 6 analytic model at the same word size and strength.
+    let rber = 2.5e-2;
+    let analytic_word_failure = EccStrength::new(78, 2).uber(rber) * 78.0;
+
+    let bch = Bch2::new();
+    let mut rng = StdRng::seed_from_u64(0xBC42);
+    let trials = 60_000u32;
+    let mut failures = 0u32;
+    for t in 0..trials {
+        let data = (t as u64).wrapping_mul(0xD134_2543_DE82_EF95);
+        let mut cw = bch.encode(data);
+        for bit in 0..78u32 {
+            if rng.random::<f64>() < rber {
+                cw = cw.flip(bit);
+            }
+        }
+        match bch.decode(cw) {
+            BchOutcome::Clean(d) | BchOutcome::Corrected(d, _) => {
+                if d != data {
+                    failures += 1;
+                }
+            }
+            BchOutcome::Uncorrectable => failures += 1,
+        }
+    }
+    let empirical = failures as f64 / trials as f64;
+    assert!(
+        (empirical / analytic_word_failure - 1.0).abs() < 0.12,
+        "empirical {empirical:.5} vs analytic {analytic_word_failure:.5}"
+    );
+}
+
+#[test]
+fn no_ecc_uber_matches_single_bit_model() {
+    // k = 0: any flip is fatal. P[word failure] = 1 - (1-R)^64.
+    let rber = 1e-3;
+    let ecc = EccStrength::none();
+    let analytic = ecc.uber(rber) * 64.0;
+    // Direct binomial identity rather than simulation.
+    let expected = 1.0 - (1.0 - rber).powi(64);
+    assert!(
+        (analytic - expected).abs() / expected < 1e-9,
+        "{analytic} vs {expected}"
+    );
+}
