@@ -24,9 +24,9 @@ pub fn run(scale: Scale) -> Table {
 
     let no_ref_cfg = SimConfig::lpddr4_3200(64, None);
     for interval in [64.0, 128.0, 256.0] {
-        let mut gain_ab = 0.0;
-        let mut gain_pb = 0.0;
-        for mix in &mixes {
+        // Three independent simulations per mix; fan out across mixes and
+        // fold in input order so the float accumulation stays exact.
+        let per_mix = reaper_exec::par_map(&mixes, |mix| {
             let base = simulate(&no_ref_cfg, mix.traces(), instructions).total_ipc();
             let ab = simulate(
                 &SimConfig::lpddr4_3200(64, Some(Ms::new(interval))),
@@ -40,8 +40,13 @@ pub fn run(scale: Scale) -> Table {
                 instructions,
             )
             .total_ipc();
-            gain_ab += base / ab - 1.0;
-            gain_pb += base / pb - 1.0;
+            (base / ab - 1.0, base / pb - 1.0)
+        });
+        let mut gain_ab = 0.0;
+        let mut gain_pb = 0.0;
+        for (ab, pb) in per_mix {
+            gain_ab += ab;
+            gain_pb += pb;
         }
         let n = mixes.len() as f64;
         table.push_row(vec![

@@ -2,35 +2,127 @@
 //! figures.
 //!
 //! ```text
-//! experiments [--full] [name...]
+//! experiments [--full] [--threads N] [--json[=PATH]] [name...]
 //! experiments all                # every experiment at quick scale
 //! experiments --full fig09 fig13
+//! experiments --threads 4 all    # run experiments concurrently on 4 workers
+//! experiments --json all         # also emit BENCH_experiments.json
 //! experiments --list
 //! ```
+//!
+//! Experiments run concurrently on the `reaper-exec` pool (thread count
+//! from `--threads`, else `REAPER_THREADS`, else available parallelism),
+//! but their tables are printed in selection order, and each table's
+//! contents are bit-identical at any thread count.
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use reaper_bench::{all_experiments, Scale};
+use reaper_bench::{all_experiments, Scale, Table};
+
+/// Prints to stdout, ignoring a closed pipe (`experiments --list | head`
+/// must not panic on EPIPE).
+macro_rules! emit {
+    ($($arg:tt)*) => {
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    };
+}
+
+/// One finished experiment, ready to print and report.
+struct Completed {
+    name: &'static str,
+    table: Table,
+    wall_ms: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable perf trajectory: per-experiment wall-clock and row
+/// counts, plus the run configuration.
+fn render_json(results: &[Completed], scale: Scale, threads: usize, total_ms: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"rows\": {}, \"title\": \"{}\"}}{sep}\n",
+            json_escape(r.name),
+            r.wall_ms,
+            r.table.rows.len(),
+            json_escape(&r.table.title),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
-    for a in &args {
+    let mut json_path: Option<String> = None;
+    let mut args_iter = args.iter().peekable();
+    while let Some(a) = args_iter.next() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--json" => json_path = Some("BENCH_experiments.json".to_string()),
+            "--threads" => {
+                let Some(n) = args_iter.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                if n == 0 {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+                reaper_exec::set_thread_count(Some(n));
+            }
             "--list" => {
                 for (name, _) in all_experiments() {
-                    println!("{name}");
+                    emit!("{name}");
                 }
                 return ExitCode::SUCCESS;
             }
-            other => names.push(other.to_string()),
+            other => {
+                if let Some(path) = other.strip_prefix("--json=") {
+                    json_path = Some(path.to_string());
+                } else if let Some(n) = other.strip_prefix("--threads=") {
+                    match n.parse::<usize>() {
+                        Ok(n) if n > 0 => reaper_exec::set_thread_count(Some(n)),
+                        _ => {
+                            eprintln!("--threads needs a positive integer");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                } else {
+                    names.push(other.to_string());
+                }
+            }
         }
     }
     if names.is_empty() {
-        eprintln!("usage: experiments [--full] <name...|all>   (see --list)");
+        eprintln!(
+            "usage: experiments [--full] [--threads N] [--json[=PATH]] <name...|all>   (see --list)"
+        );
         return ExitCode::FAILURE;
     }
 
@@ -51,11 +143,44 @@ fn main() -> ExitCode {
         picked
     };
 
-    for (name, runner) in selected {
-        let start = std::time::Instant::now();
+    let threads = reaper_exec::thread_count();
+    let start_all = Instant::now();
+    // Run the selected experiments concurrently; par_map returns results
+    // in selection order, so the printed report is stable regardless of
+    // completion order. Experiments themselves also parallelize their
+    // inner loops on the same pool; scoped threads compose without a
+    // shared-pool deadlock, at worst mild oversubscription.
+    let results: Vec<Completed> = reaper_exec::par_map(&selected, |&(name, runner)| {
+        let start = Instant::now();
         let table = runner(scale);
-        println!("{table}");
-        println!("  [{name} completed in {:.1?} at {scale:?} scale]\n", start.elapsed());
+        Completed {
+            name,
+            table,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    });
+    let total_ms = start_all.elapsed().as_secs_f64() * 1e3;
+
+    for r in &results {
+        emit!("{}", r.table);
+        emit!(
+            "  [{} completed in {:.1}ms at {scale:?} scale]\n",
+            r.name, r.wall_ms
+        );
+    }
+    emit!(
+        "  [{} experiment(s) in {:.1}ms wall, {threads} thread(s)]",
+        results.len(),
+        total_ms
+    );
+
+    if let Some(path) = json_path {
+        let json = render_json(&results, scale, threads, total_ms);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        emit!("  [perf trajectory written to {path}]");
     }
     ExitCode::SUCCESS
 }

@@ -19,25 +19,20 @@ pub fn run(scale: Scale) -> Table {
 
     let temps = [40.0, 45.0, 50.0, 55.0];
     let iterations = scale.pick(2, 4);
-    let mut pop = study_population(scale);
+    let pop = study_population(scale);
     let chips_per_vendor = scale.pick(3, 8);
 
     for vendor in Vendor::ALL {
+        let chips: Vec<_> = pop.chips_of(vendor).take(chips_per_vendor).collect();
         let mut points: Vec<(f64, f64)> = Vec::new();
         for &t in &temps {
-            let mut total = 0usize;
-            let mut used = 0usize;
-            for chip in pop.chips_of_mut(vendor).take(chips_per_vendor) {
-                let profile = profile_union(
-                    chip,
-                    Ms::new(1024.0),
-                    Celsius::new(t),
-                    iterations,
-                );
-                total += profile.len();
-                used += 1;
-            }
-            if total > 0 && used > 0 {
+            // One profiling campaign per chip, each on a private clone.
+            let counts = reaper_exec::par_map(&chips, |chip| {
+                let mut chip = (*chip).clone();
+                profile_union(&mut chip, Ms::new(1024.0), Celsius::new(t), iterations).len()
+            });
+            let total: usize = counts.iter().sum();
+            if total > 0 && !counts.is_empty() {
                 points.push((t, (total as f64).ln()));
             }
         }

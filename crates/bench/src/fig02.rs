@@ -29,26 +29,36 @@ pub fn run(scale: Scale) -> Table {
     let intervals = [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0];
     let iterations = scale.pick(2, 4);
     let ambient = Celsius::new(45.0);
-    let mut pop = study_population(scale);
+    let pop = study_population(scale);
 
     // Per interval: (unique, repeat, nonrepeat) cell counts summed over
     // chips, with per-chip classification against all lower intervals.
-    let mut sums = vec![(0u64, 0u64, 0u64); intervals.len()];
-    let mut represented_bits = 0u64;
-
-    for chip in pop.chips_mut() {
-        represented_bits += chip.config().represented_bits;
+    // Chips are independent: each worker walks one chip's interval ladder
+    // on a private clone, and counts are folded in input order.
+    let per_chip = reaper_exec::par_map(pop.chips(), |chip| {
+        let mut chip = chip.clone();
+        let mut counts = vec![(0u64, 0u64, 0u64); intervals.len()];
         let mut seen_lower: HashSet<u64> = HashSet::new();
         for (ii, &interval) in intervals.iter().enumerate() {
-            let profile = profile_union(chip, Ms::new(interval), ambient, iterations);
+            let profile = profile_union(&mut chip, Ms::new(interval), ambient, iterations);
             let here: HashSet<u64> = profile.iter().collect();
             let repeat = here.intersection(&seen_lower).count() as u64;
             let unique = here.len() as u64 - repeat;
             let nonrepeat = seen_lower.difference(&here).count() as u64;
-            sums[ii].0 += unique;
-            sums[ii].1 += repeat;
-            sums[ii].2 += nonrepeat;
+            counts[ii] = (unique, repeat, nonrepeat);
             seen_lower.extend(here);
+        }
+        (chip.config().represented_bits, counts)
+    });
+
+    let mut sums = vec![(0u64, 0u64, 0u64); intervals.len()];
+    let mut represented_bits = 0u64;
+    for (bits, counts) in per_chip {
+        represented_bits += bits;
+        for (ii, (u, r, n)) in counts.into_iter().enumerate() {
+            sums[ii].0 += u;
+            sums[ii].1 += r;
+            sums[ii].2 += n;
         }
     }
 

@@ -26,17 +26,19 @@ pub fn run(scale: Scale) -> Table {
     let intervals: Vec<f64> = (0..steps).map(|i| 0.2 + i as f64 * 0.16).collect();
 
     let temps = [40.0, 45.0, 50.0, 55.0];
-    let maps: Vec<HashMap<u64, CellFit>> = temps
-        .iter()
-        .map(|&a| estimate_cell_fit_map(&chip, Celsius::new(a), &intervals, trials))
-        .collect();
+    // Each temperature characterizes an independent clone of the chip.
+    let maps: Vec<HashMap<u64, CellFit>> = reaper_exec::par_map(&temps, |&a| {
+        estimate_cell_fit_map(&chip, Celsius::new(a), &intervals, trials)
+    });
 
-    // Cells fitted at every temperature — the trackable subset.
-    let common: Vec<u64> = maps[0]
+    // Cells fitted at every temperature — the trackable subset. Sorted so
+    // downstream statistics see a HashMap-order-independent sequence.
+    let mut common: Vec<u64> = maps[0]
         .keys()
         .filter(|c| maps.iter().all(|m| m.contains_key(c)))
         .copied()
         .collect();
+    common.sort_unstable();
     assert!(!common.is_empty(), "no common cells across temperatures");
 
     for (mi, &ambient) in temps.iter().enumerate() {

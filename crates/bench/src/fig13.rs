@@ -19,7 +19,7 @@ use reaper_core::longevity::LongevityModel;
 use reaper_core::overhead::{module_bytes, OverheadModel};
 use reaper_core::TargetConditions;
 use reaper_dram_model::{Celsius, Ms, Vendor};
-use reaper_memsim::{simulate, weighted_speedup, SimConfig};
+use reaper_memsim::{simulate, weighted_speedup, AccessTrace, SimConfig};
 use reaper_power::PowerModel;
 use reaper_retention::RetentionConfig;
 use reaper_workloads::WorkloadMix;
@@ -69,32 +69,35 @@ pub fn run(scale: Scale) -> Table {
     let ecc = EccStrength::secded();
 
     for &gbit in &sizes {
-        // Alone-IPC denominators at the 64 ms baseline config.
+        // Alone-IPC denominators at the 64 ms baseline config: one
+        // simulation per unique trace name, fanned out across the pool.
         let base_cfg = SimConfig::lpddr4_3200(gbit, Some(Ms::new(64.0)));
-        let mut alone: HashMap<&'static str, f64> = HashMap::new();
+        let mut uniq: Vec<(&'static str, &AccessTrace)> = Vec::new();
         for mix in &mixes {
             for (name, trace) in mix.names().iter().zip(mix.traces()) {
-                alone.entry(name).or_insert_with(|| {
-                    simulate(&base_cfg, std::slice::from_ref(trace), instructions).ipc[0]
-                });
+                if !uniq.iter().any(|&(n, _)| n == *name) {
+                    uniq.push((name, trace));
+                }
             }
         }
+        let alone_ipcs = reaper_exec::par_map(&uniq, |&(_, trace)| {
+            simulate(&base_cfg, std::slice::from_ref(trace), instructions).ipc[0]
+        });
+        let alone: HashMap<&'static str, f64> =
+            uniq.iter().map(|&(n, _)| n).zip(alone_ipcs).collect();
         let ws_of = |cfg: &SimConfig, mix: &WorkloadMix| {
             let r = simulate(cfg, mix.traces(), instructions);
             let alones: Vec<f64> = mix.names().iter().map(|n| alone[n]).collect();
             (weighted_speedup(&r.ipc, &alones), r)
         };
 
-        // Baseline WS and power per mix.
+        // Baseline WS and power per mix, one simulation per mix in parallel.
         let power_model = PowerModel::lpddr4(gbit, 32);
-        let baseline: Vec<(f64, f64)> = mixes
-            .iter()
-            .map(|m| {
-                let (ws, r) = ws_of(&base_cfg, m);
-                let p = power_model.breakdown(&r.stats, r.elapsed_secs()).total_w();
-                (ws, p)
-            })
-            .collect();
+        let baseline: Vec<(f64, f64)> = reaper_exec::par_map(&mixes, |m| {
+            let (ws, r) = ws_of(&base_cfg, m);
+            let p = power_model.breakdown(&r.stats, r.elapsed_secs()).total_w();
+            (ws, p)
+        });
 
         for &interval in &intervals(scale) {
             let cfg = SimConfig::lpddr4_3200(gbit, interval.map(Ms::new));
@@ -119,14 +122,15 @@ pub fn run(scale: Scale) -> Table {
                 }
             };
 
-            let mut ideal_gains = Vec::new();
-            let mut power_reductions = Vec::new();
-            for (mix, &(ws_base, p_base)) in mixes.iter().zip(&baseline) {
+            let pairs: Vec<(&WorkloadMix, (f64, f64))> =
+                mixes.iter().zip(baseline.iter().copied()).collect();
+            let per_mix = reaper_exec::par_map(&pairs, |&(mix, (ws_base, p_base))| {
                 let (ws, r) = ws_of(&cfg, mix);
-                ideal_gains.push(ws / ws_base - 1.0);
                 let p = power_model.breakdown(&r.stats, r.elapsed_secs()).total_w();
-                power_reductions.push(1.0 - p / p_base);
-            }
+                (ws / ws_base - 1.0, 1.0 - p / p_base)
+            });
+            let ideal_gains: Vec<f64> = per_mix.iter().map(|&(g, _)| g).collect();
+            let power_reductions: Vec<f64> = per_mix.iter().map(|&(_, p)| p).collect();
             let apply = |g: f64, frac: f64| {
                 if frac.is_nan() {
                     g

@@ -42,18 +42,24 @@ pub fn run(scale: Scale) -> Table {
 
     let pop = study_population(scale);
     let chips = scale.pick(4, 24);
-    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); reaches.len()];
-    let mut counted = 0usize;
-    for chip in pop.chips().iter().take(chips) {
+    // Each chip's exploration is independent; fan out across the
+    // population and fold the per-chip results back in input order so the
+    // float accumulation matches the sequential loop exactly.
+    let selected: Vec<_> = pop.chips().iter().take(chips).collect();
+    let analyses = reaper_exec::par_map(&selected, |chip| {
         // Explore over the interval deltas and the temperature delta in one
         // grid; pick out the three configured reach points.
-        let analysis = TradeoffAnalysis::explore(
+        TradeoffAnalysis::explore(
             chip,
             target,
             &[Ms::ZERO, Ms::new(250.0)],
             &[0.0, 10.0],
             opts,
-        );
+        )
+    });
+    let mut sums = vec![(0.0f64, 0.0f64, 0.0f64); reaches.len()];
+    let mut counted = 0usize;
+    for analysis in &analyses {
         for (i, reach) in reaches.iter().enumerate() {
             let p = analysis
                 .points

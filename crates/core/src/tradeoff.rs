@@ -145,18 +145,20 @@ impl TradeoffAnalysis {
             None,
         );
 
-        let mut points = Vec::with_capacity(deltas_interval.len() * deltas_temp.len());
-        for &dt in deltas_temp {
-            for &di in deltas_interval {
-                let reach = ReachConditions::new(di, dt);
-                let point = if reach.is_brute_force() {
-                    brute
-                } else {
-                    Self::measure_point(chip, target, reach, &ground_truth, opts, Some(brute.runtime))
-                };
-                points.push(point);
+        // Every grid point profiles an independent clone of the pristine
+        // chip, so points can be measured in parallel; the row-major output
+        // order is preserved by par_map.
+        let grid: Vec<ReachConditions> = deltas_temp
+            .iter()
+            .flat_map(|&dt| deltas_interval.iter().map(move |&di| ReachConditions::new(di, dt)))
+            .collect();
+        let points = reaper_exec::par_map(&grid, |&reach| {
+            if reach.is_brute_force() {
+                brute
+            } else {
+                Self::measure_point(chip, target, reach, &ground_truth, opts, Some(brute.runtime))
             }
-        }
+        });
 
         Self {
             target,

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use reaper_analysis::dist::{Exponential, LogNormal, Poisson};
+use reaper_exec::rng::stream;
 use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
 
 use crate::cell::WeakCell;
@@ -25,6 +26,14 @@ const MU_MIN_SECS: f64 = 0.05;
 /// Z-score window outside which a trial outcome is treated as certain
 /// (|z| > 4 ⇒ p < 3.2e-5 or > 1 − 3.2e-5).
 const Z_CUTOFF: f64 = 4.0;
+
+/// Domain separator for per-(cell, trial) RNG lanes, so trial draws can
+/// never collide with any other stream derived from the same chip seed.
+const TRIAL_DOMAIN: u64 = 0x5245_4150_4552_0001; // "REAPER" 01
+
+/// Below this many candidate cells a trial runs sequentially; the window
+/// is too small to amortize thread spawn cost.
+const PAR_MIN_CELLS: usize = 512;
 
 /// The set of cells that failed one retention trial, as sorted dense linear
 /// indices into the chip's geometry.
@@ -94,7 +103,16 @@ pub struct SimulatedChip {
     used: HashSet<u64>,
     now_ms: f64,
     last_arrival_ms: f64,
+    /// Sequential generator for population synthesis and VRT arrivals
+    /// (inherently ordered processes).
     rng: StdRng,
+    /// Root of the per-(cell, trial) hash-derived RNG lanes used by
+    /// [`SimulatedChip::retention_trial`]. Derived from the chip seed.
+    stream_base: u64,
+    /// Count of retention trials performed; each trial's draws live on
+    /// lanes keyed by this nonce, so repeated identical trials still see
+    /// fresh randomness.
+    trial_nonce: u64,
 }
 
 impl SimulatedChip {
@@ -161,6 +179,8 @@ impl SimulatedChip {
             now_ms: 0.0,
             last_arrival_ms: 0.0,
             rng,
+            stream_base: seed,
+            trial_nonce: 0,
             cfg,
         };
         chip.rebuild_sort();
@@ -177,18 +197,21 @@ impl SimulatedChip {
     }
 
     fn rebuild_sort(&mut self) {
-        let cfg = self.cfg.clone();
-        self.cells
-            .sort_by(|a, b| {
-                Self::sort_key_of(&cfg, a)
-                    .partial_cmp(&Self::sort_key_of(&cfg, b))
-                    .expect("finite keys")
-            });
-        self.sort_keys = self
+        // Compute each key exactly once, stable-sort a permutation, and
+        // gather both vectors through it.
+        let keys: Vec<f64> = self
             .cells
             .iter()
-            .map(|c| Self::sort_key_of(&cfg, c))
+            .map(|c| Self::sort_key_of(&self.cfg, c))
             .collect();
+        let mut perm: Vec<u32> = (0..self.cells.len() as u32).collect();
+        perm.sort_by(|&a, &b| {
+            keys[a as usize]
+                .partial_cmp(&keys[b as usize])
+                .expect("finite keys")
+        });
+        self.sort_keys = perm.iter().map(|&i| keys[i as usize]).collect();
+        self.cells = perm.iter().map(|&i| self.cells[i as usize]).collect();
     }
 
     /// The chip's configuration.
@@ -259,34 +282,83 @@ impl SimulatedChip {
         let cut = (t + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
         let end = self.sort_keys.partition_point(|&k| k < cut);
 
-        let mut failures = Vec::new();
-        let cfg = &self.cfg;
-        let base_vrt = &mut self.base_vrt;
-        let rng = &mut self.rng;
-        let now_ms = self.now_ms;
+        let nonce = self.trial_nonce;
+        self.trial_nonce += 1;
 
-        for cell in &self.cells[..end] {
+        let cfg = &self.cfg;
+        let now_ms = self.now_ms;
+        let stream_base = self.stream_base;
+        let base_vrt = &self.base_vrt;
+
+        // Every cell draws from its own (seed, trial, cell) hash lane, so
+        // the outcome is a pure function of that tuple — independent of
+        // evaluation order and therefore of thread count. VRT cells are
+        // observed on a *copy* of their chain state; the advanced states
+        // are merged back sequentially after the parallel region (each
+        // vrt_index belongs to exactly one cell, so merges never conflict).
+        let per_cell = |cell: &WeakCell| -> (Option<u64>, Option<(u32, TwoStateVrt)>) {
             if cell.stored_bit(pattern, geometry) != cell.vulnerable_bit {
-                continue;
+                return (None, None);
             }
+            let mut lane = stream(&[stream_base, TRIAL_DOMAIN, nonce, cell.index]);
+            let mut vrt_update = None;
             let vrt_factor = match cell.vrt_index {
-                Some(i) if base_vrt[i as usize].observe(now_ms, rng) => cfg.vrt_low_mu_factor,
-                _ => 1.0,
+                Some(i) => {
+                    let mut vrt = base_vrt[i as usize];
+                    let in_low = vrt.observe_at(now_ms, lane.next_f64());
+                    vrt_update = Some((i, vrt));
+                    if in_low {
+                        cfg.vrt_low_mu_factor
+                    } else {
+                        1.0
+                    }
+                }
+                None => 1.0,
             };
             let stress = cell.stress_under(pattern, geometry);
             let mu = cell.effective_mu(ms_scale, stress, vrt_factor);
             let sigma = cell.sigma0 as f64 * ss_scale;
             let z = (t - mu) / sigma;
             if z < -Z_CUTOFF {
-                continue;
+                return (None, vrt_update);
             }
-            if z > Z_CUTOFF || rng.random::<f64>() < reaper_analysis::special::phi(z) {
-                failures.push(cell.index);
+            let fails = z > Z_CUTOFF || lane.next_f64() < reaper_analysis::special::phi(z);
+            (fails.then_some(cell.index), vrt_update)
+        };
+
+        let window = &self.cells[..end];
+        let mut failures = Vec::new();
+        let mut vrt_updates: Vec<(u32, TwoStateVrt)> = Vec::new();
+        if window.len() < PAR_MIN_CELLS || reaper_exec::thread_count() <= 1 {
+            for cell in window {
+                let (fail, update) = per_cell(cell);
+                failures.extend(fail);
+                vrt_updates.extend(update);
             }
+        } else {
+            let chunks = reaper_exec::par_chunk_map(window, 256, |_, chunk| {
+                let mut fails = Vec::new();
+                let mut updates = Vec::new();
+                for cell in chunk {
+                    let (fail, update) = per_cell(cell);
+                    fails.extend(fail);
+                    updates.extend(update);
+                }
+                (fails, updates)
+            });
+            for (fails, updates) in chunks {
+                failures.extend(fails);
+                vrt_updates.extend(updates);
+            }
+        }
+        for (i, state) in vrt_updates {
+            self.base_vrt[i as usize] = state;
         }
 
         // VRT-arrival cells: freshly arrived cells fail (that is their
         // arrival event); established ones fail while in their low state.
+        // This list is small and its draws live on the sequential RNG.
+        let rng = &mut self.rng;
         for a in &mut self.arrivals {
             if !a.is_active(now_ms) {
                 continue;

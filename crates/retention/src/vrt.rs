@@ -61,13 +61,24 @@ impl TwoStateVrt {
     ///
     /// Returns whether the cell is in the low-retention state now.
     pub fn observe<R: Rng + ?Sized>(&mut self, now_ms: f64, rng: &mut R) -> bool {
+        let u = rng.random::<f64>();
+        self.observe_at(now_ms, u)
+    }
+
+    /// Like [`TwoStateVrt::observe`], but takes the uniform draw explicitly
+    /// instead of a generator. This is what makes parallel trials
+    /// deterministic: the caller derives `u` from a per-(cell, trial) hash
+    /// stream, so the observed state is independent of evaluation order.
+    ///
+    /// `u` is ignored when no time has elapsed since the last observation.
+    pub fn observe_at(&mut self, now_ms: f64, u: f64) -> bool {
         let dt = (now_ms - self.last_update_ms).max(0.0);
         if dt > 0.0 {
             let rate = 1.0 / self.dwell_low_ms + 1.0 / self.dwell_high_ms;
             let pi_low = self.duty_low();
             let s = if self.in_low { 1.0 } else { 0.0 };
             let p_low = pi_low + (s - pi_low) * (-rate * dt).exp();
-            self.in_low = rng.random::<f64>() < p_low;
+            self.in_low = u < p_low;
             self.last_update_ms = now_ms;
         }
         self.in_low

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate plus an end-to-end smoke run.
+#
+#   scripts/verify.sh          # build + test + headline smoke
+#
+# Must pass before every merge; see ROADMAP.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release --offline
+
+echo "== tier-1: tests =="
+cargo test -q --offline
+
+echo "== smoke: headline experiment (quick scale) =="
+cargo run --release --offline -p reaper-bench --bin experiments -- headline --quick
+
+echo "verify: OK"

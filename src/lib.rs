@@ -15,6 +15,7 @@
 //! | [`power`] | `reaper-power` | LPDDR4 DRAM power model |
 //! | [`workloads`] | `reaper-workloads` | SPEC-like synthetic workload mixes |
 //! | [`analysis`] | `reaper-analysis` | distributions, fits, summaries |
+//! | [`exec`] | `reaper-exec` | zero-dependency deterministic parallel execution substrate |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use reaper_analysis as analysis;
 pub use reaper_core as core;
 pub use reaper_dram_model as dram_model;
+pub use reaper_exec as exec;
 pub use reaper_memsim as memsim;
 pub use reaper_mitigation as mitigation;
 pub use reaper_power as power;
