@@ -29,19 +29,35 @@ pub fn std_dev(data: &[f64]) -> Option<f64> {
 
 /// Linearly interpolated percentile of **sorted** data, `p ∈ [0, 100]`.
 ///
-/// # Panics
-/// Panics if `p` is outside `[0, 100]` or `sorted` is empty.
-pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty(), "percentile of empty data");
-    assert!((0.0..=100.0).contains(&p), "percentile p must be in [0,100]");
+/// Sortedness is a documented precondition checked only in debug builds;
+/// unsorted input in release builds yields a well-defined but meaningless
+/// interpolation.
+///
+/// # Errors
+/// Returns [`AnalysisError::InsufficientData`] for an empty slice and
+/// [`AnalysisError::InvalidParameter`] if `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(AnalysisError::InsufficientData { needed: 1, got: 0 });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "p",
+            reason: "percentile must be in [0, 100]",
+        });
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile_sorted input must be sorted ascending"
+    );
     if sorted.len() == 1 {
-        return sorted[0];
+        return Ok(sorted[0]);
     }
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    Ok(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 /// Five-number box-plot summary plus the mean, as drawn in the paper's
@@ -76,11 +92,12 @@ impl Summary {
         }
         let mut sorted = data.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary data"));
+        let pct = |p| percentile_sorted(&sorted, p).expect("nonempty, p in range");
         Ok(Self {
             min: sorted[0],
-            q1: percentile_sorted(&sorted, 25.0),
-            median: percentile_sorted(&sorted, 50.0),
-            q3: percentile_sorted(&sorted, 75.0),
+            q1: pct(25.0),
+            median: pct(50.0),
+            q3: pct(75.0),
             max: *sorted.last().expect("nonempty"),
             mean: mean(data).expect("nonempty"),
             count: data.len(),
@@ -110,10 +127,18 @@ impl core::fmt::Display for Summary {
 /// are normal: the normalized empirical CDF should sit within a small KS
 /// distance of Φ.
 ///
-/// # Panics
-/// Panics if `sorted` is empty.
-pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> f64 {
-    assert!(!sorted.is_empty(), "KS statistic of empty data");
+/// Sortedness is a documented precondition checked only in debug builds.
+///
+/// # Errors
+/// Returns [`AnalysisError::InsufficientData`] for an empty slice.
+pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> Result<f64> {
+    if sorted.is_empty() {
+        return Err(AnalysisError::InsufficientData { needed: 1, got: 0 });
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "ks_statistic input must be sorted ascending"
+    );
     let n = sorted.len() as f64;
     let mut d = 0.0_f64;
     for (i, &x) in sorted.iter().enumerate() {
@@ -122,7 +147,143 @@ pub fn ks_statistic<F: Fn(f64) -> f64>(sorted: &[f64], cdf: F) -> f64 {
         let hi = (i + 1) as f64 / n;
         d = d.max((f - lo).abs()).max((f - hi).abs());
     }
-    d
+    Ok(d)
+}
+
+/// One-sample Kolmogorov–Smirnov critical value: the smallest `D` that
+/// rejects the null hypothesis at significance level `alpha` for sample
+/// size `n`, via the Dvoretzky–Kiefer–Wolfowitz bound with Massart's tight
+/// constant: `D_crit = sqrt(ln(2/α) / (2n))`.
+///
+/// The bound is non-asymptotic (valid at every `n`), which matters here:
+/// the Fig. 6a conformance check tests per-cell CDFs resolved from only
+/// 16 trials per grid point.
+///
+/// # Errors
+/// Returns [`AnalysisError::InvalidParameter`] if `n == 0` or `alpha` is
+/// outside `(0, 1)`.
+pub fn ks_critical_value(n: usize, alpha: f64) -> Result<f64> {
+    if n == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "n",
+            reason: "sample size must be nonzero",
+        });
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "alpha",
+            reason: "significance level must be in (0, 1)",
+        });
+    }
+    Ok(((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt())
+}
+
+/// Approximate p-value of a one-sample KS statistic `d` at sample size `n`:
+/// the probability under the null of observing a statistic at least this
+/// large.
+///
+/// Uses the Kolmogorov distribution tail `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1}
+/// e^{−2j²λ²}` with the finite-`n` correction `λ = (√n + 0.12 + 0.11/√n)·d`
+/// (Stephens 1970, as popularized by Numerical Recipes). Accurate to a few
+/// percent for `n ≥ 5`; returns a value clamped to `[0, 1]`.
+///
+/// # Errors
+/// Returns [`AnalysisError::InvalidParameter`] if `n == 0` or `d` is not
+/// in `[0, 1]`.
+pub fn ks_p_value(d: f64, n: usize) -> Result<f64> {
+    if n == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "n",
+            reason: "sample size must be nonzero",
+        });
+    }
+    if !(0.0..=1.0).contains(&d) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "d",
+            reason: "KS statistic must be in [0, 1]",
+        });
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    // Below λ ≈ 0.3 the alternating series converges too slowly to sum
+    // term-by-term, and Q(0.3) > 0.9999 anyway: report no evidence against
+    // the null rather than a truncation artifact.
+    if lambda < 0.3 {
+        return Ok(1.0);
+    }
+    let mut sum = 0.0_f64;
+    let mut sign = 1.0_f64;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    Ok((2.0 * sum).clamp(0.0, 1.0))
+}
+
+/// Percentile-bootstrap confidence interval for the **mean** of `data`.
+///
+/// Draws `resamples` with-replacement resamples using a deterministic
+/// SplitMix64 stream seeded by `seed`, computes each resample's mean, and
+/// returns the `(lo, hi)` quantiles that bracket the central `confidence`
+/// mass. Deterministic for a fixed `(data, resamples, seed)` tuple, so
+/// conformance checks built on it are reproducible.
+///
+/// # Errors
+/// Returns [`AnalysisError::InsufficientData`] for an empty slice and
+/// [`AnalysisError::InvalidParameter`] if `resamples == 0` or `confidence`
+/// is outside `(0, 1)`.
+pub fn bootstrap_mean_ci(
+    data: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<(f64, f64)> {
+    if data.is_empty() {
+        return Err(AnalysisError::InsufficientData { needed: 1, got: 0 });
+    }
+    if resamples == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            name: "resamples",
+            reason: "must be nonzero",
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(AnalysisError::InvalidParameter {
+            name: "confidence",
+            reason: "must be in (0, 1)",
+        });
+    }
+    // Private SplitMix64 so the bootstrap needs no external RNG dependency
+    // and stays bit-reproducible across platforms.
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = data.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            // Multiply-shift keeps the index unbiased enough for bootstrap
+            // purposes without a rejection loop.
+            let idx = ((next() as u128 * n as u128) >> 64) as usize;
+            sum += data[idx];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let tail = (1.0 - confidence) / 2.0 * 100.0;
+    let lo = percentile_sorted(&means, tail)?;
+    let hi = percentile_sorted(&means, 100.0 - tail)?;
+    Ok((lo, hi))
 }
 
 /// Fixed-width histogram over `[lo, hi)` with values outside the range
@@ -234,21 +395,25 @@ mod tests {
     #[test]
     fn percentile_interpolates() {
         let data = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile_sorted(&data, 0.0), 1.0);
-        assert_eq!(percentile_sorted(&data, 100.0), 4.0);
-        assert_eq!(percentile_sorted(&data, 50.0), 2.5);
-        assert_eq!(percentile_sorted(&data, 25.0), 1.75);
+        assert_eq!(percentile_sorted(&data, 0.0), Ok(1.0));
+        assert_eq!(percentile_sorted(&data, 100.0), Ok(4.0));
+        assert_eq!(percentile_sorted(&data, 50.0), Ok(2.5));
+        assert_eq!(percentile_sorted(&data, 25.0), Ok(1.75));
     }
 
     #[test]
     fn percentile_single_point() {
-        assert_eq!(percentile_sorted(&[7.0], 33.0), 7.0);
+        assert_eq!(percentile_sorted(&[7.0], 33.0), Ok(7.0));
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn percentile_empty_panics() {
-        percentile_sorted(&[], 50.0);
+    fn percentile_rejects_bad_input() {
+        assert_eq!(
+            percentile_sorted(&[], 50.0),
+            Err(AnalysisError::InsufficientData { needed: 1, got: 0 })
+        );
+        assert!(percentile_sorted(&[1.0], -1.0).is_err());
+        assert!(percentile_sorted(&[1.0], 100.1).is_err());
     }
 
     #[test]
@@ -283,17 +448,75 @@ mod tests {
         let samples: Vec<f64> = (1..=n)
             .map(|i| crate::special::phi_inv(i as f64 / (n + 1) as f64))
             .collect();
-        let d_good = ks_statistic(&samples, phi);
+        let d_good = ks_statistic(&samples, phi).unwrap();
         assert!(d_good < 0.02, "good fit KS {d_good}");
         // ...and badly mismatch a shifted CDF.
-        let d_bad = ks_statistic(&samples, |x| phi(x - 2.0));
+        let d_bad = ks_statistic(&samples, |x| phi(x - 2.0)).unwrap();
         assert!(d_bad > 0.5, "bad fit KS {d_bad}");
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn ks_statistic_rejects_empty() {
-        ks_statistic(&[], |_| 0.5);
+        assert_eq!(
+            ks_statistic(&[], |_| 0.5),
+            Err(AnalysisError::InsufficientData { needed: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn ks_critical_value_known_points() {
+        // Massart bound at α=0.05: sqrt(ln(40)/2n). For n=100: ≈0.1358.
+        let d = ks_critical_value(100, 0.05).unwrap();
+        assert!((d - 0.1358).abs() < 1e-3, "crit {d}");
+        // Shrinks with n, grows as α shrinks.
+        assert!(ks_critical_value(400, 0.05).unwrap() < d);
+        assert!(ks_critical_value(100, 0.01).unwrap() > d);
+        assert!(ks_critical_value(0, 0.05).is_err());
+        assert!(ks_critical_value(10, 0.0).is_err());
+        assert!(ks_critical_value(10, 1.0).is_err());
+    }
+
+    #[test]
+    fn ks_p_value_behaves_like_a_p_value() {
+        // Tiny statistic: cannot reject, p ≈ 1.
+        assert!(ks_p_value(0.001, 50).unwrap() > 0.99);
+        // Huge statistic: decisive rejection, p ≈ 0.
+        assert!(ks_p_value(0.9, 50).unwrap() < 1e-6);
+        // Monotone decreasing in d.
+        let p1 = ks_p_value(0.1, 100).unwrap();
+        let p2 = ks_p_value(0.2, 100).unwrap();
+        assert!(p1 > p2, "{p1} vs {p2}");
+        // Consistency with the critical value: at D = D_crit(α) the
+        // asymptotic p-value is within a small factor of α.
+        let crit = ks_critical_value(200, 0.05).unwrap();
+        let p = ks_p_value(crit, 200).unwrap();
+        assert!(p < 0.07, "p at critical value {p}");
+        assert!(ks_p_value(0.5, 0).is_err());
+        assert!(ks_p_value(1.5, 10).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let data: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let m = mean(&data).unwrap();
+        let (lo, hi) = bootstrap_mean_ci(&data, 1000, 0.95, 7).unwrap();
+        assert!(lo < m && m < hi, "{lo} < {m} < {hi}");
+        // CI width shrinks with tighter confidence.
+        let (lo90, hi90) = bootstrap_mean_ci(&data, 1000, 0.90, 7).unwrap();
+        assert!(hi90 - lo90 <= hi - lo);
+        // Deterministic per seed.
+        assert_eq!(bootstrap_mean_ci(&data, 500, 0.95, 3).unwrap(),
+                   bootstrap_mean_ci(&data, 500, 0.95, 3).unwrap());
+        assert!(bootstrap_mean_ci(&[], 10, 0.95, 0).is_err());
+        assert!(bootstrap_mean_ci(&data, 0, 0.95, 0).is_err());
+        assert!(bootstrap_mean_ci(&data, 10, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_data_is_a_point() {
+        let (lo, hi) = bootstrap_mean_ci(&[4.2; 32], 200, 0.95, 1).unwrap();
+        assert!((lo - 4.2).abs() < 1e-12 && (hi - 4.2).abs() < 1e-12);
+        assert_eq!(lo, hi);
     }
 
     #[test]

@@ -123,6 +123,35 @@ proptest! {
         prop_assume!(p1 <= p2);
         let mut sorted = data;
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert!(percentile_sorted(&sorted, p1) <= percentile_sorted(&sorted, p2));
+        prop_assert!(percentile_sorted(&sorted, p1).unwrap() <= percentile_sorted(&sorted, p2).unwrap());
+    }
+
+    #[test]
+    fn ks_statistic_is_a_distance(
+        data in proptest::collection::vec(-5.0..5.0f64, 1..200),
+    ) {
+        use reaper_analysis::stats::ks_statistic;
+        let mut sorted = data;
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Against any CDF, D ∈ [0, 1]; against a constant CDF stuck at 0,
+        // the empirical CDF reaches 1, so D = 1.
+        let d = ks_statistic(&sorted, |x| reaper_analysis::special::phi(x)).unwrap();
+        prop_assert!((0.0..=1.0).contains(&d), "D {}", d);
+        let d_degenerate = ks_statistic(&sorted, |_| 0.0).unwrap();
+        prop_assert!((d_degenerate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_sample_mean_and_is_ordered(
+        data in proptest::collection::vec(-1e3..1e3f64, 2..100),
+        seed: u64,
+    ) {
+        use reaper_analysis::stats::{bootstrap_mean_ci, mean};
+        let (lo, hi) = bootstrap_mean_ci(&data, 400, 0.99, seed).unwrap();
+        prop_assert!(lo <= hi);
+        // At 99% confidence the sample mean itself is essentially always
+        // inside the percentile interval.
+        let m = mean(&data).unwrap();
+        prop_assert!(lo - 1e-9 <= m && m <= hi + 1e-9, "{} not in [{}, {}]", m, lo, hi);
     }
 }

@@ -50,9 +50,9 @@ pub fn run(scale: Scale) -> Table {
             format!("{ambient}°C"),
             common.len().to_string(),
             fmt_f(stats::mean(&mus).expect("nonempty")),
-            fmt_f(stats::percentile_sorted(&mus, 50.0)),
+            fmt_f(stats::percentile_sorted(&mus, 50.0).expect("nonempty")),
             fmt_f(stats::mean(&sigmas).expect("nonempty")),
-            fmt_f(stats::percentile_sorted(&sigmas, 50.0)),
+            fmt_f(stats::percentile_sorted(&sigmas, 50.0).expect("nonempty")),
         ]);
     }
     table.note("paper: both distributions shift left with increasing temperature");

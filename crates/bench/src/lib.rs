@@ -3,11 +3,13 @@
 //! and `EXPERIMENTS.md` for paper-vs-measured results).
 //!
 //! Each `figNN`/`tableN` module exposes a `run(Scale) -> Table` function;
-//! the `experiments` binary prints any or all of them:
+//! the `experiments` binary (hosted by `reaper-conformance`, which layers
+//! golden-table regression and paper-shape acceptance checks on top of
+//! this registry) prints any or all of them:
 //!
 //! ```text
-//! cargo run --release -p reaper-bench --bin experiments -- all
-//! cargo run --release -p reaper-bench --bin experiments -- fig09 --full
+//! cargo run --release -p reaper-conformance --bin experiments -- all
+//! cargo run --release -p reaper-conformance --bin experiments -- fig09 --full
 //! ```
 
 pub mod abl_axes;

@@ -67,6 +67,82 @@ impl Table {
     pub fn note<S: Into<String>>(&mut self, s: S) {
         self.notes.push(s.into());
     }
+
+    /// Serializes the table to the golden TSV format: `# title:` /
+    /// `# note:` comment lines plus tab-separated header and data rows.
+    /// The format round-trips through [`Table::from_tsv`] and diffs
+    /// cleanly under version control.
+    ///
+    /// # Panics
+    /// Panics if any cell, column, title, or note contains a tab or
+    /// newline (no cell produced by the experiment harnesses does).
+    pub fn to_tsv(&self) -> String {
+        let clean = |s: &str, what: &str| {
+            assert!(
+                !s.contains('\t') && !s.contains('\n'),
+                "{what} may not contain tabs or newlines: {s:?}"
+            );
+        };
+        clean(&self.title, "title");
+        let mut out = String::new();
+        out.push_str(&format!("# title: {}\n", self.title));
+        for c in &self.columns {
+            clean(c, "column");
+        }
+        out.push_str(&self.columns.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            for cell in row {
+                clean(cell, "cell");
+            }
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            clean(n, "note");
+            out.push_str(&format!("# note: {n}\n"));
+        }
+        out
+    }
+
+    /// Parses a table from the golden TSV format written by
+    /// [`Table::to_tsv`]. Unknown `#` comment lines are ignored, so
+    /// goldens can carry provenance headers.
+    ///
+    /// # Errors
+    /// Returns a description of the malformed line if the text has no
+    /// header row or a data row's width disagrees with the header.
+    pub fn from_tsv(text: &str) -> core::result::Result<Self, String> {
+        let mut table = Table::default();
+        let mut saw_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if let Some(title) = line.strip_prefix("# title: ") {
+                table.title = title.to_string();
+            } else if let Some(note) = line.strip_prefix("# note: ") {
+                table.notes.push(note.to_string());
+            } else if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            } else if !saw_header {
+                table.columns = line.split('\t').map(str::to_string).collect();
+                saw_header = true;
+            } else {
+                let row: Vec<String> = line.split('\t').map(str::to_string).collect();
+                if row.len() != table.columns.len() {
+                    return Err(format!(
+                        "line {}: row has {} cells, header has {} columns",
+                        lineno + 1,
+                        row.len(),
+                        table.columns.len()
+                    ));
+                }
+                table.rows.push(row);
+            }
+        }
+        if !saw_header {
+            return Err("no header row found".to_string());
+        }
+        Ok(table)
+    }
 }
 
 impl core::fmt::Display for Table {
@@ -143,6 +219,44 @@ mod tests {
     fn mismatched_row_rejected() {
         let mut t = Table::new("T", &["a"]);
         t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_everything() {
+        let mut t = Table::new("Fig. X — demo", &["vendor", "rate"]);
+        t.push_row(vec!["A".into(), "1.430e-7".into()]);
+        t.push_row(vec!["B".into(), "2.51x".into()]);
+        t.note("paper: something");
+        t.note("second note");
+        let text = t.to_tsv();
+        let back = Table::from_tsv(&text).unwrap();
+        assert_eq!(t, back);
+        // Stable under a second roundtrip.
+        assert_eq!(back.to_tsv(), text);
+    }
+
+    #[test]
+    fn tsv_ignores_unknown_comments_and_blank_lines() {
+        let text = "# provenance: seed 9\n# title: T\n\na\tb\n1\t2\n# note: n\n";
+        let t = Table::from_tsv(text).unwrap();
+        assert_eq!(t.title, "T");
+        assert_eq!(t.columns, vec!["a", "b"]);
+        assert_eq!(t.rows, vec![vec!["1".to_string(), "2".to_string()]]);
+        assert_eq!(t.notes, vec!["n"]);
+    }
+
+    #[test]
+    fn tsv_rejects_malformed_input() {
+        assert!(Table::from_tsv("# title: only\n").is_err());
+        assert!(Table::from_tsv("a\tb\n1\t2\t3\n").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "tabs or newlines")]
+    fn tsv_rejects_tab_in_cell() {
+        let mut t = Table::new("T", &["a"]);
+        t.push_row(vec!["has\ttab".into()]);
+        t.to_tsv();
     }
 
     #[test]

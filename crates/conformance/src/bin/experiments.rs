@@ -1,5 +1,5 @@
 //! Experiment runner: regenerates any or all of the paper's tables and
-//! figures.
+//! figures, and machine-checks them against the conformance layers.
 //!
 //! ```text
 //! experiments [--full] [--threads N] [--json[=PATH]] [name...]
@@ -7,19 +7,24 @@
 //! experiments --full fig09 fig13
 //! experiments --threads 4 all    # run experiments concurrently on 4 workers
 //! experiments --json all         # also emit BENCH_experiments.json
+//! experiments --check all        # diff tables against goldens/*.tsv
+//! experiments --bless fig06      # re-record a golden after an intentional change
+//! experiments --shape all        # paper-shape acceptance suite (Tier B)
 //! experiments --list
 //! ```
 //!
 //! Experiments run concurrently on the `reaper-exec` pool (thread count
 //! from `--threads`, else `REAPER_THREADS`, else available parallelism),
 //! but their tables are printed in selection order, and each table's
-//! contents are bit-identical at any thread count.
+//! contents are bit-identical at any thread count — which is what makes
+//! the golden-table regression of `--check` well-defined.
 
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use reaper_bench::{all_experiments, Scale, Table};
+use reaper_conformance::{all_shape_checks, bless_table, check_table, CheckOutcome};
 
 /// Prints to stdout, ignoring a closed pipe (`experiments --list | head`
 /// must not panic on EPIPE).
@@ -74,16 +79,75 @@ fn render_json(results: &[Completed], scale: Scale, threads: usize, total_ms: f6
     out
 }
 
+/// What to do with the generated tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Mode {
+    /// Print the tables (the historical behavior).
+    #[default]
+    Print,
+    /// Diff each table against its recorded golden (Tier A).
+    Check,
+    /// Re-record each table as the new golden.
+    Bless,
+}
+
+/// Runs the Tier B paper-shape acceptance checks selected by `names`.
+fn run_shape(names: &[String], scale: Scale) -> ExitCode {
+    let registry = all_shape_checks();
+    let selected: Vec<_> = if names.iter().any(|n| n == "all") {
+        registry
+    } else {
+        let mut picked = Vec::new();
+        for name in names {
+            match registry.iter().find(|(n, _)| n == name) {
+                Some(&entry) => picked.push(entry),
+                None => {
+                    eprintln!("unknown shape check `{name}`; available:");
+                    for (n, _) in &registry {
+                        eprintln!("  {n}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+    let start = Instant::now();
+    let reports = reaper_exec::par_map(&selected, |&(_, check)| check(scale));
+    let mut failed = 0usize;
+    for r in &reports {
+        emit!("{r}");
+        if !r.passed {
+            failed += 1;
+        }
+    }
+    emit!(
+        "  [{} shape check(s) in {:.1}ms, {failed} failed]",
+        reports.len(),
+        start.elapsed().as_secs_f64() * 1e3
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut names: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;
+    let mut mode = Mode::Print;
+    let mut shape = false;
     let mut args_iter = args.iter().peekable();
     while let Some(a) = args_iter.next() {
         match a.as_str() {
             "--full" => scale = Scale::Full,
             "--quick" => scale = Scale::Quick,
+            "--check" => mode = Mode::Check,
+            "--bless" => mode = Mode::Bless,
+            "--shape" => shape = true,
             "--json" => json_path = Some("BENCH_experiments.json".to_string()),
             "--threads" => {
                 let Some(n) = args_iter.next().and_then(|v| v.parse::<usize>().ok()) else {
@@ -121,8 +185,22 @@ fn main() -> ExitCode {
     }
     if names.is_empty() {
         eprintln!(
-            "usage: experiments [--full] [--threads N] [--json[=PATH]] <name...|all>   (see --list)"
+            "usage: experiments [--full] [--threads N] [--json[=PATH]] [--check|--bless|--shape] \
+             <name...|all>   (see --list)"
         );
+        return ExitCode::FAILURE;
+    }
+    if shape {
+        if mode != Mode::Print {
+            eprintln!("--shape cannot be combined with --check/--bless");
+            return ExitCode::FAILURE;
+        }
+        return run_shape(&names, scale);
+    }
+    if mode != Mode::Print && scale != Scale::Quick {
+        // Goldens pin the Quick-scale pinned-seed configuration; Full runs
+        // are for reading, not regression pinning.
+        eprintln!("goldens are recorded at Quick scale; drop --full for --check/--bless");
         return ExitCode::FAILURE;
     }
 
@@ -161,12 +239,73 @@ fn main() -> ExitCode {
     });
     let total_ms = start_all.elapsed().as_secs_f64() * 1e3;
 
-    for r in &results {
-        emit!("{}", r.table);
-        emit!(
-            "  [{} completed in {:.1}ms at {scale:?} scale]\n",
-            r.name, r.wall_ms
-        );
+    match mode {
+        Mode::Print => {
+            for r in &results {
+                emit!("{}", r.table);
+                emit!(
+                    "  [{} completed in {:.1}ms at {scale:?} scale]\n",
+                    r.name, r.wall_ms
+                );
+            }
+        }
+        Mode::Check => {
+            let mut failed = 0usize;
+            for r in &results {
+                match check_table(r.name, &r.table) {
+                    CheckOutcome::Match => {
+                        emit!("check {:<16} OK ({:.1}ms)", r.name, r.wall_ms);
+                    }
+                    CheckOutcome::MissingGolden(path) => {
+                        failed += 1;
+                        emit!(
+                            "check {:<16} MISSING golden {} — record it with `experiments --bless {}`",
+                            r.name,
+                            path.display(),
+                            r.name
+                        );
+                    }
+                    CheckOutcome::CorruptGolden(e) => {
+                        failed += 1;
+                        emit!("check {:<16} CORRUPT golden: {e}", r.name);
+                    }
+                    CheckOutcome::Mismatch(diffs) => {
+                        failed += 1;
+                        emit!("check {:<16} FAILED ({} mismatch(es)):", r.name, diffs.len());
+                        for d in diffs.iter().take(20) {
+                            emit!("    {d}");
+                        }
+                        if diffs.len() > 20 {
+                            emit!("    ... and {} more", diffs.len() - 20);
+                        }
+                        emit!(
+                            "    (intentional model change? re-record with `experiments --bless {}`)",
+                            r.name
+                        );
+                    }
+                }
+            }
+            emit!(
+                "  [{} golden check(s) in {total_ms:.1}ms, {failed} failed]",
+                results.len()
+            );
+            if failed > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
+        Mode::Bless => {
+            for r in &results {
+                match bless_table(r.name, &r.table) {
+                    Ok(path) => {
+                        emit!("bless {:<16} -> {}", r.name, path.display());
+                    }
+                    Err(e) => {
+                        eprintln!("bless {}: {e}", r.name);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        }
     }
     emit!(
         "  [{} experiment(s) in {:.1}ms wall, {threads} thread(s)]",

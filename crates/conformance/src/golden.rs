@@ -1,0 +1,244 @@
+//! Tier A: golden-table regression.
+//!
+//! Every experiment in the `reaper-bench` registry is deterministic at a
+//! pinned seed and thread-count independent, so its Quick-scale [`Table`]
+//! can be recorded once (`experiments --bless`) and re-checked on every
+//! change (`experiments --check`). A silent calibration regression in
+//! `reaper-retention` or `reaper-core` then fails loudly instead of
+//! shipping unnoticed in a 20-table wall of text.
+//!
+//! Goldens live in `goldens/<name>.tsv` at the repository root (override
+//! with `REAPER_GOLDENS_DIR`), in the [`Table::to_tsv`] format. Diffs use
+//! the [`tolerance`](crate::tolerance) policy: counts exact, floats under
+//! a relative epsilon.
+
+use std::path::PathBuf;
+
+use reaper_bench::Table;
+
+use crate::tolerance::{compare_cell, Tolerance};
+
+/// Directory holding the golden TSVs: `$REAPER_GOLDENS_DIR` if set, else
+/// `goldens/` at the workspace root (resolved relative to this crate's
+/// manifest, so it works from any working directory).
+pub fn golden_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("REAPER_GOLDENS_DIR") {
+        return PathBuf::from(dir);
+    }
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../goldens"))
+}
+
+/// Path of one experiment's golden file.
+pub fn golden_path(name: &str) -> PathBuf {
+    golden_dir().join(format!("{name}.tsv"))
+}
+
+/// The comparison policy for one experiment. All experiments currently
+/// share [`Tolerance::DEFAULT`]; the per-name hook exists so a future
+/// intentionally-noisier experiment can loosen its floats without
+/// loosening everyone else's.
+pub fn tolerance_for(_name: &str) -> Tolerance {
+    Tolerance::DEFAULT
+}
+
+/// One disagreement between a golden and a freshly generated table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Where in the table the disagreement is (e.g. `row 3, col "rate"`).
+    pub location: String,
+    /// Why the cells disagree.
+    pub reason: String,
+}
+
+impl core::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: {}", self.location, self.reason)
+    }
+}
+
+/// Structural + tolerant-cell diff of a fresh table against its golden.
+/// An empty result means conformance.
+pub fn diff_tables(golden: &Table, fresh: &Table, tol: Tolerance) -> Vec<Mismatch> {
+    let mut out = Vec::new();
+    let mut push = |location: String, reason: String| out.push(Mismatch { location, reason });
+
+    if let Some(reason) = compare_cell(&golden.title, &fresh.title, tol) {
+        push("title".to_string(), reason);
+    }
+    if golden.columns != fresh.columns {
+        push(
+            "columns".to_string(),
+            format!("{:?} != {:?}", golden.columns, fresh.columns),
+        );
+        return out; // cell-by-cell comparison is meaningless past this
+    }
+    if golden.rows.len() != fresh.rows.len() {
+        push(
+            "rows".to_string(),
+            format!("row count {} != {}", golden.rows.len(), fresh.rows.len()),
+        );
+        return out;
+    }
+    for (ri, (grow, frow)) in golden.rows.iter().zip(&fresh.rows).enumerate() {
+        for (ci, (g, f)) in grow.iter().zip(frow).enumerate() {
+            if let Some(reason) = compare_cell(g, f, tol) {
+                push(format!("row {ri}, col `{}`", golden.columns[ci]), reason);
+            }
+        }
+    }
+    if golden.notes.len() != fresh.notes.len() {
+        push(
+            "notes".to_string(),
+            format!("note count {} != {}", golden.notes.len(), fresh.notes.len()),
+        );
+        return out;
+    }
+    for (ni, (g, f)) in golden.notes.iter().zip(&fresh.notes).enumerate() {
+        if let Some(reason) = compare_cell(g, f, tol) {
+            push(format!("note {ni}"), reason);
+        }
+    }
+    out
+}
+
+/// Result of checking one experiment against its golden.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckOutcome {
+    /// Fresh table conforms to the golden.
+    Match,
+    /// No golden recorded yet; run `experiments --bless <name>`.
+    MissingGolden(PathBuf),
+    /// The golden file exists but cannot be parsed.
+    CorruptGolden(String),
+    /// The fresh table disagrees with the golden.
+    Mismatch(Vec<Mismatch>),
+}
+
+impl CheckOutcome {
+    /// True only for [`CheckOutcome::Match`].
+    pub fn passed(&self) -> bool {
+        matches!(self, CheckOutcome::Match)
+    }
+}
+
+/// Checks a freshly generated table against the recorded golden for
+/// `name`.
+pub fn check_table(name: &str, fresh: &Table) -> CheckOutcome {
+    let path = golden_path(name);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => return CheckOutcome::MissingGolden(path),
+    };
+    let golden = match Table::from_tsv(&text) {
+        Ok(t) => t,
+        Err(e) => return CheckOutcome::CorruptGolden(format!("{}: {e}", path.display())),
+    };
+    let diffs = diff_tables(&golden, fresh, tolerance_for(name));
+    if diffs.is_empty() {
+        CheckOutcome::Match
+    } else {
+        CheckOutcome::Mismatch(diffs)
+    }
+}
+
+/// Records `fresh` as the new golden for `name`, creating the goldens
+/// directory if needed. Returns the written path.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn bless_table(name: &str, fresh: &Table) -> std::io::Result<PathBuf> {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = golden_path(name);
+    let mut text = format!(
+        "# golden table `{name}` — Quick scale, pinned seeds.\n\
+         # Regenerate after an INTENTIONAL model change with:\n\
+         #   cargo run --release -p reaper-conformance --bin experiments -- --bless {name}\n"
+    );
+    text.push_str(&fresh.to_tsv());
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_table() -> Table {
+        let mut t = Table::new("Demo", &["vendor", "count", "rate"]);
+        t.push_row(vec!["A".into(), "2464".into(), "1.430e-7".into()]);
+        t.push_row(vec!["B".into(), "17".into(), "97.79%".into()]);
+        t.note("paper: ~10x per 10°C (k = 0.22)");
+        t
+    }
+
+    #[test]
+    fn identical_tables_have_no_diff() {
+        let t = demo_table();
+        assert!(diff_tables(&t, &t.clone(), Tolerance::DEFAULT).is_empty());
+    }
+
+    #[test]
+    fn within_tolerance_float_drift_accepted_count_drift_rejected() {
+        let golden = demo_table();
+        let mut fresh = demo_table();
+        fresh.rows[0][2] = "1.4301e-7".into();
+        assert!(diff_tables(&golden, &fresh, Tolerance::DEFAULT).is_empty());
+        fresh.rows[0][1] = "2465".into();
+        let diffs = diff_tables(&golden, &fresh, Tolerance::DEFAULT);
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].location.contains("col `count`"), "{}", diffs[0]);
+    }
+
+    #[test]
+    fn mutation_in_any_region_is_detected() {
+        // The golden layer must be sensitive to every region of the
+        // table — this is the in-tree half of the mutation smoke test.
+        let golden = demo_table();
+        for mutate in [
+            |t: &mut Table| t.title = "Demo2".into(),
+            |t: &mut Table| t.columns[2] = "rate2".into(),
+            |t: &mut Table| t.rows[1][2] = "90.00%".into(),
+            |t: &mut Table| t.rows.pop().map(|_| ()).unwrap(),
+            |t: &mut Table| t.notes[0] = "paper: ~10x per 10°C (k = 0.30)".into(),
+            |t: &mut Table| t.notes.clear(),
+        ] {
+            let mut fresh = golden.clone();
+            mutate(&mut fresh);
+            assert!(
+                !diff_tables(&golden, &fresh, Tolerance::DEFAULT).is_empty(),
+                "mutation escaped the diff: {fresh:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn check_and_bless_roundtrip_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("reaper-goldens-{}", std::process::id()));
+        // Serialize access to the env var against other tests in this
+        // binary (none touch it today, but cheap insurance).
+        std::env::set_var("REAPER_GOLDENS_DIR", &dir);
+        let t = demo_table();
+        assert!(matches!(
+            check_table("demo", &t),
+            CheckOutcome::MissingGolden(_)
+        ));
+        let path = bless_table("demo", &t).unwrap();
+        assert!(path.ends_with("demo.tsv"));
+        assert_eq!(check_table("demo", &t), CheckOutcome::Match);
+        let mut changed = t.clone();
+        changed.rows[0][1] = "9999".into();
+        assert!(matches!(
+            check_table("demo", &changed),
+            CheckOutcome::Mismatch(_)
+        ));
+        // A row wider than its header is unparseable, not just mismatched.
+        std::fs::write(&path, "a\tb\n1\t2\t3\n").unwrap();
+        assert!(matches!(
+            check_table("demo", &t),
+            CheckOutcome::CorruptGolden(_)
+        ));
+        std::env::remove_var("REAPER_GOLDENS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistical conformance harness for the REAPER reproduction.
+//!
+//! `reaper-bench` regenerates every table and figure of the paper, but a
+//! wall of 20 printed tables is not a safety net: a silent calibration
+//! regression in `reaper-retention` or `reaper-core` would ship unnoticed.
+//! This crate machine-checks the experiment registry at two tiers:
+//!
+//! * [`golden`] — **Tier A, golden-table regression**: every experiment's
+//!   Quick-scale [`Table`](reaper_bench::Table) is recorded at the pinned
+//!   seed into `goldens/<name>.tsv` and re-diffed on demand with
+//!   per-column numeric tolerances (counts exact, floats under a relative
+//!   epsilon). Catches *any* behavioral drift, intentional or not.
+//! * [`shape`] — **Tier B, paper-shape acceptance**: the reproduction
+//!   targets from DESIGN.md §2/§4 (Eq. 1 exponent bands, Fig. 4 power-law
+//!   quality, Fig. 6a CDF normality via Kolmogorov–Smirnov, the §6.1.2
+//!   headline bounds, Fig. 13's brute-force collapse ordering) encoded as
+//!   assertions over multi-seed runs with bootstrap confidence intervals.
+//!   Stays green across intentional recalibrations that preserve the
+//!   paper's claims.
+//!
+//! The `experiments` binary (hosted here so it can reach both tiers; the
+//! experiment implementations stay in `reaper-bench`) exposes the tiers
+//! as flags:
+//!
+//! ```text
+//! experiments --check all        # Tier A: diff every experiment against its golden
+//! experiments --bless fig06      # re-record one golden after an intentional change
+//! experiments --shape all        # Tier B: paper-shape acceptance suite
+//! ```
+
+pub mod golden;
+pub mod shape;
+pub mod tolerance;
+
+pub use golden::{bless_table, check_table, diff_tables, CheckOutcome, Mismatch};
+pub use shape::{all_shape_checks, ShapeReport};
+pub use tolerance::Tolerance;

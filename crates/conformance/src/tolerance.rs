@@ -1,0 +1,251 @@
+//! Tolerant cell comparison for golden-table diffs.
+//!
+//! Experiment tables mix exact values (counts, labels, units) with
+//! formatted floats. A golden diff must treat those differently:
+//!
+//! * **integer tokens** (`2464`, `-3`) compare exactly — a count that
+//!   moves by one is a real behavioral change;
+//! * **float tokens** (`1.430e-7`, `97.79%`, `2.51x`, `1.280s`) compare
+//!   under a relative/absolute epsilon, absorbing cross-platform libm
+//!   differences in `exp`/`ln` that can flip the last printed digit;
+//! * **everything else** (vendor names, `no ref`, `fit`) compares exactly.
+//!
+//! Tokens are whitespace-separated within a cell, so prose notes are
+//! compared word-by-word with the same numeric awareness.
+
+/// Numeric comparison policy for one experiment's golden diff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Relative epsilon for float tokens: `|a − b| ≤ rel · max(|a|, |b|)`.
+    pub rel: f64,
+    /// Absolute epsilon for float tokens near zero.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// The default policy: floats within 0.1 % relative (or 1e-9
+    /// absolute), integers exact. Tight enough that any real calibration
+    /// drift trips the check, loose enough to absorb printed-digit
+    /// rounding differences between platforms.
+    pub const DEFAULT: Tolerance = Tolerance {
+        rel: 1e-3,
+        abs: 1e-9,
+    };
+
+    /// True if floats `a` and `b` agree under this policy.
+    pub fn floats_agree(&self, a: f64, b: f64) -> bool {
+        if a == b {
+            return true;
+        }
+        let diff = (a - b).abs();
+        diff <= self.abs || diff <= self.rel * a.abs().max(b.abs())
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+/// One token split into an optional embedded number and the surrounding
+/// text, e.g. `"97.79%"` → prefix `""`, number `97.79`, suffix `"%"`;
+/// `"x^7.612"` → prefix `"x^"`, number `7.612`, suffix `""`.
+#[derive(Debug, Clone, PartialEq)]
+enum Token<'a> {
+    /// A token with no parseable number: compare the text exactly.
+    Text(&'a str),
+    /// An integer with non-numeric prefix/suffix (`"2464"`, `"8Gb"`).
+    Int(&'a str, i128, &'a str),
+    /// A float with non-numeric prefix/suffix (`"2.51x"`, `"x^7.612"`).
+    Float(&'a str, f64, &'a str),
+}
+
+/// Splits a token into its first embedded number and the text around it.
+/// A number here is `[+-]? digits [. digits]? ([eE][+-]?digits)?`; the
+/// token is an integer only if it has neither a decimal point nor an
+/// exponent. Prefix and suffix compare exactly, so `x^7.612` vs `y^7.612`
+/// still mismatches while the exponent itself stays tolerant.
+fn classify(token: &str) -> Token<'_> {
+    let bytes = token.as_bytes();
+    // First digit anywhere in the token; an immediately preceding sign
+    // belongs to the number (`x^-7.6`), anything before it is prefix.
+    let Some(first_digit) = bytes.iter().position(u8::is_ascii_digit) else {
+        return Token::Text(token); // no digits at all
+    };
+    let num_start = if first_digit > 0
+        && (bytes[first_digit - 1] == b'+' || bytes[first_digit - 1] == b'-')
+    {
+        first_digit - 1
+    } else {
+        first_digit
+    };
+    let mut i = first_digit;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' {
+        let frac_start = i + 1;
+        let mut j = frac_start;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > frac_start {
+            is_float = true;
+            i = j;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        let exp_start = j;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > exp_start {
+            is_float = true;
+            i = j;
+        }
+    }
+    let prefix = &token[..num_start];
+    let num = &token[num_start..i];
+    let suffix = &token[i..];
+    if is_float {
+        match num.parse::<f64>() {
+            Ok(v) => Token::Float(prefix, v, suffix),
+            Err(_) => Token::Text(token),
+        }
+    } else {
+        match num.parse::<i128>() {
+            Ok(v) => Token::Int(prefix, v, suffix),
+            Err(_) => Token::Text(token),
+        }
+    }
+}
+
+/// Compares two cells (or note lines) token-by-token under `tol`.
+/// Returns `None` on agreement, or a human-readable reason on mismatch.
+pub fn compare_cell(golden: &str, fresh: &str, tol: Tolerance) -> Option<String> {
+    let g_tokens: Vec<&str> = golden.split_whitespace().collect();
+    let f_tokens: Vec<&str> = fresh.split_whitespace().collect();
+    if g_tokens.len() != f_tokens.len() {
+        return Some(format!(
+            "token count {} != {} (`{golden}` vs `{fresh}`)",
+            g_tokens.len(),
+            f_tokens.len()
+        ));
+    }
+    for (g, f) in g_tokens.iter().zip(&f_tokens) {
+        match (classify(g), classify(f)) {
+            (Token::Int(gp, gv, gs), Token::Int(fp, fv, fs)) => {
+                if gv != fv || gp != fp || gs != fs {
+                    return Some(format!("integer `{g}` != `{f}` (counts compare exactly)"));
+                }
+            }
+            (Token::Float(gp, gv, gs), Token::Float(fp, fv, fs)) => {
+                if gp != fp || gs != fs {
+                    return Some(format!("unit text differs in `{g}` vs `{f}`"));
+                }
+                if !tol.floats_agree(gv, fv) {
+                    return Some(format!(
+                        "float `{g}` vs `{f}` outside tolerance (rel {:.0e}, abs {:.0e})",
+                        tol.rel, tol.abs
+                    ));
+                }
+            }
+            // An integer in one run and a float in the other (e.g. `0`
+            // vs `0.001`) is a formatting-class change: compare the
+            // numeric values under the float policy, requiring equal
+            // surrounding text.
+            (Token::Int(gp, gv, gs), Token::Float(fp, fv, fs))
+            | (Token::Float(fp, fv, fs), Token::Int(gp, gv, gs)) => {
+                if gp != fp || gs != fs || !tol.floats_agree(gv as f64, fv) {
+                    return Some(format!("numeric `{g}` vs `{f}` outside tolerance"));
+                }
+            }
+            (Token::Text(gt), Token::Text(ft)) => {
+                if gt != ft {
+                    return Some(format!("text `{gt}` != `{ft}`"));
+                }
+            }
+            _ => {
+                return Some(format!("token class changed: `{g}` vs `{f}`"));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: Tolerance = Tolerance::DEFAULT;
+
+    #[test]
+    fn exact_text_and_integer_matching() {
+        assert_eq!(compare_cell("Vendor A", "Vendor A", TOL), None);
+        assert!(compare_cell("Vendor A", "Vendor B", TOL).is_some());
+        assert_eq!(compare_cell("2464", "2464", TOL), None);
+        assert!(compare_cell("2464", "2465", TOL).is_some(), "counts exact");
+        assert_eq!(compare_cell("8Gb", "8Gb", TOL), None);
+        assert!(compare_cell("8Gb", "16Gb", TOL).is_some());
+    }
+
+    #[test]
+    fn floats_compare_with_tolerance() {
+        assert_eq!(compare_cell("1.430e-7", "1.4301e-7", TOL), None);
+        assert!(compare_cell("1.430e-7", "1.5e-7", TOL).is_some());
+        assert_eq!(compare_cell("97.79%", "97.78%", TOL), None);
+        assert!(compare_cell("97.79%", "90.00%", TOL).is_some());
+        assert_eq!(compare_cell("2.51x", "2.512x", TOL), None);
+        assert!(compare_cell("2.51x", "2.51s", TOL).is_some(), "suffix");
+        assert_eq!(compare_cell("-0.123", "-0.123", TOL), None);
+    }
+
+    #[test]
+    fn near_zero_uses_absolute_epsilon() {
+        assert_eq!(compare_cell("0.0", "1.0e-10", TOL), None);
+        assert!(compare_cell("0.0", "1.0e-3", TOL).is_some());
+    }
+
+    #[test]
+    fn mixed_prose_compares_word_by_word() {
+        let g = "fit y = 1.234e-4 * x^7.612 over 4 points";
+        let f = "fit y = 1.2341e-4 * x^7.613 over 4 points";
+        assert_eq!(compare_cell(g, f, TOL), None);
+        let f_bad = "fit y = 1.234e-4 * x^6.000 over 4 points";
+        assert!(compare_cell(g, f_bad, TOL).is_some());
+        let f_count = "fit y = 1.234e-4 * x^7.612 over 5 points";
+        assert!(compare_cell(g, f_count, TOL).is_some());
+    }
+
+    #[test]
+    fn token_count_mismatch_reported() {
+        assert!(compare_cell("a b", "a", TOL).is_some());
+    }
+
+    #[test]
+    fn classifier_edge_cases() {
+        assert_eq!(classify("x^7.6"), Token::Float("x^", 7.6, ""));
+        assert_eq!(classify("x^-7.6"), Token::Float("x^", -7.6, ""));
+        assert_eq!(classify("-3"), Token::Int("", -3, ""));
+        assert_eq!(classify("1.280s"), Token::Float("", 1.28, "s"));
+        assert_eq!(classify("1e"), Token::Int("", 1, "e")); // bare `e` is a suffix
+        assert_eq!(classify("3."), Token::Int("", 3, ".")); // trailing dot is a suffix
+        assert_eq!(classify("+0.5"), Token::Float("", 0.5, ""));
+        assert_eq!(classify("no"), Token::Text("no"));
+        // Prefixes compare exactly, so a changed variable name is caught
+        // even when the numeric part agrees.
+        assert!(compare_cell("x^7.612", "y^7.612", TOL).is_some());
+    }
+
+    #[test]
+    fn int_vs_float_class_change_uses_value() {
+        assert_eq!(compare_cell("0", "0.0", TOL), None);
+        assert!(compare_cell("0", "0.5", TOL).is_some());
+    }
+}

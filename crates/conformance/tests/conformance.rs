@@ -1,0 +1,71 @@
+//! End-to-end conformance: the committed goldens must match a fresh run,
+//! and every paper-shape acceptance check must pass at Quick scale.
+//!
+//! These tests are the in-tree half of the repo's regression safety net;
+//! `experiments --check all` / `--shape all` are the CLI half.
+
+use reaper_bench::{all_experiments, Scale};
+use reaper_conformance::{all_shape_checks, check_table, CheckOutcome};
+
+/// Cheap experiments re-checked against their committed goldens on every
+/// `cargo test`. The full 20-experiment sweep runs via
+/// `experiments --check all` in `scripts/verify.sh` and CI; this subset
+/// keeps the unit-test cycle fast while still exercising the whole
+/// golden pipeline (file IO, TSV parsing, tolerant diff).
+const FAST_SUBSET: &[&str] = &[
+    "eq1",
+    "fig06",
+    "table1",
+    "longevity",
+    "abl_scrubbing",
+];
+
+#[test]
+fn committed_goldens_match_fresh_quick_runs() {
+    let registry = all_experiments();
+    for &name in FAST_SUBSET {
+        let (_, runner) = registry
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("experiment `{name}` missing from registry"));
+        let table = runner(Scale::Quick);
+        match check_table(name, &table) {
+            CheckOutcome::Match => {}
+            CheckOutcome::MissingGolden(path) => panic!(
+                "no golden for `{name}` at {} — record it with `experiments --bless {name}`",
+                path.display()
+            ),
+            CheckOutcome::CorruptGolden(e) => panic!("corrupt golden for `{name}`: {e}"),
+            CheckOutcome::Mismatch(diffs) => {
+                let lines: Vec<String> = diffs.iter().map(ToString::to_string).collect();
+                panic!(
+                    "`{name}` drifted from its golden:\n  {}\n(intentional? `experiments --bless {name}`)",
+                    lines.join("\n  ")
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_experiment_has_a_committed_golden() {
+    for (name, _) in all_experiments() {
+        let path = reaper_conformance::golden::golden_path(name);
+        assert!(
+            path.exists(),
+            "experiment `{name}` has no golden at {} — run `experiments --bless {name}`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn paper_shape_acceptance_suite_passes_at_quick_scale() {
+    for (name, check) in all_shape_checks() {
+        let report = check(Scale::Quick);
+        assert!(
+            report.passed,
+            "shape check `{name}` failed:\n{report}"
+        );
+    }
+}

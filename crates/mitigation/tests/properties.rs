@@ -7,6 +7,7 @@ use reaper_mitigation::archshield::ArchShield;
 use reaper_mitigation::bloom::BloomFilter;
 use reaper_mitigation::raidr::Raidr;
 use reaper_mitigation::rowmap::RowRemapper;
+use reaper_mitigation::secded::{DecodeOutcome, Secded};
 
 proptest! {
     #[test]
@@ -80,5 +81,43 @@ proptest! {
         // Savings stay within physical bounds.
         let s = raidr.refresh_savings_vs_64ms();
         prop_assert!((0.0..1.0).contains(&s));
+    }
+
+    /// The SECDED safety contract over generated codewords: up to two bit
+    /// flips NEVER silently corrupt data. A single flip must decode back
+    /// to the original word; a double flip must be flagged uncorrectable,
+    /// not miscorrected into a plausible-but-wrong payload.
+    #[test]
+    fn secded_never_miscorrects_up_to_two_flips(
+        data: u64,
+        flips in proptest::collection::btree_set(0u32..72, 0..3),
+    ) {
+        let mut cw = Secded::encode(data);
+        for &pos in &flips {
+            cw = cw.flip(pos);
+        }
+        match flips.len() {
+            0 => prop_assert_eq!(Secded::decode(cw), DecodeOutcome::Clean(data)),
+            1 => prop_assert_eq!(Secded::decode(cw).data(), Some(data)),
+            _ => prop_assert_eq!(Secded::decode(cw), DecodeOutcome::Uncorrectable),
+        }
+    }
+
+    /// Beyond its design distance, SECDED may miscorrect a triple error —
+    /// but the odd overall parity still keeps it from ever reporting the
+    /// word as clean, so a scrubber always sees that *something* flipped.
+    #[test]
+    fn secded_triple_error_is_never_reported_clean(
+        data: u64,
+        flips in proptest::collection::btree_set(0u32..72, 3..4),
+    ) {
+        let mut cw = Secded::encode(data);
+        for &pos in &flips {
+            cw = cw.flip(pos);
+        }
+        prop_assert!(
+            !matches!(Secded::decode(cw), DecodeOutcome::Clean(_)),
+            "3-bit error decoded as clean"
+        );
     }
 }

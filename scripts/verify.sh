@@ -11,9 +11,15 @@ echo "== tier-1: release build =="
 cargo build --release --offline
 
 echo "== tier-1: tests =="
-cargo test -q --offline
+cargo test -q --offline --workspace
 
 echo "== smoke: headline experiment (quick scale) =="
-cargo run --release --offline -p reaper-bench --bin experiments -- headline --quick
+cargo run --release --offline -p reaper-conformance --bin experiments -- headline --quick
+
+echo "== conformance: golden-table regression (Tier A) =="
+cargo run --release --offline -p reaper-conformance --bin experiments -- --check all
+
+echo "== conformance: paper-shape acceptance (Tier B) =="
+cargo run --release --offline -p reaper-conformance --bin experiments -- --shape all
 
 echo "verify: OK"
