@@ -91,15 +91,21 @@ impl Summary {
             return Err(AnalysisError::InsufficientData { needed: 1, got: 0 });
         }
         let mut sorted = data.to_vec();
+        // lint: allow(panic) documented contract: summary stats over NaN-free data
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary data"));
-        let pct = |p| percentile_sorted(&sorted, p).expect("nonempty, p in range");
+        let pct = |p| {
+            percentile_sorted(&sorted, p)
+                .expect("invariant: data is non-empty and p is a literal in [0, 100]")
+        };
         Ok(Self {
             min: sorted[0],
             q1: pct(25.0),
             median: pct(50.0),
             q3: pct(75.0),
-            max: *sorted.last().expect("nonempty"),
-            mean: mean(data).expect("nonempty"),
+            max: *sorted
+                .last()
+                .expect("invariant: emptiness is rejected at function entry"),
+            mean: mean(data).expect("invariant: emptiness is rejected at function entry"),
             count: data.len(),
         })
     }
@@ -279,7 +285,10 @@ pub fn bootstrap_mean_ci(
         }
         means.push(sum / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    means.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("invariant: resample means of finite data are finite")
+    });
     let tail = (1.0 - confidence) / 2.0 * 100.0;
     let lo = percentile_sorted(&means, tail)?;
     let hi = percentile_sorted(&means, 100.0 - tail)?;

@@ -2,6 +2,10 @@
 //! reach profiling (simulated-runtime-per-coverage is reported by the
 //! figure harnesses; these benches measure host compute cost).
 
+// Bench harness code may panic/cast freely — a panic here is the bench
+// failing, and nothing feeds experiment output.
+#![allow(clippy::expect_used, clippy::indexing_slicing, clippy::cast_possible_truncation)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use reaper_core::conditions::{ReachConditions, TargetConditions};

@@ -36,7 +36,8 @@ pub fn run(scale: Scale) -> Table {
                 points.push((t, (total as f64).ln()));
             }
         }
-        let fit = LinearFit::fit(&points).expect("enough temperature points");
+        let fit = LinearFit::fit(&points)
+            .expect("invariant: the fixed temperature sweep yields >= 2 points per vendor");
         table.push_row(vec![
             vendor.to_string(),
             fmt_f(fit.slope),

@@ -6,7 +6,7 @@
 //! Reproduces Observation 1: most cells failing at an interval fail again
 //! at higher intervals (repeat ≫ non-repeat).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reaper_dram_model::{Celsius, Ms};
 
@@ -38,10 +38,10 @@ pub fn run(scale: Scale) -> Table {
     let per_chip = reaper_exec::par_map(pop.chips(), |chip| {
         let mut chip = chip.clone();
         let mut counts = vec![(0u64, 0u64, 0u64); intervals.len()];
-        let mut seen_lower: HashSet<u64> = HashSet::new();
+        let mut seen_lower: BTreeSet<u64> = BTreeSet::new();
         for (ii, &interval) in intervals.iter().enumerate() {
             let profile = profile_union(&mut chip, Ms::new(interval), ambient, iterations);
-            let here: HashSet<u64> = profile.iter().collect();
+            let here: BTreeSet<u64> = profile.iter().collect();
             let repeat = here.intersection(&seen_lower).count() as u64;
             let unique = here.len() as u64 - repeat;
             let nonrepeat = seen_lower.difference(&here).count() as u64;

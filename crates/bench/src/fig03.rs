@@ -69,7 +69,9 @@ pub fn run(scale: Scale) -> Table {
     // Steady-state accumulation rate over the second half of the campaign.
     let half = stats_log.len() / 2;
     let (h0, c0, ..) = stats_log[half];
-    let (h1, c1, ..) = *stats_log.last().expect("nonempty");
+    let (h1, c1, ..) = *stats_log
+        .last()
+        .expect("invariant: the campaign loop always logs at least one entry");
     let rate_per_hour = (c1 - c0) as f64 / (h1 - h0);
     table.note(format!(
         "steady-state accumulation: {:.1} cells/hour (paper: ~180 cells/hour ≙ 1 cell / 20 s at full 2GB capacity; \

@@ -42,7 +42,7 @@ pub fn run(scale: Scale) -> Table {
             let interval = Ms::from_secs(t_s);
 
             // Warm-up: discover the base set without advancing time.
-            let mut seen = std::collections::HashSet::new();
+            let mut seen = std::collections::BTreeSet::new();
             for it in 0..warmup_iters {
                 for p in DataPattern::standard_set(it) {
                     seen.extend(chip.retention_trial(p, interval, temp).into_vec());
@@ -70,7 +70,8 @@ pub fn run(scale: Scale) -> Table {
                 String::new(),
             ]);
         }
-        let fit = PowerLawFit::fit(&points).expect("positive rates");
+        let fit = PowerLawFit::fit(&points)
+            .expect("invariant: every point's rate is clamped to >= 1e-3 above");
         table.push_row(vec![
             vendor.to_string(),
             "fit".to_string(),

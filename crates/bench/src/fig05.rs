@@ -5,7 +5,7 @@
 //! reaches — full coverage on its own; a robust profiler needs multiple
 //! patterns.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use reaper_dram_model::{Celsius, DataPattern, Ms, PatternFamily};
 
@@ -31,8 +31,8 @@ pub fn run(scale: Scale) -> Table {
     let temp = dram_temp(Celsius::new(45.0));
     let interval = Ms::new(2048.0);
 
-    let mut per_family: Vec<HashSet<u64>> = vec![HashSet::new(); PatternFamily::ALL.len()];
-    let mut grand: HashSet<u64> = HashSet::new();
+    let mut per_family: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); PatternFamily::ALL.len()];
+    let mut grand: BTreeSet<u64> = BTreeSet::new();
     let mut rows: Vec<(u64, Vec<f64>)> = Vec::new();
 
     for it in 0..iterations {

@@ -27,7 +27,8 @@ pub fn run(scale: Scale) -> Table {
     let fits = estimate_cell_fits(&chip, Celsius::new(40.0), &intervals, trials);
     assert!(!fits.is_empty(), "no cells could be fitted");
 
-    let mut hist = Histogram::new(0.0, 500.0, 10).expect("valid histogram");
+    let mut hist =
+        Histogram::new(0.0, 500.0, 10).expect("invariant: literal bounds are valid (0 < 500, 10 bins)");
     hist.add_all(fits.iter().map(|f| f.sigma * 1e3));
     for (center, count) in hist.iter() {
         table.push_row(vec![

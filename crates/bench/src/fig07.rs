@@ -5,7 +5,7 @@
 //! Methodology: fit each cell's CDF at 40 °C, then re-fit the *same cells*
 //! at higher temperatures and compare the parameter distributions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reaper_analysis::stats;
 use reaper_dram_model::Celsius;
@@ -27,32 +27,37 @@ pub fn run(scale: Scale) -> Table {
 
     let temps = [40.0, 45.0, 50.0, 55.0];
     // Each temperature characterizes an independent clone of the chip.
-    let maps: Vec<HashMap<u64, CellFit>> = reaper_exec::par_map(&temps, |&a| {
+    let maps: Vec<BTreeMap<u64, CellFit>> = reaper_exec::par_map(&temps, |&a| {
         estimate_cell_fit_map(&chip, Celsius::new(a), &intervals, trials)
     });
 
-    // Cells fitted at every temperature — the trackable subset. Sorted so
-    // downstream statistics see a HashMap-order-independent sequence.
-    let mut common: Vec<u64> = maps[0]
+    // Cells fitted at every temperature — the trackable subset, in
+    // ascending cell-index order straight from the BTreeMap.
+    let common: Vec<u64> = maps[0]
         .keys()
         .filter(|c| maps.iter().all(|m| m.contains_key(c)))
         .copied()
         .collect();
-    common.sort_unstable();
     assert!(!common.is_empty(), "no common cells across temperatures");
 
     for (mi, &ambient) in temps.iter().enumerate() {
         let mut mus: Vec<f64> = common.iter().map(|c| maps[mi][c].mu).collect();
         let mut sigmas: Vec<f64> = common.iter().map(|c| maps[mi][c].sigma * 1e3).collect();
-        mus.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        sigmas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        mus.sort_by(|a, b| a.partial_cmp(b).expect("invariant: fitted params are finite"));
+        sigmas.sort_by(|a, b| a.partial_cmp(b).expect("invariant: fitted params are finite"));
         table.push_row(vec![
             format!("{ambient}°C"),
             common.len().to_string(),
-            fmt_f(stats::mean(&mus).expect("nonempty")),
-            fmt_f(stats::percentile_sorted(&mus, 50.0).expect("nonempty")),
-            fmt_f(stats::mean(&sigmas).expect("nonempty")),
-            fmt_f(stats::percentile_sorted(&sigmas, 50.0).expect("nonempty")),
+            fmt_f(stats::mean(&mus).expect("invariant: common is non-empty (asserted above)")),
+            fmt_f(
+                stats::percentile_sorted(&mus, 50.0)
+                    .expect("invariant: common is non-empty (asserted above)"),
+            ),
+            fmt_f(stats::mean(&sigmas).expect("invariant: common is non-empty (asserted above)")),
+            fmt_f(
+                stats::percentile_sorted(&sigmas, 50.0)
+                    .expect("invariant: common is non-empty (asserted above)"),
+            ),
         ]);
     }
     table.note("paper: both distributions shift left with increasing temperature");

@@ -8,7 +8,7 @@
 //! across every temperature ("combining the normal distributions of
 //! individual cell failures from a representative chip").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reaper_analysis::stats;
 use reaper_dram_model::Celsius;
@@ -30,23 +30,23 @@ pub fn run(scale: Scale) -> Table {
 
     let temps = [40.0, 45.0, 50.0, 55.0];
     // Each temperature characterizes an independent clone of the chip.
-    let maps: Vec<HashMap<u64, CellFit>> = reaper_exec::par_map(&temps, |&a| {
+    let maps: Vec<BTreeMap<u64, CellFit>> = reaper_exec::par_map(&temps, |&a| {
         estimate_cell_fit_map(&chip, Celsius::new(a), &intervals, trials)
     });
-    // Sorted so the float summations below are HashMap-order-independent.
-    let mut common: Vec<u64> = maps[0]
+    // BTreeMap keys iterate sorted, so the float summations below fold in
+    // a fixed order.
+    let common: Vec<u64> = maps[0]
         .keys()
         .filter(|c| maps.iter().all(|m| m.contains_key(c)))
         .copied()
         .collect();
-    common.sort_unstable();
     assert!(!common.is_empty(), "no common cells across temperatures");
 
     let mut means = Vec::new();
     for (mi, &ambient) in temps.iter().enumerate() {
         let mus: Vec<f64> = common.iter().map(|c| maps[mi][c].mu).collect();
-        let mean = stats::mean(&mus).expect("nonempty");
-        let sd = stats::std_dev(&mus).expect("nonempty");
+        let mean = stats::mean(&mus).expect("invariant: common is non-empty (asserted above)");
+        let sd = stats::std_dev(&mus).expect("invariant: common is non-empty (asserted above)");
         means.push(mean);
         table.push_row(vec![
             format!("{ambient}°C"),
@@ -57,13 +57,13 @@ pub fn run(scale: Scale) -> Table {
     }
 
     // Interval-per-degree equivalence over the measured span.
-    let span = temps.last().unwrap() - temps[0];
-    let shift = means[0] - means.last().unwrap();
+    let span = temps.last().expect("invariant: temps is a fixed non-empty array") - temps[0];
+    let shift = means[0] - means.last().expect("invariant: means is a fixed non-empty array");
     table.note(format!(
         "equivalence: {:.2} s of interval per 10°C over {}–{}°C (paper: ~1 s ≙ 10°C at 45°C)",
         shift / span * 10.0,
         temps[0],
-        temps.last().unwrap()
+        temps.last().expect("invariant: temps is a fixed non-empty array")
     ));
     table.note(format!("{} cells tracked across all temperatures", common.len()));
     table

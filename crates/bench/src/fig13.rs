@@ -12,7 +12,7 @@
 //!    speedup), applied via Eq. 8;
 //! 4. power: command-level DRAM power from the same simulations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reaper_core::ecc::EccStrength;
 use reaper_core::longevity::LongevityModel;
@@ -83,7 +83,7 @@ pub fn run(scale: Scale) -> Table {
         let alone_ipcs = reaper_exec::par_map(&uniq, |&(_, trace)| {
             simulate(&base_cfg, std::slice::from_ref(trace), instructions).ipc[0]
         });
-        let alone: HashMap<&'static str, f64> =
+        let alone: BTreeMap<&'static str, f64> =
             uniq.iter().map(|&(n, _)| n).zip(alone_ipcs).collect();
         let ws_of = |cfg: &SimConfig, mix: &WorkloadMix| {
             let r = simulate(cfg, mix.traces(), instructions);
@@ -115,7 +115,7 @@ pub fn run(scale: Scale) -> Table {
                         1.0, // paper: full coverage assumed for longevity
                     )
                     .longevity()
-                    .expect("full coverage keeps the profile viable");
+                    .expect("invariant: full coverage keeps the longevity model viable");
                     let round = OverheadModel::new(Ms::new(t), 6, 16, module_bytes(gbit));
                     let brute = round.time_fraction(longevity);
                     (brute, (brute / REAPER_SPEEDUP).min(1.0))

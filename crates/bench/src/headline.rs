@@ -65,7 +65,7 @@ pub fn run(scale: Scale) -> Table {
                 .points
                 .iter()
                 .find(|p| p.reach == *reach)
-                .expect("configured reach point measured");
+                .expect("invariant: every configured reach point is measured by the sweep above");
             sums[i].0 += p.coverage;
             sums[i].1 += p.false_positive_rate;
             sums[i].2 += p.speedup();

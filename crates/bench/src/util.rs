@@ -75,7 +75,8 @@ pub struct CellFit {
 /// the random pattern and its inverse, count per-cell failures, and fit
 /// each cell's empirical CDF by interpolating its 16/50/84 % crossings.
 ///
-/// Only cells whose CDF is fully resolved inside the grid are returned.
+/// Only cells whose CDF is fully resolved inside the grid are returned, in
+/// ascending cell-index order.
 pub fn estimate_cell_fits(
     chip: &SimulatedChip,
     ambient: Celsius,
@@ -89,17 +90,22 @@ pub fn estimate_cell_fits(
 
 /// Like [`estimate_cell_fits`] but keyed by cell index, so callers can
 /// track the *same* cells across conditions (Fig. 7's methodology).
+///
+/// The map is a `BTreeMap` on purpose: every float reduction downstream
+/// (Fig. 6's mean asymmetry, the lognormal σ fit) folds over its iteration
+/// order, and a hash map's per-instance seed would make those sums vary in
+/// the last ulps from run to run.
 pub fn estimate_cell_fit_map(
     chip: &SimulatedChip,
     ambient: Celsius,
     intervals_s: &[f64],
     trials: u64,
-) -> std::collections::HashMap<u64, CellFit> {
-    use std::collections::HashMap;
+) -> std::collections::BTreeMap<u64, CellFit> {
+    use std::collections::BTreeMap;
     let temp = dram_temp(ambient);
     let mut chip = chip.clone();
     // fail_counts[cell] = count per interval index.
-    let mut fail_counts: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut fail_counts: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
     for (ii, &t) in intervals_s.iter().enumerate() {
         for trial in 0..trials {
             let p = if trial % 2 == 0 {
@@ -130,11 +136,15 @@ pub fn estimate_cell_fit_map(
         None
     };
 
-    let mut fits = HashMap::new();
+    let mut fits = BTreeMap::new();
     for (&cell, counts) in &fail_counts {
         // Trials per point: each interval saw `trials` trials, but polarity
         // gating means a cell is only exposed on ~half of them.
-        let max_count = *counts.iter().max().expect("nonempty grid") as f64;
+        let max_count = *counts
+            .iter()
+            .max()
+            .expect("invariant: counts has one slot per grid interval, and cells only appear when the grid is nonempty")
+            as f64;
         if max_count < trials as f64 * 0.35 {
             continue; // CDF never saturates inside the grid
         }
@@ -176,6 +186,24 @@ mod tests {
         let four = profile_union(&mut chip, Ms::new(2048.0), Celsius::new(45.0), 4).len();
         assert!(four >= one);
         assert!(one > 0);
+    }
+
+    #[test]
+    fn cell_fit_order_is_deterministic_across_calls() {
+        // Regression: the fit map used to be HashMap-backed, so
+        // `into_values()` order — and every float reduction folded over it
+        // downstream — varied with the map's per-instance hash seed.
+        let chip = representative_chip(Scale::Quick);
+        let intervals: Vec<f64> = (1..=12).map(|i| 0.1 + i as f64 * 0.25).collect();
+        let a = estimate_cell_fits(&chip, Celsius::new(45.0), &intervals, 4);
+        let b = estimate_cell_fits(&chip, Celsius::new(45.0), &intervals, 4);
+        assert!(!a.is_empty(), "no cells fitted");
+        assert_eq!(a, b, "fit order must not vary between identical calls");
+        let map = estimate_cell_fit_map(&chip, Celsius::new(45.0), &intervals, 4);
+        let keys: Vec<u64> = map.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "fit map iterates in cell-index order");
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! contents are bit-identical at any thread count — which is what makes
 //! the golden-table regression of `--check` well-defined.
 
+// The terminal is this binary's output surface: tables go to stdout (via
+// a locked writer), progress and usage errors to stderr.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;

@@ -96,7 +96,10 @@ pub fn all_shape_checks() -> Vec<ShapeCheck> {
 
 /// Parses a `"97.79%"`-style cell into a fraction.
 fn pct(s: &str) -> f64 {
-    s.trim_end_matches('%').parse::<f64>().expect("percent cell") / 100.0
+    s.trim_end_matches('%')
+        .parse::<f64>()
+        .expect("invariant: cells come from fmt_pct and always parse")
+        / 100.0
 }
 
 /// Half-width of the acceptance band around each paper Eq. 1 coefficient.
@@ -134,11 +137,14 @@ pub fn eq1_exponents(scale: Scale) -> ShapeReport {
                     points.push((t, (total as f64).ln()));
                 }
             }
-            LinearFit::fit(&points).expect("temperature points").slope
+            LinearFit::fit(&points)
+                .expect("invariant: the fixed 4-temperature sweep yields >= 2 points")
+                .slope
         });
         let paper_k = vendor.temperature_coefficient();
         let mean_k = fitted.iter().sum::<f64>() / fitted.len() as f64;
-        let (lo, hi) = bootstrap_mean_ci(&fitted, 1000, 0.95, 0x51A9E).expect("nonempty");
+        let (lo, hi) = bootstrap_mean_ci(&fitted, 1000, 0.95, 0x51A9E)
+            .expect("invariant: one fitted slope per seed, seeds are non-empty");
         let band = (paper_k - EQ1_BAND, paper_k + EQ1_BAND);
         let overlaps = lo <= band.1 && hi >= band.0;
         report.assert(
@@ -175,9 +181,14 @@ pub fn fig04_power_law(scale: Scale) -> ShapeReport {
                     .trim_end_matches('s')
                     .parse::<f64>()
                     .map(|v| if r[1].ends_with("ms") { v / 1e3 } else { v })
-                    .expect("interval cell");
+                    .expect("invariant: interval cells come from Ms::to_string");
                 // Clamp zero rates exactly as fig04 does before fitting.
-                (interval_s, r[2].parse::<f64>().expect("rate cell").max(1e-3))
+                (
+                    interval_s,
+                    r[2].parse::<f64>()
+                        .expect("invariant: rate cells come from fmt_f")
+                        .max(1e-3),
+                )
             })
             .collect();
         let monotone = points.windows(2).all(|w| w[1].1 >= w[0].1);
@@ -185,7 +196,8 @@ pub fn fig04_power_law(scale: Scale) -> ShapeReport {
             monotone,
             format!("{vendor}: accumulation rate non-decreasing in interval: {points:?}"),
         );
-        let fit = PowerLawFit::fit(&points).expect("positive rates");
+        let fit = PowerLawFit::fit(&points)
+            .expect("invariant: every point's rate is clamped to >= 1e-3 above");
         report.assert(
             fit.r_squared > 0.8,
             format!("{vendor}: log–log R² {:.3} > 0.8", fit.r_squared),
@@ -217,7 +229,9 @@ pub fn fig06_normality(scale: Scale) -> ShapeReport {
     // Per-cell failure counts over the interval grid (random pattern and
     // its inverse, as in Fig. 6's methodology).
     let mut chip = chip;
-    let mut fail_counts: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+    // BTreeMap: `exposed_trials` below keeps the *last* visited cell's
+    // max count, so iteration order must be fixed across runs.
+    let mut fail_counts: std::collections::BTreeMap<u64, Vec<u32>> = std::collections::BTreeMap::new();
     for (ii, &t) in intervals.iter().enumerate() {
         for trial in 0..trials {
             let p = if trial % 2 == 0 {
@@ -252,7 +266,11 @@ pub fn fig06_normality(scale: Scale) -> ShapeReport {
     let mut distances: Vec<f64> = Vec::new();
     let mut exposed_trials = 0.0_f64;
     for counts in fail_counts.values() {
-        let max_count = *counts.iter().max().expect("nonempty grid") as f64;
+        let max_count = *counts
+            .iter()
+            .max()
+            .expect("invariant: counts has one slot per grid interval")
+            as f64;
         if max_count < trials as f64 * 0.35 {
             continue; // CDF does not saturate inside the grid
         }
@@ -282,7 +300,8 @@ pub fn fig06_normality(scale: Scale) -> ShapeReport {
     }
 
     let n_eff = exposed_trials.max(1.0) as usize;
-    let crit = ks_critical_value(n_eff, 0.05).expect("valid alpha");
+    let crit = ks_critical_value(n_eff, 0.05)
+        .expect("invariant: alpha is the literal 0.05 and n_eff >= 1");
     let inside = distances.iter().filter(|&&d| d <= crit).count();
     let frac_inside = inside as f64 / distances.len() as f64;
     report.assert(
@@ -295,9 +314,10 @@ pub fn fig06_normality(scale: Scale) -> ShapeReport {
         ),
     );
     let mut sorted = distances.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("invariant: KS distances are finite"));
     let median_d = sorted[sorted.len() / 2];
-    let median_p = ks_p_value(median_d.min(1.0), n_eff).expect("valid inputs");
+    let median_p = ks_p_value(median_d.min(1.0), n_eff)
+        .expect("invariant: distance is clamped to [0, 1] and n_eff >= 1");
     report.assert(
         median_p > 0.2,
         format!("median per-cell KS D {median_d:.3} ⇒ p ≈ {median_p:.2} > 0.2 at n={n_eff}"),
@@ -334,11 +354,10 @@ pub fn headline_bounds(scale: Scale) -> ShapeReport {
         )
     });
     let point_of = |a: &TradeoffAnalysis, reach: &ReachConditions| {
-        a.points
+        *a.points
             .iter()
             .find(|p| p.reach == *reach)
-            .expect("configured reach point measured")
-            .clone()
+            .expect("invariant: explore() measures every configured reach point")
     };
     let cov: Vec<f64> = analyses.iter().map(|a| point_of(a, &reach_250).coverage).collect();
     let fpr: Vec<f64> = analyses
@@ -353,17 +372,20 @@ pub fn headline_bounds(scale: Scale) -> ShapeReport {
         .collect();
 
     let resamples = 1000;
-    let (cov_lo, _) = bootstrap_mean_ci(&cov, resamples, 0.95, 1).expect("nonempty");
+    let (cov_lo, _) = bootstrap_mean_ci(&cov, resamples, 0.95, 1)
+        .expect("invariant: one sample per chip, chips are non-empty");
     report.assert(
         cov_lo > 0.95,
         format!("+250ms coverage: 95% CI lower bound {cov_lo:.4} > 0.95 (paper: >99%)"),
     );
-    let (_, fpr_hi) = bootstrap_mean_ci(&fpr, resamples, 0.95, 2).expect("nonempty");
+    let (_, fpr_hi) = bootstrap_mean_ci(&fpr, resamples, 0.95, 2)
+        .expect("invariant: one sample per chip, chips are non-empty");
     report.assert(
         fpr_hi < 0.6,
         format!("+250ms FPR: 95% CI upper bound {fpr_hi:.4} < 0.6 (paper: <50%)"),
     );
-    let (spd_lo, spd_hi) = bootstrap_mean_ci(&spd, resamples, 0.95, 3).expect("nonempty");
+    let (spd_lo, spd_hi) = bootstrap_mean_ci(&spd, resamples, 0.95, 3)
+        .expect("invariant: one sample per chip, chips are non-empty");
     report.assert(
         spd_hi > 1.8 && spd_lo < 6.5,
         format!("+250ms speedup: 95% CI [{spd_lo:.2}, {spd_hi:.2}] intersects [1.8, 6.5] (paper: ≈2.5×)"),
@@ -398,6 +420,7 @@ pub fn fig13_collapse(scale: Scale) -> ShapeReport {
             .rows
             .iter()
             .find(|r| r[0] == chip && r[1] == interval)
+            // lint: allow(panic) shape checks fail fast on malformed tables — a missing row is a harness bug
             .unwrap_or_else(|| panic!("row {chip}/{interval} missing"))
     };
     let brute_1280 = pct(&row("64Gb", "1.280s")[2]);

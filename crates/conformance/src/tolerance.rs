@@ -34,6 +34,9 @@ impl Tolerance {
 
     /// True if floats `a` and `b` agree under this policy.
     pub fn floats_agree(&self, a: f64, b: f64) -> bool {
+        // Exact fast path: bit-identical values (incl. infinities) agree
+        // regardless of the relative/absolute thresholds below.
+        #[allow(clippy::float_cmp)]
         if a == b {
             return true;
         }

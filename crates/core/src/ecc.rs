@@ -95,14 +95,17 @@ impl EccStrength {
         if rber == 0.0 {
             return 0.0;
         }
+        // Exact sentinel comparison: ln(1 - rber) below is -inf only at
+        // exactly 1.0, which the assert admits as a valid input.
+        #[allow(clippy::float_cmp)]
         if rber == 1.0 {
             return 1.0 / self.word_bits as f64;
         }
-        let w = self.word_bits as u64;
+        let w = u64::from(self.word_bits);
         let ln_r = rber.ln();
         let ln_q = (1.0 - rber).ln_1p_neg();
         let mut total = 0.0_f64;
-        for n in (self.correctable as u64 + 1)..=w {
+        for n in (u64::from(self.correctable) + 1)..=w {
             let ln_term = ln_choose(w, n) + n as f64 * ln_r + (w - n) as f64 * ln_q;
             let term = ln_term.exp();
             total += term;

@@ -68,6 +68,7 @@ impl OnlineController {
         let cadence = config
             .longevity
             .longevity()
+            // lint: allow(panic) documented `# Panics` contract of the constructor
             .expect("longevity model must be viable for online operation");
         Self {
             config,

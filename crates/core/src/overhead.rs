@@ -103,7 +103,7 @@ pub fn ipc_with_overhead(ipc_ideal: f64, overhead_fraction: f64) -> f64 {
 /// Module capacity in bytes for the paper's 32-chip modules of `chip_gbit`
 /// chips.
 pub fn module_bytes(chip_gbit: u32) -> u64 {
-    32 * ((chip_gbit as u64) << 30) / 8
+    32 * (u64::from(chip_gbit) << 30) / 8
 }
 
 /// The chip densities swept in Figs. 11–13.

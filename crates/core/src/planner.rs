@@ -67,6 +67,11 @@ impl ChipCharacterization {
     pub fn measure(harness: &mut TestHarness, opts: CharacterizeOptions) -> Self {
         assert!(opts.iterations > 0, "need at least one iteration");
         assert!(
+            opts.intervals_ms.len() >= 2,
+            "need at least two sample intervals"
+        );
+        assert!(
+            // lint: allow(panic) windows(2) yields exactly-2-element slices
             opts.intervals_ms.windows(2).all(|w| w[0] < w[1]),
             "sample intervals must increase"
         );
@@ -90,9 +95,11 @@ impl ChipCharacterization {
             .filter(|&&(_, n)| n > 0)
             .map(|&(t, n)| (t, n as f64))
             .collect();
-        let ber_fit = PowerLawFit::fit(&fit_points).expect("positive samples");
+        let ber_fit = PowerLawFit::fit(&fit_points)
+            .expect("invariant: fit_points is non-empty and filtered to positive counts");
 
         // Temperature sweep at the middle interval.
+        // lint: allow(panic) length asserted >= 2 at function entry
         let mid = Ms::new(opts.intervals_ms[1]);
         let mut temp_points = Vec::new();
         for &dt in &opts.temp_offsets {

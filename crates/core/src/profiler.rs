@@ -5,6 +5,7 @@
 //! profiling is the degenerate reach point `(+0 ms, +0 °C)`.
 
 use reaper_dram_model::{Celsius, DataPattern, Ms};
+use reaper_exec::num;
 use reaper_softmc::TestHarness;
 
 use crate::conditions::{ReachConditions, TargetConditions};
@@ -169,10 +170,10 @@ impl Profiler {
         }
 
         let mut profile = FailureProfile::new();
-        let mut iterations = Vec::with_capacity(self.iterations as usize);
+        let mut iterations = Vec::with_capacity(num::idx(self.iterations));
         for it in 0..self.iterations {
             let mut stats = IterationStats::default();
-            for pattern in self.patterns.for_iteration(it as u64) {
+            for pattern in self.patterns.for_iteration(u64::from(it)) {
                 let outcome = harness.pattern_trial(pattern, self.interval);
                 for &cell in outcome.failures() {
                     if profile.insert(cell) {
@@ -233,10 +234,11 @@ impl Profiler {
         let mut patterns_executed = 0u32;
         // Track coverage incrementally: count of ground-truth cells found.
         let mut covered = 0usize;
+        // lint: allow(lossy-cast) ceil of coverage_goal * len is a small non-negative count
         let goal_count = (coverage_goal * ground_truth.len() as f64).ceil() as usize;
         'outer: for it in 0..max_iterations {
             let mut stats = IterationStats::default();
-            for pattern in self.patterns.for_iteration(it as u64) {
+            for pattern in self.patterns.for_iteration(u64::from(it)) {
                 let outcome = harness.pattern_trial(pattern, self.interval);
                 patterns_executed += 1;
                 for &cell in outcome.failures() {

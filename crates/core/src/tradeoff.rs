@@ -11,6 +11,7 @@
 //!   normalized to brute-force profiling at the target.
 
 use reaper_dram_model::Ms;
+use reaper_exec::num;
 use reaper_retention::SimulatedChip;
 use reaper_softmc::TestHarness;
 
@@ -215,7 +216,7 @@ impl TradeoffAnalysis {
             opts.max_runtime_iterations,
         );
         let met = goal.met;
-        let iterations_to_goal = goal.run.iteration_count() as u32;
+        let iterations_to_goal = num::to_u32(goal.run.iteration_count());
         // Eq. 9 runtime at these conditions (excluding thermal settling,
         // matching the paper's iteration-count-based runtime accounting).
         let (interval, _) = reach.apply_to(target);
@@ -250,7 +251,7 @@ impl TradeoffAnalysis {
             .min_by(|a, b| {
                 a.runtime_rel
                     .partial_cmp(&b.runtime_rel)
-                    .expect("finite runtimes")
+                    .expect("invariant: runtimes are finite ratios of positive durations")
             })
     }
 }

@@ -1,5 +1,9 @@
 //! Property-based tests of geometry, units, and data patterns.
 
+// Proptest generators derive indices from fractions; the truncating cast
+// is the sampling mechanism, not a correctness hazard.
+#![allow(clippy::cast_possible_truncation)]
+
 use proptest::prelude::*;
 use reaper_dram_model::{CellAddr, ChipGeometry, DataPattern, Ms, Vendor};
 

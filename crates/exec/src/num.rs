@@ -1,0 +1,94 @@
+//! Checked numeric conversions for the hot-path crates.
+//!
+//! The reaper-lint C1 rule bans bare `as` integer casts in `exec`,
+//! `retention`, and `core` because a silent truncation there corrupts
+//! results instead of crashing. These helpers centralize the conversions
+//! the kernels actually need, each either lossless by construction or
+//! checked at the boundary. The two unavoidable `as` expressions live
+//! here, once, with their justification.
+
+/// Widens a `u32` index into a `usize` (lossless: every supported target
+/// has at least 32-bit `usize`).
+#[inline]
+#[must_use]
+pub fn idx(i: u32) -> usize {
+    // lint: allow(lossy-cast) u32 -> usize is widening on all supported targets
+    i as usize
+}
+
+/// Converts a `u64` count into a `usize`, panicking on (impossible on
+/// 64-bit targets) overflow rather than wrapping.
+#[inline]
+#[must_use]
+pub fn idx_u64(i: u64) -> usize {
+    usize::try_from(i).expect("invariant: counts fit in usize on supported targets")
+}
+
+/// Converts a length/count into a `u32`, panicking on overflow rather
+/// than wrapping. Use for compact per-cell indices where the population
+/// is bounded far below 2^32.
+#[inline]
+#[must_use]
+pub fn to_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("invariant: compact indices are bounded below 2^32")
+}
+
+/// Converts a `u64` value known to be bounded below 2^32 (e.g. a value
+/// reduced modulo a row width) into a `u32`, panicking on overflow
+/// rather than wrapping.
+#[inline]
+#[must_use]
+pub fn u64_to_u32(x: u64) -> u32 {
+    u32::try_from(x).expect("invariant: value is bounded below 2^32 at the call site")
+}
+
+/// Widens a `usize` length into a `u64` (lossless on all supported
+/// targets: `usize` is at most 64 bits).
+#[inline]
+#[must_use]
+pub fn to_u64(n: usize) -> u64 {
+    // lint: allow(lossy-cast) usize -> u64 is widening on all supported targets
+    n as u64
+}
+
+/// Narrows an `f64` to `f32` for compact storage. This is intentional
+/// precision quantization (cell parameters are modeled at f32 precision);
+/// round-to-nearest, never a surprise truncation.
+#[inline]
+#[must_use]
+pub fn f32_narrow(x: f64) -> f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    let narrowed = x as f32; // lint: allow(lossy-cast) intentional f64 -> f32 quantization
+    narrowed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_roundtrips() {
+        assert_eq!(idx(0), 0);
+        assert_eq!(idx(u32::MAX), u32::MAX as usize);
+        assert_eq!(idx_u64(12_345), 12_345);
+        assert_eq!(to_u64(usize::MAX), usize::MAX as u64);
+    }
+
+    #[test]
+    fn to_u32_accepts_bounded_counts() {
+        assert_eq!(to_u32(0), 0);
+        assert_eq!(to_u32(1 << 20), 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant")]
+    fn to_u32_panics_on_overflow() {
+        let _ = to_u32(usize::MAX);
+    }
+
+    #[test]
+    fn f32_narrow_rounds() {
+        assert_eq!(f32_narrow(1.5), 1.5f32);
+        assert!((f32_narrow(0.1) - 0.1f32).abs() < f32::EPSILON);
+    }
+}

@@ -62,7 +62,7 @@ pub fn stream(parts: &[u64]) -> SplitMix64 {
     for &p in parts {
         h = mix64(h ^ p).wrapping_mul(0x2545_F491_4F6C_DD1D);
     }
-    SplitMix64::new(mix64(h ^ parts.len() as u64))
+    SplitMix64::new(mix64(h ^ crate::num::to_u64(parts.len())))
 }
 
 #[cfg(test)]

@@ -1,0 +1,242 @@
+//! `lint.toml` loading.
+//!
+//! Only the TOML subset the config actually uses is parsed: `[table]`
+//! headers, `key = "string"`, `key = ["a", "b"]`, and `#` comments.
+//! Anything else is a hard error — the config is repo-controlled, and a
+//! silently ignored key would silently disable a rule.
+
+use std::collections::BTreeMap;
+
+/// Parsed configuration for all rules.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// D1: crates whose outputs feed golden tables; hash containers are
+    /// banned there.
+    pub hash_order_crates: Vec<String>,
+    /// D2: bare identifiers banned everywhere (e.g. `SystemTime`).
+    pub wall_clock_banned: Vec<String>,
+    /// D2: `::`-joined paths banned everywhere (e.g. `Instant::now`).
+    pub wall_clock_banned_paths: Vec<String>,
+    /// D2: workspace-relative files exempt from the wall-clock rule
+    /// (timing/CLI code that may legitimately read the clock).
+    pub wall_clock_allow_files: Vec<String>,
+    /// P1: `.expect("...")` is accepted when the message starts with this
+    /// prefix — the repo's documented-invariant convention.
+    pub panic_expect_prefix: String,
+    /// P1: crates where slice-indexing expressions are also flagged.
+    pub panic_index_crates: Vec<String>,
+    /// C1: crates where bare `as` integer casts are flagged.
+    pub lossy_cast_crates: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            hash_order_crates: Vec::new(),
+            wall_clock_banned: vec!["SystemTime".into(), "thread_rng".into()],
+            wall_clock_banned_paths: vec!["Instant::now".into()],
+            wall_clock_allow_files: Vec::new(),
+            panic_expect_prefix: "invariant: ".into(),
+            panic_index_crates: Vec::new(),
+            lossy_cast_crates: Vec::new(),
+        }
+    }
+}
+
+/// A value in the parsed subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parses the `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Self, ConfigError> {
+        let tables = parse_tables(text)?;
+        let defaults = Config::default();
+
+        let get_list = |table: &str, key: &str| -> Vec<String> {
+            match tables.get(table).and_then(|t| t.get(key)) {
+                Some(Value::List(v)) => v.clone(),
+                Some(Value::Str(s)) => vec![s.clone()],
+                None => Vec::new(),
+            }
+        };
+        let get_str = |table: &str, key: &str, default: &str| -> String {
+            match tables.get(table).and_then(|t| t.get(key)) {
+                Some(Value::Str(s)) => s.clone(),
+                _ => default.to_string(),
+            }
+        };
+
+        let or_default = |v: Vec<String>, d: Vec<String>| if v.is_empty() { d } else { v };
+        Ok(Config {
+            hash_order_crates: get_list("rules.hash-order", "crates"),
+            wall_clock_banned: or_default(
+                get_list("rules.wall-clock", "banned"),
+                defaults.wall_clock_banned,
+            ),
+            wall_clock_banned_paths: or_default(
+                get_list("rules.wall-clock", "banned-paths"),
+                defaults.wall_clock_banned_paths,
+            ),
+            wall_clock_allow_files: get_list("rules.wall-clock", "allow-files"),
+            panic_expect_prefix: get_str(
+                "rules.panic",
+                "expect-prefix",
+                &defaults.panic_expect_prefix,
+            ),
+            panic_index_crates: get_list("rules.panic", "index-crates"),
+            lossy_cast_crates: get_list("rules.lossy-cast", "crates"),
+        })
+    }
+}
+
+type Tables = BTreeMap<String, BTreeMap<String, Value>>;
+
+fn parse_tables(text: &str) -> Result<Tables, ConfigError> {
+    let mut tables: Tables = BTreeMap::new();
+    let mut current = String::new();
+    let err = |line: usize, message: &str| ConfigError {
+        line: line as u32 + 1,
+        message: message.to_string(),
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(err(i, "unterminated table header"));
+            };
+            current = name.trim().to_string();
+            tables.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(i, "expected `key = value`"));
+        };
+        let key = key.trim().to_string();
+        let value = parse_value(value.trim()).ok_or_else(|| {
+            err(i, "expected a \"string\" or [\"a\", \"b\"] list")
+        })?;
+        tables.entry(current.clone()).or_default().insert(key, value);
+    }
+    Ok(tables)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A `#` inside a quoted string does not start a comment.
+    let mut in_str = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..idx],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Option<Value> {
+    if let Some(s) = parse_str(v) {
+        return Some(Value::Str(s));
+    }
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?.trim();
+    if inner.is_empty() {
+        return Some(Value::List(Vec::new()));
+    }
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        items.push(parse_str(part)?);
+    }
+    Some(Value::List(items))
+}
+
+fn parse_str(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_shape() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[rules.hash-order]
+crates = ["retention", "core"]
+
+[rules.wall-clock]
+banned = ["SystemTime", "thread_rng"]
+banned-paths = ["Instant::now"]
+allow-files = ["crates/conformance/src/bin/experiments.rs"]
+
+[rules.panic]
+expect-prefix = "invariant: "   # documented-invariant convention
+index-crates = ["exec"]
+
+[rules.lossy-cast]
+crates = ["exec", "retention", "core"]
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.hash_order_crates, vec!["retention", "core"]);
+        assert_eq!(cfg.wall_clock_banned_paths, vec!["Instant::now"]);
+        assert_eq!(cfg.panic_expect_prefix, "invariant: ");
+        assert_eq!(cfg.panic_index_crates, vec!["exec"]);
+        assert_eq!(cfg.lossy_cast_crates.len(), 3);
+    }
+
+    #[test]
+    fn defaults_survive_an_empty_file() {
+        let cfg = Config::parse("").expect("empty config is valid");
+        assert!(cfg.hash_order_crates.is_empty());
+        assert_eq!(cfg.panic_expect_prefix, "invariant: ");
+        assert!(cfg.wall_clock_banned.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Config::parse("[rules.hash-order\ncrates = []").is_err());
+        assert!(Config::parse("key value").is_err());
+        assert!(Config::parse("key = [1, 2]").is_err());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse(
+            "[rules.wall-clock]\nallow-files = [\"a#b.rs\"]\n",
+        )
+        .expect("valid");
+        assert_eq!(cfg.wall_clock_allow_files, vec!["a#b.rs"]);
+    }
+}

@@ -1,0 +1,465 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! `syn` is unavailable offline, and the lint rules only need a faithful
+//! token stream: comments, strings (cooked, raw, byte, C), char literals
+//! vs. lifetimes, numbers, identifiers, and single-character punctuation.
+//! The lexer never fails — unexpected bytes become punctuation tokens —
+//! so a syntactically broken file degrades to noisy tokens rather than a
+//! lint crash.
+
+/// What a token is. Only the distinctions the rules need are kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers, prefix stripped).
+    Ident,
+    /// Lifetime such as `'a` (includes the quote in `text`).
+    Lifetime,
+    /// Integer or float literal (suffix included).
+    Number,
+    /// String literal of any flavor; `text` holds the *contents* without
+    /// quotes/hashes/prefix so rules can inspect messages.
+    Str,
+    /// Char or byte literal (`'x'`, `b'x'`).
+    CharLit,
+    /// One punctuation character (`text.len() == 1`).
+    Punct,
+}
+
+/// One significant token with its source position (1-based line/col).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// A `// lint: allow(<rule>) <reason>` marker found in a line comment.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// Rule name inside the parentheses (e.g. `hash-order`, `panic`).
+    pub rule: String,
+    /// Free-text justification following the closing parenthesis.
+    pub reason: String,
+    pub line: u32,
+}
+
+/// The result of lexing one file: significant tokens plus allow markers
+/// harvested from comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub markers: Vec<AllowMarker>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into significant tokens and allow markers.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek(1) == Some(b'/') => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if c == b'\n' {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'\n') as char);
+                }
+                if let Some(marker) = parse_marker(&text, line) {
+                    out.markers.push(marker);
+                }
+            }
+            b'/' if cur.peek(1) == Some(b'*') => {
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    if cur.starts_with("/*") {
+                        depth += 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.starts_with("*/") {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                    } else if cur.bump().is_none() {
+                        break;
+                    }
+                }
+            }
+            b'"' => {
+                let value = lex_cooked_string(&mut cur);
+                out.tokens.push(Token { kind: TokenKind::Str, text: value, line, col });
+            }
+            b'\'' => lex_quote(&mut cur, &mut out, line, col),
+            b'0'..=b'9' => {
+                let text = lex_number(&mut cur);
+                out.tokens.push(Token { kind: TokenKind::Number, text, line, col });
+            }
+            _ if is_ident_start(b) => {
+                // Prefixed literals: r"", r#"", br"", b"", b'', c"", and raw
+                // identifiers r#ident.
+                if try_lex_prefixed(&mut cur, &mut out, line, col) {
+                    continue;
+                }
+                let mut text = String::new();
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(cur.bump().unwrap_or(b'_') as char);
+                }
+                out.tokens.push(Token { kind: TokenKind::Ident, text, line, col });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lexes `'`-introduced tokens: lifetimes (`'a`) vs. char literals (`'a'`,
+/// `'\n'`).
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    // Lifetime: `'` + ident-start where the char after the identifier run
+    // is not another `'`.
+    if cur.peek(1).is_some_and(is_ident_start) {
+        let mut n = 2;
+        while cur.peek(n).is_some_and(is_ident_continue) {
+            n += 1;
+        }
+        if cur.peek(n) != Some(b'\'') {
+            let mut text = String::new();
+            for _ in 0..n {
+                text.push(cur.bump().unwrap_or(b'\'') as char);
+            }
+            out.tokens.push(Token { kind: TokenKind::Lifetime, text, line, col });
+            return;
+        }
+    }
+    // Char literal: consume until the closing quote, honoring escapes.
+    cur.bump();
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == b'\'' {
+            cur.bump();
+            break;
+        }
+        text.push(cur.bump().unwrap_or(b'\'') as char);
+    }
+    out.tokens.push(Token { kind: TokenKind::CharLit, text, line, col });
+}
+
+/// Lexes a cooked (escaped) string literal, returning its contents.
+fn lex_cooked_string(cur: &mut Cursor<'_>) -> String {
+    cur.bump(); // opening quote
+    let mut value = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            b'\\' => {
+                cur.bump();
+                if let Some(e) = cur.bump() {
+                    // Keep simple escapes readable in the captured value;
+                    // rules only prefix-match, so fidelity is not critical.
+                    match e {
+                        b'n' => value.push('\n'),
+                        b't' => value.push('\t'),
+                        b'"' => value.push('"'),
+                        b'\\' => value.push('\\'),
+                        _ => {}
+                    }
+                }
+            }
+            b'"' => {
+                cur.bump();
+                break;
+            }
+            _ => value.push(cur.bump().unwrap_or(b'"') as char),
+        }
+    }
+    value
+}
+
+/// Lexes a raw string starting at `r`/`br`/`cr` (cursor on the prefix
+/// letter(s)); assumes the caller verified the shape.
+fn lex_raw_string(cur: &mut Cursor<'_>, prefix_len: usize) -> String {
+    for _ in 0..prefix_len {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let closer: String = std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+    let mut value = String::new();
+    while cur.peek(0).is_some() {
+        if cur.starts_with(&closer) {
+            for _ in 0..closer.len() {
+                cur.bump();
+            }
+            break;
+        }
+        value.push(cur.bump().unwrap_or(b'"') as char);
+    }
+    value
+}
+
+/// Handles `r`/`b`/`c`-prefixed literals and raw identifiers. Returns true
+/// if it consumed something.
+fn try_lex_prefixed(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) -> bool {
+    let b0 = cur.peek(0).unwrap_or(0);
+    let b1 = cur.peek(1);
+
+    // Raw identifier r#ident (but r#"..." is a raw string).
+    if b0 == b'r' && b1 == Some(b'#') && cur.peek(2).is_some_and(is_ident_start) {
+        cur.bump();
+        cur.bump();
+        let mut text = String::new();
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(cur.bump().unwrap_or(b'_') as char);
+        }
+        out.tokens.push(Token { kind: TokenKind::Ident, text, line, col });
+        return true;
+    }
+
+    // Raw strings: r"..."/r#"..."#, br"...", cr"...".
+    let raw_prefix = match (b0, b1) {
+        (b'r', Some(b'"' | b'#')) => Some(1),
+        (b'b' | b'c', Some(b'r'))
+            if matches!(cur.peek(2), Some(b'"' | b'#')) =>
+        {
+            Some(2)
+        }
+        _ => None,
+    };
+    if let Some(plen) = raw_prefix {
+        // Ensure the #-run actually ends in a quote (else `r#ident` style).
+        let mut n = plen;
+        while cur.peek(n) == Some(b'#') {
+            n += 1;
+        }
+        if cur.peek(n) == Some(b'"') {
+            let value = lex_raw_string(cur, plen);
+            out.tokens.push(Token { kind: TokenKind::Str, text: value, line, col });
+            return true;
+        }
+        return false;
+    }
+
+    // Cooked byte/C strings and byte chars: b"...", c"...", b'x'.
+    if (b0 == b'b' || b0 == b'c') && b1 == Some(b'"') {
+        cur.bump();
+        let value = lex_cooked_string(cur);
+        out.tokens.push(Token { kind: TokenKind::Str, text: value, line, col });
+        return true;
+    }
+    if b0 == b'b' && b1 == Some(b'\'') {
+        cur.bump();
+        lex_quote(cur, out, line, col);
+        return true;
+    }
+    false
+}
+
+/// Lexes a numeric literal (integers, floats, exponents, underscores,
+/// suffixes). `1..n` range syntax is left as `1` + `..`.
+fn lex_number(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    let digits = |cur: &mut Cursor<'_>, text: &mut String| {
+        while let Some(c) = cur.peek(0) {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                text.push(cur.bump().unwrap_or(b'0') as char);
+            } else {
+                break;
+            }
+        }
+    };
+    digits(cur, &mut text);
+    // Fractional part only when followed by a digit (avoids ranges and
+    // method calls on literals).
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push(cur.bump().unwrap_or(b'.') as char);
+        digits(cur, &mut text);
+    }
+    // Exponent sign, e.g. `1e-3` (the `e` was consumed by `digits`).
+    if text.ends_with(['e', 'E'])
+        && matches!(cur.peek(0), Some(b'+' | b'-'))
+        && cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+    {
+        text.push(cur.bump().unwrap_or(b'-') as char);
+        digits(cur, &mut text);
+    }
+    text
+}
+
+/// Parses a `lint: allow(<rule>) <reason>` marker out of a line comment.
+fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
+    let idx = comment.find("lint: allow(")?;
+    let rest = &comment[idx + "lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let reason = rest[close + 1..].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    Some(AllowMarker { rule, reason, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r###"
+            // HashMap in a comment
+            /* HashMap in a block /* nested HashMap */ */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw string"#;
+            let c = 'H';
+            real_ident
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real_ident".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").tokens;
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::CharLit).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn string_contents_are_captured() {
+        let toks = lex(r#"x.expect("invariant: cells is nonempty")"#).tokens;
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).expect("string token");
+        assert!(s.text.starts_with("invariant: "));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = lex("for i in 0..10 { (1.5e-3).max(2.0_f64); }").tokens;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3", "2.0_f64"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bc").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text, "bc");
+    }
+
+    #[test]
+    fn markers_are_harvested() {
+        let lexed = lex(
+            "let x = m.get(k); // lint: allow(hash-order) membership only, never iterated\n",
+        );
+        assert_eq!(lexed.markers.len(), 1);
+        assert_eq!(lexed.markers[0].rule, "hash-order");
+        assert!(lexed.markers[0].reason.contains("membership"));
+        assert_eq!(lexed.markers[0].line, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = r#\"raw\"#;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

@@ -1,0 +1,221 @@
+//! `reaper-lint` — workspace-specific determinism and panic-safety lints.
+//!
+//! The REAPER reproduction's scientific claim rests on bit-identical
+//! trials ([`reaper-exec`]'s contract) pinned by golden tables
+//! (`reaper-conformance`). Those are *dynamic* guarantees: nothing stops a
+//! future change from reintroducing hash-order iteration feeding an
+//! output, a wall-clock read inside a trial, or a panic deep in a library
+//! crate. This crate closes that gap statically with four rules clippy
+//! cannot express (see [`rules`] and `DESIGN.md` §"Static analysis &
+//! determinism invariants"):
+//!
+//! * **D1 `hash-order`** — no `HashMap`/`HashSet` in output-affecting
+//!   crates,
+//! * **D2 `wall-clock`** — no `SystemTime`/`Instant::now`/`thread_rng`
+//!   outside sanctioned timing code,
+//! * **P1 `panic`** — no undocumented `unwrap`/`expect`/`panic!`/indexing
+//!   in library code,
+//! * **C1 `lossy-cast`** — no bare `as` integer casts in hot-path crates.
+//!
+//! Rule scopes live in `lint.toml` at the workspace root; per-site
+//! escapes are `// lint: allow(<rule>) <reason>` comments, which the
+//! binary cross-checks so a stale allowlist cannot accumulate.
+
+// Deny-wall escapes (DESIGN.md §"Static analysis & determinism
+// invariants"): `reaper-lint` enforces the finer-grained forms of these
+// lints — P1 requires `invariant: `-prefixed expect messages and audits
+// indexing in the hot-path crates, C1 bans bare casts there — with
+// per-site `// lint: allow` markers. Clippy's blanket versions are
+// allowed at the crate root so `-D warnings` stays green without
+// annotating every audited site twice.
+#![allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::Config;
+pub use rules::{check_file, Diagnostic, FileClass, FileKind};
+
+/// Directories under the workspace root that are scanned for `.rs` files.
+/// `vendor/` is deliberately excluded: those crates are offline stand-ins
+/// emulating external APIs, not part of the reproduction's claim surface.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// A scan failure (I/O or config).
+#[derive(Debug)]
+pub struct ScanError(pub String);
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reaper-lint: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScanError {}
+
+/// The outcome of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, ordered by (file, line, col).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files inspected.
+    pub files_checked: usize,
+    /// `// lint: allow(...)` markers that carry no reason text — these are
+    /// findings too: an unexplained escape defeats the audit trail.
+    pub bare_markers: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.bare_markers.is_empty()
+    }
+}
+
+/// Walks upward from `start` to the directory containing `lint.toml`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Classifies one workspace-relative path, or `None` if it is out of
+/// scope (fixtures, non-Rust files).
+pub fn classify(rel: &str) -> Option<FileClass> {
+    if !rel.ends_with(".rs") || rel.contains("/tests/fixtures/") {
+        return None;
+    }
+    let mut parts = rel.split('/');
+    let (crate_name, rest): (String, Vec<&str>) = match parts.next()? {
+        "crates" => (parts.next()?.to_string(), parts.collect()),
+        // Root façade package: `src/`, `tests/`, `examples/` at the top.
+        top => (
+            "reaper".to_string(),
+            std::iter::once(top).chain(parts).collect(),
+        ),
+    };
+    let kind = match rest.first().copied()? {
+        "src" => {
+            if rest.get(1).copied() == Some("bin") || rest.last().copied() == Some("main.rs") {
+                FileKind::BinSrc
+            } else {
+                FileKind::LibSrc
+            }
+        }
+        "tests" | "benches" | "examples" => FileKind::TestCode,
+        _ => return None,
+    };
+    Some(FileClass { crate_name, kind })
+}
+
+/// Lints every in-scope `.rs` file under `root`.
+pub fn run_workspace(root: &Path) -> Result<Report, ScanError> {
+    let cfg_path = root.join("lint.toml");
+    let cfg_text = std::fs::read_to_string(&cfg_path)
+        .map_err(|e| ScanError(format!("cannot read {}: {e}", cfg_path.display())))?;
+    let cfg = Config::parse(&cfg_text).map_err(|e| ScanError(e.to_string()))?;
+
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        collect_rs_files(&root.join(scan), &mut files);
+    }
+    files.sort();
+
+    let mut report = Report::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(class) = classify(&rel) else { continue };
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| ScanError(format!("cannot read {rel}: {e}")))?;
+        report.files_checked += 1;
+        report
+            .diagnostics
+            .extend(rules::check_file(&rel, &source, &class, &cfg));
+        // Cross-check the escape hatch itself: every marker needs a reason.
+        for marker in lexer::lex(&source).markers {
+            if marker.reason.is_empty() {
+                report.bare_markers.push(Diagnostic {
+                    rule_id: "M0",
+                    rule_name: "bare-marker",
+                    file: rel.clone(),
+                    line: marker.line,
+                    col: 1,
+                    message: format!(
+                        "`lint: allow({})` without a reason",
+                        marker.rule
+                    ),
+                    help: "append a justification after the closing parenthesis"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_workspace_layout() {
+        let lib = classify("crates/retention/src/chip.rs").expect("in scope");
+        assert_eq!(lib.crate_name, "retention");
+        assert_eq!(lib.kind, FileKind::LibSrc);
+
+        let bin = classify("crates/conformance/src/bin/experiments.rs").expect("in scope");
+        assert_eq!(bin.kind, FileKind::BinSrc);
+
+        let bench = classify("crates/bench/benches/figures.rs").expect("in scope");
+        assert_eq!(bench.kind, FileKind::TestCode);
+
+        let root = classify("src/lib.rs").expect("in scope");
+        assert_eq!(root.crate_name, "reaper");
+        assert_eq!(root.kind, FileKind::LibSrc);
+
+        let root_test = classify("tests/determinism.rs").expect("in scope");
+        assert_eq!(root_test.kind, FileKind::TestCode);
+
+        assert!(classify("crates/lint/tests/fixtures/p1_unwrap.rs").is_none());
+        assert!(classify("goldens/eq1.tsv").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn workspace_root_is_discoverable_from_here() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("lint.toml above crates/lint");
+        assert!(root.join("Cargo.toml").is_file());
+    }
+}

@@ -1,0 +1,53 @@
+//! `reaper-lint` binary: lints the workspace and exits nonzero on any
+//! finding. Run from anywhere inside the repo:
+//!
+//! ```text
+//! cargo run -p reaper-lint
+//! ```
+
+// The terminal is this binary's output surface: diagnostics go to stdout,
+// usage errors to stderr.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let start = std::env::args().nth(1).map_or_else(
+        || std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+        PathBuf::from,
+    );
+    let Some(root) = reaper_lint::find_workspace_root(&start) else {
+        eprintln!(
+            "reaper-lint: no lint.toml found above {} — run from inside the workspace",
+            start.display()
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let report = match reaper_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for d in report.diagnostics.iter().chain(&report.bare_markers) {
+        println!("{d}\n");
+    }
+    let total = report.diagnostics.len() + report.bare_markers.len();
+    if total > 0 {
+        println!(
+            "reaper-lint: {total} finding(s) across {} file(s)",
+            report.files_checked
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "reaper-lint: clean — {} file(s), rules D1/D2/P1/C1",
+            report.files_checked
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,602 @@
+//! The four repo-specific rules, run over a file's token stream.
+//!
+//! | ID | name        | protects |
+//! |----|-------------|----------|
+//! | D1 | hash-order  | golden tables from hash-iteration nondeterminism |
+//! | D2 | wall-clock  | trial outcomes from wall-clock / ambient entropy |
+//! | P1 | panic       | library callers from undocumented panics |
+//! | C1 | lossy-cast  | hot-path arithmetic from silent truncation |
+
+use crate::config::Config;
+use crate::lexer::{lex, AllowMarker, Token, TokenKind};
+
+/// Where a file sits in the workspace, which decides rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source under `src/` (rules apply in full).
+    LibSrc,
+    /// Binary source (`src/bin/**`, `src/main.rs`): D1/D2 apply, P1/C1 do
+    /// not — CLI setup code may panic on bad invocations.
+    BinSrc,
+    /// Integration tests, benches, examples: only D2 paths outside the
+    /// configured allowances apply; panics and hash containers are fine.
+    TestCode,
+}
+
+/// Classification of one source file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Short crate name (`retention`, `bench`, …; the root façade is
+    /// `reaper`).
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule ID (`D1`, `D2`, `P1`, `C1`).
+    pub rule_id: &'static str,
+    /// Rule name as used in allow markers (`hash-order`, …).
+    pub rule_name: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+    pub help: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "error[{}/{}]: {}",
+            self.rule_id, self.rule_name, self.message
+        )?;
+        writeln!(f, "  --> {}:{}:{}", self.file, self.line, self.col)?;
+        write!(f, "  = help: {}", self.help)
+    }
+}
+
+/// Integer-ish cast targets C1 flags. `usize`/`u64` sources routinely feed
+/// these, and float → int casts silently truncate; widening casts are
+/// over-approximated and need a marker or a checked helper.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize",
+    "i8", "i16", "i32", "i64", "i128", "isize",
+    "f32",
+];
+
+/// Macros that unconditionally panic at runtime when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Keywords that can directly precede `[` in type or expression position
+/// without forming an index expression (`&mut [T]`, `return [x]`, …).
+const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
+    "mut", "dyn", "in", "as", "impl", "where", "return", "break", "else",
+    "match", "move", "ref", "const", "static", "if", "unsafe", "let",
+    "for", "while", "loop", "continue", "await", "yield", "box", "use",
+];
+
+/// Runs every applicable rule on one file.
+pub fn check_file(
+    rel_path: &str,
+    source: &str,
+    class: &FileClass,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let test_mask = test_region_mask(tokens);
+    let ctx = Ctx {
+        rel_path,
+        class,
+        cfg,
+        tokens,
+        markers: &lexed.markers,
+        test_mask: &test_mask,
+    };
+
+    let mut out = Vec::new();
+    ctx.rule_hash_order(&mut out);
+    ctx.rule_wall_clock(&mut out);
+    ctx.rule_panic(&mut out);
+    ctx.rule_lossy_cast(&mut out);
+    out
+}
+
+struct Ctx<'a> {
+    rel_path: &'a str,
+    class: &'a FileClass,
+    cfg: &'a Config,
+    tokens: &'a [Token],
+    markers: &'a [AllowMarker],
+    /// Parallel to `tokens`: true inside `#[cfg(test)]` items.
+    test_mask: &'a [bool],
+}
+
+impl Ctx<'_> {
+    /// An allow marker for `rule` covers a finding on its own line and the
+    /// line directly below (so markers can sit above long expressions).
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.markers
+            .iter()
+            .any(|m| m.rule == rule && (m.line == line || m.line + 1 == line))
+    }
+
+    fn emit(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule_id: &'static str,
+        rule_name: &'static str,
+        tok: &Token,
+        message: String,
+        help: String,
+    ) {
+        if self.allowed(rule_name, tok.line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule_id,
+            rule_name,
+            file: self.rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+            help,
+        });
+    }
+
+    /// D1: no `HashMap`/`HashSet` in output-affecting crates.
+    fn rule_hash_order(&self, out: &mut Vec<Diagnostic>) {
+        if self.class.kind == FileKind::TestCode {
+            return;
+        }
+        if !self.cfg.hash_order_crates.contains(&self.class.crate_name) {
+            return;
+        }
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if self.test_mask[i] || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if tok.text == "HashMap" || tok.text == "HashSet" {
+                let btree = if tok.text == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                self.emit(
+                    out,
+                    "D1",
+                    "hash-order",
+                    tok,
+                    format!(
+                        "`{}` in output-affecting crate `{}`: hash iteration \
+                         order is nondeterministic across processes",
+                        tok.text, self.class.crate_name
+                    ),
+                    format!(
+                        "use `{btree}` (or drain through a sort), or justify with \
+                         `// lint: allow(hash-order) <reason>`"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// D2: no wall-clock or ambient-entropy reads outside allowed files.
+    fn rule_wall_clock(&self, out: &mut Vec<Diagnostic>) {
+        if self
+            .cfg
+            .wall_clock_allow_files
+            .iter()
+            .any(|f| f == self.rel_path)
+        {
+            return;
+        }
+        let parsed_paths: Vec<Vec<&str>> = self
+            .cfg
+            .wall_clock_banned_paths
+            .iter()
+            .map(|p| p.split("::").collect())
+            .collect();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if self.test_mask[i] || tok.kind != TokenKind::Ident {
+                continue;
+            }
+            if self.cfg.wall_clock_banned.contains(&tok.text) {
+                self.emit(
+                    out,
+                    "D2",
+                    "wall-clock",
+                    tok,
+                    format!(
+                        "`{}` is an ambient-entropy source; trial outcomes must \
+                         be pure functions of (config, seed)",
+                        tok.text
+                    ),
+                    "thread explicit seeds / simulated clocks instead, or justify \
+                     with `// lint: allow(wall-clock) <reason>`"
+                        .to_string(),
+                );
+                continue;
+            }
+            for path in &parsed_paths {
+                if self.path_matches_at(i, path) {
+                    self.emit(
+                        out,
+                        "D2",
+                        "wall-clock",
+                        tok,
+                        format!(
+                            "`{}` reads the wall clock; timing belongs in the \
+                             conformance binary and benches only",
+                            path.join("::")
+                        ),
+                        "pass elapsed time in explicitly, or justify with \
+                         `// lint: allow(wall-clock) <reason>`"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    /// True when tokens at `i` spell `seg0 :: seg1 :: …`.
+    fn path_matches_at(&self, i: usize, segments: &[&str]) -> bool {
+        let mut idx = i;
+        for (si, seg) in segments.iter().enumerate() {
+            if si > 0 {
+                if !(self.tok(idx).is_some_and(|t| t.is_punct(':'))
+                    && self.tok(idx + 1).is_some_and(|t| t.is_punct(':')))
+                {
+                    return false;
+                }
+                idx += 2;
+            }
+            if !self.tok(idx).is_some_and(|t| t.is_ident(seg)) {
+                return false;
+            }
+            idx += 1;
+        }
+        true
+    }
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// P1: no undocumented panic sites in library code.
+    fn rule_panic(&self, out: &mut Vec<Diagnostic>) {
+        if self.class.kind != FileKind::LibSrc {
+            return;
+        }
+        let index_checked = self
+            .cfg
+            .panic_index_crates
+            .contains(&self.class.crate_name);
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if self.test_mask[i] {
+                continue;
+            }
+            // `.unwrap()`
+            if tok.is_punct('.')
+                && self.tok(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+                && self.tok(i + 2).is_some_and(|t| t.is_punct('('))
+                && self.tok(i + 3).is_some_and(|t| t.is_punct(')'))
+            {
+                let at = self.tok(i + 1).unwrap_or(tok);
+                self.emit(
+                    out,
+                    "P1",
+                    "panic",
+                    at,
+                    "`.unwrap()` in library code".to_string(),
+                    format!(
+                        "return a Result, use `.expect(\"{}...\")` for a \
+                         documented invariant, or justify with \
+                         `// lint: allow(panic) <reason>`",
+                        self.cfg.panic_expect_prefix
+                    ),
+                );
+            }
+            // `.expect(` without the documented-invariant message prefix.
+            if tok.is_punct('.')
+                && self.tok(i + 1).is_some_and(|t| t.is_ident("expect"))
+                && self.tok(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let documented = self.tok(i + 3).is_some_and(|t| {
+                    t.kind == TokenKind::Str
+                        && t.text.starts_with(&self.cfg.panic_expect_prefix)
+                });
+                if !documented {
+                    let at = self.tok(i + 1).unwrap_or(tok);
+                    self.emit(
+                        out,
+                        "P1",
+                        "panic",
+                        at,
+                        "`.expect()` without a documented-invariant message"
+                            .to_string(),
+                        format!(
+                            "start the message with \"{}\" stating why this \
+                             cannot fail, or justify with \
+                             `// lint: allow(panic) <reason>`",
+                            self.cfg.panic_expect_prefix
+                        ),
+                    );
+                }
+            }
+            // `panic!` / `todo!` / `unimplemented!`
+            if tok.kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&tok.text.as_str())
+                && self.tok(i + 1).is_some_and(|t| t.is_punct('!'))
+            {
+                self.emit(
+                    out,
+                    "P1",
+                    "panic",
+                    tok,
+                    format!("`{}!` in library code", tok.text),
+                    "return a Result (callers cannot recover from a panic), or \
+                     justify with `// lint: allow(panic) <reason>`"
+                        .to_string(),
+                );
+            }
+            // Slice indexing `expr[…]` in the index-checked crates.
+            if index_checked
+                && tok.is_punct('[')
+                && i > 0
+                && self.tok(i - 1).is_some_and(|p| {
+                    (p.kind == TokenKind::Ident
+                        && !KEYWORDS_BEFORE_BRACKET.contains(&p.text.as_str()))
+                        || p.is_punct(')')
+                        || p.is_punct(']')
+                })
+                // `name!` `[` is a macro invocation with bracket delimiters
+                // (e.g. `vec![…]`), not an index.
+                && !(self.tok(i - 1).map(|p| p.kind) == Some(TokenKind::Ident)
+                    && i >= 2
+                    && self.tok(i - 2).is_some_and(|p| p.is_punct('!')))
+            {
+                self.emit(
+                    out,
+                    "P1",
+                    "panic",
+                    tok,
+                    "slice-index expression can panic on out-of-bounds"
+                        .to_string(),
+                    "use `.get()`/iterators, or justify the bounds invariant \
+                     with `// lint: allow(panic) <reason>`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// C1: no bare `as` integer casts in hot-path crates.
+    fn rule_lossy_cast(&self, out: &mut Vec<Diagnostic>) {
+        if self.class.kind != FileKind::LibSrc {
+            return;
+        }
+        if !self.cfg.lossy_cast_crates.contains(&self.class.crate_name) {
+            return;
+        }
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if self.test_mask[i] || !tok.is_ident("as") {
+                continue;
+            }
+            let Some(ty) = self.tok(i + 1) else { continue };
+            if ty.kind == TokenKind::Ident && INT_TYPES.contains(&ty.text.as_str()) {
+                self.emit(
+                    out,
+                    "C1",
+                    "lossy-cast",
+                    tok,
+                    format!(
+                        "bare `as {}` cast in a hot-path crate can silently \
+                         truncate or wrap",
+                        ty.text
+                    ),
+                    "use `try_from`/a checked helper (`reaper_exec::num`), or \
+                     justify with `// lint: allow(lossy-cast) <reason>`"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Computes which tokens sit inside `#[cfg(test)]` items (typically the
+/// `mod tests { … }` block). Attributes between the `cfg(test)` and the
+/// item are skipped; the region ends at the matching close brace, or at a
+/// `;` that appears before any brace opens.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the end of this attribute's `]`.
+            let attr_end = match matching_close(tokens, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            // Walk past any further attributes to the item, then to its
+            // opening brace (or terminating semicolon).
+            let mut j = attr_end + 1;
+            while tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+                match matching_close(tokens, j + 1, '[', ']') {
+                    Some(e) => j = e + 1,
+                    None => break,
+                }
+            }
+            let mut k = j;
+            let mut end = tokens.len();
+            while k < tokens.len() {
+                let t = &tokens[k];
+                if t.is_punct(';') {
+                    end = k;
+                    break;
+                }
+                if t.is_punct('{') {
+                    end = matching_close(tokens, k, '{', '}').unwrap_or(tokens.len() - 1);
+                    break;
+                }
+                k += 1;
+            }
+            for m in mask.iter_mut().take((end + 1).min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// True when tokens at `i` start `#[cfg(` … `test` … `)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !(tokens.get(i).is_some_and(|t| t.is_punct('#'))
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        && tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg")))
+    {
+        return false;
+    }
+    let Some(end) = matching_close(tokens, i + 1, '[', ']') else {
+        return false;
+    };
+    tokens[i + 2..end].iter().any(|t| t.is_ident("test"))
+}
+
+/// Given `tokens[open_at]` == `open`, returns the index of the matching
+/// `close`.
+fn matching_close(
+    tokens: &[Token],
+    open_at: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    if !tokens.get(open_at)?.is_punct(open) {
+        return None;
+    }
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open_at) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(crate_name: &str) -> Config {
+        Config {
+            hash_order_crates: vec![crate_name.to_string()],
+            panic_index_crates: vec![crate_name.to_string()],
+            lossy_cast_crates: vec![crate_name.to_string()],
+            ..Config::default()
+        }
+    }
+
+    fn lib_findings(src: &str) -> Vec<Diagnostic> {
+        let class = FileClass { crate_name: "demo".into(), kind: FileKind::LibSrc };
+        check_file("crates/demo/src/lib.rs", src, &class, &cfg_for("demo"))
+    }
+
+    fn rule_ids(src: &str) -> Vec<&'static str> {
+        lib_findings(src).into_iter().map(|d| d.rule_id).collect()
+    }
+
+    #[test]
+    fn d1_flags_hash_containers() {
+        assert_eq!(rule_ids("use std::collections::HashMap;"), vec!["D1"]);
+        assert_eq!(rule_ids("let s: HashSet<u64> = HashSet::new();").len(), 2);
+    }
+
+    #[test]
+    fn d1_respects_allow_marker_and_tests() {
+        let src = "// lint: allow(hash-order) membership only\n\
+                   use std::collections::HashMap;\n";
+        assert!(rule_ids(src).is_empty());
+        let src = "#[cfg(test)]\nmod tests { use std::collections::HashMap; }";
+        assert!(rule_ids(src).is_empty());
+    }
+
+    #[test]
+    fn d2_flags_clock_and_rng_sources() {
+        assert_eq!(rule_ids("let t = Instant::now();"), vec!["D2"]);
+        assert_eq!(rule_ids("use std::time::SystemTime;"), vec!["D2"]);
+        assert_eq!(rule_ids("let mut r = thread_rng();"), vec!["D2"]);
+        // A bare `Instant` type annotation is fine — only `::now` reads.
+        assert!(rule_ids("fn f(start: Instant) {}").is_empty());
+    }
+
+    #[test]
+    fn p1_flags_unwrap_and_bare_expect_but_not_invariants() {
+        assert_eq!(rule_ids("let x = y.unwrap();"), vec!["P1"]);
+        assert_eq!(rule_ids("let x = y.expect(\"oops\");"), vec!["P1"]);
+        assert!(rule_ids("let x = y.expect(\"invariant: y was just inserted\");")
+            .is_empty());
+        assert_eq!(rule_ids("panic!(\"boom\");"), vec!["P1"]);
+        assert_eq!(rule_ids("todo!()"), vec!["P1"]);
+    }
+
+    #[test]
+    fn p1_flags_indexing_only_in_configured_crates() {
+        assert_eq!(rule_ids("let x = v[0];"), vec!["P1"]);
+        assert!(rule_ids("let x = vec![0];").is_empty());
+        assert!(rule_ids("let x: [u8; 4] = [0; 4];").is_empty());
+        let class = FileClass { crate_name: "other".into(), kind: FileKind::LibSrc };
+        let out = check_file("crates/other/src/lib.rs", "let x = v[0];", &class, &cfg_for("demo"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn c1_flags_bare_int_casts() {
+        assert_eq!(rule_ids("let x = y as u32;"), vec!["C1"]);
+        assert!(rule_ids("let x = y as f64;").is_empty());
+        let src = "let x = y as u32; // lint: allow(lossy-cast) y < 2^20 by construction\n";
+        assert!(rule_ids(src).is_empty());
+    }
+
+    #[test]
+    fn bin_and_test_files_relax_p1_c1() {
+        let cfg = cfg_for("demo");
+        let bin = FileClass { crate_name: "demo".into(), kind: FileKind::BinSrc };
+        let out = check_file(
+            "crates/demo/src/bin/tool.rs",
+            "let x = y.unwrap(); let z = w as u32;",
+            &bin,
+            &cfg,
+        );
+        assert!(out.is_empty());
+        // …but D1 still applies to binaries.
+        let out = check_file("crates/demo/src/bin/tool.rs", "HashMap", &bin, &cfg);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_rule() {
+        let out = lib_findings("\n  let x = y.unwrap();");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[0].rule_id, "P1");
+        let rendered = out[0].to_string();
+        assert!(rendered.contains("crates/demo/src/lib.rs:2:"), "{rendered}");
+        assert!(rendered.contains("error[P1/panic]"), "{rendered}");
+    }
+
+    #[test]
+    fn cfg_test_fn_with_extra_attrs_is_skipped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { v[0].unwrap(); }\n\
+                   fn live() { w.unwrap(); }";
+        let ids = rule_ids(src);
+        assert_eq!(ids, vec!["P1"]);
+    }
+}

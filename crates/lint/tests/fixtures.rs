@@ -1,0 +1,171 @@
+//! Fixture regression tests: each rule must flag its known-bad snippet
+//! with the right `file:line:col` + rule ID, the clean fixture must pass,
+//! and the live workspace must lint clean (the property CI enforces).
+
+// Test helpers may expect() freely: a failed expect IS the test failing
+// (`clippy.toml` only exempts `#[test]` functions themselves).
+#![allow(clippy::expect_used)]
+
+use std::path::Path;
+
+use reaper_lint::{check_file, find_workspace_root, lexer, run_workspace, Config};
+use reaper_lint::{Diagnostic, FileClass, FileKind};
+
+fn workspace_root() -> std::path::PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint.toml above crates/lint")
+}
+
+fn config() -> Config {
+    let text = std::fs::read_to_string(workspace_root().join("lint.toml"))
+        .expect("read lint.toml");
+    Config::parse(&text).expect("parse lint.toml")
+}
+
+/// Lints a fixture as if it lived at `crates/<crate>/src/fixture.rs`.
+fn lint_fixture(name: &str, crate_name: &str) -> Vec<Diagnostic> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {name}: {e}"));
+    let class = FileClass {
+        crate_name: crate_name.to_string(),
+        kind: FileKind::LibSrc,
+    };
+    let rel = format!("crates/{crate_name}/src/fixture.rs");
+    check_file(&rel, &source, &class, &config())
+}
+
+fn lines_of(diags: &[Diagnostic], rule_id: &str) -> Vec<u32> {
+    diags
+        .iter()
+        .filter(|d| d.rule_id == rule_id)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn d1_flags_hash_containers_in_output_affecting_crate() {
+    let diags = lint_fixture("d1_hash_order.rs", "bench");
+    assert!(!diags.is_empty(), "D1 fixture produced no findings");
+    assert!(diags.iter().all(|d| d.rule_id == "D1"), "{diags:?}");
+    // `use` line, two construction sites, and the `HashSet` annotation.
+    let lines = lines_of(&diags, "D1");
+    assert!(lines.contains(&3), "use-line finding missing: {lines:?}");
+    assert!(lines.contains(&6), "HashMap type finding missing: {lines:?}");
+    assert!(lines.contains(&10), "HashSet finding missing: {lines:?}");
+    // Exact position: `HashMap` inside the brace list on the use line.
+    let first = &diags[0];
+    assert_eq!((first.line, first.col), (3, 24), "{first}");
+    let rendered = first.to_string();
+    assert!(
+        rendered.contains("crates/bench/src/fixture.rs:3:24"),
+        "diagnostic must render file:line:col — got:\n{rendered}"
+    );
+    assert!(rendered.contains("error[D1/hash-order]"), "{rendered}");
+}
+
+#[test]
+fn d1_ignores_crates_outside_the_configured_scope() {
+    // `analysis` is not in the hash-order crate list.
+    let diags = lint_fixture("d1_hash_order.rs", "analysis");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn d2_flags_wall_clock_and_ambient_entropy() {
+    let diags = lint_fixture("d2_wall_clock.rs", "retention");
+    assert!(diags.iter().all(|d| d.rule_id == "D2"), "{diags:?}");
+    assert!(
+        diags.iter().any(|d| d.message.contains("SystemTime")),
+        "SystemTime not flagged: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("Instant::now") && d.line == 6),
+        "Instant::now not flagged on line 6: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("thread_rng") && d.line == 13),
+        "thread_rng not flagged on line 13: {diags:?}"
+    );
+}
+
+#[test]
+fn p1_flags_undocumented_panics_in_library_code() {
+    let diags = lint_fixture("p1_panic.rs", "core");
+    assert!(diags.iter().all(|d| d.rule_id == "P1"), "{diags:?}");
+    let lines = lines_of(&diags, "P1");
+    assert_eq!(
+        lines,
+        vec![5, 6, 8, 10],
+        "expected unwrap(5), bare expect(6), panic!(8), index(10): {diags:?}"
+    );
+}
+
+#[test]
+fn p1_index_audit_is_scoped_to_configured_crates() {
+    // `bench` is not in the index-crates list, so only the unwrap, the
+    // bare expect, and the panic! remain.
+    let diags = lint_fixture("p1_panic.rs", "bench");
+    assert_eq!(lines_of(&diags, "P1"), vec![5, 6, 8], "{diags:?}");
+}
+
+#[test]
+fn c1_flags_bare_integer_casts() {
+    let diags = lint_fixture("c1_lossy_cast.rs", "exec");
+    assert!(diags.iter().all(|d| d.rule_id == "C1"), "{diags:?}");
+    assert_eq!(lines_of(&diags, "C1"), vec![4, 9], "{diags:?}");
+}
+
+#[test]
+fn c1_is_scoped_to_hot_path_crates() {
+    let diags = lint_fixture("c1_lossy_cast.rs", "bench");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn bare_markers_are_detected_for_m0() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/m0_bare_marker.rs");
+    let source = std::fs::read_to_string(path).expect("read fixture");
+    let lexed = lexer::lex(&source);
+    let bare: Vec<_> = lexed
+        .markers
+        .iter()
+        .filter(|m| m.reason.is_empty())
+        .collect();
+    assert_eq!(bare.len(), 1, "{:?}", lexed.markers);
+    assert_eq!(bare[0].rule, "panic");
+    assert_eq!(bare[0].line, 4);
+    // The bare marker still suppresses the P1 finding (run_workspace
+    // reports the marker itself as M0 instead).
+    let diags = lint_fixture("m0_bare_marker.rs", "core");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let diags = lint_fixture("allowed_clean.rs", "core");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn live_workspace_lints_clean() {
+    let report = run_workspace(&workspace_root()).expect("scan workspace");
+    assert!(
+        report.files_checked > 100,
+        "suspiciously few files scanned: {}",
+        report.files_checked
+    );
+    let mut rendered = String::new();
+    for d in report.diagnostics.iter().chain(&report.bare_markers) {
+        rendered.push_str(&d.to_string());
+        rendered.push('\n');
+    }
+    assert!(report.is_clean(), "workspace has findings:\n{rendered}");
+}

@@ -1,0 +1,25 @@
+//! Clean fixture: every would-be finding is either a documented invariant
+//! expect, carries a reasoned allow marker, or lives in `#[cfg(test)]`
+//! code. Linted as `crates/core/src/fixture.rs` — must produce zero
+//! diagnostics.
+pub fn pick(xs: &[f64]) -> f64 {
+    let head = xs
+        .first()
+        .expect("invariant: callers validate non-emptiness");
+    // lint: allow(panic) fixture demonstrates the marker-above form
+    let tail = xs.last().unwrap();
+    head + tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap_freely() {
+        let xs = vec![1.0, 2.0];
+        assert_eq!(pick(&xs), 3.0);
+        let first = xs.first().unwrap();
+        assert_eq!(*first, xs[0]);
+    }
+}

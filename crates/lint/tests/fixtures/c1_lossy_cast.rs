@@ -1,0 +1,10 @@
+//! Known-bad fixture for rule C1 (lossy-cast): bare `as` integer casts in
+//! a hot-path crate. Linted as `crates/exec/src/fixture.rs`.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn widen_is_also_flagged(x: u32) -> u64 {
+    // Widening is lossless but still a bare `as`: use `u64::from` instead.
+    x as u64
+}

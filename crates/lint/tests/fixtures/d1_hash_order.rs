@@ -1,0 +1,12 @@
+//! Known-bad fixture for rule D1 (hash-order): `HashMap`/`HashSet` in an
+//! output-affecting crate. Linted as `crates/bench/src/fixture.rs`.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u64]) -> usize {
+    let mut counts: HashMap<u64, u32> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let distinct: HashSet<u64> = xs.iter().copied().collect();
+    counts.len() + distinct.len()
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture for rule D2 (wall-clock): ambient time and entropy
+//! sources inside model code. Linted as `crates/retention/src/fixture.rs`.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let epoch = SystemTime::now();
+    let _ = epoch;
+    t0.elapsed().as_nanos()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

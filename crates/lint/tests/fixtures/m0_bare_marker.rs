@@ -1,0 +1,6 @@
+//! Known-bad fixture for M0 (bare-marker): an allow marker without a
+//! reason defeats the audit trail and is itself a finding.
+pub fn shrug(xs: &[u32]) -> u32 {
+    // lint: allow(panic)
+    xs.first().copied().unwrap()
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture for rule P1 (panic): undocumented `unwrap`, bare
+//! `expect`, `panic!`, and slice indexing in library code. Linted as
+//! `crates/core/src/fixture.rs` (an index-audited crate).
+pub fn first_plus_last(xs: &[f64]) -> f64 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("nonempty");
+    if !head.is_finite() {
+        panic!("head is not finite");
+    }
+    head + tail + xs[0]
+}

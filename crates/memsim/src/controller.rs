@@ -57,6 +57,7 @@ impl MemoryController {
     /// # Panics
     /// Panics if the config fails validation.
     pub fn new(cfg: SimConfig) -> Self {
+        // lint: allow(panic) documented `# Panics` contract of the constructor
         cfg.validate().expect("invalid sim config");
         let mut refresh_interval_cycles = cfg
             .refresh_interval

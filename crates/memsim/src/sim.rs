@@ -71,6 +71,7 @@ impl SimResult {
 pub fn simulate(cfg: &SimConfig, traces: &[AccessTrace], instructions_per_core: u64) -> SimResult {
     assert!(!traces.is_empty(), "need at least one trace");
     assert!(instructions_per_core > 0, "need a nonzero instruction target");
+    // lint: allow(panic) documented `# Panics` contract of the entry point
     cfg.validate().expect("invalid sim config");
 
     let mut mc = MemoryController::new(*cfg);
@@ -108,6 +109,7 @@ pub fn simulate(cfg: &SimConfig, traces: &[AccessTrace], instructions_per_core: 
         .iter()
         .map(|c| {
             c.ipc()
+                // lint: allow(panic) documented `# Panics`: non-termination is a simulator bug
                 .unwrap_or_else(|| panic!("core failed to finish within {max_cycles} cycles"))
         })
         .collect();

@@ -31,6 +31,19 @@ pub struct LpddrTimings {
     pub t_wr: u32,
 }
 
+/// Error returned by [`LpddrTimings::try_lpddr4_3200`] for densities with
+/// no JEDEC (or extrapolated) tRFC data point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedDensity(pub u32);
+
+impl core::fmt::Display for UnsupportedDensity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "unsupported LPDDR4 density: {} Gb", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedDensity {}
+
 /// Memory clock frequency in Hz (LPDDR4-3200: 1600 MHz).
 pub const CLOCK_HZ: f64 = 1.6e9;
 
@@ -46,16 +59,27 @@ impl LpddrTimings {
     /// argument rests on (§1: refresh "scales unfavorably").
     ///
     /// # Panics
-    /// Panics for unsupported densities (not one of 8, 16, 32, 64).
+    /// Panics for unsupported densities (not one of 8, 16, 32, 64). Use
+    /// [`Self::try_lpddr4_3200`] when the density is not statically known.
     pub fn lpddr4_3200(density_gbit: u32) -> Self {
+        // lint: allow(panic) documented `# Panics` contract; try_lpddr4_3200 is the fallible API
+        Self::try_lpddr4_3200(density_gbit).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Self::lpddr4_3200`].
+    ///
+    /// # Errors
+    /// Returns [`UnsupportedDensity`] for densities other than 8, 16, 32,
+    /// or 64 Gb.
+    pub fn try_lpddr4_3200(density_gbit: u32) -> Result<Self, UnsupportedDensity> {
         let t_rfc_ns: f64 = match density_gbit {
             8 => 280.0,
             16 => 380.0,
             32 => 660.0,
             64 => 1250.0,
-            other => panic!("unsupported LPDDR4 density: {other} Gb"),
+            other => return Err(UnsupportedDensity(other)),
         };
-        Self {
+        Ok(Self {
             t_rcd: 29,
             t_rp: 34,
             t_ras: 67,
@@ -66,7 +90,7 @@ impl LpddrTimings {
             t_rfc_ab: ns_to_cycles(t_rfc_ns),
             t_rfc_pb: ns_to_cycles(t_rfc_ns * 0.5),
             t_wr: 29,
-        }
+        })
     }
 
     /// Row-cycle time `tRC = tRAS + tRP`.
@@ -100,6 +124,14 @@ pub fn ns_to_cycles(ns: f64) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_variant_reports_unsupported_density() {
+        assert!(LpddrTimings::try_lpddr4_3200(16).is_ok());
+        let err = LpddrTimings::try_lpddr4_3200(12).unwrap_err();
+        assert_eq!(err, UnsupportedDensity(12));
+        assert!(err.to_string().contains("12 Gb"));
+    }
 
     #[test]
     fn densities_have_growing_trfc() {

@@ -7,7 +7,7 @@
 //! serviced from their replicated copies. REAPER's role is to keep the
 //! FaultMap populated with fresh profiling results.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reaper_core::FailureProfile;
 
@@ -89,7 +89,7 @@ impl ArchShield {
         &self,
         profile: &FailureProfile,
     ) -> Result<InstalledFaultMap, CapacityExceeded> {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let replica_base = self.usable_words();
         for cell in profile.iter() {
             let word = cell / WORD_BITS;
@@ -115,7 +115,7 @@ impl ArchShield {
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstalledFaultMap {
     shield: ArchShield,
-    map: HashMap<u64, u64>,
+    map: BTreeMap<u64, u64>,
 }
 
 impl InstalledFaultMap {

@@ -55,7 +55,7 @@ impl Raidr {
             );
         }
         let row_bits = geometry.row_bits() as u64;
-        let mut assigned = std::collections::HashSet::new();
+        let mut assigned = std::collections::BTreeSet::new();
         let mut bins = Vec::new();
         for (interval, profile) in profiles {
             let mut filter =

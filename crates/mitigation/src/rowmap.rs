@@ -2,7 +2,7 @@
 //! "the DRAM memory controller maps addresses with failing cells out of the
 //! system address space", backed by spare rows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reaper_core::FailureProfile;
 use reaper_dram_model::ChipGeometry;
@@ -17,7 +17,7 @@ use reaper_dram_model::ChipGeometry;
 pub struct RowRemapper {
     geometry: ChipGeometry,
     spare_rows: u64,
-    map: HashMap<u64, u64>,
+    map: BTreeMap<u64, u64>,
 }
 
 /// Error returned when the profile needs more spares than exist.
@@ -52,7 +52,7 @@ impl RowRemapper {
         Self {
             geometry,
             spare_rows,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
         }
     }
 

@@ -9,7 +9,7 @@
 //! store. A row can pass every scrub and then receive "a new unfavorable
 //! data pattern, which leads to uncorrectable errors in the next period."
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use reaper_core::FailureProfile;
 use reaper_dram_model::{Celsius, DataPattern, Ms};
@@ -62,7 +62,9 @@ impl EccScrubber {
         temp: Celsius,
     ) -> ScrubReport {
         let outcome = chip.retention_trial(resident_data, interval, temp);
-        let mut by_word: HashMap<u64, Vec<u64>> = HashMap::new();
+        // BTreeMap so the report vectors are built in key order — the
+        // trailing sorts become no-ops but keep the postcondition explicit.
+        let mut by_word: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for &cell in outcome.failures() {
             by_word.entry(cell / 64).or_default().push(cell);
         }

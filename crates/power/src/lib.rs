@@ -21,6 +21,12 @@
 //! assert_eq!(model.refresh_power_w(None), 0.0);
 //! ```
 
+// Unit tests assert exact float equality on purpose: bit-identical
+// outputs are this repo's determinism contract (DESIGN.md §"Static
+// analysis & determinism invariants"); `clippy.toml` has no
+// in-tests knob for these lints.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
 use reaper_dram_model::Ms;
 use reaper_memsim::timing::REFRESHES_PER_WINDOW;
 use reaper_memsim::CommandStats;

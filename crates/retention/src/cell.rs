@@ -8,6 +8,7 @@
 
 use reaper_dram_model::{ChipGeometry, DataPattern};
 use reaper_analysis::special::phi;
+use reaper_exec::num;
 
 /// One weak cell's retention phenotype.
 ///
@@ -45,10 +46,10 @@ impl WeakCell {
     /// the fraction of the four neighbors whose stored value matches the
     /// cell's aggressor signature.
     pub fn stress_under(&self, pattern: DataPattern, geometry: ChipGeometry) -> f64 {
-        let row_bits = geometry.row_bits() as u64;
+        let row_bits = u64::from(geometry.row_bits());
         let total_rows = geometry.total_rows();
         let row = self.index / row_bits;
-        let col = (self.index % row_bits) as u32;
+        let col = num::u64_to_u32(self.index % row_bits);
 
         let north = pattern.bit_at((row + total_rows - 1) % total_rows, col);
         let south = pattern.bit_at((row + 1) % total_rows, col);
@@ -66,8 +67,8 @@ impl WeakCell {
 
     /// The bit this cell stores under `pattern`.
     pub fn stored_bit(&self, pattern: DataPattern, geometry: ChipGeometry) -> bool {
-        let row_bits = geometry.row_bits() as u64;
-        pattern.bit_at(self.index / row_bits, (self.index % row_bits) as u32)
+        let row_bits = u64::from(geometry.row_bits());
+        pattern.bit_at(self.index / row_bits, num::u64_to_u32(self.index % row_bits))
     }
 
     /// Effective CDF mean in seconds given a temperature μ-scale factor, a

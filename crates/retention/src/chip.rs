@@ -1,12 +1,13 @@
 //! The simulated DRAM chip: weak-cell population synthesis and retention
 //! trials.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use reaper_analysis::dist::{Exponential, LogNormal, Poisson};
+use reaper_exec::num;
 use reaper_exec::rng::stream;
 use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
 
@@ -100,7 +101,9 @@ pub struct SimulatedChip {
     base_vrt: Vec<TwoStateVrt>,
     /// VRT-arrived failing cells (paper §5.3 steady-state accumulation).
     arrivals: Vec<ArrivalCell>,
-    used: HashSet<u64>,
+    /// Occupied cell indices (weak cells plus VRT arrivals). Membership
+    /// checks only, but kept ordered so `Clone`d chips compare cleanly.
+    used: BTreeSet<u64>,
     now_ms: f64,
     last_arrival_ms: f64,
     /// Sequential generator for population synthesis and VRT arrivals
@@ -121,18 +124,21 @@ impl SimulatedChip {
     /// # Panics
     /// Panics if `cfg` fails [`RetentionConfig::validate`].
     pub fn new(cfg: RetentionConfig, seed: u64) -> Self {
+        // lint: allow(panic) documented `# Panics` contract of the constructor
         cfg.validate().expect("invalid retention config");
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let n_cells = Poisson::new(cfg.expected_weak_cells())
-            .expect("valid lambda")
-            .sample(&mut rng) as usize;
+        let n_cells = num::idx_u64(
+            Poisson::new(cfg.expected_weak_cells())
+                .expect("invariant: validated config yields a positive lambda")
+                .sample(&mut rng),
+        );
 
         let sigma_dist = LogNormal::from_median(cfg.sigma_median_secs, cfg.sigma_log_sd)
-            .expect("valid sigma lognormal");
+            .expect("invariant: validated config yields finite positive sigma params");
 
         let density = cfg.geometry.density_bits();
-        let mut used = HashSet::with_capacity(n_cells * 2);
+        let mut used = BTreeSet::new();
         let mut cells = Vec::with_capacity(n_cells);
         let mut base_vrt = Vec::new();
 
@@ -155,16 +161,16 @@ impl SimulatedChip {
                     (cycle_ms * (1.0 - cfg.vrt_low_duty)).max(1.0),
                     0.0,
                 ));
-                Some((base_vrt.len() - 1) as u32)
+                Some(num::to_u32(base_vrt.len() - 1))
             } else {
                 None
             };
             cells.push(WeakCell {
                 index,
-                mu0: mu0 as f32,
-                sigma0: sigma0 as f32,
+                mu0: num::f32_narrow(mu0),
+                sigma0: num::f32_narrow(sigma0),
                 vulnerable_bit: rng.random(),
-                dpd_strength: (rng.random::<f64>() * cfg.dpd_max_strength) as f32,
+                dpd_strength: num::f32_narrow(rng.random::<f64>() * cfg.dpd_max_strength),
                 dpd_signature: rng.random_range(0..16u8),
                 vrt_index,
             });
@@ -197,21 +203,20 @@ impl SimulatedChip {
     }
 
     fn rebuild_sort(&mut self) {
-        // Compute each key exactly once, stable-sort a permutation, and
-        // gather both vectors through it.
-        let keys: Vec<f64> = self
+        // Pair each cell with its key and stable-sort the pairs; no index
+        // permutation needed, so no bounds checks to justify.
+        let cfg = &self.cfg;
+        let mut paired: Vec<(f64, WeakCell)> = self
             .cells
-            .iter()
-            .map(|c| Self::sort_key_of(&self.cfg, c))
+            .drain(..)
+            .map(|c| (Self::sort_key_of(cfg, &c), c))
             .collect();
-        let mut perm: Vec<u32> = (0..self.cells.len() as u32).collect();
-        perm.sort_by(|&a, &b| {
-            keys[a as usize]
-                .partial_cmp(&keys[b as usize])
-                .expect("finite keys")
+        paired.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("invariant: sort keys are finite products of finite cell params")
         });
-        self.sort_keys = perm.iter().map(|&i| keys[i as usize]).collect();
-        self.cells = perm.iter().map(|&i| self.cells[i as usize]).collect();
+        self.sort_keys = paired.iter().map(|&(k, _)| k).collect();
+        self.cells = paired.into_iter().map(|(_, c)| c).collect();
     }
 
     /// The chip's configuration.
@@ -304,7 +309,9 @@ impl SimulatedChip {
             let mut vrt_update = None;
             let vrt_factor = match cell.vrt_index {
                 Some(i) => {
-                    let mut vrt = base_vrt[i as usize];
+                    let mut vrt = *base_vrt
+                        .get(num::idx(i))
+                        .expect("invariant: vrt_index values are positions pushed into base_vrt");
                     let in_low = vrt.observe_at(now_ms, lane.next_f64());
                     vrt_update = Some((i, vrt));
                     if in_low {
@@ -326,6 +333,7 @@ impl SimulatedChip {
             (fails.then_some(cell.index), vrt_update)
         };
 
+        // lint: allow(panic) end comes from partition_point, always <= len
         let window = &self.cells[..end];
         let mut failures = Vec::new();
         let mut vrt_updates: Vec<(u32, TwoStateVrt)> = Vec::new();
@@ -352,7 +360,8 @@ impl SimulatedChip {
             }
         }
         for (i, state) in vrt_updates {
-            self.base_vrt[i as usize] = state;
+            // lint: allow(panic) indices originate from base_vrt positions above
+            self.base_vrt[num::idx(i)] = state;
         }
 
         // VRT-arrival cells: freshly arrived cells fail (that is their
@@ -394,13 +403,13 @@ impl SimulatedChip {
         }
         let rate = self.cfg.vrt_arrival_rate_per_hour(t_secs, temp);
         let n = Poisson::new(rate * elapsed_hours)
-            .expect("valid lambda")
+            .expect("invariant: arrival rate and elapsed span are positive here")
             .sample(&mut self.rng);
 
         let sigma_dist = LogNormal::from_median(self.cfg.sigma_median_secs, self.cfg.sigma_log_sd)
-            .expect("valid sigma lognormal");
+            .expect("invariant: validated config yields finite positive sigma params");
         let lifetime = Exponential::from_mean(self.cfg.vrt_lifetime_hours * 3.6e6)
-            .expect("valid lifetime");
+            .expect("invariant: validated config yields a positive VRT lifetime");
         let density = self.cfg.geometry.density_bits();
         let ms_scale = self.cfg.mu_temp_scale(temp);
 
@@ -419,8 +428,8 @@ impl SimulatedChip {
             self.arrivals.push(ArrivalCell {
                 cell: WeakCell {
                     index,
-                    mu0: mu0 as f32,
-                    sigma0: sigma_dist.sample(&mut self.rng).min(SIGMA_CAP_SECS) as f32,
+                    mu0: num::f32_narrow(mu0),
+                    sigma0: num::f32_narrow(sigma_dist.sample(&mut self.rng).min(SIGMA_CAP_SECS)),
                     vulnerable_bit: self.rng.random(),
                     dpd_strength: 0.0,
                     dpd_signature: 0,
@@ -467,6 +476,7 @@ impl SimulatedChip {
         let cut = (t + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
         let end = self.sort_keys.partition_point(|&k| k < cut);
 
+        // lint: allow(panic) end comes from partition_point, always <= len
         let mut out: Vec<u64> = self.cells[..end]
             .iter()
             .filter(|c| {
@@ -497,6 +507,7 @@ impl SimulatedChip {
 mod tests {
     use super::*;
     use reaper_dram_model::Vendor;
+    use std::collections::HashSet;
 
     fn quick_cfg() -> RetentionConfig {
         // 1/8 capacity for fast tests.

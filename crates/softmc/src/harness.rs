@@ -205,6 +205,7 @@ impl TestHarness {
         let pattern = self
             .pending_pattern
             .take()
+            // lint: allow(panic) documented `# Panics` contract of the command sequence
             .expect("write a data pattern before reading back");
         let interval = self.pending_wait;
         assert!(

@@ -7,6 +7,10 @@
 //! cargo run --release --example characterize_chip
 //! ```
 
+// Examples narrate to stdout and fail loudly: panics and prints are the
+// point of a runnable walkthrough.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::indexing_slicing, clippy::print_stdout)]
+
 use reaper::core::planner::{CharacterizeOptions, ChipCharacterization};
 use reaper::dram_model::{Celsius, Ms, Vendor};
 use reaper::retention::{RetentionConfig, SimulatedChip, SpdRecord};

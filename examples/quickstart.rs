@@ -5,6 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples narrate to stdout and fail loudly: panics and prints are the
+// point of a runnable walkthrough.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::indexing_slicing, clippy::print_stdout)]
+
 use reaper::core::conditions::{ReachConditions, TargetConditions};
 use reaper::core::metrics::ProfileMetrics;
 use reaper::core::profile::FailureProfile;

@@ -6,6 +6,10 @@
 //! cargo run --release --example reach_tradeoff
 //! ```
 
+// Examples narrate to stdout and fail loudly: panics and prints are the
+// point of a runnable walkthrough.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::indexing_slicing, clippy::print_stdout)]
+
 use reaper::core::tradeoff::{ExploreOptions, GroundTruth, TradeoffAnalysis};
 use reaper::core::TargetConditions;
 use reaper::dram_model::{Celsius, Ms, Vendor};

@@ -10,6 +10,12 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release --offline
 
+echo "== static analysis: reaper-lint (D1/D2/P1/C1) =="
+cargo run -q --offline -p reaper-lint
+
+echo "== static analysis: clippy deny-wall =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 

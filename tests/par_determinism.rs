@@ -10,6 +10,10 @@
 //! is global, so each test serializes on `OVERRIDE_LOCK` and restores the
 //! default before returning.
 
+// Test helpers may unwrap freely: a failed unwrap IS the test failing
+// (`clippy.toml` only exempts `#[test]` functions themselves).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Mutex;
 
 use reaper::core::conditions::{ReachConditions, TargetConditions};
