@@ -29,7 +29,9 @@
 //!   Figs. 9–10 and reach-condition selection (§6.1.2),
 //! * [`planner`] — per-chip characterization and analytic reach-condition
 //!   recommendation (the §6.3 program),
-//! * [`online`] — the long-running online profiling controller (§7.1).
+//! * [`online`] — the long-running online profiling controller (§7.1),
+//! * [`request`] — the canonical, hashable profiling-job form behind
+//!   `reaper-serve`'s content-addressed result cache.
 //!
 //! # Example: profile a chip at reach conditions
 //!
@@ -77,10 +79,12 @@ pub mod overhead;
 pub mod planner;
 pub mod profile;
 pub mod profiler;
+pub mod request;
 pub mod tradeoff;
 
 pub use conditions::{ReachConditions, TargetConditions};
 pub use ecc::EccStrength;
 pub use metrics::ProfileMetrics;
-pub use profile::FailureProfile;
+pub use profile::{FailureProfile, ProfileCodecError};
 pub use profiler::{PatternSet, Profiler, ProfilingRun};
+pub use request::{PatternSpec, ProfilingOutcome, ProfilingRequest, RequestError};

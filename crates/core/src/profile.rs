@@ -1,7 +1,89 @@
 //! Failure profiles: sets of failing-cell addresses with the set algebra
-//! the paper's metrics need.
+//! the paper's metrics need, plus the compact wire encoding `reaper-serve`
+//! ships over HTTP.
 
 use std::collections::BTreeSet;
+
+/// Magic prefix of the binary profile encoding (`"RPF"` + version `1`).
+pub const PROFILE_WIRE_MAGIC: [u8; 4] = *b"RPF1";
+
+/// Decoding failure for [`FailureProfile::from_bytes`].
+///
+/// Corrupt input is an expected condition on a network boundary, so every
+/// variant is a plain `Err` — decoding never panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileCodecError {
+    /// Input shorter than the 4-byte magic.
+    TooShort,
+    /// Magic bytes do not spell `RPF1`.
+    BadMagic,
+    /// A varint ran past the end of the input.
+    TruncatedVarint,
+    /// A varint encoded more than 64 bits.
+    VarintOverflow,
+    /// A delta pushed the running address past `u64::MAX`.
+    AddressOverflow,
+    /// The declared cell count exceeds what the payload can hold.
+    CountTooLarge,
+    /// Bytes remained after the declared number of cells was decoded.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for ProfileCodecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let what = match self {
+            Self::TooShort => "input shorter than the RPF1 magic",
+            Self::BadMagic => "magic bytes are not RPF1",
+            Self::TruncatedVarint => "varint truncated mid-value",
+            Self::VarintOverflow => "varint encodes more than 64 bits",
+            Self::AddressOverflow => "delta overflows the u64 address space",
+            Self::CountTooLarge => "declared count exceeds payload capacity",
+            Self::TrailingBytes => "trailing bytes after the last cell",
+        };
+        write!(f, "profile decode error: {what}")
+    }
+}
+
+impl std::error::Error for ProfileCodecError {}
+
+/// Appends `value` as an LEB128 varint (7 bits per byte, high bit =
+/// continuation).
+fn push_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = u8::try_from(value & 0x7F)
+            .expect("invariant: a 7-bit mask always fits in u8");
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint from the front of `input`, returning the value
+/// and the remaining bytes.
+fn read_varint(input: &[u8]) -> Result<(u64, &[u8]), ProfileCodecError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut rest = input;
+    loop {
+        let Some((&byte, tail)) = rest.split_first() else {
+            return Err(ProfileCodecError::TruncatedVarint);
+        };
+        rest = tail;
+        let payload = u64::from(byte & 0x7F);
+        // 10th byte (shift 63) may only carry the final bit.
+        if shift >= 64 || (shift == 63 && payload > 1) {
+            return Err(ProfileCodecError::VarintOverflow);
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, rest));
+        }
+        shift += 7;
+    }
+}
 
 /// A retention-failure profile: the set of (linear) cell addresses observed
 /// or predicted to fail at some conditions.
@@ -81,6 +163,74 @@ impl FailureProfile {
     pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
         self.cells.iter().copied()
     }
+
+    /// Encodes the profile into the compact sorted-delta varint wire form:
+    /// `RPF1` magic, varint cell count, then per cell a varint delta from
+    /// its predecessor (the first cell absolute, subsequent cells encoded
+    /// as `cell − prev − 1`, exploiting strict ascending order).
+    ///
+    /// The encoding is canonical — equal profiles produce identical bytes
+    /// — which is what lets `reaper-serve` treat profile bytes as
+    /// content-addressed values and tests compare wire output against
+    /// direct library calls byte-for-byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Dense profiles encode near 1 byte/cell; reserve for that plus
+        // slack so typical encodes do not reallocate.
+        let mut out = Vec::with_capacity(8 + self.cells.len() * 2);
+        out.extend_from_slice(&PROFILE_WIRE_MAGIC);
+        push_varint(&mut out, reaper_exec::num::to_u64(self.cells.len()));
+        let mut prev: Option<u64> = None;
+        for cell in self.cells.iter().copied() {
+            match prev {
+                None => push_varint(&mut out, cell),
+                // BTreeSet iteration is strictly ascending, so the -1 is safe.
+                Some(p) => push_varint(&mut out, cell - p - 1),
+            }
+            prev = Some(cell);
+        }
+        out
+    }
+
+    /// Decodes a profile from the [`FailureProfile::to_bytes`] wire form.
+    ///
+    /// # Errors
+    /// Returns a [`ProfileCodecError`] on any malformed input — wrong
+    /// magic, truncated or over-long varints, address overflow, or
+    /// trailing garbage. Never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ProfileCodecError> {
+        let Some((magic, mut rest)) = bytes.split_first_chunk::<4>() else {
+            return Err(ProfileCodecError::TooShort);
+        };
+        if *magic != PROFILE_WIRE_MAGIC {
+            return Err(ProfileCodecError::BadMagic);
+        }
+        let count;
+        (count, rest) = read_varint(rest)?;
+        // Each cell takes at least one payload byte, so a count beyond the
+        // remaining length is corrupt — reject before allocating.
+        if count > reaper_exec::num::to_u64(rest.len()) {
+            return Err(ProfileCodecError::CountTooLarge);
+        }
+        let mut cells = BTreeSet::new();
+        let mut prev: Option<u64> = None;
+        for _ in 0..count {
+            let delta;
+            (delta, rest) = read_varint(rest)?;
+            let cell = match prev {
+                None => delta,
+                Some(p) => p
+                    .checked_add(1)
+                    .and_then(|p1| p1.checked_add(delta))
+                    .ok_or(ProfileCodecError::AddressOverflow)?,
+            };
+            cells.insert(cell);
+            prev = Some(cell);
+        }
+        if !rest.is_empty() {
+            return Err(ProfileCodecError::TrailingBytes);
+        }
+        Ok(Self { cells })
+    }
 }
 
 impl Extend<u64> for FailureProfile {
@@ -145,5 +295,74 @@ mod tests {
         assert_eq!(p.len(), 5);
         assert!(p.contains(8));
         assert!(!p.contains(7));
+    }
+
+    #[test]
+    fn codec_roundtrips_representative_shapes() {
+        let shapes: Vec<FailureProfile> = vec![
+            FailureProfile::new(),
+            FailureProfile::from_cells([0]),
+            FailureProfile::from_cells([u64::MAX]),
+            FailureProfile::from_cells([0, u64::MAX]),
+            (0..5_000u64).collect(),
+            FailureProfile::from_cells([1, 128, 129, 1 << 40, (1 << 40) + 1]),
+        ];
+        for p in shapes {
+            let bytes = p.to_bytes();
+            assert_eq!(&bytes[..4], b"RPF1");
+            let back = FailureProfile::from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn codec_is_canonical_and_compact() {
+        let a: FailureProfile = [9u64, 1, 5].into_iter().collect();
+        let b: FailureProfile = [5u64, 9, 1].into_iter().collect();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        // Dense runs delta-encode to one byte per cell after the header.
+        let dense: FailureProfile = (1000..2000u64).collect();
+        assert!(dense.to_bytes().len() < 4 + 2 + 1000 + 8);
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_inputs_without_panicking() {
+        use super::ProfileCodecError as E;
+        assert_eq!(FailureProfile::from_bytes(b""), Err(E::TooShort));
+        assert_eq!(FailureProfile::from_bytes(b"RPF"), Err(E::TooShort));
+        assert_eq!(FailureProfile::from_bytes(b"RPF2\x00"), Err(E::BadMagic));
+        // Declared count with no payload.
+        assert_eq!(FailureProfile::from_bytes(b"RPF1\x05"), Err(E::CountTooLarge));
+        // Truncated mid-varint (continuation bit set, no next byte).
+        assert_eq!(
+            FailureProfile::from_bytes(b"RPF1\x01\x80"),
+            Err(E::TruncatedVarint)
+        );
+        // 11-byte varint overflows u64.
+        let mut over = b"RPF1\x01".to_vec();
+        over.extend_from_slice(&[0x80; 10]);
+        over.push(0x01);
+        assert_eq!(FailureProfile::from_bytes(&over), Err(E::VarintOverflow));
+        // Second delta pushes past u64::MAX.
+        let mut wrap = b"RPF1\x02".to_vec();
+        push_varint(&mut wrap, u64::MAX);
+        push_varint(&mut wrap, 0);
+        assert_eq!(FailureProfile::from_bytes(&wrap), Err(E::AddressOverflow));
+        // Trailing garbage after a valid body.
+        let mut trail = FailureProfile::from_cells([3]).to_bytes();
+        trail.push(0x00);
+        assert_eq!(FailureProfile::from_bytes(&trail), Err(E::TrailingBytes));
+    }
+
+    #[test]
+    fn truncating_any_prefix_of_a_valid_encoding_errors() {
+        let p: FailureProfile = (0..64u64).map(|i| i * 977).collect();
+        let bytes = p.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                FailureProfile::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded cleanly"
+            );
+        }
     }
 }

@@ -1,0 +1,74 @@
+//! Property tests for the `FailureProfile` wire codec: round-trip over
+//! arbitrary address sets (empty, singleton, dense, max-u64), and a
+//! corruption fuzz pass asserting the decoder returns `Err` — never
+//! panics — on mangled input (the P1 lint contract at the service's
+//! network boundary).
+
+// Fuzz offsets are reduced modulo small buffer lengths before narrowing;
+// clippy's in-tests knobs do not cover cast lints.
+#![allow(clippy::cast_possible_truncation)]
+
+use proptest::prelude::*;
+use reaper_core::FailureProfile;
+use reaper_exec::rng::SplitMix64;
+
+proptest! {
+    #[test]
+    fn roundtrip_arbitrary_sets(cells in proptest::collection::btree_set(any::<u64>(), 0..512)) {
+        let p = FailureProfile::from_cells(cells.iter().copied());
+        let bytes = p.to_bytes();
+        let back = FailureProfile::from_bytes(&bytes).expect("valid encoding must decode");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn roundtrip_edge_shapes(start in any::<u64>(), len in 0usize..256) {
+        // Dense run starting anywhere, clamped so it can touch u64::MAX.
+        let cells: Vec<u64> = (0..len as u64)
+            .map(|i| start.saturating_add(i))
+            .collect();
+        let p = FailureProfile::from_cells(cells);
+        let back = FailureProfile::from_bytes(&p.to_bytes()).expect("dense run decodes");
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn corrupted_inputs_error_instead_of_panicking(
+        cells in proptest::collection::btree_set(any::<u64>(), 0..64),
+        seed in any::<u64>(),
+        flips in 1usize..8,
+    ) {
+        let valid = FailureProfile::from_cells(cells.iter().copied()).to_bytes();
+        let mut rng = SplitMix64::new(seed);
+
+        // Bit-flip corruption: may stay decodable (a flipped delta is
+        // still a profile) but must never panic, and a decode that
+        // succeeds must re-encode without panicking too.
+        let mut flipped = valid.clone();
+        for _ in 0..flips {
+            let pos = (rng.next_u64() % flipped.len().max(1) as u64) as usize;
+            if let Some(byte) = flipped.get_mut(pos) {
+                *byte ^= 1 << (rng.next_u64() % 8);
+            }
+        }
+        if let Ok(decoded) = FailureProfile::from_bytes(&flipped) {
+            let _ = decoded.to_bytes();
+        }
+
+        // Truncation corruption: every strict prefix of a nonempty body
+        // must be rejected.
+        if !cells.is_empty() {
+            let cut = (rng.next_u64() % valid.len() as u64) as usize;
+            prop_assert!(FailureProfile::from_bytes(&valid[..cut]).is_err());
+        }
+
+        // Random-garbage corruption: arbitrary bytes after a forged magic.
+        let mut garbage = b"RPF1".to_vec();
+        for _ in 0..(rng.next_u64() % 64) {
+            garbage.push((rng.next_u64() & 0xFF) as u8);
+        }
+        if let Ok(decoded) = FailureProfile::from_bytes(&garbage) {
+            let _ = decoded.to_bytes();
+        }
+    }
+}

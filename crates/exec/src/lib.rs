@@ -9,7 +9,10 @@
 //! * [`par_chunk_map`] — parallel map over contiguous chunks (amortizes
 //!   per-item overhead on hot inner loops),
 //! * [`par_map_mut`] — parallel in-place mutation of a slice,
-//! * [`run_partitioned`] — low-level work-stealing loop for custom shapes.
+//! * [`run_partitioned`] — low-level work-stealing loop for custom shapes,
+//! * [`pool`] — long-lived worker-pool primitives (bounded MPMC queue +
+//!   joinable thread pool) for service-shaped workloads like
+//!   `reaper-serve`.
 //!
 //! Work distribution is an atomic chunk index: workers `fetch_add` to
 //! claim the next chunk, so load-imbalanced items (e.g. chips with very
@@ -47,6 +50,7 @@ use std::sync::OnceLock;
 use std::thread;
 
 pub mod num;
+pub mod pool;
 pub mod rng;
 
 /// Process-wide thread-count override; 0 means "unset".

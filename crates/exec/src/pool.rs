@@ -1,0 +1,299 @@
+//! Long-lived worker-pool primitives: a bounded MPMC queue and a named
+//! thread pool.
+//!
+//! The parallel-map entry points in the crate root are *fork-join*: they
+//! spawn scoped workers, drain one slice, and return. A service has the
+//! opposite shape — producers and consumers run indefinitely and
+//! hand off heterogeneous jobs — so this module adds the two pieces that
+//! shape needs, still zero-dependency:
+//!
+//! * [`BoundedQueue`] — a `Mutex`+`Condvar` MPMC queue with a hard
+//!   capacity (backpressure instead of unbounded memory growth) and
+//!   close-then-drain shutdown semantics,
+//! * [`WorkerPool`] — N detach-free threads running one worker function,
+//!   joined (with panic propagation) on [`WorkerPool::join`].
+//!
+//! Determinism note: queue *pop order* is necessarily scheduling-
+//! dependent. Callers that need deterministic outputs must make each job
+//! a pure function of its own identity (as `reaper-serve` does by keying
+//! jobs on the canonical request hash) so that ordering only affects
+//! timing, never results.
+
+use std::collections::VecDeque;
+use std::panic::resume_unwind;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Locks a mutex, recovering the guard from a poisoned lock (a panicking
+/// peer must not cascade into every other worker).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed load or retry.
+    Full,
+    /// The queue was closed; no further items are accepted.
+    Closed,
+}
+
+impl core::fmt::Display for PushError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PushError::Full => write!(f, "queue is full"),
+            PushError::Closed => write!(f, "queue is closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO queue.
+///
+/// Closing the queue ([`BoundedQueue::close`]) rejects further pushes but
+/// lets consumers drain what was already accepted: [`BoundedQueue::pop`]
+/// keeps returning items until the queue is both closed *and* empty, then
+/// returns `None`. That is exactly the graceful-shutdown contract a
+/// service drain loop wants.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue accepting at most `capacity` in-flight items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item` if there is room, without blocking.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`BoundedQueue::close`]; the item is dropped in both cases (the
+    /// caller still owns its own copy of whatever identity it needs).
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut st = lock(&self.state);
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open and
+    /// empty. Returns `None` once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = lock(&self.state);
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, blocked consumers wake,
+    /// and already-queued items remain poppable (drain semantics).
+    pub fn close(&self) {
+        lock(&self.state).closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// True once [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        lock(&self.state).closed
+    }
+
+    /// Items currently queued (a point-in-time snapshot).
+    pub fn len(&self) -> usize {
+        lock(&self.state).items.len()
+    }
+
+    /// True when no items are queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// A fixed-size pool of named worker threads all running one function.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (named `<name>-0` … `<name>-{n-1}`), each
+    /// running `work(worker_index)` to completion. The worker function
+    /// owns its exit condition — typically a [`BoundedQueue::pop`] loop
+    /// that ends when the queue closes.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero or the OS refuses to spawn a thread.
+    pub fn spawn<F>(name: &str, workers: usize, work: F) -> Self
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "worker pool needs at least one thread");
+        let work = Arc::new(work);
+        let handles = (0..workers)
+            .map(|i| {
+                let work = Arc::clone(&work);
+                thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || work(i))
+                    .expect("invariant: spawning a named worker thread only fails on OS resource exhaustion")
+            })
+            .collect();
+        Self { handles }
+    }
+
+    /// Number of threads in the pool.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// True for a pool with no threads (cannot be constructed via
+    /// [`WorkerPool::spawn`]; exists for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to finish. If any worker panicked, the
+    /// first panic payload is re-raised here (after all threads joined),
+    /// matching the crate's fork-join entry points.
+    pub fn join(self) {
+        let mut panic = None;
+        for h in self.handles {
+            if let Err(payload) = h.join() {
+                panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_single_consumer() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).expect("room");
+        }
+        assert_eq!(q.len(), 5);
+        let drained: Vec<i32> = (0..5).map(|_| q.pop().expect("queued")).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_and_closed_pushes_are_rejected() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).expect("room");
+        q.try_push(2).expect("room");
+        assert_eq!(q.try_push(3), Err(PushError::Full));
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.try_push(4), Err(PushError::Closed));
+        // Drain semantics: accepted items survive the close.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.pop());
+        // Give the consumer a chance to block, then close.
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().expect("no panic"), None);
+    }
+
+    #[test]
+    fn pool_consumes_everything_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(64));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let q = Arc::clone(&q);
+            let seen = Arc::clone(&seen);
+            WorkerPool::spawn("test-worker", 4, move |_i| {
+                while let Some(x) = q.pop() {
+                    seen.fetch_add(x, Ordering::Relaxed);
+                }
+            })
+        };
+        assert_eq!(pool.len(), 4);
+        assert!(!pool.is_empty());
+        let mut expect = 0;
+        for x in 1..=50usize {
+            expect += x;
+            while q.try_push(x).is_err() {
+                thread::yield_now();
+            }
+        }
+        q.close();
+        pool.join();
+        assert_eq!(seen.load(Ordering::Relaxed), expect);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 2 exploded")]
+    fn pool_join_propagates_worker_panics() {
+        let pool = WorkerPool::spawn("panicky", 3, |i| {
+            if i == 2 {
+                panic!("worker 2 exploded");
+            }
+        });
+        pool.join();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = BoundedQueue::<()>::new(0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Wire-level request/response mapping: JSON bodies ↔
+//! [`ProfilingRequest`] and outcome summaries ↔ JSON.
+//!
+//! The JSON form is a convenience veneer; canonicalization and hashing
+//! operate on [`ProfilingRequest::canonical_bytes`], never on JSON text,
+//! so formatting, key order, and optional-field defaults cannot perturb
+//! job identity.
+
+use reaper_core::{PatternSpec, ProfilingOutcome, ProfilingRequest};
+use reaper_dram_model::Vendor;
+
+use crate::json::{self, Value};
+
+/// Default capacity-scale numerator when the body omits `capacity_num`.
+const DEFAULT_CAPACITY_NUM: u64 = 1;
+/// Default capacity-scale denominator (1/16 of the represented bits).
+const DEFAULT_CAPACITY_DEN: u64 = 16;
+/// Default ambient target temperature in °C.
+const DEFAULT_AMBIENT_C: f64 = 45.0;
+/// Default profiling rounds.
+const DEFAULT_ROUNDS: u32 = 4;
+
+/// Parses a `POST /v1/jobs` JSON body into a [`ProfilingRequest`].
+///
+/// Required fields: `vendor` (`"A"|"B"|"C"`), `seed`,
+/// `target_interval_ms`. Optional with defaults: `capacity_num` (1),
+/// `capacity_den` (16), `target_ambient_c` (45), `reach_delta_ms` (0),
+/// `reach_delta_temp_c` (0), `rounds` (4), `patterns` (`"standard"`).
+///
+/// # Errors
+/// A human-readable message naming the offending field; the request is
+/// *not* semantically validated here (that is
+/// [`ProfilingRequest::validate`]'s job).
+pub fn parse_job_body(body: &[u8]) -> Result<ProfilingRequest, String> {
+    let text = core::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    if !matches!(doc, Value::Obj(_)) {
+        return Err("body must be a JSON object".to_string());
+    }
+
+    let vendor_name = doc
+        .get("vendor")
+        .and_then(Value::as_str)
+        .ok_or("missing required string field `vendor`")?;
+    let vendor = Vendor::ALL
+        .iter()
+        .copied()
+        .find(|v| v.name() == vendor_name)
+        .ok_or_else(|| format!("unknown vendor `{vendor_name}` (expected A, B, or C)"))?;
+
+    let seed = doc
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or("missing required integer field `seed`")?;
+    let target_interval_ms = doc
+        .get("target_interval_ms")
+        .and_then(Value::as_f64)
+        .ok_or("missing required numeric field `target_interval_ms`")?;
+
+    let opt_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+        }
+    };
+    let opt_f64 = |key: &str, default: f64| -> Result<f64, String> {
+        match doc.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| format!("field `{key}` must be a number")),
+        }
+    };
+
+    let patterns = match doc.get("patterns") {
+        None => PatternSpec::Standard,
+        Some(v) => {
+            let name = v
+                .as_str()
+                .ok_or("field `patterns` must be a string")?;
+            PatternSpec::parse(name).ok_or_else(|| {
+                format!("unknown pattern set `{name}` (expected standard or random_only)")
+            })?
+        }
+    };
+
+    let rounds_u64 = opt_u64("rounds", u64::from(DEFAULT_ROUNDS))?;
+    let rounds =
+        u32::try_from(rounds_u64).map_err(|_| "field `rounds` is out of range".to_string())?;
+
+    Ok(ProfilingRequest {
+        vendor,
+        capacity_num: opt_u64("capacity_num", DEFAULT_CAPACITY_NUM)?,
+        capacity_den: opt_u64("capacity_den", DEFAULT_CAPACITY_DEN)?,
+        seed,
+        target_interval_ms,
+        target_ambient_c: opt_f64("target_ambient_c", DEFAULT_AMBIENT_C)?,
+        reach_delta_ms: opt_f64("reach_delta_ms", 0.0)?,
+        reach_delta_temp_c: opt_f64("reach_delta_temp_c", 0.0)?,
+        rounds,
+        patterns,
+    })
+}
+
+/// Renders a [`ProfilingRequest`] as the JSON body [`parse_job_body`]
+/// accepts (used by the client and the load generator).
+pub fn encode_job_body(req: &ProfilingRequest) -> String {
+    json::obj([
+        ("vendor", json::str(req.vendor.name())),
+        ("capacity_num", json::uint(req.capacity_num)),
+        ("capacity_den", json::uint(req.capacity_den)),
+        ("seed", json::uint(req.seed)),
+        ("target_interval_ms", json::num(req.target_interval_ms)),
+        ("target_ambient_c", json::num(req.target_ambient_c)),
+        ("reach_delta_ms", json::num(req.reach_delta_ms)),
+        ("reach_delta_temp_c", json::num(req.reach_delta_temp_c)),
+        ("rounds", json::uint(u64::from(req.rounds))),
+        ("patterns", json::str(req.patterns.name())),
+    ])
+    .encode()
+}
+
+/// The compact, JSON-safe summary of a completed job stored in its
+/// record and returned by `GET /v1/jobs/{id}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Cells in the profiled failure set.
+    pub cells: u64,
+    /// Cells in the analytic ground-truth set.
+    pub truth_cells: u64,
+    /// Coverage of the ground truth (0–1).
+    pub coverage: f64,
+    /// False-positive rate over profiled cells (0–1).
+    pub false_positive_rate: f64,
+    /// Simulated profiling runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Profiling iterations executed.
+    pub iterations: u64,
+    /// Encoded profile size in bytes.
+    pub profile_bytes: u64,
+}
+
+impl JobSummary {
+    /// Builds the summary from an execution outcome and its encoded size.
+    pub fn from_outcome(outcome: &ProfilingOutcome, encoded_len: usize) -> Self {
+        Self {
+            cells: reaper_exec::num::to_u64(outcome.run.profile.len()),
+            truth_cells: reaper_exec::num::to_u64(outcome.truth_cells),
+            coverage: outcome.metrics.coverage,
+            false_positive_rate: outcome.metrics.false_positive_rate,
+            runtime_ms: outcome.run.runtime.as_ms(),
+            iterations: reaper_exec::num::to_u64(outcome.run.iteration_count()),
+            profile_bytes: reaper_exec::num::to_u64(encoded_len),
+        }
+    }
+
+    /// The summary as a JSON object value.
+    pub fn to_value(&self) -> Value {
+        json::obj([
+            ("cells", json::uint(self.cells)),
+            ("truth_cells", json::uint(self.truth_cells)),
+            ("coverage", json::num(self.coverage)),
+            ("false_positive_rate", json::num(self.false_positive_rate)),
+            ("runtime_ms", json::num(self.runtime_ms)),
+            ("iterations", json::uint(self.iterations)),
+            ("profile_bytes", json::uint(self.profile_bytes)),
+        ])
+    }
+}
+
+/// A uniform JSON error body: `{"error": "<message>"}`.
+pub fn error_body(message: &str) -> String {
+    json::obj([("error", json::str(message))]).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_roundtrips_to_the_same_job_id() {
+        let req = ProfilingRequest::example(42);
+        let body = encode_job_body(&req);
+        let back = parse_job_body(body.as_bytes()).expect("own encoding parses");
+        assert_eq!(back, req);
+        assert_eq!(back.job_id(), req.job_id());
+    }
+
+    #[test]
+    fn minimal_body_fills_documented_defaults() {
+        let req = parse_job_body(br#"{"vendor":"B","seed":7,"target_interval_ms":1024}"#)
+            .expect("minimal body");
+        assert_eq!(req.vendor, Vendor::B);
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.capacity_num, 1);
+        assert_eq!(req.capacity_den, 16);
+        assert_eq!(req.target_ambient_c, 45.0);
+        assert_eq!(req.reach_delta_ms, 0.0);
+        assert_eq!(req.rounds, 4);
+        assert_eq!(req.patterns, PatternSpec::Standard);
+        // Defaults must match ProfilingRequest::example modulo the fields
+        // example() sets explicitly.
+        let mut example = ProfilingRequest::example(7);
+        example.reach_delta_ms = 0.0;
+        assert_eq!(req, example);
+    }
+
+    #[test]
+    fn bad_bodies_name_the_offending_field() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"not json", "json error"),
+            (b"[]", "must be a JSON object"),
+            (br#"{"seed":1,"target_interval_ms":1}"#, "`vendor`"),
+            (br#"{"vendor":"Z","seed":1,"target_interval_ms":1}"#, "unknown vendor"),
+            (br#"{"vendor":"A","target_interval_ms":1}"#, "`seed`"),
+            (br#"{"vendor":"A","seed":1}"#, "`target_interval_ms`"),
+            (
+                br#"{"vendor":"A","seed":1,"target_interval_ms":1,"patterns":"zigzag"}"#,
+                "unknown pattern set",
+            ),
+        ];
+        for (body, needle) in cases {
+            let err = parse_job_body(body).expect_err("must reject");
+            assert!(err.contains(needle), "{err:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn seed_precision_is_not_lost_through_json() {
+        let mut req = ProfilingRequest::example(0);
+        req.seed = u64::MAX - 1;
+        let back = parse_job_body(encode_job_body(&req).as_bytes()).expect("parses");
+        assert_eq!(back.seed, u64::MAX - 1);
+        assert_eq!(back.job_id(), req.job_id());
+    }
+
+    #[test]
+    fn summary_serializes_every_field() {
+        let outcome = ProfilingRequest::example(3)
+            .execute()
+            .expect("example executes");
+        let summary = JobSummary::from_outcome(&outcome, 123);
+        let v = summary.to_value();
+        for key in [
+            "cells",
+            "truth_cells",
+            "coverage",
+            "false_positive_rate",
+            "runtime_ms",
+            "iterations",
+            "profile_bytes",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(v.get("profile_bytes").and_then(Value::as_u64), Some(123));
+        assert_eq!(error_body("boom"), r#"{"error":"boom"}"#);
+    }
+}

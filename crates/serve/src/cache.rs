@@ -1,0 +1,208 @@
+//! The content-addressed result cache: job ID → encoded profile bytes,
+//! with LRU eviction under a byte budget.
+//!
+//! Recency is a logical tick counter, not a clock — the cache must not
+//! read wall time (lint rule D2), and logical ticks make eviction order a
+//! pure function of the access sequence. Both maps are `BTreeMap` so
+//! iteration order is deterministic (lint rule D1 bans hash-ordered
+//! containers in this crate).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+struct Entry {
+    bytes: Arc<Vec<u8>>,
+    tick: u64,
+}
+
+/// An LRU byte-budgeted map from job ID to encoded profile bytes.
+///
+/// Values are `Arc`ed so a hit can be served while the lock is released;
+/// eviction drops the cache's reference without invalidating in-flight
+/// responses.
+pub struct ResultCache {
+    entries: BTreeMap<u64, Entry>,
+    /// tick → id index ordering entries from coldest to hottest. Ticks are
+    /// unique (monotonic counter), so this is a faithful LRU order.
+    by_tick: BTreeMap<u64, u64>,
+    used_bytes: usize,
+    budget_bytes: usize,
+    next_tick: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `budget_bytes` of encoded profiles.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            by_tick: BTreeMap::new(),
+            used_bytes: 0,
+            budget_bytes,
+            next_tick: 0,
+            evictions: 0,
+        }
+    }
+
+    fn bump(&mut self) -> u64 {
+        let t = self.next_tick;
+        self.next_tick += 1;
+        t
+    }
+
+    /// Inserts `bytes` under `id`, evicting least-recently-used entries
+    /// until the budget holds. Re-inserting an existing ID refreshes both
+    /// bytes and recency. An item larger than the whole budget is refused
+    /// (the caller still owns the bytes; it just isn't cached).
+    pub fn insert(&mut self, id: u64, bytes: Arc<Vec<u8>>) {
+        if bytes.len() > self.budget_bytes {
+            return;
+        }
+        self.remove(id);
+        let tick = self.bump();
+        self.used_bytes += bytes.len();
+        self.by_tick.insert(tick, id);
+        self.entries.insert(id, Entry { bytes, tick });
+        while self.used_bytes > self.budget_bytes {
+            let Some((_, &cold_id)) = self.by_tick.iter().next() else {
+                break;
+            };
+            if cold_id == id {
+                // Never evict what was just inserted; budget check above
+                // guarantees it fits alone.
+                break;
+            }
+            self.remove(cold_id);
+            self.evictions += 1;
+        }
+    }
+
+    /// Looks up `id`, refreshing its recency on a hit.
+    pub fn get(&mut self, id: u64) -> Option<Arc<Vec<u8>>> {
+        let tick = self.bump();
+        let entry = self.entries.get_mut(&id)?;
+        self.by_tick.remove(&entry.tick);
+        entry.tick = tick;
+        self.by_tick.insert(tick, id);
+        Some(Arc::clone(&entry.bytes))
+    }
+
+    /// True when `id` is cached, without touching recency.
+    pub fn contains(&self, id: u64) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// Removes `id` if present (not counted as an eviction).
+    pub fn remove(&mut self, id: u64) {
+        if let Some(old) = self.entries.remove(&id) {
+            self.by_tick.remove(&old.tick);
+            self.used_bytes -= old.bytes.len();
+        }
+    }
+
+    /// Total bytes of cached values.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Cumulative count of budget-pressure evictions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(fill: u8, len: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; len])
+    }
+
+    #[test]
+    fn hit_returns_inserted_bytes() {
+        let mut c = ResultCache::new(1024);
+        c.insert(7, blob(0xAB, 10));
+        assert!(c.contains(7));
+        assert_eq!(c.get(7).as_deref().map(Vec::as_slice), Some(&[0xAB; 10][..]));
+        assert_eq!(c.get(8), None);
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.budget_bytes(), 1024);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut c = ResultCache::new(30);
+        c.insert(1, blob(1, 10));
+        c.insert(2, blob(2, 10));
+        c.insert(3, blob(3, 10));
+        // Touch 1 so 2 becomes the coldest entry.
+        assert!(c.get(1).is_some());
+        c.insert(4, blob(4, 10));
+        assert!(c.contains(1));
+        assert!(!c.contains(2), "coldest entry must go first");
+        assert!(c.contains(3));
+        assert!(c.contains(4));
+        assert_eq!(c.evictions(), 1);
+        assert!(c.used_bytes() <= 30);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_double_counting() {
+        let mut c = ResultCache::new(100);
+        c.insert(1, blob(1, 40));
+        c.insert(1, blob(2, 20));
+        assert_eq!(c.used_bytes(), 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1).as_deref().map(Vec::as_slice), Some(&[2u8; 20][..]));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn oversized_items_are_refused_not_thrashed() {
+        let mut c = ResultCache::new(16);
+        c.insert(1, blob(1, 8));
+        c.insert(2, blob(2, 64));
+        assert!(c.contains(1), "oversized insert must not evict residents");
+        assert!(!c.contains(2));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn remove_is_not_an_eviction() {
+        let mut c = ResultCache::new(64);
+        c.insert(1, blob(1, 8));
+        c.remove(1);
+        c.remove(99);
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn hits_keep_in_flight_arcs_alive_across_eviction() {
+        let mut c = ResultCache::new(10);
+        c.insert(1, blob(7, 10));
+        let held = c.get(1).expect("resident");
+        c.insert(2, blob(8, 10));
+        assert!(!c.contains(1));
+        assert_eq!(held.as_slice(), &[7u8; 10][..]);
+    }
+}

@@ -1,0 +1,242 @@
+//! A std-only client for the profiling service, used by the smoke test
+//! and the load generator.
+//!
+//! One [`Client`] owns one keep-alive connection. Requests reconnect
+//! once on transport error (the server may have reaped an idle
+//! connection between requests), then give up.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+use reaper_core::ProfilingRequest;
+
+use crate::api;
+use crate::http::{self, ClientResponse};
+use crate::json::{self, Value};
+
+/// What a service interaction can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write).
+    Io(io::Error),
+    /// The response was not parseable HTTP or JSON.
+    Protocol(String),
+    /// The server answered with an unexpected status code.
+    Status(u16, String),
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Status(code, body) => {
+                write!(f, "unexpected status {code}: {body}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The parsed result of a job submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReceipt {
+    /// The content-addressed job ID (16 hex digits).
+    pub job_id: String,
+    /// Job status at submission time.
+    pub status: String,
+    /// True when this submission matched an existing record.
+    pub deduped: bool,
+}
+
+/// A keep-alive HTTP client bound to one server address.
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Creates a client for `addr`; connects lazily on first use.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self { addr, conn: None }
+    }
+
+    fn connect(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            // Request/response round-trips on one connection stall ~40 ms
+            // under Nagle + delayed ACK; this is a latency-sensitive RPC
+            // pattern, so disable coalescing.
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        // invariant: the branch above filled `conn`
+        match self.conn.as_mut() {
+            Some(c) => Ok(c),
+            None => Err(io::Error::other("connection vanished")),
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let conn = self.connect()?;
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: reaper-serve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        conn.get_mut().write_all(&message)?;
+        conn.get_mut().flush()?;
+        http::read_response(conn).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request, reconnecting once if the kept-alive connection
+    /// turned out to be dead.
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let had_conn = self.conn.is_some();
+        match self.request_once(method, target, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                if had_conn {
+                    self.request_once(method, target, body)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn parse_json(resp: &ClientResponse) -> Result<Value, ClientError> {
+        let text = core::str::from_utf8(&resp.body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 body".to_string()))?;
+        json::parse(text).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn expect_status(resp: ClientResponse, want: u16) -> Result<ClientResponse, ClientError> {
+        if resp.status == want {
+            Ok(resp)
+        } else {
+            let body = String::from_utf8_lossy(&resp.body).into_owned();
+            Err(ClientError::Status(resp.status, body))
+        }
+    }
+
+    /// Submits `request` via `POST /v1/jobs`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn submit(&mut self, request: &ProfilingRequest) -> Result<SubmitReceipt, ClientError> {
+        let body = api::encode_job_body(request);
+        let resp = self.request("POST", "/v1/jobs", body.as_bytes())?;
+        let resp = Self::expect_status(resp, 200)?;
+        let doc = Self::parse_json(&resp)?;
+        let field = |key: &str| -> Result<String, ClientError> {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ClientError::Protocol(format!("receipt missing `{key}`")))
+        };
+        Ok(SubmitReceipt {
+            job_id: field("job_id")?,
+            status: field("status")?,
+            deduped: doc
+                .get("deduped")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+        })
+    }
+
+    /// Fetches the status document for `job_id` (`GET /v1/jobs/{id}`).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn job_status(&mut self, job_id: &str) -> Result<Value, ClientError> {
+        let resp = self.request("GET", &format!("/v1/jobs/{job_id}"), &[])?;
+        let resp = Self::expect_status(resp, 200)?;
+        Self::parse_json(&resp)
+    }
+
+    /// Fetches the binary profile for `job_id`, or `None` while the job
+    /// is still queued or running (202).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or protocol failure, and
+    /// [`ClientError::Status`] for 4xx/5xx (including 410 after
+    /// eviction).
+    pub fn profile_bytes(&mut self, job_id: &str) -> Result<Option<Vec<u8>>, ClientError> {
+        let resp = self.request("GET", &format!("/v1/profiles/{job_id}"), &[])?;
+        match resp.status {
+            200 => Ok(Some(resp.body)),
+            202 => Ok(None),
+            code => {
+                let body = String::from_utf8_lossy(&resp.body).into_owned();
+                Err(ClientError::Status(code, body))
+            }
+        }
+    }
+
+    /// Polls until the profile is available, sleeping `poll_interval`
+    /// between attempts, for at most `max_polls` attempts.
+    ///
+    /// # Errors
+    /// [`ClientError::Protocol`] when the poll budget runs out; otherwise
+    /// as [`Client::profile_bytes`].
+    pub fn wait_for_profile(
+        &mut self,
+        job_id: &str,
+        poll_interval: Duration,
+        max_polls: usize,
+    ) -> Result<Vec<u8>, ClientError> {
+        for _ in 0..max_polls {
+            if let Some(bytes) = self.profile_bytes(job_id)? {
+                return Ok(bytes);
+            }
+            thread::sleep(poll_interval);
+        }
+        Err(ClientError::Protocol(format!(
+            "job {job_id} did not finish within {max_polls} polls"
+        )))
+    }
+
+    /// Fetches the Prometheus metrics page as text.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let resp = self.request("GET", "/metrics", &[])?;
+        let resp = Self::expect_status(resp, 200)?;
+        String::from_utf8(resp.body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 metrics body".to_string()))
+    }
+
+    /// Checks `GET /healthz`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn healthz(&mut self) -> Result<bool, ClientError> {
+        let resp = self.request("GET", "/healthz", &[])?;
+        let resp = Self::expect_status(resp, 200)?;
+        let doc = Self::parse_json(&resp)?;
+        Ok(doc.get("ok").and_then(Value::as_bool).unwrap_or(false))
+    }
+}

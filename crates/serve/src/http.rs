@@ -1,0 +1,426 @@
+//! A minimal HTTP/1.1 layer over `std::io`: enough of the protocol for
+//! the profiling service and its client — request-line + header parsing,
+//! `Content-Length` framing, keep-alive — and nothing else (no chunked
+//! encoding, no TLS, no HTTP/2).
+//!
+//! The reader is written against `BufRead` so the server can *peek*
+//! (`fill_buf`) before committing to a request: a read timeout while
+//! idle between requests is a normal keep-alive lapse, while a timeout
+//! mid-request is a protocol error.
+
+use std::io::{self, BufRead, ErrorKind, Read, Write};
+
+/// Longest accepted request line or single header line, in bytes.
+const MAX_LINE: u64 = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request/response body, in bytes.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// Why reading an HTTP message failed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer went idle past the socket read timeout *between*
+    /// requests; the connection should be closed quietly.
+    Timeout,
+    /// The message violates the subset of HTTP/1.1 this module speaks.
+    Malformed(&'static str),
+    /// A line, header block, or body exceeded its size cap.
+    TooLarge(&'static str),
+    /// The underlying transport failed mid-message.
+    Io(io::Error),
+}
+
+impl core::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HttpError::Timeout => write!(f, "idle timeout"),
+            HttpError::Malformed(what) => write!(f, "malformed http message: {what}"),
+            HttpError::TooLarge(what) => write!(f, "http message too large: {what}"),
+            HttpError::Io(e) => write!(f, "http transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request: method, target (path + optional query), lowercased
+/// headers, body.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target, e.g. `/v1/jobs/abc?format=json`.
+    pub target: String,
+    /// Header `(name, value)` pairs; names lowercased at parse time.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The query string after `?`, if any.
+    pub fn query(&self) -> Option<&str> {
+        let (_, q) = self.target.split_once('?')?;
+        Some(q)
+    }
+
+    /// True when the query string contains `key=value` as one `&`-separated
+    /// component.
+    pub fn query_has(&self, key: &str, value: &str) -> bool {
+        self.query()
+            .is_some_and(|q| q.split('&').any(|kv| kv.split_once('=') == Some((key, value))))
+    }
+
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True unless the client sent `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, stripped of its terminator.
+fn read_line<R: BufRead>(reader: &mut R, what: &'static str) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.by_ref().take(MAX_LINE).read_line(&mut line)?;
+    if n == 0 {
+        return Err(HttpError::Malformed("unexpected end of stream"));
+    }
+    if !line.ends_with('\n') {
+        return Err(HttpError::TooLarge(what));
+    }
+    while line.ends_with(['\n', '\r']) {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Lowercased `(name, value)` header pairs.
+type Headers = Vec<(String, String)>;
+
+/// Parses the shared header/body tail of a request or response.
+fn read_headers_and_body<R: BufRead>(reader: &mut R) -> Result<(Headers, Vec<u8>), HttpError> {
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader, "header line")?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("header count"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("unparsable content-length"))?,
+    };
+    if length > MAX_BODY {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok((headers, body))
+}
+
+/// Reads one request from a keep-alive connection.
+///
+/// Returns `Ok(None)` on clean EOF before any request byte (the client
+/// closed between requests). A read timeout in the same position maps to
+/// [`HttpError::Timeout`] so callers can poll a shutdown flag and come
+/// back; any timeout *after* the first byte is a hard error.
+///
+/// # Errors
+/// [`HttpError`] for timeouts, protocol violations, oversized messages,
+/// and transport failures.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
+    // Peek before parsing so idle-timeout and clean-close are
+    // distinguishable from a malformed request.
+    match reader.fill_buf() {
+        Ok([]) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            return Err(HttpError::Timeout);
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+
+    let request_line = read_line(reader, "request line")?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line without target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line without version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported http version"));
+    }
+
+    let (headers, body) = read_headers_and_body(reader)?;
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// A response ready to serialize: status, content type, extra headers,
+/// body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Additional `(name, value)` headers (e.g. `ETag`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A binary (`application/octet-stream`) response.
+    pub fn bytes(status: u16, body: Vec<u8>) -> Self {
+        Self {
+            status,
+            content_type: "application/octet-stream",
+            extra_headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Attaches an extra header.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes this service emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        410 => "Gone",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `response` with `Content-Length` framing and the given
+/// connection disposition.
+///
+/// # Errors
+/// Propagates transport write failures.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+    // One write for head + body: split writes interact badly with Nagle's
+    // algorithm + delayed ACK (~40 ms stalls on loopback keep-alive).
+    let mut message = head.into_bytes();
+    message.extend_from_slice(&response.body);
+    writer.write_all(&message)?;
+    writer.flush()
+}
+
+/// A response as seen by the client side: status, headers, body.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lowercased header pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header (name compared case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let want = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == want)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one response off a client connection.
+///
+/// # Errors
+/// [`HttpError`] for protocol violations, oversized messages, and
+/// transport failures.
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<ClientResponse, HttpError> {
+    let status_line = read_line(reader, "status line")?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported http version"));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or(HttpError::Malformed("unparsable status code"))?;
+    let (headers, body) = read_headers_and_body(reader)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse_bytes(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw))
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = b"POST /v1/jobs?format=json&x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        let req = parse_bytes(raw).expect("valid").expect("present");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path(), "/v1/jobs");
+        assert_eq!(req.query(), Some("format=json&x=1"));
+        assert!(req.query_has("format", "json"));
+        assert!(!req.query_has("format", "bin"));
+        assert_eq!(req.header("HOST"), Some("h"));
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_yields_none_and_garbage_errors() {
+        assert!(parse_bytes(b"").expect("eof is clean").is_none());
+        assert!(parse_bytes(b"NOT-HTTP\r\n\r\n").is_err());
+        assert!(parse_bytes(b"GET / HTTP/2\r\n\r\n").is_err());
+        assert!(parse_bytes(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        assert!(parse_bytes(b"GET / HTTP/1.1\r\nContent-Length: zzz\r\n\r\n").is_err());
+        // Declared body longer than the stream.
+        assert!(parse_bytes(b"GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab").is_err());
+    }
+
+    #[test]
+    fn size_caps_are_enforced() {
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000));
+        assert!(matches!(
+            parse_bytes(long_target.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+        let huge_body = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            parse_bytes(huge_body.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = parse_bytes(raw).expect("valid").expect("present");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn response_roundtrips_through_client_reader() {
+        let resp = Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("etag", "\"abc\"".to_string());
+        let mut wire = Vec::new();
+        write_response(&mut wire, &resp, true).expect("write to vec");
+        let back = read_response(&mut BufReader::new(wire.as_slice())).expect("parse own output");
+        assert_eq!(back.status, 200);
+        assert_eq!(back.header("ETag"), Some("\"abc\""));
+        assert_eq!(back.header("connection"), Some("keep-alive"));
+        assert_eq!(back.body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn lf_only_lines_are_tolerated() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: h\n\n";
+        let req = parse_bytes(raw).expect("valid").expect("present");
+        assert_eq!(req.path(), "/healthz");
+    }
+}

@@ -1,0 +1,516 @@
+//! Minimal JSON: a hand-rolled parser and encoder covering exactly the
+//! service's wire needs, with no dependencies.
+//!
+//! Integers are kept exact ([`Value::Int`], `i128`) rather than funneled
+//! through `f64`, because job seeds and cell addresses are full-width
+//! `u64` values that binary64 cannot represent above 2⁵³.
+
+use std::collections::BTreeMap;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fraction or exponent, kept exact.
+    Int(i128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; `BTreeMap` so encoding order is deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup; `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64`, if it is an integer in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a `u32`, if it is an integer in range.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Value::Int(i) => u32::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` (integers widen; may round above 2⁵³).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Encodes this value as compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    // f64 Display is shortest-roundtrip; ensure a marker
+                    // so integral floats don't re-parse as Int.
+                    let s = n.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; encode as null like serde_json.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => encode_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                let mut first = true;
+                for item in items {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                let mut first = true;
+                for (k, v) in map {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builds an object value from `(key, value)` pairs (later keys win).
+pub fn obj<I: IntoIterator<Item = (&'static str, Value)>>(pairs: I) -> Value {
+    Value::Obj(
+        pairs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// String payload helper.
+pub fn str(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// Unsigned-integer payload helper.
+pub fn uint(v: u64) -> Value {
+    Value::Int(i128::from(v))
+}
+
+/// Float payload helper.
+pub fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset the parser stopped at.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl core::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+/// Returns the first syntax error with its byte offset; never panics on
+/// any input.
+pub fn parse(text: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Nesting depth cap: deeper documents are rejected rather than risking
+/// stack exhaustion on hostile input.
+const MAX_DEPTH: u32 = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &'static str) -> JsonError {
+        JsonError {
+            at: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, want: u8, message: &'static str) -> Result<(), JsonError> {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        let end = self.pos.saturating_add(lit.len());
+        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Value, JsonError> {
+        self.expect_byte(b'{', "expected '{'")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':', "expected ':' after object key")?;
+            self.skip_ws();
+            let val = self.value(depth + 1)?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Obj(map)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Value, JsonError> {
+        self.expect_byte(b'[', "expected '['")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Arr(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect_byte(b'"', "expected '\"'")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\' && b >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = self
+                    .bytes
+                    .get(start..self.pos)
+                    .ok_or_else(|| self.err("string run out of bounds"))?;
+                let text = core::str::from_utf8(run)
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                out.push_str(text);
+            }
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: require the low half.
+                            if !self.eat_literal("\\u") {
+                                return Err(self.err("unpaired surrogate"));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(self.err("invalid low surrogate"));
+                            }
+                            0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let Some(b) = self.bump() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            v = (v << 4) | digit;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let run = self
+            .bytes
+            .get(start..self.pos)
+            .ok_or_else(|| self.err("number run out of bounds"))?;
+        let text =
+            core::str::from_utf8(run).map_err(|_| self.err("invalid number bytes"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|_| self.err("malformed number"))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_service_request_shape() {
+        let v = parse(
+            r#"{"vendor":"B","seed":18446744073709551615,"target_interval_ms":1024,
+                "reach_delta_ms":250.5,"patterns":"standard","big":[1,2,3],"ok":true}"#,
+        )
+        .expect("valid json");
+        assert_eq!(v.get("vendor").and_then(Value::as_str), Some("B"));
+        assert_eq!(v.get("seed").and_then(Value::as_u64), Some(u64::MAX));
+        assert_eq!(
+            v.get("target_interval_ms").and_then(Value::as_f64),
+            Some(1024.0)
+        );
+        assert_eq!(v.get("reach_delta_ms").and_then(Value::as_f64), Some(250.5));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn u64_seeds_above_2_53_survive_roundtrip() {
+        let seed = (1u64 << 53) + 1;
+        let text = obj([("seed", uint(seed))]).encode();
+        let back = parse(&text).expect("roundtrip");
+        assert_eq!(back.get("seed").and_then(Value::as_u64), Some(seed));
+    }
+
+    #[test]
+    fn encode_escapes_and_orders_deterministically() {
+        let v = obj([
+            ("b", str("line\n\"quote\"")),
+            ("a", uint(1)),
+            ("c", Value::Bool(false)),
+        ]);
+        assert_eq!(
+            v.encode(),
+            r#"{"a":1,"b":"line\n\"quote\"","c":false}"#
+        );
+        assert_eq!(num(1.0).encode(), "1.0");
+        assert_eq!(num(f64::NAN).encode(), "null");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let cases = ["", "plain", "tab\there", "uni → ★", "q\"q", "back\\slash"];
+        for s in cases {
+            let text = Value::Str(s.to_string()).encode();
+            assert_eq!(parse(&text).expect("valid"), Value::Str(s.to_string()), "{s}");
+        }
+        assert_eq!(
+            parse(r#""\u0041\u00e9\ud83d\ude00""#).expect("escapes"),
+            Value::Str("Aé😀".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error_cleanly() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+            "{\"a\":1}x", "\"\\u12\"", "\"\\ud800\"", "nul", "[1 2]",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} parsed");
+        }
+        // Depth bomb: rejected, not a stack overflow.
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn numbers_split_int_and_float() {
+        assert_eq!(parse("42").expect("int"), Value::Int(42));
+        assert_eq!(parse("-7").expect("int"), Value::Int(-7));
+        assert_eq!(parse("4.5").expect("float"), Value::Num(4.5));
+        assert_eq!(parse("1e3").expect("float"), Value::Num(1000.0));
+        assert_eq!(parse("2").expect("int").as_u32(), Some(2));
+        assert_eq!(parse("-2").expect("int").as_u64(), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! `reaper-serve`: a zero-dependency profiling service.
+//!
+//! The library crates compute retention-failure profiles as pure
+//! functions of a request; this crate puts that behind a network
+//! boundary without giving up any of it:
+//!
+//! * [`http`] — a hand-rolled HTTP/1.1 subset over `std::net` (request
+//!   parsing, `Content-Length` framing, keep-alive),
+//! * [`json`] — a dependency-free JSON parser/encoder that keeps `u64`
+//!   seeds exact,
+//! * [`api`] — JSON bodies ↔ [`reaper_core::ProfilingRequest`] mapping,
+//! * [`cache`] — the content-addressed result cache (job ID → encoded
+//!   profile bytes) with logical-tick LRU eviction under a byte budget,
+//! * [`metrics`] — counters, latency histograms, and a Prometheus text
+//!   renderer,
+//! * [`server`] — accept loop, bounded job queue, and a worker pool
+//!   built on [`reaper_exec::pool`],
+//! * [`client`] — a std-only client used by the smoke test and the load
+//!   generator.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Purpose |
+//! |---|---|
+//! | `POST /v1/jobs` | Submit a job; identical requests dedup to one ID |
+//! | `GET /v1/jobs/{id}` | Job status + result summary |
+//! | `GET /v1/profiles/{id}` | Encoded profile (`?format=json` decodes) |
+//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /healthz` | Liveness |
+//!
+//! ## Determinism contract
+//!
+//! Job IDs are the splitmix64-chained hash of the request's canonical
+//! bytes ([`reaper_core::ProfilingRequest::job_id`]); execution is
+//! [`reaper_core::ProfilingRequest::execute`], the same code path as a
+//! direct library call. Served profile bytes are therefore bit-identical
+//! to `FailureProfile::to_bytes` of an in-process run, at any worker or
+//! thread count. Wall-clock reads exist only in [`metrics`] (latency
+//! histograms) under a scoped lint exemption; they feed no result bytes.
+
+// Tests assert exact float equality on purpose (determinism contract);
+// clippy.toml has no in-tests knob for float_cmp.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
+pub mod api;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+
+pub use api::JobSummary;
+pub use cache::ResultCache;
+pub use client::{Client, ClientError, SubmitReceipt};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,79 @@
+//! The `reaper-serve` binary: bind the profiling service and run until
+//! stdin closes (or receives `quit`), then drain and exit.
+//!
+//! ```text
+//! reaper-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]
+//! ```
+
+// CLI surface: printing and argument-error exits are the point here.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use reaper_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reaper-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]\n\
+         \n\
+         Runs the REAPER profiling service until stdin closes or reads `quit`.\n\
+         Defaults: --addr 127.0.0.1:7272, --workers 0 (auto), --queue 64, --cache-mb 16"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7272".to_string(),
+        ..ServerConfig::default()
+    };
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => match value.parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => return usage(),
+            },
+            "--queue" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => config.queue_capacity = n,
+                _ => return usage(),
+            },
+            "--cache-mb" => match value.parse::<usize>() {
+                Ok(n) => config.cache_budget_bytes = n * 1024 * 1024,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("reaper-serve: failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("reaper-serve listening on http://{}", server.local_addr());
+    println!("endpoints: POST /v1/jobs, GET /v1/jobs/{{id}}, GET /v1/profiles/{{id}}, /metrics, /healthz");
+    println!("type `quit` (or close stdin) to drain and exit");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(text) if text.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+
+    println!("reaper-serve: draining queue and shutting down");
+    server.shutdown();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,266 @@
+//! Service observability: lock-free counters, power-of-two latency
+//! histograms, and a Prometheus text-format renderer.
+//!
+//! This is the *only* module in the workspace's library code that reads
+//! wall-clock time, and only through [`now`] / [`elapsed_micros`]. The
+//! determinism contract is untouched: profile bytes are a pure function
+//! of the request; clocks feed nothing but these metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// An opaque timing anchor for latency measurement.
+///
+/// Returns the current monotonic instant.
+pub(crate) fn now() -> Instant {
+    // lint: allow(wall-clock) service latency metrics only; profile bytes stay pure functions of the request
+    Instant::now()
+}
+
+/// Whole microseconds since `start`, saturating at `u64::MAX`.
+pub(crate) fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Number of histogram buckets: power-of-two boundaries 1 µs … 2^26 µs
+/// (~67 s), plus a final +Inf bucket.
+const BUCKETS: usize = 28;
+
+/// A fixed-bucket latency histogram with power-of-two µs boundaries.
+///
+/// Bucket `i < 27` counts observations `≤ 2^i` µs; the last bucket is
+/// +Inf. Cumulative counts (Prometheus `le` semantics) are computed at
+/// render time.
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        // 0..=1 µs → bucket 0; 2^26 µs and above → the +Inf bucket.
+        let clamped = micros.max(1);
+        let bits = u64::BITS - clamped.leading_zeros() - 1;
+        let idx = if clamped.is_power_of_two() { bits } else { bits + 1 };
+        reaper_exec::num::idx(idx).min(BUCKETS - 1)
+    }
+
+    /// Records one observation of `micros` microseconds.
+    pub fn record(&self, micros: u64) {
+        if let Some(bucket) = self.counts.get(Self::bucket_index(micros)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Renders this histogram in Prometheus exposition format.
+    fn render(&self, name: &str, out: &mut String) {
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c.load(Ordering::Relaxed);
+            if i == BUCKETS - 1 {
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+            } else {
+                let le = 1u64 << i;
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+        }
+        let sum = self.sum_micros.load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_sum {sum}\n"));
+        out.push_str(&format!("{name}_count {cumulative}\n"));
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All service counters and histograms, shared across connection and
+/// worker threads.
+#[derive(Default)]
+pub struct ServiceMetrics {
+    /// Jobs accepted by `POST /v1/jobs` (deduplicated submissions count
+    /// toward `jobs_deduped`, not here).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs whose execution finished successfully.
+    pub jobs_completed: AtomicU64,
+    /// Submissions answered from an existing job record without a new
+    /// execution.
+    pub jobs_deduped: AtomicU64,
+    /// Jobs whose execution failed (validation race or worker panic).
+    pub jobs_failed: AtomicU64,
+    /// Profile reads served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Profile reads that found the job done but its bytes evicted.
+    pub cache_misses: AtomicU64,
+    /// Time from submission to a worker picking the job up.
+    pub queue_wait_micros: LatencyHistogram,
+    /// Worker execution time per job.
+    pub exec_micros: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to a counter.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter, for test assertions.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_deduped: self.jobs_deduped.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the full `/metrics` payload in Prometheus text format.
+    /// Gauges the registry does not own (queue depth, cache occupancy) are
+    /// passed in by the server.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        cache_entries: usize,
+        cache_used_bytes: usize,
+        cache_evictions: u64,
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        let counters: [(&str, &AtomicU64); 6] = [
+            ("reaper_jobs_submitted_total", &self.jobs_submitted),
+            ("reaper_jobs_completed_total", &self.jobs_completed),
+            ("reaper_jobs_deduped_total", &self.jobs_deduped),
+            ("reaper_jobs_failed_total", &self.jobs_failed),
+            ("reaper_cache_hits_total", &self.cache_hits),
+            ("reaper_cache_misses_total", &self.cache_misses),
+        ];
+        for (name, counter) in counters {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
+        }
+        out.push_str("# TYPE reaper_cache_evictions_total counter\n");
+        out.push_str(&format!("reaper_cache_evictions_total {cache_evictions}\n"));
+        for (name, value) in [
+            ("reaper_queue_depth", queue_depth),
+            ("reaper_cache_entries", cache_entries),
+            ("reaper_cache_used_bytes", cache_used_bytes),
+        ] {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        self.queue_wait_micros
+            .render("reaper_queue_wait_microseconds", &mut out);
+        self.exec_micros
+            .render("reaper_exec_microseconds", &mut out);
+        out
+    }
+}
+
+/// A plain-old-data copy of the counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`ServiceMetrics::jobs_submitted`].
+    pub jobs_submitted: u64,
+    /// See [`ServiceMetrics::jobs_completed`].
+    pub jobs_completed: u64,
+    /// See [`ServiceMetrics::jobs_deduped`].
+    pub jobs_deduped: u64,
+    /// See [`ServiceMetrics::jobs_failed`].
+    pub jobs_failed: u64,
+    /// See [`ServiceMetrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`ServiceMetrics::cache_misses`].
+    pub cache_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket_index(0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1), 0);
+        assert_eq!(LatencyHistogram::bucket_index(2), 1);
+        assert_eq!(LatencyHistogram::bucket_index(3), 2);
+        assert_eq!(LatencyHistogram::bucket_index(4), 2);
+        assert_eq!(LatencyHistogram::bucket_index(5), 3);
+        assert_eq!(LatencyHistogram::bucket_index(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_renders_cumulatively() {
+        let h = LatencyHistogram::new();
+        for micros in [1, 2, 2, 100, 1_000_000_000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 5);
+        let mut out = String::new();
+        h.render("t", &mut out);
+        assert!(out.contains("t_bucket{le=\"1\"} 1\n"));
+        assert!(out.contains("t_bucket{le=\"2\"} 3\n"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 5\n"));
+        assert!(out.contains("t_count 5\n"));
+        assert!(out.contains(&format!("t_sum {}\n", 1 + 2 + 2 + 100 + 1_000_000_000)));
+    }
+
+    #[test]
+    fn render_exposes_every_required_series() {
+        let m = ServiceMetrics::new();
+        ServiceMetrics::inc(&m.jobs_submitted);
+        ServiceMetrics::inc(&m.cache_hits);
+        let text = m.render(3, 2, 4096, 1);
+        for series in [
+            "reaper_jobs_submitted_total 1",
+            "reaper_jobs_completed_total 0",
+            "reaper_jobs_deduped_total 0",
+            "reaper_jobs_failed_total 0",
+            "reaper_cache_hits_total 1",
+            "reaper_cache_misses_total 0",
+            "reaper_cache_evictions_total 1",
+            "reaper_queue_depth 3",
+            "reaper_cache_entries 2",
+            "reaper_cache_used_bytes 4096",
+            "reaper_queue_wait_microseconds_count 0",
+            "reaper_exec_microseconds_count 0",
+        ] {
+            assert!(text.contains(series), "missing series: {series}\n{text}");
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.jobs_submitted, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.jobs_completed, 0);
+    }
+
+    #[test]
+    fn elapsed_micros_is_monotone() {
+        let start = now();
+        let a = elapsed_micros(start);
+        let b = elapsed_micros(start);
+        assert!(b >= a);
+    }
+}

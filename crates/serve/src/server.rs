@@ -1,0 +1,504 @@
+//! The profiling service: accept loop, job queue, worker pool, and the
+//! HTTP endpoint handlers.
+//!
+//! ## Determinism under concurrent clients
+//!
+//! Every job is a pure function of its [`ProfilingRequest`], and the job
+//! ID is the hash of the request's canonical bytes — so scheduling
+//! (which worker runs a job, in what order, at what thread count) can
+//! only affect *when* a result appears, never *what* it is. Two clients
+//! racing to submit the same request collide on the same ID; the first
+//! enqueues the execution, the second is answered from the existing
+//! record ("dedup"), and both read back the same bytes.
+//!
+//! ## Lock ordering
+//!
+//! `jobs` before `cache`, everywhere. Handlers take at most both; the
+//! worker takes them in the same order when publishing a result.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use reaper_core::ProfilingRequest;
+use reaper_exec::pool::{BoundedQueue, PushError, WorkerPool};
+
+use crate::api::{self, JobSummary};
+use crate::cache::ResultCache;
+use crate::http::{self, HttpError, Request, Response};
+use crate::json::{self, Value};
+use crate::metrics::{self, MetricsSnapshot, ServiceMetrics};
+
+/// Socket read timeout for keep-alive connections; bounds how long a
+/// connection thread can ignore the shutdown flag.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Locks a mutex, recovering from poisoning (a panicked worker must not
+/// take the whole service down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Service configuration; `Default` gives an ephemeral-port localhost
+/// server sized for tests.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads; 0 means [`reaper_exec::thread_count`].
+    pub workers: usize,
+    /// Job-queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_budget_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_budget_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Lifecycle of a job record.
+#[derive(Debug, Clone)]
+enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; summary retained even if the profile bytes get evicted.
+    Done(JobSummary),
+    /// Execution failed (validation race or worker panic), with a reason.
+    Failed(String),
+}
+
+impl JobStatus {
+    fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done(_) => "done",
+            JobStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One job record, kept for the server's lifetime (records are a few
+/// hundred bytes; the byte-heavy profile lives in the evictable cache).
+struct JobRecord {
+    request: ProfilingRequest,
+    status: JobStatus,
+}
+
+/// A queued unit of work.
+struct JobTicket {
+    id: u64,
+    request: ProfilingRequest,
+    enqueued_at: std::time::Instant,
+}
+
+/// State shared by the accept loop, connection threads, and workers.
+struct Shared {
+    shutdown: AtomicBool,
+    queue: BoundedQueue<JobTicket>,
+    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    cache: Mutex<ResultCache>,
+    metrics: ServiceMetrics,
+    open_connections: AtomicUsize,
+}
+
+/// A running profiling service; dropping it without calling
+/// [`Server::shutdown`] leaks the listener thread for the process
+/// lifetime, so tests should always shut down explicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Option<WorkerPool>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and accept loop, and
+    /// returns once the service is reachable.
+    ///
+    /// # Errors
+    /// Propagates socket bind failures.
+    pub fn start(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            reaper_exec::thread_count()
+        } else {
+            config.workers
+        };
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            queue: BoundedQueue::new(config.queue_capacity),
+            jobs: Mutex::new(BTreeMap::new()),
+            cache: Mutex::new(ResultCache::new(config.cache_budget_bytes)),
+            metrics: ServiceMetrics::new(),
+            open_connections: AtomicUsize::new(0),
+        });
+
+        let pool = {
+            let shared = Arc::clone(&shared);
+            WorkerPool::spawn("reaper-serve-worker", workers, move |_i| {
+                worker_loop(&shared);
+            })
+        };
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("reaper-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers: Some(pool),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, close the queue (workers drain
+    /// what was already accepted), join the accept loop and the pool, and
+    /// wait bounded time for open connections to notice the flag.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(pool) = self.workers.take() {
+            pool.join();
+        }
+        // Connection threads poll the flag every READ_TIMEOUT; give them a
+        // bounded number of ticks to finish in-flight responses.
+        for _ in 0..100 {
+            if self.shared.open_connections.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            thread::sleep(READ_TIMEOUT / 4);
+        }
+    }
+}
+
+/// Accepts connections until the shutdown flag is raised, spawning one
+/// detached handler thread per connection.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.open_connections.fetch_add(1, Ordering::SeqCst);
+        let conn_shared = Arc::clone(shared);
+        let spawned = thread::Builder::new()
+            .name("reaper-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                conn_shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            // Thread spawn failed (resource exhaustion): drop the
+            // connection rather than the whole service.
+            shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Serves one keep-alive connection until close, error, or shutdown.
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    // See Client::connect: responses must not sit in Nagle's buffer
+    // waiting for a delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(None) => return,
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive();
+                let response = route(&request, shared);
+                if http::write_response(reader.get_mut(), &response, keep_alive).is_err() {
+                    return;
+                }
+                if !keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint handler.
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+    match (request.method.as_str(), request.path()) {
+        ("POST", "/v1/jobs") => submit_job(request, shared),
+        ("GET", "/healthz") => Response::json(200, json::obj([("ok", Value::Bool(true))]).encode()),
+        ("GET", "/metrics") => render_metrics(shared),
+        ("GET", path) => {
+            if let Some(id_text) = path.strip_prefix("/v1/jobs/") {
+                job_status(id_text, shared)
+            } else if let Some(id_text) = path.strip_prefix("/v1/profiles/") {
+                profile_bytes(id_text, request, shared)
+            } else {
+                Response::json(404, api::error_body("no such resource"))
+            }
+        }
+        _ => Response::json(405, api::error_body("method not allowed")),
+    }
+}
+
+/// `POST /v1/jobs`: parse, content-address, dedup-or-enqueue.
+fn submit_job(request: &Request, shared: &Arc<Shared>) -> Response {
+    let profiling_request = match api::parse_job_body(&request.body) {
+        Ok(r) => r,
+        Err(message) => return Response::json(400, api::error_body(&message)),
+    };
+    if let Err(e) = profiling_request.validate() {
+        return Response::json(400, api::error_body(&e.to_string()));
+    }
+    let id = profiling_request.job_id();
+
+    let mut jobs = lock(&shared.jobs);
+    let deduped = jobs.contains_key(&id);
+    if deduped {
+        // Same canonical request already known: answer from the record.
+        // If it finished but its bytes were evicted, re-enqueue so the
+        // profile becomes readable again (still no duplicate record).
+        ServiceMetrics::inc(&shared.metrics.jobs_deduped);
+        let needs_requeue = matches!(
+            jobs.get(&id).map(|r| &r.status),
+            Some(JobStatus::Done(_))
+        ) && !lock(&shared.cache).contains(id);
+        if needs_requeue {
+            let ticket = JobTicket {
+                id,
+                request: profiling_request.clone(),
+                enqueued_at: metrics::now(),
+            };
+            if shared.queue.try_push(ticket).is_ok() {
+                if let Some(record) = jobs.get_mut(&id) {
+                    record.status = JobStatus::Queued;
+                }
+            }
+        }
+    } else {
+        let ticket = JobTicket {
+            id,
+            request: profiling_request.clone(),
+            enqueued_at: metrics::now(),
+        };
+        match shared.queue.try_push(ticket) {
+            Ok(()) => {
+                jobs.insert(
+                    id,
+                    JobRecord {
+                        request: profiling_request,
+                        status: JobStatus::Queued,
+                    },
+                );
+                ServiceMetrics::inc(&shared.metrics.jobs_submitted);
+            }
+            Err(PushError::Full) => {
+                return Response::json(503, api::error_body("job queue is full; retry later"));
+            }
+            Err(PushError::Closed) => {
+                return Response::json(503, api::error_body("service is shutting down"));
+            }
+        }
+    }
+    let status = jobs
+        .get(&id)
+        .map(|r| r.status.name())
+        .unwrap_or("queued");
+    let body = json::obj([
+        ("job_id", json::str(ProfilingRequest::format_job_id(id))),
+        ("status", json::str(status)),
+        ("deduped", Value::Bool(deduped)),
+    ]);
+    drop(jobs);
+    Response::json(200, body.encode())
+}
+
+/// `GET /v1/jobs/{id}`: job record status and summary.
+fn job_status(id_text: &str, shared: &Arc<Shared>) -> Response {
+    let Some(id) = ProfilingRequest::parse_job_id(id_text) else {
+        return Response::json(400, api::error_body("job IDs are 16 hex digits"));
+    };
+    let jobs = lock(&shared.jobs);
+    let Some(record) = jobs.get(&id) else {
+        return Response::json(404, api::error_body("unknown job"));
+    };
+    let mut fields = vec![
+        ("job_id", json::str(ProfilingRequest::format_job_id(id))),
+        ("status", json::str(record.status.name())),
+        ("seed", json::uint(record.request.seed)),
+        ("vendor", json::str(record.request.vendor.name())),
+    ];
+    match &record.status {
+        JobStatus::Done(summary) => fields.push(("summary", summary.to_value())),
+        JobStatus::Failed(reason) => fields.push(("reason", json::str(reason.clone()))),
+        _ => {}
+    }
+    let body = json::obj(fields);
+    drop(jobs);
+    Response::json(200, body.encode())
+}
+
+/// `GET /v1/profiles/{id}`: the encoded profile (binary by default,
+/// decoded cell list with `?format=json`).
+fn profile_bytes(id_text: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+    let Some(id) = ProfilingRequest::parse_job_id(id_text) else {
+        return Response::json(400, api::error_body("job IDs are 16 hex digits"));
+    };
+    let status = {
+        let jobs = lock(&shared.jobs);
+        match jobs.get(&id) {
+            None => return Response::json(404, api::error_body("unknown job")),
+            Some(record) => record.status.clone(),
+        }
+    };
+    match status {
+        JobStatus::Queued | JobStatus::Running => Response::json(
+            202,
+            json::obj([
+                ("job_id", json::str(ProfilingRequest::format_job_id(id))),
+                ("status", json::str(status.name())),
+            ])
+            .encode(),
+        ),
+        JobStatus::Failed(reason) => Response::json(500, api::error_body(&reason)),
+        JobStatus::Done(_) => {
+            let cached = lock(&shared.cache).get(id);
+            let Some(bytes) = cached else {
+                ServiceMetrics::inc(&shared.metrics.cache_misses);
+                return Response::json(
+                    410,
+                    api::error_body("profile bytes were evicted; resubmit the job to recompute"),
+                );
+            };
+            ServiceMetrics::inc(&shared.metrics.cache_hits);
+            if request.query_has("format", "json") {
+                match reaper_core::FailureProfile::from_bytes(&bytes) {
+                    Ok(profile) => {
+                        let cells: Vec<Value> =
+                            profile.iter().map(json::uint).collect();
+                        Response::json(
+                            200,
+                            json::obj([
+                                ("job_id", json::str(ProfilingRequest::format_job_id(id))),
+                                ("cells", Value::Arr(cells)),
+                            ])
+                            .encode(),
+                        )
+                    }
+                    Err(e) => Response::json(500, api::error_body(&e.to_string())),
+                }
+            } else {
+                Response::bytes(200, bytes.as_ref().clone())
+                    .with_header("etag", format!("\"{}\"", ProfilingRequest::format_job_id(id)))
+            }
+        }
+    }
+}
+
+/// `GET /metrics`: Prometheus text exposition.
+fn render_metrics(shared: &Arc<Shared>) -> Response {
+    let (entries, used, evictions) = {
+        let cache = lock(&shared.cache);
+        (cache.len(), cache.used_bytes(), cache.evictions())
+    };
+    let text = shared
+        .metrics
+        .render(shared.queue.len(), entries, used, evictions);
+    Response::text(200, text)
+}
+
+/// One worker thread: drain the queue until it closes, executing each
+/// ticket and publishing the result.
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(ticket) = shared.queue.pop() {
+        shared
+            .metrics
+            .queue_wait_micros
+            .record(metrics::elapsed_micros(ticket.enqueued_at));
+        set_status(shared, ticket.id, JobStatus::Running);
+
+        let started = metrics::now();
+        let result = catch_unwind(AssertUnwindSafe(|| ticket.request.execute()));
+        shared
+            .metrics
+            .exec_micros
+            .record(metrics::elapsed_micros(started));
+
+        match result {
+            Ok(Ok(outcome)) => {
+                let encoded = Arc::new(outcome.run.profile.to_bytes());
+                let summary = JobSummary::from_outcome(&outcome, encoded.len());
+                // Lock order: jobs before cache.
+                let mut jobs = lock(&shared.jobs);
+                let mut cache = lock(&shared.cache);
+                cache.insert(ticket.id, encoded);
+                if let Some(record) = jobs.get_mut(&ticket.id) {
+                    record.status = JobStatus::Done(summary);
+                }
+                drop(cache);
+                drop(jobs);
+                ServiceMetrics::inc(&shared.metrics.jobs_completed);
+            }
+            Ok(Err(e)) => {
+                set_status(shared, ticket.id, JobStatus::Failed(e.to_string()));
+                ServiceMetrics::inc(&shared.metrics.jobs_failed);
+            }
+            Err(_panic) => {
+                set_status(
+                    shared,
+                    ticket.id,
+                    JobStatus::Failed("job execution panicked".to_string()),
+                );
+                ServiceMetrics::inc(&shared.metrics.jobs_failed);
+            }
+        }
+    }
+}
+
+fn set_status(shared: &Arc<Shared>, id: u64, status: JobStatus) {
+    if let Some(record) = lock(&shared.jobs).get_mut(&id) {
+        record.status = status;
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end smoke test for `reaper-serve`: dedup of concurrent
+//! identical submissions, content-addressed job IDs, and bit-identical
+//! profile bytes between the service and a direct library call — at
+//! more than one worker count.
+//!
+//! Everything lives in ONE `#[test]` because
+//! `reaper_exec::set_thread_count` is process-global and cargo runs the
+//! `#[test]` fns of one binary concurrently.
+
+// Test code may panic on failure; clippy's in-tests knobs do not cover
+// non-`#[test]` helper fns in integration-test binaries.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::time::Duration;
+
+use reaper_core::ProfilingRequest;
+use reaper_serve::{Client, Server, ServerConfig};
+
+/// A job small enough to execute in well under a second on one core.
+fn quick_request(seed: u64) -> ProfilingRequest {
+    let mut r = ProfilingRequest::example(seed);
+    r.capacity_den = 64;
+    r.rounds = 2;
+    r.target_interval_ms = 512.0;
+    r.reach_delta_ms = 128.0;
+    r
+}
+
+fn start_server(workers: usize) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+}
+
+fn poll() -> Duration {
+    Duration::from_millis(10)
+}
+
+#[test]
+fn service_is_deterministic_deduplicating_and_drains_cleanly() {
+    let request = quick_request(1717);
+
+    // Ground truth: the direct library call is itself thread-count
+    // invariant, so the service has a fixed target to match.
+    reaper_exec::set_thread_count(Some(1));
+    let direct_at_one = request.execute().expect("valid request").run.profile;
+    reaper_exec::set_thread_count(Some(4));
+    let direct_at_four = request.execute().expect("valid request").run.profile;
+    reaper_exec::set_thread_count(None);
+    let direct_bytes = direct_at_one.to_bytes();
+    assert_eq!(
+        direct_bytes,
+        direct_at_four.to_bytes(),
+        "library execution must be bit-identical at any thread count"
+    );
+    assert!(!direct_at_one.is_empty());
+
+    // --- Single-worker server: concurrent identical submissions. ---
+    let server = start_server(1);
+    let addr = server.local_addr();
+
+    let mut health_client = Client::new(addr);
+    assert!(health_client.healthz().expect("healthz responds"));
+
+    // Two clients race to submit the same canonical request.
+    let (receipt_a, receipt_b) = std::thread::scope(|scope| {
+        let ra = scope.spawn(|| Client::new(addr).submit(&quick_request(1717)));
+        let rb = scope.spawn(|| Client::new(addr).submit(&quick_request(1717)));
+        (
+            ra.join().expect("no panic").expect("submit a"),
+            rb.join().expect("no panic").expect("submit b"),
+        )
+    });
+    assert_eq!(
+        receipt_a.job_id, receipt_b.job_id,
+        "identical requests must content-address to the same job ID"
+    );
+    assert_eq!(
+        receipt_a.job_id,
+        ProfilingRequest::format_job_id(request.job_id()),
+        "wire job ID must be the canonical request hash"
+    );
+    assert_eq!(
+        u8::from(receipt_a.deduped) + u8::from(receipt_b.deduped),
+        1,
+        "exactly one of two racing submissions must be deduplicated"
+    );
+
+    let job_id = receipt_a.job_id.clone();
+    let served = health_client
+        .wait_for_profile(&job_id, poll(), 1500)
+        .expect("job finishes");
+    assert_eq!(
+        served, direct_bytes,
+        "served profile must be bit-identical to the direct library call"
+    );
+
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.jobs_submitted, 1, "one execution for two submissions");
+    assert_eq!(snap.jobs_deduped, 1);
+    assert_eq!(snap.jobs_completed, 1);
+    assert_eq!(snap.jobs_failed, 0);
+    assert!(snap.cache_hits >= 1);
+
+    // Resubmission after completion: answered from the record, no rerun.
+    let resubmit = health_client.submit(&quick_request(1717)).expect("resubmit");
+    assert!(resubmit.deduped);
+    assert_eq!(resubmit.status, "done");
+    let again = health_client
+        .profile_bytes(&job_id)
+        .expect("profile readable")
+        .expect("already done");
+    assert_eq!(again, direct_bytes);
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.jobs_completed, 1, "resubmission must not recompute");
+    assert_eq!(snap.jobs_deduped, 2);
+
+    // Status document and JSON profile variant.
+    let status = health_client.job_status(&job_id).expect("status");
+    assert_eq!(
+        status.get("status").and_then(|v| v.as_str()),
+        Some("done")
+    );
+    let summary = status.get("summary").expect("done jobs carry a summary");
+    assert_eq!(
+        summary.get("cells").and_then(|v| v.as_u64()),
+        Some(direct_at_one.len() as u64)
+    );
+    assert_eq!(
+        summary.get("profile_bytes").and_then(|v| v.as_u64()),
+        Some(direct_bytes.len() as u64)
+    );
+
+    // Error surfaces: unknown job, malformed ID, invalid body.
+    let missing = health_client.job_status("0000000000000000");
+    assert!(missing.is_err(), "unknown job must 404");
+    let malformed = health_client.profile_bytes("nope");
+    assert!(malformed.is_err(), "short IDs must be rejected");
+    let mut invalid = quick_request(1);
+    invalid.rounds = 0;
+    assert!(
+        health_client.submit(&invalid).is_err(),
+        "invalid requests must be rejected at submission"
+    );
+
+    // Metrics exposition names every required series.
+    let metrics = health_client.metrics_text().expect("metrics page");
+    for series in [
+        "reaper_jobs_submitted_total 1",
+        "reaper_jobs_completed_total 1",
+        "reaper_jobs_deduped_total 2",
+        "reaper_cache_hits_total",
+        "reaper_cache_misses_total",
+        "reaper_cache_evictions_total",
+        "reaper_queue_depth",
+        "reaper_queue_wait_microseconds_count 1",
+        "reaper_exec_microseconds_count 1",
+    ] {
+        assert!(metrics.contains(series), "missing {series}\n{metrics}");
+    }
+
+    server.shutdown();
+
+    // --- Four-worker server: distinct jobs complete; bytes still match. ---
+    let server = start_server(4);
+    let mut client = Client::new(server.local_addr());
+    let seeds = [1717u64, 2020, 3030];
+    let ids: Vec<String> = seeds
+        .iter()
+        .map(|&s| client.submit(&quick_request(s)).expect("submit").job_id)
+        .collect();
+    for (seed, id) in seeds.iter().zip(&ids) {
+        let served = client
+            .wait_for_profile(id, poll(), 1500)
+            .expect("job finishes");
+        let direct = quick_request(*seed)
+            .execute()
+            .expect("valid request")
+            .run
+            .profile
+            .to_bytes();
+        assert_eq!(
+            served, direct,
+            "seed {seed}: served bytes must match the direct call at 4 workers"
+        );
+    }
+    let snap = server.metrics_snapshot();
+    assert_eq!(snap.jobs_submitted, 3);
+    assert_eq!(snap.jobs_completed, 3);
+    assert_eq!(snap.jobs_failed, 0);
+
+    // Graceful shutdown with an already-drained queue.
+    server.shutdown();
+}

@@ -1,0 +1,230 @@
+//! Closed-loop load generator for `reaper-serve`.
+//!
+//! Starts an in-process server, seeds it with a handful of completed
+//! jobs, then drives N client threads in a closed loop (each thread
+//! issues the next request only after the previous response) over a
+//! fixed request mix — cache-hit profile reads, job-status reads, and
+//! health checks — for a wall-clock budget. Prints throughput and
+//! p50/p99 latency per request class, and optionally writes the summary
+//! as JSON (`--out BENCH_serve.json`).
+//!
+//! ```text
+//! cargo run --release --example serve_loadgen -- --seconds 5 --threads 4
+//! ```
+
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    clippy::print_stdout,
+    clippy::print_stderr,
+    clippy::indexing_slicing,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_precision_loss
+)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use reaper_core::ProfilingRequest;
+use reaper_serve::json;
+use reaper_serve::{Client, Server, ServerConfig};
+
+/// Seeds for the resident jobs every thread reads back.
+const JOB_SEEDS: [u64; 4] = [101, 202, 303, 404];
+
+/// A small job so the warm-up completes in seconds.
+fn quick_request(seed: u64) -> ProfilingRequest {
+    let mut r = ProfilingRequest::example(seed);
+    r.capacity_den = 64;
+    r.rounds = 2;
+    r.target_interval_ms = 512.0;
+    r.reach_delta_ms = 128.0;
+    r
+}
+
+/// Latency samples for one request class, in microseconds.
+#[derive(Default)]
+struct Samples {
+    micros: Vec<u64>,
+}
+
+impl Samples {
+    fn record(&mut self, started_at: Instant) {
+        let us = u64::try_from(started_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.micros.push(us);
+    }
+
+    fn merge(&mut self, other: Samples) {
+        self.micros.extend(other.micros);
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.micros.is_empty() {
+            return 0;
+        }
+        let rank = ((self.micros.len() - 1) as f64 * p).round() as usize;
+        self.micros[rank.min(self.micros.len() - 1)]
+    }
+
+    fn count(&self) -> usize {
+        self.micros.len()
+    }
+}
+
+fn parse_args() -> (u64, usize, Option<String>) {
+    let mut seconds = 5u64;
+    let mut threads = 4usize;
+    let mut out = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .expect("usage: serve_loadgen [--seconds N] [--threads N] [--out FILE]");
+        match flag.as_str() {
+            "--seconds" => seconds = value.parse().expect("--seconds takes an integer"),
+            "--threads" => threads = value.parse().expect("--threads takes an integer"),
+            "--out" => out = Some(value.clone()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    (seconds.max(1), threads.max(1), out)
+}
+
+fn main() {
+    let (seconds, threads, out_path) = parse_args();
+
+    let server = Server::start(ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Warm-up: submit the resident jobs and wait until all are cached.
+    let mut warm = Client::new(addr);
+    let job_ids: Vec<String> = JOB_SEEDS
+        .iter()
+        .map(|&s| warm.submit(&quick_request(s)).expect("submit").job_id)
+        .collect();
+    for id in &job_ids {
+        warm.wait_for_profile(id, Duration::from_millis(10), 3000)
+            .expect("warm-up job finishes");
+    }
+    println!(
+        "loadgen: {} resident jobs warm; driving {threads} threads for {seconds}s",
+        job_ids.len()
+    );
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let (profile_reads, status_reads, health_checks) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stop = &stop;
+                let job_ids = &job_ids;
+                scope.spawn(move || {
+                    let mut client = Client::new(addr);
+                    let mut profile = Samples::default();
+                    let mut status = Samples::default();
+                    let mut health = Samples::default();
+                    let mut i = t; // stagger the mix across threads
+                    while !stop.load(Ordering::Relaxed) {
+                        let id = &job_ids[i % job_ids.len()];
+                        // Mix: 8 profile reads : 1 status read : 1 healthz.
+                        match i % 10 {
+                            8 => {
+                                let t0 = Instant::now();
+                                client.job_status(id).expect("status read");
+                                status.record(t0);
+                            }
+                            9 => {
+                                let t0 = Instant::now();
+                                client.healthz().expect("health check");
+                                health.record(t0);
+                            }
+                            _ => {
+                                let t0 = Instant::now();
+                                let bytes = client
+                                    .profile_bytes(id)
+                                    .expect("profile read")
+                                    .expect("job is resident");
+                                assert!(!bytes.is_empty());
+                                profile.record(t0);
+                            }
+                        }
+                        i += 1;
+                    }
+                    (profile, status, health)
+                })
+            })
+            .collect();
+
+        while started.elapsed() < Duration::from_secs(seconds) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+
+        let mut profile = Samples::default();
+        let mut status = Samples::default();
+        let mut health = Samples::default();
+        for h in handles {
+            let (p, s, hl) = h.join().expect("worker thread");
+            profile.merge(p);
+            status.merge(s);
+            health.merge(hl);
+        }
+        (profile, status, health)
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut classes = [
+        ("profile_read_cache_hit", profile_reads),
+        ("job_status_read", status_reads),
+        ("healthz", health_checks),
+    ];
+    let total: usize = classes.iter().map(|(_, s)| s.count()).sum();
+    println!(
+        "loadgen: {total} requests in {elapsed:.2}s = {:.0} req/s overall",
+        total as f64 / elapsed
+    );
+
+    let mut class_values = Vec::new();
+    for (name, samples) in &mut classes {
+        samples.micros.sort_unstable();
+        let rps = samples.count() as f64 / elapsed;
+        let p50 = samples.percentile(0.50);
+        let p99 = samples.percentile(0.99);
+        println!(
+            "  {name:<24} {:>8} reqs  {rps:>8.0} req/s  p50 {p50:>5} µs  p99 {p99:>5} µs",
+            samples.count()
+        );
+        class_values.push(json::obj([
+            ("class", json::str(*name)),
+            ("requests", json::uint(samples.count() as u64)),
+            ("req_per_s", json::num((rps * 10.0).round() / 10.0)),
+            ("p50_us", json::uint(p50)),
+            ("p99_us", json::uint(p99)),
+        ]));
+    }
+
+    let snap = server.metrics_snapshot();
+    let doc = json::obj([
+        ("benchmark", json::str("serve_loadgen")),
+        ("threads", json::uint(threads as u64)),
+        ("duration_s", json::num((elapsed * 100.0).round() / 100.0)),
+        ("resident_jobs", json::uint(job_ids.len() as u64)),
+        ("total_requests", json::uint(total as u64)),
+        (
+            "total_req_per_s",
+            json::num(((total as f64 / elapsed) * 10.0).round() / 10.0),
+        ),
+        ("cache_hits", json::uint(snap.cache_hits)),
+        ("classes", json::Value::Arr(class_values)),
+    ]);
+    if let Some(path) = out_path {
+        std::fs::write(&path, doc.encode() + "\n").expect("write --out file");
+        println!("loadgen: wrote {path}");
+    } else {
+        println!("{}", doc.encode());
+    }
+
+    server.shutdown();
+}

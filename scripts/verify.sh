@@ -19,6 +19,12 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 
+echo "== service: reaper-serve smoke (dedup + bit-identical bytes) =="
+cargo test --release -q --offline -p reaper-serve --test smoke
+
+echo "== service: bounded load run =="
+cargo run --release -q --offline --example serve_loadgen -- --seconds 5 --threads 4
+
 echo "== smoke: headline experiment (quick scale) =="
 cargo run --release --offline -p reaper-conformance --bin experiments -- headline --quick
 
