@@ -43,12 +43,20 @@ pub fn profile_union(
     iterations: u64,
 ) -> FailureProfile {
     let temp = dram_temp(ambient);
+    // A fixed-condition round loop is exactly what compiled trial plans
+    // exist for: every (pattern, interval, temp) key repeats `iterations`
+    // times, and a plan compile costs about one scalar trial — so force
+    // eager compilation instead of waiting for Auto's second-sighting
+    // promotion. Bit-identical outcomes; engine restored on exit.
+    let prev = chip.trial_engine();
+    chip.set_trial_engine(reaper_retention::TrialEngine::Compiled);
     let mut profile = FailureProfile::new();
     for it in 0..iterations {
         for p in DataPattern::standard_set(it) {
             profile.extend(chip.retention_trial(p, interval, temp).into_vec());
         }
     }
+    chip.set_trial_engine(prev);
     profile
 }
 
@@ -104,6 +112,11 @@ pub fn estimate_cell_fit_map(
     use std::collections::BTreeMap;
     let temp = dram_temp(ambient);
     let mut chip = chip.clone();
+    // This loop stays on the default Auto engine deliberately: every trial
+    // uses a fresh random pattern, so no condition ever recurs and neither
+    // plan tier would be promoted — Auto makes that a few linear probes of
+    // per-chip caches, i.e. free, while forcing `Compiled` here would pay
+    // a full compile per trial for zero reuse.
     // fail_counts[cell] = count per interval index.
     let mut fail_counts: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
     for (ii, &t) in intervals_s.iter().enumerate() {

@@ -199,6 +199,20 @@ where
     })
 }
 
+/// Parallel map over index ranges of `[0, len)` — the structure-of-arrays
+/// counterpart of [`par_chunk_map`]. Where `par_chunk_map` hands each
+/// worker a sub-slice of one item array, `par_index_map` hands it a
+/// `start..end` range so the caller can slice *several* parallel lanes
+/// (e.g. an index lane plus a threshold lane) with the same bounds.
+/// Range results are returned in input order.
+pub fn par_index_map<R, F>(len: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(core::ops::Range<usize>) -> R + Sync,
+{
+    run_partitioned(len, min_chunk, |start, end| f(start..end))
+}
+
 /// Parallel in-place mutation: `f(i, &mut items[i])` for every index.
 /// The slice is statically partitioned across workers via
 /// `split_at_mut`, so no locking is involved.
@@ -297,6 +311,19 @@ mod tests {
             expected_start += len;
         }
         assert_eq!(expected_start, items.len());
+    }
+
+    #[test]
+    fn par_index_map_covers_every_index_once_in_order() {
+        let ranges = par_index_map(10_000, 128, |r| r);
+        let mut expected_start = 0;
+        for r in ranges {
+            assert_eq!(r.start, expected_start);
+            assert!(r.end > r.start);
+            expected_start = r.end;
+        }
+        assert_eq!(expected_start, 10_000);
+        assert!(par_index_map(0, 128, |r| r).is_empty());
     }
 
     #[test]

@@ -42,10 +42,11 @@ pub struct WeakCell {
 }
 
 impl WeakCell {
-    /// DPD stress fraction in `[0, 1]` for this cell under `pattern`:
-    /// the fraction of the four neighbors whose stored value matches the
-    /// cell's aggressor signature.
-    pub fn stress_under(&self, pattern: DataPattern, geometry: ChipGeometry) -> f64 {
+    /// Number of the four neighbors (0..=4) whose stored value under
+    /// `pattern` matches this cell's aggressor signature. The quantized
+    /// form of [`WeakCell::stress_under`]; the trial-plan engine packs this
+    /// into a one-byte DPD lane.
+    pub fn stress_matches(&self, pattern: DataPattern, geometry: ChipGeometry) -> u8 {
         let row_bits = u64::from(geometry.row_bits());
         let total_rows = geometry.total_rows();
         let row = self.index / row_bits;
@@ -62,7 +63,14 @@ impl WeakCell {
             .enumerate()
             .filter(|&(i, &bit)| bit == ((self.dpd_signature >> i) & 1 == 1))
             .count();
-        matches as f64 / 4.0
+        u8::try_from(matches).expect("invariant: at most four neighbors can match")
+    }
+
+    /// DPD stress fraction in `[0, 1]` for this cell under `pattern`:
+    /// the fraction of the four neighbors whose stored value matches the
+    /// cell's aggressor signature.
+    pub fn stress_under(&self, pattern: DataPattern, geometry: ChipGeometry) -> f64 {
+        f64::from(self.stress_matches(pattern, geometry)) / 4.0
     }
 
     /// The bit this cell stores under `pattern`.

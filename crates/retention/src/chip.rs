@@ -13,6 +13,7 @@ use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
 
 use crate::cell::WeakCell;
 use crate::config::RetentionConfig;
+use crate::plan::{PatternLowering, PlanCache, PlanKey, PlanStats, TrialCtx, TrialEngine, TrialPlan};
 use crate::vrt::{ArrivalCell, TwoStateVrt};
 
 /// Hard clamp on per-cell σ (seconds) so candidate windowing stays tight.
@@ -26,15 +27,69 @@ const MU_MIN_SECS: f64 = 0.05;
 
 /// Z-score window outside which a trial outcome is treated as certain
 /// (|z| > 4 ⇒ p < 3.2e-5 or > 1 − 3.2e-5).
-const Z_CUTOFF: f64 = 4.0;
+pub(crate) const Z_CUTOFF: f64 = 4.0;
 
 /// Domain separator for per-(cell, trial) RNG lanes, so trial draws can
 /// never collide with any other stream derived from the same chip seed.
-const TRIAL_DOMAIN: u64 = 0x5245_4150_4552_0001; // "REAPER" 01
+pub(crate) const TRIAL_DOMAIN: u64 = 0x5245_4150_4552_0001; // "REAPER" 01
 
 /// Below this many candidate cells a trial runs sequentially; the window
 /// is too small to amortize thread spawn cost.
-const PAR_MIN_CELLS: usize = 512;
+pub(crate) const PAR_MIN_CELLS: usize = 512;
+
+/// Upper bound (exclusive) of the candidate window in sort-key order:
+/// cells whose best-case (lowest) effective μ can come within
+/// `Z_CUTOFF`·σ_cap of the trial interval. The single definition shared by
+/// the trial path, the ground-truth path, and plan compilation, so the
+/// window math cannot drift between them.
+pub(crate) fn candidate_window_end(
+    sort_keys: &[f64],
+    t_secs: f64,
+    ms_scale: f64,
+    ss_scale: f64,
+) -> usize {
+    let cut = (t_secs + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
+    sort_keys.partition_point(|&k| k < cut)
+}
+
+/// Stable-sorts `keys` ascending and applies the same permutation to
+/// `items`, in place. Byte-identical ordering to stable-sorting `(key,
+/// item)` pairs by key — equal keys keep their original relative order —
+/// without draining either buffer.
+///
+/// # Panics
+/// Panics if any key comparison is unordered (NaN keys).
+fn stable_cosort_by_key<T>(keys: &mut [f64], items: &mut [T]) {
+    debug_assert_eq!(keys.len(), items.len());
+    let mut order: Vec<u32> = (0..num::to_u32(keys.len())).collect();
+    order.sort_by(|&a, &b| {
+        let (ka, kb) = (keys.get(num::idx(a)), keys.get(num::idx(b)));
+        ka.partial_cmp(&kb)
+            .expect("invariant: sort keys are finite products of finite cell params")
+    });
+    // Apply the permutation by cycle-chasing: positions below `i` already
+    // hold their final element, so following the chain through them finds
+    // where the element destined for `i` currently lives.
+    for i in 0..order.len() {
+        let mut src = num::idx(
+            *order
+                .get(i)
+                .expect("invariant: i < order.len() by loop bound"),
+        );
+        while src < i {
+            src = num::idx(
+                *order
+                    .get(src)
+                    .expect("invariant: permutation entries are in-bounds indices"),
+            );
+        }
+        *order
+            .get_mut(i)
+            .expect("invariant: i < order.len() by loop bound") = num::to_u32(src);
+        keys.swap(i, src);
+        items.swap(i, src);
+    }
+}
 
 /// The set of cells that failed one retention trial, as sorted dense linear
 /// indices into the chip's geometry.
@@ -116,6 +171,21 @@ pub struct SimulatedChip {
     /// lanes keyed by this nonce, so repeated identical trials still see
     /// fresh randomness.
     trial_nonce: u64,
+    /// Bumped whenever chip state that a compiled plan *could* depend on
+    /// changes (`advance` with positive dt, VRT-arrival insertion); the
+    /// plan cache drops its compiled tier when it observes a new epoch.
+    plan_epoch: u64,
+    /// Pattern lowerings and compiled trial plans (see [`crate::plan`]).
+    plan_cache: PlanCache,
+    /// Which engine `retention_trial` routes through.
+    engine: TrialEngine,
+}
+
+/// How one trial is served, resolved by `route_trial` before the scan.
+enum TrialRoute {
+    Scalar,
+    Lowered(usize),
+    Compiled(usize),
 }
 
 impl SimulatedChip {
@@ -187,6 +257,9 @@ impl SimulatedChip {
             rng,
             stream_base: seed,
             trial_nonce: 0,
+            plan_epoch: 0,
+            plan_cache: PlanCache::default(),
+            engine: TrialEngine::default(),
             cfg,
         };
         chip.rebuild_sort();
@@ -203,20 +276,15 @@ impl SimulatedChip {
     }
 
     fn rebuild_sort(&mut self) {
-        // Pair each cell with its key and stable-sort the pairs; no index
-        // permutation needed, so no bounds checks to justify.
+        // Reuse both existing buffers: refill the key vector in place and
+        // co-sort it with the cell vector through one stable index
+        // permutation, instead of draining into a transient pair vector
+        // and re-collecting two fresh allocations.
         let cfg = &self.cfg;
-        let mut paired: Vec<(f64, WeakCell)> = self
-            .cells
-            .drain(..)
-            .map(|c| (Self::sort_key_of(cfg, &c), c))
-            .collect();
-        paired.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("invariant: sort keys are finite products of finite cell params")
-        });
-        self.sort_keys = paired.iter().map(|&(k, _)| k).collect();
-        self.cells = paired.into_iter().map(|(_, c)| c).collect();
+        self.sort_keys.clear();
+        self.sort_keys
+            .extend(self.cells.iter().map(|c| Self::sort_key_of(cfg, c)));
+        stable_cosort_by_key(&mut self.sort_keys, &mut self.cells);
     }
 
     /// The chip's configuration.
@@ -232,6 +300,13 @@ impl SimulatedChip {
     /// All materialized base weak cells (unspecified order).
     pub fn cells(&self) -> &[WeakCell] {
         &self.cells
+    }
+
+    /// The sort-key vector parallel to [`SimulatedChip::cells`]; exposed
+    /// for in-crate tests that compile plans directly.
+    #[cfg(test)]
+    pub(crate) fn sort_keys_for_tests(&self) -> &[f64] {
+        &self.sort_keys
     }
 
     /// Number of currently active VRT-arrival cells.
@@ -250,6 +325,13 @@ impl SimulatedChip {
     /// Panics if `dt` is negative.
     pub fn advance(&mut self, dt: Ms) {
         assert!(dt.as_ms() >= 0.0, "cannot advance time backwards");
+        if dt.as_ms() > 0.0 {
+            // Defensive plan invalidation: compiled plans read VRT state
+            // live and are provably time-independent, but the contract is
+            // "no cached condition survives a state change" — cheap to
+            // enforce, impossible to get wrong later.
+            self.plan_epoch += 1;
+        }
         self.now_ms += dt.as_ms();
     }
 
@@ -280,42 +362,100 @@ impl SimulatedChip {
 
         let ms_scale = self.cfg.mu_temp_scale(temp);
         let ss_scale = self.cfg.sigma_temp_scale(temp);
-        let geometry = self.cfg.geometry;
-
-        // Candidate window: cells whose best-case (lowest) effective μ can
-        // come within Z_CUTOFF·σ_cap of the trial interval.
-        let cut = (t + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
-        let end = self.sort_keys.partition_point(|&k| k < cut);
+        let end = candidate_window_end(&self.sort_keys, t, ms_scale, ss_scale);
 
         let nonce = self.trial_nonce;
         self.trial_nonce += 1;
 
-        let cfg = &self.cfg;
-        let now_ms = self.now_ms;
-        let stream_base = self.stream_base;
-        let base_vrt = &self.base_vrt;
+        // Route through the configured engine. Every engine is
+        // draw-for-draw identical (see crate::plan); only the amount of
+        // per-trial recomputation differs.
+        let route = self.route_trial(pattern, interval, temp);
+        let ctx = TrialCtx {
+            t_secs: t,
+            ms_scale,
+            ss_scale,
+            stream_base: self.stream_base,
+            nonce,
+            now_ms: self.now_ms,
+            low_mu_factor: self.cfg.vrt_low_mu_factor,
+        };
+        let (mut failures, vrt_updates) = match route {
+            TrialRoute::Compiled(i) => self.plan_cache.plan_at(i).run_round(&self.base_vrt, &ctx),
+            TrialRoute::Lowered(i) => {
+                self.plan_cache
+                    .lowering_at(i)
+                    .run_trial(&self.cells, &self.base_vrt, end, &ctx)
+            }
+            TrialRoute::Scalar => self.scalar_window_scan(pattern, end, &ctx),
+        };
+        for (i, state) in vrt_updates {
+            // lint: allow(panic) indices originate from base_vrt positions above
+            self.base_vrt[num::idx(i)] = state;
+        }
 
-        // Every cell draws from its own (seed, trial, cell) hash lane, so
-        // the outcome is a pure function of that tuple — independent of
-        // evaluation order and therefore of thread count. VRT cells are
-        // observed on a *copy* of their chain state; the advanced states
-        // are merged back sequentially after the parallel region (each
-        // vrt_index belongs to exactly one cell, so merges never conflict).
+        // VRT-arrival cells: freshly arrived cells fail (that is their
+        // arrival event); established ones fail while in their low state.
+        // This list is small and its draws live on the sequential RNG.
+        let now_ms = self.now_ms;
+        let rng = &mut self.rng;
+        for a in &mut self.arrivals {
+            if !a.is_active(now_ms) {
+                continue;
+            }
+            if a.fresh {
+                a.fresh = false;
+                a.vrt.force_state(true, now_ms);
+                failures.push(a.cell.index);
+                continue;
+            }
+            if a.vrt.observe(now_ms, rng) {
+                let mu = a.cell.effective_mu(ms_scale, 1.0, 1.0);
+                let sigma = a.cell.sigma0 as f64 * ss_scale;
+                let z = (t - mu) / sigma;
+                if z > Z_CUTOFF || (z > -Z_CUTOFF && rng.random::<f64>() < reaper_analysis::special::phi(z))
+                {
+                    failures.push(a.cell.index);
+                }
+            }
+        }
+
+        TrialOutcome::from_unsorted(failures)
+    }
+
+    /// The original scalar window scan: recomputes polarity, stress, μ, σ,
+    /// z, and `phi(z)` per cell per trial. Kept as the baseline engine and
+    /// the reference the plan engines are verified against.
+    ///
+    /// Every cell draws from its own (seed, trial, cell) hash lane, so
+    /// the outcome is a pure function of that tuple — independent of
+    /// evaluation order and therefore of thread count. VRT cells are
+    /// observed on a *copy* of their chain state; the advanced states
+    /// are merged back sequentially after the parallel region (each
+    /// vrt_index belongs to exactly one cell, so merges never conflict).
+    fn scalar_window_scan(
+        &self,
+        pattern: DataPattern,
+        end: usize,
+        ctx: &TrialCtx,
+    ) -> (Vec<u64>, Vec<(u32, TwoStateVrt)>) {
+        let geometry = self.cfg.geometry;
+        let base_vrt = &self.base_vrt;
         let per_cell = |cell: &WeakCell| -> (Option<u64>, Option<(u32, TwoStateVrt)>) {
             if cell.stored_bit(pattern, geometry) != cell.vulnerable_bit {
                 return (None, None);
             }
-            let mut lane = stream(&[stream_base, TRIAL_DOMAIN, nonce, cell.index]);
+            let mut lane = stream(&[ctx.stream_base, TRIAL_DOMAIN, ctx.nonce, cell.index]);
             let mut vrt_update = None;
             let vrt_factor = match cell.vrt_index {
                 Some(i) => {
                     let mut vrt = *base_vrt
                         .get(num::idx(i))
                         .expect("invariant: vrt_index values are positions pushed into base_vrt");
-                    let in_low = vrt.observe_at(now_ms, lane.next_f64());
+                    let in_low = vrt.observe_at(ctx.now_ms, lane.next_f64());
                     vrt_update = Some((i, vrt));
                     if in_low {
-                        cfg.vrt_low_mu_factor
+                        ctx.low_mu_factor
                     } else {
                         1.0
                     }
@@ -323,9 +463,9 @@ impl SimulatedChip {
                 None => 1.0,
             };
             let stress = cell.stress_under(pattern, geometry);
-            let mu = cell.effective_mu(ms_scale, stress, vrt_factor);
-            let sigma = cell.sigma0 as f64 * ss_scale;
-            let z = (t - mu) / sigma;
+            let mu = cell.effective_mu(ctx.ms_scale, stress, vrt_factor);
+            let sigma = cell.sigma0 as f64 * ctx.ss_scale;
+            let z = (ctx.t_secs - mu) / sigma;
             if z < -Z_CUTOFF {
                 return (None, vrt_update);
             }
@@ -359,37 +499,107 @@ impl SimulatedChip {
                 vrt_updates.extend(updates);
             }
         }
-        for (i, state) in vrt_updates {
-            // lint: allow(panic) indices originate from base_vrt positions above
-            self.base_vrt[num::idx(i)] = state;
+        (failures, vrt_updates)
+    }
+
+    /// Resolves which engine serves this trial, compiling/promoting cache
+    /// entries as the engine policy dictates (see [`TrialEngine`]).
+    fn route_trial(&mut self, pattern: DataPattern, interval: Ms, temp: Celsius) -> TrialRoute {
+        self.plan_cache.roll_epoch(self.plan_epoch);
+        if self.engine == TrialEngine::Scalar {
+            self.plan_cache.stats.scalar_trials += 1;
+            return TrialRoute::Scalar;
         }
 
-        // VRT-arrival cells: freshly arrived cells fail (that is their
-        // arrival event); established ones fail while in their low state.
-        // This list is small and its draws live on the sequential RNG.
-        let rng = &mut self.rng;
-        for a in &mut self.arrivals {
-            if !a.is_active(now_ms) {
-                continue;
+        // Compiled tier: exact (pattern, interval, temp) condition.
+        if matches!(self.engine, TrialEngine::Auto | TrialEngine::Compiled) {
+            let key = PlanKey::new(pattern, interval, temp);
+            if let Some(i) = self.plan_cache.find_plan(&key) {
+                self.plan_cache.stats.plan_trials += 1;
+                return TrialRoute::Compiled(i);
             }
-            if a.fresh {
-                a.fresh = false;
-                a.vrt.force_state(true, now_ms);
-                failures.push(a.cell.index);
-                continue;
-            }
-            if a.vrt.observe(now_ms, rng) {
-                let mu = a.cell.effective_mu(ms_scale, 1.0, 1.0);
-                let sigma = a.cell.sigma0 as f64 * ss_scale;
-                let z = (t - mu) / sigma;
-                if z > Z_CUTOFF || (z > -Z_CUTOFF && rng.random::<f64>() < reaper_analysis::special::phi(z))
-                {
-                    failures.push(a.cell.index);
-                }
+            let promote = self.engine == TrialEngine::Compiled || self.plan_cache.note_plan_key(key);
+            if promote {
+                let plan = TrialPlan::compile(
+                    &self.cfg,
+                    &self.cells,
+                    &self.sort_keys,
+                    self.plan_cache.peek_lowering(pattern),
+                    pattern,
+                    interval,
+                    temp,
+                );
+                let i = self.plan_cache.insert_plan(plan);
+                self.plan_cache.stats.plans_compiled += 1;
+                self.plan_cache.stats.plan_trials += 1;
+                return TrialRoute::Compiled(i);
             }
         }
 
-        TrialOutcome::from_unsorted(failures)
+        // Lowered tier: pattern-only lanes; survives epoch rolls and the
+        // harness's per-trial temperature jitter.
+        if let Some(i) = self.plan_cache.find_lowering(pattern) {
+            self.plan_cache.stats.lowered_trials += 1;
+            return TrialRoute::Lowered(i);
+        }
+        let promote = self.engine == TrialEngine::Lowered || self.plan_cache.note_pattern(pattern);
+        if promote {
+            let lowering = PatternLowering::build(&self.cells, pattern, self.cfg.geometry);
+            let i = self.plan_cache.insert_lowering(lowering);
+            self.plan_cache.stats.lowerings_built += 1;
+            self.plan_cache.stats.lowered_trials += 1;
+            return TrialRoute::Lowered(i);
+        }
+
+        self.plan_cache.stats.scalar_trials += 1;
+        TrialRoute::Scalar
+    }
+
+    /// Selects the engine `retention_trial` routes through. The default is
+    /// [`TrialEngine::Auto`]; every engine produces bit-identical outcomes,
+    /// so this only trades compile-time against per-round work.
+    pub fn set_trial_engine(&mut self, engine: TrialEngine) {
+        self.engine = engine;
+    }
+
+    /// The currently configured trial engine.
+    pub fn trial_engine(&self) -> TrialEngine {
+        self.engine
+    }
+
+    /// Routing/compilation counters since chip construction.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan_cache.stats
+    }
+
+    /// Builds pattern lowerings for `patterns` up front (idempotent). Call
+    /// before a profiling loop whose patterns are known so the first
+    /// iteration already runs on packed lanes; recurring patterns would
+    /// otherwise only be promoted on their second sighting.
+    pub fn prewarm_lowerings(&mut self, patterns: &[DataPattern]) {
+        for &pattern in patterns {
+            if self.plan_cache.find_lowering(pattern).is_none() {
+                let lowering = PatternLowering::build(&self.cells, pattern, self.cfg.geometry);
+                self.plan_cache.insert_lowering(lowering);
+                self.plan_cache.stats.lowerings_built += 1;
+            }
+        }
+    }
+
+    /// Number of candidate cells a trial at `(interval, temp)` scans —
+    /// the size of the sort-key window shared by all engines.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive.
+    pub fn candidate_window(&self, interval: Ms, temp: Celsius) -> usize {
+        assert!(interval.is_positive(), "interval must be positive");
+        let t = interval.as_secs();
+        candidate_window_end(
+            &self.sort_keys,
+            t,
+            self.cfg.mu_temp_scale(temp),
+            self.cfg.sigma_temp_scale(temp),
+        )
     }
 
     /// Draws Poisson VRT arrivals for the wall-clock span since the last
@@ -405,6 +615,13 @@ impl SimulatedChip {
         let n = Poisson::new(rate * elapsed_hours)
             .expect("invariant: arrival rate and elapsed span are positive here")
             .sample(&mut self.rng);
+        if n > 0 {
+            // New arrival cells change what a trial can report; roll the
+            // plan epoch so the compiled tier is rebuilt (arrivals are
+            // handled outside the plans, but see `advance` — the epoch
+            // contract covers every merge).
+            self.plan_epoch += 1;
+        }
 
         let sigma_dist = LogNormal::from_median(self.cfg.sigma_median_secs, self.cfg.sigma_log_sd)
             .expect("invariant: validated config yields finite positive sigma params");
@@ -472,9 +689,7 @@ impl SimulatedChip {
         let t = interval.as_secs();
         let ms_scale = self.cfg.mu_temp_scale(temp);
         let ss_scale = self.cfg.sigma_temp_scale(temp);
-
-        let cut = (t + Z_CUTOFF * SIGMA_CAP_SECS * ss_scale) / ms_scale;
-        let end = self.sort_keys.partition_point(|&k| k < cut);
+        let end = candidate_window_end(&self.sort_keys, t, ms_scale, ss_scale);
 
         // lint: allow(panic) end comes from partition_point, always <= len
         let mut out: Vec<u64> = self.cells[..end]
@@ -676,6 +891,127 @@ mod tests {
         let chip = SimulatedChip::new(quick_cfg(), 15);
         let bits = chip.config().represented_bits;
         assert!((chip.ber_of_count(bits as usize) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_cosort_matches_pair_sort_reference() {
+        // Duplicate keys included: stability must keep original order.
+        let ref_keys = [3.0, 1.0, 2.0, 1.0, 3.0, 0.5, 2.0, 1.0];
+        let ref_items: Vec<u64> = (0..ref_keys.len() as u64).collect();
+
+        let mut paired: Vec<(f64, u64)> = ref_keys
+            .iter()
+            .copied()
+            .zip(ref_items.iter().copied())
+            .collect();
+        paired.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+        let mut keys = ref_keys.to_vec();
+        let mut items = ref_items;
+        stable_cosort_by_key(&mut keys, &mut items);
+
+        let (want_keys, want_items): (Vec<f64>, Vec<u64>) = paired.into_iter().unzip();
+        assert_eq!(keys, want_keys);
+        assert_eq!(items, want_items);
+
+        // Degenerate sizes.
+        let mut k: Vec<f64> = vec![];
+        let mut v: Vec<u64> = vec![];
+        stable_cosort_by_key(&mut k, &mut v);
+        let mut k = vec![7.0];
+        let mut v = vec![9u64];
+        stable_cosort_by_key(&mut k, &mut v);
+        assert_eq!((k, v), (vec![7.0], vec![9]));
+    }
+
+    #[test]
+    fn all_engines_produce_identical_outcomes() {
+        let engines = [
+            TrialEngine::Scalar,
+            TrialEngine::Lowered,
+            TrialEngine::Compiled,
+            TrialEngine::Auto,
+        ];
+        let mut transcripts = Vec::new();
+        for engine in engines {
+            let mut chip = SimulatedChip::new(quick_cfg(), 21);
+            chip.set_trial_engine(engine);
+            assert_eq!(chip.trial_engine(), engine);
+            let mut transcript = Vec::new();
+            for it in 0..3 {
+                for p in DataPattern::standard_set(it) {
+                    transcript.push(
+                        chip.retention_trial(p, Ms::new(1024.0), Celsius::new(60.0))
+                            .into_vec(),
+                    );
+                }
+                chip.advance(Ms::from_hours(1.0));
+            }
+            transcripts.push(transcript);
+        }
+        for t in &transcripts {
+            assert_eq!(t, &transcripts[0]);
+        }
+    }
+
+    #[test]
+    fn auto_engine_promotes_on_second_sighting() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 22);
+        let p = DataPattern::checkerboard();
+        let interval = Ms::new(1024.0);
+        let temp = Celsius::new(60.0);
+
+        // First sighting: nothing cached yet, trial runs scalar.
+        let _ = chip.retention_trial(p, interval, temp);
+        let s = chip.plan_stats();
+        assert_eq!((s.scalar_trials, s.lowered_trials, s.plan_trials), (1, 0, 0));
+
+        // Second sighting of the exact condition: compiled.
+        let _ = chip.retention_trial(p, interval, temp);
+        let s = chip.plan_stats();
+        assert_eq!(s.plans_compiled, 1);
+        assert_eq!(s.plan_trials, 1);
+
+        // Third: plan-cache hit, no recompile.
+        let _ = chip.retention_trial(p, interval, temp);
+        let s = chip.plan_stats();
+        assert_eq!(s.plan_trials, 2);
+        assert_eq!(s.plans_compiled, 1);
+
+        // Time advance invalidates the compiled tier (plan sightings
+        // included); the next trial must not be served by a stale plan.
+        chip.advance(Ms::from_hours(1.0));
+        let _ = chip.retention_trial(p, interval, temp);
+        let s = chip.plan_stats();
+        assert_eq!(s.invalidations, 1);
+    }
+
+    #[test]
+    fn prewarmed_lowering_serves_first_trial() {
+        let mut chip = SimulatedChip::new(quick_cfg(), 23);
+        let p = DataPattern::col_stripe();
+        chip.prewarm_lowerings(&[p, p]);
+        let s = chip.plan_stats();
+        assert_eq!(s.lowerings_built, 1, "prewarm is idempotent");
+
+        // Jittered temperature (fresh condition every trial, as under the
+        // test harness): the plan tier never promotes, the lowering serves.
+        for (i, temp) in [60.0, 60.01, 59.99].iter().enumerate() {
+            let _ = chip.retention_trial(p, Ms::new(1024.0), Celsius::new(*temp));
+            assert_eq!(chip.plan_stats().lowered_trials, i as u64 + 1);
+        }
+        assert_eq!(chip.plan_stats().scalar_trials, 0);
+    }
+
+    #[test]
+    fn candidate_window_grows_with_interval_and_temp() {
+        let chip = SimulatedChip::new(quick_cfg(), 24);
+        let w_short = chip.candidate_window(Ms::new(512.0), Celsius::new(60.0));
+        let w_long = chip.candidate_window(Ms::new(2048.0), Celsius::new(60.0));
+        let w_hot = chip.candidate_window(Ms::new(512.0), Celsius::new(70.0));
+        assert!(w_short <= w_long);
+        assert!(w_short <= w_hot);
+        assert!(w_long <= chip.cells().len());
     }
 
     #[test]

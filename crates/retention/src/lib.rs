@@ -60,12 +60,14 @@
 pub mod cell;
 pub mod chip;
 pub mod config;
+pub mod plan;
 pub mod population;
 pub mod spd;
 pub mod vrt;
 
 pub use cell::WeakCell;
 pub use chip::{SimulatedChip, TrialOutcome};
+pub use plan::{PlanStats, TrialEngine};
 pub use config::RetentionConfig;
 pub use population::ChipPopulation;
 pub use spd::SpdRecord;

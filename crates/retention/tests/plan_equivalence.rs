@@ -1,0 +1,106 @@
+//! Property test: the trial-plan engines are bit-identical to the scalar
+//! path.
+//!
+//! Random (vendor, seed, trial script) triples are replayed on fresh chips
+//! through every [`TrialEngine`] at 1 and 4 worker threads, and the full
+//! outcome transcripts must be byte-equal to the scalar single-thread
+//! reference. Scripts include repeated conditions (so the Auto engine
+//! promotes through scalar → compile → cache-hit within one run), time
+//! advances (plan invalidation + VRT chain evolution + Poisson arrival
+//! merges), and condition changes (multiple live plans per chip).
+//!
+//! `reaper_exec::set_thread_count` mutates process-global state, so — per
+//! the workspace convention — exactly one test in this binary touches it.
+
+use proptest::prelude::*;
+use reaper_dram_model::{Celsius, DataPattern, Ms, Vendor};
+use reaper_retention::{RetentionConfig, SimulatedChip, TrialEngine};
+
+const VENDORS: [Vendor; 3] = [Vendor::A, Vendor::B, Vendor::C];
+const INTERVALS_MS: [f64; 4] = [512.0, 1024.0, 2048.0, 3000.0];
+const TEMPS_C: [f64; 3] = [45.0, 60.0, 70.0];
+/// Hours advanced before a step: 0 keeps plans live, the others roll the
+/// epoch and let VRT chains and arrivals evolve.
+const ADVANCES_H: [f64; 3] = [0.0, 0.5, 2.0];
+
+/// One trial-script step: indices into the tables above, plus how many
+/// times to repeat the trial at the identical condition.
+type Step = (u64, usize, usize, usize, u64);
+
+fn pattern_of(code: u64) -> DataPattern {
+    match code % 6 {
+        0 => DataPattern::solid0(),
+        1 => DataPattern::checkerboard(),
+        2 => DataPattern::row_stripe(),
+        3 => DataPattern::col_stripe(),
+        4 => DataPattern::walking1((code / 6) % 8),
+        _ => DataPattern::random(code),
+    }
+}
+
+/// Replays `steps` on a fresh chip with the given engine and thread count,
+/// returning the concatenated failure transcripts.
+fn run_script(
+    cfg: &RetentionConfig,
+    seed: u64,
+    engine: TrialEngine,
+    threads: usize,
+    steps: &[Step],
+) -> Vec<Vec<u64>> {
+    reaper_exec::set_thread_count(Some(threads));
+    let mut chip = SimulatedChip::new(cfg.clone(), seed);
+    chip.set_trial_engine(engine);
+    let mut transcript = Vec::new();
+    for &(pattern_code, interval_i, temp_i, advance_i, repeats) in steps {
+        // The generators bound every index, so the fallbacks never fire;
+        // they just keep this helper panic-free outside a #[test] body.
+        let hours = ADVANCES_H.get(advance_i).copied().unwrap_or(0.0);
+        if hours > 0.0 {
+            chip.advance(Ms::from_hours(hours));
+        }
+        let pattern = pattern_of(pattern_code);
+        let interval = Ms::new(INTERVALS_MS.get(interval_i).copied().unwrap_or(1024.0));
+        let temp = Celsius::new(TEMPS_C.get(temp_i).copied().unwrap_or(60.0));
+        for _ in 0..repeats {
+            transcript.push(chip.retention_trial(pattern, interval, temp).into_vec());
+        }
+    }
+    transcript
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_engine_matches_scalar_bit_for_bit(
+        seed in 0u64..10_000,
+        vendor_i in 0usize..3,
+        steps in proptest::collection::vec(
+            (0u64..24, 0usize..4, 0usize..3, 0usize..3, 1u64..3),
+            3..8,
+        ),
+    ) {
+        let cfg = RetentionConfig::for_vendor(VENDORS[vendor_i]).with_capacity_scale(1, 64);
+        let reference = run_script(&cfg, seed, TrialEngine::Scalar, 1, &steps);
+        prop_assert!(
+            reference.iter().any(|t| !t.is_empty()),
+            "degenerate script: no step produced failures"
+        );
+        for engine in [
+            TrialEngine::Scalar,
+            TrialEngine::Auto,
+            TrialEngine::Lowered,
+            TrialEngine::Compiled,
+        ] {
+            for threads in [1usize, 4] {
+                let got = run_script(&cfg, seed, engine, threads, &steps);
+                prop_assert_eq!(
+                    &got, &reference,
+                    "transcript diverged: engine {:?}, {} thread(s), vendor {:?}, seed {}",
+                    engine, threads, VENDORS[vendor_i], seed
+                );
+            }
+        }
+        reaper_exec::set_thread_count(None);
+    }
+}

@@ -19,6 +19,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== tier-1: tests =="
 cargo test -q --offline --workspace
 
+echo "== bench-trial: plan-vs-scalar equality (property + smoke) =="
+cargo test --release -q --offline -p reaper-retention --test plan_equivalence
+cargo run --release -q --offline -p reaper-bench --bin trial_bench -- --smoke
+
 echo "== service: reaper-serve smoke (dedup + bit-identical bytes) =="
 cargo test --release -q --offline -p reaper-serve --test smoke
 
