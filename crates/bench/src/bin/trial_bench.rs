@@ -1,10 +1,13 @@
 //! Microbenchmark for the retention-trial hot path: scalar window scan vs.
-//! compiled trial plan, at 1 and 4 worker threads.
+//! compiled trial plan vs. the bit-plane batch kernel, at 1 and 4 worker
+//! threads.
 //!
 //! ```text
-//! trial_bench [--smoke] [--json[=PATH]] [--rounds N]
+//! trial_bench [--smoke] [--json[=PATH]] [--rounds N] [--gate]
 //! trial_bench                    # full-capacity run, writes BENCH_trial.json
 //! trial_bench --smoke            # small chip, few rounds, equality check only
+//! trial_bench --gate             # also fail if 4 threads < 1 thread for the
+//!                                # compiled or batch engine (best-of-2 timing)
 //! ```
 //!
 //! Every configuration replays the *same* round script on a fresh chip
@@ -48,6 +51,7 @@ struct Config {
     smoke: bool,
     json_path: Option<String>,
     rounds: u64,
+    gate: bool,
 }
 
 struct Measurement {
@@ -58,6 +62,7 @@ struct Measurement {
     transcript: Vec<Vec<u64>>,
     plans_compiled: u64,
     invalidations: u64,
+    batch_rounds: u64,
 }
 
 fn engine_name(engine: TrialEngine) -> &'static str {
@@ -65,6 +70,7 @@ fn engine_name(engine: TrialEngine) -> &'static str {
         TrialEngine::Scalar => "scalar",
         TrialEngine::Compiled => "compiled",
         TrialEngine::Lowered => "lowered",
+        TrialEngine::Batch => "batch",
         TrialEngine::Auto => "auto",
     }
 }
@@ -90,8 +96,18 @@ fn run_config(
         transcript.push(chip.retention_trial(pattern, interval, temp).into_vec());
     }
     let start = Instant::now();
-    for _ in 0..rounds {
-        transcript.push(chip.retention_trial(pattern, interval, temp).into_vec());
+    if engine == TrialEngine::Batch {
+        // The multi-round entry point: all timed rounds submitted at once,
+        // evaluated in 64-round bit-plane passes. Outcomes land in the same
+        // transcript and must match the scalar reference byte-for-byte.
+        let n = reaper_exec::num::u64_to_u32(rounds);
+        for outcome in chip.retention_trial_rounds(pattern, interval, temp, n) {
+            transcript.push(outcome.into_vec());
+        }
+    } else {
+        for _ in 0..rounds {
+            transcript.push(chip.retention_trial(pattern, interval, temp).into_vec());
+        }
     }
     let wall = start.elapsed();
     // Exercise plan invalidation: advance device time (epoch roll + VRT
@@ -112,6 +128,7 @@ fn run_config(
         transcript,
         plans_compiled: stats.plans_compiled,
         invalidations: stats.invalidations,
+        batch_rounds: stats.batch_rounds,
     }
 }
 
@@ -130,19 +147,33 @@ fn json_report(cfg_label: &str, window: usize, rounds: u64, runs: &[Measurement]
             .map_or(0.0, |m| m.rounds_per_sec)
     };
     let scalar = single(TrialEngine::Scalar);
-    let speedup = if scalar > 0.0 { single(TrialEngine::Compiled) / scalar } else { 0.0 };
-    out.push_str(&format!("  \"speedup_single_thread\": {speedup:.2},\n"));
+    let compiled = single(TrialEngine::Compiled);
+    let batch = single(TrialEngine::Batch);
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    out.push_str(&format!(
+        "  \"speedup_single_thread\": {:.2},\n",
+        ratio(compiled, scalar)
+    ));
+    out.push_str(&format!(
+        "  \"batch_speedup_vs_scalar\": {:.2},\n",
+        ratio(batch, scalar)
+    ));
+    out.push_str(&format!(
+        "  \"batch_speedup_vs_compiled\": {:.2},\n",
+        ratio(batch, compiled)
+    ));
     out.push_str("  \"runs\": [\n");
     for (i, m) in runs.iter().enumerate() {
         let sep = if i + 1 == runs.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"rounds_per_sec\": {:.2}, \"plans_compiled\": {}, \"invalidations\": {}}}{sep}\n",
+            "    {{\"engine\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \"rounds_per_sec\": {:.2}, \"plans_compiled\": {}, \"invalidations\": {}, \"batch_rounds\": {}}}{sep}\n",
             engine_name(m.engine),
             m.threads,
             m.wall_ms,
             m.rounds_per_sec,
             m.plans_compiled,
             m.invalidations,
+            m.batch_rounds,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -150,11 +181,13 @@ fn json_report(cfg_label: &str, window: usize, rounds: u64, runs: &[Measurement]
 }
 
 fn parse_args() -> Result<Config, String> {
-    let mut cfg = Config { smoke: false, json_path: None, rounds: 0 };
+    let mut cfg = Config { smoke: false, json_path: None, rounds: 0, gate: false };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--smoke" {
             cfg.smoke = true;
+        } else if arg == "--gate" {
+            cfg.gate = true;
         } else if arg == "--json" {
             cfg.json_path = Some("BENCH_trial.json".to_string());
         } else if let Some(path) = arg.strip_prefix("--json=") {
@@ -167,7 +200,9 @@ fn parse_args() -> Result<Config, String> {
         }
     }
     if cfg.rounds == 0 {
-        cfg.rounds = if cfg.smoke { 12 } else { 64 };
+        // Full mode times four full 64-round batches: long enough that the
+        // 4t-vs-1t gate ratio is not at the mercy of a ~3 ms timed region.
+        cfg.rounds = if cfg.smoke { 12 } else { 256 };
     }
     if !cfg.smoke && cfg.json_path.is_none() {
         cfg.json_path = Some("BENCH_trial.json".to_string());
@@ -180,7 +215,7 @@ fn main() -> ExitCode {
         Ok(cfg) => cfg,
         Err(msg) => {
             eprintln!("trial_bench: {msg}");
-            eprintln!("usage: trial_bench [--smoke] [--json[=PATH]] [--rounds N]");
+            eprintln!("usage: trial_bench [--smoke] [--json[=PATH]] [--rounds N] [--gate]");
             return ExitCode::FAILURE;
         }
     };
@@ -206,9 +241,19 @@ fn main() -> ExitCode {
     );
 
     let mut runs = Vec::new();
-    for engine in [TrialEngine::Scalar, TrialEngine::Compiled] {
+    for engine in [TrialEngine::Scalar, TrialEngine::Compiled, TrialEngine::Batch] {
         for threads in [1usize, 4] {
-            let m = run_config(&chip_cfg, engine, threads, cfg.rounds);
+            let mut m = run_config(&chip_cfg, engine, threads, cfg.rounds);
+            if cfg.gate {
+                // Best-of-2: gate mode compares thread counts, so shave
+                // one-off noise (page faults, pool spin-up) off each
+                // configuration. Transcripts are deterministic, so either
+                // run's copy is the same — keep the faster timing.
+                let again = run_config(&chip_cfg, engine, threads, cfg.rounds);
+                if again.rounds_per_sec > m.rounds_per_sec {
+                    m = again;
+                }
+            }
             emit!(
                 "  {:>8} engine, {} thread(s): {:>9.1} rounds/sec  ({:.1} ms, {} plan(s) compiled, {} invalidation(s))",
                 engine_name(m.engine),
@@ -244,6 +289,36 @@ fn main() -> ExitCode {
         runs.len(),
         reference_run.transcript.len()
     );
+
+    if cfg.gate {
+        // Thread-scaling gate: regression guard for the per-call
+        // thread::scope spawn storm that once made 4 compiled threads
+        // ~3× *slower* than 1. The pool clamps its width to physical
+        // parallelism, so on a single-core runner 4t runs the same inline
+        // code as 1t; the tolerance absorbs residual timer noise.
+        const GATE_TOLERANCE: f64 = 0.95;
+        for engine in [TrialEngine::Compiled, TrialEngine::Batch] {
+            let at = |threads: usize| {
+                runs.iter()
+                    .find(|m| m.engine == engine && m.threads == threads)
+                    .map_or(0.0, |m| m.rounds_per_sec)
+            };
+            let (one, four) = (at(1), at(4));
+            if four < one * GATE_TOLERANCE {
+                eprintln!(
+                    "trial_bench: GATE FAILURE — {} engine: 4 threads ({four:.1} rounds/sec) \
+                     is below 1 thread ({one:.1} rounds/sec) × {GATE_TOLERANCE}",
+                    engine_name(engine)
+                );
+                return ExitCode::FAILURE;
+            }
+            emit!(
+                "  gate: {} engine 4t/1t ratio {:.2} (>= {GATE_TOLERANCE})",
+                engine_name(engine),
+                four / one.max(1e-9)
+            );
+        }
+    }
 
     let report = json_report(cfg_label, window, cfg.rounds, &runs);
     if let Some(path) = &cfg.json_path {

@@ -1,8 +1,9 @@
 //! Shared helpers for the experiment harnesses.
 
 use reaper_analysis::special::phi;
-use reaper_core::FailureProfile;
+use reaper_core::{FailureProfile, PatternSet, Profiler};
 use reaper_dram_model::{Celsius, DataPattern, Ms, Vendor};
+use reaper_exec::num;
 use reaper_retention::{ChipPopulation, RetentionConfig, SimulatedChip};
 use reaper_softmc::TestHarness;
 
@@ -42,22 +43,18 @@ pub fn profile_union(
     ambient: Celsius,
     iterations: u64,
 ) -> FailureProfile {
-    let temp = dram_temp(ambient);
-    // A fixed-condition round loop is exactly what compiled trial plans
-    // exist for: every (pattern, interval, temp) key repeats `iterations`
-    // times, and a plan compile costs about one scalar trial — so force
-    // eager compilation instead of waiting for Auto's second-sighting
-    // promotion. Bit-identical outcomes; engine restored on exit.
-    let prev = chip.trial_engine();
-    chip.set_trial_engine(reaper_retention::TrialEngine::Compiled);
-    let mut profile = FailureProfile::new();
-    for it in 0..iterations {
-        for p in DataPattern::standard_set(it) {
-            profile.extend(chip.retention_trial(p, interval, temp).into_vec());
-        }
-    }
-    chip.set_trial_engine(prev);
-    profile
+    // A fixed-condition round loop is exactly what the bit-plane batch
+    // kernel exists for: every (pattern, interval, temp) key repeats
+    // `iterations` times, so the whole loop is submitted as one schedule
+    // and each recurring condition runs up to 64 rounds per kernel pass.
+    // Bit-identical to the former per-trial loop over the same patterns.
+    Profiler::direct_union(
+        chip,
+        interval,
+        dram_temp(ambient),
+        num::u64_to_u32(iterations),
+        &PatternSet::Standard,
+    )
 }
 
 /// Builds a harness around a chip clone at the given ambient.
@@ -195,6 +192,8 @@ mod tests {
     fn profile_union_grows_with_iterations() {
         let mut chip = representative_chip(Scale::Quick);
         let one = profile_union(&mut chip, Ms::new(2048.0), Celsius::new(45.0), 1).len();
+        // Every trial is served by the bit-plane batch kernel.
+        assert_eq!(chip.plan_stats().batch_rounds, 12);
         let mut chip = representative_chip(Scale::Quick);
         let four = profile_union(&mut chip, Ms::new(2048.0), Celsius::new(45.0), 4).len();
         assert!(four >= one);

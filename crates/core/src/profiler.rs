@@ -6,6 +6,7 @@
 
 use reaper_dram_model::{Celsius, DataPattern, Ms};
 use reaper_exec::num;
+use reaper_retention::{SimulatedChip, MAX_BATCH_ROUNDS};
 use reaper_softmc::TestHarness;
 
 use crate::conditions::{ReachConditions, TargetConditions};
@@ -227,6 +228,44 @@ impl Profiler {
             profiling_interval: self.interval,
             profiling_ambient: self.ambient,
         }
+    }
+
+    /// Harness-free union profiling at one fixed condition, served by the
+    /// chip's bit-plane batch kernel: `iterations` passes over `patterns`
+    /// at exactly (`interval`, `dram_temp`), submitted as one trial
+    /// schedule so each recurring condition runs up to
+    /// [`MAX_BATCH_ROUNDS`] rounds per kernel pass. Returns the union of
+    /// all observed failures.
+    ///
+    /// Unlike [`Profiler::run`] this charges no simulated time and applies
+    /// no thermal-chamber jitter — it is the fast path for callers that
+    /// want the failure *union* at a known DRAM temperature (ground-truth
+    /// construction, benchmarks), not Algorithm 1's runtime accounting.
+    /// Per-trial draws are the chip's usual nonce-keyed lanes, so repeated
+    /// identical trials still see fresh randomness.
+    pub fn direct_union(
+        chip: &mut SimulatedChip,
+        interval: Ms,
+        dram_temp: Celsius,
+        iterations: u32,
+        patterns: &PatternSet,
+    ) -> FailureProfile {
+        // Packed polarity/stress lanes shortcut each condition's plan
+        // compile; outcome-neutral as ever.
+        chip.prewarm_lowerings(&patterns.stable_patterns());
+        let mut schedule = Vec::new();
+        for it in 0..iterations {
+            for pattern in patterns.for_iteration(u64::from(it)) {
+                schedule.push((pattern, interval, dram_temp));
+            }
+        }
+        let mut profile = FailureProfile::new();
+        for outcome in chip.retention_trial_schedule(&schedule, MAX_BATCH_ROUNDS) {
+            for &cell in outcome.failures() {
+                profile.insert(cell);
+            }
+        }
+        profile
     }
 
     /// Runs until the profile covers at least `coverage_goal` of
@@ -475,6 +514,39 @@ mod tests {
         assert!(goal.run.iteration_count() < 20);
         assert!(goal.patterns_executed >= 1);
         assert!(goal.patterns_executed <= 20 * 12);
+    }
+
+    #[test]
+    fn direct_union_matches_sequential_trial_union() {
+        // The batched direct path must produce exactly the union a plain
+        // retention_trial loop at the same fixed condition produces.
+        let mk = || {
+            SimulatedChip::new(
+                RetentionConfig::for_vendor(Vendor::B).with_capacity_scale(1, 16),
+                29,
+            )
+        };
+        let interval = Ms::new(1536.0);
+        let temp = Celsius::new(60.0);
+        let patterns = PatternSet::Standard;
+
+        let mut reference = mk();
+        let mut want = FailureProfile::new();
+        for it in 0..3u32 {
+            for p in patterns.for_iteration(u64::from(it)) {
+                for &cell in reference.retention_trial(p, interval, temp).failures() {
+                    want.insert(cell);
+                }
+            }
+        }
+
+        let mut chip = mk();
+        let got = Profiler::direct_union(&mut chip, interval, temp, 3, &patterns);
+        assert_eq!(got, want);
+        assert!(!got.is_empty());
+        // All trials were served by the batch kernel.
+        let stats = chip.plan_stats();
+        assert_eq!(stats.batch_rounds, 3 * 12);
     }
 
     #[test]

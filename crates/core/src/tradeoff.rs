@@ -35,6 +35,16 @@ pub enum GroundTruth {
         /// Probability floor for membership.
         min_prob: f64,
     },
+    /// The union of many profiling iterations at exact target conditions,
+    /// served harness-free by the chip's bit-plane batch kernel
+    /// ([`Profiler::direct_union`]). Much faster than `Empirical` but not
+    /// draw-identical to it: no simulated time is charged and no thermal
+    /// jitter is applied, so the trials all run at the precise target
+    /// DRAM temperature.
+    Direct {
+        /// Profiling iterations to accumulate.
+        iterations: u32,
+    },
 }
 
 impl Default for GroundTruth {
@@ -193,6 +203,16 @@ impl TradeoffAnalysis {
                 let run = Profiler::brute_force(target, iterations, PatternSet::Standard)
                     .run(&mut harness);
                 run.profile
+            }
+            GroundTruth::Direct { iterations } => {
+                let mut chip = chip.clone();
+                Profiler::direct_union(
+                    &mut chip,
+                    target.interval,
+                    target.dram_temp(),
+                    iterations,
+                    &PatternSet::Standard,
+                )
             }
         }
     }
@@ -360,6 +380,22 @@ mod tests {
             TradeoffAnalysis::explore(&chip(), target, &[Ms::new(500.0)], &[0.0], opts);
         assert!(analysis.ground_truth_size > 0);
         assert!(analysis.points[0].coverage > 0.9);
+    }
+
+    #[test]
+    fn direct_ground_truth_works() {
+        let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+        let mut opts = quick_opts();
+        opts.ground_truth = GroundTruth::Direct { iterations: 12 };
+        let analysis =
+            TradeoffAnalysis::explore(&chip(), target, &[Ms::new(500.0)], &[0.0], opts);
+        assert!(analysis.ground_truth_size > 0);
+        // Profiling well above target must cover most of the direct truth.
+        assert!(
+            analysis.points[0].coverage > 0.8,
+            "coverage {}",
+            analysis.points[0].coverage
+        );
     }
 
     #[test]

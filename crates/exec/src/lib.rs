@@ -10,9 +10,14 @@
 //!   per-item overhead on hot inner loops),
 //! * [`par_map_mut`] — parallel in-place mutation of a slice,
 //! * [`run_partitioned`] — low-level work-stealing loop for custom shapes,
+//! * [`par_index_map_pooled`] — the persistent-pool variant of
+//!   [`par_index_map`] for hot loops whose bodies are too short to
+//!   amortize per-call `thread::scope` spawns (the retention batch
+//!   kernel's fan-out),
 //! * [`pool`] — long-lived worker-pool primitives (bounded MPMC queue +
-//!   joinable thread pool) for service-shaped workloads like
-//!   `reaper-serve`.
+//!   joinable thread pool + the process-wide compute pool) for
+//!   service-shaped workloads like `reaper-serve` and for the pooled
+//!   fork-join above.
 //!
 //! Work distribution is an atomic chunk index: workers `fetch_add` to
 //! claim the next chunk, so load-imbalanced items (e.g. chips with very
@@ -46,7 +51,7 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 
 pub mod num;
@@ -213,6 +218,77 @@ where
     run_partitioned(len, min_chunk, |start, end| f(start..end))
 }
 
+/// Physical parallelism of the machine, resolved once. The pooled
+/// dispatch width is clamped to this: oversubscribing a core with more
+/// helpers than hardware threads only adds handoff latency, and on a
+/// single-core host it makes "4 threads" literally the 1-thread code
+/// path — which is the correct answer there.
+fn physical_parallelism() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Like [`par_index_map`], but dispatched through the process-wide
+/// persistent [`pool::ComputePool`] instead of per-call `thread::scope`
+/// spawns.
+///
+/// Scoped spawns cost tens of microseconds per call — acceptable for
+/// coarse fan-outs (whole chips, grid points), ruinous for a hot loop
+/// whose entire body is ~50 µs: `BENCH_trial.json` once recorded the
+/// compiled trial engine running 3× *slower* at 4 threads than at 1 for
+/// exactly this reason. Here the caller publishes the fan-out to threads
+/// that already exist, participates in it itself, and waits only for
+/// chunk completion — no spawn, no join.
+///
+/// The price of persistence is the `'static` bound: pool workers outlive
+/// every caller, and the workspace denies `unsafe_code`, so borrowed
+/// closures cannot cross into the pool. Callers wrap shared state in
+/// `Arc` (hence `f: Arc<F>`). The scoped `par_map`/`par_chunk_map`/
+/// `par_index_map` family remains the right tool for borrowed data on
+/// coarse work.
+///
+/// Helper width is `min(thread_count(), physical parallelism)`; with one
+/// effective worker the closure runs inline with zero synchronization.
+/// Results are returned in input order and chunk panics propagate to the
+/// caller, exactly like [`par_index_map`].
+pub fn par_index_map_pooled<R, F>(len: usize, min_chunk: usize, f: Arc<F>) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(core::ops::Range<usize>) -> R + Send + Sync + 'static,
+{
+    run_pooled_width(len, min_chunk, thread_count().min(physical_parallelism()), f)
+}
+
+/// [`par_index_map_pooled`] with an explicit dispatch width — the policy
+/// knob factored out so unit tests can exercise multi-helper dispatch on
+/// hosts whose physical parallelism would clamp the public path to 1.
+pub(crate) fn run_pooled_width<R, F>(len: usize, min_chunk: usize, width: usize, f: Arc<F>) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(core::ops::Range<usize>) -> R + Send + Sync + 'static,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let workers = width.max(1).min(len.div_ceil(min_chunk.max(1)));
+    let chunk = chunk_size_for(len, workers, min_chunk);
+    if workers <= 1 {
+        return (0..len)
+            .step_by(chunk)
+            .map(|start| f(start..(start + chunk).min(len)))
+            .collect();
+    }
+    let fan = Arc::new(pool::FanOut::new(len, chunk));
+    let task: Arc<dyn Fn() + Send + Sync> = {
+        let fan = Arc::clone(&fan);
+        let f = Arc::clone(&f);
+        Arc::new(move || fan.participate(f.as_ref()))
+    };
+    pool::ComputePool::global().offer_helpers(&task, workers - 1);
+    fan.participate(f.as_ref());
+    fan.wait_results().into_iter().map(|(_, r)| r).collect()
+}
+
 /// Parallel in-place mutation: `f(i, &mut items[i])` for every index.
 /// The slice is statically partitioned across workers via
 /// `split_at_mut`, so no locking is involved.
@@ -338,6 +414,53 @@ mod tests {
         for (i, &x) in items.iter().enumerate() {
             assert_eq!(x, i as u64 + 1);
         }
+    }
+
+    #[test]
+    fn pooled_map_matches_sequential_at_any_width() {
+        let reference: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9).rotate_left(11))
+            .collect();
+        for width in [1, 2, 4, 8] {
+            let pieces = run_pooled_width(
+                10_000,
+                64,
+                width,
+                Arc::new(|r: core::ops::Range<usize>| {
+                    r.map(|i| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(11))
+                        .collect::<Vec<u64>>()
+                }),
+            );
+            let flat: Vec<u64> = pieces.into_iter().flatten().collect();
+            assert_eq!(flat, reference, "width {width}");
+        }
+    }
+
+    #[test]
+    fn pooled_public_api_covers_every_index_in_order() {
+        let ranges = par_index_map_pooled(10_000, 128, Arc::new(|r: core::ops::Range<usize>| r));
+        let mut expected_start = 0;
+        for r in ranges {
+            assert_eq!(r.start, expected_start);
+            assert!(r.end > r.start);
+            expected_start = r.end;
+        }
+        assert_eq!(expected_start, 10_000);
+        assert!(par_index_map_pooled(0, 128, Arc::new(|r: core::ops::Range<usize>| r)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pooled boom at 512")]
+    fn pooled_map_propagates_panics() {
+        let _ = run_pooled_width(
+            4_096,
+            64,
+            4,
+            Arc::new(|r: core::ops::Range<usize>| {
+                assert!(r.start != 512, "pooled boom at 512");
+                r.len()
+            }),
+        );
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   close-then-drain shutdown semantics,
 //! * [`WorkerPool`] — N detach-free threads running one worker function,
 //!   joined (with panic propagation) on [`WorkerPool::join`].
+//! * [`ComputePool`] — a process-wide persistent pool built from the two
+//!   primitives above, serving the pooled fork-join entry point
+//!   (`par_index_map_pooled` in the crate root). Per-call `thread::scope`
+//!   spawns cost tens of microseconds — more than a whole compiled trial
+//!   round — so the hot paths dispatch to threads that already exist.
 //!
 //! Determinism note: queue *pop order* is necessarily scheduling-
 //! dependent. Callers that need deterministic outputs must make each job
@@ -20,8 +25,9 @@
 //! timing, never results.
 
 use std::collections::VecDeque;
-use std::panic::resume_unwind;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::{self, JoinHandle};
 
 /// Locks a mutex, recovering the guard from a poisoned lock (a panicking
@@ -209,6 +215,180 @@ impl WorkerPool {
     }
 }
 
+/// A pooled job: a helper thread pops one of these and runs it to
+/// completion. Jobs must be `'static` because the workers outlive every
+/// caller — the workspace denies `unsafe_code`, so there is no
+/// borrowed-closure escape hatch; fan-outs share state via `Arc` instead.
+type PoolTask = Arc<dyn Fn() + Send + Sync>;
+
+/// Upper bound on persistent helper threads, far above any sane
+/// `REAPER_THREADS`; a runaway override cannot spawn-bomb the process.
+const MAX_POOL_WORKERS: usize = 32;
+
+/// Pending-task capacity. A `Full` rejection is harmless for fan-outs —
+/// the dispatching caller participates and completes every chunk itself —
+/// so a modest bound suffices.
+const POOL_QUEUE_CAP: usize = 1024;
+
+/// The process-wide persistent compute pool.
+///
+/// Workers are spawned lazily (grow-only, up to [`MAX_POOL_WORKERS`]) the
+/// first time a caller asks for helpers, then park on the task queue's
+/// condvar between jobs for the life of the process. The task queue is
+/// never closed: an idle pool costs a few parked threads, and the OS
+/// reclaims them at process exit.
+///
+/// This is the substrate under `par_index_map_pooled` (crate root): the
+/// caller always participates in its own fan-out, so even a saturated or
+/// single-core pool makes forward progress with zero handoff.
+pub struct ComputePool {
+    tasks: BoundedQueue<PoolTask>,
+    pools: Mutex<Vec<WorkerPool>>,
+}
+
+impl ComputePool {
+    /// The process-wide pool (created empty on first use).
+    pub fn global() -> &'static ComputePool {
+        static POOL: OnceLock<ComputePool> = OnceLock::new();
+        POOL.get_or_init(|| ComputePool {
+            tasks: BoundedQueue::new(POOL_QUEUE_CAP),
+            pools: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Helper threads currently alive.
+    pub fn worker_count(&self) -> usize {
+        lock(&self.pools).iter().map(WorkerPool::len).sum()
+    }
+
+    /// Grows the pool to at least `n` workers (capped at
+    /// [`MAX_POOL_WORKERS`]); existing workers are never retired.
+    fn ensure_workers(&'static self, n: usize) {
+        let n = n.min(MAX_POOL_WORKERS);
+        let mut pools = lock(&self.pools);
+        let have: usize = pools.iter().map(WorkerPool::len).sum();
+        if have >= n {
+            return;
+        }
+        let tasks = &self.tasks;
+        pools.push(WorkerPool::spawn("reaper-pool", n - have, move |_i| {
+            while let Some(task) = tasks.pop() {
+                // A fan-out participant captures its own panics per chunk;
+                // this guard keeps any other unwinding job from killing a
+                // worker that the whole process shares.
+                let _ = catch_unwind(AssertUnwindSafe(|| task()));
+            }
+        }));
+    }
+
+    /// Offers `helpers` copies of `task` to the pool, spawning workers up
+    /// to that many if needed. Best-effort: a full queue sheds the
+    /// remainder silently, which fan-out callers tolerate by design
+    /// (they run every unclaimed chunk themselves).
+    pub fn offer_helpers(&'static self, task: &PoolTask, helpers: usize) {
+        if helpers == 0 {
+            return;
+        }
+        self.ensure_workers(helpers);
+        for _ in 0..helpers {
+            if self.tasks.try_push(Arc::clone(task)).is_err() {
+                break;
+            }
+        }
+    }
+}
+
+/// Completion state of one pooled fork-join fan-out.
+struct FanState<R> {
+    completed: usize,
+    results: Vec<(usize, R)>,
+    panic: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+/// Shared state of one pooled fork-join fan-out over `[0, len)`.
+///
+/// Chunks are claimed via `fetch_add` exactly as in the scoped
+/// `run_chunks` loop, but completion is counted per chunk under a mutex
+/// so the *caller* can wait for helpers it does not own (pool workers are
+/// never joined). Every claimed chunk accounts exactly one completion —
+/// even a panicking one — so [`FanOut::wait_results`] always terminates,
+/// including when no helper ever picks the task up (the caller claims
+/// every chunk itself).
+pub(crate) struct FanOut<R> {
+    next: AtomicUsize,
+    chunk: usize,
+    len: usize,
+    total_chunks: usize,
+    state: Mutex<FanState<R>>,
+    done: Condvar,
+}
+
+impl<R> FanOut<R> {
+    pub(crate) fn new(len: usize, chunk: usize) -> Self {
+        assert!(len > 0 && chunk > 0, "fan-out needs work and a chunk size");
+        Self {
+            next: AtomicUsize::new(0),
+            chunk,
+            len,
+            total_chunks: len.div_ceil(chunk),
+            state: Mutex::new(FanState {
+                completed: 0,
+                results: Vec::new(),
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs chunks until the range is exhausted. Called by the
+    /// dispatching caller and by any pool worker that picked up the task.
+    pub(crate) fn participate<F>(&self, f: &F)
+    where
+        F: Fn(core::ops::Range<usize>) -> R,
+    {
+        loop {
+            let start = self.next.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.len {
+                return;
+            }
+            let end = (start + self.chunk).min(self.len);
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(start..end)));
+            let mut st = lock(&self.state);
+            match outcome {
+                Ok(r) => st.results.push((start, r)),
+                Err(payload) => {
+                    if st.panic.is_none() {
+                        st.panic = Some(payload);
+                    }
+                }
+            }
+            st.completed += 1;
+            let all_done = st.completed == self.total_chunks;
+            drop(st);
+            if all_done {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every chunk has completed, then returns the chunk
+    /// results sorted by start index. Re-raises the first chunk panic.
+    pub(crate) fn wait_results(&self) -> Vec<(usize, R)> {
+        let mut st = lock(&self.state);
+        while st.completed < self.total_chunks {
+            st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        let panic = st.panic.take();
+        let mut results = std::mem::take(&mut st.results);
+        drop(st);
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        results.sort_unstable_by_key(|&(start, _)| start);
+        results
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +475,59 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_is_rejected() {
         let _ = BoundedQueue::<()>::new(0);
+    }
+
+    #[test]
+    fn fan_out_completes_with_caller_alone() {
+        // No helper ever shows up: the caller claims every chunk itself
+        // and wait_results still terminates with full coverage.
+        let fan = FanOut::new(1_000, 64);
+        fan.participate(&|r: core::ops::Range<usize>| r.len());
+        let pieces = fan.wait_results();
+        let total: usize = pieces.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 1_000);
+        let starts: Vec<usize> = pieces.iter().map(|&(s, _)| s).collect();
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "sorted by start");
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk 128 exploded")]
+    fn fan_out_propagates_chunk_panics() {
+        let fan = FanOut::new(512, 64);
+        fan.participate(&|r: core::ops::Range<usize>| {
+            assert!(r.start != 128, "chunk 128 exploded");
+            r.len()
+        });
+        let _ = fan.wait_results();
+    }
+
+    #[test]
+    fn compute_pool_helpers_survive_across_fan_outs() {
+        let pool = ComputePool::global();
+        for round in 0..3u64 {
+            let fan = Arc::new(FanOut::new(4_096, 64));
+            let hits = Arc::new(AtomicUsize::new(0));
+            let task: PoolTask = {
+                let fan = Arc::clone(&fan);
+                let hits = Arc::clone(&hits);
+                Arc::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    fan.participate(&|r: core::ops::Range<usize>| {
+                        r.map(|i| i as u64 + round).sum::<u64>()
+                    });
+                })
+            };
+            pool.offer_helpers(&task, 2);
+            fan.participate(&|r: core::ops::Range<usize>| {
+                r.map(|i| i as u64 + round).sum::<u64>()
+            });
+            let total: u64 = fan.wait_results().into_iter().map(|(_, s)| s).sum();
+            let expect: u64 = (0..4_096u64).map(|i| i + round).sum();
+            assert_eq!(total, expect, "round {round}");
+        }
+        // Workers were spawned at most once and stayed parked between
+        // rounds; the pool never shrinks.
+        assert!(pool.worker_count() >= 1);
+        assert!(pool.worker_count() <= MAX_POOL_WORKERS);
     }
 }

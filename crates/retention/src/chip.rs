@@ -11,6 +11,7 @@ use reaper_exec::num;
 use reaper_exec::rng::stream;
 use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
 
+use crate::batch::MAX_BATCH_ROUNDS;
 use crate::cell::WeakCell;
 use crate::config::RetentionConfig;
 use crate::plan::{PatternLowering, PlanCache, PlanKey, PlanStats, TrialCtx, TrialEngine, TrialPlan};
@@ -102,6 +103,17 @@ impl TrialOutcome {
     fn from_unsorted(mut v: Vec<u64>) -> Self {
         v.sort_unstable();
         v.dedup();
+        Self { failures: v }
+    }
+
+    /// Wraps an already sorted, duplicate-free index vector (the batch
+    /// kernel emits rounds in this form) without re-sorting.
+    fn from_sorted(v: Vec<u64>) -> Self {
+        debug_assert!(
+            // lint: allow(panic) windows(2) always yields 2-element slices
+            v.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted requires strictly ascending indices"
+        );
         Self { failures: v }
     }
 
@@ -309,6 +321,13 @@ impl SimulatedChip {
         &self.sort_keys
     }
 
+    /// The VRT chain vector; exposed for in-crate tests that run plans
+    /// directly.
+    #[cfg(test)]
+    pub(crate) fn base_vrt_for_tests(&self) -> &[TwoStateVrt] {
+        &self.base_vrt
+    }
+
     /// Number of currently active VRT-arrival cells.
     pub fn arrival_count(&self) -> usize {
         self.arrivals.len()
@@ -381,7 +400,26 @@ impl SimulatedChip {
             low_mu_factor: self.cfg.vrt_low_mu_factor,
         };
         let (mut failures, vrt_updates) = match route {
-            TrialRoute::Compiled(i) => self.plan_cache.plan_at(i).run_round(&self.base_vrt, &ctx),
+            TrialRoute::Compiled(i) => {
+                if self.engine == TrialEngine::Batch {
+                    // The batch engine serves single trials as batches of
+                    // one through the bit-plane kernel.
+                    self.plan_cache.stats.batch_rounds += 1;
+                    let mut batch = self
+                        .plan_cache
+                        .plan_at_mut(i)
+                        .run_rounds(&self.base_vrt, &ctx, &[nonce]);
+                    let failures = batch
+                        .rounds
+                        .pop()
+                        .expect("invariant: one nonce in yields one round out");
+                    (failures, batch.vrt_updates)
+                } else {
+                    self.plan_cache
+                        .plan_at_mut(i)
+                        .run_round(&self.base_vrt, &ctx)
+                }
+            }
             TrialRoute::Lowered(i) => {
                 self.plan_cache
                     .lowering_at(i)
@@ -394,9 +432,17 @@ impl SimulatedChip {
             self.base_vrt[num::idx(i)] = state;
         }
 
-        // VRT-arrival cells: freshly arrived cells fail (that is their
-        // arrival event); established ones fail while in their low state.
-        // This list is small and its draws live on the sequential RNG.
+        self.arrival_round(t, ms_scale, ss_scale, &mut failures);
+
+        TrialOutcome::from_unsorted(failures)
+    }
+
+    /// One round over the VRT-arrival cells: freshly arrived cells fail
+    /// (that is their arrival event); established ones fail while in their
+    /// low state. The list is small and its draws live on the sequential
+    /// RNG, so the batched entry points call this once per round *in nonce
+    /// order* — the exact draw sequence a round-major trial loop makes.
+    fn arrival_round(&mut self, t_secs: f64, ms_scale: f64, ss_scale: f64, failures: &mut Vec<u64>) {
         let now_ms = self.now_ms;
         let rng = &mut self.rng;
         for a in &mut self.arrivals {
@@ -412,15 +458,14 @@ impl SimulatedChip {
             if a.vrt.observe(now_ms, rng) {
                 let mu = a.cell.effective_mu(ms_scale, 1.0, 1.0);
                 let sigma = a.cell.sigma0 as f64 * ss_scale;
-                let z = (t - mu) / sigma;
-                if z > Z_CUTOFF || (z > -Z_CUTOFF && rng.random::<f64>() < reaper_analysis::special::phi(z))
+                let z = (t_secs - mu) / sigma;
+                if z > Z_CUTOFF
+                    || (z > -Z_CUTOFF && rng.random::<f64>() < reaper_analysis::special::phi(z))
                 {
                     failures.push(a.cell.index);
                 }
             }
         }
-
-        TrialOutcome::from_unsorted(failures)
     }
 
     /// The original scalar window scan: recomputes polarity, stress, μ, σ,
@@ -512,13 +557,17 @@ impl SimulatedChip {
         }
 
         // Compiled tier: exact (pattern, interval, temp) condition.
-        if matches!(self.engine, TrialEngine::Auto | TrialEngine::Compiled) {
+        if matches!(
+            self.engine,
+            TrialEngine::Auto | TrialEngine::Compiled | TrialEngine::Batch
+        ) {
             let key = PlanKey::new(pattern, interval, temp);
             if let Some(i) = self.plan_cache.find_plan(&key) {
                 self.plan_cache.stats.plan_trials += 1;
                 return TrialRoute::Compiled(i);
             }
-            let promote = self.engine == TrialEngine::Compiled || self.plan_cache.note_plan_key(key);
+            let promote = matches!(self.engine, TrialEngine::Compiled | TrialEngine::Batch)
+                || self.plan_cache.note_plan_key(key);
             if promote {
                 let plan = TrialPlan::compile(
                     &self.cfg,
@@ -553,6 +602,249 @@ impl SimulatedChip {
 
         self.plan_cache.stats.scalar_trials += 1;
         TrialRoute::Scalar
+    }
+
+    /// Runs `rounds` retention trials at one fixed condition through the
+    /// bit-plane batch kernel, returning one outcome per round in nonce
+    /// order. Bit-identical to calling [`SimulatedChip::retention_trial`]
+    /// `rounds` times (under any engine), but each full batch of
+    /// [`MAX_BATCH_ROUNDS`] visits every in-band lane once instead of
+    /// once per round.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive.
+    pub fn retention_trial_rounds(
+        &mut self,
+        pattern: DataPattern,
+        interval: Ms,
+        temp: Celsius,
+        rounds: u32,
+    ) -> Vec<TrialOutcome> {
+        self.retention_trial_batches(pattern, interval, temp, rounds, MAX_BATCH_ROUNDS)
+    }
+
+    /// Like [`SimulatedChip::retention_trial_rounds`] with an explicit
+    /// per-pass batch cap (a testing/tuning knob): rounds are evaluated in
+    /// consecutive batches of at most `max_batch` nonces. The cap changes
+    /// wall-clock only, never outcomes.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive or `max_batch` is outside
+    /// `1..=MAX_BATCH_ROUNDS`.
+    pub fn retention_trial_batches(
+        &mut self,
+        pattern: DataPattern,
+        interval: Ms,
+        temp: Celsius,
+        rounds: u32,
+        max_batch: usize,
+    ) -> Vec<TrialOutcome> {
+        assert!(interval.is_positive(), "retention interval must be positive");
+        assert!(
+            (1..=MAX_BATCH_ROUNDS).contains(&max_batch),
+            "max_batch must be in 1..={MAX_BATCH_ROUNDS}, got {max_batch}"
+        );
+        let t = interval.as_secs();
+        self.process_arrivals(t, temp);
+
+        let ms_scale = self.cfg.mu_temp_scale(temp);
+        let ss_scale = self.cfg.sigma_temp_scale(temp);
+        let ctx = TrialCtx {
+            t_secs: t,
+            ms_scale,
+            ss_scale,
+            stream_base: self.stream_base,
+            nonce: 0, // per-round nonces come from the batch
+            now_ms: self.now_ms,
+            low_mu_factor: self.cfg.vrt_low_mu_factor,
+        };
+
+        let plan = self.batch_plan(pattern, interval, temp);
+        let first_nonce = self.trial_nonce;
+        self.trial_nonce += u64::from(rounds);
+
+        let mut outcomes = Vec::with_capacity(num::idx_u64(u64::from(rounds)));
+        let mut next = first_nonce;
+        let end_nonce = first_nonce + u64::from(rounds);
+        while next < end_nonce {
+            let k = (end_nonce - next).min(num::to_u64(max_batch));
+            let nonces: Vec<u64> = (next..next + k).collect();
+            next += k;
+            let batch = self
+                .plan_cache
+                .plan_at_mut(plan)
+                .run_rounds(&self.base_vrt, &ctx, &nonces);
+            self.plan_cache.stats.plan_trials += k;
+            self.plan_cache.stats.batch_rounds += k;
+            for (i, state) in batch.vrt_updates {
+                // lint: allow(panic) indices originate from base_vrt positions above
+                self.base_vrt[num::idx(i)] = state;
+            }
+            // Arrival draws live on the sequential RNG: replay them per
+            // round in nonce order, after the kernel (which never touches
+            // that RNG), so the draw sequence matches a round-major loop.
+            // Kernel rounds arrive sorted; re-sort only when an arrival
+            // cell actually appended.
+            for mut failures in batch.rounds {
+                let kernel_len = failures.len();
+                self.arrival_round(t, ms_scale, ss_scale, &mut failures);
+                outcomes.push(if failures.len() == kernel_len {
+                    TrialOutcome::from_sorted(failures)
+                } else {
+                    TrialOutcome::from_unsorted(failures)
+                });
+            }
+        }
+        outcomes
+    }
+
+    /// Runs a heterogeneous trial schedule through the batch kernel: one
+    /// trial per `(pattern, interval, temp)` entry, outcomes in schedule
+    /// order, bit-identical to a [`SimulatedChip::retention_trial`] loop
+    /// over the same entries.
+    ///
+    /// Entries are grouped by exact condition (first-seen order) and each
+    /// group's trials run as batches of up to `max_batch`, keyed by their
+    /// original schedule-position nonces. The regrouping is outcome-safe:
+    /// per-(cell, nonce) hash lanes are order-independent; a VRT chain's
+    /// state can only transition on its *first* observation at the current
+    /// wall clock, and that observation carries the cell's globally
+    /// minimal activating nonce in both orders (any group processed
+    /// earlier that activated the cell would contain a smaller one);
+    /// and arrival-cell draws are replayed on the sequential RNG in
+    /// schedule order after all groups.
+    ///
+    /// # Panics
+    /// Panics if any interval is not positive or `max_batch` is outside
+    /// `1..=MAX_BATCH_ROUNDS`.
+    pub fn retention_trial_schedule(
+        &mut self,
+        schedule: &[(DataPattern, Ms, Celsius)],
+        max_batch: usize,
+    ) -> Vec<TrialOutcome> {
+        assert!(
+            (1..=MAX_BATCH_ROUNDS).contains(&max_batch),
+            "max_batch must be in 1..={MAX_BATCH_ROUNDS}, got {max_batch}"
+        );
+        let Some(&(_, first_interval, first_temp)) = schedule.first() else {
+            return Vec::new();
+        };
+        for (_, interval, _) in schedule {
+            assert!(interval.is_positive(), "retention interval must be positive");
+        }
+        // The first condition drives the arrival draw, exactly as in a
+        // sequential loop (later same-clock calls are retain-only no-ops).
+        self.process_arrivals(first_interval.as_secs(), first_temp);
+
+        let first_nonce = self.trial_nonce;
+        self.trial_nonce += num::to_u64(schedule.len());
+
+        // Group schedule positions by exact condition, first-seen order.
+        struct Group {
+            key: PlanKey,
+            pattern: DataPattern,
+            interval: Ms,
+            temp: Celsius,
+            positions: Vec<usize>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        for (pos, &(pattern, interval, temp)) in schedule.iter().enumerate() {
+            let key = PlanKey::new(pattern, interval, temp);
+            match groups.iter_mut().find(|g| g.key == key) {
+                Some(g) => g.positions.push(pos),
+                None => groups.push(Group {
+                    key,
+                    pattern,
+                    interval,
+                    temp,
+                    positions: vec![pos],
+                }),
+            }
+        }
+
+        let mut failures_by_pos: Vec<Option<Vec<u64>>> = vec![None; schedule.len()];
+        for g in &groups {
+            let t = g.interval.as_secs();
+            let ms_scale = self.cfg.mu_temp_scale(g.temp);
+            let ss_scale = self.cfg.sigma_temp_scale(g.temp);
+            let ctx = TrialCtx {
+                t_secs: t,
+                ms_scale,
+                ss_scale,
+                stream_base: self.stream_base,
+                nonce: 0, // per-round nonces come from the batch
+                now_ms: self.now_ms,
+                low_mu_factor: self.cfg.vrt_low_mu_factor,
+            };
+            let plan = self.batch_plan(g.pattern, g.interval, g.temp);
+            for chunk in g.positions.chunks(max_batch) {
+                let nonces: Vec<u64> = chunk
+                    .iter()
+                    .map(|&pos| first_nonce + num::to_u64(pos))
+                    .collect();
+                let k = num::to_u64(chunk.len());
+                let batch = self
+                    .plan_cache
+                    .plan_at_mut(plan)
+                    .run_rounds(&self.base_vrt, &ctx, &nonces);
+                self.plan_cache.stats.plan_trials += k;
+                self.plan_cache.stats.batch_rounds += k;
+                for (i, state) in batch.vrt_updates {
+                    // lint: allow(panic) indices originate from base_vrt positions above
+                    self.base_vrt[num::idx(i)] = state;
+                }
+                for (&pos, fails) in chunk.iter().zip(batch.rounds) {
+                    *failures_by_pos
+                        .get_mut(pos)
+                        .expect("invariant: positions enumerate the schedule") = Some(fails);
+                }
+            }
+        }
+
+        // Replay arrivals on the sequential RNG in schedule order.
+        let mut outcomes = Vec::with_capacity(schedule.len());
+        for (slot, &(_, interval, temp)) in failures_by_pos.iter_mut().zip(schedule) {
+            let mut failures = slot
+                .take()
+                .expect("invariant: every schedule position was served by its group");
+            let kernel_len = failures.len();
+            self.arrival_round(
+                interval.as_secs(),
+                self.cfg.mu_temp_scale(temp),
+                self.cfg.sigma_temp_scale(temp),
+                &mut failures,
+            );
+            outcomes.push(if failures.len() == kernel_len {
+                TrialOutcome::from_sorted(failures)
+            } else {
+                TrialOutcome::from_unsorted(failures)
+            });
+        }
+        outcomes
+    }
+
+    /// Finds or compiles the plan serving a batched run. The batched entry
+    /// points always use the compiled tier regardless of the configured
+    /// engine: asking for many rounds at one condition *is* the recurrence
+    /// signal the Auto engine otherwise waits for.
+    fn batch_plan(&mut self, pattern: DataPattern, interval: Ms, temp: Celsius) -> usize {
+        self.plan_cache.roll_epoch(self.plan_epoch);
+        let key = PlanKey::new(pattern, interval, temp);
+        self.plan_cache.note_plan_key(key);
+        if let Some(i) = self.plan_cache.find_plan(&key) {
+            return i;
+        }
+        let plan = TrialPlan::compile(
+            &self.cfg,
+            &self.cells,
+            &self.sort_keys,
+            self.plan_cache.peek_lowering(pattern),
+            pattern,
+            interval,
+            temp,
+        );
+        self.plan_cache.stats.plans_compiled += 1;
+        self.plan_cache.insert_plan(plan)
     }
 
     /// Selects the engine `retention_trial` routes through. The default is
@@ -930,6 +1222,7 @@ mod tests {
             TrialEngine::Scalar,
             TrialEngine::Lowered,
             TrialEngine::Compiled,
+            TrialEngine::Batch,
             TrialEngine::Auto,
         ];
         let mut transcripts = Vec::new();
@@ -952,6 +1245,72 @@ mod tests {
         for t in &transcripts {
             assert_eq!(t, &transcripts[0]);
         }
+    }
+
+    #[test]
+    fn batched_rounds_match_sequential_trials() {
+        // The multi-round entry point must replicate a retention_trial
+        // loop bit-for-bit — across a time advance (VRT arrivals, epoch
+        // roll) and at every batch cap, including partial final batches.
+        let p = DataPattern::checkerboard();
+        let interval = Ms::new(1024.0);
+        let temp = Celsius::new(60.0);
+        let script = |chip: &mut SimulatedChip| {
+            chip.advance(Ms::from_hours(2.0));
+        };
+
+        let mut reference = SimulatedChip::new(quick_cfg(), 31);
+        script(&mut reference);
+        let want: Vec<TrialOutcome> = (0..10)
+            .map(|_| reference.retention_trial(p, interval, temp))
+            .collect();
+
+        for cap in [1, 3, MAX_BATCH_ROUNDS] {
+            let mut chip = SimulatedChip::new(quick_cfg(), 31);
+            script(&mut chip);
+            let got = chip.retention_trial_batches(p, interval, temp, 10, cap);
+            assert_eq!(got, want, "batch cap {cap}");
+            let s = chip.plan_stats();
+            assert_eq!(s.batch_rounds, 10);
+            assert_eq!(s.plan_trials, 10);
+        }
+
+        // And the convenience wrapper takes the full-width path.
+        let mut chip = SimulatedChip::new(quick_cfg(), 31);
+        script(&mut chip);
+        assert_eq!(chip.retention_trial_rounds(p, interval, temp, 10), want);
+    }
+
+    #[test]
+    fn schedule_matches_sequential_trials() {
+        // A heterogeneous schedule (rotating patterns, a second interval)
+        // regrouped by condition must match the sequential loop exactly.
+        let temp = Celsius::new(60.0);
+        let mut schedule: Vec<(DataPattern, Ms, Celsius)> = Vec::new();
+        for it in 0..3 {
+            for p in DataPattern::standard_set(it) {
+                schedule.push((p, Ms::new(1024.0), temp));
+            }
+            schedule.push((DataPattern::checkerboard(), Ms::new(1536.0), temp));
+        }
+
+        let mut reference = SimulatedChip::new(quick_cfg(), 32);
+        reference.advance(Ms::from_hours(1.0));
+        let want: Vec<TrialOutcome> = schedule
+            .iter()
+            .map(|&(p, i, c)| reference.retention_trial(p, i, c))
+            .collect();
+
+        for cap in [2, MAX_BATCH_ROUNDS] {
+            let mut chip = SimulatedChip::new(quick_cfg(), 32);
+            chip.advance(Ms::from_hours(1.0));
+            let got = chip.retention_trial_schedule(&schedule, cap);
+            assert_eq!(got, want, "batch cap {cap}");
+        }
+
+        // Degenerate schedule.
+        let mut chip = SimulatedChip::new(quick_cfg(), 32);
+        assert!(chip.retention_trial_schedule(&[], 8).is_empty());
     }
 
     #[test]

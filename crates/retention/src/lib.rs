@@ -57,6 +57,7 @@
 // knob for these lints.
 #![cfg_attr(test, allow(clippy::float_cmp, clippy::cast_possible_truncation))]
 
+pub mod batch;
 pub mod cell;
 pub mod chip;
 pub mod config;
@@ -65,6 +66,7 @@ pub mod population;
 pub mod spd;
 pub mod vrt;
 
+pub use batch::MAX_BATCH_ROUNDS;
 pub use cell::WeakCell;
 pub use chip::{SimulatedChip, TrialOutcome};
 pub use plan::{PlanStats, TrialEngine};

@@ -32,11 +32,14 @@
 //! VRT writes, both order-independent — hence identical at any thread
 //! count. See DESIGN.md §"Compiled trial plans".
 
+use std::sync::Arc;
+
 use reaper_analysis::special::phi;
 use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
 use reaper_exec::num;
 use reaper_exec::rng::stream;
 
+use crate::batch::u53_threshold;
 use crate::cell::WeakCell;
 use crate::chip::{candidate_window_end, PAR_MIN_CELLS, TRIAL_DOMAIN, Z_CUTOFF};
 use crate::config::RetentionConfig;
@@ -57,6 +60,11 @@ pub enum TrialEngine {
     Lowered,
     /// Always compile (or fetch) a full `TrialPlan` for the condition.
     Compiled,
+    /// Always compile a plan and serve trials through the bit-plane batch
+    /// kernel ([`crate::batch`]): single trials run as batches of one,
+    /// and the multi-round entry points evaluate up to
+    /// [`crate::MAX_BATCH_ROUNDS`] rounds per cell per pass.
+    Batch,
 }
 
 /// Counters describing how trials were routed; see
@@ -69,6 +77,9 @@ pub struct PlanStats {
     pub lowered_trials: u64,
     /// Trials served by a compiled [`TrialPlan`].
     pub plan_trials: u64,
+    /// Rounds evaluated through the bit-plane batch kernel (a subset of
+    /// `plan_trials`: every batched round also uses a compiled plan).
+    pub batch_rounds: u64,
     /// Pattern lowerings constructed (including prewarms).
     pub lowerings_built: u64,
     /// Trial plans compiled.
@@ -229,10 +240,10 @@ impl PatternLowering {
 
 /// Sentinel threshold: the cell cannot fail at this condition/state
 /// (`z < −Z_CUTOFF`; the scalar path performs no failure draw).
-const CERTAIN_PASS: f64 = -1.0;
+pub(crate) const CERTAIN_PASS: f64 = -1.0;
 /// Sentinel threshold: the cell always fails at this condition/state
 /// (`z > Z_CUTOFF`; the scalar path performs no failure draw).
-const CERTAIN_FAIL: f64 = 2.0;
+pub(crate) const CERTAIN_FAIL: f64 = 2.0;
 
 /// The per-state failure threshold with sentinel encoding. In-band values
 /// are `phi(z) ∈ (≈3.2e-5, ≈1−3.2e-5)`, so the sentinels are unambiguous.
@@ -244,6 +255,37 @@ fn threshold_of(z: f64) -> f64 {
     } else {
         phi(z)
     }
+}
+
+/// The compiled SoA lanes of a [`TrialPlan`].
+///
+/// Kept behind an `Arc` on the plan: the pooled fan-out under the round
+/// scans (`reaper_exec::par_index_map_pooled`) hands work to persistent
+/// threads that outlive the caller, and the workspace denies
+/// `unsafe_code`, so the lanes must be shareable with a `'static`
+/// lifetime. The lanes are immutable after compilation, so sharing them
+/// is free of aliasing hazards; only the plan's bookkeeping (`fail_hint`)
+/// lives outside the `Arc`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct PlanLanes {
+    /// Non-VRT cells with `z > Z_CUTOFF`: fail every round, no draw.
+    pub(crate) certain: Vec<u64>,
+    /// In-band non-VRT lanes (structure-of-arrays, index-aligned).
+    pub(crate) prob_idx: Vec<u64>,
+    pub(crate) prob_mu: Vec<f64>,
+    pub(crate) prob_sigma: Vec<f64>,
+    pub(crate) prob_z: Vec<f64>,
+    pub(crate) prob_thr: Vec<f64>,
+    /// `prob_thr` rescaled to `ceil(thr · 2⁵³)` for the batch kernel's
+    /// integer-domain compare: `(next_u64() >> 11) < prob_thr_u[i]` iff
+    /// `next_f64() < prob_thr[i]`, exactly (see
+    /// [`crate::batch::u53_threshold`]).
+    pub(crate) prob_thr_u: Vec<u64>,
+    /// VRT lanes: base_vrt slot, cell index, and per-cell `[high, low]`
+    /// state thresholds (flattened pairs, sentinel-encoded).
+    pub(crate) vrt_slot: Vec<u32>,
+    pub(crate) vrt_idx: Vec<u64>,
+    pub(crate) vrt_thr: Vec<f64>,
 }
 
 /// Tier 2: a fully compiled plan for one `(pattern, interval, temp)`.
@@ -261,19 +303,14 @@ pub(crate) struct TrialPlan {
     end: usize,
     /// Trial interval in seconds (lane-consistency checks).
     t_secs: f64,
-    /// Non-VRT cells with `z > Z_CUTOFF`: fail every round, no draw.
-    certain: Vec<u64>,
-    /// In-band non-VRT lanes (structure-of-arrays, index-aligned).
-    prob_idx: Vec<u64>,
-    prob_mu: Vec<f64>,
-    prob_sigma: Vec<f64>,
-    prob_z: Vec<f64>,
-    prob_thr: Vec<f64>,
-    /// VRT lanes: base_vrt slot, cell index, and per-cell `[high, low]`
-    /// state thresholds (flattened pairs, sentinel-encoded).
-    vrt_slot: Vec<u32>,
-    vrt_idx: Vec<u64>,
-    vrt_thr: Vec<f64>,
+    /// The immutable compiled lanes, shared with pooled fan-outs.
+    pub(crate) lanes: Arc<PlanLanes>,
+    /// Failure count of this plan's most recent round — the capacity
+    /// guess for the next round's failure vector. Seeded with the static
+    /// `certain + in-band/8 + vrt` heuristic at compile time; reusing the
+    /// previous round's actual count stops high-failure conditions from
+    /// reallocating every round.
+    fail_hint: usize,
 }
 
 impl TrialPlan {
@@ -295,20 +332,7 @@ impl TrialPlan {
         let geometry = cfg.geometry;
         let end = candidate_window_end(sort_keys, t, ms_scale, ss_scale);
 
-        let mut plan = Self {
-            key: PlanKey::new(pattern, interval, temp),
-            end,
-            t_secs: t,
-            certain: Vec::new(),
-            prob_idx: Vec::new(),
-            prob_mu: Vec::new(),
-            prob_sigma: Vec::new(),
-            prob_z: Vec::new(),
-            prob_thr: Vec::new(),
-            vrt_slot: Vec::new(),
-            vrt_idx: Vec::new(),
-            vrt_thr: Vec::new(),
-        };
+        let mut lanes = PlanLanes::default();
 
         let mut add = |cell: &WeakCell, lvl: u8| {
             let stress = f64::from(lvl) / 4.0;
@@ -317,22 +341,24 @@ impl TrialPlan {
                 Some(slot) => {
                     let mu_high = cell.effective_mu(ms_scale, stress, 1.0);
                     let mu_low = cell.effective_mu(ms_scale, stress, cfg.vrt_low_mu_factor);
-                    plan.vrt_slot.push(slot);
-                    plan.vrt_idx.push(cell.index);
-                    plan.vrt_thr.push(threshold_of((t - mu_high) / sigma));
-                    plan.vrt_thr.push(threshold_of((t - mu_low) / sigma));
+                    lanes.vrt_slot.push(slot);
+                    lanes.vrt_idx.push(cell.index);
+                    lanes.vrt_thr.push(threshold_of((t - mu_high) / sigma));
+                    lanes.vrt_thr.push(threshold_of((t - mu_low) / sigma));
                 }
                 None => {
                     let mu = cell.effective_mu(ms_scale, stress, 1.0);
                     let z = (t - mu) / sigma;
                     if z > Z_CUTOFF {
-                        plan.certain.push(cell.index);
+                        lanes.certain.push(cell.index);
                     } else if z >= -Z_CUTOFF {
-                        plan.prob_idx.push(cell.index);
-                        plan.prob_mu.push(mu);
-                        plan.prob_sigma.push(sigma);
-                        plan.prob_z.push(z);
-                        plan.prob_thr.push(phi(z));
+                        let thr = phi(z);
+                        lanes.prob_idx.push(cell.index);
+                        lanes.prob_mu.push(mu);
+                        lanes.prob_sigma.push(sigma);
+                        lanes.prob_z.push(z);
+                        lanes.prob_thr.push(thr);
+                        lanes.prob_thr_u.push(u53_threshold(thr));
                     }
                     // z < -Z_CUTOFF: certain pass, dropped — the scalar
                     // path opens a lane but draws nothing for these, so
@@ -360,32 +386,43 @@ impl TrialPlan {
                 }
             }
         }
-        plan
+        let fail_hint = lanes.certain.len() + lanes.prob_idx.len() / 8 + lanes.vrt_idx.len();
+        Self {
+            key: PlanKey::new(pattern, interval, temp),
+            end,
+            t_secs: t,
+            lanes: Arc::new(lanes),
+            fail_hint,
+        }
     }
 
     /// Every lane invariant the round loop relies on, recomputed from the
     /// μ/σ lanes: checked via `debug_assert!` so the redundant lanes stay
     /// live in all builds while costing nothing in release.
-    fn lanes_consistent(&self) -> bool {
-        let n = self.prob_idx.len();
-        n == self.prob_mu.len()
-            && n == self.prob_sigma.len()
-            && n == self.prob_z.len()
-            && n == self.prob_thr.len()
-            && self.vrt_slot.len() == self.vrt_idx.len()
-            && self.vrt_thr.len() == self.vrt_slot.len() * 2
-            && self.certain.len() + n + self.vrt_idx.len() <= self.end
+    pub(crate) fn lanes_consistent(&self) -> bool {
+        let lanes = &self.lanes;
+        let n = lanes.prob_idx.len();
+        n == lanes.prob_mu.len()
+            && n == lanes.prob_sigma.len()
+            && n == lanes.prob_z.len()
+            && n == lanes.prob_thr.len()
+            && n == lanes.prob_thr_u.len()
+            && lanes.vrt_slot.len() == lanes.vrt_idx.len()
+            && lanes.vrt_thr.len() == lanes.vrt_slot.len() * 2
+            && lanes.certain.len() + n + lanes.vrt_idx.len() <= self.end
             && (0..n).all(|i| {
-                let (Some(mu), Some(sigma), Some(z), Some(thr)) = (
-                    self.prob_mu.get(i),
-                    self.prob_sigma.get(i),
-                    self.prob_z.get(i),
-                    self.prob_thr.get(i),
+                let (Some(mu), Some(sigma), Some(z), Some(thr), Some(thr_u)) = (
+                    lanes.prob_mu.get(i),
+                    lanes.prob_sigma.get(i),
+                    lanes.prob_z.get(i),
+                    lanes.prob_thr.get(i),
+                    lanes.prob_thr_u.get(i),
                 ) else {
                     return false;
                 };
                 ((self.t_secs - mu) / sigma).to_bits() == z.to_bits()
                     && phi(*z).to_bits() == thr.to_bits()
+                    && u53_threshold(*thr) == *thr_u
             })
     }
 
@@ -393,40 +430,36 @@ impl TrialPlan {
     /// in-band lane, then observe the VRT chains. Bit-identical to the
     /// scalar window scan at this condition.
     pub(crate) fn run_round(
-        &self,
+        &mut self,
         base_vrt: &[TwoStateVrt],
         ctx: &TrialCtx,
     ) -> (Vec<u64>, Vec<(u32, TwoStateVrt)>) {
         debug_assert!(self.lanes_consistent(), "plan SoA lanes out of sync");
-        let mut failures =
-            Vec::with_capacity(self.certain.len() + self.prob_idx.len() / 8 + self.vrt_idx.len());
-        failures.extend_from_slice(&self.certain);
+        let lanes = &self.lanes;
+        let mut failures = Vec::with_capacity(self.fail_hint + self.fail_hint / 8 + 4);
+        failures.extend_from_slice(&lanes.certain);
 
         // In-band non-VRT lanes: the branch-light hot scan. One hash lane,
         // one draw, one compare per cell.
-        let n = self.prob_idx.len();
-        let scan = |range: core::ops::Range<usize>| -> Vec<u64> {
-            let mut out = Vec::new();
-            let idx_lane = self
-                .prob_idx
-                .get(range.clone())
-                .expect("invariant: par_index_map ranges are within [0, len)");
-            let thr_lane = self
-                .prob_thr
-                .get(range)
-                .expect("invariant: prob lanes are index-aligned");
-            for (idx, thr) in idx_lane.iter().zip(thr_lane) {
-                let mut lane = stream(&[ctx.stream_base, TRIAL_DOMAIN, ctx.nonce, *idx]);
-                if lane.next_f64() < *thr {
-                    out.push(*idx);
-                }
-            }
-            out
-        };
+        let n = lanes.prob_idx.len();
         if n < PAR_MIN_CELLS || reaper_exec::thread_count() <= 1 {
-            failures.extend(scan(0..n));
+            scan_prob_range(lanes, ctx, 0..n, &mut failures);
         } else {
-            for chunk in reaper_exec::par_index_map(n, 256, scan) {
+            // Fan out through the persistent pool: the shared lanes ride
+            // an Arc clone and the ctx a copy, satisfying the pool's
+            // 'static bound without touching unsafe.
+            let shared = Arc::clone(&self.lanes);
+            let ctx_c = *ctx;
+            let chunks = reaper_exec::par_index_map_pooled(
+                n,
+                256,
+                Arc::new(move |range: core::ops::Range<usize>| {
+                    let mut out = Vec::new();
+                    scan_prob_range(&shared, &ctx_c, range, &mut out);
+                    out
+                }),
+            );
+            for chunk in chunks {
                 failures.extend(chunk);
             }
         }
@@ -434,12 +467,12 @@ impl TrialPlan {
         // VRT lanes: the chain is observed (and its advanced copy merged
         // back by the caller) every round, exactly like the scalar path;
         // the state selects which precompiled threshold applies.
-        let mut vrt_updates = Vec::with_capacity(self.vrt_slot.len());
-        for ((slot, idx), pair) in self
+        let mut vrt_updates = Vec::with_capacity(lanes.vrt_slot.len());
+        for ((slot, idx), pair) in lanes
             .vrt_slot
             .iter()
-            .zip(&self.vrt_idx)
-            .zip(self.vrt_thr.chunks_exact(2))
+            .zip(&lanes.vrt_idx)
+            .zip(lanes.vrt_thr.chunks_exact(2))
         {
             let [thr_high, thr_low]: [f64; 2] = pair
                 .try_into()
@@ -462,7 +495,41 @@ impl TrialPlan {
                 failures.push(*idx);
             }
         }
+        self.fail_hint = failures.len();
         (failures, vrt_updates)
+    }
+
+    /// Records the failure count of a kernel-evaluated round so the next
+    /// capacity guess tracks reality (the batch kernel sizes its own
+    /// vectors from exact popcounts but keeps the hint warm for any
+    /// single-round call that follows).
+    pub(crate) fn note_round_failures(&mut self, count: usize) {
+        self.fail_hint = count;
+    }
+}
+
+/// The single-round in-band scan over `prob` lane range `range`,
+/// appending failing cell indices to `out`. Free function (not a
+/// closure) so the inline and pooled dispatch paths share one body.
+fn scan_prob_range(
+    lanes: &PlanLanes,
+    ctx: &TrialCtx,
+    range: core::ops::Range<usize>,
+    out: &mut Vec<u64>,
+) {
+    let idx_lane = lanes
+        .prob_idx
+        .get(range.clone())
+        .expect("invariant: scan ranges are within [0, len)");
+    let thr_lane = lanes
+        .prob_thr
+        .get(range)
+        .expect("invariant: prob lanes are index-aligned");
+    for (idx, thr) in idx_lane.iter().zip(thr_lane) {
+        let mut lane = stream(&[ctx.stream_base, TRIAL_DOMAIN, ctx.nonce, *idx]);
+        if lane.next_f64() < *thr {
+            out.push(*idx);
+        }
     }
 }
 
@@ -496,28 +563,23 @@ fn note_seen<K: PartialEq>(seen: &mut Vec<(K, u64)>, key: K, tick: u64) -> bool 
         return true;
     }
     if seen.len() >= SEEN_CAP {
-        evict_oldest(seen);
+        evict_min_tick(seen, |(_, tick)| *tick);
     }
     seen.push((key, tick));
     false
 }
 
-fn evict_oldest<T>(entries: &mut Vec<(T, u64)>) {
+/// Evicts the entry with the smallest logical tick. Ties on equal ticks
+/// break toward the lowest position — `min_by_key` keeps the first
+/// minimum — i.e. the earliest-inserted entry goes first. One helper
+/// serves both entry layouts (`(key, tick)` sighting lists and
+/// `(tick, value)` cache lists) via `tick_of`, so the two tie-breaking
+/// policies cannot drift apart.
+fn evict_min_tick<T>(entries: &mut Vec<T>, tick_of: impl Fn(&T) -> u64) {
     if let Some(pos) = entries
         .iter()
         .enumerate()
-        .min_by_key(|(_, (_, t))| *t)
-        .map(|(i, _)| i)
-    {
-        entries.swap_remove(pos);
-    }
-}
-
-fn evict_oldest_front<T>(entries: &mut Vec<(u64, T)>) {
-    if let Some(pos) = entries
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, (t, _))| *t)
+        .min_by_key(|(_, e)| tick_of(e))
         .map(|(i, _)| i)
     {
         entries.swap_remove(pos);
@@ -571,16 +633,18 @@ impl PlanCache {
 
     pub(crate) fn insert_plan(&mut self, plan: TrialPlan) -> usize {
         if self.plans.len() >= PLAN_CAP {
-            evict_oldest_front(&mut self.plans);
+            evict_min_tick(&mut self.plans, |(tick, _)| *tick);
         }
         let tick = self.bump();
         self.plans.push((tick, plan));
         self.plans.len() - 1
     }
 
-    pub(crate) fn plan_at(&self, i: usize) -> &TrialPlan {
+    /// Mutable plan access for round execution (`run_round`/`run_rounds`
+    /// update the plan's failure-capacity hint as a side effect).
+    pub(crate) fn plan_at_mut(&mut self, i: usize) -> &mut TrialPlan {
         self.plans
-            .get(i)
+            .get_mut(i)
             .map(|(_, p)| p)
             .expect("invariant: plan indices come from find/insert with no eviction in between")
     }
@@ -609,7 +673,7 @@ impl PlanCache {
 
     pub(crate) fn insert_lowering(&mut self, lowering: PatternLowering) -> usize {
         if self.lowerings.len() >= LOWERING_CAP {
-            evict_oldest_front(&mut self.lowerings);
+            evict_min_tick(&mut self.lowerings, |(tick, _)| *tick);
         }
         let tick = self.bump();
         self.lowerings.push((tick, lowering));
@@ -701,9 +765,42 @@ mod tests {
         assert_eq!(direct, via_lowering);
         assert!(direct.lanes_consistent());
         // the three classes partition the polarity-active window
-        let n_lanes = direct.certain.len() + direct.prob_idx.len() + direct.vrt_idx.len();
+        let lanes = &direct.lanes;
+        let n_lanes = lanes.certain.len() + lanes.prob_idx.len() + lanes.vrt_idx.len();
         assert!(n_lanes <= direct.end);
-        assert!(!direct.prob_idx.is_empty(), "expected in-band cells");
+        assert!(!lanes.prob_idx.is_empty(), "expected in-band cells");
+    }
+
+    #[test]
+    fn eviction_takes_min_tick_and_breaks_ties_by_insertion_order() {
+        // Distinct ticks: the smallest goes, wherever it sits.
+        let mut entries = vec![("b", 7u64), ("a", 3), ("c", 9)];
+        evict_min_tick(&mut entries, |(_, tick)| *tick);
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| *k).collect();
+        assert!(!keys.contains(&"a"));
+        assert_eq!(keys.len(), 2);
+
+        // Tie on equal ticks: the earliest-inserted (lowest position)
+        // minimum is evicted, not a later duplicate.
+        let mut tied = vec![("first", 5u64), ("second", 5), ("newer", 9)];
+        evict_min_tick(&mut tied, |(_, tick)| *tick);
+        let keys: Vec<&str> = tied.iter().map(|(k, _)| *k).collect();
+        assert!(!keys.contains(&"first"), "tie must evict the first minimum");
+        assert!(keys.contains(&"second"));
+        assert!(keys.contains(&"newer"));
+
+        // Same policy through the (tick, value) layout used by the plan
+        // and lowering caches.
+        let mut front = vec![(4u64, "first"), (4, "second"), (8, "newer")];
+        evict_min_tick(&mut front, |(tick, _)| *tick);
+        let vals: Vec<&str> = front.iter().map(|(_, v)| *v).collect();
+        assert!(!vals.contains(&"first"));
+        assert_eq!(vals.len(), 2);
+
+        // Empty list: a no-op, not a panic.
+        let mut empty: Vec<(u64, u8)> = Vec::new();
+        evict_min_tick(&mut empty, |(tick, _)| *tick);
+        assert!(empty.is_empty());
     }
 
     #[test]
@@ -738,7 +835,7 @@ mod tests {
         let pi = cache.insert_plan(plan);
         let li = cache.insert_lowering(low);
         assert!(cache.find_plan(&key).is_some());
-        assert_eq!(cache.plan_at(pi).key, key);
+        assert_eq!(cache.plan_at_mut(pi).key, key);
         assert!(cache.find_lowering(pat).is_some());
         assert_eq!(cache.lowering_at(li).pattern, pat);
 

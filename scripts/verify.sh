@@ -23,6 +23,9 @@ echo "== bench-trial: plan-vs-scalar equality (property + smoke) =="
 cargo test --release -q --offline -p reaper-retention --test plan_equivalence
 cargo run --release -q --offline -p reaper-bench --bin trial_bench -- --smoke
 
+echo "== bench-trial: thread-scaling gate (compiled + batch, 4t >= 1t) =="
+cargo run --release -q --offline -p reaper-bench --bin trial_bench -- --gate --json=target/trial_gate.json
+
 echo "== service: reaper-serve smoke (dedup + bit-identical bytes) =="
 cargo test --release -q --offline -p reaper-serve --test smoke
 
