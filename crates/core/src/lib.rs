@@ -86,5 +86,9 @@ pub use conditions::{ReachConditions, TargetConditions};
 pub use ecc::EccStrength;
 pub use metrics::ProfileMetrics;
 pub use profile::{FailureProfile, ProfileCodecError};
+// The streaming-delta types appear in `FailureProfile`'s API
+// (`delta_to` / `apply_delta`), so re-export them at the root alongside
+// the profile they act on.
+pub use reaper_retention::delta::{DeltaApplyError, DeltaCodecError, ProfileDelta};
 pub use profiler::{PatternSet, Profiler, ProfilingRun};
 pub use request::{PatternSpec, ProfilingOutcome, ProfilingRequest, RequestError};

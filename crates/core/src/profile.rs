@@ -1,8 +1,17 @@
 //! Failure profiles: sets of failing-cell addresses with the set algebra
 //! the paper's metrics need, plus the compact wire encoding `reaper-serve`
 //! ships over HTTP.
+//!
+//! The sorted-delta varint machinery is shared with the `RPD1` streaming
+//! delta codec and lives in [`reaper_retention::delta`]; this module
+//! layers the `RPF1` full-profile framing and the profile-level
+//! delta/apply API on top.
 
 use std::collections::BTreeSet;
+
+use reaper_retention::delta::{
+    self, push_varint, read_varint, DeltaApplyError, ProfileDelta, VarintError,
+};
 
 /// Magic prefix of the binary profile encoding (`"RPF"` + version `1`).
 pub const PROFILE_WIRE_MAGIC: [u8; 4] = *b"RPF1";
@@ -21,6 +30,9 @@ pub enum ProfileCodecError {
     TruncatedVarint,
     /// A varint encoded more than 64 bits.
     VarintOverflow,
+    /// A varint used more bytes than its minimal encoding; accepted
+    /// profiles therefore have exactly one wire form per cell set.
+    NonCanonicalVarint,
     /// A delta pushed the running address past `u64::MAX`.
     AddressOverflow,
     /// The declared cell count exceeds what the payload can hold.
@@ -36,6 +48,7 @@ impl core::fmt::Display for ProfileCodecError {
             Self::BadMagic => "magic bytes are not RPF1",
             Self::TruncatedVarint => "varint truncated mid-value",
             Self::VarintOverflow => "varint encodes more than 64 bits",
+            Self::NonCanonicalVarint => "varint is not minimally encoded",
             Self::AddressOverflow => "delta overflows the u64 address space",
             Self::CountTooLarge => "declared count exceeds payload capacity",
             Self::TrailingBytes => "trailing bytes after the last cell",
@@ -46,42 +59,13 @@ impl core::fmt::Display for ProfileCodecError {
 
 impl std::error::Error for ProfileCodecError {}
 
-/// Appends `value` as an LEB128 varint (7 bits per byte, high bit =
-/// continuation).
-fn push_varint(out: &mut Vec<u8>, mut value: u64) {
-    loop {
-        let byte = u8::try_from(value & 0x7F)
-            .expect("invariant: a 7-bit mask always fits in u8");
-        value >>= 7;
-        if value == 0 {
-            out.push(byte);
-            return;
+impl From<VarintError> for ProfileCodecError {
+    fn from(e: VarintError) -> Self {
+        match e {
+            VarintError::Truncated => ProfileCodecError::TruncatedVarint,
+            VarintError::Overflow => ProfileCodecError::VarintOverflow,
+            VarintError::NonCanonical => ProfileCodecError::NonCanonicalVarint,
         }
-        out.push(byte | 0x80);
-    }
-}
-
-/// Reads one LEB128 varint from the front of `input`, returning the value
-/// and the remaining bytes.
-fn read_varint(input: &[u8]) -> Result<(u64, &[u8]), ProfileCodecError> {
-    let mut value = 0u64;
-    let mut shift = 0u32;
-    let mut rest = input;
-    loop {
-        let Some((&byte, tail)) = rest.split_first() else {
-            return Err(ProfileCodecError::TruncatedVarint);
-        };
-        rest = tail;
-        let payload = u64::from(byte & 0x7F);
-        // 10th byte (shift 63) may only carry the final bit.
-        if shift >= 64 || (shift == 63 && payload > 1) {
-            return Err(ProfileCodecError::VarintOverflow);
-        }
-        value |= payload << shift;
-        if byte & 0x80 == 0 {
-            return Ok((value, rest));
-        }
-        shift += 7;
     }
 }
 
@@ -231,6 +215,61 @@ impl FailureProfile {
         }
         Ok(Self { cells })
     }
+
+    /// The content hash of this profile's canonical `RPF1` encoding —
+    /// the value `reaper-serve` derives ETags, delta `base_hash` /
+    /// `result_hash` fields, and epoch-log identity from. Equal profiles
+    /// hash equal by the canonicality of [`FailureProfile::to_bytes`].
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        delta::content_hash(&self.to_bytes())
+    }
+
+    /// Computes the `RPD1` delta that rewrites `self` (at `base_epoch`)
+    /// into `next` (at `new_epoch`), with both endpoint content hashes
+    /// bound into the header.
+    #[must_use]
+    pub fn delta_to(&self, next: &FailureProfile, base_epoch: u64, new_epoch: u64) -> ProfileDelta {
+        ProfileDelta::compute(
+            self.iter(),
+            next.iter(),
+            base_epoch,
+            new_epoch,
+            self.content_hash(),
+            next.content_hash(),
+        )
+    }
+
+    /// Applies a delta with full integrity checking: the delta's
+    /// `base_hash` must match this profile, the set constraints must
+    /// hold (added cells absent, removed cells present), and the result
+    /// must hash to the delta's `result_hash` — so a successful apply
+    /// guarantees the reconstructed encoding is byte-identical to the
+    /// directly encoded profile the delta was computed from.
+    ///
+    /// # Errors
+    /// [`DeltaApplyError`] naming the first violated check. Never
+    /// panics, whatever the delta claims.
+    pub fn apply_delta(&self, d: &ProfileDelta) -> Result<FailureProfile, DeltaApplyError> {
+        let actual = self.content_hash();
+        if d.base_hash != actual {
+            return Err(DeltaApplyError::BaseHashMismatch {
+                expected: d.base_hash,
+                actual,
+            });
+        }
+        let next = Self {
+            cells: d.apply_to(&self.cells)?,
+        };
+        let result_actual = next.content_hash();
+        if d.result_hash != result_actual {
+            return Err(DeltaApplyError::ResultHashMismatch {
+                expected: d.result_hash,
+                actual: result_actual,
+            });
+        }
+        Ok(next)
+    }
 }
 
 impl Extend<u64> for FailureProfile {
@@ -352,6 +391,29 @@ mod tests {
         let mut trail = FailureProfile::from_cells([3]).to_bytes();
         trail.push(0x00);
         assert_eq!(FailureProfile::from_bytes(&trail), Err(E::TrailingBytes));
+    }
+
+    #[test]
+    fn delta_wrappers_roundtrip_with_hash_verification() {
+        let base = FailureProfile::from_cells([1, 5, 9]);
+        let next = FailureProfile::from_cells([1, 6, 9, 12]);
+        let d = base.delta_to(&next, 0, 1);
+        assert_eq!(d.base_hash, base.content_hash());
+        assert_eq!(d.result_hash, next.content_hash());
+        let applied = base.apply_delta(&d).expect("checked apply");
+        assert_eq!(applied, next);
+        assert_eq!(applied.to_bytes(), next.to_bytes());
+        // Out-of-order replay: applying to the wrong base is caught by
+        // the base hash before any set mutation is trusted.
+        let err = next.apply_delta(&d).expect_err("wrong base");
+        assert!(matches!(err, DeltaApplyError::BaseHashMismatch { .. }));
+        // Tampered result hash is caught after apply.
+        let mut forged = base.delta_to(&next, 0, 1);
+        forged.result_hash ^= 1;
+        assert!(matches!(
+            base.apply_delta(&forged),
+            Err(DeltaApplyError::ResultHashMismatch { .. })
+        ));
     }
 
     #[test]

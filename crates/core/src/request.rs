@@ -210,19 +210,17 @@ impl ProfilingRequest {
         out
     }
 
+    /// Hash-domain seed for job IDs (see [`rng::hash_bytes`]).
+    const JOB_ID_SEED: u64 = 0xC0FF_EE1D_5EED_F00D;
+
     /// The deterministic job ID: a splitmix64-chained hash of the
-    /// canonical bytes. Identical requests — same chip config, seed,
+    /// canonical bytes ([`rng::hash_bytes`] under the job-ID domain
+    /// seed; the algorithm and therefore every existing job ID are
+    /// unchanged). Identical requests — same chip config, seed,
     /// conditions, rounds, patterns — always produce the same ID, which is
     /// what makes the service's result cache content-addressed.
     pub fn job_id(&self) -> u64 {
-        let bytes = self.canonical_bytes();
-        let mut h = 0xC0FF_EE1D_5EED_F00Du64;
-        for chunk in bytes.chunks(8) {
-            let mut word = [0u8; 8];
-            word.iter_mut().zip(chunk).for_each(|(w, &b)| *w = b);
-            h = rng::mix64(h ^ u64::from_le_bytes(word)).wrapping_mul(0x2545_F491_4F6C_DD1D);
-        }
-        rng::mix64(h ^ reaper_exec::num::to_u64(bytes.len()))
+        rng::hash_bytes(Self::JOB_ID_SEED, &self.canonical_bytes())
     }
 
     /// Renders a job ID in the service's 16-hex-digit wire form.

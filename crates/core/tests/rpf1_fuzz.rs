@@ -1,0 +1,164 @@
+//! Decoder-hardening fuzz suite for the `RPF1` wire codec, extending
+//! `profile_codec.rs` with the *silent misdecode* dimension: beyond
+//! never panicking, the decoder must accept exactly one wire form per
+//! cell set. Every input it accepts must re-encode byte-identically —
+//! so a mutated message either errors or *is* the canonical encoding of
+//! the (different) profile it decodes to. Nothing decodes to bytes it
+//! didn't come from.
+
+// Fuzz offsets are reduced modulo small buffer lengths before
+// narrowing; clippy's in-tests knobs do not cover cast lints.
+#![allow(clippy::cast_possible_truncation)]
+
+use proptest::prelude::*;
+use reaper_core::{FailureProfile, ProfileCodecError};
+use reaper_exec::rng::SplitMix64;
+use reaper_retention::delta::push_varint;
+
+/// The canonical-acceptance oracle: decode, and if that succeeds the
+/// re-encoding must equal the input bytes exactly.
+fn assert_canonical_or_err(bytes: &[u8]) {
+    if let Ok(profile) = FailureProfile::from_bytes(bytes) {
+        assert_eq!(
+            profile.to_bytes(),
+            bytes,
+            "accepted a non-canonical RPF1 encoding"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_single_byte_mutation_errors_or_stays_canonical(
+        cells in proptest::collection::btree_set(any::<u64>(), 0..48),
+        mask in 1u8..=255,
+    ) {
+        let valid = FailureProfile::from_cells(cells.iter().copied()).to_bytes();
+        // Systematic sweep: every byte position, one XOR mask per case.
+        for pos in 0..valid.len() {
+            let mut mutated = valid.clone();
+            if let Some(byte) = mutated.get_mut(pos) {
+                *byte ^= mask;
+            }
+            assert_canonical_or_err(&mutated);
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_nonempty_profile_errors(
+        cells in proptest::collection::btree_set(any::<u64>(), 1..48),
+    ) {
+        let valid = FailureProfile::from_cells(cells.iter().copied()).to_bytes();
+        for cut in 0..valid.len() {
+            let prefix = valid.get(..cut).expect("cut is in range");
+            prop_assert!(
+                FailureProfile::from_bytes(prefix).is_err(),
+                "strict prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn random_bodies_after_a_forged_magic_never_misdecode(
+        seed in any::<u64>(),
+        len in 0usize..96,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut forged = b"RPF1".to_vec();
+        for _ in 0..len {
+            forged.push((rng.next_u64() & 0xFF) as u8);
+        }
+        assert_canonical_or_err(&forged);
+    }
+
+    #[test]
+    fn appended_trailing_bytes_are_rejected(
+        cells in proptest::collection::btree_set(any::<u64>(), 0..48),
+        extra in 1usize..8,
+    ) {
+        let mut padded = FailureProfile::from_cells(cells.iter().copied()).to_bytes();
+        padded.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert_eq!(
+            FailureProfile::from_bytes(&padded),
+            Err(ProfileCodecError::TrailingBytes)
+        );
+    }
+}
+
+/// Hand-crafted varint pathologies the random sweeps are unlikely to
+/// hit: overflow past 64 bits and non-minimal ("overlong") encodings.
+#[test]
+fn varint_pathologies_error_cleanly() {
+    // 10-byte varint whose final byte carries more than the one legal
+    // bit (value would need 65 bits).
+    let mut overflow = b"RPF1".to_vec();
+    push_varint(&mut overflow, 1); // count = 1
+    overflow.extend_from_slice(&[0xFF; 9]);
+    overflow.push(0x02);
+    assert_eq!(
+        FailureProfile::from_bytes(&overflow),
+        Err(ProfileCodecError::VarintOverflow)
+    );
+
+    // 11-byte varint: continuation past the widest legal length.
+    let mut eleven = b"RPF1".to_vec();
+    push_varint(&mut eleven, 1);
+    eleven.extend_from_slice(&[0x80; 10]);
+    eleven.push(0x01);
+    assert_eq!(
+        FailureProfile::from_bytes(&eleven),
+        Err(ProfileCodecError::VarintOverflow)
+    );
+
+    // Overlong zero (`0x80 0x00`) in the count position: same value as
+    // `0x00`, different bytes — exactly the two-encodings shape the
+    // canonical rule exists to forbid.
+    let overlong_count = [b'R', b'P', b'F', b'1', 0x80, 0x00];
+    assert_eq!(
+        FailureProfile::from_bytes(&overlong_count),
+        Err(ProfileCodecError::NonCanonicalVarint)
+    );
+
+    // Overlong cell delta (`0x81 0x00` = 1): count says one cell.
+    let mut overlong_cell = b"RPF1".to_vec();
+    push_varint(&mut overlong_cell, 1);
+    overlong_cell.extend_from_slice(&[0x81, 0x00]);
+    assert_eq!(
+        FailureProfile::from_bytes(&overlong_cell),
+        Err(ProfileCodecError::NonCanonicalVarint)
+    );
+
+    // The minimal encodings of the same values decode fine.
+    let minimal = [b'R', b'P', b'F', b'1', 0x00];
+    assert!(FailureProfile::from_bytes(&minimal).is_ok());
+    let mut one_cell = b"RPF1".to_vec();
+    push_varint(&mut one_cell, 1);
+    push_varint(&mut one_cell, 1);
+    let decoded = FailureProfile::from_bytes(&one_cell).expect("minimal form decodes");
+    assert_eq!(decoded.iter().collect::<Vec<_>>(), vec![1]);
+}
+
+/// `u64::MAX` addresses sit on the overflow boundary of the running
+/// `prev + 1 + delta` sum; both sides of the boundary must behave.
+#[test]
+fn address_overflow_boundary_is_exact() {
+    // Legal: the last cell is exactly u64::MAX.
+    let top = FailureProfile::from_cells([0, u64::MAX]);
+    let bytes = top.to_bytes();
+    assert_eq!(
+        FailureProfile::from_bytes(&bytes).expect("max address decodes"),
+        top
+    );
+
+    // Illegal: a second cell after u64::MAX would wrap. Craft it by
+    // appending one more zero-delta cell and bumping the count.
+    let mut wrapped = b"RPF1".to_vec();
+    push_varint(&mut wrapped, 3);
+    push_varint(&mut wrapped, 0); // cell 0
+    push_varint(&mut wrapped, u64::MAX - 1); // cell u64::MAX
+    push_varint(&mut wrapped, 0); // would be u64::MAX + 1
+    assert_eq!(
+        FailureProfile::from_bytes(&wrapped),
+        Err(ProfileCodecError::AddressOverflow)
+    );
+}

@@ -126,6 +126,31 @@ pub fn stream(parts: &[u64]) -> SplitMix64 {
         .stream()
 }
 
+/// Per-chunk chain multiplier for [`hash_bytes`] (same odd constant the
+/// stream chain uses).
+const HASH_STEP: u64 = 0x2545_F491_4F6C_DD1D;
+
+/// Content-addresses a byte string: a splitmix64-chained hash over
+/// 8-byte little-endian chunks (the final partial chunk zero-padded),
+/// finalized with the input length so prefixes of each other never
+/// collide by construction of the padding.
+///
+/// `seed` separates hash domains — job IDs, profile content hashes, and
+/// delta chunk IDs each pass a distinct constant so equal bytes in
+/// different roles never alias. The algorithm is the one
+/// `ProfilingRequest::job_id` has used since the service landed; that
+/// function now delegates here, so existing job IDs are unchanged.
+#[must_use]
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word.iter_mut().zip(chunk).for_each(|(w, &b)| *w = b);
+        h = mix64(h ^ u64::from_le_bytes(word)).wrapping_mul(HASH_STEP);
+    }
+    mix64(h ^ crate::num::to_u64(bytes.len()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +250,18 @@ mod tests {
         }
         let avg = total as f64 / 1_000.0;
         assert!((avg - 32.0).abs() < 2.0, "avg hamming {avg}");
+    }
+
+    #[test]
+    fn hash_bytes_separates_domains_lengths_and_contents() {
+        let h = hash_bytes(1, b"abcdefgh");
+        assert_eq!(h, hash_bytes(1, b"abcdefgh"), "deterministic");
+        assert_ne!(h, hash_bytes(2, b"abcdefgh"), "seed separates domains");
+        assert_ne!(h, hash_bytes(1, b"abcdefgi"), "content sensitive");
+        // Zero padding must not alias a short chunk with its padded form.
+        assert_ne!(hash_bytes(1, b"ab"), hash_bytes(1, b"ab\0"));
+        assert_ne!(hash_bytes(1, b""), hash_bytes(1, b"\0"));
+        // Prefix extension changes the hash (length finalization).
+        assert_ne!(hash_bytes(1, b"abcdefgh"), hash_bytes(1, b"abcdefghi"));
     }
 }

@@ -61,6 +61,7 @@ pub mod batch;
 pub mod cell;
 pub mod chip;
 pub mod config;
+pub mod delta;
 pub mod plan;
 pub mod population;
 pub mod spd;
@@ -69,6 +70,7 @@ pub mod vrt;
 pub use batch::MAX_BATCH_ROUNDS;
 pub use cell::WeakCell;
 pub use chip::{SimulatedChip, TrialOutcome};
+pub use delta::{DeltaApplyError, DeltaCodecError, ProfileDelta};
 pub use plan::{PlanStats, TrialEngine};
 pub use config::RetentionConfig;
 pub use population::ChipPopulation;

@@ -1,0 +1,300 @@
+//! Fuzz + property suite for the `RPD1` delta codec, per the ISSUE's
+//! hardening contract: truncation, varint overflow, out-of-order
+//! deltas, and chunk-ID mismatch must all surface as `Err` — the
+//! decoder never panics and never silently misdecodes. The oracle is
+//! the same as the `RPF1` one: any accepted message re-encodes
+//! byte-identically, so there is exactly one wire form per delta.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+// Fuzz bytes are masked to 8 bits before narrowing.
+#![allow(clippy::cast_possible_truncation)]
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use reaper_exec::rng::SplitMix64;
+use reaper_retention::delta::{
+    chunk_id_of, content_hash, encode_message, push_varint, DeltaApplyError, DeltaCodecError,
+    ProfileDelta,
+};
+
+fn arb_cells(max_len: usize) -> impl Strategy<Value = BTreeSet<u64>> {
+    proptest::collection::btree_set(any::<u64>(), 0..max_len)
+}
+
+/// Builds a delta between two arbitrary sets with hashes derived the
+/// same way the store derives them (content hash of hypothetical
+/// encodings — here just hashes of marker bytes, which the codec treats
+/// as opaque).
+fn delta_of(base: &BTreeSet<u64>, next: &BTreeSet<u64>, base_epoch: u64) -> ProfileDelta {
+    ProfileDelta::compute(
+        base.iter().copied(),
+        next.iter().copied(),
+        base_epoch,
+        base_epoch + 1,
+        content_hash(b"base-marker"),
+        content_hash(b"next-marker"),
+    )
+}
+
+/// Decode must either reject the bytes or return a delta whose
+/// re-encoding is exactly the input — no second wire form is accepted.
+fn assert_canonical_or_err(bytes: &[u8]) {
+    if let Ok(delta) = ProfileDelta::from_bytes(bytes) {
+        assert_eq!(
+            delta.to_bytes(),
+            bytes,
+            "accepted a non-canonical RPD1 encoding"
+        );
+    }
+}
+
+proptest! {
+    /// Compute → encode → decode → apply closes the loop for arbitrary
+    /// set pairs.
+    #[test]
+    fn compute_encode_decode_apply_roundtrips(
+        base in arb_cells(64),
+        next in arb_cells(64),
+    ) {
+        let delta = delta_of(&base, &next, 7);
+        let wire = delta.to_bytes();
+        let back = ProfileDelta::from_bytes(&wire).expect("valid message decodes");
+        prop_assert_eq!(&back, &delta);
+        prop_assert_eq!(back.apply_to(&base).expect("applies to its base"), next);
+        // Chunk IDs content-address the churn, not the header.
+        let rebased = ProfileDelta::compute(
+            base.iter().copied(), next.iter().copied(), 100, 200, 1, 2,
+        );
+        prop_assert_eq!(rebased.chunk_id(), delta.chunk_id());
+    }
+
+    /// Every strict prefix of a valid message is rejected, and so is
+    /// any message with bytes appended.
+    #[test]
+    fn truncations_and_extensions_error(
+        base in arb_cells(32),
+        next in arb_cells(32),
+    ) {
+        let wire = delta_of(&base, &next, 0).to_bytes();
+        for cut in 0..wire.len() {
+            prop_assert!(
+                ProfileDelta::from_bytes(wire.get(..cut).expect("in range")).is_err(),
+                "strict prefix of length {} decoded", cut
+            );
+        }
+        let mut padded = wire.clone();
+        padded.push(0x00);
+        prop_assert!(ProfileDelta::from_bytes(&padded).is_err());
+    }
+
+    /// Single-byte XOR mutations at every position either error or
+    /// yield the canonical encoding of whatever they decode to.
+    #[test]
+    fn single_byte_mutations_never_misdecode(
+        base in arb_cells(24),
+        next in arb_cells(24),
+        mask in 1u8..=255,
+    ) {
+        let wire = delta_of(&base, &next, 3).to_bytes();
+        for pos in 0..wire.len() {
+            let mut mutated = wire.clone();
+            if let Some(byte) = mutated.get_mut(pos) {
+                *byte ^= mask;
+            }
+            assert_canonical_or_err(&mutated);
+        }
+    }
+
+    /// Random byte soup behind the magic never panics and never
+    /// produces a non-canonical accept.
+    #[test]
+    fn random_bodies_never_panic(seed in any::<u64>(), len in 0usize..160) {
+        let mut rng = SplitMix64::new(seed);
+        let mut forged = b"RPD1".to_vec();
+        for _ in 0..len {
+            forged.push((rng.next_u64() & 0xFF) as u8);
+        }
+        assert_canonical_or_err(&forged);
+    }
+
+    /// Payload tampering that survives structural checks is caught by
+    /// the chunk-ID binding: re-binding a valid payload under a wrong
+    /// chunk ID always errors with `ChunkIdMismatch`.
+    #[test]
+    fn forged_chunk_ids_are_rejected(
+        base in arb_cells(24),
+        next in arb_cells(24),
+        flip in any::<u64>(),
+    ) {
+        prop_assume!(flip != 0);
+        let delta = delta_of(&base, &next, 1);
+        let payload = delta.payload_bytes();
+        let forged = encode_message(
+            delta.base_epoch,
+            delta.new_epoch,
+            delta.base_hash,
+            delta.result_hash,
+            chunk_id_of(&payload) ^ flip,
+            &payload,
+        );
+        prop_assert_eq!(
+            ProfileDelta::from_bytes(&forged),
+            Err(DeltaCodecError::ChunkIdMismatch)
+        );
+    }
+
+    /// Out-of-order application: a delta chained B→C refuses to apply
+    /// to A (base-hash mismatch), and swapping a two-message chain is
+    /// caught the same way — replay protection at the apply layer.
+    #[test]
+    fn out_of_order_deltas_fail_base_hash_check(
+        a in arb_cells(32),
+        b in arb_cells(32),
+        c in arb_cells(32),
+    ) {
+        prop_assume!(a != b && b != c);
+        let hash_of = |s: &BTreeSet<u64>| {
+            let cells: Vec<u8> = s.iter().flat_map(|x| x.to_le_bytes()).collect();
+            content_hash(&cells)
+        };
+        let ab = ProfileDelta::compute(
+            a.iter().copied(), b.iter().copied(), 0, 1, hash_of(&a), hash_of(&b),
+        );
+        let bc = ProfileDelta::compute(
+            b.iter().copied(), c.iter().copied(), 1, 2, hash_of(&b), hash_of(&c),
+        );
+        // In order, the chain applies cleanly end to end.
+        let mid = ab.apply_to(&a).expect("A→B applies to A");
+        prop_assert_eq!(bc.apply_to(&mid).expect("B→C applies to B"), c.clone());
+        // The wire survives the swap (both are valid messages)…
+        let swapped = ProfileDelta::from_bytes(&bc.to_bytes()).expect("valid");
+        // …but the apply-time hash gate rejects the wrong base.
+        prop_assert_eq!(swapped.base_hash, hash_of(&b));
+        prop_assert!(swapped.base_hash != hash_of(&a));
+        // Structural apply may or may not succeed on the wrong base; a
+        // caller honouring base_hash (as `FailureProfile::apply_delta`
+        // does) must see the mismatch first.
+        if let Err(err) = bc.apply_to(&a) {
+            prop_assert!(matches!(
+                err,
+                DeltaApplyError::AddedAlreadyPresent(_) | DeltaApplyError::RemovedNotPresent(_)
+            ));
+        }
+    }
+
+    /// Chains decode message-by-message, and one corrupt message
+    /// anywhere poisons the whole chain decode.
+    #[test]
+    fn chains_concatenate_and_fail_closed(
+        sets in proptest::collection::vec(arb_cells(16), 2..5),
+        corrupt_byte in any::<u8>(),
+    ) {
+        let mut wire = Vec::new();
+        let mut deltas = Vec::new();
+        for (i, pair) in sets.windows(2).enumerate() {
+            let (from, to) = (&pair[0], &pair[1]);
+            let d = delta_of(from, to, i as u64);
+            wire.extend_from_slice(&d.to_bytes());
+            deltas.push(d);
+        }
+        let chain = ProfileDelta::decode_chain(&wire).expect("chain decodes");
+        prop_assert_eq!(chain, deltas);
+        // Corrupt the final byte: either the last message errors or the
+        // chain no longer re-encodes to the mutated wire.
+        let mut bad = wire.clone();
+        if let Some(last) = bad.last_mut() {
+            let flipped = *last ^ corrupt_byte.max(1);
+            *last = flipped;
+        }
+        if let Ok(decoded) = ProfileDelta::decode_chain(&bad) {
+            let reencoded: Vec<u8> =
+                decoded.iter().flat_map(ProfileDelta::to_bytes).collect();
+            prop_assert_eq!(reencoded, bad);
+        }
+    }
+}
+
+/// Deterministic pathologies the random sweeps cannot reliably reach.
+#[test]
+fn crafted_pathologies_error_cleanly() {
+    use DeltaCodecError as E;
+
+    let empty_payload = {
+        let mut p = Vec::new();
+        push_varint(&mut p, 0);
+        push_varint(&mut p, 0);
+        p
+    };
+
+    // Epoch order violations: equal and reversed.
+    for (base_e, new_e) in [(4, 4), (9, 2)] {
+        let msg = encode_message(base_e, new_e, 0, 0, chunk_id_of(&empty_payload), &empty_payload);
+        assert_eq!(ProfileDelta::from_bytes(&msg), Err(E::EpochOrder));
+    }
+
+    // Non-canonical epoch varint: `0x80 0x00` spells zero in two bytes.
+    let mut overlong = b"RPD1".to_vec();
+    overlong.extend_from_slice(&[0x80, 0x00]);
+    assert_eq!(
+        ProfileDelta::from_bytes(&overlong),
+        Err(E::NonCanonicalVarint)
+    );
+
+    // Varint overflow in the added-count position.
+    let mut payload = vec![0xFF; 9];
+    payload.push(0x02);
+    let msg = encode_message(0, 1, 0, 0, chunk_id_of(&payload), &payload);
+    assert_eq!(ProfileDelta::from_bytes(&msg), Err(E::VarintOverflow));
+
+    // Count larger than the remaining payload can possibly hold.
+    let mut payload = Vec::new();
+    push_varint(&mut payload, 1000);
+    let msg = encode_message(0, 1, 0, 0, chunk_id_of(&payload), &payload);
+    assert_eq!(ProfileDelta::from_bytes(&msg), Err(E::CountTooLarge));
+
+    // Address overflow in the removed list.
+    let mut payload = Vec::new();
+    push_varint(&mut payload, 0); // no added cells
+    push_varint(&mut payload, 2); // two removed cells
+    push_varint(&mut payload, u64::MAX);
+    push_varint(&mut payload, 0); // u64::MAX + 1 wraps
+    let msg = encode_message(0, 1, 0, 0, chunk_id_of(&payload), &payload);
+    assert_eq!(ProfileDelta::from_bytes(&msg), Err(E::AddressOverflow));
+
+    // A cell in both sets.
+    let mut payload = Vec::new();
+    push_varint(&mut payload, 1);
+    push_varint(&mut payload, 42);
+    push_varint(&mut payload, 1);
+    push_varint(&mut payload, 42);
+    let msg = encode_message(0, 1, 0, 0, chunk_id_of(&payload), &payload);
+    assert_eq!(ProfileDelta::from_bytes(&msg), Err(E::AddedRemovedOverlap));
+
+    // Wrong magic family: RPF1 bytes handed to the delta decoder.
+    assert_eq!(
+        ProfileDelta::from_bytes(b"RPF1\x00"),
+        Err(E::BadMagic)
+    );
+}
+
+/// Result-hash is carried faithfully so the fully checked apply path
+/// (`FailureProfile::apply_delta`) can verify the outcome end-to-end.
+#[test]
+fn header_hashes_survive_the_wire() {
+    let base: BTreeSet<u64> = [1, 2, 3].into_iter().collect();
+    let next: BTreeSet<u64> = [2, 3, 4].into_iter().collect();
+    let d = ProfileDelta::compute(
+        base.iter().copied(),
+        next.iter().copied(),
+        10,
+        11,
+        0xDEAD_BEEF_0000_0001,
+        0xDEAD_BEEF_0000_0002,
+    );
+    let back = ProfileDelta::from_bytes(&d.to_bytes()).expect("decodes");
+    assert_eq!(back.base_hash, 0xDEAD_BEEF_0000_0001);
+    assert_eq!(back.result_hash, 0xDEAD_BEEF_0000_0002);
+    assert_eq!(back.base_epoch, 10);
+    assert_eq!(back.new_epoch, 11);
+}

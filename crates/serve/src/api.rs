@@ -140,11 +140,16 @@ pub struct JobSummary {
     pub iterations: u64,
     /// Encoded profile size in bytes.
     pub profile_bytes: u64,
+    /// Content hash of the encoded profile (16 hex digits) — the value
+    /// inside the profile endpoint's ETag at epoch 0, so a client can
+    /// pre-validate a cached copy from the status document alone.
+    pub profile_hash: String,
 }
 
 impl JobSummary {
-    /// Builds the summary from an execution outcome and its encoded size.
-    pub fn from_outcome(outcome: &ProfilingOutcome, encoded_len: usize) -> Self {
+    /// Builds the summary from an execution outcome and its encoded
+    /// profile bytes.
+    pub fn from_outcome(outcome: &ProfilingOutcome, encoded: &[u8]) -> Self {
         Self {
             cells: reaper_exec::num::to_u64(outcome.run.profile.len()),
             truth_cells: reaper_exec::num::to_u64(outcome.truth_cells),
@@ -152,7 +157,8 @@ impl JobSummary {
             false_positive_rate: outcome.metrics.false_positive_rate,
             runtime_ms: outcome.run.runtime.as_ms(),
             iterations: reaper_exec::num::to_u64(outcome.run.iteration_count()),
-            profile_bytes: reaper_exec::num::to_u64(encoded_len),
+            profile_bytes: reaper_exec::num::to_u64(encoded.len()),
+            profile_hash: format!("{:016x}", reaper_retention::delta::content_hash(encoded)),
         }
     }
 
@@ -166,6 +172,7 @@ impl JobSummary {
             ("runtime_ms", json::num(self.runtime_ms)),
             ("iterations", json::uint(self.iterations)),
             ("profile_bytes", json::uint(self.profile_bytes)),
+            ("profile_hash", json::str(self.profile_hash.clone())),
         ])
     }
 }
@@ -241,7 +248,8 @@ mod tests {
         let outcome = ProfilingRequest::example(3)
             .execute()
             .expect("example executes");
-        let summary = JobSummary::from_outcome(&outcome, 123);
+        let encoded = outcome.run.profile.to_bytes();
+        let summary = JobSummary::from_outcome(&outcome, &encoded);
         let v = summary.to_value();
         for key in [
             "cells",
@@ -251,10 +259,18 @@ mod tests {
             "runtime_ms",
             "iterations",
             "profile_bytes",
+            "profile_hash",
         ] {
             assert!(v.get(key).is_some(), "missing {key}");
         }
-        assert_eq!(v.get("profile_bytes").and_then(Value::as_u64), Some(123));
+        assert_eq!(
+            v.get("profile_bytes").and_then(Value::as_u64),
+            Some(reaper_exec::num::to_u64(encoded.len()))
+        );
+        assert_eq!(
+            v.get("profile_hash").and_then(Value::as_str),
+            Some(format!("{:016x}", outcome.run.profile.content_hash()).as_str())
+        );
         assert_eq!(error_body("boom"), r#"{"error":"boom"}"#);
     }
 }

@@ -58,6 +58,81 @@ pub struct SubmitReceipt {
     pub deduped: bool,
 }
 
+/// Outcome of a conditional profile read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileFetch {
+    /// The job is still queued or running (202).
+    Pending,
+    /// Fresh bytes with their strong ETag (200).
+    Fresh {
+        /// The encoded `RPF1` profile.
+        bytes: Vec<u8>,
+        /// The head's strong ETag.
+        etag: String,
+    },
+    /// The caller's ETag still matches the head (304); no bytes moved.
+    NotModified {
+        /// The (unchanged) strong ETag.
+        etag: String,
+    },
+}
+
+/// Outcome of a `?since=` delta read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaFetch {
+    /// `since` is already the head epoch (304).
+    NotModified {
+        /// The head's strong ETag.
+        etag: String,
+    },
+    /// Concatenated `RPD1` messages covering `since → head`.
+    Chain {
+        /// The wire bytes (one `RPD1` message per epoch).
+        bytes: Vec<u8>,
+        /// Head epoch after applying the chain.
+        epoch: u64,
+        /// The head's strong ETag.
+        etag: String,
+    },
+    /// The log compacted past `since`; a full `RPF1` snapshot instead.
+    Full {
+        /// The encoded head profile.
+        bytes: Vec<u8>,
+        /// Head epoch of the snapshot.
+        epoch: u64,
+        /// The head's strong ETag.
+        etag: String,
+    },
+}
+
+/// The parsed result of an epoch push.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushReceipt {
+    /// Head epoch after the push.
+    pub epoch: u64,
+    /// False when the snapshot matched the head (no epoch consumed).
+    pub changed: bool,
+    /// True when the push triggered log compaction.
+    pub compacted: bool,
+    /// True when the push re-based an evicted log.
+    pub rebased: bool,
+    /// True when the delta payload already existed in the chunk store.
+    pub chunk_deduped: bool,
+    /// Encoded delta message size, when a delta was appended.
+    pub delta_bytes: u64,
+    /// The head's strong ETag after the push.
+    pub etag: String,
+}
+
+/// One event from a watch stream, classified by its leading magic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileUpdate {
+    /// An `RPD1` delta message.
+    Delta(Vec<u8>),
+    /// An `RPF1` full snapshot (served across compaction gaps).
+    Full(Vec<u8>),
+}
+
 /// A keep-alive HTTP client bound to one server address.
 pub struct Client {
     addr: SocketAddr,
@@ -193,6 +268,237 @@ impl Client {
                 Err(ClientError::Status(code, body))
             }
         }
+    }
+
+    fn request_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let had_conn = self.conn.is_some();
+        match self.request_once_with_headers(method, target, extra_headers, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.conn = None;
+                if had_conn {
+                    self.request_once_with_headers(method, target, extra_headers, body)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    fn request_once_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let conn = self.connect()?;
+        let mut head = format!("{method} {target} HTTP/1.1\r\nhost: reaper-serve\r\n");
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        conn.get_mut().write_all(&message)?;
+        conn.get_mut().flush()?;
+        http::read_response(conn).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn require_etag(resp: &ClientResponse) -> Result<String, ClientError> {
+        resp.header("etag")
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("response missing etag".to_string()))
+    }
+
+    /// Conditionally fetches the head profile: sends `If-None-Match`
+    /// when `etag` is given and maps 200/202/304 to [`ProfileFetch`].
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport or protocol failure, and
+    /// [`ClientError::Status`] for 4xx/5xx (including 410 after
+    /// eviction).
+    pub fn profile_conditional(
+        &mut self,
+        job_id: &str,
+        etag: Option<&str>,
+    ) -> Result<ProfileFetch, ClientError> {
+        let target = format!("/v1/profiles/{job_id}");
+        let headers: Vec<(&str, &str)> = match etag {
+            Some(tag) => vec![("if-none-match", tag)],
+            None => Vec::new(),
+        };
+        let resp = self.request_with_headers("GET", &target, &headers, &[])?;
+        match resp.status {
+            200 => {
+                let etag = Self::require_etag(&resp)?;
+                Ok(ProfileFetch::Fresh {
+                    bytes: resp.body,
+                    etag,
+                })
+            }
+            202 => Ok(ProfileFetch::Pending),
+            304 => {
+                let etag = Self::require_etag(&resp)?;
+                Ok(ProfileFetch::NotModified { etag })
+            }
+            code => {
+                let body = String::from_utf8_lossy(&resp.body).into_owned();
+                Err(ClientError::Status(code, body))
+            }
+        }
+    }
+
+    /// Pushes a re-profiling snapshot (`RPF1` bytes) as the next epoch
+    /// of `job_id`'s profile log.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn push_epoch(
+        &mut self,
+        job_id: &str,
+        profile_bytes: &[u8],
+    ) -> Result<PushReceipt, ClientError> {
+        let target = format!("/v1/profiles/{job_id}/epochs");
+        let resp = self.request_with_headers("POST", &target, &[], profile_bytes)?;
+        let resp = Self::expect_status(resp, 200)?;
+        let etag = Self::require_etag(&resp)?;
+        let doc = Self::parse_json(&resp)?;
+        let get_u64 = |key: &str| -> Result<u64, ClientError> {
+            doc.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| ClientError::Protocol(format!("push receipt missing `{key}`")))
+        };
+        let get_bool = |key: &str| -> Result<bool, ClientError> {
+            doc.get(key)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| ClientError::Protocol(format!("push receipt missing `{key}`")))
+        };
+        Ok(PushReceipt {
+            epoch: get_u64("epoch")?,
+            changed: get_bool("changed")?,
+            compacted: get_bool("compacted")?,
+            rebased: get_bool("rebased")?,
+            chunk_deduped: get_bool("chunk_deduped")?,
+            delta_bytes: get_u64("delta_bytes")?,
+            etag,
+        })
+    }
+
+    /// Fetches the minimal update from epoch `since` to the head
+    /// (`GET /v1/profiles/{id}/delta?since=`).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or unexpected statuses
+    /// (including 410 when the fallback bytes were evicted).
+    pub fn delta_since(&mut self, job_id: &str, since: u64) -> Result<DeltaFetch, ClientError> {
+        let target = format!("/v1/profiles/{job_id}/delta?since={since}");
+        let resp = self.request_with_headers("GET", &target, &[], &[])?;
+        match resp.status {
+            200 => {
+                let etag = Self::require_etag(&resp)?;
+                let epoch = resp
+                    .header("x-reaper-epoch")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .ok_or_else(|| {
+                        ClientError::Protocol("delta response missing x-reaper-epoch".to_string())
+                    })?;
+                match resp.header("x-reaper-delta") {
+                    Some("chain") => Ok(DeltaFetch::Chain {
+                        bytes: resp.body,
+                        epoch,
+                        etag,
+                    }),
+                    Some("full") => Ok(DeltaFetch::Full {
+                        bytes: resp.body,
+                        epoch,
+                        etag,
+                    }),
+                    other => Err(ClientError::Protocol(format!(
+                        "unexpected x-reaper-delta: {other:?}"
+                    ))),
+                }
+            }
+            304 => {
+                let etag = Self::require_etag(&resp)?;
+                Ok(DeltaFetch::NotModified { etag })
+            }
+            code => {
+                let body = String::from_utf8_lossy(&resp.body).into_owned();
+                Err(ClientError::Status(code, body))
+            }
+        }
+    }
+
+    /// Subscribes to `job_id`'s profile log via the chunked watch
+    /// long-poll and collects the stream's events. Blocks until the
+    /// server closes the stream (its long-poll deadline, `max_events`
+    /// events, or shutdown).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn watch(
+        &mut self,
+        job_id: &str,
+        since: Option<u64>,
+        timeout_ms: u64,
+        max_events: u64,
+    ) -> Result<Vec<ProfileUpdate>, ClientError> {
+        let mut target =
+            format!("/v1/profiles/{job_id}/watch?timeout_ms={timeout_ms}&max_events={max_events}");
+        if let Some(epoch) = since {
+            target.push_str(&format!("&since={epoch}"));
+        }
+        let conn = self.connect()?;
+        let head = format!("GET {target} HTTP/1.1\r\nhost: reaper-serve\r\ncontent-length: 0\r\n\r\n");
+        conn.get_mut().write_all(head.as_bytes())?;
+        conn.get_mut().flush()?;
+        let (status, headers) =
+            http::read_response_head(conn).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if status != 200 {
+            // Error bodies are content-length framed; drain per headers.
+            let length = headers
+                .iter()
+                .find(|(n, _)| n == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            let mut body = vec![0u8; length];
+            std::io::Read::read_exact(conn, &mut body)?;
+            return Err(ClientError::Status(
+                status,
+                String::from_utf8_lossy(&body).into_owned(),
+            ));
+        }
+        let chunked = headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        if !chunked {
+            return Err(ClientError::Protocol(
+                "watch response is not chunked".to_string(),
+            ));
+        }
+        let mut events = Vec::new();
+        loop {
+            let chunk = http::read_chunk(conn).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            let Some(data) = chunk else { break };
+            let event = match data.first_chunk::<4>() {
+                Some(b"RPD1") => ProfileUpdate::Delta(data),
+                Some(b"RPF1") => ProfileUpdate::Full(data),
+                _ => {
+                    return Err(ClientError::Protocol(
+                        "watch event with unknown magic".to_string(),
+                    ))
+                }
+            };
+            events.push(event);
+        }
+        Ok(events)
     }
 
     /// Polls until the profile is available, sleeping `poll_interval`

@@ -1,7 +1,8 @@
 //! A minimal HTTP/1.1 layer over `std::io`: enough of the protocol for
 //! the profiling service and its client — request-line + header parsing,
-//! `Content-Length` framing, keep-alive — and nothing else (no chunked
-//! encoding, no TLS, no HTTP/2).
+//! `Content-Length` framing, keep-alive, and `Transfer-Encoding:
+//! chunked` responses for the watch long-poll — and nothing else (no
+//! TLS, no HTTP/2).
 //!
 //! The reader is written against `BufRead` so the server can *peek*
 //! (`fill_buf`) before committing to a request: a read timeout while
@@ -83,6 +84,16 @@ impl Request {
             .is_some_and(|q| q.split('&').any(|kv| kv.split_once('=') == Some((key, value))))
     }
 
+    /// Value of the first `key=value` query component for `key`.
+    pub fn query_get(&self, key: &str) -> Option<&str> {
+        self.query()?
+            .split('&')
+            .find_map(|kv| match kv.split_once('=') {
+                Some((k, v)) if k == key => Some(v),
+                _ => None,
+            })
+    }
+
     /// First value of a header (name compared case-insensitively).
     pub fn header(&self, name: &str) -> Option<&str> {
         let want = name.to_ascii_lowercase();
@@ -117,10 +128,10 @@ fn read_line<R: BufRead>(reader: &mut R, what: &'static str) -> Result<String, H
 }
 
 /// Lowercased `(name, value)` header pairs.
-type Headers = Vec<(String, String)>;
+pub type Headers = Vec<(String, String)>;
 
-/// Parses the shared header/body tail of a request or response.
-fn read_headers_and_body<R: BufRead>(reader: &mut R) -> Result<(Headers, Vec<u8>), HttpError> {
+/// Reads the header block up to and including the blank line.
+fn read_headers<R: BufRead>(reader: &mut R) -> Result<Headers, HttpError> {
     let mut headers = Vec::new();
     loop {
         let line = read_line(reader, "header line")?;
@@ -135,6 +146,28 @@ fn read_headers_and_body<R: BufRead>(reader: &mut R) -> Result<(Headers, Vec<u8>
             .ok_or(HttpError::Malformed("header without ':'"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
+    Ok(headers)
+}
+
+/// Parses the shared header/body tail of a request or response.
+fn read_headers_and_body<R: BufRead>(reader: &mut R) -> Result<(Headers, Vec<u8>), HttpError> {
+    let headers = read_headers(reader)?;
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if chunked {
+        // Drain the whole chunked stream into one body (the incremental
+        // reader for long-poll subscribers is `read_chunk`).
+        let mut body = Vec::new();
+        while let Some(chunk) = read_chunk(reader)? {
+            if body.len() + chunk.len() > MAX_BODY {
+                return Err(HttpError::TooLarge("chunked body"));
+            }
+            body.extend_from_slice(&chunk);
+        }
+        return Ok((headers, body));
+    }
 
     let length = match headers.iter().find(|(n, _)| n == "content-length") {
         None => 0,
@@ -148,6 +181,40 @@ fn read_headers_and_body<R: BufRead>(reader: &mut R) -> Result<(Headers, Vec<u8>
     let mut body = vec![0u8; length];
     reader.read_exact(&mut body)?;
     Ok((headers, body))
+}
+
+/// Reads one `Transfer-Encoding: chunked` chunk: `Some(data)` for a data
+/// chunk, `None` for the terminal zero-size chunk.
+///
+/// # Errors
+/// [`HttpError`] for malformed chunk framing, oversized chunks, and
+/// transport failures.
+pub fn read_chunk<R: BufRead>(reader: &mut R) -> Result<Option<Vec<u8>>, HttpError> {
+    let size_line = read_line(reader, "chunk size line")?;
+    // Ignore chunk extensions after ';' (we never send them).
+    let size_text = size_line.split(';').next().unwrap_or("").trim();
+    let size = usize::from_str_radix(size_text, 16)
+        .map_err(|_| HttpError::Malformed("unparsable chunk size"))?;
+    if size > MAX_BODY {
+        return Err(HttpError::TooLarge("chunk"));
+    }
+    if size == 0 {
+        // Terminal chunk: consume the (empty) trailer section.
+        loop {
+            let line = read_line(reader, "chunk trailer")?;
+            if line.is_empty() {
+                break;
+            }
+        }
+        return Ok(None);
+    }
+    let mut data = vec![0u8; size];
+    reader.read_exact(&mut data)?;
+    let sep = read_line(reader, "chunk separator")?;
+    if !sep.is_empty() {
+        return Err(HttpError::Malformed("chunk data not CRLF-terminated"));
+    }
+    Ok(Some(data))
 }
 
 /// Reads one request from a keep-alive connection.
@@ -255,9 +322,11 @@ fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
         202 => "Accepted",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         410 => "Gone",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -301,6 +370,65 @@ pub fn write_response<W: Write>(
     writer.flush()
 }
 
+/// Writes the head of a `Transfer-Encoding: chunked` response; the body
+/// follows as [`write_chunk`] calls closed by [`finish_chunked`].
+///
+/// # Errors
+/// Propagates transport write failures.
+pub fn write_chunked_head<W: Write>(
+    writer: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\n",
+        status,
+        reason(status),
+        content_type,
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n\r\n"
+    } else {
+        "connection: close\r\n\r\n"
+    });
+    writer.write_all(head.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes one data chunk and flushes, so a long-poll subscriber sees the
+/// event immediately.
+///
+/// # Errors
+/// Propagates transport write failures.
+pub fn write_chunk<W: Write>(writer: &mut W, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        // An empty data chunk would read as the stream terminator.
+        return Ok(());
+    }
+    let mut message = format!("{:x}\r\n", data.len()).into_bytes();
+    message.extend_from_slice(data);
+    message.extend_from_slice(b"\r\n");
+    writer.write_all(&message)?;
+    writer.flush()
+}
+
+/// Terminates a chunked response (zero-size chunk, empty trailer).
+///
+/// # Errors
+/// Propagates transport write failures.
+pub fn finish_chunked<W: Write>(writer: &mut W) -> io::Result<()> {
+    writer.write_all(b"0\r\n\r\n")?;
+    writer.flush()
+}
+
 /// A response as seen by the client side: status, headers, body.
 #[derive(Debug)]
 pub struct ClientResponse {
@@ -323,7 +451,31 @@ impl ClientResponse {
     }
 }
 
-/// Reads one response off a client connection.
+/// Reads a response's status line and headers, leaving the body (if
+/// any) unread — the entry point for incremental chunked consumption.
+///
+/// # Errors
+/// [`HttpError`] for protocol violations, oversized messages, and
+/// transport failures.
+pub fn read_response_head<R: BufRead>(reader: &mut R) -> Result<(u16, Headers), HttpError> {
+    let status_line = read_line(reader, "status line")?;
+    let mut parts = status_line.split_ascii_whitespace();
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty status line"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported http version"));
+    }
+    let status = parts
+        .next()
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or(HttpError::Malformed("unparsable status code"))?;
+    let headers = read_headers(reader)?;
+    Ok((status, headers))
+}
+
+/// Reads one response off a client connection (chunked bodies are
+/// drained whole; use [`read_response_head`] + [`read_chunk`] to stream).
 ///
 /// # Errors
 /// [`HttpError`] for protocol violations, oversized messages, and
@@ -422,5 +574,63 @@ mod tests {
         let raw = b"GET /healthz HTTP/1.1\nHost: h\n\n";
         let req = parse_bytes(raw).expect("valid").expect("present");
         assert_eq!(req.path(), "/healthz");
+    }
+
+    #[test]
+    fn query_get_returns_the_first_matching_component() {
+        let raw = b"GET /v1/profiles/x/delta?since=3&timeout_ms=50 HTTP/1.1\r\n\r\n";
+        let req = parse_bytes(raw).expect("valid").expect("present");
+        assert_eq!(req.query_get("since"), Some("3"));
+        assert_eq!(req.query_get("timeout_ms"), Some("50"));
+        assert_eq!(req.query_get("missing"), None);
+    }
+
+    #[test]
+    fn chunked_stream_roundtrips_incrementally_and_whole() {
+        let mut wire = Vec::new();
+        write_chunked_head(
+            &mut wire,
+            200,
+            "application/octet-stream",
+            &[("x-reaper-epoch", "7".to_string())],
+            true,
+        )
+        .expect("head to vec");
+        write_chunk(&mut wire, b"first").expect("chunk");
+        write_chunk(&mut wire, b"").expect("empty chunk is a no-op");
+        write_chunk(&mut wire, b"second event").expect("chunk");
+        finish_chunked(&mut wire).expect("terminator");
+
+        // Incremental reader sees each event separately.
+        let mut reader = BufReader::new(wire.as_slice());
+        let (status, headers) = read_response_head(&mut reader).expect("head");
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v == "chunked"));
+        assert!(headers.iter().any(|(n, v)| n == "x-reaper-epoch" && v == "7"));
+        assert_eq!(read_chunk(&mut reader).expect("chunk"), Some(b"first".to_vec()));
+        assert_eq!(
+            read_chunk(&mut reader).expect("chunk"),
+            Some(b"second event".to_vec())
+        );
+        assert_eq!(read_chunk(&mut reader).expect("terminator"), None);
+
+        // Whole-body reader concatenates the stream.
+        let back = read_response(&mut BufReader::new(wire.as_slice())).expect("parse");
+        assert_eq!(back.body, b"firstsecond event");
+    }
+
+    #[test]
+    fn malformed_chunk_framing_is_rejected() {
+        // Unparsable size line.
+        let mut r = BufReader::new(&b"zz\r\ndata\r\n"[..]);
+        assert!(read_chunk(&mut r).is_err());
+        // Data not CRLF-terminated where the separator should be.
+        let mut r = BufReader::new(&b"4\r\ndataX\r\n"[..]);
+        assert!(read_chunk(&mut r).is_err());
+        // Truncated data.
+        let mut r = BufReader::new(&b"10\r\nshort"[..]);
+        assert!(read_chunk(&mut r).is_err());
     }
 }

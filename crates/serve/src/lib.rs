@@ -9,8 +9,11 @@
 //! * [`json`] — a dependency-free JSON parser/encoder that keeps `u64`
 //!   seeds exact,
 //! * [`api`] — JSON bodies ↔ [`reaper_core::ProfilingRequest`] mapping,
-//! * [`cache`] — the content-addressed result cache (job ID → encoded
-//!   profile bytes) with logical-tick LRU eviction under a byte budget,
+//! * [`cache`] — the original content-addressed result cache (job ID →
+//!   encoded profile bytes) with logical-tick LRU eviction,
+//! * [`store`] — its successor: one append-then-compact epoch log per
+//!   profile with `RPD1` delta records, content-addressed chunk dedup,
+//!   and metadata that survives eviction (the ETag source),
 //! * [`metrics`] — counters, latency histograms, and a Prometheus text
 //!   renderer,
 //! * [`server`] — accept loop, bounded job queue, and a worker pool
@@ -24,7 +27,10 @@
 //! |---|---|
 //! | `POST /v1/jobs` | Submit a job; identical requests dedup to one ID |
 //! | `GET /v1/jobs/{id}` | Job status + result summary |
-//! | `GET /v1/profiles/{id}` | Encoded profile (`?format=json` decodes) |
+//! | `GET /v1/profiles/{id}` | Encoded head profile (`?format=json` decodes); strong ETag + `If-None-Match` → 304 |
+//! | `POST /v1/profiles/{id}/epochs` | Push a re-profiling snapshot; appends an `RPD1` delta, advances the head |
+//! | `GET /v1/profiles/{id}/delta?since=N` | Minimal update from epoch N: delta chain, full fallback, or 304 |
+//! | `GET /v1/profiles/{id}/watch` | Chunked long-poll subscription; one wire message per chunk |
 //! | `GET /metrics` | Prometheus text exposition |
 //! | `GET /healthz` | Liveness |
 //!
@@ -49,9 +55,13 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod store;
 
 pub use api::JobSummary;
 pub use cache::ResultCache;
-pub use client::{Client, ClientError, SubmitReceipt};
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use client::{
+    Client, ClientError, DeltaFetch, ProfileFetch, ProfileUpdate, PushReceipt, SubmitReceipt,
+};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, StoreGauges};
 pub use server::{Server, ServerConfig};
+pub use store::{ProfileStore, StoreConfig};

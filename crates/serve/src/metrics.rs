@@ -109,10 +109,40 @@ pub struct ServiceMetrics {
     pub cache_hits: AtomicU64,
     /// Profile reads that found the job done but its bytes evicted.
     pub cache_misses: AtomicU64,
+    /// Re-profiling snapshots accepted by `POST /v1/profiles/{id}/epochs`.
+    pub delta_pushes: AtomicU64,
+    /// `?since=` reads answered with an `RPD1` delta chain.
+    pub delta_chains: AtomicU64,
+    /// `?since=` reads that fell back to the full snapshot (compacted).
+    pub delta_full_fallbacks: AtomicU64,
+    /// Conditional reads short-circuited to `304 Not Modified`.
+    pub not_modified: AtomicU64,
+    /// Events pushed to watch subscribers.
+    pub watch_events: AtomicU64,
     /// Time from submission to a worker picking the job up.
     pub queue_wait_micros: LatencyHistogram,
     /// Worker execution time per job.
     pub exec_micros: LatencyHistogram,
+}
+
+/// Point-in-time gauges owned by the profile store, passed into
+/// [`ServiceMetrics::render`] by the server.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreGauges {
+    /// Epoch logs (resident or metadata-only).
+    pub profiles: usize,
+    /// Logs whose head snapshot bytes are resident.
+    pub resident: usize,
+    /// Bytes pinned by snapshots and delta chunks.
+    pub used_bytes: usize,
+    /// Cumulative budget-pressure evictions.
+    pub evictions: u64,
+    /// Distinct delta payload chunks.
+    pub chunk_entries: usize,
+    /// Bytes held by delta payload chunks.
+    pub chunk_bytes: usize,
+    /// Cumulative cross-profile chunk dedup hits.
+    pub chunk_dedup_hits: u64,
 }
 
 impl ServiceMetrics {
@@ -135,38 +165,50 @@ impl ServiceMetrics {
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            delta_pushes: self.delta_pushes.load(Ordering::Relaxed),
+            delta_chains: self.delta_chains.load(Ordering::Relaxed),
+            delta_full_fallbacks: self.delta_full_fallbacks.load(Ordering::Relaxed),
+            not_modified: self.not_modified.load(Ordering::Relaxed),
+            watch_events: self.watch_events.load(Ordering::Relaxed),
         }
     }
 
     /// Renders the full `/metrics` payload in Prometheus text format.
-    /// Gauges the registry does not own (queue depth, cache occupancy) are
-    /// passed in by the server.
-    pub fn render(
-        &self,
-        queue_depth: usize,
-        cache_entries: usize,
-        cache_used_bytes: usize,
-        cache_evictions: u64,
-    ) -> String {
+    /// Gauges the registry does not own (queue depth, store occupancy)
+    /// are passed in by the server.
+    pub fn render(&self, queue_depth: usize, store: &StoreGauges) -> String {
         let mut out = String::with_capacity(2048);
-        let counters: [(&str, &AtomicU64); 6] = [
+        let counters: [(&str, &AtomicU64); 11] = [
             ("reaper_jobs_submitted_total", &self.jobs_submitted),
             ("reaper_jobs_completed_total", &self.jobs_completed),
             ("reaper_jobs_deduped_total", &self.jobs_deduped),
             ("reaper_jobs_failed_total", &self.jobs_failed),
             ("reaper_cache_hits_total", &self.cache_hits),
             ("reaper_cache_misses_total", &self.cache_misses),
+            ("reaper_delta_pushes_total", &self.delta_pushes),
+            ("reaper_delta_chains_total", &self.delta_chains),
+            ("reaper_delta_full_fallbacks_total", &self.delta_full_fallbacks),
+            ("reaper_not_modified_total", &self.not_modified),
+            ("reaper_watch_events_total", &self.watch_events),
         ];
         for (name, counter) in counters {
             out.push_str(&format!("# TYPE {name} counter\n"));
             out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
         }
-        out.push_str("# TYPE reaper_cache_evictions_total counter\n");
-        out.push_str(&format!("reaper_cache_evictions_total {cache_evictions}\n"));
+        for (name, value) in [
+            ("reaper_cache_evictions_total", store.evictions),
+            ("reaper_store_chunk_dedup_hits_total", store.chunk_dedup_hits),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        }
         for (name, value) in [
             ("reaper_queue_depth", queue_depth),
-            ("reaper_cache_entries", cache_entries),
-            ("reaper_cache_used_bytes", cache_used_bytes),
+            ("reaper_cache_entries", store.profiles),
+            ("reaper_cache_used_bytes", store.used_bytes),
+            ("reaper_store_resident_profiles", store.resident),
+            ("reaper_store_chunk_entries", store.chunk_entries),
+            ("reaper_store_chunk_bytes", store.chunk_bytes),
         ] {
             out.push_str(&format!("# TYPE {name} gauge\n"));
             out.push_str(&format!("{name} {value}\n"));
@@ -194,6 +236,16 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     /// See [`ServiceMetrics::cache_misses`].
     pub cache_misses: u64,
+    /// See [`ServiceMetrics::delta_pushes`].
+    pub delta_pushes: u64,
+    /// See [`ServiceMetrics::delta_chains`].
+    pub delta_chains: u64,
+    /// See [`ServiceMetrics::delta_full_fallbacks`].
+    pub delta_full_fallbacks: u64,
+    /// See [`ServiceMetrics::not_modified`].
+    pub not_modified: u64,
+    /// See [`ServiceMetrics::watch_events`].
+    pub watch_events: u64,
 }
 
 #[cfg(test)]
@@ -233,7 +285,17 @@ mod tests {
         let m = ServiceMetrics::new();
         ServiceMetrics::inc(&m.jobs_submitted);
         ServiceMetrics::inc(&m.cache_hits);
-        let text = m.render(3, 2, 4096, 1);
+        ServiceMetrics::inc(&m.delta_pushes);
+        let gauges = StoreGauges {
+            profiles: 2,
+            resident: 1,
+            used_bytes: 4096,
+            evictions: 1,
+            chunk_entries: 5,
+            chunk_bytes: 640,
+            chunk_dedup_hits: 4,
+        };
+        let text = m.render(3, &gauges);
         for series in [
             "reaper_jobs_submitted_total 1",
             "reaper_jobs_completed_total 0",
@@ -241,10 +303,19 @@ mod tests {
             "reaper_jobs_failed_total 0",
             "reaper_cache_hits_total 1",
             "reaper_cache_misses_total 0",
+            "reaper_delta_pushes_total 1",
+            "reaper_delta_chains_total 0",
+            "reaper_delta_full_fallbacks_total 0",
+            "reaper_not_modified_total 0",
+            "reaper_watch_events_total 0",
             "reaper_cache_evictions_total 1",
+            "reaper_store_chunk_dedup_hits_total 4",
             "reaper_queue_depth 3",
             "reaper_cache_entries 2",
             "reaper_cache_used_bytes 4096",
+            "reaper_store_resident_profiles 1",
+            "reaper_store_chunk_entries 5",
+            "reaper_store_chunk_bytes 640",
             "reaper_queue_wait_microseconds_count 0",
             "reaper_exec_microseconds_count 0",
         ] {
@@ -254,6 +325,7 @@ mod tests {
         assert_eq!(snap.jobs_submitted, 1);
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.jobs_completed, 0);
+        assert_eq!(snap.delta_pushes, 1);
     }
 
     #[test]

@@ -13,26 +13,41 @@
 //!
 //! ## Lock ordering
 //!
-//! `jobs` before `cache`, everywhere. Handlers take at most both; the
-//! worker takes them in the same order when publishing a result.
+//! `jobs` before `store`, everywhere. Handlers take at most both; the
+//! worker takes them in the same order when publishing a result. The
+//! watch sequence lock (`watch_seq`) is leaf-only: it is never held
+//! while acquiring `jobs` or `store`.
+//!
+//! ## Streaming profiles
+//!
+//! Completed jobs seed one epoch log each in the [`crate::store`]
+//! module's [`ProfileStore`]. Re-profiling pushes
+//! (`POST /v1/profiles/{id}/epochs`) append `RPD1` deltas and advance
+//! the head; readers catch up with `GET /v1/profiles/{id}/delta?since=`
+//! or subscribe via the chunked `GET /v1/profiles/{id}/watch` long-poll,
+//! woken by a `Condvar` the publishers signal. ETags are
+//! `"<content-hash>-<epoch>"`, so `If-None-Match` revalidation works
+//! even after the bytes were evicted — a 304 costs no recomputation.
 
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use reaper_core::ProfilingRequest;
+use reaper_core::{FailureProfile, ProfilingRequest};
 use reaper_exec::pool::{BoundedQueue, PushError, WorkerPool};
 
 use crate::api::{self, JobSummary};
-use crate::cache::ResultCache;
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::{self, Value};
-use crate::metrics::{self, MetricsSnapshot, ServiceMetrics};
+use crate::metrics::{self, MetricsSnapshot, ServiceMetrics, StoreGauges};
+use crate::store::{
+    AppendError, DeltaQuery, FullQuery, HeadInfo, InsertOutcome, ProfileStore, StoreConfig,
+};
 
 /// Socket read timeout for keep-alive connections; bounds how long a
 /// connection thread can ignore the shutdown flag.
@@ -54,17 +69,24 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Job-queue capacity (backpressure bound).
     pub queue_capacity: usize,
-    /// Result-cache byte budget.
+    /// Profile-store byte budget (snapshots + delta chunks).
     pub cache_budget_bytes: usize,
+    /// Compact an epoch log once its chain holds this many deltas.
+    pub compact_max_deltas: usize,
+    /// Compact an epoch log once its chain payload exceeds this.
+    pub compact_max_chain_bytes: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let store = StoreConfig::default();
         Self {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             queue_capacity: 64,
-            cache_budget_bytes: 16 * 1024 * 1024,
+            cache_budget_bytes: store.budget_bytes,
+            compact_max_deltas: store.compact_max_deltas,
+            compact_max_chain_bytes: store.compact_max_chain_bytes,
         }
     }
 }
@@ -112,9 +134,23 @@ struct Shared {
     shutdown: AtomicBool,
     queue: BoundedQueue<JobTicket>,
     jobs: Mutex<BTreeMap<u64, JobRecord>>,
-    cache: Mutex<ResultCache>,
+    store: Mutex<ProfileStore>,
     metrics: ServiceMetrics,
     open_connections: AtomicUsize,
+    /// Bumped on every publish (job completion or epoch push); watch
+    /// handlers sleep on the condvar instead of busy-polling the store.
+    watch_seq: Mutex<u64>,
+    watch_cv: Condvar,
+}
+
+impl Shared {
+    /// Signals every watch subscriber that some profile advanced.
+    fn notify_watchers(&self) {
+        let mut seq = lock(&self.watch_seq);
+        *seq = seq.wrapping_add(1);
+        self.watch_cv.notify_all();
+        drop(seq);
+    }
 }
 
 /// A running profiling service; dropping it without calling
@@ -146,9 +182,15 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queue: BoundedQueue::new(config.queue_capacity),
             jobs: Mutex::new(BTreeMap::new()),
-            cache: Mutex::new(ResultCache::new(config.cache_budget_bytes)),
+            store: Mutex::new(ProfileStore::new(StoreConfig {
+                budget_bytes: config.cache_budget_bytes,
+                compact_max_deltas: config.compact_max_deltas,
+                compact_max_chain_bytes: config.compact_max_chain_bytes,
+            })),
             metrics: ServiceMetrics::new(),
             open_connections: AtomicUsize::new(0),
+            watch_seq: Mutex::new(0),
+            watch_cv: Condvar::new(),
         });
 
         let pool = {
@@ -189,6 +231,8 @@ impl Server {
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.close();
+        // Wake long-poll subscribers so they notice the flag promptly.
+        self.shared.notify_watchers();
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(h) = self.accept_thread.take() {
@@ -246,9 +290,17 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Ok(None) => return,
             Ok(Some(request)) => {
                 let keep_alive = request.keep_alive();
-                let response = route(&request, shared);
-                if http::write_response(reader.get_mut(), &response, keep_alive).is_err() {
-                    return;
+                match route(&request, shared) {
+                    Routed::Plain(response) => {
+                        if http::write_response(reader.get_mut(), &response, keep_alive).is_err() {
+                            return;
+                        }
+                    }
+                    Routed::Watch(params) => {
+                        if serve_watch(reader.get_mut(), &params, shared, keep_alive).is_err() {
+                            return;
+                        }
+                    }
                 }
                 if !keep_alive {
                     return;
@@ -264,23 +316,98 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// How a routed request gets answered: a buffered response, or the
+/// chunked watch stream that writes to the socket incrementally.
+enum Routed {
+    Plain(Response),
+    Watch(WatchParams),
+}
+
+impl From<Response> for Routed {
+    fn from(response: Response) -> Self {
+        Routed::Plain(response)
+    }
+}
+
+/// Validated parameters of a watch subscription.
+struct WatchParams {
+    id: u64,
+    /// Epoch the subscriber has; `None` means "the head at subscribe
+    /// time" (wait for whatever comes next).
+    since: Option<u64>,
+    /// Long-poll duration before an empty stream closes.
+    timeout_ms: u64,
+    /// Close the stream after this many events.
+    max_events: u64,
+}
+
+/// Longest allowed watch long-poll; keeps connection threads bounded
+/// relative to shutdown's drain loop.
+const WATCH_TIMEOUT_CAP_MS: u64 = 30_000;
+/// Watch long-poll used when the query string does not pick one.
+const WATCH_TIMEOUT_DEFAULT_MS: u64 = 2_000;
+/// Default cap on events per watch stream.
+const WATCH_MAX_EVENTS_DEFAULT: u64 = 256;
+/// Condvar wait granularity; bounds reaction time to shutdown.
+const WATCH_TICK: Duration = Duration::from_millis(50);
+
 /// Dispatches one request to its endpoint handler.
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+fn route(request: &Request, shared: &Arc<Shared>) -> Routed {
     match (request.method.as_str(), request.path()) {
-        ("POST", "/v1/jobs") => submit_job(request, shared),
-        ("GET", "/healthz") => Response::json(200, json::obj([("ok", Value::Bool(true))]).encode()),
-        ("GET", "/metrics") => render_metrics(shared),
-        ("GET", path) => {
-            if let Some(id_text) = path.strip_prefix("/v1/jobs/") {
-                job_status(id_text, shared)
-            } else if let Some(id_text) = path.strip_prefix("/v1/profiles/") {
-                profile_bytes(id_text, request, shared)
+        ("POST", "/v1/jobs") => submit_job(request, shared).into(),
+        ("GET", "/healthz") => {
+            Response::json(200, json::obj([("ok", Value::Bool(true))]).encode()).into()
+        }
+        ("GET", "/metrics") => render_metrics(shared).into(),
+        ("POST", path) => {
+            if let Some((id_text, "epochs")) = split_profile_path(path) {
+                push_epoch(id_text, request, shared).into()
             } else {
-                Response::json(404, api::error_body("no such resource"))
+                Response::json(404, api::error_body("no such resource")).into()
             }
         }
-        _ => Response::json(405, api::error_body("method not allowed")),
+        ("GET", path) => {
+            if let Some(id_text) = path.strip_prefix("/v1/jobs/") {
+                job_status(id_text, shared).into()
+            } else {
+                match split_profile_path(path) {
+                    Some((id_text, "")) => profile_bytes(id_text, request, shared).into(),
+                    Some((id_text, "delta")) => delta_endpoint(id_text, request, shared).into(),
+                    Some((id_text, "watch")) => watch_endpoint(id_text, request),
+                    _ => Response::json(404, api::error_body("no such resource")).into(),
+                }
+            }
+        }
+        _ => Response::json(405, api::error_body("method not allowed")).into(),
     }
+}
+
+/// Splits `/v1/profiles/{id}[/action]` into `(id_text, action)`, with
+/// `""` as the action for the bare profile path.
+fn split_profile_path(path: &str) -> Option<(&str, &str)> {
+    let rest = path.strip_prefix("/v1/profiles/")?;
+    match rest.split_once('/') {
+        Some((id_text, action)) => Some((id_text, action)),
+        None => Some((rest, "")),
+    }
+}
+
+/// The strong ETag for a profile head: content hash + epoch. The hash
+/// alone identifies the bytes; the epoch makes log rewinds (which cannot
+/// happen, but cost nothing to guard) visible too.
+fn etag_for(info: &HeadInfo) -> String {
+    format!("\"{:016x}-{}\"", info.hash, info.epoch)
+}
+
+/// True when the request's `If-None-Match` matches `etag` (exact strong
+/// compare over a comma-separated candidate list, plus `*`).
+fn if_none_match(request: &Request, etag: &str) -> bool {
+    request.header("if-none-match").is_some_and(|header| {
+        header
+            .split(',')
+            .map(str::trim)
+            .any(|candidate| candidate == etag || candidate == "*")
+    })
 }
 
 /// `POST /v1/jobs`: parse, content-address, dedup-or-enqueue.
@@ -304,7 +431,7 @@ fn submit_job(request: &Request, shared: &Arc<Shared>) -> Response {
         let needs_requeue = matches!(
             jobs.get(&id).map(|r| &r.status),
             Some(JobStatus::Done(_))
-        ) && !lock(&shared.cache).contains(id);
+        ) && !lock(&shared.store).is_resident(id);
         if needs_requeue {
             let ticket = JobTicket {
                 id,
@@ -380,72 +507,349 @@ fn job_status(id_text: &str, shared: &Arc<Shared>) -> Response {
     Response::json(200, body.encode())
 }
 
-/// `GET /v1/profiles/{id}`: the encoded profile (binary by default,
-/// decoded cell list with `?format=json`).
-fn profile_bytes(id_text: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+/// Resolves `{id}` to a completed job, or the early response to send
+/// instead (400/404/202/500).
+fn completed_job_id(id_text: &str, shared: &Arc<Shared>) -> Result<u64, Response> {
     let Some(id) = ProfilingRequest::parse_job_id(id_text) else {
-        return Response::json(400, api::error_body("job IDs are 16 hex digits"));
+        return Err(Response::json(400, api::error_body("job IDs are 16 hex digits")));
     };
     let status = {
         let jobs = lock(&shared.jobs);
         match jobs.get(&id) {
-            None => return Response::json(404, api::error_body("unknown job")),
+            None => return Err(Response::json(404, api::error_body("unknown job"))),
             Some(record) => record.status.clone(),
         }
     };
     match status {
-        JobStatus::Queued | JobStatus::Running => Response::json(
+        JobStatus::Queued | JobStatus::Running => Err(Response::json(
             202,
             json::obj([
                 ("job_id", json::str(ProfilingRequest::format_job_id(id))),
                 ("status", json::str(status.name())),
             ])
             .encode(),
-        ),
-        JobStatus::Failed(reason) => Response::json(500, api::error_body(&reason)),
-        JobStatus::Done(_) => {
-            let cached = lock(&shared.cache).get(id);
-            let Some(bytes) = cached else {
-                ServiceMetrics::inc(&shared.metrics.cache_misses);
-                return Response::json(
-                    410,
-                    api::error_body("profile bytes were evicted; resubmit the job to recompute"),
-                );
-            };
-            ServiceMetrics::inc(&shared.metrics.cache_hits);
-            if request.query_has("format", "json") {
-                match reaper_core::FailureProfile::from_bytes(&bytes) {
-                    Ok(profile) => {
-                        let cells: Vec<Value> =
-                            profile.iter().map(json::uint).collect();
-                        Response::json(
-                            200,
-                            json::obj([
-                                ("job_id", json::str(ProfilingRequest::format_job_id(id))),
-                                ("cells", Value::Arr(cells)),
-                            ])
-                            .encode(),
-                        )
-                    }
-                    Err(e) => Response::json(500, api::error_body(&e.to_string())),
-                }
-            } else {
-                Response::bytes(200, bytes.as_ref().clone())
-                    .with_header("etag", format!("\"{}\"", ProfilingRequest::format_job_id(id)))
+        )),
+        JobStatus::Failed(reason) => Err(Response::json(500, api::error_body(&reason))),
+        JobStatus::Done(_) => Ok(id),
+    }
+}
+
+/// `GET /v1/profiles/{id}`: the encoded head profile (binary by
+/// default, decoded cell list with `?format=json`), with strong-ETag
+/// revalidation.
+///
+/// `If-None-Match` is checked against the head metadata *before*
+/// residency, so a client holding the current ETag gets `304 Not
+/// Modified` even when the bytes were evicted — and an
+/// evicted-then-resubmitted job revalidates without waiting for (or
+/// spending) the recompute.
+fn profile_bytes(id_text: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+    let id = match completed_job_id(id_text, shared) {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    let (info, fetched) = {
+        let mut store = lock(&shared.store);
+        let Some(info) = store.head_info(id) else {
+            // Unreachable (Done ⇒ the worker seeded the log), but a
+            // truthful answer exists.
+            return Response::json(404, api::error_body("no profile log for this job"));
+        };
+        let etag = etag_for(&info);
+        if if_none_match(request, &etag) {
+            ServiceMetrics::inc(&shared.metrics.not_modified);
+            return Response::bytes(304, Vec::new()).with_header("etag", etag);
+        }
+        (info, store.full_bytes(id))
+    };
+    let etag = etag_for(&info);
+    let bytes = match fetched {
+        FullQuery::Bytes(bytes) => bytes,
+        FullQuery::Unknown | FullQuery::Evicted => {
+            ServiceMetrics::inc(&shared.metrics.cache_misses);
+            return Response::json(
+                410,
+                api::error_body("profile bytes were evicted; resubmit the job to recompute"),
+            )
+            .with_header("etag", etag);
+        }
+    };
+    ServiceMetrics::inc(&shared.metrics.cache_hits);
+    if request.query_has("format", "json") {
+        match FailureProfile::from_bytes(&bytes) {
+            Ok(profile) => {
+                let cells: Vec<Value> = profile.iter().map(json::uint).collect();
+                Response::json(
+                    200,
+                    json::obj([
+                        ("job_id", json::str(ProfilingRequest::format_job_id(id))),
+                        ("epoch", json::uint(info.epoch)),
+                        ("cells", Value::Arr(cells)),
+                    ])
+                    .encode(),
+                )
             }
+            Err(e) => Response::json(500, api::error_body(&e.to_string())),
+        }
+    } else {
+        Response::bytes(200, bytes.as_ref().clone())
+            .with_header("etag", etag)
+            .with_header("x-reaper-epoch", info.epoch.to_string())
+    }
+}
+
+/// `POST /v1/profiles/{id}/epochs`: push a re-profiling snapshot (an
+/// `RPF1` body). Appends a delta record and advances the head; an
+/// unchanged snapshot consumes no epoch.
+fn push_epoch(id_text: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+    let id = match completed_job_id(id_text, shared) {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    let profile = match FailureProfile::from_bytes(&request.body) {
+        Ok(profile) => profile,
+        Err(e) => {
+            return Response::json(
+                400,
+                api::error_body(&format!("body must be an RPF1 profile: {e}")),
+            )
+        }
+    };
+    let appended = lock(&shared.store).append_full(id, &profile);
+    match appended {
+        Ok(outcome) => {
+            ServiceMetrics::inc(&shared.metrics.delta_pushes);
+            if outcome.changed {
+                shared.notify_watchers();
+            }
+            let etag = etag_for(&HeadInfo {
+                epoch: outcome.epoch,
+                hash: outcome.head_hash,
+                resident: true,
+            });
+            Response::json(
+                200,
+                json::obj([
+                    ("job_id", json::str(ProfilingRequest::format_job_id(id))),
+                    ("epoch", json::uint(outcome.epoch)),
+                    ("changed", Value::Bool(outcome.changed)),
+                    ("compacted", Value::Bool(outcome.compacted)),
+                    ("rebased", Value::Bool(outcome.rebased)),
+                    ("chunk_deduped", Value::Bool(outcome.chunk_deduped)),
+                    (
+                        "delta_bytes",
+                        json::uint(reaper_exec::num::to_u64(outcome.delta_bytes)),
+                    ),
+                ])
+                .encode(),
+            )
+            .with_header("etag", etag)
+        }
+        Err(AppendError::UnknownProfile) => {
+            Response::json(404, api::error_body("no profile log for this job"))
         }
     }
 }
 
+/// `GET /v1/profiles/{id}/delta?since=N`: the minimal update from epoch
+/// `N` to the head — an `RPD1` chain when the log still covers `N`
+/// (`x-reaper-delta: chain`), the full snapshot after compaction
+/// (`x-reaper-delta: full`), or `304` when `N` is the head.
+fn delta_endpoint(id_text: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+    let id = match completed_job_id(id_text, shared) {
+        Ok(id) => id,
+        Err(response) => return response,
+    };
+    let Some(since) = request.query_get("since").and_then(|s| s.parse::<u64>().ok()) else {
+        return Response::json(
+            400,
+            api::error_body("`since=<epoch>` query parameter is required"),
+        );
+    };
+    let (info, query) = {
+        let mut store = lock(&shared.store);
+        let Some(info) = store.head_info(id) else {
+            return Response::json(404, api::error_body("no profile log for this job"));
+        };
+        (info, store.updates_since(id, since))
+    };
+    let etag = etag_for(&info);
+    match query {
+        DeltaQuery::Unknown => Response::json(404, api::error_body("no profile log for this job")),
+        DeltaQuery::NotModified => {
+            ServiceMetrics::inc(&shared.metrics.not_modified);
+            Response::bytes(304, Vec::new()).with_header("etag", etag)
+        }
+        DeltaQuery::AheadOfHead => Response::json(
+            400,
+            api::error_body(&format!(
+                "since={since} is beyond the head epoch {}",
+                info.epoch
+            )),
+        ),
+        DeltaQuery::Chain {
+            head_epoch,
+            messages,
+        } => {
+            ServiceMetrics::inc(&shared.metrics.delta_chains);
+            let mut body = Vec::new();
+            for message in messages {
+                body.extend_from_slice(&message);
+            }
+            Response::bytes(200, body)
+                .with_header("etag", etag)
+                .with_header("x-reaper-delta", "chain".to_string())
+                .with_header("x-reaper-epoch", head_epoch.to_string())
+        }
+        DeltaQuery::FullFallback { head_epoch, bytes } => {
+            ServiceMetrics::inc(&shared.metrics.delta_full_fallbacks);
+            Response::bytes(200, bytes.as_ref().clone())
+                .with_header("etag", etag)
+                .with_header("x-reaper-delta", "full".to_string())
+                .with_header("x-reaper-epoch", head_epoch.to_string())
+        }
+        DeltaQuery::Evicted => Response::json(
+            410,
+            api::error_body("profile bytes were evicted; resubmit the job to recompute"),
+        )
+        .with_header("etag", etag),
+    }
+}
+
+/// Parses `GET /v1/profiles/{id}/watch` into [`WatchParams`] (or the
+/// error/`202` response to send instead).
+fn watch_endpoint(id_text: &str, request: &Request) -> Routed {
+    let Some(id) = ProfilingRequest::parse_job_id(id_text) else {
+        return Response::json(400, api::error_body("job IDs are 16 hex digits")).into();
+    };
+    let parse_u64 = |key: &str| -> Result<Option<u64>, Response> {
+        match request.query_get(key) {
+            None => Ok(None),
+            Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+                Response::json(400, api::error_body(&format!("`{key}` must be an integer")))
+            }),
+        }
+    };
+    let since = match parse_u64("since") {
+        Ok(v) => v,
+        Err(response) => return response.into(),
+    };
+    let timeout_ms = match parse_u64("timeout_ms") {
+        Ok(v) => v.unwrap_or(WATCH_TIMEOUT_DEFAULT_MS).min(WATCH_TIMEOUT_CAP_MS),
+        Err(response) => return response.into(),
+    };
+    let max_events = match parse_u64("max_events") {
+        Ok(v) => v.unwrap_or(WATCH_MAX_EVENTS_DEFAULT).max(1),
+        Err(response) => return response.into(),
+    };
+    Routed::Watch(WatchParams {
+        id,
+        since,
+        timeout_ms,
+        max_events,
+    })
+}
+
+/// Streams a watch subscription: a chunked response where every chunk
+/// is one self-describing wire message (`RPD1` delta or `RPF1` full
+/// snapshot after compaction/eviction gaps). The stream closes at the
+/// long-poll deadline, after `max_events` events, or at shutdown.
+fn serve_watch(
+    stream: &mut TcpStream,
+    params: &WatchParams,
+    shared: &Arc<Shared>,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let start_info = lock(&shared.store).head_info(params.id);
+    let Some(info) = start_info else {
+        let response = Response::json(404, api::error_body("no profile log for this job"));
+        return http::write_response(stream, &response, keep_alive);
+    };
+    let mut cursor = params.since.unwrap_or(info.epoch);
+    http::write_chunked_head(
+        stream,
+        200,
+        "application/octet-stream",
+        &[
+            ("etag", etag_for(&info)),
+            ("x-reaper-epoch", cursor.to_string()),
+        ],
+        keep_alive,
+    )?;
+
+    let started = metrics::now();
+    let deadline_micros = params.timeout_ms.saturating_mul(1000);
+    let mut sent = 0u64;
+    'stream: while sent < params.max_events && !shared.shutdown.load(Ordering::SeqCst) {
+        let query = lock(&shared.store).updates_since(params.id, cursor);
+        match query {
+            DeltaQuery::Chain {
+                head_epoch,
+                messages,
+            } => {
+                for message in messages {
+                    http::write_chunk(stream, &message)?;
+                    ServiceMetrics::inc(&shared.metrics.watch_events);
+                    sent += 1;
+                    if sent >= params.max_events {
+                        break;
+                    }
+                }
+                cursor = head_epoch;
+                continue;
+            }
+            DeltaQuery::FullFallback { head_epoch, bytes } => {
+                http::write_chunk(stream, &bytes)?;
+                ServiceMetrics::inc(&shared.metrics.watch_events);
+                sent += 1;
+                cursor = head_epoch;
+                continue;
+            }
+            // A subscriber ahead of the head waits like one at the head:
+            // the next push may catch the log up to (then past) it.
+            DeltaQuery::NotModified | DeltaQuery::AheadOfHead => {}
+            DeltaQuery::Unknown | DeltaQuery::Evicted => break 'stream,
+        }
+        // Nothing to send: sleep until a publisher bumps the sequence
+        // or the long-poll deadline passes.
+        let mut seq = lock(&shared.watch_seq);
+        let observed = *seq;
+        while *seq == observed {
+            if metrics::elapsed_micros(started) >= deadline_micros
+                || shared.shutdown.load(Ordering::SeqCst)
+            {
+                drop(seq);
+                break 'stream;
+            }
+            seq = shared
+                .watch_cv
+                .wait_timeout(seq, WATCH_TICK)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        drop(seq);
+        if metrics::elapsed_micros(started) >= deadline_micros {
+            break;
+        }
+    }
+    http::finish_chunked(stream)
+}
+
 /// `GET /metrics`: Prometheus text exposition.
 fn render_metrics(shared: &Arc<Shared>) -> Response {
-    let (entries, used, evictions) = {
-        let cache = lock(&shared.cache);
-        (cache.len(), cache.used_bytes(), cache.evictions())
+    let gauges = {
+        let store = lock(&shared.store);
+        StoreGauges {
+            profiles: store.len(),
+            resident: store.resident_count(),
+            used_bytes: store.used_bytes(),
+            evictions: store.evictions(),
+            chunk_entries: store.chunk_entries(),
+            chunk_bytes: store.chunk_bytes(),
+            chunk_dedup_hits: store.chunk_dedup_hits(),
+        }
     };
-    let text = shared
-        .metrics
-        .render(shared.queue.len(), entries, used, evictions);
+    let text = shared.metrics.render(shared.queue.len(), &gauges);
     Response::text(200, text)
 }
 
@@ -469,16 +873,24 @@ fn worker_loop(shared: &Arc<Shared>) {
         match result {
             Ok(Ok(outcome)) => {
                 let encoded = Arc::new(outcome.run.profile.to_bytes());
-                let summary = JobSummary::from_outcome(&outcome, encoded.len());
-                // Lock order: jobs before cache.
+                let summary = JobSummary::from_outcome(&outcome, &encoded);
+                // Lock order: jobs before store.
                 let mut jobs = lock(&shared.jobs);
-                let mut cache = lock(&shared.cache);
-                cache.insert(ticket.id, encoded);
+                let mut store = lock(&shared.store);
+                // A `StaleRecompute` outcome (the head moved past this
+                // deterministic epoch-0 result while the bytes were
+                // evicted) leaves the log non-resident on purpose:
+                // clients re-enter through a fresh full push, which
+                // re-bases the log.
+                let inserted = store.insert_full(ticket.id, encoded);
                 if let Some(record) = jobs.get_mut(&ticket.id) {
                     record.status = JobStatus::Done(summary);
                 }
-                drop(cache);
+                drop(store);
                 drop(jobs);
+                if !matches!(inserted, InsertOutcome::StaleRecompute) {
+                    shared.notify_watchers();
+                }
                 ServiceMetrics::inc(&shared.metrics.jobs_completed);
             }
             Ok(Err(e)) => {

@@ -1,0 +1,224 @@
+//! Compaction-equivalence property suite for the epoch-log store.
+//!
+//! The acceptance property from the ISSUE: decoding `base + deltas[..k]`
+//! is **byte-identical** to the directly encoded full profile at epoch
+//! `base_epoch + k`, for *every* prefix `k`, at *every* log state a
+//! random churn sequence passes through — including the state right
+//! after each compaction folds the chain into a new base. The checks
+//! use the fully verified apply path (`FailureProfile::apply_delta`
+//! checks `base_hash` and `result_hash`), so a store that served
+//! correct bytes through a wrong hash would also fail here.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use reaper_core::FailureProfile;
+use reaper_exec::rng::SplitMix64;
+use reaper_retention::delta::ProfileDelta;
+use reaper_serve::store::{DeltaQuery, InsertOutcome, ProfileStore, StoreConfig};
+
+/// Replays the log for `id` against the externally tracked history:
+/// the base must equal `history[base_epoch]` byte-for-byte, and every
+/// chain prefix must land exactly on the history entry for its epoch.
+fn assert_every_prefix_matches(store: &ProfileStore, id: u64, history: &BTreeMap<u64, Vec<u8>>) {
+    let (base_epoch, base, chain) = store.log_snapshot(id).expect("log exists");
+    let base = base.expect("resident in these runs");
+    assert_eq!(
+        *base,
+        *history.get(&base_epoch).expect("base epoch was recorded"),
+        "base snapshot diverged from the directly encoded epoch {base_epoch}"
+    );
+    let mut current = FailureProfile::from_bytes(&base).expect("base decodes");
+    let mut epoch = base_epoch;
+    for message in &chain {
+        let delta = ProfileDelta::from_bytes(message).expect("chain record decodes");
+        assert_eq!(delta.base_epoch, epoch, "chain must be consecutive");
+        current = current
+            .apply_delta(&delta)
+            .expect("hash-verified apply succeeds in order");
+        epoch = delta.new_epoch;
+        assert_eq!(
+            current.to_bytes(),
+            *history.get(&epoch).expect("epoch was recorded"),
+            "prefix ending at epoch {epoch} is not byte-identical"
+        );
+    }
+}
+
+/// One deterministic churn step: add a few fresh cells, remove a few
+/// existing ones.
+fn churn(cells: &mut BTreeSet<u64>, rng: &mut SplitMix64) {
+    let adds = 1 + rng.next_u64() % 3;
+    for _ in 0..adds {
+        cells.insert(rng.next_u64() % 100_000);
+    }
+    let removes = rng.next_u64() % 3;
+    for _ in 0..removes {
+        let Some(&victim) = cells.iter().nth((rng.next_u64() % 7) as usize % cells.len().max(1))
+        else {
+            break;
+        };
+        cells.remove(&victim);
+    }
+}
+
+proptest! {
+    /// The headline property: byte-identical prefix decode at every
+    /// intermediate state of a random churn sequence, across varying
+    /// compaction budgets.
+    #[test]
+    fn every_prefix_of_every_log_state_is_byte_identical(
+        seed in any::<u64>(),
+        epochs in 1usize..20,
+        compact_max_deltas in 2usize..6,
+    ) {
+        let mut store = ProfileStore::new(StoreConfig {
+            budget_bytes: 1 << 20,
+            compact_max_deltas,
+            compact_max_chain_bytes: 1 << 16,
+        });
+        let mut rng = SplitMix64::new(seed);
+        let mut cells: BTreeSet<u64> = (0..8).map(|_| rng.next_u64() % 100_000).collect();
+        let p0 = FailureProfile::from_cells(cells.iter().copied());
+        let mut history = BTreeMap::new();
+        history.insert(0u64, p0.to_bytes());
+        prop_assert_eq!(store.insert_full(1, Arc::new(p0.to_bytes())), InsertOutcome::Created);
+        assert_every_prefix_matches(&store, 1, &history);
+
+        let mut saw_compaction = false;
+        for _ in 0..epochs {
+            churn(&mut cells, &mut rng);
+            let next = FailureProfile::from_cells(cells.iter().copied());
+            let out = store.append_full(1, &next).expect("append");
+            history.insert(out.epoch, next.to_bytes());
+            saw_compaction |= out.compacted;
+            if out.compacted {
+                // Right after compaction the chain is empty and the new
+                // base IS the head — the strongest prefix case.
+                let (base_epoch, _, chain) = store.log_snapshot(1).expect("log");
+                prop_assert_eq!(base_epoch, out.epoch);
+                prop_assert!(chain.is_empty());
+            }
+            assert_every_prefix_matches(&store, 1, &history);
+        }
+        // With a small epoch budget and enough pushes, compaction must
+        // actually have been exercised (guards against a vacuous pass).
+        if epochs >= compact_max_deltas * 2 {
+            prop_assert!(saw_compaction, "budget {compact_max_deltas} never compacted");
+        }
+    }
+
+    /// `updates_since` agrees with the history at every `since` point:
+    /// a chain lands on the head byte-identically; a fallback serves
+    /// the head encoding directly.
+    #[test]
+    fn updates_since_reconstruct_the_head_from_any_epoch(
+        seed in any::<u64>(),
+        epochs in 2usize..16,
+    ) {
+        let mut store = ProfileStore::new(StoreConfig {
+            budget_bytes: 1 << 20,
+            compact_max_deltas: 4,
+            compact_max_chain_bytes: 1 << 16,
+        });
+        let mut rng = SplitMix64::new(seed);
+        let mut cells: BTreeSet<u64> = (0..6).map(|_| rng.next_u64() % 50_000).collect();
+        let p0 = FailureProfile::from_cells(cells.iter().copied());
+        let mut history = BTreeMap::new();
+        history.insert(0u64, p0.to_bytes());
+        store.insert_full(1, Arc::new(p0.to_bytes()));
+        for _ in 0..epochs {
+            churn(&mut cells, &mut rng);
+            let next = FailureProfile::from_cells(cells.iter().copied());
+            let out = store.append_full(1, &next).expect("append");
+            history.insert(out.epoch, next.to_bytes());
+        }
+        let head_epoch = *history.keys().next_back().expect("nonempty");
+        let head_bytes = history.get(&head_epoch).expect("head").clone();
+
+        for &since in history.keys() {
+            match store.updates_since(1, since) {
+                DeltaQuery::NotModified => prop_assert_eq!(since, head_epoch),
+                DeltaQuery::Chain { head_epoch: h, messages } => {
+                    prop_assert_eq!(h, head_epoch);
+                    let mut current = FailureProfile::from_bytes(
+                        history.get(&since).expect("since recorded"),
+                    )
+                    .expect("decodes");
+                    for message in &messages {
+                        let d = ProfileDelta::from_bytes(message).expect("decodes");
+                        current = current.apply_delta(&d).expect("applies in order");
+                    }
+                    prop_assert_eq!(current.to_bytes(), head_bytes.clone());
+                }
+                DeltaQuery::FullFallback { head_epoch: h, bytes } => {
+                    prop_assert_eq!(h, head_epoch);
+                    prop_assert_eq!((*bytes).clone(), head_bytes.clone());
+                    // Fallback only happens once compaction folded
+                    // `since` away.
+                    let (base_epoch, _, _) = store.log_snapshot(1).expect("log");
+                    prop_assert!(since < base_epoch);
+                }
+                DeltaQuery::Unknown | DeltaQuery::AheadOfHead | DeltaQuery::Evicted => {
+                    prop_assert!(false, "unexpected variant for since={}", since);
+                }
+            }
+        }
+    }
+
+    /// Chunk accounting holds under churn shared across two logs:
+    /// `used_bytes` decomposes into snapshots + chunks, and identical
+    /// churn stores its payload once.
+    #[test]
+    fn shared_churn_keeps_accounting_and_dedups(
+        seed in any::<u64>(),
+        epochs in 1usize..10,
+    ) {
+        let mut store = ProfileStore::new(StoreConfig {
+            budget_bytes: 1 << 20,
+            compact_max_deltas: 64, // keep chains alive to count chunks
+            compact_max_chain_bytes: 1 << 20,
+        });
+        let mut rng = SplitMix64::new(seed);
+        // Two disjoint profiles that will churn identically.
+        let a0: BTreeSet<u64> = (0..5).map(|_| rng.next_u64() % 1_000).collect();
+        let b0: BTreeSet<u64> = a0.iter().map(|c| c + 1_000_000).collect();
+        let mut a = a0;
+        store.insert_full(1, Arc::new(FailureProfile::from_cells(a.iter().copied()).to_bytes()));
+        let mut b_shifted = b0;
+        store.insert_full(
+            2,
+            Arc::new(FailureProfile::from_cells(b_shifted.iter().copied()).to_bytes()),
+        );
+
+        let mut dedup_hits = 0u64;
+        for _ in 0..epochs {
+            // Apply the SAME added cells to both (fresh range, so the
+            // payloads match exactly: added=new cells, removed=[]).
+            let fresh: BTreeSet<u64> =
+                (0..3).map(|_| 2_000_000 + rng.next_u64() % 10_000).collect();
+            let before = a.len();
+            a.extend(fresh.iter().copied());
+            b_shifted.extend(fresh.iter().copied());
+            if a.len() == before {
+                continue; // collision-only step: no churn on either log
+            }
+            let oa = store
+                .append_full(1, &FailureProfile::from_cells(a.iter().copied()))
+                .expect("append");
+            let ob = store
+                .append_full(2, &FailureProfile::from_cells(b_shifted.iter().copied()))
+                .expect("append");
+            prop_assert_eq!(oa.chunk_id, ob.chunk_id);
+            prop_assert!(ob.chunk_deduped);
+            dedup_hits += 1;
+        }
+        prop_assert_eq!(store.chunk_dedup_hits(), dedup_hits);
+        prop_assert!(store.used_bytes() <= store.budget_bytes());
+        prop_assert_eq!(store.len(), 2);
+        prop_assert_eq!(store.resident_count(), 2);
+    }
+}

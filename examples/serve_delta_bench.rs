@@ -1,0 +1,217 @@
+//! Delta-bandwidth benchmark for the streaming-profile endpoints.
+//!
+//! Starts an in-process server, seeds one profile log with a dense
+//! synthetic snapshot, then replays re-profiling epochs at a fixed
+//! churn rate. After every push a tracking client fetches
+//! `GET /v1/profiles/{id}/delta?since=<prev>` and the full profile, and
+//! the benchmark reports the byte ratio between the two — the bandwidth
+//! a delta-aware subscriber saves over full refetches.
+//!
+//! The measurement is deliberately clock-free: every byte count is a
+//! deterministic function of the seed, so the committed record in
+//! `BENCH_serve.json` is exactly reproducible.
+//!
+//! ```text
+//! cargo run --release --example serve_delta_bench -- --epochs 20
+//! serve_delta_bench [--epochs N] [--cells N] [--churn-pct P]
+//!                   [--gate] [--merge PATH]
+//!   --gate         exit nonzero unless delta bytes < 10% of full bytes
+//!   --merge PATH   update the "delta" entry of a BENCH_serve.json file
+//! ```
+
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    clippy::print_stdout,
+    clippy::print_stderr,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use reaper_core::{FailureProfile, ProfilingRequest};
+use reaper_exec::rng::SplitMix64;
+use reaper_serve::json::{self, Value};
+use reaper_serve::{Client, DeltaFetch, ProfileFetch, Server, ServerConfig};
+
+/// The delta:full byte-ratio ceiling `--gate` enforces.
+const GATE_RATIO: f64 = 0.10;
+
+struct Config {
+    epochs: u64,
+    cells: usize,
+    churn_pct: f64,
+    gate: bool,
+    merge: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        epochs: 20,
+        cells: 20_000,
+        churn_pct: 1.0,
+        gate: false,
+        merge: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--epochs" => {
+                config.epochs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--epochs takes a number");
+            }
+            "--cells" => {
+                config.cells = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--cells takes a number");
+            }
+            "--churn-pct" => {
+                config.churn_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--churn-pct takes a number");
+            }
+            "--gate" => config.gate = true,
+            "--merge" => {
+                config.merge = Some(it.next().expect("--merge takes a path").clone());
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    config
+}
+
+/// A small job to create the profile log the pushes append to.
+fn quick_request(seed: u64) -> ProfilingRequest {
+    let mut r = ProfilingRequest::example(seed);
+    r.capacity_den = 64;
+    r.rounds = 2;
+    r.target_interval_ms = 512.0;
+    r.reach_delta_ms = 128.0;
+    r
+}
+
+/// One churn step: remove `n/2` existing cells, add `n/2` fresh ones.
+fn churn(cells: &mut BTreeSet<u64>, n: usize, rng: &mut SplitMix64) {
+    let removes = n / 2;
+    for _ in 0..removes {
+        let len = cells.len();
+        if len == 0 {
+            break;
+        }
+        let victim = *cells
+            .iter()
+            .nth(usize::try_from(rng.next_u64()).unwrap_or(usize::MAX) % len)
+            .expect("nonempty set has an nth element");
+        cells.remove(&victim);
+    }
+    let mut added = 0;
+    while added < n - removes {
+        if cells.insert(rng.next_u64() % 1_000_000_000) {
+            added += 1;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        // Keep the chain alive for the whole run: this measures codec
+        // bandwidth for a subscriber that keeps up, not compaction
+        // resyncs (EXPERIMENTS.md reports those separately).
+        compact_max_deltas: usize::try_from(config.epochs).unwrap_or(usize::MAX) + 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::new(server.local_addr());
+
+    let job = client
+        .submit(&quick_request(7777))
+        .expect("submit")
+        .job_id;
+    client
+        .wait_for_profile(&job, std::time::Duration::from_millis(10), 1500)
+        .expect("job finishes");
+
+    // Re-base the log on a dense synthetic snapshot so churn_pct is
+    // exact and the full-profile size is realistic.
+    let mut rng = SplitMix64::new(0x0DE17A);
+    let mut cells: BTreeSet<u64> = BTreeSet::new();
+    while cells.len() < config.cells {
+        cells.insert(rng.next_u64() % 1_000_000_000);
+    }
+    let receipt = client
+        .push_epoch(&job, &FailureProfile::from_cells(cells.iter().copied()).to_bytes())
+        .expect("seed push");
+    let mut prev_epoch = receipt.epoch;
+
+    let churn_cells = ((config.cells as f64) * config.churn_pct / 100.0).round() as usize;
+    let mut delta_bytes_total = 0u64;
+    let mut full_bytes_total = 0u64;
+    for _ in 0..config.epochs {
+        churn(&mut cells, churn_cells.max(2), &mut rng);
+        let push = client
+            .push_epoch(&job, &FailureProfile::from_cells(cells.iter().copied()).to_bytes())
+            .expect("push epoch");
+        assert!(push.changed, "churned snapshot must move the head");
+        match client.delta_since(&job, prev_epoch).expect("delta fetch") {
+            DeltaFetch::Chain { bytes, epoch, .. } => {
+                assert_eq!(epoch, push.epoch);
+                delta_bytes_total += bytes.len() as u64;
+            }
+            other => panic!("tracking client must get a chain, got {other:?}"),
+        }
+        match client.profile_conditional(&job, None).expect("full fetch") {
+            ProfileFetch::Fresh { bytes, .. } => full_bytes_total += bytes.len() as u64,
+            other => panic!("unconditional GET must serve bytes, got {other:?}"),
+        }
+        prev_epoch = push.epoch;
+    }
+    server.shutdown();
+
+    let ratio = delta_bytes_total as f64 / full_bytes_total as f64;
+    println!(
+        "serve_delta: {} cells, {:.2}% churn, {} epochs",
+        config.cells, config.churn_pct, config.epochs
+    );
+    println!(
+        "  delta GET bytes {delta_bytes_total}  full GET bytes {full_bytes_total}  \
+         ratio {ratio:.4}"
+    );
+
+    let record = json::obj([
+        ("benchmark", json::str("serve_delta")),
+        ("cells", json::uint(config.cells as u64)),
+        ("churn_pct", json::num(config.churn_pct)),
+        ("epochs", json::uint(config.epochs)),
+        ("delta_bytes_total", json::uint(delta_bytes_total)),
+        ("full_bytes_total", json::uint(full_bytes_total)),
+        ("ratio", json::num((ratio * 10_000.0).round() / 10_000.0)),
+    ]);
+    if let Some(path) = &config.merge {
+        let text = std::fs::read_to_string(path).expect("read merge target");
+        let mut doc = match json::parse(&text).expect("merge target is JSON") {
+            Value::Obj(map) => map,
+            _ => panic!("merge target must be a JSON object"),
+        };
+        doc.insert("delta".to_string(), record);
+        std::fs::write(path, Value::Obj(doc).encode() + "\n").expect("write merge target");
+        println!("  merged `delta` entry into {path}");
+    } else {
+        println!("  {}", record.encode());
+    }
+
+    if config.gate && ratio >= GATE_RATIO {
+        eprintln!("serve_delta: GATE FAILED — ratio {ratio:.4} >= {GATE_RATIO}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

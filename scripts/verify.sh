@@ -32,6 +32,19 @@ cargo test --release -q --offline -p reaper-serve --test smoke
 echo "== service: bounded load run =="
 cargo run --release -q --offline --example serve_loadgen -- --seconds 5 --threads 4
 
+echo "== serve-delta: codec fuzz (RPF1 + RPD1 decoders never panic) =="
+cargo test --release -q --offline -p reaper-core --test rpf1_fuzz
+cargo test --release -q --offline -p reaper-retention --test delta_codec
+
+echo "== serve-delta: epoch-log compaction equivalence (byte-identical prefixes) =="
+cargo test --release -q --offline -p reaper-serve --test epoch_log
+
+echo "== serve-delta: protocol conformance (ETag/304, delta, watch; 1 + 4 workers) =="
+cargo test --release -q --offline -p reaper-serve --test conformance
+
+echo "== serve-delta: bandwidth gate (delta GETs < 10% of full bytes at 1% churn) =="
+cargo run --release -q --offline --example serve_delta_bench -- --epochs 20 --gate
+
 echo "== smoke: headline experiment (quick scale) =="
 cargo run --release --offline -p reaper-conformance --bin experiments -- headline --quick
 
