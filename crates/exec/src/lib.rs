@@ -57,6 +57,7 @@ use std::thread;
 pub mod num;
 pub mod pool;
 pub mod rng;
+pub mod sync;
 
 /// Process-wide thread-count override; 0 means "unset".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);

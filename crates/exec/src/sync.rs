@@ -1,0 +1,40 @@
+//! Shared synchronization helpers.
+//!
+//! The workspace's services recover from mutex poisoning instead of
+//! cascading panics across threads: a worker that panicked mid-update
+//! can at worst leave a *stale* value behind (every protected structure
+//! here is valid after any prefix of updates), and taking the whole
+//! process down over it would turn one bad job into an outage.
+//!
+//! [`lock`] is also the canonical lock-acquisition site that
+//! `reaper-lint`'s concurrency rules (L1–L4) model: acquiring through
+//! one helper gives the analyzer a single pattern to recognize, which is
+//! why `crates/serve` and `crates/exec` both route through it rather
+//! than keeping private copies.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the guard from a poisoned lock (a panicking
+/// peer must not cascade into every other thread touching the value).
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_from_poisoning() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().expect("not yet poisoned");
+            panic!("poison the mutex");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock(&m), 7);
+    }
+}

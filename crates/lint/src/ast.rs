@@ -1,0 +1,200 @@
+//! A lightweight Rust AST — just enough structure for the concurrency
+//! rules (L1–L4) to track guard lifetimes, call sites, and control flow.
+//!
+//! This is deliberately *not* a faithful grammar: patterns collapse to
+//! "a single binding or something else", binary operators flatten into
+//! unordered pairs (the rules never evaluate anything), macro bodies are
+//! opaque, and any construct the parser does not model becomes
+//! [`ExprKind::Other`] with its children preserved. What *is* faithful:
+//! block scoping, `let` bindings, method-call chains, call argument
+//! lists, and the loop/branch structure — the skeleton the dataflow pass
+//! in [`crate::dataflow`] walks.
+
+/// One parsed source file.
+#[derive(Debug, Clone, Default)]
+pub struct File {
+    pub items: Vec<Item>,
+}
+
+/// A top-level or nested item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    Fn(FnItem),
+    Impl(ImplItem),
+    Struct(StructItem),
+    Mod(ModItem),
+    Trait(TraitItem),
+    /// `use`, `const`, `enum`, `macro_rules!`, … — skipped structurally.
+    Skipped,
+}
+
+/// A function or method, free or inside an `impl`/`trait`.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub params: Vec<Param>,
+    /// Token texts of the return type (empty when none).
+    pub ret: Vec<String>,
+    /// `None` for trait-method signatures without a default body.
+    pub body: Option<Block>,
+    /// True when the item (or an enclosing item) carries `#[cfg(test)]`.
+    pub cfg_test: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One function parameter: binding name (or `self`, or `_` for complex
+/// patterns) plus the raw token texts of its type.
+#[derive(Debug, Clone)]
+pub struct Param {
+    pub name: String,
+    pub ty: Vec<String>,
+}
+
+/// An `impl` block; `type_name` is the implementing type (after `for`
+/// when present), generics stripped.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    pub type_name: String,
+    pub items: Vec<Item>,
+}
+
+/// A `struct` definition with named fields (tuple/unit structs keep an
+/// empty field list).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+    pub cfg_test: bool,
+}
+
+/// One named struct field; `ty` holds the raw token texts of its type.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    pub name: String,
+    pub ty: Vec<String>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// An inline `mod name { … }`.
+#[derive(Debug, Clone)]
+pub struct ModItem {
+    pub name: String,
+    pub items: Vec<Item>,
+    pub cfg_test: bool,
+}
+
+/// A `trait` definition (only its method items are kept).
+#[derive(Debug, Clone)]
+pub struct TraitItem {
+    pub name: String,
+    pub items: Vec<Item>,
+}
+
+/// A `{ … }` block.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    Let {
+        pat: Pat,
+        init: Option<Expr>,
+        /// The diverging block of a `let … else { … }`.
+        else_block: Option<Block>,
+        line: u32,
+    },
+    Expr(Expr),
+    Item(Item),
+}
+
+/// A pattern, collapsed to what guard tracking needs.
+#[derive(Debug, Clone)]
+pub enum Pat {
+    /// A single binding (`x`, `mut x`, `ref x`).
+    Ident(String),
+    /// Anything else (tuples, destructuring, literals, `_`).
+    Other,
+}
+
+/// An expression with its source position.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub line: u32,
+    pub col: u32,
+    pub kind: ExprKind,
+}
+
+/// What an expression is. Children are always walkable.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// `a::b::c` (turbofish segments dropped).
+    Path(Vec<String>),
+    /// `base.name` — `name` may be a numeric tuple index or `await`.
+    Field { base: Box<Expr>, name: String },
+    /// `callee(args…)`.
+    Call { callee: Box<Expr>, args: Vec<Expr> },
+    /// `recv.method(args…)`.
+    MethodCall {
+        recv: Box<Expr>,
+        method: String,
+        args: Vec<Expr>,
+    },
+    /// `path!(…)` — body opaque.
+    MacroCall(Vec<String>),
+    /// `&expr` / `&mut expr`.
+    Ref(Box<Expr>),
+    /// `*expr`, `!expr`, `-expr`.
+    Unary(Box<Expr>),
+    /// `lhs OP rhs`, flattened left-associatively, precedence ignored.
+    Binary { lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `target = value` (also compound assignments).
+    Assign { target: Box<Expr>, value: Box<Expr> },
+    If {
+        cond: Box<Expr>,
+        then: Block,
+        els: Option<Box<Expr>>,
+    },
+    While { cond: Box<Expr>, body: Block },
+    Loop { body: Block },
+    For { iter: Box<Expr>, body: Block },
+    Match {
+        scrutinee: Box<Expr>,
+        arms: Vec<Expr>,
+    },
+    BlockExpr(Block),
+    Return(Option<Box<Expr>>),
+    Break,
+    Continue,
+    /// `|args| body` / `move |args| body` — body analyzed separately.
+    Closure { body: Box<Expr> },
+    /// `Path { field: expr, … }` — `(field name, value)` pairs; the
+    /// spread base (`..base`) appears with an empty field name.
+    StructLit {
+        path: String,
+        fields: Vec<(String, Expr)>,
+    },
+    /// Literals (numbers, strings, chars, bools by way of paths).
+    Lit,
+    /// Anything else; children preserved for walking.
+    Other(Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor.
+    pub fn new(line: u32, col: u32, kind: ExprKind) -> Self {
+        Self { line, col, kind }
+    }
+
+    /// The single path segment when this is a bare identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Path(segs) if segs.len() == 1 => segs.first().map(String::as_str),
+            _ => None,
+        }
+    }
+}

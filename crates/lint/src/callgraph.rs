@@ -1,0 +1,465 @@
+//! Workspace model for the concurrency rules: struct-field types, a
+//! name + receiver-type call graph over first-party crates, and the
+//! resolution from syntactic reference chains ([`Chain`]) to workspace
+//! lock identities (`Type.field`).
+//!
+//! Resolution is deliberately conservative. A method call links to a
+//! workspace function only when the receiver's type actually resolves
+//! (via `self`, a parameter type, or struct-field chains — unwrapping
+//! `&`/`Arc`/`Rc`/`Box`); a receiver that types to a non-workspace
+//! container (`Vec`, `BTreeMap`, …) or stays unknown produces *no*
+//! edge, because a guessed edge on a common name like `push` would
+//! fabricate transitive blocking for every local `Vec` in the
+//! workspace. False negatives here cost coverage; false edges would
+//! cost the live-clean guarantee.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{File as AstFile, Item};
+use crate::dataflow::{analyze_file, CallEvent, Chain, FnFacts};
+use crate::lexer::lex;
+use crate::parser::parse;
+
+/// A struct definition's typed fields.
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    pub name: String,
+    /// `(field name, type tokens)`.
+    pub fields: Vec<(String, Vec<String>)>,
+}
+
+/// Everything extracted from one source file.
+#[derive(Debug, Clone)]
+pub struct FileFacts {
+    /// Workspace-relative path.
+    pub path: String,
+    pub crate_name: String,
+    /// Test code (integration tests, benches, examples).
+    pub test_code: bool,
+    pub fns: Vec<FnFacts>,
+    pub structs: Vec<StructDef>,
+}
+
+impl FileFacts {
+    /// Lexes, parses, and analyzes one source file.
+    pub fn from_source(
+        path: &str,
+        crate_name: &str,
+        test_code: bool,
+        source: &str,
+        lock_helpers: &[String],
+    ) -> Self {
+        let ast = parse(&lex(source).tokens);
+        let mut structs = Vec::new();
+        collect_structs(&ast.items, &mut structs);
+        let fns = analyze_file(&ast, lock_helpers);
+        FileFacts {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            test_code,
+            fns,
+            structs,
+        }
+    }
+}
+
+fn collect_structs(items: &[Item], out: &mut Vec<StructDef>) {
+    for item in items {
+        match item {
+            Item::Struct(s) => out.push(StructDef {
+                name: s.name.clone(),
+                fields: s.fields.iter().map(|f| (f.name.clone(), f.ty.clone())).collect(),
+            }),
+            Item::Impl(i) => collect_structs(&i.items, out),
+            Item::Mod(m) => collect_structs(&m.items, out),
+            _ => {}
+        }
+    }
+}
+
+/// How a receiver chain typed out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeRes {
+    /// A first-party type — method calls resolve against its impls.
+    Workspace(String),
+    /// A known non-workspace type (`Vec`, `TcpStream`, …).
+    External(String),
+    /// Could not be typed (locals, complex expressions).
+    Unknown,
+}
+
+/// The whole-workspace model.
+pub struct Workspace {
+    pub files: Vec<FileFacts>,
+    /// Global fn id → (file index, fn index within file).
+    fn_locs: Vec<(usize, usize)>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct name → field name → type tokens.
+    fields: BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    /// All first-party type names (structs + impl targets).
+    types: BTreeSet<String>,
+    /// Per fn, per call event: resolved workspace callee gids.
+    call_targets: Vec<Vec<Vec<usize>>>,
+}
+
+impl Workspace {
+    pub fn build(files: Vec<FileFacts>) -> Self {
+        let mut fn_locs = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut fields: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+        let mut types = BTreeSet::new();
+
+        for (fi, file) in files.iter().enumerate() {
+            for s in &file.structs {
+                types.insert(s.name.clone());
+                let entry = fields.entry(s.name.clone()).or_default();
+                for (fname, ftoks) in &s.fields {
+                    entry.insert(fname.clone(), ftoks.clone());
+                }
+            }
+            for (ni, f) in file.fns.iter().enumerate() {
+                let gid = fn_locs.len();
+                fn_locs.push((fi, ni));
+                if let Some(t) = &f.impl_type {
+                    types.insert(t.clone());
+                }
+                if !f.is_closure {
+                    by_name.entry(f.name.clone()).or_default().push(gid);
+                }
+            }
+        }
+
+        let mut ws = Workspace {
+            files,
+            fn_locs,
+            by_name,
+            fields,
+            types,
+            call_targets: Vec::new(),
+        };
+        ws.call_targets = (0..ws.fn_count())
+            .map(|gid| {
+                let f = ws.fn_facts(gid);
+                f.calls.iter().map(|ev| ws.resolve_call(f, ev)).collect()
+            })
+            .collect();
+        ws
+    }
+
+    pub fn fn_count(&self) -> usize {
+        self.fn_locs.len()
+    }
+
+    pub fn fn_facts(&self, gid: usize) -> &FnFacts {
+        let (fi, ni) = self.fn_locs[gid];
+        &self.files[fi].fns[ni]
+    }
+
+    pub fn fn_file(&self, gid: usize) -> &FileFacts {
+        &self.files[self.fn_locs[gid].0]
+    }
+
+    /// Resolved workspace callees for call event `ci` of fn `gid`.
+    pub fn targets(&self, gid: usize, ci: usize) -> &[usize] {
+        &self.call_targets[gid][ci]
+    }
+
+    pub fn is_workspace_type(&self, name: &str) -> bool {
+        self.types.contains(name)
+    }
+
+    /// The type of a chain base inside `f`: `self` → impl type, a
+    /// parameter → its unwrapped type, anything else → unknown.
+    fn base_type(&self, f: &FnFacts, base: &str) -> Option<String> {
+        if base == "self" {
+            return f.impl_type.clone();
+        }
+        if base.contains("::") {
+            return None;
+        }
+        f.params
+            .iter()
+            .find(|p| p.name == base)
+            .and_then(|p| outer_ident(&p.ty))
+    }
+
+    /// Walks field accesses from a starting type.
+    fn walk_fields(&self, start: String, flds: &[String]) -> TypeRes {
+        let mut ty = start;
+        for fld in flds {
+            if !self.types.contains(&ty) {
+                return TypeRes::External(ty);
+            }
+            match self
+                .fields
+                .get(&ty)
+                .and_then(|m| m.get(fld))
+                .and_then(|t| outer_ident(t))
+            {
+                Some(next) => ty = next,
+                None => return TypeRes::Unknown,
+            }
+        }
+        if self.types.contains(&ty) {
+            TypeRes::Workspace(ty)
+        } else {
+            TypeRes::External(ty)
+        }
+    }
+
+    /// Types a full reference chain inside `f`.
+    pub fn chain_type(&self, f: &FnFacts, chain: &Chain) -> TypeRes {
+        match self.base_type(f, &chain.base) {
+            Some(start) => self.walk_fields(start, &chain.fields),
+            None => TypeRes::Unknown,
+        }
+    }
+
+    /// Resolves a lock chain to a workspace lock identity `Type.field`,
+    /// or `None` when the chain cannot be tied to a named field.
+    pub fn lock_id(&self, f: &FnFacts, chain: &Chain) -> Option<String> {
+        if chain.is_unknown() || chain.fields.is_empty() {
+            return None;
+        }
+        let (owner, field) = self.lock_owner_field(f, chain)?;
+        Some(format!("{owner}.{field}"))
+    }
+
+    /// The `(owning type, field name)` of a lock chain.
+    fn lock_owner_field(&self, f: &FnFacts, chain: &Chain) -> Option<(String, String)> {
+        let mut ty = self.base_type(f, &chain.base)?;
+        let (last, mid) = chain.fields.split_last()?;
+        for fld in mid {
+            ty = self
+                .fields
+                .get(&ty)
+                .and_then(|m| m.get(fld))
+                .and_then(|t| outer_ident(t))?;
+        }
+        // The field must actually exist on a known struct.
+        self.fields.get(&ty)?.get(last)?;
+        Some((ty, last.clone()))
+    }
+
+    /// The type inside `Mutex<…>` for a lock chain (types method calls
+    /// made through a guard deref).
+    fn mutex_inner(&self, f: &FnFacts, chain: &Chain) -> Option<String> {
+        let (owner, field) = self.lock_owner_field(f, chain)?;
+        let ftoks = self.fields.get(&owner)?.get(&field)?;
+        let pos = ftoks
+            .iter()
+            .position(|t| t == "Mutex" || t == "RwLock")?;
+        if ftoks.get(pos + 1).map(String::as_str) != Some("<") {
+            return None;
+        }
+        outer_ident(&ftoks[pos + 2..])
+    }
+
+    /// Resolves one call event to workspace callee gids.
+    fn resolve_call(&self, f: &FnFacts, ev: &CallEvent) -> Vec<usize> {
+        let empty: Vec<usize> = Vec::new();
+        let cands = self.by_name.get(&ev.name).unwrap_or(&empty);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+
+        if !ev.path.is_empty() {
+            // Free or `Type::method` call.
+            if ev.path.len() >= 2 {
+                let qual = &ev.path[ev.path.len() - 2];
+                let qual = if qual == "Self" {
+                    f.impl_type.clone().unwrap_or_else(|| qual.clone())
+                } else {
+                    qual.clone()
+                };
+                let typed: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&g| self.fn_facts(g).impl_type.as_deref() == Some(qual.as_str()))
+                    .collect();
+                if !typed.is_empty() {
+                    return typed;
+                }
+            }
+            // Bare / module-qualified name: free functions only.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&g| self.fn_facts(g).impl_type.is_none())
+                .collect();
+        }
+
+        // Method call: type the receiver.
+        let recv_ty = if let Some(via) = &ev.recv_via_guard {
+            match (self.mutex_inner(f, via), &ev.recv) {
+                (Some(inner), Some(recv)) => self.walk_fields(inner, &recv.fields),
+                (Some(inner), None) => self.walk_fields(inner, &[]),
+                (None, _) => TypeRes::Unknown,
+            }
+        } else if let Some(recv) = &ev.recv {
+            self.chain_type(f, recv)
+        } else {
+            TypeRes::Unknown
+        };
+
+        match recv_ty {
+            TypeRes::Workspace(t) => cands
+                .iter()
+                .copied()
+                .filter(|&g| self.fn_facts(g).impl_type.as_deref() == Some(t.as_str()))
+                .collect(),
+            // External or unknown receivers get no workspace edge; the
+            // primitive blocking-name check applies instead.
+            TypeRes::External(_) | TypeRes::Unknown => Vec::new(),
+        }
+    }
+}
+
+/// The principal identifier of a type token list, unwrapping references,
+/// lifetimes, and the transparent wrappers `Arc`/`Rc`/`Box`.
+pub fn outer_ident(tokens: &[String]) -> Option<String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t == "&" || t == "mut" || t == "dyn" || t.starts_with('\'') {
+            i += 1;
+            continue;
+        }
+        if (t == "Arc" || t == "Rc" || t == "Box")
+            && tokens.get(i + 1).map(String::as_str) == Some("<")
+        {
+            i += 2;
+            continue;
+        }
+        if t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+            return Some(t.clone());
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Collects struct definitions from an already-parsed AST (exposed for
+/// callers that keep the AST around).
+pub fn structs_of(ast: &AstFile) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    collect_structs(&ast.items, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        let helpers = vec!["lock".to_string()];
+        let file = FileFacts::from_source("crates/demo/src/lib.rs", "demo", false, src, &helpers);
+        Workspace::build(vec![file])
+    }
+
+    fn gid_of(ws: &Workspace, name: &str) -> usize {
+        (0..ws.fn_count())
+            .find(|&g| ws.fn_facts(g).name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn lock_ids_resolve_through_params_and_self() {
+        let src = "
+            pub struct Shared { jobs: Mutex<u64>, store: Mutex<Store> }
+            impl Server {
+                fn a(&self, shared: &Arc<Shared>) {
+                    let g = lock(&shared.jobs);
+                    drop(g);
+                }
+            }";
+        let ws = ws_of(src);
+        let gid = gid_of(&ws, "a");
+        let f = ws.fn_facts(gid);
+        let acq = &f.acquires[0];
+        assert_eq!(ws.lock_id(f, &acq.lock).as_deref(), Some("Shared.jobs"));
+    }
+
+    #[test]
+    fn method_calls_resolve_by_receiver_type() {
+        let src = "
+            pub struct Shared { queue: BoundedQueue<Ticket> }
+            pub struct BoundedQueue<T> { inner: T }
+            impl BoundedQueue<T> {
+                fn try_push(&self) {}
+            }
+            fn submit(shared: &Shared) {
+                shared.queue.try_push();
+            }";
+        let ws = ws_of(src);
+        let gid = gid_of(&ws, "submit");
+        let targets = ws.targets(gid, 0);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(ws.fn_facts(targets[0]).name, "try_push");
+    }
+
+    #[test]
+    fn external_receivers_get_no_edge() {
+        let src = "
+            pub struct State { results: Vec<u64> }
+            pub struct Q { x: u64 }
+            impl Q {
+                fn push(&self) {}
+            }
+            fn f(st: &State) {
+                st.results.push(1);
+            }";
+        let ws = ws_of(src);
+        let gid = gid_of(&ws, "f");
+        // `Vec::push` must NOT link to `Q::push`.
+        assert!(ws.targets(gid, 0).is_empty());
+    }
+
+    #[test]
+    fn guard_deref_receivers_type_through_the_mutex() {
+        let src = "
+            pub struct FanOut { state: Mutex<FanState> }
+            pub struct FanState { completed: u64 }
+            impl FanState {
+                fn bump(&mut self) {}
+            }
+            impl FanOut {
+                fn participate(&self) {
+                    let st = lock(&self.state);
+                    st.bump();
+                    drop(st);
+                }
+            }";
+        let ws = ws_of(src);
+        let gid = gid_of(&ws, "participate");
+        let ev_idx = ws
+            .fn_facts(gid)
+            .calls
+            .iter()
+            .position(|c| c.name == "bump")
+            .expect("bump call");
+        let targets = ws.targets(gid, ev_idx);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(ws.fn_facts(targets[0]).name, "bump");
+    }
+
+    #[test]
+    fn type_qualified_calls_resolve_to_assoc_fns() {
+        let src = "
+            pub struct WorkerPool { n: u64 }
+            impl WorkerPool {
+                fn spawn() {}
+            }
+            fn boot() {
+                WorkerPool::spawn();
+            }";
+        let ws = ws_of(src);
+        let gid = gid_of(&ws, "boot");
+        let targets = ws.targets(gid, 0);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(
+            ws.fn_facts(targets[0]).impl_type.as_deref(),
+            Some("WorkerPool")
+        );
+    }
+}

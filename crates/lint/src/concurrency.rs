@@ -1,0 +1,704 @@
+//! The workspace concurrency rules L1–L4.
+//!
+//! Inputs are the per-file facts from [`crate::dataflow`] stitched into
+//! a [`Workspace`] call graph. The rules:
+//!
+//! * **L1 `lock-order`** — builds the lock-acquisition-order graph
+//!   (edge `A → B` whenever `B` is acquired, directly or through a
+//!   resolved callee, while `A` is held) and reports every cycle with
+//!   one witness per edge, so an inversion diagnostic names *both*
+//!   paths.
+//! * **L2 `held-lock-blocking`** — flags guards live across blocking
+//!   operations: condvar waits, thread joins, socket/file I/O and
+//!   sleeps (by name when the receiver is not a workspace type), and
+//!   calls to workspace functions that transitively block.
+//! * **L3 `condvar-discipline`** — `Condvar::wait`/`wait_timeout` must
+//!   sit in a predicate re-check loop; `wait_while` forms pass by
+//!   construction.
+//! * **L4 `guard-escape`** — a `MutexGuard` must not outlive its
+//!   critical section by being returned or stored (the configured
+//!   `lock-helpers` are the sanctioned exception).
+//!
+//! Scope: every first-party file is parsed so the call graph is
+//! complete, but diagnostics are emitted only for crates listed under
+//! `[rules.concurrency] crates` and never for test code (`#[cfg(test)]`
+//! items or `tests/`/`benches/`/`examples/` files).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::callgraph::{FileFacts, Workspace};
+use crate::config::Config;
+use crate::dataflow::{CallEvent, EscapeKind, FnFacts};
+use crate::rules::Diagnostic;
+
+/// One lock-order edge's provenance.
+struct Edge {
+    witness: String,
+    file: String,
+    line: u32,
+    col: u32,
+}
+
+/// Runs L1–L4 over a set of analyzed files.
+pub fn check_files(files: Vec<FileFacts>, cfg: &Config) -> Vec<Diagnostic> {
+    let ws = Workspace::build(files);
+    let n = ws.fn_count();
+
+    let in_scope: Vec<bool> = (0..n)
+        .map(|gid| {
+            let file = ws.fn_file(gid);
+            let f = ws.fn_facts(gid);
+            !file.test_code && !f.cfg_test && cfg.concurrency_crates.contains(&file.crate_name)
+        })
+        .collect();
+
+    let blocks = transitive_blocking(&ws, cfg);
+    let acquires = transitive_acquires(&ws);
+
+    let mut out = Vec::new();
+    rule_lock_order(&ws, cfg, &in_scope, &acquires, &mut out);
+    for (gid, &scoped) in in_scope.iter().enumerate() {
+        if !scoped {
+            continue;
+        }
+        rule_held_blocking(&ws, cfg, gid, &blocks, &mut out);
+        rule_condvar_discipline(&ws, gid, &mut out);
+        rule_guard_escape(&ws, cfg, gid, &mut out);
+    }
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule_id).cmp(&(&b.file, b.line, b.col, b.rule_id))
+    });
+    out
+}
+
+fn fn_label(f: &FnFacts) -> String {
+    match &f.impl_type {
+        Some(t) if !f.is_closure => format!("{t}::{}", f.name),
+        _ => f.name.clone(),
+    }
+}
+
+/// Why each function blocks the calling thread, or `None`. Base cases
+/// are by-name primitives on unresolved receivers; blocking then
+/// propagates caller-ward over resolved call edges.
+fn transitive_blocking(ws: &Workspace, cfg: &Config) -> Vec<Option<String>> {
+    let n = ws.fn_count();
+    let mut reason: Vec<Option<String>> = vec![None; n];
+    let mut callers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut queue = VecDeque::new();
+
+    for (gid, slot) in reason.iter_mut().enumerate() {
+        let f = ws.fn_facts(gid);
+        for (ci, ev) in f.calls.iter().enumerate() {
+            let targets = ws.targets(gid, ci);
+            if targets.is_empty() {
+                if slot.is_none() {
+                    if let Some(what) = primitive_blocking(cfg, ev) {
+                        *slot = Some(format!(
+                            "{what} at {}:{}",
+                            ws.fn_file(gid).path,
+                            ev.line
+                        ));
+                        queue.push_back(gid);
+                    }
+                }
+            } else {
+                for &t in targets {
+                    callers[t].push(gid);
+                }
+            }
+        }
+    }
+
+    while let Some(gid) = queue.pop_front() {
+        for &caller in &callers[gid] {
+            if reason[caller].is_none() {
+                reason[caller] = Some(format!(
+                    "calls `{}`, which blocks",
+                    fn_label(ws.fn_facts(gid))
+                ));
+                queue.push_back(caller);
+            }
+        }
+    }
+    reason
+}
+
+/// The blocking primitive a call event names, if any — only consulted
+/// when the call resolved to no workspace function.
+fn primitive_blocking(cfg: &Config, ev: &CallEvent) -> Option<String> {
+    if ev.path.is_empty() {
+        if cfg.blocking_methods.iter().any(|m| m == &ev.name) {
+            return Some(format!("blocking call `.{}(…)`", ev.name));
+        }
+        return None;
+    }
+    let joined = ev.path.join("::");
+    cfg.blocking_paths
+        .iter()
+        .any(|p| joined == *p || joined.ends_with(&format!("::{p}")))
+        .then(|| format!("blocking call `{joined}`"))
+}
+
+/// Per function: every workspace lock it may acquire (directly or via
+/// resolved callees), with the original acquisition site as witness.
+fn transitive_acquires(ws: &Workspace) -> Vec<BTreeMap<String, String>> {
+    let n = ws.fn_count();
+    let mut acq: Vec<BTreeMap<String, String>> = vec![BTreeMap::new(); n];
+    for (gid, slot) in acq.iter_mut().enumerate() {
+        let f = ws.fn_facts(gid);
+        for ev in &f.acquires {
+            if let Some(id) = ws.lock_id(f, &ev.lock) {
+                slot.entry(id.clone()).or_insert_with(|| {
+                    format!(
+                        "`{id}` acquired in `{}` at {}:{}",
+                        fn_label(f),
+                        ws.fn_file(gid).path,
+                        ev.line
+                    )
+                });
+            }
+        }
+    }
+    // Fixpoint: the workspace graph is small; quadratic sweeps suffice.
+    loop {
+        let mut changed = false;
+        for gid in 0..n {
+            let f = ws.fn_facts(gid);
+            for ci in 0..f.calls.len() {
+                for &t in ws.targets(gid, ci) {
+                    if t == gid {
+                        continue;
+                    }
+                    let theirs: Vec<(String, String)> = acq[t]
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    for (lock, w) in theirs {
+                        if let std::collections::btree_map::Entry::Vacant(e) =
+                            acq[gid].entry(lock)
+                        {
+                            e.insert(w);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    acq
+}
+
+/// L1: build the lock-order graph and report every cycle.
+fn rule_lock_order(
+    ws: &Workspace,
+    _cfg: &Config,
+    in_scope: &[bool],
+    acquires: &[BTreeMap<String, String>],
+    out: &mut Vec<Diagnostic>,
+) {
+    // Edge (held → acquired), first witness wins (files are scanned in
+    // sorted order, so this is deterministic).
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for (gid, &scoped) in in_scope.iter().enumerate() {
+        if !scoped {
+            continue;
+        }
+        let f = ws.fn_facts(gid);
+        let file = &ws.fn_file(gid).path;
+        for ev in &f.acquires {
+            let Some(to) = ws.lock_id(f, &ev.lock) else { continue };
+            for h in &ev.held {
+                let Some(from) = ws.lock_id(f, &h.lock) else { continue };
+                edges.entry((from.clone(), to.clone())).or_insert_with(|| Edge {
+                    witness: format!(
+                        "`{}` acquires `{to}` while holding `{from}` (held since line {})",
+                        fn_label(f),
+                        h.acquired_line
+                    ),
+                    file: file.clone(),
+                    line: ev.line,
+                    col: ev.col,
+                });
+            }
+        }
+        for (ci, ev) in f.calls.iter().enumerate() {
+            if ev.held.is_empty() {
+                continue;
+            }
+            for &t in ws.targets(gid, ci) {
+                for (lock, w) in &acquires[t] {
+                    for h in &ev.held {
+                        let Some(from) = ws.lock_id(f, &h.lock) else { continue };
+                        edges
+                            .entry((from.clone(), lock.clone()))
+                            .or_insert_with(|| Edge {
+                                witness: format!(
+                                    "`{}` holds `{from}` across the call to `{}`; {w}",
+                                    fn_label(f),
+                                    fn_label(ws.fn_facts(t)),
+                                ),
+                                file: file.clone(),
+                                line: ev.line,
+                                col: ev.col,
+                            });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+    }
+
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for ((from, to), anchor) in &edges {
+        // A cycle through this edge exists iff `from` is reachable back
+        // from `to`.
+        let Some(path) = bfs_path(&adj, to, from) else { continue };
+        let mut cycle: Vec<String> = Vec::with_capacity(path.len() + 1);
+        cycle.push(from.clone());
+        cycle.extend(path.into_iter().filter(|n| n != from));
+        let cycle = normalize_rotation(cycle);
+        if !reported.insert(cycle.clone()) {
+            continue;
+        }
+        let mut notes = Vec::new();
+        for i in 0..cycle.len() {
+            let a = &cycle[i];
+            let b = &cycle[(i + 1) % cycle.len()];
+            if let Some(e) = edges.get(&(a.clone(), b.clone())) {
+                notes.push(format!("{}:{}: {}", e.file, e.line, e.witness));
+            }
+        }
+        let ring = cycle.join("` → `");
+        let message = if cycle.len() == 1 {
+            format!(
+                "lock-order cycle: `{}` may be re-acquired while already held \
+                 (std mutexes are not reentrant)",
+                cycle[0]
+            )
+        } else {
+            format!("lock-order cycle across threads: `{ring}` → `{}`", cycle[0])
+        };
+        out.push(Diagnostic {
+            rule_id: "L1",
+            rule_name: "lock-order",
+            file: anchor.file.clone(),
+            line: anchor.line,
+            col: anchor.col,
+            message,
+            help: "pick one global acquisition order for these locks and \
+                   restructure the losing path to acquire in that order \
+                   (or merge the critical sections)"
+                .to_string(),
+            notes,
+        });
+    }
+}
+
+/// Shortest edge path `start → … → goal` (both inclusive); `[start]`
+/// when they are the same node.
+fn bfs_path(adj: &BTreeMap<&str, Vec<&str>>, start: &str, goal: &str) -> Option<Vec<String>> {
+    if start == goal {
+        return Some(vec![start.to_string()]);
+    }
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue = VecDeque::from([start]);
+    while let Some(node) = queue.pop_front() {
+        for &next in adj.get(node).map(Vec::as_slice).unwrap_or_default() {
+            if next == start || prev.contains_key(next) {
+                continue;
+            }
+            prev.insert(next, node);
+            if next == goal {
+                // Walk predecessors back to `start` (which has no
+                // `prev` entry, so the loop stops there).
+                let mut path = vec![goal.to_string()];
+                let mut cur = goal;
+                while let Some(&p) = prev.get(cur) {
+                    path.push(p.to_string());
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+/// Rotates a cycle's node list so the lexicographically smallest lock
+/// leads — the canonical form used for deduplication.
+fn normalize_rotation(cycle: Vec<String>) -> Vec<String> {
+    let Some(min_at) = cycle
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.cmp(b.1))
+        .map(|(i, _)| i)
+    else {
+        return cycle;
+    };
+    let mut out = Vec::with_capacity(cycle.len());
+    out.extend_from_slice(&cycle[min_at..]);
+    out.extend_from_slice(&cycle[..min_at]);
+    out
+}
+
+/// L2: guards live across blocking operations.
+fn rule_held_blocking(
+    ws: &Workspace,
+    cfg: &Config,
+    gid: usize,
+    blocks: &[Option<String>],
+    out: &mut Vec<Diagnostic>,
+) {
+    let f = ws.fn_facts(gid);
+    let file = &ws.fn_file(gid).path;
+    for (ci, ev) in f.calls.iter().enumerate() {
+        if ev.held.is_empty() {
+            continue;
+        }
+        let targets = ws.targets(gid, ci);
+        let what = if targets.is_empty() {
+            primitive_blocking(cfg, ev)
+        } else {
+            targets.iter().find_map(|&t| {
+                blocks[t].as_ref().map(|r| {
+                    format!("call to `{}`, which blocks: {r}", fn_label(ws.fn_facts(t)))
+                })
+            })
+        };
+        let Some(what) = what else { continue };
+        // Prefer the resolved workspace identity (`Shared.jobs`) over
+        // the syntactic chain (`shared.jobs`) when it resolves.
+        let lock_name = |h: &crate::dataflow::HeldInfo| {
+            ws.lock_id(f, &h.lock).unwrap_or_else(|| h.lock.to_string())
+        };
+        let held_list = ev
+            .held
+            .iter()
+            .map(|h| format!("`{}`", lock_name(h)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let notes = ev
+            .held
+            .iter()
+            .map(|h| format!("guard on `{}` acquired at line {}", lock_name(h), h.acquired_line))
+            .collect();
+        out.push(Diagnostic {
+            rule_id: "L2",
+            rule_name: "held-lock-blocking",
+            file: file.clone(),
+            line: ev.line,
+            col: ev.col,
+            message: format!(
+                "{held_list} held across {what} in `{}`",
+                fn_label(f)
+            ),
+            help: "drop the guard (or narrow its scope) before the blocking \
+                   operation; compute under the lock, block outside it"
+                .to_string(),
+            notes,
+        });
+    }
+}
+
+/// L3: condvar waits must re-check their predicate in a loop.
+fn rule_condvar_discipline(ws: &Workspace, gid: usize, out: &mut Vec<Diagnostic>) {
+    let f = ws.fn_facts(gid);
+    let file = &ws.fn_file(gid).path;
+    for w in &f.waits {
+        if w.while_form || w.in_loop {
+            continue;
+        }
+        out.push(Diagnostic {
+            rule_id: "L3",
+            rule_name: "condvar-discipline",
+            file: file.clone(),
+            line: w.line,
+            col: w.col,
+            message: format!(
+                "`Condvar::{}` outside a predicate loop in `{}` — spurious \
+                 wakeups will observe a stale condition",
+                w.method,
+                fn_label(f)
+            ),
+            help: format!(
+                "re-check the predicate in a `while` loop around `.{}(…)`, or \
+                 use the `wait_while` form",
+                w.method
+            ),
+            notes: Vec::new(),
+        });
+    }
+}
+
+/// L4: guards must not escape their critical section.
+fn rule_guard_escape(ws: &Workspace, cfg: &Config, gid: usize, out: &mut Vec<Diagnostic>) {
+    let f = ws.fn_facts(gid);
+    if cfg.lock_helpers.iter().any(|h| h == &f.name) {
+        return;
+    }
+    let file = &ws.fn_file(gid).path;
+    let returns_guard = f.ret.iter().any(|t| t == "MutexGuard" || t == "RwLockReadGuard" || t == "RwLockWriteGuard");
+    if returns_guard {
+        out.push(Diagnostic {
+            rule_id: "L4",
+            rule_name: "guard-escape",
+            file: file.clone(),
+            line: f.line,
+            col: f.col,
+            message: format!(
+                "`{}` returns a lock guard — the critical section escapes \
+                 the acquiring function",
+                fn_label(f)
+            ),
+            help: "return the protected data (clone or move it out) and keep \
+                   the guard's lifetime inside this function, or register the \
+                   function under `[rules.concurrency] lock-helpers`"
+                .to_string(),
+            notes: Vec::new(),
+        });
+    }
+    for esc in &f.escapes {
+        // Returned escapes are implied by (and anchored better at) the
+        // signature diagnostic when the return type already says guard.
+        if esc.kind == EscapeKind::Returned && returns_guard {
+            continue;
+        }
+        let (verb, help) = match esc.kind {
+            EscapeKind::Returned => (
+                "returned from",
+                "return the protected data instead of the guard",
+            ),
+            EscapeKind::Stored => (
+                "stored beyond",
+                "keep guards on the stack; store the protected data or an \
+                 `Arc` of the mutex instead",
+            ),
+        };
+        out.push(Diagnostic {
+            rule_id: "L4",
+            rule_name: "guard-escape",
+            file: file.clone(),
+            line: esc.line,
+            col: esc.col,
+            message: format!(
+                "lock guard {verb} its critical section in `{}`",
+                fn_label(f)
+            ),
+            help: help.to_string(),
+            notes: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            concurrency_crates: vec!["demo".into()],
+            ..Config::default()
+        }
+    }
+
+    fn findings(src: &str) -> Vec<Diagnostic> {
+        let files = vec![FileFacts::from_source(
+            "crates/demo/src/lib.rs",
+            "demo",
+            false,
+            src,
+            &["lock".to_string()],
+        )];
+        check_files(files, &cfg())
+    }
+
+    fn ids(src: &str) -> Vec<&'static str> {
+        findings(src).into_iter().map(|d| d.rule_id).collect()
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle_with_both_witness_paths() {
+        let src = "
+            pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn one(s: &S) {
+                let ga = lock(&s.a);
+                let gb = lock(&s.b);
+                drop(gb);
+                drop(ga);
+            }
+            fn two(s: &S) {
+                let gb = lock(&s.b);
+                let ga = lock(&s.a);
+                drop(ga);
+                drop(gb);
+            }";
+        let out = findings(src);
+        let l1: Vec<_> = out.iter().filter(|d| d.rule_id == "L1").collect();
+        assert_eq!(l1.len(), 1, "one cycle, one diagnostic: {out:?}");
+        let d = l1[0];
+        assert!(d.message.contains("S.a") && d.message.contains("S.b"), "{}", d.message);
+        assert_eq!(d.notes.len(), 2, "both directions witnessed: {:?}", d.notes);
+        assert!(d.notes.iter().any(|n| n.contains("`one`")), "{:?}", d.notes);
+        assert!(d.notes.iter().any(|n| n.contains("`two`")), "{:?}", d.notes);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "
+            pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn one(s: &S) {
+                let ga = lock(&s.a);
+                let gb = lock(&s.b);
+                drop(gb);
+                drop(ga);
+            }
+            fn two(s: &S) {
+                let ga = lock(&s.a);
+                let gb = lock(&s.b);
+                drop(gb);
+                drop(ga);
+            }";
+        assert!(ids(src).is_empty(), "{:?}", findings(src));
+    }
+
+    #[test]
+    fn inversion_through_a_callee_is_still_found() {
+        let src = "
+            pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+            fn takes_b(s: &S) {
+                let gb = lock(&s.b);
+                drop(gb);
+            }
+            fn one(s: &S) {
+                let ga = lock(&s.a);
+                takes_b(s);
+                drop(ga);
+            }
+            fn two(s: &S) {
+                let gb = lock(&s.b);
+                let ga = lock(&s.a);
+                drop(ga);
+                drop(gb);
+            }";
+        let out = findings(src);
+        assert!(out.iter().any(|d| d.rule_id == "L1"), "{out:?}");
+    }
+
+    #[test]
+    fn held_guard_across_io_and_sleep_is_flagged() {
+        let src = "
+            pub struct S { a: Mutex<u64> }
+            fn f(s: &S, sock: &mut TcpStream) {
+                let ga = lock(&s.a);
+                sock.write_all(b\"x\");
+                drop(ga);
+            }
+            fn g(s: &S) {
+                let ga = lock(&s.a);
+                thread::sleep(D);
+                drop(ga);
+            }";
+        let out = findings(src);
+        let l2: Vec<_> = out.iter().filter(|d| d.rule_id == "L2").collect();
+        assert_eq!(l2.len(), 2, "{out:?}");
+        assert!(l2[0].message.contains("write_all"));
+        assert!(l2[1].message.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn transitive_blocking_through_a_workspace_callee() {
+        let src = "
+            pub struct Q { x: u64 }
+            impl Q {
+                fn pop_blocking(&self, cv: &Condvar, g: MutexGuard<u64>) {
+                    let mut g = g;
+                    while *g == 0 {
+                        g = cv.wait(g).unwrap();
+                    }
+                }
+            }
+            pub struct S { a: Mutex<u64>, q: Q }
+            fn f(s: &S, cv: &Condvar, g2: MutexGuard<u64>) {
+                let ga = lock(&s.a);
+                s.q.pop_blocking(cv, g2);
+                drop(ga);
+            }";
+        let out = findings(src);
+        assert!(
+            out.iter().any(|d| d.rule_id == "L2" && d.message.contains("pop_blocking")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn wait_in_if_is_flagged_but_loop_forms_pass() {
+        let src = "
+            fn bad(cv: &Condvar, g: MutexGuard<u64>) {
+                let mut g = g;
+                if *g == 0 {
+                    g = cv.wait(g).unwrap();
+                }
+            }
+            fn good(cv: &Condvar, g: MutexGuard<u64>) {
+                let mut g = g;
+                while *g == 0 {
+                    g = cv.wait(g).unwrap();
+                }
+            }
+            fn also_good(cv: &Condvar, g: MutexGuard<u64>) {
+                let _g = cv.wait_while(g, |v| *v == 0).unwrap();
+            }";
+        let out = findings(src);
+        let l3: Vec<_> = out.iter().filter(|d| d.rule_id == "L3").collect();
+        assert_eq!(l3.len(), 1, "{out:?}");
+        assert!(l3[0].message.contains("wait"));
+    }
+
+    #[test]
+    fn returned_and_stored_guards_are_escapes() {
+        let src = "
+            pub struct S { a: Mutex<u64> }
+            fn leak(s: &S) -> MutexGuard<'_, u64> {
+                lock(&s.a)
+            }
+            fn lock(m: &Mutex<u64>) -> MutexGuard<'_, u64> {
+                m.lock().unwrap()
+            }";
+        let out = findings(src);
+        let l4: Vec<_> = out.iter().filter(|d| d.rule_id == "L4").collect();
+        assert_eq!(l4.len(), 1, "lock helper exempt, leak flagged: {out:?}");
+        assert!(l4[0].message.contains("`leak`"));
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let src = "
+            pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+            #[cfg(test)]
+            mod tests {
+                fn one(s: &S) {
+                    let ga = lock(&s.a);
+                    let gb = lock(&s.b);
+                    drop(gb);
+                    drop(ga);
+                }
+                fn two(s: &S) {
+                    let gb = lock(&s.b);
+                    let ga = lock(&s.a);
+                    drop(ga);
+                    drop(gb);
+                }
+            }";
+        assert!(ids(src).is_empty());
+    }
+}

@@ -27,6 +27,18 @@ pub struct Config {
     pub panic_index_crates: Vec<String>,
     /// C1: crates where bare `as` integer casts are flagged.
     pub lossy_cast_crates: Vec<String>,
+    /// L1–L4: crates the concurrency analyzer emits findings for. All
+    /// first-party crates are still *parsed* (call-graph edges need the
+    /// whole workspace) — this list only gates diagnostics.
+    pub concurrency_crates: Vec<String>,
+    /// L1–L4: free functions treated as `Mutex::lock` wrappers. These
+    /// return guards by design, so L4 exempts them.
+    pub lock_helpers: Vec<String>,
+    /// L2: method names that block the calling thread when the receiver
+    /// does not resolve to a first-party type (I/O, joins, channels).
+    pub blocking_methods: Vec<String>,
+    /// L2: `::`-joined free-call paths that block (e.g. `thread::sleep`).
+    pub blocking_paths: Vec<String>,
 }
 
 impl Default for Config {
@@ -39,6 +51,29 @@ impl Default for Config {
             panic_expect_prefix: "invariant: ".into(),
             panic_index_crates: Vec::new(),
             lossy_cast_crates: Vec::new(),
+            concurrency_crates: Vec::new(),
+            lock_helpers: vec!["lock".into()],
+            blocking_methods: [
+                "wait",
+                "wait_timeout",
+                "wait_while",
+                "wait_timeout_while",
+                "join",
+                "read",
+                "read_exact",
+                "read_to_end",
+                "read_to_string",
+                "write",
+                "write_all",
+                "flush",
+                "recv",
+                "recv_timeout",
+                "send",
+                "accept",
+            ]
+            .map(String::from)
+            .to_vec(),
+            blocking_paths: vec!["thread::sleep".into(), "std::thread::sleep".into()],
         }
     }
 }
@@ -104,6 +139,19 @@ impl Config {
             ),
             panic_index_crates: get_list("rules.panic", "index-crates"),
             lossy_cast_crates: get_list("rules.lossy-cast", "crates"),
+            concurrency_crates: get_list("rules.concurrency", "crates"),
+            lock_helpers: or_default(
+                get_list("rules.concurrency", "lock-helpers"),
+                defaults.lock_helpers,
+            ),
+            blocking_methods: or_default(
+                get_list("rules.concurrency", "blocking-methods"),
+                defaults.blocking_methods,
+            ),
+            blocking_paths: or_default(
+                get_list("rules.concurrency", "blocking-paths"),
+                defaults.blocking_paths,
+            ),
         })
     }
 }

@@ -1,0 +1,1009 @@
+//! Intraprocedural dataflow over the AST: tracks `MutexGuard` lifetimes
+//! from acquisition (the `lock(&x)` helper, `.lock()` method chains,
+//! condvar `wait*` passthrough) to death (`drop(g)`, move into a condvar
+//! wait, scope end), and records the events the concurrency rules need:
+//!
+//! * acquisitions with the set of locks already held (L1 edges),
+//! * every call with the set of guards live across it (L2),
+//! * condvar waits and whether they sit inside a loop (L3),
+//! * guards escaping via `return` or struct storage (L4).
+//!
+//! Everything here is *syntactic*: locks are identified by reference
+//! chains (`shared.store`, `self.jobs`) whose resolution to workspace
+//! lock identities happens in [`crate::callgraph`]. Closures are
+//! analyzed as separate anonymous functions with a fresh guard state —
+//! a closure may run on another thread (`thread::spawn`), so assuming
+//! the spawner's guards are held inside it would fabricate deadlock
+//! edges that cannot occur.
+
+use crate::ast::{Block, Expr, ExprKind, File, FnItem, Item, Param, Pat, Stmt};
+
+/// A syntactic reference chain: `base.f1.f2` (`base` may be `self`, a
+/// local, a parameter, or a `::`-joined path).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Chain {
+    pub base: String,
+    pub fields: Vec<String>,
+}
+
+impl Chain {
+    fn unknown() -> Self {
+        Chain { base: "<unknown>".to_string(), fields: Vec::new() }
+    }
+
+    /// True when the chain could not be expressed syntactically.
+    pub fn is_unknown(&self) -> bool {
+        self.base == "<unknown>"
+    }
+}
+
+impl std::fmt::Display for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.base)?;
+        for fld in &self.fields {
+            write!(f, ".{fld}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A guard live across some event, with where it was acquired.
+#[derive(Debug, Clone)]
+pub struct HeldInfo {
+    pub lock: Chain,
+    pub acquired_line: u32,
+}
+
+/// One lock acquisition and the locks already held at that point.
+#[derive(Debug, Clone)]
+pub struct AcquireEvent {
+    pub lock: Chain,
+    pub held: Vec<HeldInfo>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One call (free or method) and the guards live across it.
+#[derive(Debug, Clone)]
+pub struct CallEvent {
+    /// Method name or last path segment.
+    pub name: String,
+    /// Full path segments for free-function calls (empty for methods).
+    pub path: Vec<String>,
+    /// Receiver chain for method calls, when expressible.
+    pub recv: Option<Chain>,
+    /// When the receiver chain roots at a live guard binding: the lock
+    /// that guard protects (lets the callgraph type through the deref).
+    pub recv_via_guard: Option<Chain>,
+    pub held: Vec<HeldInfo>,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One condvar wait site.
+#[derive(Debug, Clone)]
+pub struct WaitEvent {
+    pub method: String,
+    pub in_loop: bool,
+    /// `wait_while` / `wait_timeout_while` re-check internally.
+    pub while_form: bool,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// How a guard escaped its critical section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EscapeKind {
+    Returned,
+    Stored,
+}
+
+/// A guard escaping via `return` or struct storage (L4).
+#[derive(Debug, Clone)]
+pub struct GuardEscape {
+    pub kind: EscapeKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Everything the concurrency rules need to know about one function.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    pub name: String,
+    /// Implementing type for methods (`impl Server { … }` → `Server`).
+    pub impl_type: Option<String>,
+    pub params: Vec<Param>,
+    pub ret: Vec<String>,
+    pub cfg_test: bool,
+    pub is_closure: bool,
+    pub line: u32,
+    pub col: u32,
+    pub acquires: Vec<AcquireEvent>,
+    pub calls: Vec<CallEvent>,
+    pub waits: Vec<WaitEvent>,
+    pub escapes: Vec<GuardEscape>,
+}
+
+const WAIT_METHODS: &[&str] = &["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// Guard-result passthrough methods: `m.lock().unwrap()` and the
+/// poison-recovering `unwrap_or_else` keep the same guard alive.
+const PASSTHROUGH_METHODS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+const DIVERGING_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Analyzes every function in a parsed file.
+pub fn analyze_file(file: &File, lock_helpers: &[String]) -> Vec<FnFacts> {
+    let mut out = Vec::new();
+    collect_items(&file.items, None, lock_helpers, &mut out);
+    out
+}
+
+fn collect_items(
+    items: &[Item],
+    impl_type: Option<&str>,
+    lock_helpers: &[String],
+    out: &mut Vec<FnFacts>,
+) {
+    for item in items {
+        match item {
+            Item::Fn(f) => analyze_fn(f, impl_type, lock_helpers, out),
+            Item::Impl(i) => collect_items(&i.items, Some(&i.type_name), lock_helpers, out),
+            Item::Mod(m) => collect_items(&m.items, None, lock_helpers, out),
+            Item::Trait(t) => collect_items(&t.items, Some(&t.name), lock_helpers, out),
+            Item::Struct(_) | Item::Skipped => {}
+        }
+    }
+}
+
+fn analyze_fn(f: &FnItem, impl_type: Option<&str>, lock_helpers: &[String], out: &mut Vec<FnFacts>) {
+    let facts = FnFacts {
+        name: f.name.clone(),
+        impl_type: impl_type.map(str::to_string),
+        params: f.params.clone(),
+        ret: f.ret.clone(),
+        cfg_test: f.cfg_test,
+        is_closure: false,
+        line: f.line,
+        col: f.col,
+        acquires: Vec::new(),
+        calls: Vec::new(),
+        waits: Vec::new(),
+        escapes: Vec::new(),
+    };
+    let mut w = Walker {
+        lock_helpers,
+        facts,
+        extra: Vec::new(),
+        guards: Vec::new(),
+        next_id: 0,
+        depth: 0,
+        loop_depth: 0,
+        diverged: false,
+        closure_count: 0,
+    };
+    if let Some(body) = &f.body {
+        w.walk_block_scoped(body);
+    }
+    out.append(&mut w.extra);
+    out.push(w.facts);
+}
+
+/// One live guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    id: u32,
+    binding: Option<String>,
+    lock: Chain,
+    /// Scope depth of the binding (guards die when their scope closes).
+    depth: usize,
+    /// Unbound guards die at the end of the enclosing statement.
+    temp: bool,
+    acquired_line: u32,
+}
+
+struct Walker<'a> {
+    lock_helpers: &'a [String],
+    facts: FnFacts,
+    extra: Vec<FnFacts>,
+    guards: Vec<Guard>,
+    next_id: u32,
+    depth: usize,
+    loop_depth: usize,
+    diverged: bool,
+    closure_count: usize,
+}
+
+/// Extracts a syntactic reference chain from an expression, when the
+/// expression is just `base.f1.f2` behind any refs/derefs.
+fn chain_of(e: &Expr) -> Option<Chain> {
+    match &e.kind {
+        ExprKind::Path(segs) => Some(Chain { base: segs.join("::"), fields: Vec::new() }),
+        ExprKind::Field { base, name } => {
+            let mut c = chain_of(base)?;
+            c.fields.push(name.clone());
+            Some(c)
+        }
+        ExprKind::Ref(inner) | ExprKind::Unary(inner) => chain_of(inner),
+        _ => None,
+    }
+}
+
+impl<'a> Walker<'a> {
+    fn new_guard(&mut self, lock: Chain, line: u32) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.guards.push(Guard {
+            id,
+            binding: None,
+            lock,
+            depth: self.depth,
+            temp: true,
+            acquired_line: line,
+        });
+        id
+    }
+
+    fn guard_pos(&self, id: u32) -> Option<usize> {
+        self.guards.iter().position(|g| g.id == id)
+    }
+
+    fn guard_id_by_name(&self, name: &str) -> Option<u32> {
+        // Latest binding wins (rebinding shadows).
+        self.guards
+            .iter()
+            .rev()
+            .find(|g| g.binding.as_deref() == Some(name))
+            .map(|g| g.id)
+    }
+
+    fn remove_guard(&mut self, id: u32) -> Option<Guard> {
+        self.guard_pos(id).map(|i| self.guards.remove(i))
+    }
+
+    fn held_info(&self) -> Vec<HeldInfo> {
+        self.guards
+            .iter()
+            .map(|g| HeldInfo { lock: g.lock.clone(), acquired_line: g.acquired_line })
+            .collect()
+    }
+
+    /// Kills temporaries at the end of a statement.
+    fn end_statement(&mut self) {
+        self.guards.retain(|g| !g.temp);
+    }
+
+    /// Kills temporaries created after `mark` (condition scopes).
+    fn kill_temps_since(&mut self, mark: &[u32]) {
+        self.guards.retain(|g| !g.temp || mark.contains(&g.id));
+    }
+
+    fn guard_ids(&self) -> Vec<u32> {
+        self.guards.iter().map(|g| g.id).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Blocks and statements
+    // ------------------------------------------------------------------
+
+    fn walk_block_scoped(&mut self, block: &Block) {
+        self.depth += 1;
+        let depth = self.depth;
+        for stmt in &block.stmts {
+            self.walk_stmt(stmt);
+        }
+        self.guards.retain(|g| g.depth < depth);
+        self.depth -= 1;
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Let { pat, init, else_block, .. } => {
+                let produced = init.as_ref().and_then(|e| self.walk_expr(e));
+                if let Some(else_b) = else_block {
+                    // The else block diverges by definition; analyze it
+                    // for events on a throwaway state.
+                    let saved = self.guards.clone();
+                    let dv = self.diverged;
+                    self.walk_block_scoped(else_b);
+                    self.guards = saved;
+                    self.diverged = dv;
+                }
+                match (pat, produced) {
+                    (Pat::Ident(n), Some(id)) if n == "_" => {
+                        // `let _ = …` drops immediately.
+                        self.remove_guard(id);
+                    }
+                    (Pat::Ident(n), Some(id)) => {
+                        if let Some(i) = self.guard_pos(id) {
+                            self.guards[i].binding = Some(n.clone());
+                            self.guards[i].temp = false;
+                            self.guards[i].depth = self.depth;
+                        }
+                    }
+                    (Pat::Other, Some(id)) => {
+                        // Destructured guard (`let (g, timed) = …`): keep
+                        // it alive to scope end, unnameable.
+                        if let Some(i) = self.guard_pos(id) {
+                            self.guards[i].temp = false;
+                            self.guards[i].depth = self.depth;
+                        }
+                    }
+                    _ => {}
+                }
+                self.end_statement();
+            }
+            Stmt::Expr(e) => {
+                self.walk_expr(e);
+                self.end_statement();
+            }
+            Stmt::Item(Item::Fn(f)) => {
+                // Nested function: fresh analysis, no shared state.
+                let mut nested = Vec::new();
+                analyze_fn(f, self.facts.impl_type.as_deref(), self.lock_helpers, &mut nested);
+                self.extra.append(&mut nested);
+            }
+            Stmt::Item(_) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Walks an expression; returns the id of the guard it produces, if
+    /// any (acquisition or passthrough).
+    fn walk_expr(&mut self, e: &Expr) -> Option<u32> {
+        match &e.kind {
+            ExprKind::Lit | ExprKind::Path(_) => None,
+            ExprKind::Field { base, name } => {
+                let b = self.walk_expr(base);
+                // `cv.wait_timeout(g, d).….0` — tuple passthrough.
+                if name == "0" {
+                    return b;
+                }
+                None
+            }
+            ExprKind::Ref(inner) | ExprKind::Unary(inner) => self.walk_expr(inner),
+            ExprKind::Binary { lhs, rhs } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+                None
+            }
+            ExprKind::Assign { target, value } => {
+                self.assign_expr(target, value);
+                None
+            }
+            ExprKind::Call { callee, args } => self.call_expr(e, callee, args),
+            ExprKind::MethodCall { recv, method, args } => {
+                self.method_expr(e, recv, method, args)
+            }
+            ExprKind::MacroCall(segs) => {
+                if segs
+                    .first()
+                    .is_some_and(|s| DIVERGING_MACROS.contains(&s.as_str()))
+                {
+                    self.diverged = true;
+                }
+                None
+            }
+            ExprKind::If { cond, then, els } => {
+                self.if_expr(cond, then, els.as_deref());
+                None
+            }
+            ExprKind::While { cond, body } => {
+                let mark = self.guard_ids();
+                self.walk_expr(cond);
+                self.kill_temps_since(&mark);
+                self.loop_body(body);
+                None
+            }
+            ExprKind::Loop { body } | ExprKind::For { body, iter: _, .. } => {
+                if let ExprKind::For { iter, .. } = &e.kind {
+                    let mark = self.guard_ids();
+                    self.walk_expr(iter);
+                    self.kill_temps_since(&mark);
+                }
+                self.loop_body(body);
+                None
+            }
+            ExprKind::Match { scrutinee, arms } => {
+                self.walk_expr(scrutinee);
+                let base = self.guards.clone();
+                let dv = self.diverged;
+                let mut merged: Option<Vec<Guard>> = None;
+                let mut any_live = false;
+                for arm in arms {
+                    self.guards = base.clone();
+                    self.diverged = false;
+                    self.walk_expr(arm);
+                    if !self.diverged {
+                        any_live = true;
+                        merged = Some(match merged.take() {
+                            None => self.guards.clone(),
+                            Some(m) => intersect(&m, &self.guards),
+                        });
+                    }
+                }
+                self.guards = merged.unwrap_or(base);
+                self.diverged = dv || (!arms.is_empty() && !any_live);
+                None
+            }
+            ExprKind::BlockExpr(b) => {
+                self.walk_block_scoped(b);
+                None
+            }
+            ExprKind::Return(value) => {
+                if let Some(v) = value {
+                    let escaped = v
+                        .as_ident()
+                        .and_then(|n| self.guard_id_by_name(n))
+                        .or_else(|| self.walk_expr(v));
+                    if escaped.is_some() {
+                        self.facts.escapes.push(GuardEscape {
+                            kind: EscapeKind::Returned,
+                            line: e.line,
+                            col: e.col,
+                        });
+                    }
+                }
+                self.diverged = true;
+                None
+            }
+            ExprKind::Break | ExprKind::Continue => {
+                self.diverged = true;
+                None
+            }
+            ExprKind::Closure { body } => {
+                self.analyze_closure(body);
+                None
+            }
+            ExprKind::StructLit { fields, .. } => {
+                for (_, value) in fields {
+                    let escaped = value
+                        .as_ident()
+                        .and_then(|n| self.guard_id_by_name(n))
+                        .or_else(|| self.walk_expr(value));
+                    if let Some(id) = escaped {
+                        self.facts.escapes.push(GuardEscape {
+                            kind: EscapeKind::Stored,
+                            line: value.line,
+                            col: value.col,
+                        });
+                        // The guard moved into the struct; it is no
+                        // longer a tracked local.
+                        self.remove_guard(id);
+                    }
+                }
+                None
+            }
+            ExprKind::Other(children) => {
+                for c in children {
+                    self.walk_expr(c);
+                }
+                None
+            }
+        }
+    }
+
+    fn assign_expr(&mut self, target: &Expr, value: &Expr) {
+        let produced = value
+            .as_ident()
+            .and_then(|n| self.guard_id_by_name(n))
+            .or_else(|| self.walk_expr(value));
+        if let Some(name) = target.as_ident() {
+            let old = self.guard_id_by_name(name);
+            if let Some(id) = produced {
+                // Rebinding: `seq = cv.wait_timeout(seq, t)….0` — the old
+                // guard (if any) was moved or overwritten.
+                let depth = old
+                    .and_then(|o| self.guard_pos(o))
+                    .map(|i| self.guards[i].depth);
+                if let Some(o) = old {
+                    if o != id {
+                        self.remove_guard(o);
+                    }
+                }
+                if let Some(i) = self.guard_pos(id) {
+                    self.guards[i].binding = Some(name.to_string());
+                    self.guards[i].temp = false;
+                    self.guards[i].depth = depth.unwrap_or(self.depth);
+                }
+            } else if old.is_some() {
+                // Guard variable overwritten by a non-guard value.
+                if let Some(o) = old {
+                    self.remove_guard(o);
+                }
+            }
+            return;
+        }
+        // Storing a guard through a place expression (`self.g = guard`).
+        if let Some(id) = produced {
+            if chain_of(target).is_some() {
+                self.facts.escapes.push(GuardEscape {
+                    kind: EscapeKind::Stored,
+                    line: target.line,
+                    col: target.col,
+                });
+                self.remove_guard(id);
+            }
+        }
+        self.walk_expr(target);
+    }
+
+    /// Walks call arguments; returns ids of live guard bindings moved
+    /// into the call by value.
+    fn walk_args(&mut self, args: &[Expr]) -> Vec<u32> {
+        let mut moved = Vec::new();
+        for a in args {
+            if let Some(id) = a.as_ident().and_then(|n| self.guard_id_by_name(n)) {
+                moved.push(id);
+                continue;
+            }
+            self.walk_expr(a);
+        }
+        moved
+    }
+
+    fn call_expr(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) -> Option<u32> {
+        let path: Option<Vec<String>> = match &callee.kind {
+            ExprKind::Path(segs) => Some(segs.clone()),
+            _ => {
+                self.walk_expr(callee);
+                None
+            }
+        };
+        let moved = self.walk_args(args);
+        let last = path.as_ref().and_then(|p| p.last()).cloned();
+
+        // `drop(g)` ends the guard's critical section.
+        if last.as_deref() == Some("drop") && moved.len() == 1 {
+            if let Some(&id) = moved.first() {
+                self.remove_guard(id);
+            }
+            return None;
+        }
+
+        // The configured lock helpers acquire and return a guard.
+        if let Some(name) = &last {
+            if self.lock_helpers.iter().any(|h| h == name) {
+                let lock = args.first().and_then(chain_of).unwrap_or_else(Chain::unknown);
+                self.facts.acquires.push(AcquireEvent {
+                    lock: lock.clone(),
+                    held: self.held_info(),
+                    line: e.line,
+                    col: e.col,
+                });
+                return Some(self.new_guard(lock, e.line));
+            }
+        }
+
+        if let (Some(name), Some(p)) = (last, path) {
+            self.facts.calls.push(CallEvent {
+                name,
+                path: p,
+                recv: None,
+                recv_via_guard: None,
+                held: self.held_info(),
+                line: e.line,
+                col: e.col,
+            });
+        }
+        // Guards moved into an arbitrary call are consumed by it.
+        for id in moved {
+            self.remove_guard(id);
+        }
+        None
+    }
+
+    fn method_expr(&mut self, e: &Expr, recv: &Expr, method: &str, args: &[Expr]) -> Option<u32> {
+        let recv_chain = chain_of(recv);
+        let recv_guard_id = recv_chain
+            .as_ref()
+            .and_then(|c| self.guard_id_by_name(&c.base));
+        let recv_produced = if recv_chain.is_none() { self.walk_expr(recv) } else { None };
+
+        // Condvar waits: the guard passed in is *consumed*, not held
+        // across the wait; the call returns a fresh guard on the same
+        // lock.
+        if WAIT_METHODS.contains(&method) {
+            if args.is_empty() {
+                // A wait-named method without a guard argument is not a
+                // condvar wait (`JoinHandle`-style waits have no guard);
+                // treat it as a plain method call.
+                self.record_method_call(e, method, recv_chain, recv_guard_id, recv_produced);
+                return None;
+            }
+            // The guard argument may be untracked (e.g. passed in as a
+            // parameter) — the wait still happens, so always record the
+            // event; fall back to the argument's own chain as the lock
+            // identity when nothing was consumed.
+            let arg_chain = chain_of(&args[0]);
+            let moved = self.walk_args(args);
+            let lock = moved
+                .first()
+                .and_then(|&consumed| self.remove_guard(consumed))
+                .map(|g| g.lock)
+                .or(arg_chain)
+                .unwrap_or_else(Chain::unknown);
+            self.facts.waits.push(WaitEvent {
+                method: method.to_string(),
+                in_loop: self.loop_depth > 0,
+                while_form: method.ends_with("while"),
+                line: e.line,
+                col: e.col,
+            });
+            self.facts.calls.push(CallEvent {
+                name: method.to_string(),
+                path: Vec::new(),
+                recv: recv_chain,
+                recv_via_guard: None,
+                held: self.held_info(),
+                line: e.line,
+                col: e.col,
+            });
+            return Some(self.new_guard(lock, e.line));
+        }
+
+        let moved = self.walk_args(args);
+
+        // `.lock()` on a reference chain acquires.
+        if method == "lock" && recv_guard_id.is_none() && recv_produced.is_none() {
+            let lock = recv_chain.unwrap_or_else(Chain::unknown);
+            self.facts.acquires.push(AcquireEvent {
+                lock: lock.clone(),
+                held: self.held_info(),
+                line: e.line,
+                col: e.col,
+            });
+            return Some(self.new_guard(lock, e.line));
+        }
+
+        // `m.lock().unwrap()` / `.unwrap_or_else(…)` passthrough.
+        if PASSTHROUGH_METHODS.contains(&method) {
+            if let Some(id) = recv_produced {
+                return Some(id);
+            }
+        }
+
+        self.record_method_call(e, method, recv_chain, recv_guard_id, recv_produced);
+        for id in moved {
+            self.remove_guard(id);
+        }
+        None
+    }
+
+    fn record_method_call(
+        &mut self,
+        e: &Expr,
+        method: &str,
+        recv_chain: Option<Chain>,
+        recv_guard_id: Option<u32>,
+        recv_produced: Option<u32>,
+    ) {
+        let via = recv_guard_id
+            .or(recv_produced)
+            .and_then(|id| self.guard_pos(id))
+            .map(|i| self.guards[i].lock.clone());
+        self.facts.calls.push(CallEvent {
+            name: method.to_string(),
+            path: Vec::new(),
+            recv: recv_chain,
+            recv_via_guard: via,
+            held: self.held_info(),
+            line: e.line,
+            col: e.col,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Control flow
+    // ------------------------------------------------------------------
+
+    fn if_expr(&mut self, cond: &Expr, then: &Block, els: Option<&Expr>) {
+        let mark = self.guard_ids();
+        self.walk_expr(cond);
+        // Rust drops `if`-condition temporaries before entering the
+        // block (`if !lock(&m).check() { … }` runs unlocked).
+        self.kill_temps_since(&mark);
+
+        let base = self.guards.clone();
+        let dv = self.diverged;
+
+        self.diverged = false;
+        self.walk_block_scoped(then);
+        let then_guards = self.guards.clone();
+        let then_diverged = self.diverged;
+
+        self.guards = base.clone();
+        self.diverged = false;
+        let (else_guards, else_diverged) = match els {
+            Some(e) => {
+                self.walk_expr(e);
+                (self.guards.clone(), self.diverged)
+            }
+            None => (base.clone(), false),
+        };
+
+        let mut live: Vec<&Vec<Guard>> = Vec::new();
+        if !then_diverged {
+            live.push(&then_guards);
+        }
+        if !else_diverged {
+            live.push(&else_guards);
+        }
+        match live.as_slice() {
+            [] => {
+                self.guards = base;
+                self.diverged = true;
+            }
+            [one] => {
+                self.guards = (*one).clone();
+                self.diverged = dv;
+            }
+            [a, b, ..] => {
+                self.guards = intersect(a, b);
+                self.diverged = dv;
+            }
+        }
+    }
+
+    fn loop_body(&mut self, body: &Block) {
+        let base = self.guards.clone();
+        let dv = self.diverged;
+        self.loop_depth += 1;
+        self.diverged = false;
+        self.walk_block_scoped(body);
+        self.loop_depth -= 1;
+        // The loop may run zero times (or exit early): keep only guards
+        // that survive both paths.
+        if self.diverged {
+            self.guards = base;
+        } else {
+            self.guards = intersect(&base, &self.guards);
+        }
+        self.diverged = dv;
+    }
+
+    fn analyze_closure(&mut self, body: &Expr) {
+        let name = format!("{}::{{closure#{}}}", self.facts.name, self.closure_count);
+        self.closure_count += 1;
+        let facts = FnFacts {
+            name,
+            impl_type: self.facts.impl_type.clone(),
+            params: Vec::new(),
+            ret: Vec::new(),
+            cfg_test: self.facts.cfg_test,
+            is_closure: true,
+            line: body.line,
+            col: body.col,
+            acquires: Vec::new(),
+            calls: Vec::new(),
+            waits: Vec::new(),
+            escapes: Vec::new(),
+        };
+        let mut sub = Walker {
+            lock_helpers: self.lock_helpers,
+            facts,
+            extra: Vec::new(),
+            guards: Vec::new(),
+            next_id: 0,
+            depth: 0,
+            loop_depth: 0,
+            diverged: false,
+            closure_count: 0,
+        };
+        match &body.kind {
+            ExprKind::BlockExpr(b) => sub.walk_block_scoped(b),
+            _ => {
+                sub.walk_expr(body);
+                sub.end_statement();
+            }
+        }
+        self.extra.append(&mut sub.extra);
+        self.extra.push(sub.facts);
+    }
+}
+
+/// Guards live in both states, identified by (binding, lock).
+fn intersect(a: &[Guard], b: &[Guard]) -> Vec<Guard> {
+    a.iter()
+        .filter(|ga| {
+            b.iter()
+                .any(|gb| gb.binding == ga.binding && gb.lock == ga.lock)
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn facts_of(src: &str, name: &str) -> FnFacts {
+        let file = parse(&lex(src).tokens);
+        let helpers = vec!["lock".to_string()];
+        analyze_file(&file, &helpers)
+            .into_iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}"))
+    }
+
+    #[test]
+    fn nested_acquisition_records_held_locks() {
+        let src = "
+            impl Pair {
+                fn forward(&self) {
+                    let ga = lock(&self.a);
+                    let gb = lock(&self.b);
+                    drop(gb);
+                    drop(ga);
+                }
+            }";
+        let f = facts_of(src, "forward");
+        assert_eq!(f.acquires.len(), 2);
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.acquires[1].held.len(), 1);
+        assert_eq!(f.acquires[1].held[0].lock.to_string(), "self.a");
+        assert_eq!(f.acquires[1].lock.to_string(), "self.b");
+    }
+
+    #[test]
+    fn temporaries_die_at_statement_end() {
+        let src = "
+            fn f(shared: &Shared) {
+                lock(&shared.store).append(1);
+                blocking_op();
+            }";
+        let f = facts_of(src, "f");
+        let call = f.calls.iter().find(|c| c.name == "blocking_op").expect("call");
+        assert!(call.held.is_empty(), "temp guard must not outlive its statement");
+    }
+
+    #[test]
+    fn condvar_wait_consumes_the_guard_and_returns_a_new_one() {
+        let src = "
+            fn serve_watch(shared: &Shared) {
+                let mut seq = lock(&shared.watch_seq);
+                while *seq == observed {
+                    if deadline_passed() {
+                        drop(seq);
+                        break;
+                    }
+                    seq = shared.watch_cv.wait_timeout(seq, TICK).unwrap_or_else(E::into_inner).0;
+                }
+                drop(seq);
+            }";
+        let f = facts_of(src, "serve_watch");
+        assert_eq!(f.waits.len(), 1);
+        assert!(f.waits[0].in_loop);
+        assert!(!f.waits[0].while_form);
+        // No *other* guard is held across the wait.
+        let wait_call = f.calls.iter().find(|c| c.name == "wait_timeout").expect("wait");
+        assert!(wait_call.held.is_empty());
+    }
+
+    #[test]
+    fn guard_held_across_call_is_recorded() {
+        let src = "
+            fn f(shared: &Shared) {
+                let jobs = lock(&shared.jobs);
+                stream.write_all(buf);
+                drop(jobs);
+            }";
+        let f = facts_of(src, "f");
+        let call = f.calls.iter().find(|c| c.name == "write_all").expect("call");
+        assert_eq!(call.held.len(), 1);
+        assert_eq!(call.held[0].lock.to_string(), "shared.jobs");
+    }
+
+    #[test]
+    fn diverging_branch_does_not_resurrect_dropped_guards() {
+        let src = "
+            fn f(m: &M) {
+                let g = lock(&m.a);
+                if cond() {
+                    drop(g);
+                    return;
+                }
+                after();
+            }";
+        let f = facts_of(src, "f");
+        let call = f.calls.iter().find(|c| c.name == "after").expect("call");
+        // The diverging branch dropped it, the fall-through still holds it.
+        assert_eq!(call.held.len(), 1);
+    }
+
+    #[test]
+    fn both_branches_dropping_clears_the_guard() {
+        let src = "
+            fn f(m: &M) {
+                let g = lock(&m.a);
+                if cond() { drop(g); } else { drop(g); }
+                after();
+            }";
+        let f = facts_of(src, "f");
+        let call = f.calls.iter().find(|c| c.name == "after").expect("call");
+        assert!(call.held.is_empty());
+    }
+
+    #[test]
+    fn returned_guard_is_an_escape() {
+        let src = "
+            fn grab(m: &M) -> G {
+                let g = lock(&m.a);
+                return g;
+            }";
+        let f = facts_of(src, "grab");
+        assert_eq!(f.escapes.len(), 1);
+        assert_eq!(f.escapes[0].kind, EscapeKind::Returned);
+    }
+
+    #[test]
+    fn guard_stored_in_struct_literal_is_an_escape() {
+        let src = "
+            fn stash(m: &M) -> Holder {
+                let g = lock(&m.a);
+                Holder { guard: g }
+            }";
+        let f = facts_of(src, "stash");
+        assert_eq!(f.escapes.len(), 1);
+        assert_eq!(f.escapes[0].kind, EscapeKind::Stored);
+    }
+
+    #[test]
+    fn scope_end_releases_block_guards() {
+        let src = "
+            fn f(m: &M) {
+                {
+                    let g = lock(&m.a);
+                    inside();
+                }
+                outside();
+            }";
+        let f = facts_of(src, "f");
+        let inside = f.calls.iter().find(|c| c.name == "inside").expect("inside");
+        assert_eq!(inside.held.len(), 1);
+        let outside = f.calls.iter().find(|c| c.name == "outside").expect("outside");
+        assert!(outside.held.is_empty());
+    }
+
+    #[test]
+    fn closures_run_with_fresh_guard_state() {
+        let src = "
+            fn f(pool: &Pool, shared: &Shared) {
+                let g = lock(&pool.state);
+                spawn(move || {
+                    worker(shared);
+                });
+                drop(g);
+            }";
+        let file = parse(&lex(src).tokens);
+        let helpers = vec!["lock".to_string()];
+        let all = analyze_file(&file, &helpers);
+        let closure = all.iter().find(|f| f.is_closure).expect("closure facts");
+        let worker_call = closure.calls.iter().find(|c| c.name == "worker").expect("call");
+        assert!(worker_call.held.is_empty(), "spawner's guard is not held on the new thread");
+        // But the spawn call itself sees the held guard.
+        let f = all.iter().find(|f| f.name == "f").expect("f");
+        let spawn = f.calls.iter().find(|c| c.name == "spawn").expect("spawn");
+        assert_eq!(spawn.held.len(), 1);
+    }
+
+    #[test]
+    fn method_lock_with_unwrap_chain_is_one_acquisition() {
+        let src = "
+            fn f(m: &Holder) {
+                let g = m.inner.lock().unwrap();
+                use_it(&g);
+                drop(g);
+            }";
+        let f = facts_of(src, "f");
+        assert_eq!(f.acquires.len(), 1);
+        assert_eq!(f.acquires[0].lock.to_string(), "m.inner");
+        let call = f.calls.iter().find(|c| c.name == "use_it").expect("call");
+        assert_eq!(call.held.len(), 1);
+    }
+}

@@ -369,9 +369,15 @@ fn lex_number(cur: &mut Cursor<'_>) -> String {
 }
 
 /// Parses a `lint: allow(<rule>) <reason>` marker out of a line comment.
+/// The directive must *start* the comment (after any extra `/`/`!` of a
+/// doc comment and whitespace) — prose that merely mentions the syntax,
+/// like this doc comment, is not a marker.
 fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
-    let idx = comment.find("lint: allow(")?;
-    let rest = &comment[idx + "lint: allow(".len()..];
+    let head = comment.trim_start_matches(['/', '!']).trim_start();
+    if !head.starts_with("lint: allow(") {
+        return None;
+    }
+    let rest = &head["lint: allow(".len()..];
     let close = rest.find(')')?;
     let rule = rest[..close].trim().to_string();
     let reason = rest[close + 1..].trim().to_string();

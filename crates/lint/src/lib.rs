@@ -30,10 +30,17 @@
 // annotating every audited site twice.
 #![allow(clippy::indexing_slicing, clippy::cast_possible_truncation)]
 
+pub mod ast;
+pub mod callgraph;
+pub mod concurrency;
 pub mod config;
+pub mod dataflow;
 pub mod lexer;
+pub mod output;
+pub mod parser;
 pub mod rules;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 pub use config::Config;
@@ -117,7 +124,20 @@ pub fn classify(rel: &str) -> Option<FileClass> {
     Some(FileClass { crate_name, kind })
 }
 
-/// Lints every in-scope `.rs` file under `root`.
+/// Per-file state the workspace runner keeps for marker accounting.
+struct ScannedFile {
+    rel: String,
+    markers: Vec<lexer::AllowMarker>,
+    /// Source lines that fall inside `#[cfg(test)]` items.
+    test_lines: BTreeSet<u32>,
+    test_code: bool,
+}
+
+/// Lints every in-scope `.rs` file under `root`: the per-file rules
+/// (D1/D2/P1/C1), the workspace-wide concurrency rules (L1–L4), and the
+/// marker cross-checks (M0 bare, M1 stale). Suppression happens here,
+/// centrally, so every `// lint: allow` marker's usage is accounted for
+/// — a marker that no longer suppresses anything is itself a finding.
 pub fn run_workspace(root: &Path) -> Result<Report, ScanError> {
     let cfg_path = root.join("lint.toml");
     let cfg_text = std::fs::read_to_string(&cfg_path)
@@ -131,6 +151,9 @@ pub fn run_workspace(root: &Path) -> Result<Report, ScanError> {
     files.sort();
 
     let mut report = Report::default();
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let mut scanned: Vec<ScannedFile> = Vec::new();
+    let mut facts: Vec<callgraph::FileFacts> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -141,31 +164,101 @@ pub fn run_workspace(root: &Path) -> Result<Report, ScanError> {
         let source = std::fs::read_to_string(&path)
             .map_err(|e| ScanError(format!("cannot read {rel}: {e}")))?;
         report.files_checked += 1;
-        report
-            .diagnostics
-            .extend(rules::check_file(&rel, &source, &class, &cfg));
-        // Cross-check the escape hatch itself: every marker needs a reason.
-        for marker in lexer::lex(&source).markers {
-            if marker.reason.is_empty() {
+        raw.extend(rules::check_file_raw(&rel, &source, &class, &cfg));
+
+        let lexed = lexer::lex(&source);
+        let mask = rules::test_region_mask(&lexed.tokens);
+        let test_lines: BTreeSet<u32> = lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|&(_, &masked)| masked)
+            .map(|(t, _)| t.line)
+            .collect();
+        let test_code = class.kind == FileKind::TestCode;
+        facts.push(callgraph::FileFacts::from_source(
+            &rel,
+            &class.crate_name,
+            test_code,
+            &source,
+            &cfg.lock_helpers,
+        ));
+        scanned.push(ScannedFile {
+            rel,
+            markers: lexed.markers,
+            test_lines,
+            test_code,
+        });
+    }
+    raw.extend(concurrency::check_files(facts, &cfg));
+
+    // Central suppression with usage accounting. Every covering marker
+    // counts as used, even when several cover the same finding.
+    let by_rel: BTreeMap<&str, usize> = scanned
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.rel.as_str(), i))
+        .collect();
+    let mut used: BTreeSet<(usize, usize)> = BTreeSet::new();
+    raw.retain(|d| {
+        let Some(&fi) = by_rel.get(d.file.as_str()) else { return true };
+        let mut suppressed = false;
+        for (mi, m) in scanned[fi].markers.iter().enumerate() {
+            if rules::marker_covers(m, d.rule_name, d.line) {
+                used.insert((fi, mi));
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+    report.diagnostics = raw;
+
+    // Cross-check the escape hatch itself.
+    for (fi, s) in scanned.iter().enumerate() {
+        for (mi, m) in s.markers.iter().enumerate() {
+            // M0: every marker needs a reason.
+            if m.reason.is_empty() {
                 report.bare_markers.push(Diagnostic {
                     rule_id: "M0",
                     rule_name: "bare-marker",
-                    file: rel.clone(),
-                    line: marker.line,
+                    file: s.rel.clone(),
+                    line: m.line,
                     col: 1,
-                    message: format!(
-                        "`lint: allow({})` without a reason",
-                        marker.rule
-                    ),
+                    message: format!("`lint: allow({})` without a reason", m.rule),
                     help: "append a justification after the closing parenthesis"
                         .to_string(),
+                    notes: Vec::new(),
                 });
+                continue;
             }
+            // M1: a reasoned marker that suppresses nothing is stale —
+            // the code it excused is gone. Test code is exempt (rules
+            // do not run there, so its markers are never "used").
+            let in_test_region = s.test_lines.contains(&m.line)
+                || s.test_lines.contains(&(m.line + 1));
+            if used.contains(&(fi, mi)) || s.test_code || in_test_region {
+                continue;
+            }
+            report.diagnostics.push(Diagnostic {
+                rule_id: "M1",
+                rule_name: "stale-allowance",
+                file: s.rel.clone(),
+                line: m.line,
+                col: 1,
+                message: format!(
+                    "stale `lint: allow({})` — it no longer suppresses anything",
+                    m.rule
+                ),
+                help: "delete the marker (or move it back next to the finding \
+                       it excuses)"
+                    .to_string(),
+                notes: Vec::new(),
+            });
         }
     }
     report
         .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule_id).cmp(&(&b.file, b.line, b.col, b.rule_id)));
     Ok(report)
 }
 

@@ -2,8 +2,16 @@
 //! finding. Run from anywhere inside the repo:
 //!
 //! ```text
-//! cargo run -p reaper-lint
+//! cargo run -p reaper-lint                 # human-readable diagnostics
+//! cargo run -p reaper-lint -- --json       # machine-readable, to stdout
+//! cargo run -p reaper-lint -- --json=PATH  # machine-readable, to a file
+//! cargo run -p reaper-lint -- --github     # per-line CI annotations
 //! ```
+//!
+//! The JSON output is deterministic: findings arrive sorted by
+//! `(file, line, col, rule)`, keys are emitted in a fixed order, and no
+//! timestamps or absolute paths appear — two runs over the same tree
+//! produce byte-identical documents.
 
 // The terminal is this binary's output surface: diagnostics go to stdout,
 // usage errors to stderr.
@@ -12,15 +20,50 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use reaper_lint::output::{render_github, render_json};
+
+struct Options {
+    start: PathBuf,
+    /// `Some(None)` = JSON to stdout, `Some(Some(path))` = to a file.
+    json: Option<Option<PathBuf>>,
+    github: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        start: std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
+        json: None,
+        github: false,
+    };
+    for arg in std::env::args().skip(1) {
+        if arg == "--json" {
+            opts.json = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--json=") {
+            opts.json = Some(Some(PathBuf::from(path)));
+        } else if arg == "--github" {
+            opts.github = true;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            opts.start = PathBuf::from(arg);
+        }
+    }
+    Ok(opts)
+}
+
 fn main() -> ExitCode {
-    let start = std::env::args().nth(1).map_or_else(
-        || std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")),
-        PathBuf::from,
-    );
-    let Some(root) = reaper_lint::find_workspace_root(&start) else {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("reaper-lint: {e}");
+            eprintln!("usage: reaper-lint [--json[=PATH]] [--github] [DIR]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(root) = reaper_lint::find_workspace_root(&opts.start) else {
         eprintln!(
             "reaper-lint: no lint.toml found above {} — run from inside the workspace",
-            start.display()
+            opts.start.display()
         );
         return ExitCode::FAILURE;
     };
@@ -32,22 +75,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-
-    for d in report.diagnostics.iter().chain(&report.bare_markers) {
-        println!("{d}\n");
-    }
     let total = report.diagnostics.len() + report.bare_markers.len();
+
+    match &opts.json {
+        Some(None) => print!("{}", render_json(&report)),
+        Some(Some(path)) => {
+            if let Err(e) = std::fs::write(path, render_json(&report)) {
+                eprintln!("reaper-lint: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        None => {}
+    }
+    if opts.github {
+        print!("{}", render_github(&report));
+    }
+    if opts.json.is_none() && !opts.github {
+        for d in report.diagnostics.iter().chain(&report.bare_markers) {
+            println!("{d}\n");
+        }
+    }
+
     if total > 0 {
-        println!(
-            "reaper-lint: {total} finding(s) across {} file(s)",
-            report.files_checked
-        );
+        if opts.json != Some(None) {
+            println!(
+                "reaper-lint: {total} finding(s) across {} file(s)",
+                report.files_checked
+            );
+        }
         ExitCode::FAILURE
     } else {
-        println!(
-            "reaper-lint: clean — {} file(s), rules D1/D2/P1/C1",
-            report.files_checked
-        );
+        if opts.json != Some(None) {
+            println!(
+                "reaper-lint: clean — {} file(s), rules D1/D2/P1/C1 + L1–L4 + M0/M1",
+                report.files_checked
+            );
+        }
         ExitCode::SUCCESS
     }
 }

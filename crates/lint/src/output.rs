@@ -1,0 +1,163 @@
+//! Machine-readable report renderers: deterministic JSON and GitHub
+//! Actions per-line annotations.
+//!
+//! Determinism contract (relied on by CI artifact diffing): findings
+//! arrive pre-sorted by `(file, line, col, rule)` from
+//! [`crate::run_workspace`], keys are emitted in a fixed order, and the
+//! document contains no timestamps, hostnames, or absolute paths — two
+//! runs over the same tree are byte-identical.
+
+use crate::rules::Diagnostic;
+use crate::Report;
+
+/// Escapes a string for a JSON document.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders the report as a deterministic JSON document.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_checked\": {},\n", report.files_checked));
+    out.push_str(&format!(
+        "  \"finding_count\": {},\n",
+        report.diagnostics.len() + report.bare_markers.len()
+    ));
+    out.push_str("  \"findings\": [");
+    let all: Vec<&Diagnostic> = report
+        .diagnostics
+        .iter()
+        .chain(&report.bare_markers)
+        .collect();
+    for (i, d) in all.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule_id\": {}, ", json_str(d.rule_id)));
+        out.push_str(&format!("\"rule_name\": {}, ", json_str(d.rule_name)));
+        out.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"col\": {}, ", d.col));
+        out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+        out.push_str(&format!("\"help\": {}, ", json_str(&d.help)));
+        out.push_str("\"notes\": [");
+        for (j, n) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(n));
+        }
+        out.push_str("]}");
+    }
+    if !all.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes annotation *message* text per the workflow-command rules.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// One `::error` workflow command per finding — GitHub turns these into
+/// per-line annotations on the PR diff.
+pub fn render_github(report: &Report) -> String {
+    let mut out = String::new();
+    for d in report.diagnostics.iter().chain(&report.bare_markers) {
+        let mut message = d.message.clone();
+        for n in &d.notes {
+            message.push_str("\nnote: ");
+            message.push_str(n);
+        }
+        message.push_str("\nhelp: ");
+        message.push_str(&d.help);
+        out.push_str(&format!(
+            "::error file={},line={},col={},title=reaper-lint {}/{}::{}\n",
+            d.file,
+            d.line,
+            d.col,
+            d.rule_id,
+            d.rule_name,
+            github_escape(&message)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                rule_id: "L1",
+                rule_name: "lock-order",
+                file: "crates/serve/src/server.rs".to_string(),
+                line: 12,
+                col: 5,
+                message: "cycle: `A` → `B` → `A` with \"quotes\"\nand a newline".to_string(),
+                help: "reorder".to_string(),
+                notes: vec!["path one".to_string(), "path two".to_string()],
+            }],
+            files_checked: 3,
+            bare_markers: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let a = render_json(&sample());
+        let b = render_json(&sample());
+        assert_eq!(a, b, "byte-identical across runs");
+        assert!(a.contains(r#""rule_id": "L1""#), "{a}");
+        assert!(a.contains(r#"\"quotes\""#), "quotes escaped: {a}");
+        assert!(a.contains(r"\nand a newline"), "newline escaped: {a}");
+        assert!(a.contains(r#""notes": ["path one", "path two"]"#), "{a}");
+        assert!(a.ends_with("}\n"), "document is newline-terminated");
+    }
+
+    #[test]
+    fn empty_report_renders_an_empty_findings_list() {
+        let report = Report::default();
+        let doc = render_json(&report);
+        assert!(doc.contains("\"findings\": []"), "{doc}");
+        assert!(doc.contains("\"finding_count\": 0"), "{doc}");
+    }
+
+    #[test]
+    fn github_annotations_are_one_line_per_finding() {
+        let doc = render_github(&sample());
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 1, "{doc}");
+        assert!(
+            lines[0].starts_with(
+                "::error file=crates/serve/src/server.rs,line=12,col=5,title=reaper-lint L1/lock-order::"
+            ),
+            "{doc}"
+        );
+        assert!(lines[0].contains("%0A"), "newlines percent-encoded: {doc}");
+        assert!(lines[0].contains("note: path one"), "{doc}");
+    }
+}

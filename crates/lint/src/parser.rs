@@ -1,0 +1,1586 @@
+//! Recursive-descent parser from the lexer's token stream into the
+//! lightweight AST in [`crate::ast`].
+//!
+//! The parser never fails: any construct it does not model is consumed
+//! balanced (so positions stay meaningful) and surfaces as
+//! [`ExprKind::Other`] or [`Item::Skipped`]. Macros are opaque —
+//! `macro_rules!` bodies and invocation bodies are skipped, mirroring
+//! how the token rules treat `#[cfg(test)]` regions. Operator
+//! precedence is deliberately ignored (binary chains flatten
+//! left-associatively): the concurrency rules only care about which
+//! calls happen and in which block/branch, never about evaluated
+//! values.
+//!
+//! Multi-character operators (`::`, `->`, `=>`, `&&`, `..`) arrive from
+//! the lexer as adjacent single-character `Punct` tokens and are
+//! re-joined here via line/column adjacency.
+
+use crate::ast::{
+    Block, Expr, ExprKind, FieldDef, File, FnItem, ImplItem, Item, ModItem, Param, Pat, Stmt,
+    StructItem, TraitItem,
+};
+use crate::lexer::{Token, TokenKind};
+
+/// Parses a lexed token stream into a [`File`]. Never fails.
+pub fn parse(tokens: &[Token]) -> File {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    File { items: p.items_until(false, false) }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, n: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    fn cur(&self) -> Option<&'a Token> {
+        self.peek(0)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        self.cur().is_some_and(|t| t.is_punct(c))
+    }
+
+    fn at_ident(&self, s: &str) -> bool {
+        self.cur().is_some_and(|t| t.is_ident(s))
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.at_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the token at `pos + n` and the one after it touch
+    /// (multi-char operator halves are adjacent single-char puncts).
+    fn joint(&self, n: usize) -> bool {
+        match (self.peek(n), self.peek(n + 1)) {
+            (Some(a), Some(b)) => a.line == b.line && b.col == a.col + 1,
+            _ => false,
+        }
+    }
+
+    /// True when the next tokens spell the punctuation sequence `op`
+    /// with every pair adjacent (`::`, `->`, `=>`, `..=`, …).
+    fn at_op(&self, op: &str) -> bool {
+        for (i, c) in op.chars().enumerate() {
+            if !self.peek(i).is_some_and(|t| t.is_punct(c)) {
+                return false;
+            }
+            if i + 1 < op.chars().count() && !self.joint(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.at_op(op) {
+            for _ in op.chars() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pos_of_cur(&self) -> (u32, u32) {
+        self.cur().map_or((0, 0), |t| (t.line, t.col))
+    }
+
+    // ------------------------------------------------------------------
+    // Balanced skipping
+    // ------------------------------------------------------------------
+
+    /// Consumes a balanced `open … close` group, cursor on `open`.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        if !self.eat_punct(open) {
+            return;
+        }
+        let mut depth = 1u32;
+        while depth > 0 && !self.at_end() {
+            if self.at_punct(open) {
+                depth += 1;
+            } else if self.at_punct(close) {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes a balanced generic group `< … >`, cursor on `<`.
+    /// `->` arrows inside (`Fn() -> T`) do not close the group.
+    fn skip_generics(&mut self) {
+        if !self.eat_punct('<') {
+            return;
+        }
+        let mut depth = 1u32;
+        while depth > 0 && !self.at_end() {
+            if self.at_op("->") {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.at_punct('<') {
+                depth += 1;
+            } else if self.at_punct('>') {
+                depth -= 1;
+            }
+            self.bump();
+        }
+    }
+
+    /// Collects token texts until a depth-0 stop punct, tracking
+    /// `()[]{}<>` nesting (arrow-aware). Used for types.
+    fn type_tokens_until(&mut self, stops: &[char], stop_where: bool) -> Vec<String> {
+        let mut out = Vec::new();
+        let (mut par, mut brk, mut brc, mut ang) = (0i32, 0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            let depth0 = par == 0 && brk == 0 && brc == 0 && ang == 0;
+            if depth0 {
+                if t.kind == TokenKind::Punct
+                    && stops.contains(&t.text.chars().next().unwrap_or(' '))
+                {
+                    break;
+                }
+                if stop_where && t.is_ident("where") {
+                    break;
+                }
+            }
+            if self.at_op("->") {
+                out.push("->".to_string());
+                self.bump();
+                self.bump();
+                continue;
+            }
+            match punct_text(t) {
+                "(" => par += 1,
+                ")" => {
+                    if depth0 {
+                        break;
+                    }
+                    par -= 1;
+                }
+                "[" => brk += 1,
+                "]" => brk -= 1,
+                "{" => brc += 1,
+                "}" => {
+                    if depth0 {
+                        break;
+                    }
+                    brc -= 1;
+                }
+                "<" => ang += 1,
+                ">" => ang -= 1,
+                _ => {}
+            }
+            out.push(t.text.clone());
+            self.bump();
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Attributes, visibility, items
+    // ------------------------------------------------------------------
+
+    /// Consumes any run of `#[…]` / `#![…]` attributes; returns true if
+    /// one of them mentions `test` (covers `#[test]` and `#[cfg(test)]`).
+    fn attrs(&mut self) -> bool {
+        let mut test = false;
+        while self.at_punct('#') {
+            self.bump();
+            self.eat_punct('!');
+            let start = self.pos;
+            self.skip_balanced('[', ']');
+            for t in &self.toks[start..self.pos] {
+                if t.is_ident("test") {
+                    test = true;
+                }
+            }
+        }
+        test
+    }
+
+    fn visibility(&mut self) {
+        if self.eat_ident("pub") && self.at_punct('(') {
+            self.skip_balanced('(', ')');
+        }
+    }
+
+    /// True when the cursor sits on the start of an item (used both at
+    /// module level and for items nested in blocks).
+    fn at_item_start(&self) -> bool {
+        let Some(t) = self.cur() else { return false };
+        if t.kind != TokenKind::Ident {
+            return self.at_punct('#') && self.peek(1).is_some_and(|n| n.is_punct('['));
+        }
+        match t.text.as_str() {
+            "fn" | "struct" | "enum" | "impl" | "mod" | "trait" | "use" | "static" | "union"
+            | "macro_rules" | "pub" | "extern" | "type" => true,
+            "unsafe" => self
+                .peek(1)
+                .is_some_and(|n| n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait")),
+            "const" => self
+                .peek(1)
+                .is_some_and(|n| n.kind == TokenKind::Ident && !n.is_ident("{")),
+            "async" => self.peek(1).is_some_and(|n| n.is_ident("fn")),
+            _ => false,
+        }
+    }
+
+    /// Parses items until end-of-input or, when `in_braces`, a closing
+    /// `}` (consumed).
+    fn items_until(&mut self, inherited_test: bool, in_braces: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            if self.at_end() {
+                break;
+            }
+            if in_braces && self.at_punct('}') {
+                self.bump();
+                break;
+            }
+            let before = self.pos;
+            items.push(self.item(inherited_test));
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        items
+    }
+
+    /// Parses one item (or skips one unmodeled construct).
+    fn item(&mut self, inherited_test: bool) -> Item {
+        let cfg_test = self.attrs() || inherited_test;
+        self.visibility();
+        // Modifier run before `fn`: `const unsafe extern "C" fn …`.
+        while self.at_ident("default")
+            || self.at_ident("async")
+            || (self.at_ident("unsafe") && !self.peek(1).is_some_and(|n| n.is_punct('{')))
+            || (self.at_ident("const") && self.peek(1).is_some_and(|n| n.is_ident("fn")))
+            || (self.at_ident("extern")
+                && self.peek(1).is_some_and(|n| {
+                    n.kind == TokenKind::Str || n.is_ident("fn")
+                }))
+        {
+            let extern_str = self.at_ident("extern");
+            self.bump();
+            if extern_str && self.cur().is_some_and(|t| t.kind == TokenKind::Str) {
+                self.bump();
+            }
+        }
+        let Some(t) = self.cur() else { return Item::Skipped };
+        match t.text.as_str() {
+            "fn" => Item::Fn(self.fn_item(cfg_test)),
+            "impl" => self.impl_item(cfg_test),
+            "struct" => self.struct_item(cfg_test),
+            "mod" => self.mod_item(cfg_test),
+            "trait" => self.trait_item(cfg_test),
+            "enum" | "union" => {
+                // name, generics, optional where, then `{ … }` body.
+                self.bump();
+                self.bump(); // name
+                if self.at_punct('<') {
+                    self.skip_generics();
+                }
+                while !self.at_end() && !self.at_punct('{') && !self.at_punct(';') {
+                    if self.at_punct('<') {
+                        self.skip_generics();
+                    } else {
+                        self.bump();
+                    }
+                }
+                if self.at_punct('{') {
+                    self.skip_balanced('{', '}');
+                } else {
+                    self.eat_punct(';');
+                }
+                Item::Skipped
+            }
+            "macro_rules" => {
+                self.bump();
+                self.eat_punct('!');
+                self.bump(); // macro name
+                self.skip_balanced('{', '}');
+                Item::Skipped
+            }
+            "use" | "static" | "type" | "const" | "extern" => {
+                self.skip_until_semi();
+                Item::Skipped
+            }
+            _ => {
+                // Item-level macro invocation (`thread_local! { … }`) or
+                // something unmodeled: consume one balanced chunk.
+                if t.kind == TokenKind::Ident {
+                    self.bump();
+                    while self.eat_op("::") {
+                        self.bump();
+                    }
+                    if self.eat_punct('!') {
+                        match self.cur().map(|t| t.text.as_str()) {
+                            Some("{") => self.skip_balanced('{', '}'),
+                            Some("(") => {
+                                self.skip_balanced('(', ')');
+                                self.eat_punct(';');
+                            }
+                            Some("[") => {
+                                self.skip_balanced('[', ']');
+                                self.eat_punct(';');
+                            }
+                            _ => {}
+                        }
+                        return Item::Skipped;
+                    }
+                    return Item::Skipped;
+                }
+                self.bump();
+                Item::Skipped
+            }
+        }
+    }
+
+    /// Consumes to a depth-0 `;` (brace/paren/bracket aware), eating it.
+    fn skip_until_semi(&mut self) {
+        let (mut par, mut brk, mut brc) = (0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            match punct_text(t) {
+                "(" => par += 1,
+                ")" => par -= 1,
+                "[" => brk += 1,
+                "]" => brk -= 1,
+                "{" => brc += 1,
+                "}" => {
+                    if brc == 0 {
+                        return; // stray close belongs to the caller
+                    }
+                    brc -= 1;
+                }
+                ";" if par == 0 && brk == 0 && brc == 0 => {
+                    self.bump();
+                    return;
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn fn_item(&mut self, cfg_test: bool) -> FnItem {
+        let (line, col) = self.pos_of_cur();
+        self.bump(); // `fn`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => String::new(),
+        };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        let params = self.fn_params();
+        let ret = if self.eat_op("->") {
+            self.type_tokens_until(&['{', ';'], true)
+        } else {
+            Vec::new()
+        };
+        if self.at_ident("where") {
+            while !self.at_end() && !self.at_punct('{') && !self.at_punct(';') {
+                if self.at_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let body = if self.at_punct('{') {
+            Some(self.block())
+        } else {
+            self.eat_punct(';');
+            None
+        };
+        FnItem { name, params, ret, body, cfg_test, line, col }
+    }
+
+    fn fn_params(&mut self) -> Vec<Param> {
+        let mut params = Vec::new();
+        if !self.eat_punct('(') {
+            return params;
+        }
+        while !self.at_end() && !self.at_punct(')') {
+            self.attrs();
+            let toks = self.type_tokens_until(&[','], false);
+            if !toks.is_empty() {
+                params.push(split_param(&toks));
+            }
+            self.eat_punct(',');
+        }
+        self.eat_punct(')');
+        params
+    }
+
+    fn impl_item(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `impl`
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        // `impl Type { … }` or `impl Trait for Type { … }`: the
+        // implementing type is the last depth-0 ident, restarting the
+        // scan after a depth-0 `for`.
+        let mut type_name = String::new();
+        let mut ang = 0i32;
+        while let Some(t) = self.cur() {
+            if ang == 0 && (t.is_punct('{') || t.is_ident("where")) {
+                break;
+            }
+            if self.at_op("->") {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if t.is_punct('<') {
+                ang += 1;
+            } else if t.is_punct('>') {
+                ang -= 1;
+            } else if ang == 0 && t.kind == TokenKind::Ident {
+                if t.text == "for" {
+                    type_name.clear();
+                } else if t.text != "dyn" && t.text != "mut" {
+                    type_name = t.text.clone();
+                }
+            }
+            self.bump();
+        }
+        if self.at_ident("where") {
+            while !self.at_end() && !self.at_punct('{') {
+                if self.at_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        if !self.eat_punct('{') {
+            return Item::Skipped;
+        }
+        let items = self.items_until(cfg_test, true);
+        Item::Impl(ImplItem { type_name, items })
+    }
+
+    fn struct_item(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `struct`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return Item::Skipped,
+        };
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+        if self.at_ident("where") {
+            while !self.at_end() && !self.at_punct('{') && !self.at_punct(';') {
+                if self.at_punct('<') {
+                    self.skip_generics();
+                } else {
+                    self.bump();
+                }
+            }
+        }
+        let mut fields = Vec::new();
+        if self.at_punct('(') {
+            // Tuple struct: field types are anonymous; skip.
+            self.skip_balanced('(', ')');
+            self.eat_punct(';');
+        } else if self.eat_punct('{') {
+            while !self.at_end() && !self.at_punct('}') {
+                self.attrs();
+                self.visibility();
+                let (line, col) = self.pos_of_cur();
+                let fname = match self.cur() {
+                    Some(t) if t.kind == TokenKind::Ident => {
+                        let n = t.text.clone();
+                        self.bump();
+                        n
+                    }
+                    _ => {
+                        self.bump();
+                        continue;
+                    }
+                };
+                if !self.eat_punct(':') {
+                    continue;
+                }
+                let ty = self.type_tokens_until(&[','], false);
+                fields.push(FieldDef { name: fname, ty, line, col });
+                self.eat_punct(',');
+            }
+            self.eat_punct('}');
+        } else {
+            self.eat_punct(';');
+        }
+        Item::Struct(StructItem { name, fields, cfg_test })
+    }
+
+    fn mod_item(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `mod`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return Item::Skipped,
+        };
+        if self.eat_punct(';') {
+            return Item::Skipped;
+        }
+        if !self.eat_punct('{') {
+            return Item::Skipped;
+        }
+        let items = self.items_until(cfg_test, true);
+        Item::Mod(ModItem { name, items, cfg_test })
+    }
+
+    fn trait_item(&mut self, cfg_test: bool) -> Item {
+        self.bump(); // `trait`
+        let name = match self.cur() {
+            Some(t) if t.kind == TokenKind::Ident => {
+                let n = t.text.clone();
+                self.bump();
+                n
+            }
+            _ => return Item::Skipped,
+        };
+        while !self.at_end() && !self.at_punct('{') {
+            if self.at_punct('<') {
+                self.skip_generics();
+            } else {
+                self.bump();
+            }
+        }
+        if !self.eat_punct('{') {
+            return Item::Skipped;
+        }
+        let items = self.items_until(cfg_test, true);
+        Item::Trait(TraitItem { name, items })
+    }
+
+    // ------------------------------------------------------------------
+    // Blocks and statements
+    // ------------------------------------------------------------------
+
+    /// Parses a `{ … }` block, cursor on `{`.
+    fn block(&mut self) -> Block {
+        let mut stmts = Vec::new();
+        if !self.eat_punct('{') {
+            return Block { stmts };
+        }
+        while !self.at_end() && !self.at_punct('}') {
+            let before = self.pos;
+            if self.eat_punct(';') {
+                continue;
+            }
+            if self.at_ident("let") {
+                stmts.push(self.let_stmt());
+            } else if self.at_item_start() {
+                stmts.push(Stmt::Item(self.item(false)));
+            } else {
+                let e = self.expr(false);
+                self.eat_punct(';');
+                stmts.push(Stmt::Expr(e));
+            }
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Block { stmts }
+    }
+
+    fn let_stmt(&mut self) -> Stmt {
+        let (line, _) = self.pos_of_cur();
+        self.bump(); // `let`
+        let pat = self.let_pattern();
+        if self.eat_punct(':') {
+            self.type_tokens_until(&['=', ';'], false);
+        }
+        let init = if self.at_punct('=') && !self.at_op("==") {
+            self.bump();
+            Some(self.expr(false))
+        } else {
+            None
+        };
+        let else_block = if self.eat_ident("else") {
+            Some(self.block())
+        } else {
+            None
+        };
+        self.eat_punct(';');
+        Stmt::Let { pat, init, else_block, line }
+    }
+
+    /// Parses a `let` pattern: a single binding stays identifiable,
+    /// anything else collapses to [`Pat::Other`].
+    fn let_pattern(&mut self) -> Pat {
+        while self.at_ident("mut") || self.at_ident("ref") {
+            self.bump();
+        }
+        if let Some(t) = self.cur() {
+            let double_colon = self.peek(1).is_some_and(|n| n.is_punct(':'))
+                && self.peek(2).is_some_and(|n| n.is_punct(':'));
+            if t.kind == TokenKind::Ident
+                && !double_colon
+                && self.peek(1).is_some_and(|n| {
+                    n.is_punct(':') || n.is_punct('=') || n.is_punct(';') || n.is_ident("else")
+                })
+            {
+                let name = t.text.clone();
+                self.bump();
+                return Pat::Ident(name);
+            }
+        }
+        // Destructuring or other pattern: skip to `:`, `=`, or `;`.
+        let (mut par, mut brk, mut brc) = (0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            if par == 0
+                && brk == 0
+                && brc == 0
+                && ((t.is_punct(':') && !self.at_op("::"))
+                    || (t.is_punct('=') && !self.at_op("=="))
+                    || t.is_punct(';'))
+            {
+                break;
+            }
+            match punct_text(t) {
+                "(" => par += 1,
+                ")" => par -= 1,
+                "[" => brk += 1,
+                "]" => brk -= 1,
+                "{" => brc += 1,
+                "}" => brc -= 1,
+                ":" if self.at_op("::") => {
+                    self.bump();
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        Pat::Other
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// Parses one expression. `no_struct` suppresses struct-literal
+    /// parsing so `if cond { … }` does not read `cond {` as a literal.
+    fn expr(&mut self, no_struct: bool) -> Expr {
+        let lhs = self.unary(no_struct);
+        self.binary_tail(lhs, no_struct)
+    }
+
+    /// Folds a run of binary operators / assignments onto `lhs`.
+    fn binary_tail(&mut self, mut lhs: Expr, no_struct: bool) -> Expr {
+        loop {
+            let (line, col) = (lhs.line, lhs.col);
+            // Assignment (plain or compound).
+            let compound = ['+', '-', '*', '/', '%', '^', '&', '|']
+                .iter()
+                .find(|&&c| self.at_punct(c) && self.joint(0) && self.peek(1).is_some_and(|n| n.is_punct('=')))
+                .copied();
+            if self.at_punct('=') && !self.at_op("==") && !self.at_op("=>") {
+                self.bump();
+                let value = self.expr(no_struct);
+                lhs = Expr::new(
+                    line,
+                    col,
+                    ExprKind::Assign { target: Box::new(lhs), value: Box::new(value) },
+                );
+                continue;
+            }
+            if let Some(_c) = compound {
+                // `x += e` — but `&&`/`||` lookalikes were excluded by
+                // requiring the *next* token to be `=`.
+                self.bump();
+                self.bump();
+                let value = self.expr(no_struct);
+                lhs = Expr::new(
+                    line,
+                    col,
+                    ExprKind::Assign { target: Box::new(lhs), value: Box::new(value) },
+                );
+                continue;
+            }
+            // Range: rhs is optional (`start..`).
+            if self.at_op("..") {
+                if !self.eat_op("..=") {
+                    self.eat_op("..");
+                }
+                if self.expr_can_start(no_struct) {
+                    let rhs = self.unary(no_struct);
+                    let rhs = self.postfix_only(rhs);
+                    lhs = Expr::new(
+                        line,
+                        col,
+                        ExprKind::Binary { lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    );
+                } else {
+                    lhs = Expr::new(
+                        line,
+                        col,
+                        ExprKind::Other(vec![lhs]),
+                    );
+                }
+                continue;
+            }
+            // Two-char then one-char binary operators.
+            let two = ["&&", "||", "==", "!=", "<=", ">=", "<<", ">>"]
+                .iter()
+                .find(|op| self.at_op(op))
+                .copied();
+            let one = ['+', '-', '*', '/', '%', '^', '&', '|', '<', '>'];
+            if let Some(op) = two {
+                self.eat_op(op);
+            } else if one.iter().any(|&c| self.at_punct(c)) && !self.at_op("=>") {
+                self.bump();
+            } else {
+                return lhs;
+            }
+            let rhs = self.unary(no_struct);
+            let rhs = self.postfix_only(rhs);
+            lhs = Expr::new(line, col, ExprKind::Binary { lhs: Box::new(lhs), rhs: Box::new(rhs) });
+        }
+    }
+
+    /// Whether the current token can begin an expression (used for
+    /// optional range ends and `return`/`break` values).
+    fn expr_can_start(&self, _no_struct: bool) -> bool {
+        match self.cur() {
+            None => false,
+            Some(t) => !(t.is_punct(';')
+                || t.is_punct(',')
+                || t.is_punct(')')
+                || t.is_punct(']')
+                || t.is_punct('}')
+                || t.is_punct('{')
+                || t.is_punct('=')),
+        }
+    }
+
+    /// Prefix operators + a primary + its postfix chain.
+    fn unary(&mut self, no_struct: bool) -> Expr {
+        let (line, col) = self.pos_of_cur();
+        if self.at_punct('&') && !self.at_op("&&") || self.at_op("&&") {
+            // `&&x` in expression position is two nested refs.
+            self.bump();
+            self.eat_ident("mut");
+            let inner = self.unary(no_struct);
+            return Expr::new(line, col, ExprKind::Ref(Box::new(inner)));
+        }
+        if self.at_punct('*') || self.at_punct('!') || self.at_punct('-') {
+            self.bump();
+            let inner = self.unary(no_struct);
+            return Expr::new(line, col, ExprKind::Unary(Box::new(inner)));
+        }
+        let prim = self.primary(no_struct);
+        self.postfix_only(prim)
+    }
+
+    /// Applies the postfix chain (`.field`, `.method(…)`, `(…)`, `[…]`,
+    /// `?`, `as T`) to an already-parsed expression.
+    fn postfix_only(&mut self, mut e: Expr) -> Expr {
+        loop {
+            let (line, col) = (e.line, e.col);
+            if self.at_punct('?') {
+                self.bump();
+                continue;
+            }
+            if self.at_ident("as") {
+                self.bump();
+                self.skip_type_path();
+                continue;
+            }
+            if self.at_punct('.') && !self.at_op("..") {
+                self.bump();
+                let Some(t) = self.cur() else { return e };
+                match t.kind {
+                    TokenKind::Ident => {
+                        let name = t.text.clone();
+                        self.bump();
+                        // Turbofish: `.collect::<Vec<_>>()`.
+                        if self.at_op("::") {
+                            self.eat_op("::");
+                            if self.at_punct('<') {
+                                self.skip_generics();
+                            }
+                        }
+                        if self.at_punct('(') {
+                            let args = self.call_args();
+                            e = Expr::new(
+                                line,
+                                col,
+                                ExprKind::MethodCall { recv: Box::new(e), method: name, args },
+                            );
+                        } else {
+                            e = Expr::new(
+                                line,
+                                col,
+                                ExprKind::Field { base: Box::new(e), name },
+                            );
+                        }
+                    }
+                    TokenKind::Number => {
+                        let name = t.text.clone();
+                        self.bump();
+                        e = Expr::new(line, col, ExprKind::Field { base: Box::new(e), name });
+                    }
+                    _ => return e,
+                }
+                continue;
+            }
+            if self.at_punct('(') {
+                let args = self.call_args();
+                e = Expr::new(line, col, ExprKind::Call { callee: Box::new(e), args });
+                continue;
+            }
+            if self.at_punct('[') {
+                self.bump();
+                let mut children = vec![e];
+                while !self.at_end() && !self.at_punct(']') {
+                    let before = self.pos;
+                    children.push(self.expr(false));
+                    self.eat_punct(',');
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+                self.eat_punct(']');
+                e = Expr::new(line, col, ExprKind::Other(children));
+                continue;
+            }
+            return e;
+        }
+    }
+
+    /// Consumes a type after `as` (sigils + path + one generic group).
+    fn skip_type_path(&mut self) {
+        while self.at_punct('&')
+            || self.at_punct('*')
+            || self.at_ident("mut")
+            || self.at_ident("const")
+            || self.at_ident("dyn")
+            || self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime)
+        {
+            self.bump();
+        }
+        while self.cur().is_some_and(|t| t.kind == TokenKind::Ident) {
+            self.bump();
+            if self.at_op("::") {
+                self.eat_op("::");
+                continue;
+            }
+            break;
+        }
+        if self.at_punct('<') {
+            self.skip_generics();
+        }
+    }
+
+    /// Parses `( … )` call arguments, cursor on `(`.
+    fn call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct('(') {
+            return args;
+        }
+        while !self.at_end() && !self.at_punct(')') {
+            let before = self.pos;
+            args.push(self.expr(false));
+            self.eat_punct(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct(')');
+        args
+    }
+
+    /// A primary expression: literal, path (maybe struct literal or
+    /// macro call), group, block, control flow, closure.
+    fn primary(&mut self, no_struct: bool) -> Expr {
+        let (line, col) = self.pos_of_cur();
+        let Some(t) = self.cur() else {
+            return Expr::new(line, col, ExprKind::Lit);
+        };
+        match t.kind {
+            TokenKind::Number | TokenKind::Str | TokenKind::CharLit => {
+                self.bump();
+                Expr::new(line, col, ExprKind::Lit)
+            }
+            TokenKind::Lifetime => {
+                // Loop label `'x: loop { … }` — or a stray lifetime.
+                self.bump();
+                if self.eat_punct(':') {
+                    return self.primary(no_struct);
+                }
+                Expr::new(line, col, ExprKind::Lit)
+            }
+            TokenKind::Ident => self.ident_primary(no_struct, line, col),
+            TokenKind::Punct => match t.text.chars().next().unwrap_or(' ') {
+                '(' => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    let mut commas = 0usize;
+                    while !self.at_end() && !self.at_punct(')') {
+                        let before = self.pos;
+                        elems.push(self.expr(false));
+                        if self.eat_punct(',') {
+                            commas += 1;
+                        }
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct(')');
+                    if elems.len() == 1 && commas == 0 {
+                        elems.remove(0)
+                    } else {
+                        Expr::new(line, col, ExprKind::Other(elems))
+                    }
+                }
+                '[' => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    while !self.at_end() && !self.at_punct(']') {
+                        let before = self.pos;
+                        elems.push(self.expr(false));
+                        if !self.eat_punct(',') {
+                            self.eat_punct(';');
+                        }
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    self.eat_punct(']');
+                    Expr::new(line, col, ExprKind::Other(elems))
+                }
+                '{' => Expr::new(line, col, ExprKind::BlockExpr(self.block())),
+                '|' => self.closure(line, col),
+                '.' if self.at_op("..") => {
+                    // Prefix range `..end` / `..`.
+                    if !self.eat_op("..=") {
+                        self.eat_op("..");
+                    }
+                    if self.expr_can_start(no_struct) {
+                        let inner = self.unary(no_struct);
+                        Expr::new(line, col, ExprKind::Other(vec![inner]))
+                    } else {
+                        Expr::new(line, col, ExprKind::Lit)
+                    }
+                }
+                _ => {
+                    self.bump();
+                    Expr::new(line, col, ExprKind::Other(Vec::new()))
+                }
+            },
+        }
+    }
+
+    /// Primary starting with an identifier: keyword expression, path,
+    /// macro call, or struct literal.
+    fn ident_primary(&mut self, no_struct: bool, line: u32, col: u32) -> Expr {
+        let text = self.cur().map(|t| t.text.clone()).unwrap_or_default();
+        match text.as_str() {
+            "if" => self.if_expr(line, col),
+            "while" => {
+                self.bump();
+                self.let_header_if_any();
+                let cond = self.expr(true);
+                let body = self.block();
+                Expr::new(line, col, ExprKind::While { cond: Box::new(cond), body })
+            }
+            "loop" => {
+                self.bump();
+                let body = self.block();
+                Expr::new(line, col, ExprKind::Loop { body })
+            }
+            "for" => {
+                self.bump();
+                // Pattern until depth-0 `in`.
+                let (mut par, mut brk) = (0i32, 0i32);
+                while let Some(t) = self.cur() {
+                    if par == 0 && brk == 0 && t.is_ident("in") {
+                        break;
+                    }
+                    match punct_text(t) {
+                        "(" => par += 1,
+                        ")" => par -= 1,
+                        "[" => brk += 1,
+                        "]" => brk -= 1,
+                        _ => {}
+                    }
+                    self.bump();
+                }
+                self.eat_ident("in");
+                let iter = self.expr(true);
+                let body = self.block();
+                Expr::new(line, col, ExprKind::For { iter: Box::new(iter), body })
+            }
+            "match" => self.match_expr(line, col),
+            "return" => {
+                self.bump();
+                let value = if self.expr_can_start(no_struct) {
+                    Some(Box::new(self.expr(no_struct)))
+                } else {
+                    None
+                };
+                Expr::new(line, col, ExprKind::Return(value))
+            }
+            "break" => {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                if self.expr_can_start(no_struct) {
+                    // Break-with-value: the value is consumed but its
+                    // structure is not preserved (rare, never carries
+                    // lock traffic in this workspace).
+                    let _ = self.expr(no_struct);
+                }
+                Expr::new(line, col, ExprKind::Break)
+            }
+            "continue" => {
+                self.bump();
+                if self.cur().is_some_and(|t| t.kind == TokenKind::Lifetime) {
+                    self.bump();
+                }
+                Expr::new(line, col, ExprKind::Continue)
+            }
+            "unsafe" => {
+                self.bump();
+                Expr::new(line, col, ExprKind::BlockExpr(self.block()))
+            }
+            "move" => {
+                self.bump();
+                if self.at_punct('|') {
+                    self.closure(line, col)
+                } else {
+                    // `move` without `|` (async blocks) — treat as block.
+                    Expr::new(line, col, ExprKind::BlockExpr(self.block()))
+                }
+            }
+            _ => {
+                // Path, then macro call / struct literal / plain path.
+                let mut segs = vec![text];
+                self.bump();
+                while self.at_op("::") {
+                    self.eat_op("::");
+                    if self.at_punct('<') {
+                        self.skip_generics();
+                        continue;
+                    }
+                    if let Some(t) = self.cur() {
+                        if t.kind == TokenKind::Ident {
+                            segs.push(t.text.clone());
+                            self.bump();
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                if self.at_punct('!') && !self.at_op("!=") {
+                    self.bump();
+                    match self.cur().map(|t| t.text.as_str()) {
+                        Some("(") => self.skip_balanced('(', ')'),
+                        Some("[") => self.skip_balanced('[', ']'),
+                        Some("{") => self.skip_balanced('{', '}'),
+                        _ => {}
+                    }
+                    return Expr::new(line, col, ExprKind::MacroCall(segs));
+                }
+                if !no_struct && self.at_punct('{') && !is_expr_keyword(segs.last()) {
+                    return self.struct_lit(segs, line, col);
+                }
+                Expr::new(line, col, ExprKind::Path(segs))
+            }
+        }
+    }
+
+    /// Consumes `let <pattern> =` when present (`if let` / `while let`
+    /// headers); the scrutinee is parsed by the caller.
+    fn let_header_if_any(&mut self) {
+        if !self.eat_ident("let") {
+            return;
+        }
+        let (mut par, mut brk, mut brc) = (0i32, 0i32, 0i32);
+        while let Some(t) = self.cur() {
+            if par == 0 && brk == 0 && brc == 0 && t.is_punct('=') && !self.at_op("==") {
+                self.bump();
+                return;
+            }
+            match punct_text(t) {
+                "(" => par += 1,
+                ")" => par -= 1,
+                "[" => brk += 1,
+                "]" => brk -= 1,
+                "{" => brc += 1,
+                "}" => brc -= 1,
+                _ => {}
+            }
+            self.bump();
+        }
+    }
+
+    fn if_expr(&mut self, line: u32, col: u32) -> Expr {
+        self.bump(); // `if`
+        self.let_header_if_any();
+        let cond = self.expr(true);
+        let then = self.block();
+        let els = if self.eat_ident("else") {
+            let (eline, ecol) = self.pos_of_cur();
+            if self.at_ident("if") {
+                Some(Box::new(self.if_expr(eline, ecol)))
+            } else {
+                Some(Box::new(Expr::new(eline, ecol, ExprKind::BlockExpr(self.block()))))
+            }
+        } else {
+            None
+        };
+        Expr::new(line, col, ExprKind::If { cond: Box::new(cond), then, els })
+    }
+
+    fn match_expr(&mut self, line: u32, col: u32) -> Expr {
+        self.bump(); // `match`
+        let scrutinee = self.expr(true);
+        let mut arms = Vec::new();
+        if self.eat_punct('{') {
+            while !self.at_end() && !self.at_punct('}') {
+                let before = self.pos;
+                self.attrs();
+                // Skip the arm pattern (and any guard) to the `=>`.
+                let (mut par, mut brk, mut brc) = (0i32, 0i32, 0i32);
+                while let Some(t) = self.cur() {
+                    if par == 0 && brk == 0 && brc == 0 && self.at_op("=>") {
+                        break;
+                    }
+                    match punct_text(t) {
+                        "(" => par += 1,
+                        ")" => par -= 1,
+                        "[" => brk += 1,
+                        "]" => brk -= 1,
+                        "{" => brc += 1,
+                        "}" => brc -= 1,
+                        _ => {}
+                    }
+                    self.bump();
+                    if par < 0 || brc < 0 {
+                        break;
+                    }
+                }
+                if self.eat_op("=>") {
+                    arms.push(self.expr(false));
+                    self.eat_punct(',');
+                }
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            self.eat_punct('}');
+        }
+        Expr::new(
+            line,
+            col,
+            ExprKind::Match { scrutinee: Box::new(scrutinee), arms },
+        )
+    }
+
+    fn struct_lit(&mut self, segs: Vec<String>, line: u32, col: u32) -> Expr {
+        self.eat_punct('{');
+        let mut fields = Vec::new();
+        while !self.at_end() && !self.at_punct('}') {
+            let before = self.pos;
+            if self.at_op("..") {
+                self.eat_op("..");
+                let base = self.expr(false);
+                fields.push((String::new(), base));
+            } else if self.cur().is_some_and(|t| t.kind == TokenKind::Ident) {
+                let (fline, fcol) = self.pos_of_cur();
+                let name = self.cur().map(|t| t.text.clone()).unwrap_or_default();
+                self.bump();
+                if self.eat_punct(':') {
+                    fields.push((name, self.expr(false)));
+                } else {
+                    // Shorthand `Foo { name }`.
+                    let value = Expr::new(fline, fcol, ExprKind::Path(vec![name.clone()]));
+                    fields.push((name, value));
+                }
+            }
+            self.eat_punct(',');
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        self.eat_punct('}');
+        Expr::new(line, col, ExprKind::StructLit { path: segs.join("::"), fields })
+    }
+
+    /// Parses a closure, cursor on the first `|`.
+    fn closure(&mut self, line: u32, col: u32) -> Expr {
+        self.bump(); // first `|`
+        if !self.eat_punct('|') {
+            // Non-empty parameter list: skip to the closing `|`.
+            let (mut par, mut brk, mut ang) = (0i32, 0i32, 0i32);
+            while let Some(t) = self.cur() {
+                if par == 0 && brk == 0 && ang == 0 && t.is_punct('|') {
+                    self.bump();
+                    break;
+                }
+                match punct_text(t) {
+                    "(" => par += 1,
+                    ")" => par -= 1,
+                    "[" => brk += 1,
+                    "]" => brk -= 1,
+                    "<" => ang += 1,
+                    ">" => ang -= 1,
+                    _ => {}
+                }
+                self.bump();
+            }
+        }
+        if self.eat_op("->") {
+            self.type_tokens_until(&['{'], false);
+        }
+        let body = self.expr(false);
+        Expr::new(line, col, ExprKind::Closure { body: Box::new(body) })
+    }
+}
+
+/// Keywords that can be followed by `{` without being a struct literal.
+fn is_expr_keyword(seg: Option<&String>) -> bool {
+    matches!(
+        seg.map(String::as_str),
+        Some("in" | "else" | "await" | "yield" | "do")
+    )
+}
+
+/// Splits one parameter's token texts into binding name and type.
+fn split_param(toks: &[String]) -> Param {
+    // Find the top-level `:` separating pattern from type (`::` never
+    // appears at the top of a pattern here because `type_tokens_until`
+    // keeps tokens flat — scan for a `:` not adjacent to another).
+    let mut split = None;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i] == ":" {
+            if toks.get(i + 1).is_some_and(|t| t == ":") {
+                i += 2;
+                continue;
+            }
+            split = Some(i);
+            break;
+        }
+        i += 1;
+    }
+    match split {
+        Some(i) => {
+            let pat: Vec<&String> =
+                toks[..i].iter().filter(|t| *t != "mut" && *t != "ref").collect();
+            let name = if pat.len() == 1 && is_ident_text(pat[0]) {
+                pat[0].clone()
+            } else {
+                "_".to_string()
+            };
+            Param { name, ty: toks[i + 1..].to_vec() }
+        }
+        None => {
+            // Receiver (`self`, `&self`, `&mut self`, `&'a self`).
+            let name = if toks.iter().any(|t| t == "self") {
+                "self".to_string()
+            } else {
+                "_".to_string()
+            };
+            Param { name, ty: toks.to_vec() }
+        }
+    }
+}
+
+/// The punctuation text of a token, or `""` for non-punct tokens — so
+/// depth-tracking loops never mistake a string literal `")"` for a
+/// real bracket.
+fn punct_text(t: &Token) -> &str {
+    if t.kind == TokenKind::Punct {
+        t.text.as_str()
+    } else {
+        ""
+    }
+}
+
+fn is_ident_text(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next().is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> File {
+        parse(&lex(src).tokens)
+    }
+
+    fn first_fn(file: &File) -> &FnItem {
+        fn find(items: &[Item]) -> Option<&FnItem> {
+            for it in items {
+                match it {
+                    Item::Fn(f) => return Some(f),
+                    Item::Impl(i) => {
+                        if let Some(f) = find(&i.items) {
+                            return Some(f);
+                        }
+                    }
+                    Item::Mod(m) => {
+                        if let Some(f) = find(&m.items) {
+                            return Some(f);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        find(&file.items).expect("a function")
+    }
+
+    fn method_names(e: &Expr, out: &mut Vec<String>) {
+        match &e.kind {
+            ExprKind::MethodCall { recv, method, args } => {
+                method_names(recv, out);
+                out.push(method.clone());
+                for a in args {
+                    method_names(a, out);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                method_names(callee, out);
+                for a in args {
+                    method_names(a, out);
+                }
+            }
+            ExprKind::Field { base, .. } => method_names(base, out),
+            ExprKind::Ref(i) | ExprKind::Unary(i) => method_names(i, out),
+            ExprKind::Binary { lhs, rhs } => {
+                method_names(lhs, out);
+                method_names(rhs, out);
+            }
+            ExprKind::Assign { target, value } => {
+                method_names(target, out);
+                method_names(value, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn stmt_methods(block: &Block) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &block.stmts {
+            match s {
+                Stmt::Expr(e) => method_names(e, &mut out),
+                Stmt::Let { init: Some(e), .. } => method_names(e, &mut out),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn turbofish_in_method_chains() {
+        let f = parse_src("fn f(v: Vec<u32>) { v.iter().collect::<Vec<_>>().len(); }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert_eq!(stmt_methods(body), vec!["iter", "collect", "len"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_stay_literals() {
+        let f = parse_src(r####"fn f() { let x = r##"quote " inside"##; x.len(); }"####);
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 2);
+        match &body.stmts[0] {
+            Stmt::Let { pat: Pat::Ident(n), init: Some(e), .. } => {
+                assert_eq!(n, "x");
+                assert!(matches!(e.kind, ExprKind::Lit));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_block_comments_inside_expressions() {
+        let f = parse_src("fn f(a: u32, b: u32) -> u32 { a + /* one /* two */ still */ b }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        match &body.stmts[0] {
+            Stmt::Expr(e) => assert!(matches!(e.kind, ExprKind::Binary { .. })),
+            other => panic!("expected binary expr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifetime_vs_char_at_expression_position() {
+        let f = parse_src(
+            "fn f<'a>(s: &'a str) -> char { let c = 'a'; 's: loop { break 's; } c }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Let { pat: Pat::Ident(n), init: Some(e), .. }
+                if n == "c" && matches!(e.kind, ExprKind::Lit)
+        ));
+        assert!(matches!(
+            &body.stmts[1],
+            Stmt::Expr(e) if matches!(e.kind, ExprKind::Loop { .. })
+        ));
+    }
+
+    #[test]
+    fn struct_literal_vs_control_flow_headers() {
+        let f = parse_src(
+            "fn f(x: bool) -> P { if x { return P { a: 1 }; } while x { } P { a: 2 } }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Expr(e) if matches!(e.kind, ExprKind::If { .. })
+        ));
+        assert!(matches!(
+            &body.stmts[2],
+            Stmt::Expr(e) if matches!(e.kind, ExprKind::StructLit { .. })
+        ));
+    }
+
+    #[test]
+    fn guard_chain_with_tuple_field_assignment() {
+        let f = parse_src(
+            "fn f() { seq = cv.wait_timeout(seq, TICK).unwrap_or_else(E::into_inner).0; }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Stmt::Expr(e) = &body.stmts[0] else { panic!("expr stmt") };
+        let ExprKind::Assign { value, .. } = &e.kind else { panic!("assign") };
+        let ExprKind::Field { base, name } = &value.kind else { panic!("tuple field") };
+        assert_eq!(name, "0");
+        assert!(matches!(base.kind, ExprKind::MethodCall { ref method, .. } if method == "unwrap_or_else"));
+    }
+
+    #[test]
+    fn impl_and_cfg_test_propagation() {
+        let f = parse_src(
+            "impl Server { fn go(&self) {} }\n#[cfg(test)]\nmod tests { fn t() {} }",
+        );
+        let Item::Impl(i) = &f.items[0] else { panic!("impl") };
+        assert_eq!(i.type_name, "Server");
+        let Item::Fn(go) = &i.items[0] else { panic!("fn") };
+        assert_eq!(go.name, "go");
+        assert!(!go.cfg_test);
+        assert_eq!(go.params[0].name, "self");
+        let Item::Mod(m) = &f.items[1] else { panic!("mod") };
+        assert!(m.cfg_test);
+        let Item::Fn(t) = &m.items[0] else { panic!("fn in mod") };
+        assert!(t.cfg_test);
+    }
+
+    #[test]
+    fn struct_fields_capture_types() {
+        let f = parse_src(
+            "pub struct Shared { pub jobs: Mutex<BTreeMap<u64, Job>>, cv: Condvar }",
+        );
+        let Item::Struct(s) = &f.items[0] else { panic!("struct") };
+        assert_eq!(s.name, "Shared");
+        assert_eq!(s.fields.len(), 2);
+        assert_eq!(s.fields[0].name, "jobs");
+        assert_eq!(s.fields[0].ty[0], "Mutex");
+        assert_eq!(s.fields[1].ty, vec!["Condvar"]);
+    }
+
+    #[test]
+    fn closures_and_match_arms_are_walkable() {
+        let f = parse_src(
+            "fn f(o: Option<u32>) { match o { Some(v) => g(v), None => h(), } \
+             let c = |x: u32| x.checked_add(1); }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Stmt::Expr(m) = &body.stmts[0] else { panic!("match stmt") };
+        let ExprKind::Match { arms, .. } = &m.kind else { panic!("match") };
+        assert_eq!(arms.len(), 2);
+        let Stmt::Let { init: Some(c), .. } = &body.stmts[1] else { panic!("let") };
+        let ExprKind::Closure { body: cb } = &c.kind else { panic!("closure") };
+        assert!(matches!(cb.kind, ExprKind::MethodCall { ref method, .. } if method == "checked_add"));
+    }
+
+    #[test]
+    fn let_else_and_labels_do_not_derail() {
+        let f = parse_src(
+            "fn f(o: Option<u32>) -> u32 { let Some(v) = o else { return 0; }; \
+             'outer: for i in 0..v { if i > 2 { break 'outer; } } v }",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Let { pat: Pat::Other, else_block: Some(_), .. }
+        ));
+        assert!(matches!(
+            &body.stmts[1],
+            Stmt::Expr(e) if matches!(e.kind, ExprKind::For { .. })
+        ));
+    }
+
+    #[test]
+    fn macro_bodies_are_opaque_but_positioned() {
+        let f = parse_src("fn f() { assert_eq!(a.lock(), b); g(); }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Expr(e) if matches!(&e.kind, ExprKind::MacroCall(segs) if segs[0] == "assert_eq")
+        ));
+        assert!(matches!(
+            &body.stmts[1],
+            Stmt::Expr(e) if matches!(&e.kind, ExprKind::Call { .. })
+        ));
+    }
+
+    #[test]
+    fn workspace_files_parse_without_panicking() {
+        // The parser must at minimum survive its own source.
+        let src = include_str!("parser.rs");
+        let file = parse_src(src);
+        assert!(!file.items.is_empty());
+    }
+}

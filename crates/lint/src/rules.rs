@@ -45,6 +45,9 @@ pub struct Diagnostic {
     pub col: u32,
     pub message: String,
     pub help: String,
+    /// Secondary locations / context, rendered as `= note:` lines (L1
+    /// carries the second lock path of an inversion here).
+    pub notes: Vec<String>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -55,6 +58,9 @@ impl std::fmt::Display for Diagnostic {
             self.rule_id, self.rule_name, self.message
         )?;
         writeln!(f, "  --> {}:{}:{}", self.file, self.line, self.col)?;
+        for note in &self.notes {
+            writeln!(f, "  = note: {note}")?;
+        }
         write!(f, "  = help: {}", self.help)
     }
 }
@@ -79,8 +85,31 @@ const KEYWORDS_BEFORE_BRACKET: &[&str] = &[
     "for", "while", "loop", "continue", "await", "yield", "box", "use",
 ];
 
-/// Runs every applicable rule on one file.
+/// True when `marker` suppresses a `rule_name` finding at `line`: a
+/// marker covers its own line and the line directly below (so markers
+/// can sit above long expressions).
+pub fn marker_covers(marker: &AllowMarker, rule_name: &str, line: u32) -> bool {
+    marker.rule == rule_name && (marker.line == line || marker.line + 1 == line)
+}
+
+/// Runs every applicable per-file rule, honoring `// lint: allow`
+/// markers inline.
 pub fn check_file(
+    rel_path: &str,
+    source: &str,
+    class: &FileClass,
+    cfg: &Config,
+) -> Vec<Diagnostic> {
+    let markers = lex(source).markers;
+    let mut out = check_file_raw(rel_path, source, class, cfg);
+    out.retain(|d| !markers.iter().any(|m| marker_covers(m, d.rule_name, d.line)));
+    out
+}
+
+/// Runs every applicable per-file rule and returns *all* findings,
+/// ignoring allow markers. Callers that need marker-usage accounting
+/// (the workspace runner's stale-allowance rule) filter centrally.
+pub fn check_file_raw(
     rel_path: &str,
     source: &str,
     class: &FileClass,
@@ -94,7 +123,6 @@ pub fn check_file(
         class,
         cfg,
         tokens,
-        markers: &lexed.markers,
         test_mask: &test_mask,
     };
 
@@ -111,20 +139,11 @@ struct Ctx<'a> {
     class: &'a FileClass,
     cfg: &'a Config,
     tokens: &'a [Token],
-    markers: &'a [AllowMarker],
     /// Parallel to `tokens`: true inside `#[cfg(test)]` items.
     test_mask: &'a [bool],
 }
 
 impl Ctx<'_> {
-    /// An allow marker for `rule` covers a finding on its own line and the
-    /// line directly below (so markers can sit above long expressions).
-    fn allowed(&self, rule: &str, line: u32) -> bool {
-        self.markers
-            .iter()
-            .any(|m| m.rule == rule && (m.line == line || m.line + 1 == line))
-    }
-
     fn emit(
         &self,
         out: &mut Vec<Diagnostic>,
@@ -134,9 +153,6 @@ impl Ctx<'_> {
         message: String,
         help: String,
     ) {
-        if self.allowed(rule_name, tok.line) {
-            return;
-        }
         out.push(Diagnostic {
             rule_id,
             rule_name,
@@ -145,6 +161,7 @@ impl Ctx<'_> {
             col: tok.col,
             message,
             help,
+            notes: Vec::new(),
         });
     }
 
@@ -408,7 +425,7 @@ impl Ctx<'_> {
 /// `mod tests { … }` block). Attributes between the `cfg(test)` and the
 /// item are skipped; the region ends at the matching close brace, or at a
 /// `;` that appears before any brace opens.
-fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
     let mut mask = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {

@@ -1,0 +1,22 @@
+//! L1 fixture: seeded two-lock inversion. `submit` takes jobs → store,
+//! `evict` takes store → jobs; with one thread in each, both block
+//! forever. The diagnostic must witness BOTH paths.
+
+pub struct Shared {
+    jobs: Mutex<u64>,
+    store: Mutex<u64>,
+}
+
+fn submit(shared: &Arc<Shared>) {
+    let jobs = lock(&shared.jobs);
+    let store = lock(&shared.store); // L1 anchor: jobs → store
+    drop(store);
+    drop(jobs);
+}
+
+fn evict(shared: &Arc<Shared>) {
+    let store = lock(&shared.store);
+    let jobs = lock(&shared.jobs); // the inverted path: store → jobs
+    drop(jobs);
+    drop(store);
+}

@@ -1,0 +1,53 @@
+//! L2 fixture: guards live across blocking operations — a condvar wait
+//! (a *second* guard besides the waited one), socket I/O, a sleep, and
+//! a call to a first-party queue method that blocks internally.
+
+pub struct Shared {
+    jobs: Mutex<u64>,
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+pub struct Queue {
+    state: Mutex<u64>,
+    not_empty: Condvar,
+}
+
+impl Queue {
+    fn pop(&self) -> u64 {
+        let mut st = lock(&self.state);
+        while *st == 0 {
+            st = self.not_empty.wait(st).unwrap();
+        }
+        *st
+    }
+}
+
+fn wait_holding_other_lock(shared: &Shared) {
+    let jobs = lock(&shared.jobs);
+    let mut seq = lock(&shared.seq);
+    while *seq == 0 {
+        seq = shared.cv.wait(seq).unwrap(); // L2: `shared.jobs` still held
+    }
+    drop(seq);
+    drop(jobs);
+}
+
+fn write_holding_lock(shared: &Shared, sock: &mut TcpStream) {
+    let jobs = lock(&shared.jobs);
+    sock.write_all(b"payload"); // L2: socket write under the lock
+    drop(jobs);
+}
+
+fn sleep_holding_lock(shared: &Shared) {
+    let jobs = lock(&shared.jobs);
+    thread::sleep(TICK); // L2: sleep under the lock
+    drop(jobs);
+}
+
+fn pop_holding_lock(shared: &Shared, q: &Queue) {
+    let jobs = lock(&shared.jobs);
+    let v = q.pop(); // L2: `Queue::pop` blocks on its condvar
+    drop(jobs);
+    consume(v);
+}

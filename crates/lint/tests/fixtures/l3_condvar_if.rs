@@ -1,0 +1,29 @@
+//! L3 fixture: a condvar wait guarded by `if` observes stale state on
+//! spurious wakeup. The `while` and `wait_while` forms below it pass.
+
+pub struct Shared {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+fn wait_once(shared: &Shared) {
+    let mut seq = lock(&shared.seq);
+    if *seq == 0 {
+        seq = shared.cv.wait(seq).unwrap(); // L3: if, not while
+    }
+    drop(seq);
+}
+
+fn wait_in_loop(shared: &Shared) {
+    let mut seq = lock(&shared.seq);
+    while *seq == 0 {
+        seq = shared.cv.wait(seq).unwrap(); // ok: predicate loop
+    }
+    drop(seq);
+}
+
+fn wait_with_predicate(shared: &Shared) {
+    let seq = lock(&shared.seq);
+    let seq = shared.cv.wait_while(seq, |s| *s == 0).unwrap(); // ok
+    drop(seq);
+}

@@ -1,0 +1,24 @@
+//! L4 fixture: a guard escaping its critical section — returned from
+//! the acquiring function, or stored into a longer-lived struct.
+
+pub struct Shared {
+    jobs: Mutex<u64>,
+}
+
+pub struct Holder {
+    guard: MutexGuard<'static, u64>,
+}
+
+fn leak_guard(shared: &Shared) -> MutexGuard<'_, u64> {
+    lock(&shared.jobs) // L4: the critical section escapes
+}
+
+fn store_guard(shared: &Shared, holder: &mut Holder) {
+    let g = lock(&shared.jobs);
+    holder.guard = g; // L4: guard outlives the function
+}
+
+fn fine(shared: &Shared) -> u64 {
+    let g = lock(&shared.jobs);
+    *g // ok: the *data* leaves, the guard does not
+}

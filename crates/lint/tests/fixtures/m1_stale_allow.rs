@@ -1,0 +1,24 @@
+//! M1 fixture: three allow markers — one earns its keep, one suppresses
+//! nothing (stale), one suppresses an L2. Used by the temp-workspace
+//! integration test, which lints this file as `crates/demo/src/lib.rs`.
+
+pub struct S {
+    a: Mutex<u64>,
+}
+
+pub fn used_cast(x: u64) -> u32 {
+    // lint: allow(lossy-cast) range checked by the caller
+    x as u32
+}
+
+pub fn stale_marker(x: u64) -> u64 {
+    // lint: allow(lossy-cast) left behind after a refactor — M1 flags this
+    x
+}
+
+pub fn sleepy(s: &S) {
+    let g = lock(&s.a);
+    // lint: allow(held-lock-blocking) startup path, provably contention-free
+    thread::sleep(TICK);
+    drop(g);
+}

@@ -34,12 +34,13 @@ use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use reaper_core::{FailureProfile, ProfilingRequest};
 use reaper_exec::pool::{BoundedQueue, PushError, WorkerPool};
+use reaper_exec::sync::lock;
 
 use crate::api::{self, JobSummary};
 use crate::http::{self, HttpError, Request, Response};
@@ -52,12 +53,6 @@ use crate::store::{
 /// Socket read timeout for keep-alive connections; bounds how long a
 /// connection thread can ignore the shutdown flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
-
-/// Locks a mutex, recovering from poisoning (a panicked worker must not
-/// take the whole service down).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Service configuration; `Default` gives an ephemeral-port localhost
 /// server sized for tests.

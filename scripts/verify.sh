@@ -10,8 +10,12 @@ cd "$(dirname "$0")/.."
 echo "== tier-1: release build =="
 cargo build --release --offline
 
-echo "== static analysis: reaper-lint (D1/D2/P1/C1) =="
+echo "== static analysis: lint fixture + analyzer suites =="
+cargo test -q --offline -p reaper-lint
+
+echo "== static analysis: reaper-lint (D1/D2/P1/C1 + L1-L4 + M0/M1) =="
 cargo run -q --offline -p reaper-lint
+cargo run -q --offline -p reaper-lint -- --json=target/lint-report.json
 
 echo "== static analysis: clippy deny-wall =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
