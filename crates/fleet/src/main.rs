@@ -1,0 +1,107 @@
+//! `reaper-fleet` binary: start N shards and a router, replicate on a
+//! fixed tick, and print the addresses.
+//!
+//! ```text
+//! cargo run --release -p reaper-fleet -- --shards 4 --addr 127.0.0.1:8080
+//! ```
+//!
+//! `--ticks N` exits after N replication ticks (0 = run until killed),
+//! which is how scripts drive a bounded session.
+
+// A CLI front-end prints and exits by design.
+#![allow(clippy::print_stdout, clippy::print_stderr, clippy::exit)]
+
+#[cfg(unix)]
+fn main() {
+    use std::time::Duration;
+
+    use reaper_fleet::{Fleet, FleetConfig};
+
+    let mut config = FleetConfig::default();
+    let mut replicate_ms: u64 = 500;
+    let mut ticks: u64 = 0;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args.get(i).map(String::as_str).unwrap_or("");
+        let value = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        match arg {
+            "--shards" => {
+                if let Some(v) = value(&mut i).and_then(|v| v.parse().ok()) {
+                    config.shards = v;
+                }
+            }
+            "--addr" => {
+                if let Some(v) = value(&mut i) {
+                    config.router.addr = v;
+                }
+            }
+            "--workers" => {
+                if let Some(v) = value(&mut i).and_then(|v| v.parse().ok()) {
+                    config.shard_template.workers = v;
+                }
+            }
+            "--replicate-ms" => {
+                if let Some(v) = value(&mut i).and_then(|v| v.parse().ok()) {
+                    replicate_ms = v;
+                }
+            }
+            "--ticks" => {
+                if let Some(v) = value(&mut i).and_then(|v| v.parse().ok()) {
+                    ticks = v;
+                }
+            }
+            other => {
+                eprintln!("reaper-fleet: unknown argument `{other}`");
+                eprintln!(
+                    "usage: reaper-fleet [--shards N] [--addr HOST:PORT] [--workers N] \
+                     [--replicate-ms MS] [--ticks N]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let fleet = match Fleet::start(config) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("reaper-fleet: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    match fleet.router_addr() {
+        Some(addr) => println!("router listening on http://{addr}"),
+        None => println!("router not running"),
+    }
+    for i in 0..fleet.shard_count() {
+        if let Some(addr) = fleet.shard_addr(i) {
+            println!("shard-{i} on http://{addr}");
+        }
+    }
+
+    let mut done: u64 = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(replicate_ms.max(10)));
+        let stats = fleet.replicate_once();
+        done += 1;
+        if stats.installed_full > 0 || stats.applied_chains > 0 {
+            println!(
+                "replication tick {done}: {} full installs, {} delta chains",
+                stats.installed_full, stats.applied_chains
+            );
+        }
+        if ticks > 0 && done >= ticks {
+            break;
+        }
+    }
+    fleet.shutdown();
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("reaper-fleet requires the unix poll(2) event loop");
+}

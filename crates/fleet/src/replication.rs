@@ -1,0 +1,267 @@
+//! Pull-based profile replication between shards.
+//!
+//! Each shard runs a [`ReplicationAgent`] that, once per logical tick,
+//! fetches every peer's `/v1/sync/manifest` and reconciles its own
+//! store against it:
+//!
+//! * a profile it has never seen is fetched in full and installed *at
+//!   the peer's epoch* with the peer's job record — so the replica's
+//!   ETag is byte-identical to the primary's and a failed-over client
+//!   revalidates with `If-None-Match` at zero recompute cost;
+//! * a profile it holds at an older epoch is caught up with one
+//!   `delta?since=` pull — the same `RPD1` chain a client would fetch —
+//!   applied link-by-link with per-link hash verification;
+//! * anything that fails verification degrades to a full re-fetch, so
+//!   corruption can delay convergence but never propagate.
+//!
+//! The agent is tick-driven (`run_once`): the fleet binary and the load
+//! generator call it on their own schedule, which keeps replication
+//! deterministic under test and free of background wall-clock state.
+
+use std::sync::Arc;
+
+use reaper_core::ProfilingRequest;
+use reaper_serve::{api, json, ConnectionPool, JobSummary, SyncApply, SyncHandle};
+
+use crate::router::ShardDirectory;
+
+/// What one replication tick did, summed over all peers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Peer manifests fetched.
+    pub peers_pulled: u64,
+    /// Peers that did not answer (down or mid-restart).
+    pub peers_unreachable: u64,
+    /// Profiles installed from a full snapshot fetch.
+    pub installed_full: u64,
+    /// Profiles advanced by applying a delta chain.
+    pub applied_chains: u64,
+    /// Manifest entries already at (or past) the peer's head.
+    pub up_to_date: u64,
+    /// Entries that could not be applied this tick (malformed manifest
+    /// rows, evicted peer bytes, hash mismatches).
+    pub failed: u64,
+}
+
+impl ReplicationStats {
+    /// Accumulates another tick's stats into this one.
+    pub fn absorb(&mut self, other: ReplicationStats) {
+        self.peers_pulled += other.peers_pulled;
+        self.peers_unreachable += other.peers_unreachable;
+        self.installed_full += other.installed_full;
+        self.applied_chains += other.applied_chains;
+        self.up_to_date += other.up_to_date;
+        self.failed += other.failed;
+    }
+}
+
+/// The per-shard replication agent. Cheap to construct; holds only the
+/// shard's [`SyncHandle`] and the shared directory.
+pub struct ReplicationAgent {
+    shard: String,
+    local: SyncHandle,
+    directory: Arc<ShardDirectory>,
+}
+
+impl ReplicationAgent {
+    /// Creates the agent for `shard` (its own directory entry is
+    /// skipped during pulls).
+    pub fn new(shard: String, local: SyncHandle, directory: Arc<ShardDirectory>) -> Self {
+        Self {
+            shard,
+            local,
+            directory,
+        }
+    }
+
+    /// One replication tick: pull every peer's manifest and reconcile.
+    pub fn run_once(&self) -> ReplicationStats {
+        let mut stats = ReplicationStats::default();
+        for (name, pool) in self.directory.pools() {
+            if name == self.shard {
+                continue;
+            }
+            let Ok(resp) = pool.request("GET", "/v1/sync/manifest", &[], &[]) else {
+                stats.peers_unreachable += 1;
+                continue;
+            };
+            if resp.status != 200 {
+                stats.failed += 1;
+                continue;
+            }
+            self.local.note_replication_pull();
+            stats.peers_pulled += 1;
+            self.reconcile_manifest(&pool, &resp.body, &mut stats);
+        }
+        stats
+    }
+
+    fn reconcile_manifest(
+        &self,
+        pool: &ConnectionPool,
+        manifest: &[u8],
+        stats: &mut ReplicationStats,
+    ) {
+        let Ok(text) = core::str::from_utf8(manifest) else {
+            stats.failed += 1;
+            return;
+        };
+        let Ok(doc) = json::parse(text) else {
+            stats.failed += 1;
+            return;
+        };
+        let Some(json::Value::Arr(entries)) = doc.get("entries") else {
+            stats.failed += 1;
+            return;
+        };
+        for entry in entries {
+            self.reconcile_entry(pool, entry, stats);
+        }
+    }
+
+    fn reconcile_entry(
+        &self,
+        pool: &ConnectionPool,
+        entry: &json::Value,
+        stats: &mut ReplicationStats,
+    ) {
+        let parsed = parse_manifest_entry(entry);
+        let Some(entry) = parsed else {
+            stats.failed += 1;
+            return;
+        };
+        let local_head = self.local.head_of(entry.id);
+        let behind = match &local_head {
+            None => true,
+            Some(h) => {
+                h.epoch < entry.epoch || (h.epoch == entry.epoch && h.hash != entry.hash)
+            }
+        };
+        if !behind {
+            stats.up_to_date += 1;
+            return;
+        }
+        match local_head {
+            Some(head) => self.pull_delta(pool, &entry, head.epoch, stats),
+            None => self.pull_full(pool, &entry, stats),
+        }
+    }
+
+    /// Catches a known profile up via `delta?since=`; falls back to a
+    /// full fetch when the chain no longer extends the local head.
+    fn pull_delta(
+        &self,
+        pool: &ConnectionPool,
+        entry: &ManifestEntry,
+        since: u64,
+        stats: &mut ReplicationStats,
+    ) {
+        let jid = ProfilingRequest::format_job_id(entry.id);
+        let target = format!("/v1/profiles/{jid}/delta?since={since}");
+        let Ok(resp) = pool.request("GET", &target, &[], &[]) else {
+            stats.peers_unreachable += 1;
+            return;
+        };
+        match resp.status {
+            304 => stats.up_to_date += 1,
+            200 if resp.header("x-reaper-delta") == Some("chain") => {
+                match self.local.apply_delta_chain(entry.id, &resp.body) {
+                    SyncApply::Applied { .. } => stats.applied_chains += 1,
+                    SyncApply::NoOp => stats.up_to_date += 1,
+                    SyncApply::NeedFull => self.pull_full(pool, entry, stats),
+                }
+            }
+            // Full fallback (compaction passed `since`), or anything
+            // unexpected: a full fetch answers both.
+            _ => self.pull_full(pool, entry, stats),
+        }
+    }
+
+    /// Fetches the peer's full head snapshot and installs it at the
+    /// peer's exact epoch.
+    fn pull_full(&self, pool: &ConnectionPool, entry: &ManifestEntry, stats: &mut ReplicationStats) {
+        let jid = ProfilingRequest::format_job_id(entry.id);
+        let Ok(resp) = pool.request("GET", &format!("/v1/profiles/{jid}"), &[], &[]) else {
+            stats.peers_unreachable += 1;
+            return;
+        };
+        if resp.status != 200 {
+            // 410 = the peer evicted the bytes (metadata-only head);
+            // nothing to copy this tick.
+            stats.failed += 1;
+            return;
+        }
+        let Some((hash, epoch)) = resp.header("etag").and_then(parse_etag) else {
+            stats.failed += 1;
+            return;
+        };
+        match self.local.install_full(
+            entry.id,
+            epoch,
+            hash,
+            resp.body,
+            &entry.request,
+            entry.summary.clone(),
+        ) {
+            SyncApply::Applied { .. } => stats.installed_full += 1,
+            SyncApply::NoOp => stats.up_to_date += 1,
+            SyncApply::NeedFull => stats.failed += 1,
+        }
+    }
+}
+
+/// One decoded `/v1/sync/manifest` entry.
+struct ManifestEntry {
+    id: u64,
+    epoch: u64,
+    hash: u64,
+    request: ProfilingRequest,
+    summary: JobSummary,
+}
+
+fn parse_manifest_entry(entry: &json::Value) -> Option<ManifestEntry> {
+    let id = entry
+        .get("job_id")
+        .and_then(json::Value::as_str)
+        .and_then(ProfilingRequest::parse_job_id)?;
+    let epoch = entry.get("epoch").and_then(json::Value::as_u64)?;
+    let hash = entry
+        .get("hash")
+        .and_then(json::Value::as_str)
+        .and_then(|h| u64::from_str_radix(h, 16).ok())?;
+    let request = api::parse_job_body(entry.get("request")?.encode().as_bytes()).ok()?;
+    let summary = JobSummary::from_value(entry.get("summary")?)?;
+    Some(ManifestEntry {
+        id,
+        epoch,
+        hash,
+        request,
+        summary,
+    })
+}
+
+/// Parses a strong profile ETag (`"<hash16>-<epoch>"`) into
+/// `(hash, epoch)`.
+fn parse_etag(tag: &str) -> Option<(u64, u64)> {
+    let inner = tag.strip_prefix('"')?.strip_suffix('"')?;
+    let (hash, epoch) = inner.split_once('-')?;
+    Some((
+        u64::from_str_radix(hash, 16).ok()?,
+        epoch.parse::<u64>().ok()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn etag_parses_back_to_hash_and_epoch() {
+        assert_eq!(
+            parse_etag("\"00000000deadbeef-7\""),
+            Some((0xdead_beef, 7))
+        );
+        assert_eq!(parse_etag("deadbeef-7"), None);
+        assert_eq!(parse_etag("\"nothex-7\""), None);
+    }
+}

@@ -1,0 +1,475 @@
+//! The shard router: a non-blocking HTTP frontend that proxies the
+//! `/v1/*` API onto the owning shard, so clients talk to a fleet
+//! exactly as they talk to one server.
+//!
+//! ## Shape
+//!
+//! The frontend is the same `poll(2)` event loop the shards use
+//! ([`reaper_serve::eventloop`]); a request's placement is decided on
+//! the loop thread (pure hashing, no I/O) and the blocking shard
+//! round-trip happens on a proxy worker pool, which completes the
+//! response back into the loop:
+//!
+//! ```text
+//! client ── event loop ── classify ──► BoundedQueue ──► proxy worker
+//!             ▲                                             │
+//!             └────────────── complete(conn, resp) ◄────────┘
+//!                                 (ConnectionPool per shard)
+//! ```
+//!
+//! Watch subscriptions are long-lived chunked streams, so they bypass
+//! the queue: the loop hands the client socket to a relay thread that
+//! streams the shard's chunked response through verbatim.
+//!
+//! ## Failover
+//!
+//! A shard round-trip that fails (connect refused, mid-response drop)
+//! answers `503` with a `retry-after` hint and counts one failover; the
+//! router itself stays up. When the shard restarts — typically on a
+//! fresh ephemeral port — [`ShardDirectory::update_addr`] retargets its
+//! connection pool and the same requests succeed again. Placement is
+//! keyed by shard *name* ([`crate::hrw`]), so a restart never moves the
+//! partition.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use reaper_core::ProfilingRequest;
+use reaper_exec::pool::{BoundedQueue, PushError, WorkerPool};
+use reaper_exec::sync::lock;
+use reaper_serve::eventloop::{ConnToken, EventLoop, EventLoopHandle, Handled, Handler};
+use reaper_serve::http::{self, ClientResponse, Request, Response};
+use reaper_serve::metrics::{render_fleet, FleetIdentity, FleetMetrics};
+use reaper_serve::{api, json, ConnectionPool, ServiceMetrics};
+
+use crate::hrw;
+
+/// Live shard membership: name → (placement seed, connection pool).
+///
+/// Shared between the router (placement + proxying) and the
+/// replication agents (peer pulls), so one [`update_addr`] after a
+/// shard restart repoints both.
+///
+/// [`update_addr`]: ShardDirectory::update_addr
+pub struct ShardDirectory {
+    /// `BTreeMap` so every iteration (placement scans, peer pulls,
+    /// metrics) sees shards in one deterministic order.
+    state: Mutex<BTreeMap<String, ShardEntry>>,
+    pool_idle: usize,
+}
+
+struct ShardEntry {
+    seed: u64,
+    pool: Arc<ConnectionPool>,
+}
+
+impl ShardDirectory {
+    /// Builds a directory from `(name, address)` pairs, keeping at most
+    /// `pool_idle` warm connections per shard.
+    pub fn new(shards: &[(String, SocketAddr)], pool_idle: usize) -> Self {
+        let mut state = BTreeMap::new();
+        for (name, addr) in shards {
+            state.insert(
+                name.clone(),
+                ShardEntry {
+                    seed: hrw::shard_seed(name),
+                    pool: Arc::new(ConnectionPool::new(*addr, pool_idle)),
+                },
+            );
+        }
+        Self {
+            state: Mutex::new(state),
+            pool_idle,
+        }
+    }
+
+    /// Registers a shard or repoints an existing one (a restart on a
+    /// fresh ephemeral port), dropping its pooled connections.
+    pub fn update_addr(&self, name: &str, addr: SocketAddr) {
+        let mut state = lock(&self.state);
+        match state.get(name) {
+            Some(entry) => entry.pool.retarget(addr),
+            None => {
+                state.insert(
+                    name.to_string(),
+                    ShardEntry {
+                        seed: hrw::shard_seed(name),
+                        pool: Arc::new(ConnectionPool::new(addr, self.pool_idle)),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The owning shard for `job_id`, per rendezvous placement.
+    pub fn place(&self, job_id: u64) -> Option<(String, Arc<ConnectionPool>)> {
+        let state = lock(&self.state);
+        let shards: Vec<(String, u64)> = state
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.seed))
+            .collect();
+        let winner = hrw::place(job_id, &shards)?;
+        state
+            .get(winner)
+            .map(|entry| (winner.to_string(), Arc::clone(&entry.pool)))
+    }
+
+    /// Every shard's `(name, pool)`, in name order.
+    pub fn pools(&self) -> Vec<(String, Arc<ConnectionPool>)> {
+        lock(&self.state)
+            .iter()
+            .map(|(name, entry)| (name.clone(), Arc::clone(&entry.pool)))
+            .collect()
+    }
+
+    /// Number of registered shards.
+    pub fn len(&self) -> usize {
+        lock(&self.state).len()
+    }
+
+    /// True when no shard is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Router configuration; `Default` suits tests (ephemeral port).
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Blocking proxy workers (each drives one shard round-trip at a
+    /// time).
+    pub proxy_workers: usize,
+    /// Proxy queue bound; requests beyond it are shed with `503`.
+    pub proxy_queue: usize,
+    /// Event-loop registered-socket cap.
+    pub max_connections: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            proxy_workers: 4,
+            proxy_queue: 256,
+            max_connections: reaper_serve::server::DEFAULT_MAX_CONNECTIONS,
+        }
+    }
+}
+
+/// One queued proxy round-trip, owned by a proxy worker until it
+/// completes the response back into the event loop.
+struct ProxyTicket {
+    method: String,
+    target: String,
+    /// Forwarded request headers (the conditional-GET subset).
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    job_id: u64,
+    conn: ConnToken,
+}
+
+struct RouterShared {
+    shutdown: AtomicBool,
+    directory: Arc<ShardDirectory>,
+    queue: BoundedQueue<ProxyTicket>,
+    handle: EventLoopHandle,
+    identity: FleetIdentity,
+    fleet: FleetMetrics,
+}
+
+/// A running shard router; shut it down explicitly like a [`Server`].
+///
+/// [`Server`]: reaper_serve::Server
+pub struct Router {
+    shared: Arc<RouterShared>,
+    local_addr: SocketAddr,
+    loop_thread: Option<JoinHandle<()>>,
+    workers: Option<WorkerPool>,
+}
+
+impl Router {
+    /// Binds the frontend, spawns the proxy workers and the event loop.
+    ///
+    /// # Errors
+    /// Propagates socket bind failures.
+    pub fn start(config: RouterConfig, directory: Arc<ShardDirectory>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let event_loop = EventLoop::new(listener, config.max_connections)?;
+        let shared = Arc::new(RouterShared {
+            shutdown: AtomicBool::new(false),
+            directory,
+            queue: BoundedQueue::new(config.proxy_queue.max(1)),
+            handle: event_loop.handle(),
+            identity: FleetIdentity {
+                role: "router",
+                shard_id: None,
+            },
+            fleet: FleetMetrics::new(),
+        });
+
+        let workers = {
+            let shared = Arc::clone(&shared);
+            WorkerPool::spawn(
+                "reaper-fleet-proxy",
+                config.proxy_workers.max(1),
+                move |_i| proxy_loop(&shared),
+            )
+        };
+
+        let loop_thread = {
+            let handler = Arc::new(RouterHandler {
+                shared: Arc::clone(&shared),
+            });
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("reaper-fleet-router".to_string())
+                .spawn(move || event_loop.run(&handler, &shared.shutdown))?
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            loop_thread: Some(loop_thread),
+            workers: Some(workers),
+        })
+    }
+
+    /// The bound frontend address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop the loop, close the queue, join workers.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(h) = self.loop_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(pool) = self.workers.take() {
+            pool.join();
+        }
+    }
+}
+
+/// Classifies a request on the loop thread (no I/O).
+struct RouterHandler {
+    shared: Arc<RouterShared>,
+}
+
+impl Handler for RouterHandler {
+    fn handle(&self, request: Request, conn: ConnToken) -> Handled {
+        match classify(&request) {
+            Classified::Health => Handled::Respond(healthz(&self.shared)),
+            Classified::Metrics => Handled::Respond(metrics_page(&self.shared)),
+            Classified::Bad(response) => Handled::Respond(response),
+            Classified::Proxy(job_id) => {
+                let ticket = ProxyTicket {
+                    method: request.method.clone(),
+                    target: request.target.clone(),
+                    headers: forwarded_headers(&request),
+                    body: request.body,
+                    job_id,
+                    conn,
+                };
+                match self.shared.queue.try_push(ticket) {
+                    Ok(()) => Handled::Deferred,
+                    Err(PushError::Full) => Handled::Respond(shed("router queue is full; retry")),
+                    Err(PushError::Closed) => {
+                        Handled::Respond(shed("router is shutting down"))
+                    }
+                }
+            }
+            Classified::WatchRelay(job_id) => {
+                let shared = Arc::clone(&self.shared);
+                let method = request.method.clone();
+                let target = request.target.clone();
+                Handled::TakeOver(Box::new(move |client, _residual| {
+                    relay_watch(&shared, job_id, &method, &target, client);
+                }))
+            }
+        }
+    }
+}
+
+enum Classified {
+    Health,
+    Metrics,
+    Proxy(u64),
+    WatchRelay(u64),
+    Bad(Response),
+}
+
+/// Maps a request to its disposition. Job-addressed endpoints route by
+/// the ID in the path; submissions route by the content-addressed ID of
+/// the parsed body — the same hash the shard will compute, which is
+/// what makes fleet results bit-identical to single-node ones.
+fn classify(request: &Request) -> Classified {
+    let path = request.path();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Classified::Health,
+        ("GET", "/metrics") => Classified::Metrics,
+        ("POST", "/v1/jobs") => match api::parse_job_body(&request.body) {
+            Ok(parsed) => Classified::Proxy(parsed.job_id()),
+            Err(message) => Classified::Bad(Response::json(400, api::error_body(&message))),
+        },
+        _ => {
+            let id_text = path
+                .strip_prefix("/v1/jobs/")
+                .or_else(|| {
+                    path.strip_prefix("/v1/profiles/")
+                        .map(|rest| rest.split_once('/').map_or(rest, |(id, _)| id))
+                });
+            match id_text.and_then(ProfilingRequest::parse_job_id) {
+                Some(id) if path.ends_with("/watch") => Classified::WatchRelay(id),
+                Some(id) => Classified::Proxy(id),
+                None => Classified::Bad(Response::json(
+                    404,
+                    api::error_body("no such resource (fleet routes by job ID)"),
+                )),
+            }
+        }
+    }
+}
+
+/// The request headers the router forwards to the shard: the
+/// conditional-GET family, so ETag revalidation works through the
+/// proxy.
+fn forwarded_headers(request: &Request) -> Vec<(String, String)> {
+    request
+        .headers
+        .iter()
+        .filter(|(name, _)| name == "if-none-match")
+        .cloned()
+        .collect()
+}
+
+/// A `503` with an explicit retry hint.
+fn shed(reason: &str) -> Response {
+    Response::json(503, api::error_body(reason)).with_header("retry-after", "1".to_string())
+}
+
+fn healthz(shared: &Arc<RouterShared>) -> Response {
+    let body = json::obj([
+        ("ok", json::Value::Bool(true)),
+        ("role", json::str(shared.identity.role)),
+        (
+            "shards",
+            json::uint(reaper_exec::num::to_u64(shared.directory.len())),
+        ),
+    ]);
+    Response::json(200, body.encode())
+}
+
+fn metrics_page(shared: &Arc<RouterShared>) -> Response {
+    let mut text = String::new();
+    // The router holds no store; its epoch gauge is identically zero.
+    render_fleet(&shared.identity, 0, &shared.fleet, &mut text);
+    Response::text(200, text)
+}
+
+/// One proxy worker: drain tickets, round-trip each to its shard, and
+/// complete the response into the event loop.
+fn proxy_loop(shared: &Arc<RouterShared>) {
+    while let Some(ticket) = shared.queue.pop() {
+        let response = proxy_one(shared, &ticket);
+        shared.handle.complete(ticket.conn, response);
+    }
+}
+
+fn proxy_one(shared: &Arc<RouterShared>, ticket: &ProxyTicket) -> Response {
+    let Some((_name, pool)) = shared.directory.place(ticket.job_id) else {
+        return shed("no shards registered");
+    };
+    ServiceMetrics::inc(&shared.fleet.proxied_requests);
+    let headers: Vec<(&str, &str)> = ticket
+        .headers
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_str()))
+        .collect();
+    match pool.request(&ticket.method, &ticket.target, &headers, &ticket.body) {
+        Ok(resp) => downstream_response(&resp),
+        Err(_) => {
+            ServiceMetrics::inc(&shared.fleet.failovers);
+            shed("shard unavailable; retry")
+        }
+    }
+}
+
+/// Re-frames a shard's response for the client, preserving the headers
+/// the API contract depends on (`etag`, `x-reaper-epoch`,
+/// `x-reaper-delta`) and the content type.
+fn downstream_response(resp: &ClientResponse) -> Response {
+    let content_type = match resp.header("content-type") {
+        Some(v) if v.starts_with("application/json") => "application/json",
+        Some(v) if v.starts_with("text/plain") => "text/plain; version=0.0.4",
+        _ => "application/octet-stream",
+    };
+    let mut out = Response {
+        status: resp.status,
+        content_type,
+        extra_headers: Vec::new(),
+        body: resp.body.clone(),
+    };
+    for name in ["etag", "x-reaper-epoch", "x-reaper-delta"] {
+        if let Some(value) = resp.header(name) {
+            out.extra_headers.push((name, value.to_string()));
+        }
+    }
+    out
+}
+
+/// Relays a watch subscription on its own thread: forwards the request
+/// to the owning shard over a fresh connection (watch streams are
+/// long-lived, so they never come from the pool) and copies the chunked
+/// response through byte-for-byte until the shard closes it.
+fn relay_watch(
+    shared: &Arc<RouterShared>,
+    job_id: u64,
+    method: &str,
+    target: &str,
+    mut client: TcpStream,
+) {
+    let Some((_name, pool)) = shared.directory.place(job_id) else {
+        let _ = http::write_response(&mut client, &shed("no shards registered"), false);
+        return;
+    };
+    ServiceMetrics::inc(&shared.fleet.proxied_requests);
+    let upstream = TcpStream::connect(pool.addr());
+    let Ok(mut upstream) = upstream else {
+        ServiceMetrics::inc(&shared.fleet.failovers);
+        let _ = http::write_response(&mut client, &shed("shard unavailable; retry"), false);
+        return;
+    };
+    let _ = upstream.set_nodelay(true);
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: reaper-fleet\r\ncontent-length: 0\r\n\
+         connection: close\r\n\r\n"
+    );
+    if upstream.write_all(head.as_bytes()).is_err() {
+        ServiceMetrics::inc(&shared.fleet.failovers);
+        let _ = http::write_response(&mut client, &shed("shard unavailable; retry"), false);
+        return;
+    }
+    // Verbatim relay: the shard speaks `connection: close`, so EOF is
+    // the end of the stream for the client too.
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        match upstream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                let Some(chunk) = buf.get(..n) else { break };
+                if client.write_all(chunk).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Failover conformance: kill the shard that owns a profile mid-run,
+//! observe the router shed with `503` + `retry-after`, restart the
+//! shard on a fresh port, replicate, and verify the profile comes back
+//! under its **original ETag** — a client holding it revalidates to
+//! `304` and the restarted shard recomputes nothing.
+//!
+//! One `#[test]`: the scenario is a strict sequence (seed → replicate →
+//! kill → shed → restart → replicate → revalidate).
+
+#![cfg(unix)]
+// Test code may panic on failure.
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::indexing_slicing)]
+
+use std::time::Duration;
+
+use reaper_core::ProfilingRequest;
+use reaper_fleet::{Fleet, FleetConfig};
+use reaper_serve::{Client, ClientError, ProfileFetch};
+
+/// A job small enough to execute in well under a second on one core.
+fn quick_request(seed: u64) -> ProfilingRequest {
+    let mut r = ProfilingRequest::example(seed);
+    r.capacity_den = 64;
+    r.rounds = 2;
+    r.target_interval_ms = 512.0;
+    r.reach_delta_ms = 128.0;
+    r
+}
+
+#[test]
+fn killed_shard_sheds_then_recovers_with_original_etags() {
+    let mut config = FleetConfig {
+        shards: 4,
+        ..FleetConfig::default()
+    };
+    config.shard_template.workers = 1;
+    let mut fleet = Fleet::start(config).expect("start fleet");
+    let router_addr = fleet.router_addr().expect("router address");
+    let mut client = Client::new(router_addr);
+
+    // Seed the fleet with completed jobs spread across shards.
+    let seeds: Vec<u64> = (100..112).collect();
+    let mut jobs = Vec::new();
+    for seed in &seeds {
+        let request = quick_request(*seed);
+        let id = request.job_id();
+        let receipt = client.submit(&request).expect("submit");
+        jobs.push((id, receipt.job_id));
+    }
+    let mut baseline = Vec::new();
+    for (_, job_id) in &jobs {
+        let bytes = client
+            .wait_for_profile(job_id, Duration::from_millis(10), 1_000)
+            .expect("profile");
+        let fetch = client
+            .profile_conditional(job_id, None)
+            .expect("conditional fetch");
+        let ProfileFetch::Fresh { etag, .. } = fetch else {
+            panic!("expected fresh fetch, got {fetch:?}");
+        };
+        baseline.push((bytes, etag));
+    }
+
+    // Replicate so every shard mirrors every profile.
+    let stats = fleet.replicate_once();
+    assert!(
+        stats.installed_full > 0,
+        "first replication tick must copy profiles between shards: {stats:?}"
+    );
+    let settle = fleet.replicate_once();
+    assert_eq!(settle.installed_full, 0, "second tick must be a no-op: {settle:?}");
+    assert_eq!(settle.applied_chains, 0, "second tick must be a no-op: {settle:?}");
+
+    // Kill the shard that owns the first job.
+    let (victim_id, victim_job) = (&jobs[0].0, jobs[0].1.clone());
+    let victim = fleet.owner_of(*victim_id).expect("owner exists");
+    assert!(fleet.kill_shard(victim), "victim shard was live");
+
+    // The router sheds requests for that partition with a retryable 503.
+    let shed = client.profile_bytes(&victim_job);
+    match shed {
+        Err(ClientError::Status(503, body)) => {
+            assert!(body.contains("retry"), "503 body should invite a retry: {body}");
+        }
+        other => panic!("expected 503 while the owner is down, got {other:?}"),
+    }
+
+    // Restart on a fresh ephemeral port; the store starts empty, and
+    // one replication tick restores the partition from the peers.
+    let new_addr = fleet
+        .restart_shard(victim)
+        .expect("restart")
+        .expect("shard index valid");
+    let stats = fleet.replicate_once();
+    assert!(
+        stats.installed_full > 0,
+        "restarted shard must re-pull its profiles: {stats:?}"
+    );
+
+    // The client's original ETag revalidates straight to 304 — through
+    // the router, against the restarted shard, with zero recompute.
+    for ((_, job_id), (bytes, etag)) in jobs.iter().zip(&baseline) {
+        let fetch = client
+            .profile_conditional(job_id, Some(etag))
+            .expect("revalidate");
+        match fetch {
+            ProfileFetch::NotModified { etag: back } => assert_eq!(&back, etag),
+            ProfileFetch::Fresh { bytes: fresh, etag: back } => {
+                // A non-victim shard may serve fresh bytes; they must
+                // still match the original ETag and bytes.
+                assert_eq!(&back, etag, "ETag changed across failover");
+                assert_eq!(&fresh, bytes, "bytes changed across failover");
+            }
+            other => panic!("unexpected fetch after failover: {other:?}"),
+        }
+    }
+
+    // Zero recompute: the restarted shard completed no jobs.
+    let mut direct = Client::new(new_addr);
+    let metrics = direct.metrics_text().expect("shard metrics");
+    assert!(
+        metrics.contains("reaper_jobs_completed_total 0"),
+        "restarted shard must not recompute profiles:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("reaper_fleet_replication_pulls_total"),
+        "shard metrics must expose fleet counters:\n{metrics}"
+    );
+
+    // Router metrics recorded the failover.
+    let mut router_client = Client::new(router_addr);
+    let router_metrics = router_client.metrics_text().expect("router metrics");
+    assert!(
+        router_metrics.contains("reaper_fleet_info{role=\"router\"} 1"),
+        "router identity missing:\n{router_metrics}"
+    );
+    let failovers = router_metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("reaper_fleet_failovers_total "))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .expect("failover counter present");
+    assert!(failovers >= 1, "router must count the shed as a failover");
+
+    fleet.shutdown();
+}

@@ -1,0 +1,75 @@
+//! Property tests for rendezvous placement: the router must place a
+//! job ID on the same shard regardless of process, registration order,
+//! or repetition — and growing the fleet must move only the keys the
+//! new shard wins (≈ `1/(n+1)` of them), never reshuffle the rest.
+
+use proptest::prelude::*;
+use reaper_fleet::hrw;
+
+/// Builds the `(name, seed)` shard set `shard-0 .. shard-{n-1}`.
+fn shard_set(n: usize) -> Vec<(String, u64)> {
+    (0..n)
+        .map(|i| {
+            let name = format!("shard-{i}");
+            let seed = hrw::shard_seed(&name);
+            (name, seed)
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn placement_is_stable_across_orderings_and_repetition(
+        job_ids in proptest::collection::vec(any::<u64>(), 1..64),
+        shards in 1usize..9,
+        rotation in any::<usize>(),
+    ) {
+        let forward = shard_set(shards);
+        // An arbitrary rotation exercises order independence without
+        // needing a shuffle primitive.
+        let mut rotated = forward.clone();
+        rotated.rotate_left(rotation % shards);
+        for id in &job_ids {
+            let a = hrw::place(*id, &forward).map(str::to_string);
+            let b = hrw::place(*id, &forward).map(str::to_string);
+            let c = hrw::place(*id, &rotated).map(str::to_string);
+            prop_assert_eq!(&a, &b, "same input, same process: placement must repeat");
+            prop_assert_eq!(&a, &c, "registration order must not matter");
+            prop_assert!(a.is_some(), "non-empty shard set always places");
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_keys_it_wins(
+        base in any::<u64>(),
+        shards in 1usize..9,
+    ) {
+        let before = shard_set(shards);
+        let mut after = before.clone();
+        let newcomer = format!("shard-{shards}");
+        after.push((newcomer.clone(), hrw::shard_seed(&newcomer)));
+
+        const SAMPLE: u64 = 512;
+        let mut moved = 0u64;
+        for k in 0..SAMPLE {
+            let id = base.wrapping_add(k).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let old = hrw::place(id, &before).expect("non-empty");
+            let new = hrw::place(id, &after).expect("non-empty");
+            if old != new {
+                // HRW guarantee, exact: a key only moves TO the added
+                // shard (the newcomer outscored the old winner; the
+                // relative order of the old shards is untouched).
+                prop_assert_eq!(new, newcomer.as_str());
+                moved += 1;
+            }
+        }
+        // Expectation is SAMPLE/(n+1); allow generous slack (3x) since
+        // this is a statistical bound, but the exact-destination check
+        // above is what rules out reshuffles.
+        let n_plus_1 = (shards as u64) + 1;
+        prop_assert!(
+            moved <= 3 * SAMPLE / n_plus_1,
+            "moved {moved} of {SAMPLE} keys with {n_plus_1} shards — far above ~1/(n+1)"
+        );
+    }
+}

@@ -107,6 +107,13 @@ pub fn parse_job_body(body: &[u8]) -> Result<ProfilingRequest, String> {
 /// Renders a [`ProfilingRequest`] as the JSON body [`parse_job_body`]
 /// accepts (used by the client and the load generator).
 pub fn encode_job_body(req: &ProfilingRequest) -> String {
+    job_body_value(req).encode()
+}
+
+/// The submit-body JSON as a [`Value`] — used where the request is
+/// embedded in a larger document (the fleet sync manifest) instead of
+/// sent as a body of its own.
+pub fn job_body_value(req: &ProfilingRequest) -> Value {
     json::obj([
         ("vendor", json::str(req.vendor.name())),
         ("capacity_num", json::uint(req.capacity_num)),
@@ -119,7 +126,6 @@ pub fn encode_job_body(req: &ProfilingRequest) -> String {
         ("rounds", json::uint(u64::from(req.rounds))),
         ("patterns", json::str(req.patterns.name())),
     ])
-    .encode()
 }
 
 /// The compact, JSON-safe summary of a completed job stored in its
@@ -174,6 +180,23 @@ impl JobSummary {
             ("profile_bytes", json::uint(self.profile_bytes)),
             ("profile_hash", json::str(self.profile_hash.clone())),
         ])
+    }
+
+    /// Parses a summary back out of its [`JobSummary::to_value`] JSON
+    /// form — the replication path: a replica installing a peer's job
+    /// record reconstructs the summary from the sync manifest instead
+    /// of re-executing the job.
+    pub fn from_value(v: &Value) -> Option<Self> {
+        Some(Self {
+            cells: v.get("cells").and_then(Value::as_u64)?,
+            truth_cells: v.get("truth_cells").and_then(Value::as_u64)?,
+            coverage: v.get("coverage").and_then(Value::as_f64)?,
+            false_positive_rate: v.get("false_positive_rate").and_then(Value::as_f64)?,
+            runtime_ms: v.get("runtime_ms").and_then(Value::as_f64)?,
+            iterations: v.get("iterations").and_then(Value::as_u64)?,
+            profile_bytes: v.get("profile_bytes").and_then(Value::as_u64)?,
+            profile_hash: v.get("profile_hash").and_then(Value::as_str)?.to_string(),
+        })
     }
 }
 
@@ -272,5 +295,17 @@ mod tests {
             Some(format!("{:016x}", outcome.run.profile.content_hash()).as_str())
         );
         assert_eq!(error_body("boom"), r#"{"error":"boom"}"#);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json_value() {
+        let outcome = ProfilingRequest::example(3)
+            .execute()
+            .expect("example executes");
+        let encoded = outcome.run.profile.to_bytes();
+        let summary = JobSummary::from_outcome(&outcome, &encoded);
+        let back = JobSummary::from_value(&summary.to_value()).expect("roundtrips");
+        assert_eq!(back, summary);
+        assert!(JobSummary::from_value(&json::obj([])).is_none());
     }
 }

@@ -7,10 +7,12 @@
 
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
 use std::thread;
 use std::time::Duration;
 
 use reaper_core::ProfilingRequest;
+use reaper_exec::sync::lock;
 
 use crate::api;
 use crate::http::{self, ClientResponse};
@@ -544,5 +546,218 @@ impl Client {
         let resp = Self::expect_status(resp, 200)?;
         let doc = Self::parse_json(&resp)?;
         Ok(doc.get("ok").and_then(Value::as_bool).unwrap_or(false))
+    }
+}
+
+/// A thread-safe pool of keep-alive connections to one target address.
+///
+/// The fleet router checks a connection out per proxied request and
+/// returns it on a keep-alive success, so shard round-trips skip the
+/// TCP handshake. A pooled connection that turns out to be stale (the
+/// shard reaped it while idle, or the shard restarted) fails its
+/// round-trip; the pool then dials one fresh connection and retries the
+/// request exactly once — errors on a fresh connection propagate.
+///
+/// Locking: the mutex guards only the idle list and target address;
+/// it is never held across connect/read/write.
+pub struct ConnectionPool {
+    max_idle: usize,
+    state: Mutex<PoolState>,
+}
+
+struct PoolState {
+    addr: SocketAddr,
+    idle: Vec<BufReader<TcpStream>>,
+}
+
+impl ConnectionPool {
+    /// Creates a pool dialing `addr`, keeping at most `max_idle`
+    /// connections warm (minimum 1).
+    pub fn new(addr: SocketAddr, max_idle: usize) -> Self {
+        Self {
+            max_idle: max_idle.max(1),
+            state: Mutex::new(PoolState {
+                addr,
+                idle: Vec::new(),
+            }),
+        }
+    }
+
+    /// The current target address.
+    pub fn addr(&self) -> SocketAddr {
+        lock(&self.state).addr
+    }
+
+    /// Repoints the pool at a new address (a shard restarted on a fresh
+    /// ephemeral port) and drops every connection to the old one.
+    pub fn retarget(&self, addr: SocketAddr) {
+        let mut state = lock(&self.state);
+        state.addr = addr;
+        state.idle.clear();
+    }
+
+    /// Number of idle pooled connections.
+    pub fn idle_count(&self) -> usize {
+        lock(&self.state).idle.len()
+    }
+
+    fn checkout(&self) -> (SocketAddr, Option<BufReader<TcpStream>>) {
+        let mut state = lock(&self.state);
+        let conn = state.idle.pop();
+        (state.addr, conn)
+    }
+
+    fn give_back(&self, addr: SocketAddr, conn: BufReader<TcpStream>) {
+        let mut state = lock(&self.state);
+        // A retarget while this connection was checked out makes it a
+        // connection to the wrong server: drop it.
+        if state.addr == addr && state.idle.len() < self.max_idle {
+            state.idle.push(conn);
+        }
+    }
+
+    fn dial(addr: SocketAddr) -> io::Result<BufReader<TcpStream>> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(BufReader::new(stream))
+    }
+
+    fn roundtrip(
+        conn: &mut BufReader<TcpStream>,
+        method: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nhost: reaper-serve\r\n");
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        let mut message = head.into_bytes();
+        message.extend_from_slice(body);
+        conn.get_mut().write_all(&message)?;
+        conn.get_mut().flush()?;
+        http::read_response(conn).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one request: over a pooled connection when one is idle
+    /// (retrying once on a fresh dial if it proves stale), else over a
+    /// fresh dial. Keep-alive successes return the connection to the
+    /// pool.
+    ///
+    /// # Errors
+    /// [`ClientError`] on connect failure or a transport/protocol
+    /// failure on a *fresh* connection; stale-pooled failures are
+    /// retried internally first.
+    pub fn request(
+        &self,
+        method: &str,
+        target: &str,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, ClientError> {
+        let (addr, pooled) = self.checkout();
+        if let Some(mut conn) = pooled {
+            if let Ok(resp) = Self::roundtrip(&mut conn, method, target, extra_headers, body) {
+                self.finish(addr, conn, &resp);
+                return Ok(resp);
+            }
+            // Stale pooled connection: fall through to one fresh dial.
+        }
+        let mut conn = Self::dial(addr)?;
+        let resp = Self::roundtrip(&mut conn, method, target, extra_headers, body)?;
+        self.finish(addr, conn, &resp);
+        Ok(resp)
+    }
+
+    fn finish(&self, addr: SocketAddr, conn: BufReader<TcpStream>, resp: &ClientResponse) {
+        let close = resp
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        if !close {
+            self.give_back(addr, conn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A scripted server: each accepted connection answers exactly one
+    /// request (claiming keep-alive) then closes, so any pooled
+    /// connection is stale by the time the client reuses it.
+    fn one_shot_server(connections: usize) -> (SocketAddr, Arc<AtomicUsize>, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepted);
+        let handle = thread::spawn(move || {
+            for _ in 0..connections {
+                let (mut stream, _) = listener.accept().unwrap();
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut head = Vec::new();
+                let mut byte = [0u8; 1];
+                while !head.ends_with(b"\r\n\r\n") {
+                    stream.read_exact(&mut byte).unwrap();
+                    head.push(byte[0]);
+                }
+                stream
+                    .write_all(
+                        b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: keep-alive\r\n\r\nok",
+                    )
+                    .unwrap();
+                // Dropping the stream closes it: the connection the
+                // pool kept is now stale.
+            }
+        });
+        (addr, accepted, handle)
+    }
+
+    #[test]
+    fn pool_retries_once_on_stale_connection() {
+        let (addr, accepted, handle) = one_shot_server(2);
+        let pool = ConnectionPool::new(addr, 4);
+
+        let resp = pool.request("GET", "/healthz", &[], &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(pool.idle_count(), 1, "keep-alive success returns to pool");
+
+        // The server closed that socket after responding; the reuse
+        // must detect the stale connection and retry on a fresh dial
+        // instead of surfacing the transport error.
+        let resp = pool.request("GET", "/healthz", &[], &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            2,
+            "stale reuse dialed a fresh connection"
+        );
+
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn retarget_clears_pooled_connections() {
+        let (addr, _accepted, handle) = one_shot_server(1);
+        let pool = ConnectionPool::new(addr, 4);
+        let resp = pool.request("GET", "/healthz", &[], &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(pool.idle_count(), 1);
+
+        let (new_addr, new_accepted, new_handle) = one_shot_server(1);
+        pool.retarget(new_addr);
+        assert_eq!(pool.idle_count(), 0, "retarget drops old connections");
+        let resp = pool.request("GET", "/healthz", &[], &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(new_accepted.load(Ordering::SeqCst), 1);
+
+        handle.join().unwrap();
+        new_handle.join().unwrap();
     }
 }

@@ -1,0 +1,687 @@
+//! A hand-rolled `poll(2)` readiness loop: one thread drives every
+//! connected socket, so concurrency is bounded by file descriptors
+//! instead of threads (the thread-per-connection model caps out at a
+//! few hundred stacks; this loop holds thousands of keep-alive sockets
+//! for the cost of a buffer each).
+//!
+//! ## Shape
+//!
+//! [`EventLoop::run`] owns the listener and every accepted connection.
+//! Each readiness cycle it: polls all registered descriptors, drains
+//! the self-wake pipe, applies completed deferred responses, accepts a
+//! burst of new connections, feeds readable sockets through the
+//! incremental parser ([`crate::http::parse_request_bytes`]), and
+//! flushes writable ones. A [`Handler`] classifies each parsed request:
+//!
+//! * [`Handled::Respond`] — synchronous answer; serialized into the
+//!   connection's write buffer immediately (the shard server's only
+//!   mode: every `/v1/*` route computes under short critical sections).
+//! * [`Handled::Deferred`] — the handler queued the request elsewhere
+//!   (the fleet router's proxy pool); a worker later calls
+//!   [`EventLoopHandle::complete`], which wakes the loop via the
+//!   self-pipe. While a response is in flight the connection's reads
+//!   are paused, so a client gets strict request/response ordering.
+//! * [`Handled::TakeOver`] — the request needs a blocking stream (the
+//!   chunked watch long-poll); the socket is handed to a dedicated
+//!   thread along with any bytes already buffered past the request.
+//!
+//! ## Concurrency discipline
+//!
+//! The loop takes exactly one lock — the completion queue — and never
+//! holds it across socket I/O (L2): completions are `mem::take`n out
+//! under the guard and applied after it drops. The waker is a loopback
+//! TCP pair written without any lock (`&TcpStream` is `Write`).
+//!
+//! ## The one `unsafe` block
+//!
+//! The workspace denies `unsafe_code`; the [`sys`] submodule carries
+//! the single audited exception — the `poll(2)` FFI declaration and
+//! call. `std` exposes no readiness API, and the no-new-dependencies
+//! rule forbids `libc`/`mio`, so the binding lives here: one
+//! `#[repr(C)]` struct matching `struct pollfd` and one foreign call
+//! wrapped in a safe slice-based API.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use reaper_exec::sync::lock;
+
+use crate::http::{self, Request, Response};
+
+/// The `poll(2)` binding: the workspace's single unsafe exception.
+///
+/// Layout facts this relies on (stable POSIX ABI, checked against the
+/// kernel/glibc headers): `struct pollfd { int fd; short events; short
+/// revents; }`, `nfds_t` is an unsigned integer wide enough for a file
+/// descriptor count, and a millisecond timeout of −1 blocks forever.
+pub mod sys {
+    use std::io;
+
+    /// Mirror of C `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        /// File descriptor to watch (negative = ignore this slot).
+        pub fd: i32,
+        /// Requested readiness events.
+        pub events: i16,
+        /// Kernel-reported readiness events.
+        pub revents: i16,
+    }
+
+    /// Data may be read without blocking.
+    pub const POLLIN: i16 = 0x001;
+    /// Data may be written without blocking.
+    pub const POLLOUT: i16 = 0x004;
+    /// Error condition (always reported, never requested).
+    pub const POLLERR: i16 = 0x008;
+    /// Peer hung up (always reported, never requested).
+    pub const POLLHUP: i16 = 0x010;
+
+    #[allow(unsafe_code)] // the workspace's single FFI exception; see module docs
+    mod ffi {
+        extern "C" {
+            pub fn poll(fds: *mut super::PollFd, nfds: u64, timeout: i32) -> i32;
+        }
+    }
+
+    /// Safe wrapper over `poll(2)`: waits up to `timeout_ms` for any of
+    /// `fds` to become ready, returning how many are.
+    ///
+    /// # Errors
+    /// The raw OS error, including `Interrupted` for `EINTR` (callers
+    /// should retry).
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs; the kernel writes only
+        // `revents` within the `fds.len()` entries we declare.
+        #[allow(unsafe_code)]
+        let rc = unsafe { ffi::poll(fds.as_mut_ptr(), reaper_exec::num::to_u64(fds.len()), timeout_ms) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(usize::try_from(rc).unwrap_or(0))
+    }
+}
+
+/// Opaque identity of one connection within its event loop; pass it
+/// back to [`EventLoopHandle::complete`] to answer a deferred request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConnToken(u64);
+
+/// A takeover continuation: receives the raw socket (restored to
+/// blocking mode) plus any bytes already read past the request.
+pub type TakeoverFn = Box<dyn FnOnce(TcpStream, Vec<u8>) + Send + 'static>;
+
+/// What a [`Handler`] did with a parsed request.
+pub enum Handled {
+    /// Answer now; the loop serializes it into the write buffer.
+    Respond(Response),
+    /// The handler queued the work; [`EventLoopHandle::complete`] will
+    /// deliver the response later. Reads on this connection pause until
+    /// then.
+    Deferred,
+    /// Hand the raw socket plus residual bytes to the closure, on its
+    /// own thread.
+    TakeOver(TakeoverFn),
+}
+
+/// Request dispatcher plugged into an [`EventLoop`].
+pub trait Handler: Send + Sync + 'static {
+    /// Classify one request. `conn` identifies the connection for a
+    /// later [`EventLoopHandle::complete`] when deferring.
+    fn handle(&self, request: Request, conn: ConnToken) -> Handled;
+}
+
+/// Clonable handle for completing deferred responses from worker
+/// threads; wakes the loop through the self-pipe.
+#[derive(Clone)]
+pub struct EventLoopHandle {
+    completions: Arc<Mutex<Vec<(u64, Response)>>>,
+    waker: Arc<TcpStream>,
+}
+
+impl EventLoopHandle {
+    /// Queues `response` for the deferred request on `conn` and wakes
+    /// the loop. A completion for a connection that has since closed is
+    /// discarded silently.
+    pub fn complete(&self, conn: ConnToken, response: Response) {
+        let mut pending = lock(&self.completions);
+        pending.push((conn.0, response));
+        drop(pending);
+        // Nonblocking one-byte nudge; a full pipe already guarantees a
+        // pending wakeup, so the result is irrelevant.
+        let _ = (&*self.waker).write(&[1u8]);
+    }
+}
+
+/// One registered connection's state between readiness cycles.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into a complete request.
+    read_buf: Vec<u8>,
+    /// Serialized responses not yet flushed to the socket.
+    write_buf: Vec<u8>,
+    /// Prefix of `write_buf` already written.
+    written: usize,
+    /// A deferred response is in flight: stop parsing further requests.
+    awaiting: bool,
+    /// Connection disposition recorded when the request was deferred.
+    keep_alive_pending: bool,
+    /// Close once `write_buf` drains.
+    close_after_write: bool,
+    /// Peer sent EOF; close once pending work settles.
+    peer_closed: bool,
+    /// Transport error or protocol violation: close now.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            awaiting: false,
+            keep_alive_pending: true,
+            close_after_write: false,
+            peer_closed: false,
+            dead: false,
+        }
+    }
+
+    /// True once nothing keeps this connection alive.
+    fn finished(&self) -> bool {
+        if self.dead {
+            return true;
+        }
+        let flushed = self.written >= self.write_buf.len();
+        (self.close_after_write && flushed) || (self.peer_closed && flushed && !self.awaiting)
+    }
+}
+
+/// Poll timeout per readiness cycle; bounds reaction time to the
+/// shutdown flag exactly like the blocking model's `READ_TIMEOUT`.
+const POLL_TICK_MS: i32 = 100;
+/// Read granularity per readable socket per cycle.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// A non-blocking connection multiplexer: listener, self-wake pipe, and
+/// completion queue. Construct with [`EventLoop::new`], grab handles
+/// with [`EventLoop::handle`], then consume it with [`EventLoop::run`]
+/// on a dedicated thread.
+pub struct EventLoop {
+    listener: TcpListener,
+    waker_rx: TcpStream,
+    waker_tx: Arc<TcpStream>,
+    completions: Arc<Mutex<Vec<(u64, Response)>>>,
+    max_connections: usize,
+}
+
+impl EventLoop {
+    /// Wraps a bound listener, switching it to non-blocking mode and
+    /// building the loopback self-wake pair.
+    ///
+    /// # Errors
+    /// Socket configuration or loopback-pair setup failures.
+    pub fn new(listener: TcpListener, max_connections: usize) -> std::io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        // Self-pipe via loopback TCP: std offers no portable pipe, and
+        // the fleet's sockets are all loopback anyway.
+        let pair_listener = TcpListener::bind("127.0.0.1:0")?;
+        let waker_tx = TcpStream::connect(pair_listener.local_addr()?)?;
+        let (waker_rx, _) = pair_listener.accept()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            waker_rx,
+            waker_tx: Arc::new(waker_tx),
+            completions: Arc::new(Mutex::new(Vec::new())),
+            max_connections: max_connections.max(1),
+        })
+    }
+
+    /// A handle for worker threads to complete deferred responses.
+    pub fn handle(&self) -> EventLoopHandle {
+        EventLoopHandle {
+            completions: Arc::clone(&self.completions),
+            waker: Arc::clone(&self.waker_tx),
+        }
+    }
+
+    /// Runs the readiness loop until `shutdown` is raised (poking the
+    /// listener with a throwaway connect makes it notice immediately)
+    /// or the listener fails fatally. All connections close on return.
+    pub fn run<H: Handler>(self, handler: &Arc<H>, shutdown: &AtomicBool) {
+        let mut conns: BTreeMap<u64, Conn> = BTreeMap::new();
+        let mut next_token: u64 = 0;
+
+        while !shutdown.load(Ordering::SeqCst) {
+            // Slot 0: waker. Slot 1: listener (reads gated on capacity).
+            // Slots 2..: connections, in `tokens` order.
+            let mut fds = Vec::with_capacity(conns.len() + 2);
+            fds.push(sys::PollFd {
+                fd: fd_of(&self.waker_rx),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            let accept_open = conns.len() < self.max_connections;
+            fds.push(sys::PollFd {
+                fd: fd_of_listener(&self.listener),
+                events: if accept_open { sys::POLLIN } else { 0 },
+                revents: 0,
+            });
+            let mut tokens = Vec::with_capacity(conns.len());
+            for (token, conn) in &conns {
+                let mut events = 0i16;
+                if !conn.awaiting && !conn.dead {
+                    events |= sys::POLLIN;
+                }
+                if conn.written < conn.write_buf.len() {
+                    events |= sys::POLLOUT;
+                }
+                tokens.push(*token);
+                fds.push(sys::PollFd {
+                    fd: fd_of(&conn.stream),
+                    events,
+                    revents: 0,
+                });
+            }
+
+            match sys::poll_fds(&mut fds, POLL_TICK_MS) {
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+
+            let mut waker_ready = false;
+            let mut listener_ready = false;
+            let mut ready_conns: Vec<(u64, i16)> = Vec::new();
+            for (slot, pfd) in fds.iter().enumerate() {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                match slot {
+                    0 => waker_ready = true,
+                    1 => listener_ready = true,
+                    _ => {
+                        if let Some(token) = tokens.get(slot - 2) {
+                            ready_conns.push((*token, pfd.revents));
+                        }
+                    }
+                }
+            }
+
+            if waker_ready {
+                drain_waker(&self.waker_rx);
+            }
+            // Apply deferred completions every cycle (cheap when empty;
+            // covers wake bytes lost to a full pipe).
+            let pending = {
+                let mut guard = lock(&self.completions);
+                std::mem::take(&mut *guard)
+            };
+            for (token, response) in pending {
+                if let Some(conn) = conns.get_mut(&token) {
+                    let keep = conn.keep_alive_pending;
+                    conn.awaiting = false;
+                    queue_response(conn, &response, keep);
+                    flush_writes(conn);
+                }
+            }
+
+            if listener_ready && accept_open {
+                self.accept_burst(&mut conns, &mut next_token);
+            }
+
+            for (token, revents) in ready_conns {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if revents & (sys::POLLERR | sys::POLLHUP) != 0 && revents & sys::POLLIN == 0 {
+                    conn.dead = true;
+                    continue;
+                }
+                if revents & sys::POLLIN != 0 {
+                    fill_read_buf(conn);
+                    if let Some(takeover) = dispatch_requests(conn, token, handler) {
+                        if let Some(mut taken) = conns.remove(&token) {
+                            let residual = std::mem::take(&mut taken.read_buf);
+                            hand_over(taken.stream, residual, takeover);
+                        }
+                        continue;
+                    }
+                }
+                if revents & sys::POLLOUT != 0 {
+                    flush_writes(conn);
+                }
+            }
+
+            conns.retain(|_, conn| !conn.finished());
+        }
+    }
+
+    /// Accepts until `WouldBlock` or the connection cap.
+    fn accept_burst(&self, conns: &mut BTreeMap<u64, Conn>, next_token: &mut u64) {
+        while conns.len() < self.max_connections {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    // See Client::connect: loopback keep-alive responses
+                    // must not sit in Nagle's buffer.
+                    let _ = stream.set_nodelay(true);
+                    *next_token = next_token.wrapping_add(1);
+                    conns.insert(*next_token, Conn::new(stream));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Raw descriptor of a stream (unix-only, like the module).
+fn fd_of(stream: &TcpStream) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    stream.as_raw_fd()
+}
+
+/// Raw descriptor of a listener.
+fn fd_of_listener(listener: &TcpListener) -> i32 {
+    use std::os::unix::io::AsRawFd;
+    listener.as_raw_fd()
+}
+
+/// Discards buffered wake bytes.
+fn drain_waker(waker_rx: &TcpStream) {
+    let mut sink = [0u8; 64];
+    loop {
+        match (&*waker_rx).read(&mut sink) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads everything the socket has ready into the connection's buffer.
+fn fill_read_buf(conn: &mut Conn) {
+    let mut scratch = [0u8; READ_CHUNK];
+    loop {
+        match (&conn.stream).read(&mut scratch) {
+            Ok(0) => {
+                conn.peer_closed = true;
+                break;
+            }
+            Ok(n) => {
+                if let Some(chunk) = scratch.get(..n) {
+                    conn.read_buf.extend_from_slice(chunk);
+                }
+                if n < READ_CHUNK {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Parses and dispatches every complete request in the buffer
+/// (pipelining), stopping at an incomplete prefix, a deferred response,
+/// or a takeover. Returns the takeover closure when one fires.
+fn dispatch_requests<H: Handler>(
+    conn: &mut Conn,
+    token: u64,
+    handler: &Arc<H>,
+) -> Option<TakeoverFn> {
+    while !conn.awaiting && !conn.dead {
+        match http::parse_request_bytes(&conn.read_buf) {
+            Ok(None) => break,
+            Ok(Some((request, consumed))) => {
+                conn.read_buf.drain(..consumed);
+                let keep = request.keep_alive();
+                match handler.handle(request, ConnToken(token)) {
+                    Handled::Respond(response) => {
+                        queue_response(conn, &response, keep);
+                        flush_writes(conn);
+                    }
+                    Handled::Deferred => {
+                        conn.awaiting = true;
+                        conn.keep_alive_pending = keep;
+                    }
+                    Handled::TakeOver(f) => return Some(f),
+                }
+            }
+            Err(err) => {
+                // Mirror the blocking path's disposition — answer with
+                // a 400 and close — but say why, since we can.
+                let response = Response::json(
+                    400,
+                    crate::api::error_body(&err.to_string()),
+                );
+                queue_response(conn, &response, false);
+                conn.read_buf.clear();
+                flush_writes(conn);
+                break;
+            }
+        }
+    }
+    None
+}
+
+/// Serializes a response onto the connection's write buffer.
+fn queue_response(conn: &mut Conn, response: &Response, keep_alive: bool) {
+    if http::write_response(&mut conn.write_buf, response, keep_alive).is_err() {
+        // Unreachable (Vec writes are infallible), but stay honest.
+        conn.dead = true;
+    }
+    if !keep_alive {
+        conn.close_after_write = true;
+    }
+}
+
+/// Writes as much buffered output as the socket accepts right now.
+fn flush_writes(conn: &mut Conn) {
+    while conn.written < conn.write_buf.len() {
+        let Some(pending) = conn.write_buf.get(conn.written..) else {
+            break;
+        };
+        match (&conn.stream).write(pending) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.written = conn.written.saturating_add(n),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    conn.write_buf.clear();
+    conn.written = 0;
+}
+
+/// Restores blocking mode and hands the socket to the takeover closure
+/// on its own named thread; the closure owns the connection's lifetime
+/// (including any keep-alive continuation) from here.
+fn hand_over(
+    stream: TcpStream,
+    residual: Vec<u8>,
+    f: Box<dyn FnOnce(TcpStream, Vec<u8>) + Send + 'static>,
+) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    // Thread-spawn failure (fd/memory exhaustion) drops the connection,
+    // never the loop.
+    let _ = thread::Builder::new()
+        .name("reaper-serve-takeover".to_string())
+        .spawn(move || f(stream, residual));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::read_response;
+    use std::io::BufReader;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Echo-style handler: responds with the path, defers on
+    /// `/deferred`, takes over on `/takeover`.
+    struct TestHandler {
+        handle_slot: Mutex<Option<EventLoopHandle>>,
+        deferred: AtomicUsize,
+    }
+
+    impl Handler for TestHandler {
+        fn handle(&self, request: Request, conn: ConnToken) -> Handled {
+            match request.path() {
+                "/deferred" => {
+                    self.deferred.fetch_add(1, Ordering::SeqCst);
+                    let slot = lock(&self.handle_slot);
+                    let handle = slot.clone();
+                    drop(slot);
+                    if let Some(handle) = handle {
+                        // Complete from another thread, like a worker.
+                        thread::spawn(move || {
+                            handle.complete(
+                                conn,
+                                Response::text(200, "deferred-done".to_string()),
+                            );
+                        });
+                    }
+                    Handled::Deferred
+                }
+                "/takeover" => Handled::TakeOver(Box::new(|mut stream, residual| {
+                    let body = format!("taken:{}", residual.len());
+                    let response = Response::text(200, body);
+                    let _ = http::write_response(&mut stream, &response, false);
+                })),
+                path => Handled::Respond(Response::text(200, format!("path:{path}"))),
+            }
+        }
+    }
+
+    fn start_loop(handler: Arc<TestHandler>) -> (std::net::SocketAddr, Arc<AtomicBool>, thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let event_loop = EventLoop::new(listener, 64).expect("event loop");
+        *lock(&handler.handle_slot) = Some(event_loop.handle());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let joiner = thread::spawn(move || event_loop.run(&handler, &flag));
+        (addr, shutdown, joiner)
+    }
+
+    fn stop_loop(addr: std::net::SocketAddr, shutdown: &AtomicBool, joiner: thread::JoinHandle<()>) {
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr);
+        joiner.join().expect("loop thread");
+    }
+
+    #[test]
+    fn serves_pipelined_deferred_and_takeover_requests() {
+        let handler = Arc::new(TestHandler {
+            handle_slot: Mutex::new(None),
+            deferred: AtomicUsize::new(0),
+        });
+        let (addr, shutdown, joiner) = start_loop(Arc::clone(&handler));
+
+        // Keep-alive + pipelining: two requests in one write, two
+        // responses in order on one socket.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        (&stream)
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let first = read_response(&mut reader).expect("first");
+        assert_eq!(first.body, b"path:/a");
+        let second = read_response(&mut reader).expect("second");
+        assert_eq!(second.body, b"path:/b");
+
+        // Deferred: the response arrives via EventLoopHandle::complete
+        // from a foreign thread, on the same keep-alive socket.
+        (&stream)
+            .write_all(b"GET /deferred HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let deferred = read_response(&mut reader).expect("deferred");
+        assert_eq!(deferred.body, b"deferred-done");
+        assert_eq!(handler.deferred.load(Ordering::SeqCst), 1);
+        drop(reader);
+        drop(stream);
+
+        // Takeover: the closure owns the blocking socket and sees the
+        // residual pipelined bytes.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        (&stream)
+            .write_all(b"GET /takeover HTTP/1.1\r\n\r\nXYZ")
+            .expect("send");
+        let taken = read_response(&mut reader).expect("taken");
+        assert_eq!(taken.body, b"taken:3");
+        drop(reader);
+        drop(stream);
+
+        // Malformed framing: a 400 with connection: close.
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        (&stream)
+            .write_all(b"NOT-HTTP\r\n\r\n")
+            .expect("send");
+        let bad = read_response(&mut reader).expect("error response");
+        assert_eq!(bad.status, 400);
+        assert_eq!(bad.header("connection"), Some("close"));
+        // ... and the server actually closes.
+        let mut rest = Vec::new();
+        let _ = reader.read_to_end(&mut rest);
+        assert!(rest.is_empty());
+
+        stop_loop(addr, &shutdown, joiner);
+    }
+
+    #[test]
+    fn many_idle_connections_coexist_with_service() {
+        let handler = Arc::new(TestHandler {
+            handle_slot: Mutex::new(None),
+            deferred: AtomicUsize::new(0),
+        });
+        let (addr, shutdown, joiner) = start_loop(Arc::clone(&handler));
+
+        // Park a crowd of idle keep-alive sockets, then verify a fresh
+        // request still gets served promptly through the same loop.
+        let parked: Vec<TcpStream> = (0..32)
+            .map(|_| TcpStream::connect(addr).expect("connect"))
+            .collect();
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        (&stream)
+            .write_all(b"GET /live HTTP/1.1\r\n\r\n")
+            .expect("send");
+        let response = read_response(&mut reader).expect("response");
+        assert_eq!(response.body, b"path:/live");
+        drop(parked);
+
+        stop_loop(addr, &shutdown, joiner);
+    }
+}

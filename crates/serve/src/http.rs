@@ -17,6 +17,9 @@ const MAX_LINE: u64 = 8 * 1024;
 const MAX_HEADERS: usize = 64;
 /// Largest accepted request/response body, in bytes.
 const MAX_BODY: usize = 1024 * 1024;
+/// Largest accepted request head (request line + headers + blank line)
+/// for the incremental byte-buffer parser used by the event loop.
+const MAX_HEAD: usize = 64 * 1024;
 
 /// Why reading an HTTP message failed.
 #[derive(Debug)]
@@ -240,7 +243,19 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     }
 
     let request_line = read_line(reader, "request line")?;
-    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target) = parse_request_line(&request_line)?;
+    let (headers, body) = read_headers_and_body(reader)?;
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// Splits `METHOD TARGET HTTP/1.x` into its method and target tokens.
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split_ascii_whitespace();
     let method = parts
         .next()
         .ok_or(HttpError::Malformed("empty request line"))?
@@ -255,14 +270,85 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpE
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported http version"));
     }
+    Ok((method, target))
+}
 
-    let (headers, body) = read_headers_and_body(reader)?;
-    Ok(Some(Request {
-        method,
-        target,
-        headers,
-        body,
-    }))
+/// Byte offset just past the head-terminating blank line, if the buffer
+/// already holds one (accepts CRLF and bare-LF line endings).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    for (i, b) in buf.iter().enumerate() {
+        if *b != b'\n' {
+            continue;
+        }
+        let rest = buf.get(i + 1..).unwrap_or(&[]);
+        if rest.starts_with(b"\r\n") {
+            return Some(i + 3);
+        }
+        if rest.starts_with(b"\n") {
+            return Some(i + 2);
+        }
+    }
+    None
+}
+
+/// Incrementally parses one request out of a byte buffer — the
+/// non-blocking event loop's entry point. The readiness loop appends
+/// whatever the socket had ready and asks whether a complete message
+/// has arrived yet.
+///
+/// Returns `Ok(None)` while the buffer holds only a request prefix,
+/// and `Ok(Some((request, consumed)))` once a full message is present,
+/// where `consumed` is the byte count to drain from the buffer's front
+/// (pipelined requests may follow it). Chunked request *bodies* are not
+/// accepted on this path: no client of this service sends them, and
+/// rejecting the framing keeps the parser single-pass.
+///
+/// # Errors
+/// [`HttpError`] for protocol violations and oversized messages.
+pub fn parse_request_bytes(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD {
+        return Err(HttpError::TooLarge("request head"));
+    }
+    let head = buf.get(..head_end).unwrap_or(buf);
+    let mut reader = io::BufReader::new(head);
+    let request_line = read_line(&mut reader, "request line")?;
+    let (method, target) = parse_request_line(&request_line)?;
+    let headers = read_headers(&mut reader)?;
+
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"))
+    {
+        return Err(HttpError::Malformed("chunked request body"));
+    }
+    let length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("unparsable content-length"))?,
+    };
+    if length > MAX_BODY {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let Some(body) = buf.get(head_end..head_end.saturating_add(length)) else {
+        // Head complete, body still in flight.
+        return Ok(None);
+    };
+    Ok(Some((
+        Request {
+            method,
+            target,
+            headers,
+            body: body.to_vec(),
+        },
+        head_end.saturating_add(length),
+    )))
 }
 
 /// A response ready to serialize: status, content type, extra headers,
@@ -619,6 +705,65 @@ mod tests {
         // Whole-body reader concatenates the stream.
         let back = read_response(&mut BufReader::new(wire.as_slice())).expect("parse");
         assert_eq!(back.body, b"firstsecond event");
+    }
+
+    #[test]
+    fn incremental_parser_handles_prefixes_wholes_and_pipelines() {
+        let raw: &[u8] =
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /healthz HTTP/1.1\r\n\r\n";
+        // Every strict prefix of the first message is "not yet".
+        let first_len = raw.len() - b"GET /healthz HTTP/1.1\r\n\r\n".len();
+        for cut in 0..first_len {
+            let step = parse_request_bytes(&raw[..cut]).expect("prefix is clean");
+            assert!(step.is_none(), "cut={cut} parsed early");
+        }
+        // The full buffer yields the first request and its exact length,
+        // leaving the pipelined second request unconsumed.
+        let (req, consumed) = parse_request_bytes(raw)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"body");
+        assert_eq!(consumed, first_len);
+        let (next, consumed2) = parse_request_bytes(&raw[consumed..])
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(next.method, "GET");
+        assert_eq!(next.path(), "/healthz");
+        assert_eq!(consumed + consumed2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_bad_framing() {
+        assert!(parse_request_bytes(b"NOT-HTTP\r\n\r\n").is_err());
+        assert!(parse_request_bytes(b"GET / HTTP/2\r\n\r\n").is_err());
+        assert!(parse_request_bytes(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
+        // Chunked request bodies are refused on the event-loop path.
+        assert!(parse_request_bytes(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"
+        )
+        .is_err());
+        // An endless head trips the cap instead of buffering forever.
+        let torrent = vec![b'x'; MAX_HEAD + 1];
+        assert!(matches!(
+            parse_request_bytes(&torrent),
+            Err(HttpError::TooLarge(_))
+        ));
+        let huge = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(
+            parse_request_bytes(huge.as_bytes()),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_tolerates_lf_only_terminators() {
+        let raw = b"GET /metrics HTTP/1.1\nHost: h\n\n";
+        let (req, consumed) = parse_request_bytes(raw)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.path(), "/metrics");
+        assert_eq!(consumed, raw.len());
     }
 
     #[test]

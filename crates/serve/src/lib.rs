@@ -31,8 +31,9 @@
 //! | `POST /v1/profiles/{id}/epochs` | Push a re-profiling snapshot; appends an `RPD1` delta, advances the head |
 //! | `GET /v1/profiles/{id}/delta?since=N` | Minimal update from epoch N: delta chain, full fallback, or 304 |
 //! | `GET /v1/profiles/{id}/watch` | Chunked long-poll subscription; one wire message per chunk |
-//! | `GET /metrics` | Prometheus text exposition |
-//! | `GET /healthz` | Liveness |
+//! | `GET /v1/sync/manifest` | Per-profile head coordinates + job records, for fleet replication |
+//! | `GET /metrics` | Prometheus text exposition (plus `reaper_fleet_*` identity series) |
+//! | `GET /healthz` | Liveness + fleet identity (role, shard id, store epoch) |
 //!
 //! ## Determinism contract
 //!
@@ -51,6 +52,8 @@
 pub mod api;
 pub mod cache;
 pub mod client;
+#[cfg(unix)]
+pub mod eventloop;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -60,8 +63,9 @@ pub mod store;
 pub use api::JobSummary;
 pub use cache::ResultCache;
 pub use client::{
-    Client, ClientError, DeltaFetch, ProfileFetch, ProfileUpdate, PushReceipt, SubmitReceipt,
+    Client, ClientError, ConnectionPool, DeltaFetch, ProfileFetch, ProfileUpdate, PushReceipt,
+    SubmitReceipt,
 };
-pub use metrics::{MetricsSnapshot, ServiceMetrics, StoreGauges};
-pub use server::{Server, ServerConfig};
-pub use store::{ProfileStore, StoreConfig};
+pub use metrics::{FleetIdentity, FleetMetrics, MetricsSnapshot, ServiceMetrics, StoreGauges};
+pub use server::{ConnectionModel, Server, ServerConfig, SyncHandle};
+pub use store::{ProfileStore, StoreConfig, SyncApply};

@@ -221,6 +221,85 @@ impl ServiceMetrics {
     }
 }
 
+/// Where a process sits in the fleet topology, rendered into
+/// `/healthz` and `/metrics` so operators (and the conformance tests)
+/// can tell shards, routers, and standalone servers apart.
+#[derive(Debug, Clone)]
+pub struct FleetIdentity {
+    /// `"standalone"`, `"shard"`, or `"router"`.
+    pub role: &'static str,
+    /// Shard index within the fleet; `None` for standalone servers.
+    pub shard_id: Option<u64>,
+}
+
+impl FleetIdentity {
+    /// The identity of a server not enrolled in any fleet.
+    pub fn standalone() -> Self {
+        Self {
+            role: "standalone",
+            shard_id: None,
+        }
+    }
+}
+
+/// Fleet-plane counters: proxying, replication, and failover activity.
+/// Shared like [`ServiceMetrics`]; rendered by [`render_fleet`].
+#[derive(Default)]
+pub struct FleetMetrics {
+    /// Requests this process forwarded to another fleet member.
+    pub proxied_requests: AtomicU64,
+    /// Replication pull rounds served or performed by this process.
+    pub replication_pulls: AtomicU64,
+    /// Reads answered by a non-primary replica after the primary failed.
+    pub failovers: AtomicU64,
+}
+
+impl FleetMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Appends the `reaper_fleet_*` series to a `/metrics` payload. Label
+/// order inside `reaper_fleet_info` is a fixed code-order sequence
+/// (`role`, then `shard_id`) — D1-clean by construction.
+pub fn render_fleet(
+    identity: &FleetIdentity,
+    store_epoch: u64,
+    fleet: &FleetMetrics,
+    out: &mut String,
+) {
+    out.push_str("# TYPE reaper_fleet_info gauge\n");
+    match identity.shard_id {
+        Some(id) => out.push_str(&format!(
+            "reaper_fleet_info{{role=\"{}\",shard_id=\"{id}\"}} 1\n",
+            identity.role
+        )),
+        None => out.push_str(&format!(
+            "reaper_fleet_info{{role=\"{}\"}} 1\n",
+            identity.role
+        )),
+    }
+    out.push_str("# TYPE reaper_fleet_store_epoch gauge\n");
+    out.push_str(&format!("reaper_fleet_store_epoch {store_epoch}\n"));
+    let counters: [(&str, &AtomicU64); 3] = [
+        (
+            "reaper_fleet_proxied_requests_total",
+            &fleet.proxied_requests,
+        ),
+        (
+            "reaper_fleet_replication_pulls_total",
+            &fleet.replication_pulls,
+        ),
+        ("reaper_fleet_failovers_total", &fleet.failovers),
+    ];
+    for (name, counter) in counters {
+        out.push_str(&format!("# TYPE {name} counter\n"));
+        out.push_str(&format!("{name} {}\n", counter.load(Ordering::Relaxed)));
+    }
+}
+
 /// A plain-old-data copy of the counters at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsSnapshot {
@@ -326,6 +405,35 @@ mod tests {
         assert_eq!(snap.cache_hits, 1);
         assert_eq!(snap.jobs_completed, 0);
         assert_eq!(snap.delta_pushes, 1);
+    }
+
+    #[test]
+    fn fleet_series_render_in_deterministic_label_order() {
+        let fleet = FleetMetrics::new();
+        ServiceMetrics::inc(&fleet.proxied_requests);
+        ServiceMetrics::inc(&fleet.proxied_requests);
+        ServiceMetrics::inc(&fleet.failovers);
+        let shard = FleetIdentity {
+            role: "shard",
+            shard_id: Some(3),
+        };
+        let mut out = String::new();
+        render_fleet(&shard, 17, &fleet, &mut out);
+        assert!(out.contains("reaper_fleet_info{role=\"shard\",shard_id=\"3\"} 1\n"));
+        assert!(out.contains("reaper_fleet_store_epoch 17\n"));
+        assert!(out.contains("reaper_fleet_proxied_requests_total 2\n"));
+        assert!(out.contains("reaper_fleet_replication_pulls_total 0\n"));
+        assert!(out.contains("reaper_fleet_failovers_total 1\n"));
+
+        let mut solo = String::new();
+        render_fleet(&FleetIdentity::standalone(), 0, &fleet, &mut solo);
+        assert!(solo.contains("reaper_fleet_info{role=\"standalone\"} 1\n"));
+
+        // Rendering twice yields byte-identical output (label order is a
+        // code-order constant, not a map iteration).
+        let mut again = String::new();
+        render_fleet(&shard, 17, &fleet, &mut again);
+        assert_eq!(out, again);
     }
 
     #[test]

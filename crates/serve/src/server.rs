@@ -30,7 +30,7 @@
 //! even after the bytes were evicted — a 304 costs no recomputation.
 
 use std::collections::BTreeMap;
-use std::io::BufReader;
+use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -41,18 +41,65 @@ use std::time::Duration;
 use reaper_core::{FailureProfile, ProfilingRequest};
 use reaper_exec::pool::{BoundedQueue, PushError, WorkerPool};
 use reaper_exec::sync::lock;
+use reaper_retention::delta::{self, ProfileDelta};
 
 use crate::api::{self, JobSummary};
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::{self, Value};
-use crate::metrics::{self, MetricsSnapshot, ServiceMetrics, StoreGauges};
+use crate::metrics::{
+    self, FleetIdentity, FleetMetrics, MetricsSnapshot, ServiceMetrics, StoreGauges,
+};
 use crate::store::{
     AppendError, DeltaQuery, FullQuery, HeadInfo, InsertOutcome, ProfileStore, StoreConfig,
+    SyncApply,
 };
 
 /// Socket read timeout for keep-alive connections; bounds how long a
 /// connection thread can ignore the shutdown flag.
 const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// How the server multiplexes its sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionModel {
+    /// The `poll(2)` readiness loop ([`crate::eventloop`]): one thread
+    /// drives every connection, so the concurrency bound is file
+    /// descriptors, not stacks. Unix only; other targets fall back to
+    /// thread-per-connection.
+    EventLoop {
+        /// Most simultaneously registered sockets; further accepts wait
+        /// in the listener backlog.
+        max_connections: usize,
+    },
+    /// The original model: one blocking thread per connection.
+    ThreadPerConnection {
+        /// Connection-thread cap; accepts beyond it are shed with a
+        /// `503` (previously unbounded, which is how a fleet-scale
+        /// client crowd exhausts a shard's stacks).
+        max_threads: usize,
+    },
+}
+
+/// Default registered-socket cap for the event loop.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
+/// Default connection-thread cap for the blocking model.
+pub const DEFAULT_MAX_CONN_THREADS: usize = 256;
+
+impl Default for ConnectionModel {
+    fn default() -> Self {
+        #[cfg(unix)]
+        {
+            ConnectionModel::EventLoop {
+                max_connections: DEFAULT_MAX_CONNECTIONS,
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            ConnectionModel::ThreadPerConnection {
+                max_threads: DEFAULT_MAX_CONN_THREADS,
+            }
+        }
+    }
+}
 
 /// Service configuration; `Default` gives an ephemeral-port localhost
 /// server sized for tests.
@@ -70,6 +117,11 @@ pub struct ServerConfig {
     pub compact_max_deltas: usize,
     /// Compact an epoch log once its chain payload exceeds this.
     pub compact_max_chain_bytes: usize,
+    /// Socket multiplexing model.
+    pub connection_model: ConnectionModel,
+    /// Fleet shard index; `None` runs as a standalone server. Shown in
+    /// `/healthz` and the `reaper_fleet_info` metric.
+    pub shard_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +134,8 @@ impl Default for ServerConfig {
             cache_budget_bytes: store.budget_bytes,
             compact_max_deltas: store.compact_max_deltas,
             compact_max_chain_bytes: store.compact_max_chain_bytes,
+            connection_model: ConnectionModel::default(),
+            shard_id: None,
         }
     }
 }
@@ -136,6 +190,11 @@ struct Shared {
     /// handlers sleep on the condvar instead of busy-polling the store.
     watch_seq: Mutex<u64>,
     watch_cv: Condvar,
+    /// Who this server is within a fleet (role + shard id).
+    identity: FleetIdentity,
+    /// Fleet-plane counters (replication pulls; the router owns the
+    /// proxy/failover counters through [`crate::metrics::FleetMetrics`]).
+    fleet: FleetMetrics,
 }
 
 impl Shared {
@@ -186,6 +245,14 @@ impl Server {
             open_connections: AtomicUsize::new(0),
             watch_seq: Mutex::new(0),
             watch_cv: Condvar::new(),
+            identity: match config.shard_id {
+                Some(id) => FleetIdentity {
+                    role: "shard",
+                    shard_id: Some(id),
+                },
+                None => FleetIdentity::standalone(),
+            },
+            fleet: FleetMetrics::new(),
         });
 
         let pool = {
@@ -195,12 +262,7 @@ impl Server {
             })
         };
 
-        let accept_thread = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("reaper-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &shared))?
-        };
+        let accept_thread = spawn_accept(listener, &shared, config.connection_model)?;
 
         Ok(Self {
             shared,
@@ -208,6 +270,14 @@ impl Server {
             accept_thread: Some(accept_thread),
             workers: Some(pool),
         })
+    }
+
+    /// A handle for fleet replication agents: apply a peer's profile
+    /// state to this server's store without going through HTTP.
+    pub fn sync_handle(&self) -> SyncHandle {
+        SyncHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -247,14 +317,57 @@ impl Server {
     }
 }
 
+/// Spawns the socket-facing thread for the chosen connection model.
+fn spawn_accept(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    model: ConnectionModel,
+) -> std::io::Result<JoinHandle<()>> {
+    match model {
+        #[cfg(unix)]
+        ConnectionModel::EventLoop { max_connections } => {
+            let event_loop = crate::eventloop::EventLoop::new(listener, max_connections)?;
+            let handler = Arc::new(ShardHandler {
+                shared: Arc::clone(shared),
+            });
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name("reaper-serve-accept".to_string())
+                .spawn(move || event_loop.run(&handler, &shared.shutdown))
+        }
+        #[cfg(not(unix))]
+        ConnectionModel::EventLoop { .. } => {
+            // No poll(2) on this target: serve correctly anyway.
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name("reaper-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, DEFAULT_MAX_CONN_THREADS))
+        }
+        ConnectionModel::ThreadPerConnection { max_threads } => {
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name("reaper-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, max_threads.max(1)))
+        }
+    }
+}
+
 /// Accepts connections until the shutdown flag is raised, spawning one
-/// detached handler thread per connection.
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+/// detached handler thread per connection, up to `max_threads`; beyond
+/// that, connections are shed with a `503` instead of a silent hang.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, max_threads: usize) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        if shared.open_connections.load(Ordering::SeqCst) >= max_threads {
+            let mut stream = stream;
+            let response =
+                Response::json(503, api::error_body("connection limit reached; retry"));
+            let _ = http::write_response(&mut stream, &response, false);
+            continue;
+        }
         shared.open_connections.fetch_add(1, Ordering::SeqCst);
         let conn_shared = Arc::clone(shared);
         let spawned = thread::Builder::new()
@@ -279,7 +392,18 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // See Client::connect: responses must not sit in Nagle's buffer
     // waiting for a delayed ACK.
     let _ = stream.set_nodelay(true);
-    let mut reader = BufReader::new(stream);
+    let reader = BufReader::new(stream);
+    serve_blocking(reader, shared);
+}
+
+/// The blocking request loop over any buffered source that can hand the
+/// raw socket back out (`get_mut`). Shared between thread-per-connection
+/// service and the event loop's watch takeover (where the source is
+/// residual pipelined bytes chained in front of the socket).
+fn serve_blocking<R>(mut reader: BufReader<R>, shared: &Arc<Shared>)
+where
+    R: Read + AsSocket,
+{
     loop {
         match http::read_request(&mut reader) {
             Ok(None) => return,
@@ -287,12 +411,16 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 let keep_alive = request.keep_alive();
                 match route(&request, shared) {
                     Routed::Plain(response) => {
-                        if http::write_response(reader.get_mut(), &response, keep_alive).is_err() {
+                        if http::write_response(reader.get_mut().socket_mut(), &response, keep_alive)
+                            .is_err()
+                        {
                             return;
                         }
                     }
                     Routed::Watch(params) => {
-                        if serve_watch(reader.get_mut(), &params, shared, keep_alive).is_err() {
+                        if serve_watch(reader.get_mut().socket_mut(), &params, shared, keep_alive)
+                            .is_err()
+                        {
                             return;
                         }
                     }
@@ -309,6 +437,78 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
             Err(_) => return,
         }
     }
+}
+
+/// Extracts the writable socket from a blocking read source. The
+/// takeover path reads from `residual-bytes ⊕ socket` but must write to
+/// the socket itself.
+trait AsSocket {
+    fn socket_mut(&mut self) -> &mut TcpStream;
+}
+
+impl AsSocket for TcpStream {
+    fn socket_mut(&mut self) -> &mut TcpStream {
+        self
+    }
+}
+
+#[cfg(unix)]
+impl AsSocket for std::io::Chain<std::io::Cursor<Vec<u8>>, TcpStream> {
+    fn socket_mut(&mut self) -> &mut TcpStream {
+        self.get_mut().1
+    }
+}
+
+/// [`crate::eventloop::Handler`] adapter: plain endpoints answer from
+/// the loop thread; watch subscriptions (long-lived chunked streams that
+/// would stall every other connection) take the socket over onto a
+/// dedicated blocking thread.
+#[cfg(unix)]
+struct ShardHandler {
+    shared: Arc<Shared>,
+}
+
+#[cfg(unix)]
+impl crate::eventloop::Handler for ShardHandler {
+    fn handle(
+        &self,
+        request: Request,
+        _conn: crate::eventloop::ConnToken,
+    ) -> crate::eventloop::Handled {
+        match route(&request, &self.shared) {
+            Routed::Plain(response) => crate::eventloop::Handled::Respond(response),
+            Routed::Watch(params) => {
+                let shared = Arc::clone(&self.shared);
+                let keep_alive = request.keep_alive();
+                crate::eventloop::Handled::TakeOver(Box::new(move |stream, residual| {
+                    shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                    takeover_watch(stream, residual, &params, &shared, keep_alive);
+                    shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+                }))
+            }
+        }
+    }
+}
+
+/// Runs a watch stream on its takeover thread, then — on keep-alive —
+/// keeps serving the connection in blocking mode, replaying any
+/// pipelined bytes the event loop had already read.
+#[cfg(unix)]
+fn takeover_watch(
+    mut stream: TcpStream,
+    residual: Vec<u8>,
+    params: &WatchParams,
+    shared: &Arc<Shared>,
+    keep_alive: bool,
+) {
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    if serve_watch(&mut stream, params, shared, keep_alive).is_err() || !keep_alive {
+        return;
+    }
+    let reader = BufReader::new(std::io::Cursor::new(residual).chain(stream));
+    serve_blocking(reader, shared);
 }
 
 /// How a routed request gets answered: a buffered response, or the
@@ -350,10 +550,9 @@ const WATCH_TICK: Duration = Duration::from_millis(50);
 fn route(request: &Request, shared: &Arc<Shared>) -> Routed {
     match (request.method.as_str(), request.path()) {
         ("POST", "/v1/jobs") => submit_job(request, shared).into(),
-        ("GET", "/healthz") => {
-            Response::json(200, json::obj([("ok", Value::Bool(true))]).encode()).into()
-        }
+        ("GET", "/healthz") => healthz(shared).into(),
         ("GET", "/metrics") => render_metrics(shared).into(),
+        ("GET", "/v1/sync/manifest") => sync_manifest(shared).into(),
         ("POST", path) => {
             if let Some((id_text, "epochs")) = split_profile_path(path) {
                 push_epoch(id_text, request, shared).into()
@@ -830,21 +1029,76 @@ fn serve_watch(
     http::finish_chunked(stream)
 }
 
+/// `GET /healthz`: liveness plus fleet identity (role, shard id when
+/// sharded, and the store epoch total the replication agents compare).
+fn healthz(shared: &Arc<Shared>) -> Response {
+    let store_epoch = lock(&shared.store).epoch_total();
+    let mut fields = vec![
+        ("ok", Value::Bool(true)),
+        ("role", json::str(shared.identity.role)),
+    ];
+    if let Some(id) = shared.identity.shard_id {
+        fields.push(("shard_id", json::uint(id)));
+    }
+    fields.push(("store_epoch", json::uint(store_epoch)));
+    Response::json(200, json::obj(fields).encode())
+}
+
+/// `GET /v1/sync/manifest`: every completed job's head coordinates —
+/// what a replication agent needs to decide, per profile, between a
+/// `delta?since=` pull and a full fetch. Entries carry the canonical
+/// request body and summary so a replica can reconstruct the job record
+/// without re-executing anything.
+fn sync_manifest(shared: &Arc<Shared>) -> Response {
+    // Lock order: jobs before store.
+    let jobs = lock(&shared.jobs);
+    let store = lock(&shared.store);
+    let mut entries = Vec::new();
+    for (id, record) in jobs.iter() {
+        let JobStatus::Done(summary) = &record.status else {
+            continue;
+        };
+        let Some(info) = store.head_info(*id) else {
+            continue;
+        };
+        entries.push(json::obj([
+            ("job_id", json::str(ProfilingRequest::format_job_id(*id))),
+            ("epoch", json::uint(info.epoch)),
+            ("hash", json::str(format!("{:016x}", info.hash))),
+            ("resident", Value::Bool(info.resident)),
+            ("request", api::job_body_value(&record.request)),
+            ("summary", summary.to_value()),
+        ]));
+    }
+    let store_epoch = store.epoch_total();
+    drop(store);
+    drop(jobs);
+    let body = json::obj([
+        ("store_epoch", json::uint(store_epoch)),
+        ("entries", Value::Arr(entries)),
+    ]);
+    Response::json(200, body.encode())
+}
+
 /// `GET /metrics`: Prometheus text exposition.
 fn render_metrics(shared: &Arc<Shared>) -> Response {
-    let gauges = {
+    let (gauges, store_epoch) = {
         let store = lock(&shared.store);
-        StoreGauges {
-            profiles: store.len(),
-            resident: store.resident_count(),
-            used_bytes: store.used_bytes(),
-            evictions: store.evictions(),
-            chunk_entries: store.chunk_entries(),
-            chunk_bytes: store.chunk_bytes(),
-            chunk_dedup_hits: store.chunk_dedup_hits(),
-        }
+        (
+            StoreGauges {
+                profiles: store.len(),
+                resident: store.resident_count(),
+                used_bytes: store.used_bytes(),
+                evictions: store.evictions(),
+                chunk_entries: store.chunk_entries(),
+                chunk_bytes: store.chunk_bytes(),
+                chunk_dedup_hits: store.chunk_dedup_hits(),
+            },
+            store.epoch_total(),
+        )
     };
-    let text = shared.metrics.render(shared.queue.len(), &gauges);
+    let mut text = shared.metrics.render(shared.queue.len(), &gauges);
+    metrics::render_fleet(&shared.identity, store_epoch, &shared.fleet, &mut text);
     Response::text(200, text)
 }
 
@@ -907,5 +1161,112 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn set_status(shared: &Arc<Shared>, id: u64, status: JobStatus) {
     if let Some(record) = lock(&shared.jobs).get_mut(&id) {
         record.status = status;
+    }
+}
+
+/// In-process handle used by fleet replication agents to mirror a
+/// peer's profile state into this server's store.
+///
+/// Everything here is hash-verified before it lands: full installs
+/// recompute the content hash of the bytes and compare against the
+/// manifest's claim; delta chains go through
+/// [`reaper_core::FailureProfile::apply_delta`], which verifies the
+/// base and result hashes per link. A replica can therefore never
+/// diverge silently — corruption degrades to `NeedFull`, and a full
+/// re-fetch repairs it.
+#[derive(Clone)]
+pub struct SyncHandle {
+    shared: Arc<Shared>,
+}
+
+impl SyncHandle {
+    /// The head coordinates of one profile, if known.
+    pub fn head_of(&self, id: u64) -> Option<HeadInfo> {
+        lock(&self.shared.store).head_info(id)
+    }
+
+    /// Sum of head epochs across the store — the `store_epoch` gauge.
+    pub fn store_epoch(&self) -> u64 {
+        lock(&self.shared.store).epoch_total()
+    }
+
+    /// Counts one replication pull against this server's fleet metrics.
+    pub fn note_replication_pull(&self) {
+        ServiceMetrics::inc(&self.shared.fleet.replication_pulls);
+    }
+
+    /// Installs a peer's full snapshot at the peer's exact epoch,
+    /// creating the job record if this replica has never seen the job.
+    ///
+    /// Verifies `expected_hash` against the actual bytes first; a
+    /// mismatch returns [`SyncApply::NeedFull`] without touching the
+    /// store. Preserving the peer's epoch (rather than restarting at 0)
+    /// is what makes replica ETags byte-identical to the primary's — a
+    /// client failing over revalidates with `If-None-Match` and pays
+    /// zero recompute.
+    pub fn install_full(
+        &self,
+        id: u64,
+        epoch: u64,
+        expected_hash: u64,
+        bytes: Vec<u8>,
+        request: &ProfilingRequest,
+        summary: JobSummary,
+    ) -> SyncApply {
+        if delta::content_hash(&bytes) != expected_hash {
+            return SyncApply::NeedFull;
+        }
+        // Lock order: jobs before store.
+        let mut jobs = lock(&self.shared.jobs);
+        let mut store = lock(&self.shared.store);
+        let record = jobs.entry(id).or_insert_with(|| JobRecord {
+            request: request.clone(),
+            status: JobStatus::Done(summary.clone()),
+        });
+        if !matches!(record.status, JobStatus::Done(_)) {
+            record.status = JobStatus::Done(summary);
+        }
+        let applied = store.sync_install_full(id, epoch, Arc::new(bytes));
+        drop(store);
+        drop(jobs);
+        if matches!(applied, SyncApply::Applied { .. }) {
+            self.shared.notify_watchers();
+        }
+        applied
+    }
+
+    /// Applies an encoded `RPD1` delta chain (the `delta?since=` wire
+    /// body) to a profile this replica already holds.
+    ///
+    /// Applies link by link under one store lock (pure computation — no
+    /// I/O under the guard); the first link that fails hash
+    /// verification or does not extend the local head aborts the chain
+    /// with [`SyncApply::NeedFull`].
+    pub fn apply_delta_chain(&self, id: u64, wire: &[u8]) -> SyncApply {
+        let Ok(chain) = ProfileDelta::decode_chain(wire) else {
+            return SyncApply::NeedFull;
+        };
+        if chain.is_empty() {
+            return SyncApply::NoOp;
+        }
+        let mut outcome = SyncApply::NoOp;
+        let mut advanced = false;
+        {
+            let mut store = lock(&self.shared.store);
+            for d in &chain {
+                match store.sync_apply_delta(id, d) {
+                    SyncApply::Applied { epoch, hash } => {
+                        outcome = SyncApply::Applied { epoch, hash };
+                        advanced = true;
+                    }
+                    SyncApply::NoOp => {}
+                    SyncApply::NeedFull => return SyncApply::NeedFull,
+                }
+            }
+        }
+        if advanced {
+            self.shared.notify_watchers();
+        }
+        outcome
     }
 }

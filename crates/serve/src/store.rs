@@ -205,6 +205,24 @@ pub enum DeltaQuery {
     Evicted,
 }
 
+/// Outcome of a replication install or delta apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncApply {
+    /// The local log advanced to the peer's state.
+    Applied {
+        /// Head epoch after the apply (the peer's epoch, verbatim).
+        epoch: u64,
+        /// Head content hash after the apply.
+        hash: u64,
+    },
+    /// The local log was already at or past the peer's state.
+    NoOp,
+    /// The delta (or snapshot) cannot apply here — missing log,
+    /// non-resident head, or a base/hash mismatch; the caller should
+    /// pull the full snapshot instead.
+    NeedFull,
+}
+
 /// The raw epoch log as [`ProfileStore::log_snapshot`] exposes it:
 /// `(base_epoch, base snapshot bytes if resident, encoded chain)`.
 pub type LogSnapshot = (u64, Option<Arc<Vec<u8>>>, Vec<Vec<u8>>);
@@ -528,6 +546,151 @@ impl ProfileStore {
             self.release_chunk(chunk_id);
         }
         true
+    }
+
+    /// Installs a peer's full head snapshot at the peer's *exact* epoch
+    /// — the replication entry point. Unlike [`ProfileStore::insert_full`]
+    /// (which always seeds epoch 0) and [`ProfileStore::append_full`]
+    /// (which assigns the next local epoch), this preserves the primary's
+    /// epoch numbering, so a replica's ETag (`"<hash>-<epoch>"`) is
+    /// byte-identical to the primary's and failover revalidation costs
+    /// nothing.
+    ///
+    /// The snapshot re-bases the log: any local chain is dropped (its
+    /// chunks released) because replication only moves *forward* to the
+    /// primary's state.
+    pub fn sync_install_full(&mut self, id: u64, epoch: u64, bytes: Arc<Vec<u8>>) -> SyncApply {
+        let hash = delta::content_hash(&bytes);
+        let fits = bytes.len() <= self.config.budget_bytes;
+        let applied = match self.profiles.get_mut(&id) {
+            None => {
+                let entry = ProfileEntry {
+                    base_epoch: epoch,
+                    base_hash: hash,
+                    base: fits.then(|| Arc::clone(&bytes)),
+                    head_epoch: epoch,
+                    head_hash: hash,
+                    head: fits.then(|| Arc::clone(&bytes)),
+                    deltas: Vec::new(),
+                    tick: None,
+                };
+                self.used_bytes += entry.snapshot_bytes();
+                self.profiles.insert(id, entry);
+                true
+            }
+            Some(entry) => {
+                if entry.head_epoch > epoch
+                    || (entry.head_epoch == epoch && entry.head.is_some())
+                {
+                    // Local state is already at (or past) the peer's.
+                    false
+                } else if entry.head_epoch == epoch {
+                    if entry.head_hash != hash {
+                        // Divergence at the same epoch cannot happen for
+                        // deterministic logs; refuse rather than corrupt.
+                        return SyncApply::NeedFull;
+                    }
+                    // Evicted local copy of the same head: reattach.
+                    if fits {
+                        entry.base = Some(Arc::clone(&bytes));
+                        entry.head = Some(Arc::clone(&bytes));
+                        entry.base_epoch = epoch;
+                        entry.base_hash = hash;
+                        let grown = entry.snapshot_bytes();
+                        self.used_bytes += grown;
+                    }
+                    true
+                } else {
+                    // Peer is ahead: re-base the log on its snapshot.
+                    let old = entry.snapshot_bytes();
+                    entry.base_epoch = epoch;
+                    entry.base_hash = hash;
+                    entry.base = fits.then(|| Arc::clone(&bytes));
+                    entry.head_epoch = epoch;
+                    entry.head_hash = hash;
+                    entry.head = fits.then(|| Arc::clone(&bytes));
+                    let released: Vec<u64> = entry.deltas.drain(..).map(|d| d.chunk_id).collect();
+                    let grown = entry.snapshot_bytes();
+                    self.used_bytes += grown;
+                    self.used_bytes -= old;
+                    for chunk_id in released {
+                        self.release_chunk(chunk_id);
+                    }
+                    true
+                }
+            }
+        };
+        if !applied {
+            return SyncApply::NoOp;
+        }
+        self.touch(id);
+        self.enforce_budget(id);
+        SyncApply::Applied {
+            epoch,
+            hash,
+        }
+    }
+
+    /// Applies one peer `RPD1` delta on top of the local head — the
+    /// cheap replication path. The apply is fully verified
+    /// ([`FailureProfile::apply_delta`] checks the base hash, the set
+    /// constraints, and the result hash), and the record keeps the
+    /// wire's exact epochs, so the replica's chain and ETags match the
+    /// primary's byte for byte.
+    pub fn sync_apply_delta(&mut self, id: u64, d: &ProfileDelta) -> SyncApply {
+        let Some(entry) = self.profiles.get(&id) else {
+            return SyncApply::NeedFull;
+        };
+        if d.new_epoch <= entry.head_epoch {
+            return SyncApply::NoOp;
+        }
+        if d.base_epoch != entry.head_epoch || d.base_hash != entry.head_hash {
+            return SyncApply::NeedFull;
+        }
+        let head_profile = entry
+            .head
+            .as_ref()
+            .and_then(|bytes| FailureProfile::from_bytes(bytes).ok());
+        let Some(head_profile) = head_profile else {
+            return SyncApply::NeedFull;
+        };
+        let Ok(applied) = head_profile.apply_delta(d) else {
+            return SyncApply::NeedFull;
+        };
+        let new_bytes = applied.to_bytes();
+        let fits = new_bytes.len() <= self.config.budget_bytes;
+        let record = DeltaRecord {
+            base_epoch: d.base_epoch,
+            new_epoch: d.new_epoch,
+            base_hash: d.base_hash,
+            result_hash: d.result_hash,
+            chunk_id: d.chunk_id(),
+        };
+        let Some(entry) = self.profiles.get_mut(&id) else {
+            return SyncApply::NeedFull;
+        };
+        let old = entry.snapshot_bytes();
+        entry.deltas.push(record);
+        entry.head_epoch = d.new_epoch;
+        entry.head_hash = d.result_hash;
+        entry.head = fits.then(|| Arc::new(new_bytes));
+        let grown = entry.snapshot_bytes();
+        self.used_bytes += grown;
+        self.used_bytes -= old;
+        self.retain_chunk(d.payload_bytes());
+        self.maybe_compact(id);
+        self.touch(id);
+        self.enforce_budget(id);
+        SyncApply::Applied {
+            epoch: d.new_epoch,
+            hash: d.result_hash,
+        }
+    }
+
+    /// Sum of every log's head epoch: a monotone logical clock over the
+    /// whole store, exported as `reaper_fleet_store_epoch`.
+    pub fn epoch_total(&self) -> u64 {
+        self.profiles.values().map(|e| e.head_epoch).sum()
     }
 
     /// Head metadata for `id` (survives eviction; does not touch
@@ -893,6 +1056,96 @@ mod tests {
         let (base_epoch, _, chain) = s.log_snapshot(1).expect("log");
         assert_eq!(base_epoch, 2);
         assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn sync_install_preserves_peer_epochs_and_advances_monotonically() {
+        let mut primary = store();
+        let mut replica = store();
+        let e0 = profile(&[1, 2, 3]);
+        primary.insert_full(5, arc_bytes(&e0));
+        let e1 = profile(&[1, 2, 3, 4]);
+        primary.append_full(5, &e1).expect("append");
+        let head = primary.head_info(5).expect("known");
+        assert_eq!(head.epoch, 1);
+
+        // Replica installs the primary's head at the primary's epoch —
+        // identical HeadInfo means identical ETags.
+        let bytes = match primary.full_bytes(5) {
+            FullQuery::Bytes(b) => b,
+            _ => panic!("resident"),
+        };
+        assert_eq!(
+            replica.sync_install_full(5, head.epoch, Arc::clone(&bytes)),
+            SyncApply::Applied {
+                epoch: head.epoch,
+                hash: head.hash
+            }
+        );
+        assert_eq!(replica.head_info(5), primary.head_info(5));
+        assert_eq!(replica.epoch_total(), 1);
+
+        // Re-installing the same state is a no-op; an older snapshot
+        // cannot rewind the log.
+        assert_eq!(
+            replica.sync_install_full(5, head.epoch, bytes),
+            SyncApply::NoOp
+        );
+        assert_eq!(
+            replica.sync_install_full(5, 0, arc_bytes(&e0)),
+            SyncApply::NoOp
+        );
+        match replica.full_bytes(5) {
+            FullQuery::Bytes(b) => assert_eq!(*b, e1.to_bytes()),
+            _ => panic!("replica head must serve"),
+        }
+    }
+
+    #[test]
+    fn sync_apply_delta_is_hash_verified_and_chain_faithful() {
+        let mut primary = store();
+        let mut replica = store();
+        let e0 = profile(&[10, 20]);
+        primary.insert_full(8, arc_bytes(&e0));
+        replica.sync_install_full(8, 0, arc_bytes(&e0));
+
+        let e1 = profile(&[10, 20, 30]);
+        primary.append_full(8, &e1).expect("append");
+        // Pull the chain off the primary exactly like the replication
+        // agent does and apply it.
+        let messages = match primary.updates_since(8, 0) {
+            DeltaQuery::Chain { messages, .. } => messages,
+            _ => panic!("chain expected"),
+        };
+        for message in &messages {
+            let d = ProfileDelta::from_bytes(message).expect("decodes");
+            assert!(matches!(
+                replica.sync_apply_delta(8, &d),
+                SyncApply::Applied { epoch: 1, .. }
+            ));
+        }
+        assert_eq!(replica.head_info(8), primary.head_info(8));
+        match replica.full_bytes(8) {
+            FullQuery::Bytes(b) => assert_eq!(*b, e1.to_bytes()),
+            _ => panic!("replica head must serve"),
+        }
+
+        // Replaying the same delta is a no-op; a delta whose base does
+        // not match the local head demands a full pull; an unknown log
+        // demands a full pull.
+        let d1 = ProfileDelta::from_bytes(messages.first().expect("one message"))
+            .expect("decodes");
+        assert_eq!(replica.sync_apply_delta(8, &d1), SyncApply::NoOp);
+        let bogus = ProfileDelta::compute(
+            profile(&[1]).iter(),
+            profile(&[1, 2]).iter(),
+            1,
+            2,
+            0xdead,
+            0xbeef,
+        );
+        assert_eq!(replica.sync_apply_delta(8, &bogus), SyncApply::NeedFull);
+        assert_eq!(replica.sync_apply_delta(99, &d1), SyncApply::NeedFull);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! (chain / 304 / 400 / full fallback after compaction), the chunked
 //! watch long-poll, and the evicted-then-resubmitted regression (a
 //! current ETag revalidates to 304 with zero recomputation, and a
-//! matching recompute reattaches under the same ETag).
+//! matching recompute reattaches under the same ETag). The whole suite
+//! runs under BOTH socket models — thread-per-connection and the
+//! `poll(2)` event loop (unix) — which must be indistinguishable on
+//! the wire.
 //!
 //! Everything lives in ONE `#[test]` because
 //! `reaper_exec::set_thread_count` is process-global and cargo runs the
@@ -21,7 +24,8 @@ use std::time::Duration;
 use reaper_core::{FailureProfile, ProfilingRequest};
 use reaper_serve::http;
 use reaper_serve::{
-    Client, ClientError, DeltaFetch, ProfileFetch, ProfileUpdate, Server, ServerConfig,
+    Client, ClientError, ConnectionModel, DeltaFetch, ProfileFetch, ProfileUpdate, Server,
+    ServerConfig,
 };
 use reaper_retention::delta::ProfileDelta;
 
@@ -75,11 +79,12 @@ fn expect_status(result: Result<impl std::fmt::Debug, ClientError>, want: u16) {
 
 /// The conditional-GET machine, delta reads, and the watch long-poll
 /// against one server.
-fn streaming_protocol_roundtrip(workers: usize) {
+fn streaming_protocol_roundtrip(workers: usize, connection_model: ConnectionModel) {
     let server = Server::start(ServerConfig {
         workers,
         queue_capacity: 8,
         compact_max_deltas: 3,
+        connection_model,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
@@ -242,7 +247,7 @@ fn streaming_protocol_roundtrip(workers: usize) {
 /// The evicted-then-resubmitted regression: a 304 must not require
 /// resident bytes or a recompute, and a matching recompute reattaches
 /// under the same ETag.
-fn eviction_revalidation_regression(workers: usize) {
+fn eviction_revalidation_regression(workers: usize, connection_model: ConnectionModel) {
     let (seed_a, seed_b) = (6060u64, 6061u64);
     let bytes_a = quick_request(seed_a)
         .execute()
@@ -263,6 +268,7 @@ fn eviction_revalidation_regression(workers: usize) {
         workers,
         queue_capacity: 8,
         cache_budget_bytes: budget,
+        connection_model,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
@@ -329,8 +335,18 @@ fn eviction_revalidation_regression(workers: usize) {
 
 #[test]
 fn streaming_endpoints_conform_at_one_and_four_workers() {
-    for workers in [1usize, 4] {
-        streaming_protocol_roundtrip(workers);
-        eviction_revalidation_regression(workers);
+    // Both socket models must satisfy the identical protocol contract;
+    // the event-loop variant only exists on unix.
+    let mut models = vec![ConnectionModel::ThreadPerConnection { max_threads: 32 }];
+    if cfg!(unix) {
+        models.push(ConnectionModel::EventLoop {
+            max_connections: 128,
+        });
+    }
+    for model in models {
+        for workers in [1usize, 4] {
+            streaming_protocol_roundtrip(workers, model);
+            eviction_revalidation_regression(workers, model);
+        }
     }
 }

@@ -49,6 +49,18 @@ cargo test --release -q --offline -p reaper-serve --test conformance
 echo "== serve-delta: bandwidth gate (delta GETs < 10% of full bytes at 1% churn) =="
 cargo run --release -q --offline --example serve_delta_bench -- --epochs 20 --gate
 
+echo "== fleet: rendezvous routing properties =="
+cargo test --release -q --offline -p reaper-fleet --test routing
+
+echo "== fleet: byte equality at 1 and 4 shards =="
+cargo test --release -q --offline -p reaper-fleet --test byte_equality
+
+echo "== fleet: failover conformance (503 -> restart -> 304, zero recompute) =="
+cargo test --release -q --offline -p reaper-fleet --test failover
+
+echo "== fleet: loadgen gate (aggregate throughput + connection ladder) =="
+cargo run --release -q --offline --example fleet_loadgen -- --seconds 3 --gate
+
 echo "== smoke: headline experiment (quick scale) =="
 cargo run --release --offline -p reaper-conformance --bin experiments -- headline --quick
 
