@@ -90,5 +90,5 @@ pub use profile::{FailureProfile, ProfileCodecError};
 // (`delta_to` / `apply_delta`), so re-export them at the root alongside
 // the profile they act on.
 pub use reaper_retention::delta::{DeltaApplyError, DeltaCodecError, ProfileDelta};
-pub use profiler::{PatternSet, Profiler, ProfilingRun};
-pub use request::{PatternSpec, ProfilingOutcome, ProfilingRequest, RequestError};
+pub use profiler::{CoverageTracker, IterationStats, PatternSet, Profiler, ProfilingRun};
+pub use request::{PatternSpec, ProfilingOutcome, ProfilingRequest, RequestError, TRUTH_MIN_PROB};

@@ -112,6 +112,77 @@ impl ProfilingRun {
     }
 }
 
+/// Incremental coverage / false-positive accounting against a fixed
+/// ground truth — the bookkeeping [`Profiler::run_to_coverage`] and the
+/// portfolio race lanes share. Feed it every *newly inserted* profile
+/// cell via [`CoverageTracker::note_new`]; it maintains the covered
+/// count, coverage ratio, and false-positive rate without rescanning the
+/// profile.
+#[derive(Debug, Clone)]
+pub struct CoverageTracker<'a> {
+    truth: &'a FailureProfile,
+    covered: usize,
+    inserted: usize,
+}
+
+impl<'a> CoverageTracker<'a> {
+    /// Tracks coverage of `truth`.
+    ///
+    /// # Panics
+    /// Panics if `truth` is empty (coverage of nothing is meaningless).
+    pub fn new(truth: &'a FailureProfile) -> Self {
+        assert!(!truth.is_empty(), "ground truth must be nonempty");
+        Self {
+            truth,
+            covered: 0,
+            inserted: 0,
+        }
+    }
+
+    /// The absolute covered-cell count equivalent to a fractional
+    /// `coverage_goal` of the truth set (ceiling, so the goal is never
+    /// met early by rounding).
+    ///
+    /// # Panics
+    /// Panics if `coverage_goal` is outside `(0, 1]`.
+    pub fn goal_count(&self, coverage_goal: f64) -> usize {
+        assert!(
+            coverage_goal > 0.0 && coverage_goal <= 1.0,
+            "coverage goal must be in (0, 1]"
+        );
+        // lint: allow(lossy-cast) ceil of coverage_goal * len is a small non-negative count
+        (coverage_goal * self.truth.len() as f64).ceil() as usize
+    }
+
+    /// Records one cell newly inserted into the profile. Callers must only
+    /// report first insertions — repeats would double-count.
+    pub fn note_new(&mut self, cell: u64) {
+        self.inserted += 1;
+        if self.truth.contains(cell) {
+            self.covered += 1;
+        }
+    }
+
+    /// Ground-truth cells found so far.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Fraction of the truth set found so far.
+    pub fn coverage(&self) -> f64 {
+        self.covered as f64 / self.truth.len() as f64
+    }
+
+    /// Fraction of the profile that is *not* in the truth set (the paper's
+    /// false-positive rate); 0 while the profile is empty.
+    pub fn fpr(&self) -> f64 {
+        if self.inserted == 0 {
+            return 0.0;
+        }
+        (self.inserted - self.covered) as f64 / self.inserted as f64
+    }
+}
+
 /// A configured profiler: Algorithm 1 at explicit absolute conditions.
 ///
 /// Construct via [`Profiler::brute_force`] (profile at the target
@@ -284,11 +355,8 @@ impl Profiler {
         coverage_goal: f64,
         max_iterations: u32,
     ) -> CoverageRun {
-        assert!(!ground_truth.is_empty(), "ground truth must be nonempty");
-        assert!(
-            coverage_goal > 0.0 && coverage_goal <= 1.0,
-            "coverage goal must be in (0, 1]"
-        );
+        let mut tracker = CoverageTracker::new(ground_truth);
+        let goal_count = tracker.goal_count(coverage_goal);
         assert!(max_iterations > 0, "need at least one iteration");
 
         let start = harness.elapsed();
@@ -304,10 +372,6 @@ impl Profiler {
         let mut iterations = Vec::new();
         let mut met = false;
         let mut patterns_executed = 0u32;
-        // Track coverage incrementally: count of ground-truth cells found.
-        let mut covered = 0usize;
-        // lint: allow(lossy-cast) ceil of coverage_goal * len is a small non-negative count
-        let goal_count = (coverage_goal * ground_truth.len() as f64).ceil() as usize;
         'outer: for it in 0..max_iterations {
             let mut stats = IterationStats::default();
             for pattern in self.patterns.for_iteration(u64::from(it)) {
@@ -316,14 +380,12 @@ impl Profiler {
                 for &cell in outcome.failures() {
                     if profile.insert(cell) {
                         stats.new_unique += 1;
-                        if ground_truth.contains(cell) {
-                            covered += 1;
-                        }
+                        tracker.note_new(cell);
                     } else {
                         stats.repeats += 1;
                     }
                 }
-                if covered >= goal_count {
+                if tracker.covered() >= goal_count {
                     met = true;
                     stats.cumulative = profile.len();
                     iterations.push(stats);

@@ -1,0 +1,97 @@
+//! Cooperative cancellation for racing computations.
+//!
+//! A [`CancelToken`] is a shared atomic flag: one side calls
+//! [`CancelToken::cancel`], the computation polls
+//! [`CancelToken::is_cancelled`] at its own safe points and returns
+//! early. Nothing is interrupted preemptively — a holder that never
+//! polls is never cancelled — which is exactly the property the
+//! deterministic kernels need: cancellation can only land on a batch
+//! boundary the computation chose, so every result produced before the
+//! stop is bit-identical to the corresponding prefix of an uncancelled
+//! run.
+//!
+//! The token is pure compute (one relaxed-ish atomic, no locks, no
+//! blocking, no clock), so polling it inside a hot loop is free and the
+//! workspace's concurrency lints (L1–L4) have nothing to track across
+//! a check. Cancellation is sticky: once set, the flag never clears;
+//! clone-shared tokens observe it in any order the race happens to
+//! produce, which is safe precisely because callers are required to
+//! treat "cancelled" as "stop producing, keep what you have".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared, sticky, cooperative cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the flag. Idempotent; never blocks.
+    ///
+    /// Release ordering pairs with the acquire load in
+    /// [`CancelToken::is_cancelled`] so a holder that observes the flag
+    /// also observes everything the canceller wrote before setting it
+    /// (e.g. the race result that made this lane a loser).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True once any clone has called [`CancelToken::cancel`].
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncancelled_and_sticks() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled(), "cancellation is idempotent");
+    }
+
+    #[test]
+    fn clones_share_one_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        let c = b.clone();
+        assert!(c.is_cancelled(), "clones of a cancelled token are cancelled");
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(a.is_cancelled());
+        assert!(!b.is_cancelled());
+    }
+
+    #[test]
+    fn flag_crosses_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.cancel())
+            .join()
+            .expect("canceller thread");
+        assert!(t.is_cancelled());
+    }
+}

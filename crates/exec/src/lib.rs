@@ -17,7 +17,10 @@
 //! * [`pool`] — long-lived worker-pool primitives (bounded MPMC queue +
 //!   joinable thread pool + the process-wide compute pool) for
 //!   service-shaped workloads like `reaper-serve` and for the pooled
-//!   fork-join above.
+//!   fork-join above,
+//! * [`cancel`] — a cooperative, pure-compute cancellation flag polled at
+//!   batch boundaries by racing computations (`reaper-portfolio`'s
+//!   first-finisher-wins strategy races).
 //!
 //! Work distribution is an atomic chunk index: workers `fetch_add` to
 //! claim the next chunk, so load-imbalanced items (e.g. chips with very
@@ -54,6 +57,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
 
+pub mod cancel;
 pub mod num;
 pub mod pool;
 pub mod rng;

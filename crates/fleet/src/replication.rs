@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use reaper_core::ProfilingRequest;
-use reaper_serve::{api, json, ConnectionPool, JobSummary, SyncApply, SyncHandle};
+use reaper_serve::{api, json, ConnectionPool, JobRequest, JobSummary, SyncApply, SyncHandle};
 
 use crate::router::ShardDirectory;
 
@@ -210,12 +210,14 @@ impl ReplicationAgent {
     }
 }
 
-/// One decoded `/v1/sync/manifest` entry.
+/// One decoded `/v1/sync/manifest` entry. The embedded request keeps
+/// its job kind (profiling or portfolio), so a replica's record is
+/// indistinguishable from the primary's.
 struct ManifestEntry {
     id: u64,
     epoch: u64,
     hash: u64,
-    request: ProfilingRequest,
+    request: JobRequest,
     summary: JobSummary,
 }
 

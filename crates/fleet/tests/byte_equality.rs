@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use reaper_core::{FailureProfile, ProfilingRequest};
 use reaper_fleet::{Fleet, FleetConfig};
+use reaper_portfolio::PortfolioRequest;
 use reaper_serve::{Client, DeltaFetch, ProfileFetch};
 
 /// A job small enough to execute in well under a second on one core.
@@ -45,6 +46,15 @@ fn fleet_bytes_match_direct_execution_at_any_shard_count() {
         let outcome = quick_request(seed).execute().expect("direct execution");
         direct.push(outcome.run.profile.to_bytes());
     }
+    // A portfolio race routes by the same content-addressed ID scheme.
+    let race_request = PortfolioRequest::example(77);
+    let direct_race = race_request
+        .execute()
+        .expect("direct race")
+        .1
+        .run
+        .profile
+        .to_bytes();
 
     let mut etags_by_fleet: Vec<Vec<String>> = Vec::new();
     let mut delta_by_fleet: Vec<Vec<u8>> = Vec::new();
@@ -82,6 +92,19 @@ fn fleet_bytes_match_direct_execution_at_any_shard_count() {
                 other => panic!("expected fresh profile, got {other:?}"),
             }
         }
+
+        // The portfolio job kind is fleet-routable too, with the same
+        // byte-identity guarantee.
+        let race_receipt = client
+            .submit_portfolio(&race_request)
+            .expect("submit race via router");
+        let race_bytes = client
+            .wait_for_profile(&race_receipt.job_id, Duration::from_millis(10), 1_000)
+            .expect("race profile via router");
+        assert_eq!(
+            race_bytes, direct_race,
+            "shards={shards} race bytes differ from direct execution"
+        );
 
         // Push one epoch through the router and read the delta chain
         // back; the wire bytes must not depend on the shard count.

@@ -1,0 +1,58 @@
+//! Portfolio reach-condition search: race profiling strategies, cancel
+//! losers, keep the deterministic winner.
+//!
+//! REAPER's tradeoff space (§6) — which reach condition (+Δt_REFW, +ΔT,
+//! combined) and how many rounds — dominates end-to-end profiling cost,
+//! and the best point varies per chip. This crate turns that offline
+//! grid exploration into an online *race*, in the style of portfolio
+//! model checkers: every candidate strategy runs concurrently on the
+//! pooled exec substrate, the first to meet the coverage/FPR target
+//! posts its **logical cost** (Eq. 9 pass costs plus thermal-chamber
+//! settling, never wall time), and provably-losing lanes are cancelled
+//! cooperatively at kernel batch boundaries through
+//! [`reaper_exec::cancel::CancelToken`].
+//!
+//! Despite racing, the outcome is a pure function of the request: the
+//! winner is the minimum `(logical cost, intrinsic candidate key)`, lane
+//! reports are reconstructed analytically after the race, and the
+//! returned profile is bit-identical at any thread count, any candidate
+//! order, and any prior state (see `race` module docs for the argument).
+//!
+//! * [`spec`] — candidate strategies, race targets, the default
+//!   candidate portfolio
+//! * [`race`] — the racing engine and its analytic cost accounting
+//! * [`priors`] — per-vendor launch-order priors learned across jobs
+//! * [`request`] — the canonical, content-addressable job form served by
+//!   `reaper-serve`
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reaper_portfolio::PortfolioRequest;
+//!
+//! let (race, outcome) = PortfolioRequest::example(7).execute().expect("valid");
+//! assert!(race.target_met);
+//! println!(
+//!     "winner {} cost {} (makespan {})",
+//!     race.winner_strategy.name(),
+//!     race.winner_cost,
+//!     race.makespan,
+//! );
+//! assert!(outcome.metrics.coverage >= 0.9);
+//! ```
+
+// See crates/retention/src/lib.rs for the deny-wall escape rationale:
+// reaper-lint enforces the finer-grained forms (P1/C1) with per-site
+// markers in this crate.
+#![allow(clippy::expect_used, clippy::indexing_slicing)]
+#![cfg_attr(test, allow(clippy::float_cmp))]
+
+pub mod priors;
+pub mod race;
+pub mod request;
+pub mod spec;
+
+pub use priors::PriorStore;
+pub use race::{LaneReport, LaneStatus, Portfolio, RaceOutcome, SoloRun};
+pub use request::PortfolioRequest;
+pub use spec::{default_candidates, RaceTarget, Strategy, StrategySpec};

@@ -1,0 +1,114 @@
+//! Per-vendor condition priors.
+//!
+//! The retrospective on DRAM-retention profiling (PAPERS.md) stresses
+//! that no single recipe wins on every device: the store remembers which
+//! strategy family won past races *per vendor* and launches historically
+//! strong candidates first. Ordering is the only thing priors influence —
+//! the race's winner rule tie-breaks on each candidate's intrinsic
+//! [`StrategySpec::sort_key`], so priors change scheduling, never
+//! results.
+
+use std::collections::BTreeMap;
+
+use reaper_dram_model::Vendor;
+
+use crate::spec::{Strategy, StrategySpec};
+
+/// Deterministic win counts per `(vendor, strategy)`, backed by
+/// `BTreeMap`s so iteration order is the key order, never insertion or
+/// hash order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PriorStore {
+    wins: BTreeMap<&'static str, BTreeMap<&'static str, u64>>,
+}
+
+impl PriorStore {
+    /// An empty store: every vendor launches candidates in intrinsic-key
+    /// order.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one race win for `strategy` on `vendor` parts.
+    pub fn record_win(&mut self, vendor: Vendor, strategy: Strategy) {
+        *self
+            .wins
+            .entry(vendor.name())
+            .or_default()
+            .entry(strategy.name())
+            .or_default() += 1;
+    }
+
+    /// Wins recorded for `(vendor, strategy)`.
+    pub fn wins(&self, vendor: Vendor, strategy: Strategy) -> u64 {
+        self.wins
+            .get(vendor.name())
+            .and_then(|per| per.get(strategy.name()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total races recorded for `vendor`.
+    pub fn races(&self, vendor: Vendor) -> u64 {
+        self.wins
+            .get(vendor.name())
+            .map(|per| per.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// The launch order for `candidates` on `vendor`: indices into
+    /// `candidates`, historically winning strategy families first
+    /// (descending win count), ties broken by each candidate's intrinsic
+    /// sort key. Deterministic in the store contents and candidate set.
+    pub fn launch_order(&self, vendor: Vendor, candidates: &[StrategySpec]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by_key(|&i| {
+            // lint: allow(panic) i ranges over candidates' indices
+            let c = &candidates[i];
+            (core::cmp::Reverse(self.wins(vendor, c.strategy())), c.sort_key())
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::default_candidates;
+
+    #[test]
+    fn empty_store_orders_by_intrinsic_key() {
+        let store = PriorStore::new();
+        let cands = default_candidates(4);
+        let order = store.launch_order(Vendor::B, &cands);
+        let mut keys: Vec<_> = order.iter().map(|&i| cands[i].sort_key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys.len(), cands.len());
+        keys.sort_unstable();
+        assert_eq!(keys, sorted);
+        // And it is a permutation.
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..cands.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wins_pull_a_family_to_the_front_per_vendor() {
+        let mut store = PriorStore::new();
+        store.record_win(Vendor::B, Strategy::Combined);
+        store.record_win(Vendor::B, Strategy::Combined);
+        store.record_win(Vendor::B, Strategy::DeltaRefw);
+        let cands = default_candidates(4);
+        let order = store.launch_order(Vendor::B, &cands);
+        assert_eq!(cands[order[0]].strategy(), Strategy::Combined);
+        assert_eq!(cands[order[1]].strategy(), Strategy::Combined);
+        assert_eq!(cands[order[2]].strategy(), Strategy::DeltaRefw);
+        // Vendor A saw no races: intrinsic order there.
+        let a_order = store.launch_order(Vendor::A, &cands);
+        assert_eq!(a_order, PriorStore::new().launch_order(Vendor::A, &cands));
+        assert_eq!(store.races(Vendor::B), 3);
+        assert_eq!(store.races(Vendor::A), 0);
+        assert_eq!(store.wins(Vendor::B, Strategy::Combined), 2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Candidate strategies and race targets.
+//!
+//! A *candidate* is one way to profile a chip: a reach condition (§6's
+//! +Δt_REFW / +ΔT / combined axes, with brute force as the degenerate
+//! point) plus an iteration cap. A *race target* is what a candidate must
+//! deliver: coverage of the target-conditions ground truth at a bounded
+//! false-positive rate.
+
+use reaper_core::{ReachConditions, TargetConditions};
+use reaper_dram_model::Ms;
+
+/// The strategy family a candidate belongs to, used for priors and the
+/// service's per-strategy metrics labels.
+///
+/// [`Strategy::ALL`] fixes the wire order; every rendered label series
+/// iterates it so `/metrics` output is deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strategy {
+    /// Profile at the target conditions (Algorithm 1 unmodified).
+    BruteForce,
+    /// Interval-only reach (+Δt_REFW, the paper's REAPER implementation).
+    DeltaRefw,
+    /// Temperature-only reach (+ΔT).
+    DeltaTemp,
+    /// Both offsets at once.
+    Combined,
+}
+
+impl Strategy {
+    /// Every strategy, in the canonical wire/label order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::BruteForce,
+        Strategy::DeltaRefw,
+        Strategy::DeltaTemp,
+        Strategy::Combined,
+    ];
+
+    /// Stable wire name (`brute_force` / `delta_refw` / `delta_t` /
+    /// `combined`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::BruteForce => "brute_force",
+            Strategy::DeltaRefw => "delta_refw",
+            Strategy::DeltaTemp => "delta_t",
+            Strategy::Combined => "combined",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Strategy::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// One race candidate: a reach condition and the iteration budget it may
+/// spend chasing the target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategySpec {
+    /// The reach offsets profiling runs at.
+    pub reach: ReachConditions,
+    /// Maximum Algorithm 1 iterations before the lane gives up.
+    pub max_iterations: u32,
+}
+
+impl StrategySpec {
+    /// Creates a candidate.
+    ///
+    /// # Panics
+    /// Panics if `max_iterations == 0`.
+    pub fn new(reach: ReachConditions, max_iterations: u32) -> Self {
+        assert!(max_iterations > 0, "candidate needs at least one iteration");
+        Self {
+            reach,
+            max_iterations,
+        }
+    }
+
+    /// The family this candidate belongs to.
+    pub fn strategy(&self) -> Strategy {
+        let dt = self.reach.delta_temp > 0.0;
+        let di = self.reach.delta_interval.is_positive();
+        match (di, dt) {
+            (false, false) => Strategy::BruteForce,
+            (true, false) => Strategy::DeltaRefw,
+            (false, true) => Strategy::DeltaTemp,
+            (true, true) => Strategy::Combined,
+        }
+    }
+
+    /// The candidate's *intrinsic* sort key: a total order derived only
+    /// from the candidate's own parameters, never from launch position.
+    /// Race winners tie-break on this key, which is what makes the winner
+    /// invariant under candidate reordering and prior-store state (both
+    /// only permute launch order).
+    ///
+    /// Both deltas are non-negative by [`ReachConditions`]'s constructor,
+    /// so their IEEE-754 bit patterns order exactly like their values.
+    pub fn sort_key(&self) -> (u64, u64, u32) {
+        (
+            self.reach.delta_temp.to_bits(),
+            self.reach.delta_interval.as_ms().to_bits(),
+            self.max_iterations,
+        )
+    }
+
+    /// Per-pattern-pass logical cost at `target`: the profiling refresh
+    /// interval plus the harness's write+read pass cost (Eq. 9's
+    /// per-pattern term).
+    pub fn unit_cost(&self, target: TargetConditions) -> Ms {
+        let (interval, _) = self.reach.apply_to(target);
+        interval + reaper_softmc::CostModel::default().pass_cost()
+    }
+}
+
+/// What a candidate must achieve to finish the race.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceTarget {
+    /// The conditions the system will operate at; ground truth is the
+    /// analytic worst-case failing set here.
+    pub conditions: TargetConditions,
+    /// Fraction of the ground truth a lane must cover, in `(0, 1]`.
+    pub coverage_goal: f64,
+    /// Maximum tolerated false-positive rate, in `[0, 1]`.
+    pub max_fpr: f64,
+}
+
+impl RaceTarget {
+    /// Creates a race target.
+    ///
+    /// # Panics
+    /// Panics if `coverage_goal` is outside `(0, 1]` or `max_fpr` is
+    /// outside `[0, 1]`.
+    pub fn new(conditions: TargetConditions, coverage_goal: f64, max_fpr: f64) -> Self {
+        assert!(
+            coverage_goal > 0.0 && coverage_goal <= 1.0,
+            "coverage goal must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&max_fpr),
+            "max FPR must be in [0, 1]"
+        );
+        Self {
+            conditions,
+            coverage_goal,
+            max_fpr,
+        }
+    }
+}
+
+/// The default candidate portfolio: the brute-force control lane plus the
+/// paper's three reach families at two aggressiveness levels each (§6's
+/// tradeoff axes). `max_iterations` caps every lane.
+///
+/// # Panics
+/// Panics if `max_iterations == 0`.
+pub fn default_candidates(max_iterations: u32) -> Vec<StrategySpec> {
+    [
+        ReachConditions::brute_force(),
+        ReachConditions::interval_offset(Ms::new(256.0)),
+        ReachConditions::interval_offset(Ms::new(512.0)),
+        ReachConditions::temp_offset(5.0),
+        ReachConditions::temp_offset(10.0),
+        ReachConditions::new(Ms::new(256.0), 5.0),
+        ReachConditions::new(Ms::new(512.0), 10.0),
+    ]
+    .into_iter()
+    .map(|reach| StrategySpec::new(reach, max_iterations))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reaper_dram_model::Celsius;
+
+    #[test]
+    fn strategy_names_roundtrip_in_canonical_order() {
+        let names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["brute_force", "delta_refw", "delta_t", "combined"]);
+        for s in Strategy::ALL {
+            assert_eq!(Strategy::parse(s.name()), Some(s));
+        }
+        assert_eq!(Strategy::parse("warp"), None);
+    }
+
+    #[test]
+    fn spec_classifies_strategy_families() {
+        let cases = [
+            (ReachConditions::brute_force(), Strategy::BruteForce),
+            (
+                ReachConditions::interval_offset(Ms::new(250.0)),
+                Strategy::DeltaRefw,
+            ),
+            (ReachConditions::temp_offset(5.0), Strategy::DeltaTemp),
+            (ReachConditions::new(Ms::new(250.0), 5.0), Strategy::Combined),
+        ];
+        for (reach, want) in cases {
+            assert_eq!(StrategySpec::new(reach, 4).strategy(), want);
+        }
+    }
+
+    #[test]
+    fn sort_keys_are_intrinsic_and_distinct_in_default_set() {
+        let cands = default_candidates(8);
+        assert_eq!(cands.len(), 7);
+        let mut keys: Vec<_> = cands.iter().map(StrategySpec::sort_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), cands.len(), "default candidates must be distinct");
+        // The key ignores nothing the candidate is made of.
+        let a = StrategySpec::new(ReachConditions::temp_offset(5.0), 4);
+        let b = StrategySpec::new(ReachConditions::temp_offset(5.0), 5);
+        assert_ne!(a.sort_key(), b.sort_key());
+    }
+
+    #[test]
+    fn unit_cost_is_interval_plus_pass_cost() {
+        let target = TargetConditions::new(Ms::new(1024.0), Celsius::new(45.0));
+        let spec = StrategySpec::new(ReachConditions::interval_offset(Ms::new(256.0)), 4);
+        assert_eq!(spec.unit_cost(target), Ms::new(1024.0 + 256.0 + 250.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage goal")]
+    fn race_target_rejects_zero_goal() {
+        RaceTarget::new(TargetConditions::paper_example(), 0.0, 0.5);
+    }
+}

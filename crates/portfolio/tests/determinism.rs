@@ -1,0 +1,163 @@
+//! The racing determinism contract, property-tested: the portfolio's
+//! winner and returned profile are byte-identical across thread counts
+//! {1, 4}, candidate orderings, and prior states, and agree with a
+//! sequential run-every-candidate reference.
+
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::indexing_slicing)]
+
+use proptest::prelude::*;
+
+use reaper_core::{PatternSet, ReachConditions, TargetConditions};
+use reaper_dram_model::{Celsius, Ms, Vendor};
+use reaper_exec::set_thread_count;
+use reaper_portfolio::{
+    Portfolio, PriorStore, RaceOutcome, RaceTarget, SoloRun, Strategy, StrategySpec,
+};
+
+fn portfolio(seed: u64, coverage_goal: f64) -> Portfolio {
+    Portfolio::new(
+        Vendor::B,
+        1,
+        64,
+        seed,
+        RaceTarget::new(
+            TargetConditions::new(Ms::new(512.0), Celsius::new(45.0)),
+            coverage_goal,
+            1.0,
+        ),
+        PatternSet::Standard,
+        vec![
+            StrategySpec::new(ReachConditions::brute_force(), 6),
+            StrategySpec::new(ReachConditions::interval_offset(Ms::new(128.0)), 6),
+            StrategySpec::new(ReachConditions::interval_offset(Ms::new(256.0)), 6),
+            StrategySpec::new(ReachConditions::temp_offset(5.0), 6),
+        ],
+    )
+}
+
+/// Decodes `code` into a permutation of `0..n` (Lehmer-style), so any
+/// u64 names a valid candidate ordering without needing a shuffle
+/// strategy.
+fn permutation(mut code: u64, n: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let mut out = Vec::with_capacity(n);
+    for remaining in (1..=n).rev() {
+        let pick = usize::try_from(code % remaining as u64).expect("remaining ≤ n");
+        code /= remaining as u64;
+        out.push(pool.remove(pick));
+    }
+    out
+}
+
+/// Decodes `code` into an arbitrary prior state: up to 8 recorded wins
+/// spread across the strategy families.
+fn priors_from(mut code: u64) -> PriorStore {
+    let mut store = PriorStore::new();
+    let wins = code % 9;
+    for _ in 0..wins {
+        code = code.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let strategy = Strategy::ALL[usize::try_from(code % 4).expect("0..4 fits")];
+        store.record_win(Vendor::B, strategy);
+    }
+    store
+}
+
+/// Runs the race under an explicit thread count, restoring the default
+/// afterwards even on panic.
+fn race_at(threads: usize, p: &Portfolio, order: &[usize]) -> RaceOutcome {
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_thread_count(None);
+        }
+    }
+    let _restore = Restore;
+    set_thread_count(Some(threads));
+    p.run_ordered(order)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn race_outcome_is_invariant_to_threads_orderings_and_priors(
+        seed in 1u64..64,
+        order_code in any::<u64>(),
+        prior_code in any::<u64>(),
+    ) {
+        let p = portfolio(seed, 0.9);
+        let n = p.candidates().len();
+
+        // Sequential run-all reference: every candidate solo, winner by
+        // (met, cost, intrinsic key) — the race must agree exactly.
+        let solos: Vec<SoloRun> = (0..n).map(|i| p.run_solo(i)).collect();
+        let reference = p.run();
+
+        let best_solo = solos
+            .iter()
+            .filter(|s| s.met)
+            .min_by(|a, b| {
+                a.cost
+                    .as_ms()
+                    .total_cmp(&b.cost.as_ms())
+                    .then_with(|| a.spec.sort_key().cmp(&b.spec.sort_key()))
+            });
+        if let Some(best) = best_solo {
+            prop_assert!(reference.target_met);
+            prop_assert_eq!(reference.winner, best.spec);
+            prop_assert_eq!(reference.winner_cost, best.cost);
+        } else {
+            prop_assert!(!reference.target_met);
+        }
+
+        let order = permutation(order_code, n);
+        let priors = priors_from(prior_code);
+        let prior_order = priors.launch_order(Vendor::B, p.candidates());
+
+        for threads in [1usize, 4] {
+            for launch in [&order, &prior_order] {
+                let raced = race_at(threads, &p, launch);
+                prop_assert_eq!(&raced, &reference,
+                    "threads={} launch={:?}", threads, launch);
+                prop_assert_eq!(
+                    raced.profile.to_bytes(),
+                    reference.profile.to_bytes(),
+                    "profile bytes diverged at threads={}", threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_still_race_deterministically(
+        seed in 1u64..16,
+        order_code in any::<u64>(),
+    ) {
+        // Perfect coverage at zero FPR within one iteration: nobody can
+        // meet it, so the fallback path is exercised.
+        let p = Portfolio::new(
+            Vendor::B,
+            1,
+            64,
+            seed,
+            RaceTarget::new(
+                TargetConditions::new(Ms::new(512.0), Celsius::new(45.0)),
+                1.0,
+                0.0,
+            ),
+            PatternSet::Standard,
+            vec![
+                StrategySpec::new(ReachConditions::brute_force(), 1),
+                StrategySpec::new(ReachConditions::interval_offset(Ms::new(128.0)), 1),
+                StrategySpec::new(ReachConditions::interval_offset(Ms::new(256.0)), 1),
+            ],
+        );
+        let reference = p.run();
+        prop_assert!(!reference.target_met);
+        let order = permutation(order_code, 3);
+        for threads in [1usize, 4] {
+            let raced = race_at(threads, &p, &order);
+            prop_assert_eq!(&raced, &reference);
+        }
+    }
+}

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use reaper_analysis::dist::{Exponential, LogNormal, Poisson};
+use reaper_exec::cancel::CancelToken;
 use reaper_exec::num;
 use reaper_exec::rng::stream;
 use reaper_dram_model::{Celsius, ChipGeometry, DataPattern, Ms};
@@ -149,6 +150,21 @@ impl<'a> IntoIterator for &'a TrialOutcome {
     fn into_iter(self) -> Self::IntoIter {
         self.failures.iter()
     }
+}
+
+/// The result of a cancellable trial run: the outcomes completed before
+/// the stop, plus whether the run was cut short.
+///
+/// When `cancelled` is false the outcomes are the complete run. When true
+/// they are a bit-identical prefix of what the uncancelled run would have
+/// produced — see the `_cancellable` entry points on [`SimulatedChip`]
+/// for the exact prefix guarantee each one makes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialTrials {
+    /// Completed trial outcomes, in the entry point's usual order.
+    pub outcomes: Vec<TrialOutcome>,
+    /// True if a [`CancelToken`] stopped the run at a batch boundary.
+    pub cancelled: bool,
 }
 
 /// A simulated LPDDR4 chip with a synthetic weak-cell population.
@@ -639,6 +655,38 @@ impl SimulatedChip {
         rounds: u32,
         max_batch: usize,
     ) -> Vec<TrialOutcome> {
+        let run =
+            self.retention_trial_batches_cancellable(pattern, interval, temp, rounds, max_batch, &CancelToken::new());
+        debug_assert!(!run.cancelled, "a fresh token cannot be cancelled");
+        run.outcomes
+    }
+
+    /// [`SimulatedChip::retention_trial_batches`] with a cooperative
+    /// [`CancelToken`], polled at every kernel-batch boundary — the
+    /// cancellation points of a racing profiling strategy. Cancellation
+    /// never lands mid-batch: the returned outcomes are a *prefix* of the
+    /// uncancelled run's rounds (in nonce order) and are bit-identical to
+    /// that prefix; [`PartialTrials::cancelled`] reports whether the run
+    /// stopped early.
+    ///
+    /// A cancelled run has still reserved all `rounds` trial nonces and may
+    /// have skipped VRT updates the abandoned rounds would have applied, so
+    /// the chip is *not* suitable for continuing a bit-identical sequence —
+    /// racing callers discard a cancelled lane's chip along with its
+    /// result, which is the intended use.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not positive or `max_batch` is outside
+    /// `1..=MAX_BATCH_ROUNDS`.
+    pub fn retention_trial_batches_cancellable(
+        &mut self,
+        pattern: DataPattern,
+        interval: Ms,
+        temp: Celsius,
+        rounds: u32,
+        max_batch: usize,
+        cancel: &CancelToken,
+    ) -> PartialTrials {
         assert!(interval.is_positive(), "retention interval must be positive");
         assert!(
             (1..=MAX_BATCH_ROUNDS).contains(&max_batch),
@@ -664,9 +712,14 @@ impl SimulatedChip {
         self.trial_nonce += u64::from(rounds);
 
         let mut outcomes = Vec::with_capacity(num::idx_u64(u64::from(rounds)));
+        let mut cancelled = false;
         let mut next = first_nonce;
         let end_nonce = first_nonce + u64::from(rounds);
         while next < end_nonce {
+            if cancel.is_cancelled() {
+                cancelled = true;
+                break;
+            }
             let k = (end_nonce - next).min(num::to_u64(max_batch));
             let nonces: Vec<u64> = (next..next + k).collect();
             next += k;
@@ -695,7 +748,10 @@ impl SimulatedChip {
                 });
             }
         }
-        outcomes
+        PartialTrials {
+            outcomes,
+            cancelled,
+        }
     }
 
     /// Runs a heterogeneous trial schedule through the batch kernel: one
@@ -722,12 +778,46 @@ impl SimulatedChip {
         schedule: &[(DataPattern, Ms, Celsius)],
         max_batch: usize,
     ) -> Vec<TrialOutcome> {
+        let run = self.retention_trial_schedule_cancellable(schedule, max_batch, &CancelToken::new());
+        debug_assert!(!run.cancelled, "a fresh token cannot be cancelled");
+        run.outcomes
+    }
+
+    /// [`SimulatedChip::retention_trial_schedule`] with a cooperative
+    /// [`CancelToken`], polled at every kernel-batch boundary (each
+    /// condition group's `TrialPlan::run_rounds` chunk). Cancellation
+    /// never lands mid-batch.
+    ///
+    /// The returned outcomes are the longest *schedule prefix* whose
+    /// entries all completed, bit-identical to the same prefix of the
+    /// uncancelled run: per-(cell, nonce) kernel lanes are position-
+    /// independent, and arrival draws are replayed on the sequential RNG
+    /// in schedule order over exactly that prefix — the same draws, in the
+    /// same order, that the uncancelled run would have made for it.
+    /// Completed work from groups *past* the prefix is discarded.
+    ///
+    /// As with the rounds form, a cancelled run leaves the chip's nonce
+    /// reservation and VRT state unsuitable for continuing a bit-identical
+    /// sequence; racing callers discard the cancelled lane's chip.
+    ///
+    /// # Panics
+    /// Panics if any interval is not positive or `max_batch` is outside
+    /// `1..=MAX_BATCH_ROUNDS`.
+    pub fn retention_trial_schedule_cancellable(
+        &mut self,
+        schedule: &[(DataPattern, Ms, Celsius)],
+        max_batch: usize,
+        cancel: &CancelToken,
+    ) -> PartialTrials {
         assert!(
             (1..=MAX_BATCH_ROUNDS).contains(&max_batch),
             "max_batch must be in 1..={MAX_BATCH_ROUNDS}, got {max_batch}"
         );
         let Some(&(_, first_interval, first_temp)) = schedule.first() else {
-            return Vec::new();
+            return PartialTrials {
+                outcomes: Vec::new(),
+                cancelled: false,
+            };
         };
         for (_, interval, _) in schedule {
             assert!(interval.is_positive(), "retention interval must be positive");
@@ -763,7 +853,8 @@ impl SimulatedChip {
         }
 
         let mut failures_by_pos: Vec<Option<Vec<u64>>> = vec![None; schedule.len()];
-        for g in &groups {
+        let mut cancelled = false;
+        'groups: for g in &groups {
             let t = g.interval.as_secs();
             let ms_scale = self.cfg.mu_temp_scale(g.temp);
             let ss_scale = self.cfg.sigma_temp_scale(g.temp);
@@ -778,6 +869,10 @@ impl SimulatedChip {
             };
             let plan = self.batch_plan(g.pattern, g.interval, g.temp);
             for chunk in g.positions.chunks(max_batch) {
+                if cancel.is_cancelled() {
+                    cancelled = true;
+                    break 'groups;
+                }
                 let nonces: Vec<u64> = chunk
                     .iter()
                     .map(|&pos| first_nonce + num::to_u64(pos))
@@ -801,12 +896,23 @@ impl SimulatedChip {
             }
         }
 
-        // Replay arrivals on the sequential RNG in schedule order.
-        let mut outcomes = Vec::with_capacity(schedule.len());
-        for (slot, &(_, interval, temp)) in failures_by_pos.iter_mut().zip(schedule) {
+        // The completed prefix: everything before the first unserved
+        // position. Filled positions *past* that boundary came from groups
+        // that finished before the cancel landed; the uncancelled run
+        // would interleave their arrival draws with the missing entries',
+        // so they cannot be returned bit-identically and are discarded.
+        let completed = failures_by_pos
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or(schedule.len());
+
+        // Replay arrivals on the sequential RNG in schedule order, over
+        // exactly the completed prefix.
+        let mut outcomes = Vec::with_capacity(completed);
+        for (slot, &(_, interval, temp)) in failures_by_pos.iter_mut().zip(schedule).take(completed) {
             let mut failures = slot
                 .take()
-                .expect("invariant: every schedule position was served by its group");
+                .expect("invariant: positions before the prefix boundary are filled");
             let kernel_len = failures.len();
             self.arrival_round(
                 interval.as_secs(),
@@ -820,7 +926,10 @@ impl SimulatedChip {
                 TrialOutcome::from_unsorted(failures)
             });
         }
-        outcomes
+        PartialTrials {
+            outcomes,
+            cancelled,
+        }
     }
 
     /// Finds or compiles the plan serving a batched run. The batched entry

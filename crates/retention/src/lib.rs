@@ -69,7 +69,7 @@ pub mod vrt;
 
 pub use batch::MAX_BATCH_ROUNDS;
 pub use cell::WeakCell;
-pub use chip::{SimulatedChip, TrialOutcome};
+pub use chip::{PartialTrials, SimulatedChip, TrialOutcome};
 pub use delta::{DeltaApplyError, DeltaCodecError, ProfileDelta};
 pub use plan::{PlanStats, TrialEngine};
 pub use config::RetentionConfig;

@@ -1,13 +1,17 @@
-//! Wire-level request/response mapping: JSON bodies ↔
-//! [`ProfilingRequest`] and outcome summaries ↔ JSON.
+//! Wire-level request/response mapping: JSON bodies ↔ [`JobRequest`]
+//! (plain profiling or a portfolio race) and outcome summaries ↔ JSON.
 //!
 //! The JSON form is a convenience veneer; canonicalization and hashing
-//! operate on [`ProfilingRequest::canonical_bytes`], never on JSON text,
-//! so formatting, key order, and optional-field defaults cannot perturb
-//! job identity.
+//! operate on the request's canonical bytes
+//! ([`ProfilingRequest::canonical_bytes`] /
+//! [`PortfolioRequest::canonical_bytes`]), never on JSON text, so
+//! formatting, key order, and optional-field defaults cannot perturb
+//! job identity. The two kinds hash in disjoint domains, so a portfolio
+//! job can never collide with a profiling job.
 
-use reaper_core::{PatternSpec, ProfilingOutcome, ProfilingRequest};
+use reaper_core::{PatternSpec, ProfilingOutcome, ProfilingRequest, RequestError};
 use reaper_dram_model::Vendor;
+use reaper_portfolio::PortfolioRequest;
 
 use crate::json::{self, Value};
 
@@ -19,25 +23,128 @@ const DEFAULT_CAPACITY_DEN: u64 = 16;
 const DEFAULT_AMBIENT_C: f64 = 45.0;
 /// Default profiling rounds.
 const DEFAULT_ROUNDS: u32 = 4;
+/// Default coverage goal for portfolio races.
+const DEFAULT_COVERAGE_GOAL: f64 = 0.9;
+/// Default false-positive-rate cap for portfolio races.
+const DEFAULT_MAX_FPR: f64 = 1.0;
 
-/// Parses a `POST /v1/jobs` JSON body into a [`ProfilingRequest`].
+/// One submitted job, of either kind the service executes. The wire
+/// discriminator is the optional `kind` field of the submit body:
+/// absent or `"profiling"` is a plain [`ProfilingRequest`] (backward
+/// compatible with every pre-portfolio client), `"portfolio"` is a
+/// racing [`PortfolioRequest`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRequest {
+    /// A single-strategy profiling run.
+    Profiling(ProfilingRequest),
+    /// A portfolio race over the default candidate strategies.
+    Portfolio(PortfolioRequest),
+}
+
+impl JobRequest {
+    /// The wire name of this job kind (the `kind` submit field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobRequest::Profiling(_) => "profiling",
+            JobRequest::Portfolio(_) => "portfolio",
+        }
+    }
+
+    /// The content-addressed job ID; the two kinds hash in disjoint
+    /// domains.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            JobRequest::Profiling(r) => r.job_id(),
+            JobRequest::Portfolio(r) => r.job_id(),
+        }
+    }
+
+    /// Semantic validation, delegated to the underlying request.
+    ///
+    /// # Errors
+    /// The underlying request's [`RequestError`].
+    pub fn validate(&self) -> Result<(), RequestError> {
+        match self {
+            JobRequest::Profiling(r) => r.validate(),
+            JobRequest::Portfolio(r) => r.validate(),
+        }
+    }
+
+    /// The simulated chip's vendor.
+    pub fn vendor(&self) -> Vendor {
+        match self {
+            JobRequest::Profiling(r) => r.vendor,
+            JobRequest::Portfolio(r) => r.vendor,
+        }
+    }
+
+    /// The request seed.
+    pub fn seed(&self) -> u64 {
+        match self {
+            JobRequest::Profiling(r) => r.seed,
+            JobRequest::Portfolio(r) => r.seed,
+        }
+    }
+}
+
+impl From<ProfilingRequest> for JobRequest {
+    fn from(r: ProfilingRequest) -> Self {
+        JobRequest::Profiling(r)
+    }
+}
+
+impl From<PortfolioRequest> for JobRequest {
+    fn from(r: PortfolioRequest) -> Self {
+        JobRequest::Portfolio(r)
+    }
+}
+
+/// Parses a `POST /v1/jobs` JSON body into a [`JobRequest`].
 ///
-/// Required fields: `vendor` (`"A"|"B"|"C"`), `seed`,
-/// `target_interval_ms`. Optional with defaults: `capacity_num` (1),
-/// `capacity_den` (16), `target_ambient_c` (45), `reach_delta_ms` (0),
-/// `reach_delta_temp_c` (0), `rounds` (4), `patterns` (`"standard"`).
+/// Required fields for both kinds: `vendor` (`"A"|"B"|"C"`), `seed`,
+/// `target_interval_ms`. Optional with defaults: `kind`
+/// (`"profiling"`), `capacity_num` (1), `capacity_den` (16),
+/// `target_ambient_c` (45), `rounds` (4), `patterns` (`"standard"`).
+/// Profiling-only: `reach_delta_ms` (0), `reach_delta_temp_c` (0).
+/// Portfolio-only: `coverage_goal` (0.9), `max_fpr` (1).
 ///
 /// # Errors
 /// A human-readable message naming the offending field; the request is
-/// *not* semantically validated here (that is
-/// [`ProfilingRequest::validate`]'s job).
-pub fn parse_job_body(body: &[u8]) -> Result<ProfilingRequest, String> {
+/// *not* semantically validated here (that is [`JobRequest::validate`]'s
+/// job).
+pub fn parse_job_body(body: &[u8]) -> Result<JobRequest, String> {
     let text = core::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = json::parse(text).map_err(|e| e.to_string())?;
     if !matches!(doc, Value::Obj(_)) {
         return Err("body must be a JSON object".to_string());
     }
 
+    let kind = match doc.get("kind") {
+        None => "profiling",
+        Some(v) => v.as_str().ok_or("field `kind` must be a string")?,
+    };
+    match kind {
+        "profiling" => parse_profiling_fields(&doc).map(JobRequest::Profiling),
+        "portfolio" => parse_portfolio_fields(&doc).map(JobRequest::Portfolio),
+        other => Err(format!(
+            "unknown job kind `{other}` (expected profiling or portfolio)"
+        )),
+    }
+}
+
+/// The fields both job kinds share, parsed with their shared defaults.
+struct CommonFields {
+    vendor: Vendor,
+    capacity_num: u64,
+    capacity_den: u64,
+    seed: u64,
+    target_interval_ms: f64,
+    target_ambient_c: f64,
+    rounds: u32,
+    patterns: PatternSpec,
+}
+
+fn parse_common_fields(doc: &Value) -> Result<CommonFields, String> {
     let vendor_name = doc
         .get("vendor")
         .and_then(Value::as_str)
@@ -90,42 +197,98 @@ pub fn parse_job_body(body: &[u8]) -> Result<ProfilingRequest, String> {
     let rounds =
         u32::try_from(rounds_u64).map_err(|_| "field `rounds` is out of range".to_string())?;
 
-    Ok(ProfilingRequest {
+    Ok(CommonFields {
         vendor,
         capacity_num: opt_u64("capacity_num", DEFAULT_CAPACITY_NUM)?,
         capacity_den: opt_u64("capacity_den", DEFAULT_CAPACITY_DEN)?,
         seed,
         target_interval_ms,
         target_ambient_c: opt_f64("target_ambient_c", DEFAULT_AMBIENT_C)?,
-        reach_delta_ms: opt_f64("reach_delta_ms", 0.0)?,
-        reach_delta_temp_c: opt_f64("reach_delta_temp_c", 0.0)?,
         rounds,
         patterns,
     })
 }
 
-/// Renders a [`ProfilingRequest`] as the JSON body [`parse_job_body`]
+fn opt_f64_field(doc: &Value, key: &str, default: f64) -> Result<f64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("field `{key}` must be a number")),
+    }
+}
+
+fn parse_profiling_fields(doc: &Value) -> Result<ProfilingRequest, String> {
+    let common = parse_common_fields(doc)?;
+    Ok(ProfilingRequest {
+        vendor: common.vendor,
+        capacity_num: common.capacity_num,
+        capacity_den: common.capacity_den,
+        seed: common.seed,
+        target_interval_ms: common.target_interval_ms,
+        target_ambient_c: common.target_ambient_c,
+        reach_delta_ms: opt_f64_field(doc, "reach_delta_ms", 0.0)?,
+        reach_delta_temp_c: opt_f64_field(doc, "reach_delta_temp_c", 0.0)?,
+        rounds: common.rounds,
+        patterns: common.patterns,
+    })
+}
+
+fn parse_portfolio_fields(doc: &Value) -> Result<PortfolioRequest, String> {
+    let common = parse_common_fields(doc)?;
+    Ok(PortfolioRequest {
+        vendor: common.vendor,
+        capacity_num: common.capacity_num,
+        capacity_den: common.capacity_den,
+        seed: common.seed,
+        target_interval_ms: common.target_interval_ms,
+        target_ambient_c: common.target_ambient_c,
+        coverage_goal: opt_f64_field(doc, "coverage_goal", DEFAULT_COVERAGE_GOAL)?,
+        max_fpr: opt_f64_field(doc, "max_fpr", DEFAULT_MAX_FPR)?,
+        rounds: common.rounds,
+        patterns: common.patterns,
+    })
+}
+
+/// Renders a [`JobRequest`] as the JSON body [`parse_job_body`]
 /// accepts (used by the client and the load generator).
-pub fn encode_job_body(req: &ProfilingRequest) -> String {
+pub fn encode_job_body(req: &JobRequest) -> String {
     job_body_value(req).encode()
 }
 
 /// The submit-body JSON as a [`Value`] — used where the request is
 /// embedded in a larger document (the fleet sync manifest) instead of
-/// sent as a body of its own.
-pub fn job_body_value(req: &ProfilingRequest) -> Value {
-    json::obj([
-        ("vendor", json::str(req.vendor.name())),
-        ("capacity_num", json::uint(req.capacity_num)),
-        ("capacity_den", json::uint(req.capacity_den)),
-        ("seed", json::uint(req.seed)),
-        ("target_interval_ms", json::num(req.target_interval_ms)),
-        ("target_ambient_c", json::num(req.target_ambient_c)),
-        ("reach_delta_ms", json::num(req.reach_delta_ms)),
-        ("reach_delta_temp_c", json::num(req.reach_delta_temp_c)),
-        ("rounds", json::uint(u64::from(req.rounds))),
-        ("patterns", json::str(req.patterns.name())),
-    ])
+/// sent as a body of its own. Profiling bodies omit the `kind` field so
+/// they stay parseable by pre-portfolio readers; portfolio bodies lead
+/// with `"kind":"portfolio"`.
+pub fn job_body_value(req: &JobRequest) -> Value {
+    match req {
+        JobRequest::Profiling(r) => json::obj([
+            ("vendor", json::str(r.vendor.name())),
+            ("capacity_num", json::uint(r.capacity_num)),
+            ("capacity_den", json::uint(r.capacity_den)),
+            ("seed", json::uint(r.seed)),
+            ("target_interval_ms", json::num(r.target_interval_ms)),
+            ("target_ambient_c", json::num(r.target_ambient_c)),
+            ("reach_delta_ms", json::num(r.reach_delta_ms)),
+            ("reach_delta_temp_c", json::num(r.reach_delta_temp_c)),
+            ("rounds", json::uint(u64::from(r.rounds))),
+            ("patterns", json::str(r.patterns.name())),
+        ]),
+        JobRequest::Portfolio(r) => json::obj([
+            ("kind", json::str("portfolio")),
+            ("vendor", json::str(r.vendor.name())),
+            ("capacity_num", json::uint(r.capacity_num)),
+            ("capacity_den", json::uint(r.capacity_den)),
+            ("seed", json::uint(r.seed)),
+            ("target_interval_ms", json::num(r.target_interval_ms)),
+            ("target_ambient_c", json::num(r.target_ambient_c)),
+            ("coverage_goal", json::num(r.coverage_goal)),
+            ("max_fpr", json::num(r.max_fpr)),
+            ("rounds", json::uint(u64::from(r.rounds))),
+            ("patterns", json::str(r.patterns.name())),
+        ]),
+    }
 }
 
 /// The compact, JSON-safe summary of a completed job stored in its
@@ -211,7 +374,7 @@ mod tests {
 
     #[test]
     fn body_roundtrips_to_the_same_job_id() {
-        let req = ProfilingRequest::example(42);
+        let req = JobRequest::Profiling(ProfilingRequest::example(42));
         let body = encode_job_body(&req);
         let back = parse_job_body(body.as_bytes()).expect("own encoding parses");
         assert_eq!(back, req);
@@ -219,9 +382,51 @@ mod tests {
     }
 
     #[test]
+    fn portfolio_body_roundtrips_and_kind_discriminates() {
+        let req = JobRequest::Portfolio(PortfolioRequest::example(42));
+        let body = encode_job_body(&req);
+        assert!(body.contains(r#""kind":"portfolio""#));
+        let back = parse_job_body(body.as_bytes()).expect("own encoding parses");
+        assert_eq!(back, req);
+        assert_eq!(back.job_id(), req.job_id());
+        assert_eq!(back.kind(), "portfolio");
+        // The same fields without the kind discriminator parse as a
+        // profiling job with a different (domain-separated) ID.
+        let plain = parse_job_body(
+            br#"{"vendor":"B","seed":42,"target_interval_ms":512}"#,
+        )
+        .expect("parses");
+        assert_eq!(plain.kind(), "profiling");
+        assert_ne!(plain.job_id(), back.job_id());
+        // An explicit kind=profiling is accepted too.
+        let explicit = parse_job_body(
+            br#"{"kind":"profiling","vendor":"B","seed":42,"target_interval_ms":512}"#,
+        )
+        .expect("parses");
+        assert_eq!(explicit, plain);
+    }
+
+    #[test]
+    fn minimal_portfolio_body_fills_documented_defaults() {
+        let req = parse_job_body(
+            br#"{"kind":"portfolio","vendor":"B","seed":7,"target_interval_ms":512,"capacity_den":64,"rounds":6}"#,
+        )
+        .expect("minimal body");
+        let JobRequest::Portfolio(p) = req else {
+            panic!("kind=portfolio must parse as a portfolio job");
+        };
+        assert_eq!(p.coverage_goal, 0.9);
+        assert_eq!(p.max_fpr, 1.0);
+        assert_eq!(p, PortfolioRequest::example(7));
+    }
+
+    #[test]
     fn minimal_body_fills_documented_defaults() {
-        let req = parse_job_body(br#"{"vendor":"B","seed":7,"target_interval_ms":1024}"#)
+        let parsed = parse_job_body(br#"{"vendor":"B","seed":7,"target_interval_ms":1024}"#)
             .expect("minimal body");
+        let JobRequest::Profiling(req) = parsed else {
+            panic!("bodies without a kind must stay profiling jobs");
+        };
         assert_eq!(req.vendor, Vendor::B);
         assert_eq!(req.seed, 7);
         assert_eq!(req.capacity_num, 1);
@@ -239,7 +444,7 @@ mod tests {
 
     #[test]
     fn bad_bodies_name_the_offending_field() {
-        let cases: [(&[u8], &str); 7] = [
+        let cases: [(&[u8], &str); 9] = [
             (b"not json", "json error"),
             (b"[]", "must be a JSON object"),
             (br#"{"seed":1,"target_interval_ms":1}"#, "`vendor`"),
@@ -249,6 +454,14 @@ mod tests {
             (
                 br#"{"vendor":"A","seed":1,"target_interval_ms":1,"patterns":"zigzag"}"#,
                 "unknown pattern set",
+            ),
+            (
+                br#"{"kind":"lottery","vendor":"A","seed":1,"target_interval_ms":1}"#,
+                "unknown job kind",
+            ),
+            (
+                br#"{"kind":"portfolio","vendor":"A","seed":1,"target_interval_ms":1,"max_fpr":"low"}"#,
+                "`max_fpr`",
             ),
         ];
         for (body, needle) in cases {
@@ -261,8 +474,9 @@ mod tests {
     fn seed_precision_is_not_lost_through_json() {
         let mut req = ProfilingRequest::example(0);
         req.seed = u64::MAX - 1;
+        let req = JobRequest::Profiling(req);
         let back = parse_job_body(encode_job_body(&req).as_bytes()).expect("parses");
-        assert_eq!(back.seed, u64::MAX - 1);
+        assert_eq!(back.seed(), u64::MAX - 1);
         assert_eq!(back.job_id(), req.job_id());
     }
 

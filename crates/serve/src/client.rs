@@ -218,11 +218,31 @@ impl Client {
         }
     }
 
-    /// Submits `request` via `POST /v1/jobs`.
+    /// Submits a plain profiling `request` via `POST /v1/jobs`.
     ///
     /// # Errors
     /// [`ClientError`] on transport, protocol, or non-200 responses.
     pub fn submit(&mut self, request: &ProfilingRequest) -> Result<SubmitReceipt, ClientError> {
+        self.submit_job(&api::JobRequest::Profiling(request.clone()))
+    }
+
+    /// Submits a portfolio race via `POST /v1/jobs`
+    /// (`"kind":"portfolio"`).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn submit_portfolio(
+        &mut self,
+        request: &reaper_portfolio::PortfolioRequest,
+    ) -> Result<SubmitReceipt, ClientError> {
+        self.submit_job(&api::JobRequest::Portfolio(request.clone()))
+    }
+
+    /// Submits a job of either kind via `POST /v1/jobs`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or non-200 responses.
+    pub fn submit_job(&mut self, request: &api::JobRequest) -> Result<SubmitReceipt, ClientError> {
         let body = api::encode_job_body(request);
         let resp = self.request("POST", "/v1/jobs", body.as_bytes())?;
         let resp = Self::expect_status(resp, 200)?;

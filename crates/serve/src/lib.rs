@@ -60,12 +60,14 @@ pub mod metrics;
 pub mod server;
 pub mod store;
 
-pub use api::JobSummary;
+pub use api::{JobRequest, JobSummary};
 pub use cache::ResultCache;
 pub use client::{
     Client, ClientError, ConnectionPool, DeltaFetch, ProfileFetch, ProfileUpdate, PushReceipt,
     SubmitReceipt,
 };
-pub use metrics::{FleetIdentity, FleetMetrics, MetricsSnapshot, ServiceMetrics, StoreGauges};
+pub use metrics::{
+    FleetIdentity, FleetMetrics, MetricsSnapshot, PortfolioMetrics, ServiceMetrics, StoreGauges,
+};
 pub use server::{ConnectionModel, Server, ServerConfig, SyncHandle};
 pub use store::{ProfileStore, StoreConfig, SyncApply};

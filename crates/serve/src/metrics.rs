@@ -221,6 +221,89 @@ impl ServiceMetrics {
     }
 }
 
+/// Number of portfolio strategy families
+/// ([`reaper_portfolio::Strategy::ALL`]).
+const STRATEGIES: usize = reaper_portfolio::Strategy::ALL.len();
+
+/// Per-strategy portfolio-race counters, labelled by strategy family.
+///
+/// Label order in the rendered exposition is the fixed
+/// [`reaper_portfolio::Strategy::ALL`] code order — never a map
+/// iteration — so `/metrics` output is byte-deterministic (D1).
+#[derive(Default)]
+pub struct PortfolioMetrics {
+    /// Lanes launched into a race, per strategy.
+    races: [AtomicU64; STRATEGIES],
+    /// Lanes cancelled as provable losers, per strategy.
+    cancelled: [AtomicU64; STRATEGIES],
+    /// Races won, per strategy.
+    winner: [AtomicU64; STRATEGIES],
+}
+
+impl PortfolioMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fixed index of `strategy` within [`reaper_portfolio::Strategy::ALL`]
+    /// (exhaustive match, so a new strategy family fails to compile here
+    /// instead of silently miscounting).
+    fn slot(strategy: reaper_portfolio::Strategy) -> usize {
+        use reaper_portfolio::Strategy;
+        match strategy {
+            Strategy::BruteForce => 0,
+            Strategy::DeltaRefw => 1,
+            Strategy::DeltaTemp => 2,
+            Strategy::Combined => 3,
+        }
+    }
+
+    /// Counts one completed race from its outcome: every lane raced,
+    /// every cancelled lane, and the winner.
+    pub fn note_race(&self, race: &reaper_portfolio::RaceOutcome) {
+        for lane in &race.lanes {
+            let slot = Self::slot(lane.spec.strategy());
+            if let Some(counter) = self.races.get(slot) {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            if lane.status == reaper_portfolio::LaneStatus::Cancelled {
+                if let Some(counter) = self.cancelled.get(slot) {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(counter) = self.winner.get(Self::slot(race.winner_strategy)) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total races won across all strategies (== races completed).
+    pub fn races_won(&self) -> u64 {
+        self.winner.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Renders the `reaper_portfolio_*` series in deterministic label
+    /// order.
+    pub fn render(&self, out: &mut String) {
+        let families: [(&str, &[AtomicU64; STRATEGIES]); 3] = [
+            ("reaper_portfolio_races_total", &self.races),
+            ("reaper_portfolio_cancelled_total", &self.cancelled),
+            ("reaper_portfolio_winner_total", &self.winner),
+        ];
+        for (name, counters) in families {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (strategy, counter) in reaper_portfolio::Strategy::ALL.iter().zip(counters) {
+                out.push_str(&format!(
+                    "{name}{{strategy=\"{}\"}} {}\n",
+                    strategy.name(),
+                    counter.load(Ordering::Relaxed)
+                ));
+            }
+        }
+    }
+}
+
 /// Where a process sits in the fleet topology, rendered into
 /// `/healthz` and `/metrics` so operators (and the conformance tests)
 /// can tell shards, routers, and standalone servers apart.
@@ -433,6 +516,49 @@ mod tests {
         // code-order constant, not a map iteration).
         let mut again = String::new();
         render_fleet(&shard, 17, &fleet, &mut again);
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn portfolio_series_render_in_canonical_strategy_order() {
+        let m = PortfolioMetrics::new();
+        let (race, _) = reaper_portfolio::PortfolioRequest::example(3)
+            .execute()
+            .expect("example races");
+        m.note_race(&race);
+        assert_eq!(m.races_won(), 1);
+
+        let mut out = String::new();
+        m.render(&mut out);
+        for family in [
+            "reaper_portfolio_races_total",
+            "reaper_portfolio_cancelled_total",
+            "reaper_portfolio_winner_total",
+        ] {
+            // One line per strategy, in Strategy::ALL order — never a
+            // map iteration order.
+            let positions: Vec<usize> = reaper_portfolio::Strategy::ALL
+                .iter()
+                .map(|s| {
+                    out.find(&format!("{family}{{strategy=\"{}\"}}", s.name()))
+                        .unwrap_or_else(|| panic!("missing {family} for {}", s.name()))
+                })
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "{family} labels out of canonical order\n{out}"
+            );
+        }
+        // The default portfolio launches 1 brute-force + 2 Δrefw + 2 ΔT
+        // + 2 combined lanes per race.
+        assert!(out.contains("reaper_portfolio_races_total{strategy=\"brute_force\"} 1\n"));
+        assert!(out.contains("reaper_portfolio_races_total{strategy=\"delta_refw\"} 2\n"));
+        assert!(out.contains("reaper_portfolio_races_total{strategy=\"delta_t\"} 2\n"));
+        assert!(out.contains("reaper_portfolio_races_total{strategy=\"combined\"} 2\n"));
+
+        // Rendering twice yields byte-identical output.
+        let mut again = String::new();
+        m.render(&mut again);
         assert_eq!(out, again);
     }
 

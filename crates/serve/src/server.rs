@@ -38,16 +38,18 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use reaper_core::{FailureProfile, ProfilingRequest};
+use reaper_core::{FailureProfile, ProfilingOutcome, ProfilingRequest};
 use reaper_exec::pool::{BoundedQueue, PushError, WorkerPool};
 use reaper_exec::sync::lock;
+use reaper_portfolio::{PriorStore, RaceOutcome};
 use reaper_retention::delta::{self, ProfileDelta};
 
-use crate::api::{self, JobSummary};
+use crate::api::{self, JobRequest, JobSummary};
 use crate::http::{self, HttpError, Request, Response};
 use crate::json::{self, Value};
 use crate::metrics::{
-    self, FleetIdentity, FleetMetrics, MetricsSnapshot, ServiceMetrics, StoreGauges,
+    self, FleetIdentity, FleetMetrics, MetricsSnapshot, PortfolioMetrics, ServiceMetrics,
+    StoreGauges,
 };
 use crate::store::{
     AppendError, DeltaQuery, FullQuery, HeadInfo, InsertOutcome, ProfileStore, StoreConfig,
@@ -167,14 +169,14 @@ impl JobStatus {
 /// One job record, kept for the server's lifetime (records are a few
 /// hundred bytes; the byte-heavy profile lives in the evictable cache).
 struct JobRecord {
-    request: ProfilingRequest,
+    request: JobRequest,
     status: JobStatus,
 }
 
 /// A queued unit of work.
 struct JobTicket {
     id: u64,
-    request: ProfilingRequest,
+    request: JobRequest,
     enqueued_at: std::time::Instant,
 }
 
@@ -185,6 +187,13 @@ struct Shared {
     jobs: Mutex<BTreeMap<u64, JobRecord>>,
     store: Mutex<ProfileStore>,
     metrics: ServiceMetrics,
+    /// Per-strategy portfolio race counters.
+    portfolio: PortfolioMetrics,
+    /// Per-vendor strategy priors learned from completed portfolio
+    /// races; workers snapshot the store before executing (priors only
+    /// reorder lane launches — results stay pure functions of the
+    /// request) and record the winner afterwards.
+    priors: Mutex<PriorStore>,
     open_connections: AtomicUsize,
     /// Bumped on every publish (job completion or epoch push); watch
     /// handlers sleep on the condvar instead of busy-polling the store.
@@ -242,6 +251,8 @@ impl Server {
                 compact_max_chain_bytes: config.compact_max_chain_bytes,
             })),
             metrics: ServiceMetrics::new(),
+            portfolio: PortfolioMetrics::new(),
+            priors: Mutex::new(PriorStore::new()),
             open_connections: AtomicUsize::new(0),
             watch_seq: Mutex::new(0),
             watch_cv: Condvar::new(),
@@ -604,16 +615,18 @@ fn if_none_match(request: &Request, etag: &str) -> bool {
     })
 }
 
-/// `POST /v1/jobs`: parse, content-address, dedup-or-enqueue.
+/// `POST /v1/jobs`: parse, content-address, dedup-or-enqueue. Both job
+/// kinds (profiling and portfolio) flow through the same record, queue,
+/// and store machinery; only the worker's execution step dispatches.
 fn submit_job(request: &Request, shared: &Arc<Shared>) -> Response {
-    let profiling_request = match api::parse_job_body(&request.body) {
+    let job_request = match api::parse_job_body(&request.body) {
         Ok(r) => r,
         Err(message) => return Response::json(400, api::error_body(&message)),
     };
-    if let Err(e) = profiling_request.validate() {
+    if let Err(e) = job_request.validate() {
         return Response::json(400, api::error_body(&e.to_string()));
     }
-    let id = profiling_request.job_id();
+    let id = job_request.job_id();
 
     let mut jobs = lock(&shared.jobs);
     let deduped = jobs.contains_key(&id);
@@ -629,7 +642,7 @@ fn submit_job(request: &Request, shared: &Arc<Shared>) -> Response {
         if needs_requeue {
             let ticket = JobTicket {
                 id,
-                request: profiling_request.clone(),
+                request: job_request.clone(),
                 enqueued_at: metrics::now(),
             };
             if shared.queue.try_push(ticket).is_ok() {
@@ -641,7 +654,7 @@ fn submit_job(request: &Request, shared: &Arc<Shared>) -> Response {
     } else {
         let ticket = JobTicket {
             id,
-            request: profiling_request.clone(),
+            request: job_request.clone(),
             enqueued_at: metrics::now(),
         };
         match shared.queue.try_push(ticket) {
@@ -649,7 +662,7 @@ fn submit_job(request: &Request, shared: &Arc<Shared>) -> Response {
                 jobs.insert(
                     id,
                     JobRecord {
-                        request: profiling_request,
+                        request: job_request,
                         status: JobStatus::Queued,
                     },
                 );
@@ -688,8 +701,9 @@ fn job_status(id_text: &str, shared: &Arc<Shared>) -> Response {
     let mut fields = vec![
         ("job_id", json::str(ProfilingRequest::format_job_id(id))),
         ("status", json::str(record.status.name())),
-        ("seed", json::uint(record.request.seed)),
-        ("vendor", json::str(record.request.vendor.name())),
+        ("kind", json::str(record.request.kind())),
+        ("seed", json::uint(record.request.seed())),
+        ("vendor", json::str(record.request.vendor().name())),
     ];
     match &record.status {
         JobStatus::Done(summary) => fields.push(("summary", summary.to_value())),
@@ -1098,8 +1112,25 @@ fn render_metrics(shared: &Arc<Shared>) -> Response {
         )
     };
     let mut text = shared.metrics.render(shared.queue.len(), &gauges);
+    shared.portfolio.render(&mut text);
     metrics::render_fleet(&shared.identity, store_epoch, &shared.fleet, &mut text);
     Response::text(200, text)
+}
+
+/// Executes one ticket's request. Portfolio jobs race under a snapshot
+/// of the prior store — priors reorder lane launches but never change
+/// results, so execution stays a pure function of the request — and
+/// return the race report alongside the profiling outcome.
+fn execute_ticket(
+    request: &JobRequest,
+    priors: &PriorStore,
+) -> Result<(ProfilingOutcome, Option<RaceOutcome>), reaper_core::RequestError> {
+    match request {
+        JobRequest::Profiling(r) => r.execute().map(|outcome| (outcome, None)),
+        JobRequest::Portfolio(r) => r
+            .execute_with_priors(priors)
+            .map(|(race, outcome)| (outcome, Some(race))),
+    }
 }
 
 /// One worker thread: drain the queue until it closes, executing each
@@ -1112,15 +1143,21 @@ fn worker_loop(shared: &Arc<Shared>) {
             .record(metrics::elapsed_micros(ticket.enqueued_at));
         set_status(shared, ticket.id, JobStatus::Running);
 
+        let priors = lock(&shared.priors).clone();
         let started = metrics::now();
-        let result = catch_unwind(AssertUnwindSafe(|| ticket.request.execute()));
+        let result = catch_unwind(AssertUnwindSafe(|| execute_ticket(&ticket.request, &priors)));
         shared
             .metrics
             .exec_micros
             .record(metrics::elapsed_micros(started));
 
         match result {
-            Ok(Ok(outcome)) => {
+            Ok(Ok((outcome, race))) => {
+                if let Some(race) = &race {
+                    shared.portfolio.note_race(race);
+                    lock(&shared.priors)
+                        .record_win(ticket.request.vendor(), race.winner_strategy);
+                }
                 let encoded = Arc::new(outcome.run.profile.to_bytes());
                 let summary = JobSummary::from_outcome(&outcome, &encoded);
                 // Lock order: jobs before store.
@@ -1210,7 +1247,7 @@ impl SyncHandle {
         epoch: u64,
         expected_hash: u64,
         bytes: Vec<u8>,
-        request: &ProfilingRequest,
+        request: &JobRequest,
         summary: JobSummary,
     ) -> SyncApply {
         if delta::content_hash(&bytes) != expected_hash {

@@ -22,7 +22,9 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use reaper_core::{FailureProfile, ProfilingRequest};
+use reaper_portfolio::{LaneStatus, PortfolioRequest, Strategy};
 use reaper_serve::http;
+use reaper_serve::json::Value;
 use reaper_serve::{
     Client, ClientError, ConnectionModel, DeltaFetch, ProfileFetch, ProfileUpdate, Server,
     ServerConfig,
@@ -333,6 +335,94 @@ fn eviction_revalidation_regression(workers: usize, connection_model: Connection
     server.shutdown();
 }
 
+/// The portfolio job kind end to end: submit with `"kind":"portfolio"`,
+/// read back bytes bit-identical to an in-process race, dedup on
+/// resubmission, the `kind`-tagged status document, and the
+/// per-strategy `reaper_portfolio_*` counters in canonical label order.
+fn portfolio_race_conformance(workers: usize, connection_model: ConnectionModel) {
+    let request = PortfolioRequest::example(4242);
+    // In-process reference: the race is a pure function of the request,
+    // so the served bytes must match it at every worker count and under
+    // both socket models.
+    let (race, outcome) = request.execute().expect("valid request");
+    let expected = outcome.run.profile.to_bytes();
+
+    let server = Server::start(ServerConfig {
+        workers,
+        queue_capacity: 8,
+        connection_model,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut client = Client::new(server.local_addr());
+
+    let receipt = client.submit_portfolio(&request).expect("submit portfolio");
+    assert!(!receipt.deduped);
+    let bytes = client
+        .wait_for_profile(&receipt.job_id, poll(), 1500)
+        .expect("race finishes");
+    assert_eq!(
+        bytes, expected,
+        "served race profile must be bit-identical to an in-process run"
+    );
+
+    let status = client.job_status(&receipt.job_id).expect("status");
+    assert_eq!(status.get("kind").and_then(Value::as_str), Some("portfolio"));
+    let summary = status.get("summary").expect("done job has a summary");
+    assert_eq!(
+        summary.get("cells").and_then(Value::as_u64),
+        Some(u64::try_from(race.profile.len()).expect("small"))
+    );
+
+    // Identical resubmission dedups to the same content-addressed ID.
+    let again = client.submit_portfolio(&request).expect("resubmit");
+    assert!(again.deduped);
+    assert_eq!(again.job_id, receipt.job_id);
+
+    // Per-strategy counters, with labels in Strategy::ALL order.
+    let metrics = client.metrics_text().expect("metrics page");
+    for series in [
+        "reaper_portfolio_races_total{strategy=\"brute_force\"} 1",
+        "reaper_portfolio_races_total{strategy=\"delta_refw\"} 2",
+        "reaper_portfolio_races_total{strategy=\"delta_t\"} 2",
+        "reaper_portfolio_races_total{strategy=\"combined\"} 2",
+    ] {
+        assert!(metrics.contains(series), "missing {series}\n{metrics}");
+    }
+    let winner_series = format!(
+        "reaper_portfolio_winner_total{{strategy=\"{}\"}} 1",
+        race.winner_strategy.name()
+    );
+    assert!(metrics.contains(&winner_series), "missing {winner_series}\n{metrics}");
+    for strategy in Strategy::ALL {
+        let cancelled = race
+            .lanes
+            .iter()
+            .filter(|l| l.spec.strategy() == strategy && l.status == LaneStatus::Cancelled)
+            .count();
+        let series = format!(
+            "reaper_portfolio_cancelled_total{{strategy=\"{}\"}} {cancelled}",
+            strategy.name()
+        );
+        assert!(metrics.contains(&series), "missing {series}\n{metrics}");
+    }
+    let races_pos = metrics
+        .find("reaper_portfolio_races_total")
+        .expect("races family");
+    let cancelled_pos = metrics
+        .find("reaper_portfolio_cancelled_total")
+        .expect("cancelled family");
+    let winner_pos = metrics
+        .find("reaper_portfolio_winner_total")
+        .expect("winner family");
+    assert!(
+        races_pos < cancelled_pos && cancelled_pos < winner_pos,
+        "portfolio families must render in a fixed order"
+    );
+
+    server.shutdown();
+}
+
 #[test]
 fn streaming_endpoints_conform_at_one_and_four_workers() {
     // Both socket models must satisfy the identical protocol contract;
@@ -347,6 +437,7 @@ fn streaming_endpoints_conform_at_one_and_four_workers() {
         for workers in [1usize, 4] {
             streaming_protocol_roundtrip(workers, model);
             eviction_revalidation_regression(workers, model);
+            portfolio_race_conformance(workers, model);
         }
     }
 }

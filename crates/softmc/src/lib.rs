@@ -47,4 +47,4 @@ pub mod thermal;
 
 pub use harness::{CostModel, TestHarness};
 pub use log::{Command, CommandLog, LogEntry};
-pub use thermal::ThermalChamber;
+pub use thermal::{settle_cost, ThermalChamber};

@@ -135,6 +135,25 @@ impl ThermalChamber {
     }
 }
 
+/// Logical settling cost of moving a chamber from one setpoint to another,
+/// deterministic in `(from, to, seed)`: a fresh chamber settles at `from`,
+/// the setpoint changes to `to`, and the second settle's duration is
+/// returned. Strategy planners (the portfolio race's thermal lanes) use
+/// this to charge temperature moves in logical time without owning a
+/// chamber of their own.
+///
+/// # Panics
+/// Panics if `from` or `to` is outside the reliable 40–55 °C range.
+pub fn settle_cost(from: Celsius, to: Celsius, seed: u64) -> Ms {
+    let mut chamber = ThermalChamber::new(from, seed);
+    chamber.settle();
+    if to == from {
+        return Ms::new(0.0);
+    }
+    chamber.set_setpoint(to);
+    chamber.settle()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,5 +218,15 @@ mod tests {
         let mut b = ThermalChamber::new(Celsius::new(45.0), 9);
         assert_eq!(a.settle(), b.settle());
         assert_eq!(a.ambient(), b.ambient());
+    }
+
+    #[test]
+    fn settle_cost_is_deterministic_and_free_for_no_move() {
+        assert_eq!(
+            settle_cost(Celsius::new(45.0), Celsius::new(50.0), 9),
+            settle_cost(Celsius::new(45.0), Celsius::new(50.0), 9),
+        );
+        assert_eq!(settle_cost(Celsius::new(45.0), Celsius::new(45.0), 9), Ms::new(0.0));
+        assert!(settle_cost(Celsius::new(45.0), Celsius::new(55.0), 9).as_secs() > 5.0);
     }
 }

@@ -1,0 +1,318 @@
+//! Portfolio-race benchmark: racing-with-cancellation vs the exhaustive
+//! sequential grid.
+//!
+//! Runs every candidate of the default portfolio **solo** (no race, no
+//! cancellation) to establish two baselines — the best single
+//! candidate's logical cost, and the exhaustive grid's total (what a
+//! profiler that tries every reach condition in sequence would spend) —
+//! then races the same candidates with first-finisher-wins cancellation
+//! at 1 and 4 threads. Logical costs come from the `CostModel` pass
+//! accounting, never the clock, so every gated number is a
+//! deterministic function of the seed; wall time is measured only to
+//! report the multicore speedup.
+//!
+//! The default operating point is the interesting one: a tight
+//! false-positive budget (`max_fpr 0.5`) that the aggressive reach
+//! lanes blow through within their first iteration, so the brute-force
+//! control lane wins honestly over many passes while the race cancels
+//! six losers at its pass boundaries. That is the regime where a
+//! portfolio earns its keep — the winning strategy is not knowable in
+//! advance, and racing finds it at ~1x its solo cost instead of the
+//! full sequential grid.
+//!
+//! ```text
+//! cargo run --release --example portfolio_bench -- --gate
+//! portfolio_bench [--seed N] [--rounds N] [--den N] [--goal F]
+//!                 [--fpr F] [--patterns standard|random]
+//!                 [--gate] [--out PATH]
+//!   --gate   exit nonzero unless
+//!              makespan <= 1.05 x best solo candidate's logical cost,
+//!              makespan <  the exhaustive grid total (strictly),
+//!              and (multicore hosts only) the 4-thread race beats the
+//!              1-thread race on wall time
+//!   --out    write the JSON record to PATH instead of stdout
+//! ```
+
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    clippy::print_stdout,
+    clippy::print_stderr,
+    clippy::cast_precision_loss
+)]
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use reaper_portfolio::{PortfolioRequest, RaceOutcome, SoloRun};
+use reaper_serve::json;
+
+/// The race-vs-best-single logical-cost ceiling `--gate` enforces.
+const GATE_OVERHEAD: f64 = 1.05;
+
+/// Timed repetitions per thread count; the minimum wall time is
+/// reported (the race result itself is identical every repetition).
+const WALL_REPS: usize = 3;
+
+struct Config {
+    seed: u64,
+    rounds: u32,
+    den: u64,
+    goal: f64,
+    fpr: f64,
+    patterns: reaper_core::PatternSpec,
+    gate: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        seed: 7,
+        rounds: 40,
+        den: 8,
+        goal: 0.97,
+        fpr: 0.5,
+        patterns: reaper_core::PatternSpec::Standard,
+        gate: false,
+        out: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed takes a number");
+            }
+            "--rounds" => {
+                config.rounds = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds takes a number");
+            }
+            "--den" => {
+                config.den = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--den takes a number");
+            }
+            "--goal" => {
+                config.goal = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--goal takes a number");
+            }
+            "--fpr" => {
+                config.fpr = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fpr takes a number");
+            }
+            "--patterns" => {
+                config.patterns = match it.next().map(String::as_str) {
+                    Some("standard") => reaper_core::PatternSpec::Standard,
+                    Some("random") => reaper_core::PatternSpec::RandomOnly,
+                    other => panic!("--patterns takes standard|random, got {other:?}"),
+                };
+            }
+            "--gate" => config.gate = true,
+            "--out" => {
+                config.out = Some(it.next().expect("--out takes a path").clone());
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    config
+}
+
+/// Runs the race `WALL_REPS` times at `threads` threads, checking every
+/// repetition returns the identical outcome, and reports the best wall
+/// time alongside it.
+fn race_at(request: &PortfolioRequest, threads: usize) -> (RaceOutcome, f64) {
+    reaper_exec::set_thread_count(Some(threads));
+    let mut best_wall = f64::INFINITY;
+    let mut outcome: Option<RaceOutcome> = None;
+    for _ in 0..WALL_REPS {
+        let start = Instant::now();
+        let (race, _) = request.execute().expect("valid request");
+        let wall = start.elapsed().as_secs_f64() * 1e3;
+        best_wall = best_wall.min(wall);
+        match &outcome {
+            None => outcome = Some(race),
+            Some(prev) => assert_eq!(prev, &race, "race must repeat bit-identically"),
+        }
+    }
+    reaper_exec::set_thread_count(None);
+    (outcome.expect("invariant: WALL_REPS > 0"), best_wall)
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let mut request = PortfolioRequest::example(config.seed);
+    request.rounds = config.rounds;
+    request.capacity_den = config.den;
+    request.coverage_goal = config.goal;
+    request.max_fpr = config.fpr;
+    request.patterns = config.patterns;
+    let portfolio = request.to_portfolio().expect("valid request");
+
+    // Baselines: every candidate solo, in isolation. The grid total is
+    // what an exhaustive sequential search over the same candidate set
+    // pays; the best met candidate is the oracle a race can at most tie
+    // (plus bounded cancellation overhead on the losing lanes).
+    let solos: Vec<SoloRun> = (0..portfolio.candidates().len())
+        .map(|i| portfolio.run_solo(i))
+        .collect();
+    let grid_total_ms: f64 = solos.iter().map(|s| s.cost.as_ms()).sum();
+    let best_solo = solos
+        .iter()
+        .filter(|s| s.met)
+        .min_by(|a, b| {
+            a.cost
+                .as_ms()
+                .total_cmp(&b.cost.as_ms())
+                .then_with(|| a.spec.sort_key().cmp(&b.spec.sort_key()))
+        })
+        .expect("some candidate meets the target at the bench operating point");
+
+    // The race, at 1 and 4 threads. The outcome must not depend on the
+    // thread count — that is the determinism contract under test.
+    let (race_1t, wall_1t_ms) = race_at(&request, 1);
+    let (race_4t, wall_4t_ms) = race_at(&request, 4);
+    assert_eq!(
+        race_1t.winner, race_4t.winner,
+        "winner must be identical at 1 and 4 threads"
+    );
+    let bytes_identical =
+        race_1t.profile.to_bytes() == race_4t.profile.to_bytes() && race_1t == race_4t;
+    assert!(bytes_identical, "race outcome must be thread-count invariant");
+
+    let makespan_ms = race_1t.makespan.as_ms();
+    let ratio_vs_best = makespan_ms / best_solo.cost.as_ms();
+    let ratio_vs_grid = makespan_ms / grid_total_ms;
+    let wall_speedup = wall_1t_ms / wall_4t_ms;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let multicore = cores >= 4;
+
+    let overhead_ok = ratio_vs_best <= GATE_OVERHEAD;
+    let grid_ok = makespan_ms < grid_total_ms;
+    let speedup_ok = wall_speedup > 1.0;
+
+    println!(
+        "portfolio_race: seed {}, {} candidates, {} rounds each, {} truth cells",
+        config.seed,
+        portfolio.candidates().len(),
+        config.rounds,
+        race_1t.truth_cells
+    );
+    println!(
+        "  winner {} ({}) at {:.1} ms logical; {} lanes cancelled",
+        race_1t.winner.reach,
+        race_1t.winner_strategy.name(),
+        race_1t.winner_cost.as_ms(),
+        race_1t.cancelled_lanes()
+    );
+    println!(
+        "  makespan {makespan_ms:.1} ms = {ratio_vs_best:.4}x best solo \
+         ({:.1} ms), {ratio_vs_grid:.4}x grid total ({grid_total_ms:.1} ms)",
+        best_solo.cost.as_ms()
+    );
+    println!(
+        "  wall {wall_1t_ms:.1} ms @1t, {wall_4t_ms:.1} ms @4t — \
+         {wall_speedup:.2}x on {cores} cores"
+    );
+
+    let solo_records: Vec<json::Value> = solos
+        .iter()
+        .map(|s| {
+            json::obj([
+                ("reach", json::str(s.spec.reach.to_string())),
+                ("strategy", json::str(s.spec.strategy().name())),
+                ("met", json::Value::Bool(s.met)),
+                ("cost_ms", json::num(round2(s.cost.as_ms()))),
+                ("coverage", json::num(round4(s.coverage))),
+                ("fpr", json::num(round4(s.fpr))),
+                ("passes", json::uint(u64::from(s.passes))),
+            ])
+        })
+        .collect();
+    let record = json::obj([
+        ("benchmark", json::str("portfolio_race")),
+        ("seed", json::uint(config.seed)),
+        ("rounds", json::uint(u64::from(config.rounds))),
+        ("capacity_den", json::uint(config.den)),
+        ("coverage_goal", json::num(config.goal)),
+        ("max_fpr", json::num(config.fpr)),
+        ("patterns", json::str(config.patterns.name())),
+        ("candidates", json::uint(portfolio.candidates().len() as u64)),
+        ("truth_cells", json::uint(race_1t.truth_cells as u64)),
+        ("winner_reach", json::str(race_1t.winner.reach.to_string())),
+        ("winner_strategy", json::str(race_1t.winner_strategy.name())),
+        ("winner_cost_ms", json::num(round2(race_1t.winner_cost.as_ms()))),
+        ("coverage", json::num(round4(race_1t.coverage))),
+        ("cancelled_lanes", json::uint(race_1t.cancelled_lanes() as u64)),
+        ("makespan_ms", json::num(round2(makespan_ms))),
+        ("best_solo_ms", json::num(round2(best_solo.cost.as_ms()))),
+        ("grid_total_ms", json::num(round2(grid_total_ms))),
+        ("ratio_vs_best", json::num(round4(ratio_vs_best))),
+        ("ratio_vs_grid", json::num(round4(ratio_vs_grid))),
+        ("solo_grid", json::Value::Arr(solo_records)),
+        ("bytes_identical_1t_4t", json::Value::Bool(bytes_identical)),
+        ("cores", json::uint(cores as u64)),
+        ("wall_1t_ms", json::num(round2(wall_1t_ms))),
+        ("wall_4t_ms", json::num(round2(wall_4t_ms))),
+        ("wall_speedup", json::num(round2(wall_speedup))),
+        (
+            "gate",
+            json::obj([
+                ("requested", json::Value::Bool(config.gate)),
+                ("overhead_ok", json::Value::Bool(overhead_ok)),
+                ("grid_ok", json::Value::Bool(grid_ok)),
+                ("multicore", json::Value::Bool(multicore)),
+                ("speedup_enforced", json::Value::Bool(multicore)),
+                ("speedup_ok", json::Value::Bool(speedup_ok)),
+            ]),
+        ),
+    ]);
+    if let Some(path) = &config.out {
+        std::fs::write(path, record.encode() + "\n").expect("write --out path");
+        println!("  wrote {path}");
+    } else {
+        println!("  {}", record.encode());
+    }
+
+    if config.gate {
+        if !overhead_ok {
+            eprintln!(
+                "portfolio_race: GATE FAILED — makespan {ratio_vs_best:.4}x best solo \
+                 > {GATE_OVERHEAD}x"
+            );
+            return ExitCode::FAILURE;
+        }
+        if !grid_ok {
+            eprintln!(
+                "portfolio_race: GATE FAILED — makespan {makespan_ms:.1} ms not strictly \
+                 below the grid total {grid_total_ms:.1} ms"
+            );
+            return ExitCode::FAILURE;
+        }
+        if multicore && !speedup_ok {
+            eprintln!(
+                "portfolio_race: GATE FAILED — no wall-time speedup at 4 threads \
+                 ({wall_speedup:.2}x) on a {cores}-core host"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+fn round4(v: f64) -> f64 {
+    (v * 10_000.0).round() / 10_000.0
+}

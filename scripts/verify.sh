@@ -61,6 +61,13 @@ cargo test --release -q --offline -p reaper-fleet --test failover
 echo "== fleet: loadgen gate (aggregate throughput + connection ladder) =="
 cargo run --release -q --offline --example fleet_loadgen -- --seconds 3 --gate
 
+echo "== portfolio: race determinism (threads x orderings x priors) =="
+cargo test --release -q --offline -p reaper-exec cancel
+cargo test --release -q --offline -p reaper-portfolio
+
+echo "== bench-portfolio: racing gate (<=1.05x best solo, < sequential grid) =="
+cargo run --release -q --offline --example portfolio_bench -- --gate
+
 echo "== smoke: headline experiment (quick scale) =="
 cargo run --release --offline -p reaper-conformance --bin experiments -- headline --quick
 
